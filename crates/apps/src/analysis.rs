@@ -1,0 +1,140 @@
+//! Analytic cross-platform comparison of the application kernels.
+//!
+//! Each kernel declares the bulk in-DRAM operation mix it executes ([`crate::OpCount`]);
+//! this module costs that mix on every platform of the paper's comparison (CPU, GPU, Ambit,
+//! SIMDRAM 1/4/16 banks) to produce the end-to-end kernel execution times and energies
+//! behind the paper's real-world application figure.
+
+use simdram_baselines::{platform_performance, Platform};
+
+use crate::kernel::{Kernel, OpCount};
+
+/// One platform's execution time and energy for one kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelPlatformCost {
+    /// The platform.
+    pub platform: Platform,
+    /// Execution time in milliseconds.
+    pub time_ms: f64,
+    /// Energy in millijoules.
+    pub energy_mj: f64,
+}
+
+/// Costs an operation mix on one platform.
+pub fn cost_on_platform(platform: Platform, mix: &[OpCount]) -> KernelPlatformCost {
+    let mut time_ns = 0.0;
+    let mut energy_nj = 0.0;
+    for count in mix {
+        let perf = platform_performance(platform, count.op, count.width);
+        // throughput is in elements per nanosecond (GOPS).
+        time_ns += count.elements as f64 / perf.throughput_gops;
+        energy_nj += count.elements as f64 * perf.energy_per_element_nj;
+    }
+    KernelPlatformCost {
+        platform,
+        time_ms: time_ns * 1e-6,
+        energy_mj: energy_nj * 1e-6,
+    }
+}
+
+/// Costs a kernel's operation mix on every platform of the paper's comparison.
+pub fn kernel_comparison(kernel: &dyn Kernel) -> Vec<KernelPlatformCost> {
+    Platform::paper_set()
+        .into_iter()
+        .map(|p| cost_on_platform(p, &kernel.op_mix()))
+        .collect()
+}
+
+/// Speedup of `target` over `baseline` within a comparison table.
+///
+/// # Panics
+///
+/// Panics if either platform is missing from the table.
+pub fn speedup(costs: &[KernelPlatformCost], baseline: Platform, target: Platform) -> f64 {
+    let base = costs
+        .iter()
+        .find(|c| c.platform == baseline)
+        .expect("baseline platform present");
+    let tgt = costs
+        .iter()
+        .find(|c| c.platform == target)
+        .expect("target platform present");
+    base.time_ms / tgt.time_ms
+}
+
+/// The seven application kernels of the paper, at sizes small enough to also run
+/// functionally in tests yet large enough that their operation mixes are representative.
+pub fn paper_kernels(seed: u64) -> Vec<Box<dyn Kernel>> {
+    vec![
+        Box::new(crate::vgg::vgg13_kernel(seed)),
+        Box::new(crate::vgg::vgg16_kernel(seed.wrapping_add(1))),
+        Box::new(crate::lenet::lenet_kernel(seed.wrapping_add(2))),
+        Box::new(crate::knn::KnnDistances::new(256, 16, 5, seed.wrapping_add(3))),
+        Box::new(crate::tpch::TpchQuery6::new(512, seed.wrapping_add(4))),
+        Box::new(crate::bitweaving::BitWeavingScan::new(
+            512,
+            12,
+            crate::bitweaving::ScanPredicate::LessThan(2048),
+            seed.wrapping_add(5),
+        )),
+        Box::new(crate::brightness::Brightness::new(32, 16, 70, seed.wrapping_add(6))),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_kernel_set_has_seven_members() {
+        let kernels = paper_kernels(0);
+        assert_eq!(kernels.len(), 7);
+        let names: Vec<&str> = kernels.iter().map(|k| k.name()).collect();
+        assert!(names.contains(&"vgg-13"));
+        assert!(names.contains(&"brightness"));
+    }
+
+    #[test]
+    fn simdram_beats_ambit_on_every_kernel() {
+        for kernel in paper_kernels(1) {
+            let costs = kernel_comparison(kernel.as_ref());
+            let s = speedup(&costs, Platform::Ambit, Platform::Simdram { banks: 16 });
+            assert!(
+                s > 1.0,
+                "{} should be faster on SIMDRAM than on Ambit (speedup {s})",
+                kernel.name()
+            );
+        }
+    }
+
+    #[test]
+    fn simdram_beats_the_cpu_on_every_kernel() {
+        for kernel in paper_kernels(2) {
+            let costs = kernel_comparison(kernel.as_ref());
+            let s = speedup(&costs, Platform::Cpu, Platform::Simdram { banks: 16 });
+            assert!(s > 1.0, "{} CPU speedup was {s}", kernel.name());
+        }
+    }
+
+    #[test]
+    fn kernel_energy_is_lowest_on_simdram() {
+        for kernel in paper_kernels(3) {
+            let costs = kernel_comparison(kernel.as_ref());
+            let simdram = costs
+                .iter()
+                .find(|c| c.platform == Platform::Simdram { banks: 16 })
+                .unwrap();
+            let cpu = costs.iter().find(|c| c.platform == Platform::Cpu).unwrap();
+            assert!(simdram.energy_mj < cpu.energy_mj);
+        }
+    }
+
+    #[test]
+    fn more_banks_reduce_kernel_time_proportionally() {
+        let kernel = crate::lenet::lenet_kernel(9);
+        let mix = kernel.op_mix();
+        let one = cost_on_platform(Platform::Simdram { banks: 1 }, &mix);
+        let sixteen = cost_on_platform(Platform::Simdram { banks: 16 }, &mix);
+        assert!((one.time_ms / sixteen.time_ms - 16.0).abs() < 0.1);
+    }
+}

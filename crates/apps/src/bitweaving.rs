@@ -1,0 +1,184 @@
+//! BitWeaving-style column scan (the paper's in-memory database scan kernel).
+//!
+//! BitWeaving (SIGMOD 2013) evaluates a predicate such as `value < constant` over a packed
+//! column of small fixed-width codes. In SIMDRAM every code is one SIMD lane and the whole
+//! scan is a single relational operation producing a bit vector of matches.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use simdram_core::{Result, SimdramMachine};
+use simdram_logic::{word_mask, Operation};
+
+use crate::kernel::{finish_run, snapshot, Kernel, KernelRun, OpCount};
+
+/// The scan predicate supported by the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanPredicate {
+    /// `value < constant`
+    LessThan(u64),
+    /// `value == constant`
+    Equal(u64),
+    /// `low <= value <= high`
+    Between(u64, u64),
+}
+
+/// BitWeaving column-scan kernel over a synthetic column of `code_bits`-bit codes.
+#[derive(Debug, Clone)]
+pub struct BitWeavingScan {
+    column: Vec<u64>,
+    code_bits: usize,
+    predicate: ScanPredicate,
+}
+
+impl BitWeavingScan {
+    /// Creates a scan over `rows` codes of `code_bits` bits with the given predicate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code_bits` is zero or greater than 64.
+    pub fn new(rows: usize, code_bits: usize, predicate: ScanPredicate, seed: u64) -> Self {
+        assert!(code_bits >= 1 && code_bits <= 64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mask = word_mask(code_bits);
+        let column = (0..rows).map(|_| rng.random::<u64>() & mask).collect();
+        BitWeavingScan {
+            column,
+            code_bits,
+            predicate,
+        }
+    }
+
+    /// Number of codes scanned.
+    pub fn rows(&self) -> usize {
+        self.column.len()
+    }
+
+    /// Host reference: the match bit vector.
+    pub fn reference(&self) -> Vec<u64> {
+        self.column
+            .iter()
+            .map(|&v| {
+                let matched = match self.predicate {
+                    ScanPredicate::LessThan(c) => v < c,
+                    ScanPredicate::Equal(c) => v == c,
+                    ScanPredicate::Between(lo, hi) => v >= lo && v <= hi,
+                };
+                u64::from(matched)
+            })
+            .collect()
+    }
+}
+
+impl Kernel for BitWeavingScan {
+    fn name(&self) -> &'static str {
+        "bitweaving"
+    }
+
+    fn op_mix(&self) -> Vec<OpCount> {
+        let n = self.column.len() as u64;
+        let w = self.code_bits;
+        match self.predicate {
+            ScanPredicate::LessThan(_) | ScanPredicate::Equal(_) => vec![OpCount {
+                op: if matches!(self.predicate, ScanPredicate::Equal(_)) {
+                    Operation::Equal
+                } else {
+                    Operation::Greater
+                },
+                width: w,
+                elements: n,
+            }],
+            ScanPredicate::Between(_, _) => vec![
+                OpCount { op: Operation::GreaterEqual, width: w, elements: n },
+                OpCount { op: Operation::GreaterEqual, width: w, elements: n },
+                OpCount { op: Operation::Min, width: 1, elements: n },
+            ],
+        }
+    }
+
+    fn run(&self, machine: &mut SimdramMachine) -> Result<KernelRun> {
+        let (ops0, lat0, en0) = snapshot(machine);
+        let w = self.code_bits;
+        let n = self.column.len();
+        let column = machine.alloc_and_write(w, &self.column)?;
+
+        let matches = match self.predicate {
+            ScanPredicate::LessThan(c) => {
+                let constant = machine.alloc(w, n)?;
+                machine.init(&constant, c)?;
+                // value < c  ⇔  c > value
+                let (m, _) = machine.binary(Operation::Greater, &constant, &column)?;
+                machine.free(constant);
+                m
+            }
+            ScanPredicate::Equal(c) => {
+                let constant = machine.alloc(w, n)?;
+                machine.init(&constant, c)?;
+                let (m, _) = machine.binary(Operation::Equal, &column, &constant)?;
+                machine.free(constant);
+                m
+            }
+            ScanPredicate::Between(lo, hi) => {
+                let low = machine.alloc(w, n)?;
+                machine.init(&low, lo)?;
+                let high = machine.alloc(w, n)?;
+                machine.init(&high, hi)?;
+                let (ge_lo, _) = machine.binary(Operation::GreaterEqual, &column, &low)?;
+                let (le_hi, _) = machine.binary(Operation::GreaterEqual, &high, &column)?;
+                // AND of two 1-bit flags = their minimum.
+                let (both, _) = machine.binary(Operation::Min, &ge_lo, &le_hi)?;
+                for v in [low, high, ge_lo, le_hi] {
+                    machine.free(v);
+                }
+                both
+            }
+        };
+
+        let produced = machine.read(&matches)?;
+        let verified = produced == self.reference();
+        machine.free(matches);
+        machine.free(column);
+
+        Ok(finish_run(self.name(), machine, ops0, lat0, en0, n, verified))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdram_core::SimdramConfig;
+
+    fn machine() -> SimdramMachine {
+        SimdramMachine::new(SimdramConfig::functional_test()).unwrap()
+    }
+
+    #[test]
+    fn less_than_scan_matches_reference() {
+        let kernel = BitWeavingScan::new(200, 12, ScanPredicate::LessThan(1 << 11), 3);
+        let run = kernel.run(&mut machine()).unwrap();
+        assert!(run.verified);
+        assert_eq!(run.output_elements, 200);
+    }
+
+    #[test]
+    fn equality_scan_matches_reference() {
+        let kernel = BitWeavingScan::new(100, 4, ScanPredicate::Equal(7), 4);
+        let run = kernel.run(&mut machine()).unwrap();
+        assert!(run.verified);
+    }
+
+    #[test]
+    fn between_scan_matches_reference() {
+        let kernel = BitWeavingScan::new(150, 8, ScanPredicate::Between(50, 180), 5);
+        let run = kernel.run(&mut machine()).unwrap();
+        assert!(run.verified);
+        assert_eq!(kernel.op_mix().len(), 3);
+    }
+
+    #[test]
+    fn reference_counts_match_predicate() {
+        let kernel = BitWeavingScan::new(1000, 10, ScanPredicate::LessThan(512), 6);
+        let matches: u64 = kernel.reference().iter().sum();
+        // Roughly half the uniformly distributed codes are below the midpoint.
+        assert!(matches > 300 && matches < 700, "got {matches}");
+    }
+}

@@ -1,0 +1,127 @@
+//! Image brightness adjustment (the paper's image-processing kernel).
+//!
+//! Every pixel of an 8-bit greyscale image is brightened by a constant delta with saturation
+//! at 255. In SIMDRAM each pixel is one SIMD lane: a single 8-bit addition followed by a
+//! saturating clamp built from a comparison and a predicated select.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use simdram_core::{Result, SimdramMachine};
+use simdram_logic::Operation;
+
+use crate::kernel::{finish_run, snapshot, Kernel, KernelRun, OpCount};
+
+/// Brightness-adjustment kernel over a synthetic greyscale image.
+#[derive(Debug, Clone)]
+pub struct Brightness {
+    pixels: Vec<u64>,
+    delta: u64,
+}
+
+impl Brightness {
+    /// Creates the kernel with a deterministic synthetic image of `width × height` pixels
+    /// and a brightness increase of `delta` grey levels.
+    pub fn new(width: usize, height: usize, delta: u8, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pixels = (0..width * height).map(|_| rng.random_range(0..256u64)).collect();
+        Brightness {
+            pixels,
+            delta: u64::from(delta),
+        }
+    }
+
+    /// Number of pixels in the image.
+    pub fn pixel_count(&self) -> usize {
+        self.pixels.len()
+    }
+
+    /// Host reference: saturating brightness adjustment.
+    pub fn reference(&self) -> Vec<u64> {
+        self.pixels
+            .iter()
+            .map(|&p| (p + self.delta).min(255))
+            .collect()
+    }
+}
+
+impl Kernel for Brightness {
+    fn name(&self) -> &'static str {
+        "brightness"
+    }
+
+    fn op_mix(&self) -> Vec<OpCount> {
+        let n = self.pixels.len() as u64;
+        vec![
+            OpCount { op: Operation::Add, width: 8, elements: n },
+            // Saturation: compare against the pre-add value to detect wrap-around, then select.
+            OpCount { op: Operation::GreaterEqual, width: 8, elements: n },
+            OpCount { op: Operation::IfElse, width: 8, elements: n },
+        ]
+    }
+
+    fn run(&self, machine: &mut SimdramMachine) -> Result<KernelRun> {
+        let (ops0, lat0, en0) = snapshot(machine);
+
+        let pixels = machine.alloc_and_write(8, &self.pixels)?;
+        let delta = machine.alloc(8, self.pixels.len())?;
+        machine.init(&delta, self.delta)?;
+        let saturated = machine.alloc(8, self.pixels.len())?;
+        machine.init(&saturated, 0xFF)?;
+
+        // sum = pixels + delta (wraps modulo 256 on overflow).
+        let (sum, _) = machine.binary(Operation::Add, &pixels, &delta)?;
+        // no_overflow = sum >= pixels  (false exactly when the 8-bit addition wrapped).
+        let (no_overflow, _) = machine.binary(Operation::GreaterEqual, &sum, &pixels)?;
+        // result = no_overflow ? sum : 255.
+        let (result, _) = machine.select(&no_overflow, &sum, &saturated)?;
+
+        let produced = machine.read(&result)?;
+        let verified = produced == self.reference();
+
+        for v in [pixels, delta, saturated, sum, no_overflow, result] {
+            machine.free(v);
+        }
+        Ok(finish_run(
+            self.name(),
+            machine,
+            ops0,
+            lat0,
+            en0,
+            produced.len(),
+            verified,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdram_core::SimdramConfig;
+
+    #[test]
+    fn brightness_matches_reference_on_simdram() {
+        let kernel = Brightness::new(16, 12, 60, 7);
+        let mut machine = SimdramMachine::new(SimdramConfig::functional_test()).unwrap();
+        let run = kernel.run(&mut machine).unwrap();
+        assert!(run.verified, "in-DRAM brightness result diverged from reference");
+        assert_eq!(run.output_elements, 16 * 12);
+        assert!(run.bbops >= 3);
+        assert!(run.compute_latency_ns > 0.0);
+    }
+
+    #[test]
+    fn reference_saturates_at_255() {
+        let kernel = Brightness::new(4, 1, 200, 1);
+        for (out, src) in kernel.reference().iter().zip(&kernel.pixels) {
+            assert_eq!(*out, (src + 200).min(255));
+        }
+    }
+
+    #[test]
+    fn op_mix_covers_every_pixel() {
+        let kernel = Brightness::new(8, 8, 10, 2);
+        let mix = kernel.op_mix();
+        assert_eq!(mix.len(), 3);
+        assert!(mix.iter().all(|c| c.elements == 64));
+    }
+}

@@ -1,0 +1,103 @@
+//! Common kernel infrastructure: the [`Kernel`] trait, operation mixes and run reports.
+
+use simdram_core::{Result, SimdramMachine};
+use simdram_logic::Operation;
+
+/// How many elements of a given operation/width a kernel executes in DRAM.
+///
+/// Operation mixes drive the analytic platform comparison (`simdram-apps::analysis`): the
+/// same mix is costed on the CPU, GPU, Ambit and SIMDRAM models to obtain the kernel
+/// speedups of the paper's application figure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpCount {
+    /// The SIMDRAM operation.
+    pub op: Operation,
+    /// Element width in bits.
+    pub width: usize,
+    /// Number of elements processed with this operation.
+    pub elements: u64,
+}
+
+/// Result of functionally running a kernel on a [`SimdramMachine`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelRun {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Number of output elements the kernel produced.
+    pub output_elements: usize,
+    /// Whether every output matched the host-side reference implementation.
+    pub verified: bool,
+    /// Number of bbop operations executed in DRAM.
+    pub bbops: usize,
+    /// Total in-DRAM compute latency in nanoseconds.
+    pub compute_latency_ns: f64,
+    /// Total in-DRAM energy in nanojoules.
+    pub compute_energy_nj: f64,
+}
+
+/// A workload kernel that can run on SIMDRAM (or, via configuration, on the Ambit baseline)
+/// and report the operation mix used for analytic platform comparison.
+pub trait Kernel {
+    /// Human-readable kernel name (matches the paper's figure labels).
+    fn name(&self) -> &'static str;
+
+    /// The in-DRAM operation mix of one kernel invocation.
+    fn op_mix(&self) -> Vec<OpCount>;
+
+    /// Functionally executes the kernel on `machine`, verifying results against a host
+    /// reference implementation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors (allocation, shape, substrate).
+    fn run(&self, machine: &mut SimdramMachine) -> Result<KernelRun>;
+}
+
+/// Helper used by kernel implementations to build a [`KernelRun`] from machine statistics
+/// recorded before and after the kernel body.
+pub(crate) fn finish_run(
+    name: &'static str,
+    machine: &SimdramMachine,
+    ops_before: usize,
+    latency_before: f64,
+    energy_before: f64,
+    output_elements: usize,
+    verified: bool,
+) -> KernelRun {
+    let stats = machine.stats();
+    KernelRun {
+        name,
+        output_elements,
+        verified,
+        bbops: stats.operations - ops_before,
+        compute_latency_ns: stats.compute_latency_ns - latency_before,
+        compute_energy_nj: stats.compute_energy_nj - energy_before,
+    }
+}
+
+/// Snapshot of the counters used by [`finish_run`].
+pub(crate) fn snapshot(machine: &SimdramMachine) -> (usize, f64, f64) {
+    let stats = machine.stats();
+    (
+        stats.operations,
+        stats.compute_latency_ns,
+        stats.compute_energy_nj,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_count_holds_shape_information() {
+        let c = OpCount {
+            op: Operation::Mul,
+            width: 8,
+            elements: 1_000_000,
+        };
+        assert_eq!(c.op, Operation::Mul);
+        assert_eq!(c.width, 8);
+        assert_eq!(c.elements, 1_000_000);
+    }
+}

@@ -1,0 +1,155 @@
+//! k-nearest-neighbour classification (the paper's machine-learning kernel besides the
+//! neural networks).
+//!
+//! The kernel computes the Manhattan (L1) distance between one query vector and a database
+//! of reference points whose features are quantized to small integers (as in the
+//! handwritten-digit task the paper cites). Each reference point is one SIMD lane; the
+//! per-feature |difference| computations and the distance accumulation run in DRAM, and the
+//! final top-k selection (a tiny, serial step) runs on the host.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use simdram_core::{Result, SimdramMachine};
+use simdram_logic::Operation;
+
+use crate::kernel::{finish_run, snapshot, Kernel, KernelRun, OpCount};
+
+/// kNN distance kernel over a synthetic quantized dataset.
+#[derive(Debug, Clone)]
+pub struct KnnDistances {
+    /// `points[f][p]` is feature `f` of reference point `p`.
+    points: Vec<Vec<u64>>,
+    query: Vec<u64>,
+    k: usize,
+}
+
+impl KnnDistances {
+    /// Creates a dataset of `points` reference points with `features` 8-bit features and a
+    /// random query, classified with `k` neighbours.
+    pub fn new(points: usize, features: usize, k: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points_by_feature = (0..features)
+            .map(|_| (0..points).map(|_| rng.random_range(0..256u64)).collect())
+            .collect();
+        let query = (0..features).map(|_| rng.random_range(0..256u64)).collect();
+        KnnDistances {
+            points: points_by_feature,
+            query,
+            k,
+        }
+    }
+
+    /// Number of reference points.
+    pub fn point_count(&self) -> usize {
+        self.points.first().map_or(0, Vec::len)
+    }
+
+    /// Number of features per point.
+    pub fn feature_count(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Host reference: the Manhattan distance of every reference point to the query.
+    pub fn reference_distances(&self) -> Vec<u64> {
+        (0..self.point_count())
+            .map(|p| {
+                self.points
+                    .iter()
+                    .zip(&self.query)
+                    .map(|(feature, &q)| feature[p].abs_diff(q))
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Host reference: indices of the `k` nearest reference points (ties broken by index).
+    pub fn reference_top_k(&self) -> Vec<usize> {
+        let distances = self.reference_distances();
+        let mut order: Vec<usize> = (0..distances.len()).collect();
+        order.sort_by_key(|&i| (distances[i], i));
+        order.truncate(self.k);
+        order
+    }
+}
+
+impl Kernel for KnnDistances {
+    fn name(&self) -> &'static str {
+        "knn"
+    }
+
+    fn op_mix(&self) -> Vec<OpCount> {
+        let n = self.point_count() as u64;
+        let f = self.feature_count() as u64;
+        vec![
+            // Per feature: one 16-bit subtraction, one absolute value and one accumulation.
+            OpCount { op: Operation::Sub, width: 16, elements: n * f },
+            OpCount { op: Operation::Abs, width: 16, elements: n * f },
+            OpCount { op: Operation::Add, width: 16, elements: n * f },
+        ]
+    }
+
+    fn run(&self, machine: &mut SimdramMachine) -> Result<KernelRun> {
+        let (ops0, lat0, en0) = snapshot(machine);
+        let n = self.point_count();
+
+        let mut distance = machine.alloc(16, n)?;
+        machine.init(&distance, 0)?;
+
+        for (feature_values, &query_value) in self.points.iter().zip(&self.query) {
+            let feature = machine.alloc_and_write(16, feature_values)?;
+            let query = machine.alloc(16, n)?;
+            machine.init(&query, query_value)?;
+
+            let (diff, _) = machine.binary(Operation::Sub, &feature, &query)?;
+            let (abs_diff, _) = machine.unary(Operation::Abs, &diff)?;
+            let (new_distance, _) = machine.binary(Operation::Add, &distance, &abs_diff)?;
+
+            for v in [feature, query, diff, abs_diff] {
+                machine.free(v);
+            }
+            machine.free(distance);
+            distance = new_distance;
+        }
+
+        let produced = machine.read(&distance)?;
+        machine.free(distance);
+        let verified = produced == self.reference_distances();
+
+        Ok(finish_run(self.name(), machine, ops0, lat0, en0, n, verified))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdram_core::SimdramConfig;
+
+    #[test]
+    fn distances_match_reference() {
+        let kernel = KnnDistances::new(120, 6, 3, 21);
+        let mut machine = SimdramMachine::new(SimdramConfig::functional_test()).unwrap();
+        let run = kernel.run(&mut machine).unwrap();
+        assert!(run.verified);
+        assert_eq!(run.output_elements, 120);
+        assert_eq!(run.bbops, 6 * 3);
+    }
+
+    #[test]
+    fn top_k_is_sorted_by_distance() {
+        let kernel = KnnDistances::new(50, 4, 5, 9);
+        let distances = kernel.reference_distances();
+        let top = kernel.reference_top_k();
+        assert_eq!(top.len(), 5);
+        for pair in top.windows(2) {
+            assert!(distances[pair[0]] <= distances[pair[1]]);
+        }
+    }
+
+    #[test]
+    fn op_mix_scales_with_features_and_points() {
+        let kernel = KnnDistances::new(100, 8, 1, 2);
+        let mix = kernel.op_mix();
+        assert_eq!(mix.len(), 3);
+        assert!(mix.iter().all(|c| c.elements == 800));
+    }
+}

@@ -1,0 +1,48 @@
+//! LeNet-5: the small convolutional network of the paper's ML kernels.
+
+use crate::nn::{LayerShape, NetworkModel, NeuralNetworkKernel};
+
+/// The LeNet-5 layer shapes (as used for MNIST-class 32×32 inputs).
+pub fn lenet5_model() -> NetworkModel {
+    NetworkModel {
+        name: "lenet",
+        layers: vec![
+            LayerShape::Conv { in_channels: 1, out_channels: 6, kernel: 5, output_hw: 28 },
+            LayerShape::Conv { in_channels: 6, out_channels: 16, kernel: 5, output_hw: 10 },
+            LayerShape::FullyConnected { inputs: 400, outputs: 120 },
+            LayerShape::FullyConnected { inputs: 120, outputs: 84 },
+            LayerShape::FullyConnected { inputs: 84, outputs: 10 },
+        ],
+    }
+}
+
+/// The LeNet-5 kernel: analytic op mix from the full network, functional verification on its
+/// second fully-connected layer (120 → 84).
+pub fn lenet_kernel(seed: u64) -> NeuralNetworkKernel {
+    NeuralNetworkKernel::new(lenet5_model(), 24, 84, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Kernel;
+    use simdram_core::{SimdramConfig, SimdramMachine};
+
+    #[test]
+    fn lenet_has_the_expected_compute_volume() {
+        let model = lenet5_model();
+        // LeNet-5 performs a few hundred thousand MACs per inference.
+        let macs = model.total_macs();
+        assert!(macs > 300_000 && macs < 700_000, "got {macs}");
+        assert_eq!(model.layers.len(), 5);
+    }
+
+    #[test]
+    fn lenet_kernel_runs_and_verifies() {
+        let kernel = lenet_kernel(3);
+        assert_eq!(kernel.name(), "lenet");
+        let mut machine = SimdramMachine::new(SimdramConfig::functional_test()).unwrap();
+        let run = kernel.run(&mut machine).unwrap();
+        assert!(run.verified);
+    }
+}

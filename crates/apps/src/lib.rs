@@ -1,0 +1,35 @@
+//! # simdram-apps — the seven real-world application kernels of the SIMDRAM evaluation
+//!
+//! The paper demonstrates SIMDRAM on seven kernels from machine learning, databases and
+//! image processing. Each kernel in this crate provides:
+//!
+//! * a **functional** implementation on [`simdram_core::SimdramMachine`] (which also runs on
+//!   the Ambit baseline machine), verified element-for-element against a host reference;
+//! * an **operation mix** ([`OpCount`]) describing the bulk work it offloads to DRAM, which
+//!   the [`analysis`] module costs on every platform to reproduce the paper's application
+//!   speedup figure.
+//!
+//! | Kernel | Domain | Bulk operations |
+//! |---|---|---|
+//! | [`vgg::vgg13_kernel`], [`vgg::vgg16_kernel`] | ML inference | 8-bit multiply, 16-bit add, ReLU |
+//! | [`lenet::lenet_kernel`] | ML inference | 8-bit multiply, 16-bit add, ReLU |
+//! | [`knn::KnnDistances`] | ML classification | subtract, abs, add |
+//! | [`tpch::TpchQuery6`] | Databases | comparisons, 1-bit AND, multiply, predication |
+//! | [`bitweaving::BitWeavingScan`] | Databases | comparisons |
+//! | [`brightness::Brightness`] | Image processing | add, compare, predication |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod bitweaving;
+pub mod brightness;
+pub mod kernel;
+pub mod knn;
+pub mod lenet;
+pub mod nn;
+pub mod tpch;
+pub mod vgg;
+
+pub use analysis::{cost_on_platform, kernel_comparison, paper_kernels, speedup, KernelPlatformCost};
+pub use kernel::{Kernel, KernelRun, OpCount};

@@ -1,0 +1,285 @@
+//! Quantized neural-network machinery shared by the LeNet and VGG kernels.
+//!
+//! The paper accelerates the dominant bulk work of quantized CNN inference — the
+//! multiply-accumulate (MAC) operations of convolutional and fully-connected layers plus the
+//! ReLU activations — with SIMDRAM's multiplication, addition and ReLU operations. This
+//! module provides:
+//!
+//! * [`LayerShape`]/[`NetworkModel`] — layer shape tables used to derive each network's
+//!   in-DRAM operation mix (the analytic side of the application study);
+//! * [`QuantizedLinear`] — a small fully-connected layer that is *functionally* executed on
+//!   the machine (each SIMD lane computes one output neuron), verifying that the operation
+//!   composition used for the networks produces bit-exact results;
+//! * [`NeuralNetworkKernel`] — the [`Kernel`] implementation combining both.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use simdram_core::{Result, SimdramMachine};
+use simdram_logic::Operation;
+
+use crate::kernel::{finish_run, snapshot, Kernel, KernelRun, OpCount};
+
+/// Shape of one neural-network layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerShape {
+    /// A 2-D convolution with square kernels and unit stride ("same" padding).
+    Conv {
+        /// Input channels.
+        in_channels: usize,
+        /// Output channels.
+        out_channels: usize,
+        /// Kernel height/width.
+        kernel: usize,
+        /// Output feature-map height/width.
+        output_hw: usize,
+    },
+    /// A fully-connected layer.
+    FullyConnected {
+        /// Input features.
+        inputs: usize,
+        /// Output features.
+        outputs: usize,
+    },
+}
+
+impl LayerShape {
+    /// Multiply-accumulate operations performed by the layer.
+    pub fn macs(&self) -> u64 {
+        match *self {
+            LayerShape::Conv {
+                in_channels,
+                out_channels,
+                kernel,
+                output_hw,
+            } => (in_channels * out_channels * kernel * kernel * output_hw * output_hw) as u64,
+            LayerShape::FullyConnected { inputs, outputs } => (inputs * outputs) as u64,
+        }
+    }
+
+    /// Output activations produced by the layer (the number of ReLU evaluations).
+    pub fn activations(&self) -> u64 {
+        match *self {
+            LayerShape::Conv {
+                out_channels,
+                output_hw,
+                ..
+            } => (out_channels * output_hw * output_hw) as u64,
+            LayerShape::FullyConnected { outputs, .. } => outputs as u64,
+        }
+    }
+}
+
+/// A named network: an ordered list of layer shapes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkModel {
+    /// Network name (matches the paper's figure labels).
+    pub name: &'static str,
+    /// The layers, in order.
+    pub layers: Vec<LayerShape>,
+}
+
+impl NetworkModel {
+    /// Total MACs of one inference pass.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(LayerShape::macs).sum()
+    }
+
+    /// Total activations (ReLU evaluations) of one inference pass.
+    pub fn total_activations(&self) -> u64 {
+        self.layers.iter().map(LayerShape::activations).sum()
+    }
+
+    /// The in-DRAM operation mix of one inference pass: one 8-bit multiply and one 16-bit
+    /// accumulate per MAC, plus one 16-bit ReLU per activation.
+    pub fn op_mix(&self) -> Vec<OpCount> {
+        vec![
+            OpCount { op: Operation::Mul, width: 8, elements: self.total_macs() },
+            OpCount { op: Operation::Add, width: 16, elements: self.total_macs() },
+            OpCount { op: Operation::Relu, width: 16, elements: self.total_activations() },
+        ]
+    }
+}
+
+/// A small quantized fully-connected layer executed functionally on the machine.
+///
+/// Weights and inputs are unsigned 7-bit values so that products fit comfortably in the
+/// 16-bit accumulator without wrap-around, keeping verification exact.
+#[derive(Debug, Clone)]
+pub struct QuantizedLinear {
+    /// `weights[i][o]`: weight connecting input `i` to output `o`.
+    weights: Vec<Vec<u64>>,
+    inputs: Vec<u64>,
+    outputs: usize,
+}
+
+impl QuantizedLinear {
+    /// Creates a random `inputs × outputs` layer.
+    pub fn new(inputs: usize, outputs: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        QuantizedLinear {
+            weights: (0..inputs)
+                .map(|_| (0..outputs).map(|_| rng.random_range(0..16u64)).collect())
+                .collect(),
+            inputs: (0..inputs).map(|_| rng.random_range(0..16u64)).collect(),
+            outputs,
+        }
+    }
+
+    /// Number of output neurons.
+    pub fn output_count(&self) -> usize {
+        self.outputs
+    }
+
+    /// Host reference: `ReLU(Σ_i w[i][o] · x[i])` per output neuron.
+    pub fn reference(&self) -> Vec<u64> {
+        (0..self.outputs)
+            .map(|o| {
+                let acc: u64 = self
+                    .weights
+                    .iter()
+                    .zip(&self.inputs)
+                    .map(|(row, &x)| row[o] * x)
+                    .sum();
+                acc & 0xFFFF
+            })
+            .collect()
+    }
+
+    /// Executes the layer on the machine: each SIMD lane computes one output neuron.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors.
+    pub fn run_on(&self, machine: &mut SimdramMachine) -> Result<Vec<u64>> {
+        let n = self.outputs;
+        let mut acc = machine.alloc(16, n)?;
+        machine.init(&acc, 0)?;
+
+        for (weight_row, &input_value) in self.weights.iter().zip(&self.inputs) {
+            let weights = machine.alloc_and_write(16, weight_row)?;
+            let activation = machine.alloc(16, n)?;
+            machine.init(&activation, input_value)?;
+
+            let (product, _) = machine.binary(Operation::Mul, &weights, &activation)?;
+            let (new_acc, _) = machine.binary(Operation::Add, &acc, &product)?;
+
+            for v in [weights, activation, product] {
+                machine.free(v);
+            }
+            machine.free(acc);
+            acc = new_acc;
+        }
+
+        let (activated, _) = machine.unary(Operation::Relu, &acc)?;
+        let result = machine.read(&activated)?;
+        machine.free(acc);
+        machine.free(activated);
+        Ok(result)
+    }
+}
+
+/// A neural-network kernel: analytic op mix from the full network, functional verification
+/// on a representative fully-connected slice.
+#[derive(Debug, Clone)]
+pub struct NeuralNetworkKernel {
+    model: NetworkModel,
+    proxy: QuantizedLinear,
+}
+
+impl NeuralNetworkKernel {
+    /// Wraps a network model, with a `proxy_inputs × proxy_outputs` fully-connected slice
+    /// used for functional verification.
+    pub fn new(model: NetworkModel, proxy_inputs: usize, proxy_outputs: usize, seed: u64) -> Self {
+        NeuralNetworkKernel {
+            model,
+            proxy: QuantizedLinear::new(proxy_inputs, proxy_outputs, seed),
+        }
+    }
+
+    /// The underlying network model.
+    pub fn model(&self) -> &NetworkModel {
+        &self.model
+    }
+}
+
+impl Kernel for NeuralNetworkKernel {
+    fn name(&self) -> &'static str {
+        self.model.name
+    }
+
+    fn op_mix(&self) -> Vec<OpCount> {
+        self.model.op_mix()
+    }
+
+    fn run(&self, machine: &mut SimdramMachine) -> Result<KernelRun> {
+        let (ops0, lat0, en0) = snapshot(machine);
+        let produced = self.proxy.run_on(machine)?;
+        let verified = produced == self.proxy.reference();
+        Ok(finish_run(
+            self.name(),
+            machine,
+            ops0,
+            lat0,
+            en0,
+            produced.len(),
+            verified,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdram_core::SimdramConfig;
+
+    #[test]
+    fn layer_shape_counts() {
+        let conv = LayerShape::Conv {
+            in_channels: 3,
+            out_channels: 64,
+            kernel: 3,
+            output_hw: 32,
+        };
+        assert_eq!(conv.macs(), 3 * 64 * 9 * 32 * 32);
+        assert_eq!(conv.activations(), 64 * 32 * 32);
+        let fc = LayerShape::FullyConnected { inputs: 512, outputs: 10 };
+        assert_eq!(fc.macs(), 5120);
+        assert_eq!(fc.activations(), 10);
+    }
+
+    #[test]
+    fn quantized_linear_matches_reference_on_simdram() {
+        let layer = QuantizedLinear::new(12, 40, 77);
+        let mut machine = SimdramMachine::new(SimdramConfig::functional_test()).unwrap();
+        let out = layer.run_on(&mut machine).unwrap();
+        assert_eq!(out, layer.reference());
+    }
+
+    #[test]
+    fn network_op_mix_has_mul_add_relu() {
+        let model = NetworkModel {
+            name: "toy",
+            layers: vec![
+                LayerShape::Conv { in_channels: 1, out_channels: 4, kernel: 3, output_hw: 8 },
+                LayerShape::FullyConnected { inputs: 256, outputs: 10 },
+            ],
+        };
+        let mix = model.op_mix();
+        assert_eq!(mix.len(), 3);
+        assert_eq!(mix[0].elements, model.total_macs());
+        assert_eq!(mix[2].elements, model.total_activations());
+    }
+
+    #[test]
+    fn neural_network_kernel_verifies_its_proxy_layer() {
+        let model = NetworkModel {
+            name: "toy",
+            layers: vec![LayerShape::FullyConnected { inputs: 8, outputs: 16 }],
+        };
+        let kernel = NeuralNetworkKernel::new(model, 8, 16, 5);
+        let mut machine = SimdramMachine::new(SimdramConfig::functional_test()).unwrap();
+        let run = kernel.run(&mut machine).unwrap();
+        assert!(run.verified);
+        assert_eq!(run.output_elements, 16);
+    }
+}

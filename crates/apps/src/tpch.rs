@@ -1,0 +1,156 @@
+//! TPC-H-style predicated aggregation (the paper's analytical-database kernel).
+//!
+//! Modeled on TPC-H query 6: select line items whose quantity is below a threshold and whose
+//! discount falls in a range, and aggregate `extended_price × discount` over the selected
+//! rows. The selection and the per-row product are computed in DRAM (comparisons, 1-bit
+//! conjunctions, predicated multiply); the final scalar reduction happens on the host, as in
+//! the paper where only bulk element-wise work is offloaded.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use simdram_core::{Result, SimdramMachine};
+use simdram_logic::Operation;
+
+use crate::kernel::{finish_run, snapshot, Kernel, KernelRun, OpCount};
+
+/// Synthetic line-item table columns (quantized to small integers as in column stores).
+#[derive(Debug, Clone)]
+pub struct TpchQuery6 {
+    quantity: Vec<u64>,
+    discount: Vec<u64>,
+    price: Vec<u64>,
+    quantity_limit: u64,
+    discount_low: u64,
+    discount_high: u64,
+}
+
+impl TpchQuery6 {
+    /// Generates `rows` synthetic line items.
+    pub fn new(rows: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        TpchQuery6 {
+            quantity: (0..rows).map(|_| rng.random_range(1..50u64)).collect(),
+            discount: (0..rows).map(|_| rng.random_range(0..11u64)).collect(),
+            price: (0..rows).map(|_| rng.random_range(1..200u64)).collect(),
+            quantity_limit: 24,
+            discount_low: 5,
+            discount_high: 7,
+        }
+    }
+
+    /// Number of line items.
+    pub fn rows(&self) -> usize {
+        self.quantity.len()
+    }
+
+    /// Host reference: the per-row revenue contribution (0 for unselected rows) and its sum.
+    pub fn reference(&self) -> (Vec<u64>, u64) {
+        let per_row: Vec<u64> = (0..self.rows())
+            .map(|i| {
+                let selected = self.quantity[i] < self.quantity_limit
+                    && self.discount[i] >= self.discount_low
+                    && self.discount[i] <= self.discount_high;
+                if selected {
+                    (self.price[i] * self.discount[i]) & 0xFFFF
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let total = per_row.iter().sum();
+        (per_row, total)
+    }
+}
+
+impl Kernel for TpchQuery6 {
+    fn name(&self) -> &'static str {
+        "tpch"
+    }
+
+    fn op_mix(&self) -> Vec<OpCount> {
+        let n = self.rows() as u64;
+        vec![
+            OpCount { op: Operation::Greater, width: 8, elements: n },
+            OpCount { op: Operation::GreaterEqual, width: 8, elements: n },
+            OpCount { op: Operation::GreaterEqual, width: 8, elements: n },
+            OpCount { op: Operation::Min, width: 1, elements: n },
+            OpCount { op: Operation::Min, width: 1, elements: n },
+            OpCount { op: Operation::Mul, width: 16, elements: n },
+            OpCount { op: Operation::IfElse, width: 16, elements: n },
+        ]
+    }
+
+    fn run(&self, machine: &mut SimdramMachine) -> Result<KernelRun> {
+        let (ops0, lat0, en0) = snapshot(machine);
+        let n = self.rows();
+
+        let quantity = machine.alloc_and_write(8, &self.quantity)?;
+        let discount8 = machine.alloc_and_write(8, &self.discount)?;
+        let discount16 = machine.alloc_and_write(16, &self.discount)?;
+        let price = machine.alloc_and_write(16, &self.price)?;
+
+        let qty_limit = machine.alloc(8, n)?;
+        machine.init(&qty_limit, self.quantity_limit)?;
+        let disc_low = machine.alloc(8, n)?;
+        machine.init(&disc_low, self.discount_low)?;
+        let disc_high = machine.alloc(8, n)?;
+        machine.init(&disc_high, self.discount_high)?;
+        let zero16 = machine.alloc(16, n)?;
+        machine.init(&zero16, 0)?;
+
+        // Selection predicate.
+        let (qty_ok, _) = machine.binary(Operation::Greater, &qty_limit, &quantity)?;
+        let (disc_ge, _) = machine.binary(Operation::GreaterEqual, &discount8, &disc_low)?;
+        let (disc_le, _) = machine.binary(Operation::GreaterEqual, &disc_high, &discount8)?;
+        let (disc_ok, _) = machine.binary(Operation::Min, &disc_ge, &disc_le)?;
+        let (selected, _) = machine.binary(Operation::Min, &qty_ok, &disc_ok)?;
+
+        // Revenue contribution, predicated on selection.
+        let (revenue, _) = machine.binary(Operation::Mul, &price, &discount16)?;
+        let (masked, _) = machine.select(&selected, &revenue, &zero16)?;
+
+        let per_row = machine.read(&masked)?;
+        let total: u64 = per_row.iter().sum();
+        let (expected_rows, expected_total) = self.reference();
+        let verified = per_row == expected_rows && total == expected_total;
+
+        for v in [
+            quantity, discount8, discount16, price, qty_limit, disc_low, disc_high, zero16,
+            qty_ok, disc_ge, disc_le, disc_ok, selected, revenue, masked,
+        ] {
+            machine.free(v);
+        }
+        Ok(finish_run(self.name(), machine, ops0, lat0, en0, n, verified))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdram_core::SimdramConfig;
+
+    #[test]
+    fn query6_matches_reference() {
+        let kernel = TpchQuery6::new(300, 11);
+        let mut machine = SimdramMachine::new(SimdramConfig::functional_test()).unwrap();
+        let run = kernel.run(&mut machine).unwrap();
+        assert!(run.verified, "in-DRAM TPC-H aggregation diverged from reference");
+        assert_eq!(run.output_elements, 300);
+        assert!(run.bbops >= 7);
+    }
+
+    #[test]
+    fn reference_selects_a_plausible_fraction() {
+        let kernel = TpchQuery6::new(5_000, 12);
+        let (rows, total) = kernel.reference();
+        let selected = rows.iter().filter(|&&r| r > 0).count();
+        // quantity < 24 (~47%) and discount in {5, 6, 7} (~27%) → roughly 13% of rows.
+        assert!(selected > 300 && selected < 1_000, "selected {selected}");
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn op_mix_names_seven_bulk_operations() {
+        assert_eq!(TpchQuery6::new(10, 0).op_mix().len(), 7);
+    }
+}

@@ -1,0 +1,83 @@
+//! VGG-13 and VGG-16: the large convolutional networks of the paper's ML kernels.
+
+use crate::nn::{LayerShape, NetworkModel, NeuralNetworkKernel};
+
+fn vgg_block(in_channels: usize, out_channels: usize, convs: usize, hw: usize) -> Vec<LayerShape> {
+    (0..convs)
+        .map(|i| LayerShape::Conv {
+            in_channels: if i == 0 { in_channels } else { out_channels },
+            out_channels,
+            kernel: 3,
+            output_hw: hw,
+        })
+        .collect()
+}
+
+fn vgg_classifier() -> Vec<LayerShape> {
+    vec![
+        LayerShape::FullyConnected { inputs: 512 * 7 * 7, outputs: 4096 },
+        LayerShape::FullyConnected { inputs: 4096, outputs: 4096 },
+        LayerShape::FullyConnected { inputs: 4096, outputs: 1000 },
+    ]
+}
+
+/// The VGG-13 layer shapes (224×224 ImageNet-class input).
+pub fn vgg13_model() -> NetworkModel {
+    let mut layers = Vec::new();
+    layers.extend(vgg_block(3, 64, 2, 224));
+    layers.extend(vgg_block(64, 128, 2, 112));
+    layers.extend(vgg_block(128, 256, 2, 56));
+    layers.extend(vgg_block(256, 512, 2, 28));
+    layers.extend(vgg_block(512, 512, 2, 14));
+    layers.extend(vgg_classifier());
+    NetworkModel { name: "vgg-13", layers }
+}
+
+/// The VGG-16 layer shapes (224×224 ImageNet-class input).
+pub fn vgg16_model() -> NetworkModel {
+    let mut layers = Vec::new();
+    layers.extend(vgg_block(3, 64, 2, 224));
+    layers.extend(vgg_block(64, 128, 2, 112));
+    layers.extend(vgg_block(128, 256, 3, 56));
+    layers.extend(vgg_block(256, 512, 3, 28));
+    layers.extend(vgg_block(512, 512, 3, 14));
+    layers.extend(vgg_classifier());
+    NetworkModel { name: "vgg-16", layers }
+}
+
+/// The VGG-13 kernel (functional verification on a 32 × 64 fully-connected slice).
+pub fn vgg13_kernel(seed: u64) -> NeuralNetworkKernel {
+    NeuralNetworkKernel::new(vgg13_model(), 32, 64, seed)
+}
+
+/// The VGG-16 kernel (functional verification on a 32 × 64 fully-connected slice).
+pub fn vgg16_kernel(seed: u64) -> NeuralNetworkKernel {
+    NeuralNetworkKernel::new(vgg16_model(), 32, 64, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Kernel;
+    use simdram_core::{SimdramConfig, SimdramMachine};
+
+    #[test]
+    fn vgg16_is_larger_than_vgg13() {
+        let v13 = vgg13_model();
+        let v16 = vgg16_model();
+        assert_eq!(v13.layers.len(), 13);
+        assert_eq!(v16.layers.len(), 16);
+        assert!(v16.total_macs() > v13.total_macs());
+        // VGG-16 performs on the order of 15 billion MACs per inference.
+        assert!(v16.total_macs() > 10_000_000_000);
+    }
+
+    #[test]
+    fn vgg_kernels_run_and_verify() {
+        let mut machine = SimdramMachine::new(SimdramConfig::functional_test()).unwrap();
+        for kernel in [vgg13_kernel(1), vgg16_kernel(2)] {
+            let run = kernel.run(&mut machine).unwrap();
+            assert!(run.verified, "{} proxy layer diverged", kernel.name());
+        }
+    }
+}

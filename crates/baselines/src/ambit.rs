@@ -1,0 +1,52 @@
+//! The Ambit baseline machine.
+//!
+//! Ambit (MICRO 2017) is the processing-using-DRAM design SIMDRAM extends. It computes with
+//! the same substrate primitives (triple-row activation, dual-contact cells) but builds
+//! every operation out of two-input AND/OR plus NOT, and has no framework for generating
+//! new operations — its more complex operations are hand-built from those blocks. In this
+//! reproduction the Ambit baseline is the same [`SimdramMachine`] driven by AND/OR/NOT
+//! (AIG-derived) μPrograms, which models exactly the command-count disadvantage the paper
+//! measures.
+
+use simdram_core::{CoreError, SimdramConfig, SimdramMachine};
+use simdram_uprog::Target;
+
+/// Builds an Ambit-style machine: identical DRAM geometry, AND/OR/NOT μPrograms.
+///
+/// # Errors
+///
+/// Returns an error if the configuration is invalid.
+pub fn ambit_machine(mut config: SimdramConfig) -> Result<SimdramMachine, CoreError> {
+    config.target = Target::Ambit;
+    SimdramMachine::new(config)
+}
+
+/// Builds the paper's Ambit comparison point (16 compute banks, full DDR4 geometry).
+///
+/// # Errors
+///
+/// Returns an error if the default configuration is invalid (it is not).
+pub fn paper_ambit() -> Result<SimdramMachine, CoreError> {
+    ambit_machine(SimdramConfig::paper_banks(16))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdram_logic::Operation;
+
+    #[test]
+    fn ambit_machine_uses_the_ambit_target() {
+        let machine = ambit_machine(SimdramConfig::functional_test()).unwrap();
+        assert_eq!(machine.config().target, Target::Ambit);
+    }
+
+    #[test]
+    fn ambit_computes_correct_results() {
+        let mut machine = ambit_machine(SimdramConfig::functional_test()).unwrap();
+        let a = machine.alloc_and_write(8, &[3, 200, 77]).unwrap();
+        let b = machine.alloc_and_write(8, &[5, 100, 77]).unwrap();
+        let (max, _) = machine.binary(Operation::Max, &a, &b).unwrap();
+        assert_eq!(machine.read(&max).unwrap(), vec![5, 200, 77]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Analytic multi-core CPU baseline.
+//!
+//! The paper compares SIMDRAM against a multi-core out-of-order CPU running vectorized
+//! (AVX-style) code over data resident in main memory. For the streaming, element-wise
+//! operations in the evaluation the CPU is overwhelmingly **memory-bandwidth bound**: every
+//! element must cross the memory channel at least twice (two source operands) and the result
+//! must be written back, so sustained throughput is `bandwidth / bytes-per-element`, capped
+//! by the vector units' peak rate. Energy is dominated by package power over the execution
+//! time plus the DRAM channel energy for the data movement.
+//!
+//! The default parameters describe a 16-core desktop-class part with four DDR4-2400
+//! channels. Absolute numbers are configuration constants; the reproduction only relies on
+//! their order of magnitude.
+
+use simdram_logic::Operation;
+
+use crate::platform::PlatformPerf;
+
+/// Parameters of the analytic CPU model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuModel {
+    /// Number of cores.
+    pub cores: usize,
+    /// Sustained clock frequency in GHz.
+    pub frequency_ghz: f64,
+    /// SIMD register width in bits (256 = AVX2).
+    pub simd_width_bits: usize,
+    /// Vector ALU issue ports per core.
+    pub vector_ports: usize,
+    /// Sustained memory bandwidth in GB/s across all channels.
+    pub memory_bandwidth_gbs: f64,
+    /// Package power under full load, in watts.
+    pub package_power_w: f64,
+    /// DRAM channel energy per bit moved, in nanojoules.
+    pub channel_energy_nj_per_bit: f64,
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        CpuModel {
+            cores: 16,
+            frequency_ghz: 3.5,
+            simd_width_bits: 256,
+            vector_ports: 2,
+            memory_bandwidth_gbs: 76.8, // 4 × DDR4-2400 channels
+            package_power_w: 140.0,
+            channel_energy_nj_per_bit: 0.004,
+        }
+    }
+}
+
+impl CpuModel {
+    /// Creates the default 16-core AVX2 model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Relative instruction cost of one element of `op` (1.0 = a single vector ALU op).
+    fn op_cost(op: Operation) -> f64 {
+        match op {
+            Operation::Mul => 1.5,
+            Operation::Div => 8.0,
+            Operation::BitCount => 1.5,
+            Operation::Max | Operation::Min | Operation::IfElse => 1.5,
+            Operation::Abs | Operation::Relu => 1.2,
+            _ => 1.0,
+        }
+    }
+
+    /// Bytes that cross the memory channel per element (sources + destination).
+    fn bytes_per_element(op: Operation, width: usize) -> f64 {
+        let operand_bytes = (width as f64 / 8.0).max(1.0);
+        let sources = if op.uses_second_operand() { 2.0 } else { 1.0 };
+        let dest = (op.output_width(width) as f64 / 8.0).max(0.125);
+        sources * operand_bytes + dest
+    }
+
+    /// Peak compute throughput for `op` at `width` bits, in giga-elements per second.
+    pub fn compute_throughput_gops(&self, op: Operation, width: usize) -> f64 {
+        let lanes = (self.simd_width_bits / width.max(8)).max(1) as f64;
+        self.cores as f64 * self.frequency_ghz * self.vector_ports as f64 * lanes
+            / Self::op_cost(op)
+    }
+
+    /// Memory-bandwidth-bound throughput for `op` at `width` bits, in giga-elements/s.
+    pub fn memory_throughput_gops(&self, op: Operation, width: usize) -> f64 {
+        self.memory_bandwidth_gbs / Self::bytes_per_element(op, width)
+    }
+
+    /// Sustained throughput (the minimum of the compute and memory bounds).
+    pub fn throughput_gops(&self, op: Operation, width: usize) -> f64 {
+        self.compute_throughput_gops(op, width)
+            .min(self.memory_throughput_gops(op, width))
+    }
+
+    /// Energy per element in nanojoules: package power over the per-element time plus the
+    /// channel energy of the element's data movement.
+    pub fn energy_per_element_nj(&self, op: Operation, width: usize) -> f64 {
+        let throughput = self.throughput_gops(op, width); // elements per ns
+        let package = self.package_power_w / throughput; // W / (elem/ns) = nJ per element
+        let movement = Self::bytes_per_element(op, width) * 8.0 * self.channel_energy_nj_per_bit;
+        package + movement
+    }
+
+    /// Full performance summary for one operation/width point.
+    pub fn performance(&self, op: Operation, width: usize) -> PlatformPerf {
+        let throughput = self.throughput_gops(op, width);
+        let energy = self.energy_per_element_nj(op, width);
+        PlatformPerf {
+            throughput_gops: throughput,
+            energy_per_element_nj: energy,
+            gops_per_watt: 1.0 / energy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_operations_are_memory_bound() {
+        let cpu = CpuModel::default();
+        assert!(
+            cpu.memory_throughput_gops(Operation::Add, 32)
+                < cpu.compute_throughput_gops(Operation::Add, 32)
+        );
+        let perf = cpu.performance(Operation::Add, 32);
+        assert!((perf.throughput_gops - cpu.memory_throughput_gops(Operation::Add, 32)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn division_is_slower_than_addition() {
+        let cpu = CpuModel::default();
+        assert!(
+            cpu.compute_throughput_gops(Operation::Div, 32)
+                < cpu.compute_throughput_gops(Operation::Add, 32)
+        );
+    }
+
+    #[test]
+    fn narrower_elements_are_faster() {
+        let cpu = CpuModel::default();
+        assert!(cpu.throughput_gops(Operation::Add, 8) > cpu.throughput_gops(Operation::Add, 64));
+    }
+
+    #[test]
+    fn energy_includes_package_and_movement() {
+        let cpu = CpuModel::default();
+        let e = cpu.energy_per_element_nj(Operation::Add, 32);
+        assert!(e > 10.0 && e < 100.0, "unexpected CPU energy {e} nJ/element");
+        let perf = cpu.performance(Operation::Add, 32);
+        assert!((perf.gops_per_watt - 1.0 / e).abs() < 1e-12);
+    }
+}

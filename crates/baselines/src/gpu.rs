@@ -1,0 +1,137 @@
+//! Analytic discrete-GPU baseline.
+//!
+//! The paper's GPU baseline is a high-end discrete accelerator (Titan V class) with
+//! high-bandwidth memory. Like the CPU, the element-wise bulk operations of the evaluation
+//! are memory-bandwidth bound on the GPU; its advantage over the CPU comes from an order of
+//! magnitude more memory bandwidth. Energy is board power over execution time plus HBM
+//! access energy.
+
+use simdram_logic::Operation;
+
+use crate::platform::PlatformPerf;
+
+/// Parameters of the analytic GPU model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuModel {
+    /// Number of streaming multiprocessors.
+    pub sms: usize,
+    /// Sustained clock frequency in GHz.
+    pub frequency_ghz: f64,
+    /// 32-bit lanes per SM.
+    pub lanes_per_sm: usize,
+    /// Sustained memory bandwidth in GB/s.
+    pub memory_bandwidth_gbs: f64,
+    /// Board power under full load, in watts.
+    pub board_power_w: f64,
+    /// HBM energy per bit moved, in nanojoules.
+    pub memory_energy_nj_per_bit: f64,
+}
+
+impl Default for GpuModel {
+    fn default() -> Self {
+        GpuModel {
+            sms: 80,
+            frequency_ghz: 1.455,
+            lanes_per_sm: 64,
+            memory_bandwidth_gbs: 652.8,
+            board_power_w: 250.0,
+            memory_energy_nj_per_bit: 0.0025,
+        }
+    }
+}
+
+impl GpuModel {
+    /// Creates the default Titan-V-class model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn op_cost(op: Operation) -> f64 {
+        match op {
+            Operation::Div => 6.0,
+            Operation::Mul => 1.2,
+            Operation::Max | Operation::Min | Operation::IfElse => 1.2,
+            _ => 1.0,
+        }
+    }
+
+    fn bytes_per_element(op: Operation, width: usize) -> f64 {
+        let operand_bytes = (width as f64 / 8.0).max(1.0);
+        let sources = if op.uses_second_operand() { 2.0 } else { 1.0 };
+        let dest = (op.output_width(width) as f64 / 8.0).max(0.125);
+        sources * operand_bytes + dest
+    }
+
+    /// Peak compute throughput in giga-elements per second.
+    pub fn compute_throughput_gops(&self, op: Operation, width: usize) -> f64 {
+        // Sub-32-bit elements do not speed up scalar integer lanes; wider ones halve rate.
+        let width_factor = if width > 32 { 0.5 } else { 1.0 };
+        self.sms as f64 * self.lanes_per_sm as f64 * self.frequency_ghz * width_factor
+            / Self::op_cost(op)
+    }
+
+    /// Memory-bandwidth-bound throughput in giga-elements per second.
+    pub fn memory_throughput_gops(&self, op: Operation, width: usize) -> f64 {
+        self.memory_bandwidth_gbs / Self::bytes_per_element(op, width)
+    }
+
+    /// Sustained throughput (minimum of the compute and memory bounds).
+    pub fn throughput_gops(&self, op: Operation, width: usize) -> f64 {
+        self.compute_throughput_gops(op, width)
+            .min(self.memory_throughput_gops(op, width))
+    }
+
+    /// Energy per element in nanojoules.
+    pub fn energy_per_element_nj(&self, op: Operation, width: usize) -> f64 {
+        let throughput = self.throughput_gops(op, width);
+        let board = self.board_power_w / throughput;
+        let movement = Self::bytes_per_element(op, width) * 8.0 * self.memory_energy_nj_per_bit;
+        board + movement
+    }
+
+    /// Full performance summary for one operation/width point.
+    pub fn performance(&self, op: Operation, width: usize) -> PlatformPerf {
+        let throughput = self.throughput_gops(op, width);
+        let energy = self.energy_per_element_nj(op, width);
+        PlatformPerf {
+            throughput_gops: throughput,
+            energy_per_element_nj: energy,
+            gops_per_watt: 1.0 / energy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::CpuModel;
+
+    #[test]
+    fn gpu_outperforms_cpu_on_streaming_operations() {
+        let gpu = GpuModel::default();
+        let cpu = CpuModel::default();
+        for width in [8, 16, 32, 64] {
+            assert!(
+                gpu.throughput_gops(Operation::Add, width) > cpu.throughput_gops(Operation::Add, width)
+            );
+        }
+    }
+
+    #[test]
+    fn gpu_is_memory_bound_for_simple_operations() {
+        let gpu = GpuModel::default();
+        assert!(
+            gpu.memory_throughput_gops(Operation::Add, 32)
+                < gpu.compute_throughput_gops(Operation::Add, 32)
+        );
+    }
+
+    #[test]
+    fn gpu_is_more_energy_efficient_than_cpu() {
+        let gpu = GpuModel::default();
+        let cpu = CpuModel::default();
+        assert!(
+            gpu.energy_per_element_nj(Operation::Add, 32) < cpu.energy_per_element_nj(Operation::Add, 32)
+        );
+    }
+}

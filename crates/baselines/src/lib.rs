@@ -1,0 +1,25 @@
+//! # simdram-baselines — the comparison points of the SIMDRAM evaluation
+//!
+//! The paper compares SIMDRAM against three platforms:
+//!
+//! * **Ambit** ([`ambit_machine`]) — the prior processing-using-DRAM design, modelled as the
+//!   same substrate driven by AND/OR/NOT μPrograms;
+//! * **CPU** ([`CpuModel`]) — a multi-core AVX-class processor, analytic
+//!   (memory-bandwidth-bound) model;
+//! * **GPU** ([`GpuModel`]) — a high-end discrete GPU with HBM, analytic model.
+//!
+//! [`platform_performance`] evaluates any of them (plus SIMDRAM itself at 1/4/16 banks) for
+//! one operation and width, and is what the figure generators in `simdram-bench` call.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ambit;
+mod cpu;
+mod gpu;
+mod platform;
+
+pub use ambit::{ambit_machine, paper_ambit};
+pub use cpu::CpuModel;
+pub use gpu::GpuModel;
+pub use platform::{platform_performance, Platform, PlatformPerf};

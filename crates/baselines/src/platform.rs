@@ -1,0 +1,133 @@
+//! Unified platform comparison used by the figure generators.
+
+use std::fmt;
+
+use simdram_core::{pud_performance, SimdramConfig};
+use simdram_logic::Operation;
+use simdram_uprog::Target;
+
+use crate::cpu::CpuModel;
+use crate::gpu::GpuModel;
+
+/// Throughput/energy summary of one platform for one (operation, width) point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformPerf {
+    /// Sustained throughput in giga-operations (elements) per second.
+    pub throughput_gops: f64,
+    /// Average energy per element in nanojoules.
+    pub energy_per_element_nj: f64,
+    /// Energy efficiency in giga-operations per second per watt.
+    pub gops_per_watt: f64,
+}
+
+/// The platforms compared in the paper's throughput and energy figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Platform {
+    /// Multi-core CPU baseline.
+    Cpu,
+    /// Discrete GPU baseline.
+    Gpu,
+    /// Ambit: processing-using-DRAM with AND/OR/NOT building blocks (16 compute banks).
+    Ambit,
+    /// SIMDRAM with the given number of compute banks (the paper uses 1, 4 and 16).
+    Simdram {
+        /// Number of banks computing concurrently.
+        banks: usize,
+    },
+}
+
+impl Platform {
+    /// The platforms shown in the paper's main figures, in display order.
+    pub fn paper_set() -> Vec<Platform> {
+        vec![
+            Platform::Cpu,
+            Platform::Gpu,
+            Platform::Ambit,
+            Platform::Simdram { banks: 1 },
+            Platform::Simdram { banks: 4 },
+            Platform::Simdram { banks: 16 },
+        ]
+    }
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Platform::Cpu => write!(f, "CPU"),
+            Platform::Gpu => write!(f, "GPU"),
+            Platform::Ambit => write!(f, "Ambit"),
+            Platform::Simdram { banks } => write!(f, "SIMDRAM:{banks}"),
+        }
+    }
+}
+
+/// Evaluates `op` at `width` bits on `platform`, returning its throughput/energy summary.
+pub fn platform_performance(platform: Platform, op: Operation, width: usize) -> PlatformPerf {
+    match platform {
+        Platform::Cpu => CpuModel::default().performance(op, width),
+        Platform::Gpu => GpuModel::default().performance(op, width),
+        Platform::Ambit => pud_perf(Target::Ambit, op, width, 16),
+        Platform::Simdram { banks } => pud_perf(Target::Simdram, op, width, banks),
+    }
+}
+
+fn pud_perf(target: Target, op: Operation, width: usize, banks: usize) -> PlatformPerf {
+    let config = SimdramConfig::paper_banks(banks);
+    let point = pud_performance(target, op, width, &config);
+    PlatformPerf {
+        throughput_gops: point.throughput_gops,
+        energy_per_element_nj: point.energy_per_element_nj,
+        gops_per_watt: point.gops_per_watt,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_set_has_six_platforms() {
+        assert_eq!(Platform::paper_set().len(), 6);
+        assert_eq!(Platform::Simdram { banks: 16 }.to_string(), "SIMDRAM:16");
+    }
+
+    #[test]
+    fn simdram_16_banks_beats_every_baseline_on_addition_throughput() {
+        let simdram = platform_performance(Platform::Simdram { banks: 16 }, Operation::Add, 32);
+        for baseline in [Platform::Cpu, Platform::Gpu, Platform::Ambit] {
+            let other = platform_performance(baseline, Operation::Add, 32);
+            assert!(
+                simdram.throughput_gops > other.throughput_gops,
+                "SIMDRAM:16 should beat {baseline}"
+            );
+        }
+    }
+
+    #[test]
+    fn simdram_is_more_energy_efficient_than_cpu_and_gpu() {
+        let simdram = platform_performance(Platform::Simdram { banks: 16 }, Operation::Add, 32);
+        let cpu = platform_performance(Platform::Cpu, Operation::Add, 32);
+        let gpu = platform_performance(Platform::Gpu, Operation::Add, 32);
+        assert!(simdram.gops_per_watt > cpu.gops_per_watt * 50.0);
+        assert!(simdram.gops_per_watt > gpu.gops_per_watt * 5.0);
+    }
+
+    #[test]
+    fn simdram_beats_ambit_by_the_expected_margin_on_addition() {
+        // The paper reports up to ~5× throughput improvement over Ambit across the 16
+        // operations; addition should land comfortably above 1.5× and below 10×.
+        let simdram = platform_performance(Platform::Simdram { banks: 16 }, Operation::Add, 32);
+        let ambit = platform_performance(Platform::Ambit, Operation::Add, 32);
+        let speedup = simdram.throughput_gops / ambit.throughput_gops;
+        assert!(speedup > 1.5 && speedup < 10.0, "speedup over Ambit was {speedup}");
+    }
+
+    #[test]
+    fn gpu_beats_one_bank_simdram_on_some_widths() {
+        // With a single compute bank SIMDRAM's advantage shrinks; the GPU should be at least
+        // competitive for narrow elements, reproducing the crossover the paper discusses.
+        let simdram1 = platform_performance(Platform::Simdram { banks: 1 }, Operation::Add, 64);
+        let gpu = platform_performance(Platform::Gpu, Operation::Add, 8);
+        assert!(gpu.throughput_gops > simdram1.throughput_gops * 0.5);
+    }
+}

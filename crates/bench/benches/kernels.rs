@@ -1,0 +1,42 @@
+//! Criterion benchmarks of the application kernels running functionally on the simulated
+//! SIMDRAM machine (small geometries, so the wall-clock cost is the simulator's, not the
+//! modelled DRAM latency).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simdram_apps::bitweaving::{BitWeavingScan, ScanPredicate};
+use simdram_apps::brightness::Brightness;
+use simdram_apps::knn::KnnDistances;
+use simdram_apps::tpch::TpchQuery6;
+use simdram_apps::Kernel;
+use simdram_core::{SimdramConfig, SimdramMachine};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels_functional");
+    group.sample_size(20);
+
+    let kernels: Vec<(&str, Box<dyn Kernel>)> = vec![
+        ("brightness", Box::new(Brightness::new(32, 16, 60, 1))),
+        (
+            "bitweaving",
+            Box::new(BitWeavingScan::new(512, 12, ScanPredicate::LessThan(2048), 2)),
+        ),
+        ("tpch", Box::new(TpchQuery6::new(512, 3))),
+        ("knn", Box::new(KnnDistances::new(256, 8, 5, 4))),
+    ];
+
+    for (name, kernel) in kernels {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut machine =
+                    SimdramMachine::new(SimdramConfig::functional_test()).expect("valid config");
+                let run = kernel.run(&mut machine).expect("kernel runs");
+                assert!(run.verified);
+                run
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

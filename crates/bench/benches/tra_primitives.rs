@@ -1,0 +1,68 @@
+//! Criterion micro-benchmarks of the DRAM substrate primitives (host-side simulator cost).
+//!
+//! These measure the simulator itself — triple-row activation, AAP copies and the in-DRAM
+//! MAJ/NOT building blocks over full 8 KiB rows — so regressions in the functional model's
+//! performance are caught. The architectural latencies reported by the experiments come from
+//! the analytic timing model, not from these wall-clock numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use simdram_dram::{BGroupRow, BitRow, DramConfig, RowAddr, Subarray};
+
+fn full_size_subarray() -> Subarray {
+    let config = DramConfig::default();
+    let mut subarray = Subarray::new(&config);
+    for row in 0..8 {
+        let pattern = BitRow::from_fn(config.columns_per_row, |i| (i * (row + 3)) % 7 == 0);
+        subarray.poke(RowAddr::Data(row), &pattern).unwrap();
+    }
+    subarray
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dram_primitives");
+    let columns = DramConfig::default().columns_per_row as u64;
+    group.throughput(Throughput::Elements(columns));
+
+    group.bench_function("aap_row_copy_8KiB", |b| {
+        let mut subarray = full_size_subarray();
+        b.iter(|| {
+            subarray.aap(RowAddr::Data(0), RowAddr::Data(9)).unwrap();
+        });
+    });
+
+    group.bench_function("triple_row_activation_8KiB", |b| {
+        let mut subarray = full_size_subarray();
+        subarray.aap(RowAddr::Data(0), RowAddr::BGroup(BGroupRow::T0)).unwrap();
+        subarray.aap(RowAddr::Data(1), RowAddr::BGroup(BGroupRow::T1)).unwrap();
+        subarray.aap(RowAddr::Data(2), RowAddr::BGroup(BGroupRow::T2)).unwrap();
+        b.iter(|| {
+            subarray.ap_tra(BGroupRow::T0, BGroupRow::T1, BGroupRow::T2).unwrap();
+        });
+    });
+
+    group.bench_function("in_dram_majority_of_three_rows", |b| {
+        let mut subarray = full_size_subarray();
+        b.iter(|| {
+            subarray
+                .maj_rows(
+                    RowAddr::Data(0),
+                    RowAddr::Data(1),
+                    RowAddr::Data(2),
+                    RowAddr::Data(10),
+                )
+                .unwrap();
+        });
+    });
+
+    group.bench_function("in_dram_not_of_a_row", |b| {
+        let mut subarray = full_size_subarray();
+        b.iter(|| {
+            subarray.not_row(RowAddr::Data(3), RowAddr::Data(11)).unwrap();
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion benchmarks of the transposition unit's functional building blocks
+//! (horizontal ↔ vertical layout conversion).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use simdram_core::{horizontal_to_vertical, transpose_64x64, vertical_to_horizontal};
+
+fn bench_transpose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transposition");
+
+    group.throughput(Throughput::Elements(64));
+    group.bench_function("transpose_64x64_tile", |b| {
+        let mut tile = [0u64; 64];
+        for (i, word) in tile.iter_mut().enumerate() {
+            *word = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+        b.iter(|| transpose_64x64(&tile));
+    });
+
+    let elements = 65_536usize;
+    let values: Vec<u64> = (0..elements as u64).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+    group.throughput(Throughput::Elements(elements as u64));
+    group.bench_function("object_to_vertical_64k_x_32bit", |b| {
+        b.iter(|| horizontal_to_vertical(&values, 32, elements));
+    });
+    let slices = horizontal_to_vertical(&values, 32, elements);
+    group.bench_function("object_to_horizontal_64k_x_32bit", |b| {
+        b.iter(|| vertical_to_horizontal(&slices, 32, elements));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_transpose);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benchmarks of μProgram generation (Steps 1+2) and functional execution
+//! (Step 3) on the simulated subarray.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simdram_dram::{DramConfig, Subarray};
+use simdram_logic::Operation;
+use simdram_uprog::{build_program, execute, CodegenOptions, RowBinding, Target};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uprogram_generation");
+    for op in [Operation::Add, Operation::Mul, Operation::Max] {
+        for width in [8usize, 32] {
+            group.bench_with_input(
+                BenchmarkId::new(op.name(), width),
+                &(op, width),
+                |b, &(op, width)| {
+                    b.iter(|| build_program(Target::Simdram, op, width, CodegenOptions::optimized()));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uprogram_execution");
+    let config = DramConfig::tiny();
+    for op in [Operation::Add, Operation::Mul] {
+        let width = 8;
+        let program = build_program(Target::Simdram, op, width, CodegenOptions::optimized());
+        let binding = RowBinding {
+            a_base: 0,
+            b_base: width,
+            pred_row: 2 * width,
+            out_base: 2 * width + 1,
+            temp_base: config.rows_per_subarray - config.reserved_rows,
+        };
+        group.bench_function(BenchmarkId::new("execute_256_lanes", op.name()), |b| {
+            let mut subarray = Subarray::new(&config);
+            b.iter(|| execute(&program, &mut subarray, &binding).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_execution);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Experiment F2 — energy efficiency (GOPS/W) of the 16 SIMDRAM operations on every
+//! platform.
+//!
+//! Regenerates the series of the paper's energy-efficiency figure; the shape to check is
+//! that SIMDRAM is far more efficient than the CPU and GPU (data never crosses the channel)
+//! and a small factor better than Ambit (fewer row activations per operation).
+
+use simdram_baselines::Platform;
+use simdram_bench::{platform_table, WIDTHS};
+
+fn main() {
+    println!("Experiment F2: energy efficiency in GOPS/W (higher is better)");
+    for width in WIDTHS {
+        println!("\n== {width}-bit operands ==");
+        print!("{:<16}", "operation");
+        for platform in Platform::paper_set() {
+            print!(" {:>12}", platform.to_string());
+        }
+        println!();
+        for op_rows in platform_table(width).chunks(Platform::paper_set().len()) {
+            print!("{:<16}", op_rows[0].op.name());
+            for row in op_rows {
+                print!(" {:>12.2}", row.gops_per_watt);
+            }
+            println!();
+        }
+    }
+
+    let rows = platform_table(32);
+    let avg = |platform: Platform| {
+        let values: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.platform == platform)
+            .map(|r| r.gops_per_watt)
+            .collect();
+        values.iter().sum::<f64>() / values.len() as f64
+    };
+    let simdram = avg(Platform::Simdram { banks: 16 });
+    println!(
+        "\nAverage over the 16 operations at 32 bits: SIMDRAM:16 = {:.1} GOPS/W, \
+         {:.0}x CPU, {:.0}x GPU, {:.1}x Ambit",
+        simdram,
+        simdram / avg(Platform::Cpu),
+        simdram / avg(Platform::Gpu),
+        simdram / avg(Platform::Ambit)
+    );
+}

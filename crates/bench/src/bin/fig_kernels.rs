@@ -1,0 +1,44 @@
+//! Experiment F3 — real-world application kernels: execution time on CPU, GPU, Ambit and
+//! SIMDRAM (1/4/16 banks) and the resulting speedups.
+//!
+//! Regenerates the paper's application figure for the seven kernels (VGG-13, VGG-16,
+//! LeNet-5, kNN, TPC-H scan, BitWeaving, brightness). The shape to check: SIMDRAM:16 beats
+//! Ambit on every kernel (the paper reports up to ~2.5×) and beats the CPU and GPU by large
+//! factors on the MAC-heavy ML kernels.
+
+use simdram_baselines::Platform;
+use simdram_bench::kernel_table;
+
+fn main() {
+    println!("Experiment F3: application kernel execution time (ms) and SIMDRAM:16 speedups");
+    print!("{:<12}", "kernel");
+    for platform in Platform::paper_set() {
+        print!(" {:>14}", platform.to_string());
+    }
+    println!(" {:>10} {:>10} {:>10}", "vs CPU", "vs GPU", "vs Ambit");
+
+    for row in kernel_table() {
+        print!("{:<12}", row.name);
+        for cost in &row.costs {
+            print!(" {:>14.3}", cost.time_ms);
+        }
+        println!(
+            " {:>9.1}x {:>9.1}x {:>9.2}x",
+            row.speedup_vs_cpu, row.speedup_vs_gpu, row.speedup_vs_ambit
+        );
+    }
+
+    println!("\nEnergy (mJ) per kernel:");
+    print!("{:<12}", "kernel");
+    for platform in Platform::paper_set() {
+        print!(" {:>14}", platform.to_string());
+    }
+    println!();
+    for row in kernel_table() {
+        print!("{:<12}", row.name);
+        for cost in &row.costs {
+            print!(" {:>14.3}", cost.energy_mj);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,49 @@
+//! Experiment F1 — throughput (GOPS) of the 16 SIMDRAM operations on every platform:
+//! CPU, GPU, Ambit and SIMDRAM with 1, 4 and 16 compute banks.
+//!
+//! Regenerates the series of the paper's throughput figure; the shape to check is that
+//! SIMDRAM:16 exceeds Ambit by a low single-digit factor and the CPU by a large factor,
+//! with throughput falling as operand width grows.
+
+use simdram_baselines::Platform;
+use simdram_bench::{platform_table, WIDTHS};
+
+fn main() {
+    println!("Experiment F1: throughput in GOPS (higher is better)");
+    for width in WIDTHS {
+        println!("\n== {width}-bit operands ==");
+        print!("{:<16}", "operation");
+        for platform in Platform::paper_set() {
+            print!(" {:>12}", platform.to_string());
+        }
+        println!();
+        let rows = platform_table(width);
+        for op_rows in rows.chunks(Platform::paper_set().len()) {
+            print!("{:<16}", op_rows[0].op.name());
+            for row in op_rows {
+                print!(" {:>12.2}", row.throughput_gops);
+            }
+            println!();
+        }
+    }
+
+    // Summary line mirroring the paper's headline averages.
+    let rows = platform_table(32);
+    let avg = |platform: Platform| {
+        let values: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.platform == platform)
+            .map(|r| r.throughput_gops)
+            .collect();
+        values.iter().sum::<f64>() / values.len() as f64
+    };
+    let simdram = avg(Platform::Simdram { banks: 16 });
+    println!(
+        "\nAverage over the 16 operations at 32 bits: SIMDRAM:16 = {:.1} GOPS, \
+         {:.1}x CPU, {:.1}x GPU, {:.1}x Ambit",
+        simdram,
+        simdram / avg(Platform::Cpu),
+        simdram / avg(Platform::Gpu),
+        simdram / avg(Platform::Ambit)
+    );
+}

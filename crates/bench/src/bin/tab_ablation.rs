@@ -1,0 +1,28 @@
+//! Experiment A1 — ablation of the μProgram generator's optimizations.
+//!
+//! Quantifies how much each Step-2 optimization (TRA-row reuse and direct destination
+//! writes) contributes to the final command count, per operation. This is the design-choice
+//! ablation called out in DESIGN.md.
+
+use simdram_bench::ablation_table;
+
+fn main() {
+    let width = 32;
+    println!("Experiment A1: DRAM commands per {width}-bit operation with Step-2 optimizations toggled");
+    println!(
+        "{:<16} {:>8} {:>12} {:>14} {:>11} {:>10}",
+        "operation", "naive", "reuse only", "direct-out only", "optimized", "saving"
+    );
+    for row in ablation_table(width) {
+        let saving = 100.0 * (1.0 - row.optimized as f64 / row.naive as f64);
+        println!(
+            "{:<16} {:>8} {:>12} {:>14} {:>11} {:>9.1}%",
+            row.op.name(),
+            row.naive,
+            row.reuse_only,
+            row.direct_out_only,
+            row.optimized,
+            saving
+        );
+    }
+}

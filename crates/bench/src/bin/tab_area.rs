@@ -1,0 +1,31 @@
+//! Experiment T2 — area overhead of SIMDRAM's hardware additions.
+//!
+//! Reports the DRAM-chip overhead of the B-group rows and row-decoder changes, and the
+//! CPU-die overhead of the memory-controller control unit and transposition unit. The shape
+//! to check: DRAM overhead below 1% and a negligible CPU-side overhead, matching the
+//! paper's claim.
+
+use simdram_core::AreaModel;
+
+fn main() {
+    let model = AreaModel::default();
+    println!("Experiment T2: area overhead");
+    println!(
+        "  DRAM chip: {} B-group rows per {}-row subarray + decoder changes -> {:.2}% of the chip",
+        model.bgroup_rows,
+        model.rows_per_subarray,
+        model.dram_overhead_percent()
+    );
+    println!(
+        "  CPU die  : control unit {:.2} mm^2 + transposition unit {:.2} mm^2 -> {:.3}% of a {:.0} mm^2 die",
+        model.control_unit_mm2,
+        model.transposition_unit_mm2,
+        model.cpu_overhead_percent(),
+        model.cpu_die_mm2
+    );
+    println!(
+        "\nPaper claim: < 1% DRAM chip area overhead. Measured: {:.2}% -> {}",
+        model.dram_overhead_percent(),
+        if model.dram_overhead_percent() < 1.0 { "reproduced" } else { "NOT reproduced" }
+    );
+}

@@ -1,0 +1,29 @@
+//! Experiment T1 — DRAM command counts per operation: SIMDRAM (MAJ/NOT) vs the Ambit-style
+//! AND/OR/NOT baseline, for 8/16/32/64-bit operands.
+//!
+//! Regenerates the paper's per-operation command/latency comparison table. Fewer commands
+//! translate directly into lower latency and higher throughput, because every command is an
+//! AAP/AP of fixed duration.
+
+use simdram_bench::{command_table, WIDTHS};
+
+fn main() {
+    println!("Experiment T1: DRAM commands per operation (lower is better)");
+    println!(
+        "{:<16} {:>6} {:>16} {:>14} {:>12}",
+        "operation", "width", "SIMDRAM (MAJ)", "Ambit (AND)", "reduction"
+    );
+    for width in WIDTHS {
+        for row in command_table(width) {
+            println!(
+                "{:<16} {:>6} {:>16} {:>14} {:>11.2}x",
+                row.op.name(),
+                row.width,
+                row.simdram_commands,
+                row.ambit_commands,
+                row.reduction()
+            );
+        }
+        println!();
+    }
+}

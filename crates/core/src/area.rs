@@ -1,0 +1,92 @@
+//! Analytic area-overhead model (the paper's "<1% DRAM chip area" claim).
+//!
+//! SIMDRAM's hardware additions are: (1) inside each DRAM compute subarray, the B-group rows
+//! (designated TRA rows, dual-contact-cell rows, control rows) and the slightly larger row
+//! decoder that can drive them; and (2) inside the memory controller, the SIMDRAM control
+//! unit and the transposition unit. This module estimates both overheads relative to a DRAM
+//! chip and a CPU die respectively, using published ballpark constants (documented on each
+//! field) — the conclusion only depends on the orders of magnitude.
+
+/// Area model constants and derived overheads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaModel {
+    /// Rows added to each compute subarray for the B-group (4 designated rows, 2
+    /// dual-contact-cell rows, 2 control rows).
+    pub bgroup_rows: usize,
+    /// Data rows per subarray.
+    pub rows_per_subarray: usize,
+    /// Fraction of the DRAM chip that is cell array (the rest is periphery), ~55%.
+    pub cell_array_fraction: f64,
+    /// Extra row-decoder area for the B-group addressing, as a fraction of chip area.
+    pub decoder_overhead_fraction: f64,
+    /// Area of the SIMDRAM control unit in the memory controller, mm².
+    pub control_unit_mm2: f64,
+    /// Area of the transposition unit in the memory controller, mm².
+    pub transposition_unit_mm2: f64,
+    /// Reference CPU die area, mm² (a desktop-class four-core die).
+    pub cpu_die_mm2: f64,
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel {
+            bgroup_rows: 8,
+            rows_per_subarray: 512,
+            cell_array_fraction: 0.55,
+            decoder_overhead_fraction: 0.001,
+            control_unit_mm2: 0.04,
+            transposition_unit_mm2: 0.06,
+            cpu_die_mm2: 122.0,
+        }
+    }
+}
+
+impl AreaModel {
+    /// Creates the default model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// DRAM chip area overhead, as a percentage of the chip.
+    pub fn dram_overhead_percent(&self) -> f64 {
+        let row_overhead =
+            self.bgroup_rows as f64 / self.rows_per_subarray as f64 * self.cell_array_fraction;
+        (row_overhead + self.decoder_overhead_fraction) * 100.0
+    }
+
+    /// CPU-side area overhead (control unit + transposition unit), as a percentage of the
+    /// reference CPU die.
+    pub fn cpu_overhead_percent(&self) -> f64 {
+        (self.control_unit_mm2 + self.transposition_unit_mm2) / self.cpu_die_mm2 * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dram_overhead_is_below_one_percent() {
+        let model = AreaModel::default();
+        let overhead = model.dram_overhead_percent();
+        assert!(overhead < 1.0, "DRAM overhead {overhead}% should be < 1%");
+        assert!(overhead > 0.1, "overhead should not be negligible");
+    }
+
+    #[test]
+    fn cpu_overhead_is_a_tiny_fraction_of_the_die()
+    {
+        let model = AreaModel::default();
+        let overhead = model.cpu_overhead_percent();
+        assert!(overhead < 0.5);
+        assert!(overhead > 0.0);
+    }
+
+    #[test]
+    fn more_bgroup_rows_increase_overhead() {
+        let mut model = AreaModel::default();
+        let base = model.dram_overhead_percent();
+        model.bgroup_rows = 16;
+        assert!(model.dram_overhead_percent() > base);
+    }
+}

@@ -1,0 +1,180 @@
+//! Configuration of a SIMDRAM machine.
+
+use simdram_dram::DramConfig;
+use simdram_uprog::{CodegenOptions, Target};
+
+use crate::error::{CoreError, Result};
+
+/// Configuration of a [`crate::SimdramMachine`]: the underlying DRAM geometry, how much of
+/// it participates in computation, and which μProgram target/optimizations to use.
+///
+/// The paper's three SIMDRAM design points — 1, 4 and 16 compute banks — are available as
+/// presets ([`SimdramConfig::paper_banks`]).
+#[derive(Debug, Clone)]
+pub struct SimdramConfig {
+    /// Geometry, timing and energy of the DRAM device.
+    pub dram: DramConfig,
+    /// Number of banks that execute μPrograms concurrently.
+    pub compute_banks: usize,
+    /// Number of subarrays per compute bank that execute μPrograms concurrently.
+    pub compute_subarrays_per_bank: usize,
+    /// μProgram target: [`Target::Simdram`] (MAJ/NOT) or [`Target::Ambit`] (AND/OR/NOT).
+    pub target: Target,
+    /// Code generator options (disable for the ablation study).
+    pub codegen: CodegenOptions,
+}
+
+impl Default for SimdramConfig {
+    fn default() -> Self {
+        SimdramConfig {
+            dram: DramConfig::default(),
+            compute_banks: 16,
+            compute_subarrays_per_bank: 16,
+            target: Target::Simdram,
+            codegen: CodegenOptions::optimized(),
+        }
+    }
+}
+
+impl SimdramConfig {
+    /// The paper's SIMDRAM:`banks` design point (1, 4 or 16 compute banks, 16 compute
+    /// subarrays per bank, full-size DDR4 geometry).
+    pub fn paper_banks(banks: usize) -> Self {
+        SimdramConfig {
+            compute_banks: banks,
+            ..SimdramConfig::default()
+        }
+    }
+
+    /// A small configuration for fast functional tests: 2 banks × 2 subarrays of 256
+    /// columns.
+    pub fn functional_test() -> Self {
+        SimdramConfig {
+            dram: DramConfig::tiny(),
+            compute_banks: 2,
+            compute_subarrays_per_bank: 2,
+            target: Target::Simdram,
+            codegen: CodegenOptions::optimized(),
+        }
+    }
+
+    /// Same geometry as [`SimdramConfig::functional_test`] but targeting the Ambit baseline.
+    pub fn functional_test_ambit() -> Self {
+        SimdramConfig {
+            target: Target::Ambit,
+            ..SimdramConfig::functional_test()
+        }
+    }
+
+    /// A mid-size configuration for the runnable examples: 4 banks × 4 subarrays of 1,024
+    /// columns (16,384 SIMD lanes), small enough to simulate functionally in milliseconds.
+    pub fn demo() -> Self {
+        let dram = DramConfig::builder()
+            .banks(4)
+            .subarrays_per_bank(4)
+            .rows_per_subarray(256)
+            .columns_per_row(1024)
+            .reserved_rows(96)
+            .build()
+            .expect("demo geometry is valid");
+        SimdramConfig {
+            dram,
+            compute_banks: 4,
+            compute_subarrays_per_bank: 4,
+            target: Target::Simdram,
+            codegen: CodegenOptions::optimized(),
+        }
+    }
+
+    /// Number of SIMD lanes available per simultaneously issued μProgram
+    /// (columns × compute subarrays × compute banks).
+    pub fn total_lanes(&self) -> usize {
+        self.dram.columns_per_row * self.compute_subarrays_per_bank * self.compute_banks
+    }
+
+    /// Number of data rows available to the allocator in each subarray (rows not reserved
+    /// for μProgram temporaries).
+    pub fn allocatable_rows(&self) -> usize {
+        self.dram.rows_per_subarray - self.dram.reserved_rows
+    }
+
+    /// First row of the reserved (temporary) region.
+    pub fn reserved_base(&self) -> usize {
+        self.allocatable_rows()
+    }
+
+    /// Validates the configuration against the underlying DRAM geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Shape`] if the number of compute banks or subarrays exceeds the
+    /// geometry, or [`CoreError::Dram`] if the DRAM configuration itself is invalid.
+    pub fn validate(&self) -> Result<()> {
+        self.dram.validate()?;
+        if self.compute_banks == 0 || self.compute_banks > self.dram.banks {
+            return Err(CoreError::Shape(format!(
+                "compute_banks ({}) must be in 1..={}",
+                self.compute_banks, self.dram.banks
+            )));
+        }
+        if self.compute_subarrays_per_bank == 0
+            || self.compute_subarrays_per_bank > self.dram.subarrays_per_bank
+        {
+            return Err(CoreError::Shape(format!(
+                "compute_subarrays_per_bank ({}) must be in 1..={}",
+                self.compute_subarrays_per_bank, self.dram.subarrays_per_bank
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_largest_design_point() {
+        let cfg = SimdramConfig::default();
+        assert_eq!(cfg.compute_banks, 16);
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.total_lanes(), 65_536 * 16 * 16);
+    }
+
+    #[test]
+    fn paper_presets_scale_lanes_linearly() {
+        let one = SimdramConfig::paper_banks(1);
+        let four = SimdramConfig::paper_banks(4);
+        let sixteen = SimdramConfig::paper_banks(16);
+        assert_eq!(four.total_lanes(), 4 * one.total_lanes());
+        assert_eq!(sixteen.total_lanes(), 16 * one.total_lanes());
+    }
+
+    #[test]
+    fn invalid_compute_counts_are_rejected() {
+        let mut cfg = SimdramConfig::functional_test();
+        cfg.compute_banks = 100;
+        assert!(matches!(cfg.validate(), Err(CoreError::Shape(_))));
+        let mut cfg = SimdramConfig::functional_test();
+        cfg.compute_subarrays_per_bank = 0;
+        assert!(matches!(cfg.validate(), Err(CoreError::Shape(_))));
+    }
+
+    #[test]
+    fn demo_config_is_valid_and_mid_sized() {
+        let cfg = SimdramConfig::demo();
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.total_lanes(), 16_384);
+        assert!(cfg.total_lanes() > SimdramConfig::functional_test().total_lanes());
+        assert!(cfg.total_lanes() < SimdramConfig::paper_banks(1).total_lanes());
+    }
+
+    #[test]
+    fn reserved_region_is_at_the_top_of_the_subarray() {
+        let cfg = SimdramConfig::functional_test();
+        assert_eq!(
+            cfg.reserved_base() + cfg.dram.reserved_rows,
+            cfg.dram.rows_per_subarray
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! The memory-controller control unit (Step 3).
+//!
+//! The control unit receives bbop instructions, looks the corresponding μProgram up in its
+//! μProgram library, binds the μProgram's symbolic rows to the physical rows of the named
+//! objects, and issues the resulting AAP/AP sequence to the participating subarrays — all
+//! transparently to the program, which only ever executes bbop instructions.
+
+use simdram_logic::Operation;
+use simdram_uprog::{CodegenOptions, MicroProgram, MicroProgramLibrary, RowBinding, Target};
+
+use crate::error::{CoreError, Result};
+use crate::layout::SimdVector;
+
+/// The control unit: μProgram library plus bbop expansion logic.
+#[derive(Debug)]
+pub struct ControlUnit {
+    target: Target,
+    library: MicroProgramLibrary,
+}
+
+impl ControlUnit {
+    /// Creates a control unit for the given μProgram target and code generator options.
+    pub fn new(target: Target, codegen: CodegenOptions) -> Self {
+        ControlUnit {
+            target,
+            library: MicroProgramLibrary::with_options(codegen),
+        }
+    }
+
+    /// The μProgram target this control unit drives.
+    pub fn target(&self) -> Target {
+        self.target
+    }
+
+    /// Number of μPrograms resident in the control unit's program memory.
+    pub fn resident_programs(&self) -> usize {
+        self.library.len()
+    }
+
+    /// Looks up (or generates and caches) the μProgram for `op` at `width` bits.
+    pub fn microprogram(&mut self, op: Operation, width: usize) -> &MicroProgram {
+        self.library.get_or_build(self.target, op, width)
+    }
+
+    /// Validates operand shapes and produces the row binding for one bbop operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Shape`] if widths, lengths or the predicate shape do not match
+    /// what the operation requires.
+    pub fn bind(
+        &self,
+        op: Operation,
+        dst: &SimdVector,
+        src_a: &SimdVector,
+        src_b: Option<&SimdVector>,
+        pred: Option<&SimdVector>,
+        reserved_base: usize,
+    ) -> Result<RowBinding> {
+        let width = src_a.width();
+        if op.uses_second_operand() {
+            let b = src_b.ok_or_else(|| {
+                CoreError::Shape(format!("{op} requires a second source operand"))
+            })?;
+            if b.width() != width {
+                return Err(CoreError::Shape(format!(
+                    "operand widths differ: A is {width} bits, B is {} bits",
+                    b.width()
+                )));
+            }
+            if b.len() != src_a.len() {
+                return Err(CoreError::Shape(format!(
+                    "operand lengths differ: A has {} elements, B has {}",
+                    src_a.len(),
+                    b.len()
+                )));
+            }
+        } else if src_b.is_some() {
+            return Err(CoreError::Shape(format!(
+                "{op} takes a single source operand but two were supplied"
+            )));
+        }
+        if op.uses_predicate() {
+            let p = pred.ok_or_else(|| {
+                CoreError::Shape(format!("{op} requires a 1-bit predicate vector"))
+            })?;
+            if p.width() != 1 {
+                return Err(CoreError::Shape(format!(
+                    "predicate must be 1 bit wide, got {} bits",
+                    p.width()
+                )));
+            }
+            if p.len() != src_a.len() {
+                return Err(CoreError::Shape(format!(
+                    "predicate length {} does not match operand length {}",
+                    p.len(),
+                    src_a.len()
+                )));
+            }
+        } else if pred.is_some() {
+            return Err(CoreError::Shape(format!("{op} is not a predicated operation")));
+        }
+        if dst.width() != op.output_width(width) {
+            return Err(CoreError::Shape(format!(
+                "destination width {} does not match {op}'s output width {}",
+                dst.width(),
+                op.output_width(width)
+            )));
+        }
+        if dst.len() < src_a.len() {
+            return Err(CoreError::Shape(format!(
+                "destination holds {} elements but {} are being produced",
+                dst.len(),
+                src_a.len()
+            )));
+        }
+
+        Ok(RowBinding {
+            a_base: src_a.base_row(),
+            b_base: src_b.map(|v| v.base_row()).unwrap_or(src_a.base_row()),
+            pred_row: pred.map(|v| v.base_row()).unwrap_or(src_a.base_row()),
+            out_base: dst.base_row(),
+            temp_base: reserved_base,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vector(id: u64, base: usize, width: usize, len: usize) -> SimdVector {
+        SimdVector::new(id, base, width, len)
+    }
+
+    #[test]
+    fn microprograms_are_cached_per_operation() {
+        let mut cu = ControlUnit::new(Target::Simdram, CodegenOptions::optimized());
+        assert_eq!(cu.resident_programs(), 0);
+        let commands = cu.microprogram(Operation::Add, 8).command_count();
+        assert!(commands > 0);
+        cu.microprogram(Operation::Add, 8);
+        cu.microprogram(Operation::Sub, 8);
+        assert_eq!(cu.resident_programs(), 2);
+        assert_eq!(cu.target(), Target::Simdram);
+    }
+
+    #[test]
+    fn bind_produces_expected_row_bases() {
+        let cu = ControlUnit::new(Target::Simdram, CodegenOptions::optimized());
+        let a = vector(1, 0, 8, 100);
+        let b = vector(2, 8, 8, 100);
+        let dst = vector(3, 16, 8, 100);
+        let binding = cu.bind(Operation::Add, &dst, &a, Some(&b), None, 96).unwrap();
+        assert_eq!(binding.a_base, 0);
+        assert_eq!(binding.b_base, 8);
+        assert_eq!(binding.out_base, 16);
+        assert_eq!(binding.temp_base, 96);
+    }
+
+    #[test]
+    fn mismatched_widths_are_rejected() {
+        let cu = ControlUnit::new(Target::Simdram, CodegenOptions::optimized());
+        let a = vector(1, 0, 8, 100);
+        let b = vector(2, 8, 16, 100);
+        let dst = vector(3, 24, 8, 100);
+        assert!(matches!(
+            cu.bind(Operation::Add, &dst, &a, Some(&b), None, 96),
+            Err(CoreError::Shape(_))
+        ));
+    }
+
+    #[test]
+    fn missing_operands_and_predicates_are_rejected() {
+        let cu = ControlUnit::new(Target::Simdram, CodegenOptions::optimized());
+        let a = vector(1, 0, 8, 10);
+        let dst = vector(3, 16, 8, 10);
+        assert!(cu.bind(Operation::Add, &dst, &a, None, None, 96).is_err());
+        assert!(cu.bind(Operation::IfElse, &dst, &a, Some(&a), None, 96).is_err());
+        let wrong_pred = vector(4, 30, 8, 10);
+        assert!(cu
+            .bind(Operation::IfElse, &dst, &a, Some(&a), Some(&wrong_pred), 96)
+            .is_err());
+    }
+
+    #[test]
+    fn destination_width_must_match_output_width() {
+        let cu = ControlUnit::new(Target::Simdram, CodegenOptions::optimized());
+        let a = vector(1, 0, 8, 10);
+        let b = vector(2, 8, 8, 10);
+        let wrong_dst = vector(3, 16, 8, 10); // equality produces a 1-bit result
+        assert!(cu.bind(Operation::Equal, &wrong_dst, &a, Some(&b), None, 96).is_err());
+        let dst = vector(4, 16, 1, 10);
+        assert!(cu.bind(Operation::Equal, &dst, &a, Some(&b), None, 96).is_ok());
+    }
+
+    #[test]
+    fn unary_operations_reject_spurious_second_operand() {
+        let cu = ControlUnit::new(Target::Simdram, CodegenOptions::optimized());
+        let a = vector(1, 0, 8, 10);
+        let dst = vector(3, 16, 8, 10);
+        assert!(cu.bind(Operation::Relu, &dst, &a, Some(&a), None, 96).is_err());
+        assert!(cu.bind(Operation::Relu, &dst, &a, None, None, 96).is_ok());
+    }
+}

@@ -1,0 +1,56 @@
+//! Error type for the SIMDRAM framework layer.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Errors raised by the SIMDRAM machine, allocator, control unit or transposition unit.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The DRAM substrate reported an error.
+    Dram(simdram_dram::DramError),
+    /// The μProgram layer reported an error.
+    Uprog(simdram_uprog::UprogError),
+    /// The allocator could not satisfy a request (out of rows or capacity).
+    Allocation(String),
+    /// Operand shapes (width, element count, predicate) do not match the operation.
+    Shape(String),
+    /// A vector handle refers to memory that has been freed or belongs to another machine.
+    InvalidHandle(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Dram(e) => write!(f, "DRAM substrate error: {e}"),
+            CoreError::Uprog(e) => write!(f, "μProgram error: {e}"),
+            CoreError::Allocation(msg) => write!(f, "allocation failure: {msg}"),
+            CoreError::Shape(msg) => write!(f, "operand shape mismatch: {msg}"),
+            CoreError::InvalidHandle(msg) => write!(f, "invalid vector handle: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Dram(e) => Some(e),
+            CoreError::Uprog(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<simdram_dram::DramError> for CoreError {
+    fn from(e: simdram_dram::DramError) -> Self {
+        CoreError::Dram(e)
+    }
+}
+
+impl From<simdram_uprog::UprogError> for CoreError {
+    fn from(e: simdram_uprog::UprogError) -> Self {
+        CoreError::Uprog(e)
+    }
+}

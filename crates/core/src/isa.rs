@@ -1,0 +1,101 @@
+//! The bbop ISA extension.
+//!
+//! SIMDRAM exposes its functionality to programs through a small set of *bulk bitwise
+//! operation* (bbop) instructions added to the host ISA. A bbop names an operation, the
+//! (vertically laid-out) source and destination objects and the element width; the memory
+//! controller's control unit expands it into the corresponding μProgram. Two transposition
+//! instructions move objects between the conventional horizontal layout and SIMDRAM's
+//! vertical layout through the transposition unit.
+
+use simdram_logic::Operation;
+
+use crate::layout::SimdVector;
+
+/// Direction of a layout-conversion (`bbop_trsp`) instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransposeDirection {
+    /// Host (horizontal) layout → SIMDRAM (vertical) layout.
+    HorizontalToVertical,
+    /// SIMDRAM (vertical) layout → host (horizontal) layout.
+    VerticalToHorizontal,
+}
+
+/// One instruction of the bbop ISA extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BbopInstruction {
+    /// `bbop_trsp` — convert an object between horizontal and vertical layouts using the
+    /// memory controller's transposition unit.
+    Transpose {
+        /// The object being converted.
+        vector: SimdVector,
+        /// Conversion direction.
+        direction: TransposeDirection,
+    },
+    /// `bbop_<op>` — perform `op` element-wise over the source vector(s), writing the result
+    /// into `dst`.
+    Op {
+        /// The operation to perform.
+        op: Operation,
+        /// Destination vector (must have the operation's output width).
+        dst: SimdVector,
+        /// First source vector.
+        src_a: SimdVector,
+        /// Second source vector, for two-operand operations.
+        src_b: Option<SimdVector>,
+        /// 1-bit predicate vector, for predicated operations.
+        pred: Option<SimdVector>,
+    },
+    /// `bbop_init` — fill a vector with a constant value (implemented with row initialization
+    /// from the control rows).
+    Init {
+        /// Destination vector.
+        dst: SimdVector,
+        /// The constant to broadcast into every element.
+        value: u64,
+    },
+}
+
+impl BbopInstruction {
+    /// Short mnemonic used in traces and reports.
+    pub fn mnemonic(&self) -> String {
+        match self {
+            BbopInstruction::Transpose { direction, .. } => match direction {
+                TransposeDirection::HorizontalToVertical => "bbop_trsp_h2v".to_string(),
+                TransposeDirection::VerticalToHorizontal => "bbop_trsp_v2h".to_string(),
+            },
+            BbopInstruction::Op { op, .. } => format!("bbop_{}", op.name()),
+            BbopInstruction::Init { .. } => "bbop_init".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec_handle(width: usize) -> SimdVector {
+        SimdVector::new(1, 0, width, 64)
+    }
+
+    #[test]
+    fn mnemonics_follow_operation_names() {
+        let instr = BbopInstruction::Op {
+            op: Operation::Add,
+            dst: vec_handle(8),
+            src_a: vec_handle(8),
+            src_b: Some(vec_handle(8)),
+            pred: None,
+        };
+        assert_eq!(instr.mnemonic(), "bbop_addition");
+        let trsp = BbopInstruction::Transpose {
+            vector: vec_handle(8),
+            direction: TransposeDirection::HorizontalToVertical,
+        };
+        assert_eq!(trsp.mnemonic(), "bbop_trsp_h2v");
+        let init = BbopInstruction::Init {
+            dst: vec_handle(8),
+            value: 3,
+        };
+        assert_eq!(init.mnemonic(), "bbop_init");
+    }
+}

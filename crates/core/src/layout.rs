@@ -1,0 +1,186 @@
+//! Vertical-layout memory management: SIMD vector handles and the row allocator.
+//!
+//! A SIMDRAM object ("SIMD vector") of `n` elements × `w` bits occupies `w` consecutive rows
+//! in every participating subarray, with element `i` living in column `i mod columns` of
+//! subarray `i / columns`. Because μPrograms are broadcast with the *same* row addresses to
+//! every subarray, allocation is global: a row extent is reserved at the same offset in all
+//! compute subarrays.
+
+use crate::error::{CoreError, Result};
+
+/// A handle to a vertically laid-out SIMD vector resident in the compute subarrays.
+///
+/// Handles are small and `Copy`; they do not own the underlying rows — freeing is explicit
+/// through [`crate::SimdramMachine::free`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SimdVector {
+    id: u64,
+    base_row: usize,
+    width: usize,
+    len: usize,
+}
+
+impl SimdVector {
+    pub(crate) fn new(id: u64, base_row: usize, width: usize, len: usize) -> Self {
+        SimdVector {
+            id,
+            base_row,
+            width,
+            len,
+        }
+    }
+
+    /// Unique identifier of the vector within its machine.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// First DRAM row (in every participating subarray) holding the vector's bit 0.
+    pub fn base_row(&self) -> usize {
+        self.base_row
+    }
+
+    /// Element width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the vector holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// First-fit extent allocator over the allocatable rows of the compute subarrays.
+#[derive(Debug, Clone)]
+pub(crate) struct RowAllocator {
+    total_rows: usize,
+    /// Sorted, disjoint free extents: (start, length).
+    free: Vec<(usize, usize)>,
+}
+
+impl RowAllocator {
+    pub(crate) fn new(total_rows: usize) -> Self {
+        RowAllocator {
+            total_rows,
+            free: vec![(0, total_rows)],
+        }
+    }
+
+    /// Allocates `rows` consecutive rows, returning the base row.
+    pub(crate) fn alloc(&mut self, rows: usize) -> Result<usize> {
+        if rows == 0 {
+            return Err(CoreError::Allocation("cannot allocate zero rows".into()));
+        }
+        for i in 0..self.free.len() {
+            let (start, len) = self.free[i];
+            if len >= rows {
+                if len == rows {
+                    self.free.remove(i);
+                } else {
+                    self.free[i] = (start + rows, len - rows);
+                }
+                return Ok(start);
+            }
+        }
+        Err(CoreError::Allocation(format!(
+            "no free extent of {rows} rows (total {} rows, {} free)",
+            self.total_rows,
+            self.free_rows()
+        )))
+    }
+
+    /// Returns a previously allocated extent to the free list, coalescing neighbours.
+    pub(crate) fn free(&mut self, base: usize, rows: usize) {
+        if rows == 0 {
+            return;
+        }
+        let pos = self.free.partition_point(|&(start, _)| start < base);
+        self.free.insert(pos, (base, rows));
+        // Coalesce with the next extent.
+        if pos + 1 < self.free.len() {
+            let (next_start, next_len) = self.free[pos + 1];
+            let (start, len) = self.free[pos];
+            if start + len == next_start {
+                self.free[pos] = (start, len + next_len);
+                self.free.remove(pos + 1);
+            }
+        }
+        // Coalesce with the previous extent.
+        if pos > 0 {
+            let (prev_start, prev_len) = self.free[pos - 1];
+            let (start, len) = self.free[pos];
+            if prev_start + prev_len == start {
+                self.free[pos - 1] = (prev_start, prev_len + len);
+                self.free.remove(pos);
+            }
+        }
+    }
+
+    /// Total number of currently free rows.
+    pub(crate) fn free_rows(&self) -> usize {
+        self.free.iter().map(|&(_, len)| len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_handle_accessors() {
+        let v = SimdVector::new(7, 12, 16, 1000);
+        assert_eq!(v.id(), 7);
+        assert_eq!(v.base_row(), 12);
+        assert_eq!(v.width(), 16);
+        assert_eq!(v.len(), 1000);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn alloc_is_first_fit_and_exhausts() {
+        let mut a = RowAllocator::new(32);
+        assert_eq!(a.alloc(8).unwrap(), 0);
+        assert_eq!(a.alloc(8).unwrap(), 8);
+        assert_eq!(a.alloc(16).unwrap(), 16);
+        assert!(a.alloc(1).is_err());
+        assert_eq!(a.free_rows(), 0);
+    }
+
+    #[test]
+    fn free_coalesces_neighbouring_extents() {
+        let mut a = RowAllocator::new(32);
+        let x = a.alloc(8).unwrap();
+        let y = a.alloc(8).unwrap();
+        let z = a.alloc(16).unwrap();
+        a.free(y, 8);
+        a.free(x, 8);
+        a.free(z, 16);
+        assert_eq!(a.free_rows(), 32);
+        // After full coalescing a 32-row allocation must succeed again.
+        assert_eq!(a.alloc(32).unwrap(), 0);
+    }
+
+    #[test]
+    fn fragmented_allocations_fail_gracefully() {
+        let mut a = RowAllocator::new(24);
+        let x = a.alloc(8).unwrap();
+        let _y = a.alloc(8).unwrap();
+        let _z = a.alloc(8).unwrap();
+        a.free(x, 8);
+        // 8 rows are free but a 16-row request cannot be satisfied contiguously.
+        assert!(a.alloc(16).is_err());
+        assert_eq!(a.alloc(8).unwrap(), 0);
+    }
+
+    #[test]
+    fn zero_row_allocation_is_an_error() {
+        let mut a = RowAllocator::new(8);
+        assert!(matches!(a.alloc(0), Err(CoreError::Allocation(_))));
+    }
+}

@@ -1,0 +1,59 @@
+//! # simdram-core — Step 3 and system integration of the SIMDRAM framework
+//!
+//! This crate ties the framework together into a usable system, mirroring the paper's
+//! end-to-end design:
+//!
+//! * [`SimdramMachine`] — the user-facing executor: allocate vertically laid-out SIMD
+//!   vectors, write/read them through the **transposition unit**, and execute any of the 16
+//!   operations (or your own) on them with a single call. The same machine drives the Ambit
+//!   baseline when configured with [`simdram_uprog::Target::Ambit`].
+//! * [`ControlUnit`] — the memory-controller logic that expands **bbop** instructions
+//!   ([`BbopInstruction`]) into μPrograms and binds them to physical rows.
+//! * [`transpose_64x64`] — horizontal ↔ vertical layout conversion, both functional and as
+//!   a cost model ([`TranspositionUnit`]).
+//! * [`pud_performance`] — the analytic throughput/energy model used to regenerate the
+//!   paper's figures.
+//! * [`AreaModel`] — the area-overhead estimate behind the "<1% DRAM area" claim.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use simdram_core::{SimdramConfig, SimdramMachine};
+//! use simdram_logic::Operation;
+//!
+//! let mut machine = SimdramMachine::new(SimdramConfig::functional_test())?;
+//! let prices = machine.alloc_and_write(16, &[120, 4999, 25, 310])?;
+//! let threshold = machine.alloc_and_write(16, &[200, 200, 200, 200])?;
+//! let (cheap, _) = machine.binary(Operation::Greater, &threshold, &prices)?;
+//! assert_eq!(machine.read(&cheap)?, vec![1, 0, 1, 0]);
+//! # Ok::<(), simdram_core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod area;
+mod config;
+mod control_unit;
+mod error;
+mod isa;
+mod layout;
+mod machine;
+mod perf;
+mod report;
+mod transpose;
+mod verify;
+
+pub use area::AreaModel;
+pub use config::SimdramConfig;
+pub use control_unit::ControlUnit;
+pub use error::{CoreError, Result};
+pub use isa::{BbopInstruction, TransposeDirection};
+pub use layout::SimdVector;
+pub use machine::SimdramMachine;
+pub use perf::{pud_performance, PerfPoint};
+pub use report::{ExecutionReport, MachineStats};
+pub use transpose::{
+    horizontal_to_vertical, transpose_64x64, vertical_to_horizontal, TranspositionUnit,
+};
+pub use verify::{mismatches, reference_elementwise};

@@ -1,0 +1,614 @@
+//! The end-to-end SIMDRAM machine: allocation, layout conversion and bbop execution.
+
+use simdram_dram::{BGroupRow, BitRow, DramDevice, RowAddr};
+use simdram_logic::Operation;
+use simdram_uprog::{execute as execute_uprog, MicroProgram, RowBinding};
+
+use crate::config::SimdramConfig;
+use crate::control_unit::ControlUnit;
+use crate::error::{CoreError, Result};
+use crate::isa::BbopInstruction;
+use crate::layout::{RowAllocator, SimdVector};
+use crate::report::{ExecutionReport, MachineStats};
+use crate::transpose::{horizontal_to_vertical, vertical_to_horizontal, TranspositionUnit};
+
+/// A complete SIMDRAM system: DRAM device, memory-controller control unit, transposition
+/// unit and the memory manager for vertically laid-out objects.
+///
+/// This is the type user programs (and the application kernels in `simdram-apps`) interact
+/// with. The same machine can be configured to drive the Ambit baseline by selecting
+/// [`simdram_uprog::Target::Ambit`] in its [`SimdramConfig`].
+///
+/// # Examples
+///
+/// ```
+/// use simdram_core::{SimdramConfig, SimdramMachine};
+/// use simdram_logic::Operation;
+///
+/// let mut machine = SimdramMachine::new(SimdramConfig::functional_test())?;
+/// let a = machine.alloc_and_write(8, &[10, 20, 30, 250])?;
+/// let b = machine.alloc_and_write(8, &[5, 30, 3, 10])?;
+/// let (sum, report) = machine.binary(Operation::Add, &a, &b)?;
+/// assert_eq!(machine.read(&sum)?, vec![15, 50, 33, 4]); // 250 + 10 wraps at 8 bits
+/// assert!(report.throughput_gops() > 0.0);
+/// # Ok::<(), simdram_core::CoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct SimdramMachine {
+    config: SimdramConfig,
+    device: DramDevice,
+    allocator: RowAllocator,
+    control: ControlUnit,
+    transposer: TranspositionUnit,
+    stats: MachineStats,
+    next_id: u64,
+}
+
+impl SimdramMachine {
+    /// Builds a machine from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid.
+    pub fn new(config: SimdramConfig) -> Result<Self> {
+        config.validate()?;
+        let device = DramDevice::new(config.dram.clone())?;
+        let allocator = RowAllocator::new(config.allocatable_rows());
+        let control = ControlUnit::new(config.target, config.codegen);
+        let transposer = TranspositionUnit::new(config.dram.timing.clone(), config.dram.energy.clone());
+        Ok(SimdramMachine {
+            config,
+            device,
+            allocator,
+            control,
+            transposer,
+            stats: MachineStats::default(),
+            next_id: 0,
+        })
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &SimdramConfig {
+        &self.config
+    }
+
+    /// Cumulative execution statistics.
+    pub fn stats(&self) -> &MachineStats {
+        &self.stats
+    }
+
+    /// Number of SIMD lanes (elements processed per μProgram broadcast).
+    pub fn lanes(&self) -> usize {
+        self.config.total_lanes()
+    }
+
+    /// Number of elements each individual subarray contributes (one per bitline).
+    pub fn lanes_per_subarray(&self) -> usize {
+        self.config.dram.columns_per_row
+    }
+
+    /// Allocates a vertically laid-out vector of `len` elements of `width` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Shape`] for invalid widths, or [`CoreError::Allocation`] when
+    /// the vector does not fit in the compute subarrays.
+    pub fn alloc(&mut self, width: usize, len: usize) -> Result<SimdVector> {
+        if width == 0 || width > 64 {
+            return Err(CoreError::Shape(format!(
+                "element width must be in 1..=64, got {width}"
+            )));
+        }
+        if len == 0 {
+            return Err(CoreError::Shape("cannot allocate an empty vector".into()));
+        }
+        if len > self.lanes() {
+            return Err(CoreError::Allocation(format!(
+                "vector of {len} elements exceeds the machine's {} SIMD lanes",
+                self.lanes()
+            )));
+        }
+        let base_row = self.allocator.alloc(width)?;
+        let id = self.next_id;
+        self.next_id += 1;
+        Ok(SimdVector::new(id, base_row, width, len))
+    }
+
+    /// Frees a vector's rows.
+    pub fn free(&mut self, vector: SimdVector) {
+        self.allocator.free(vector.base_row(), vector.width());
+    }
+
+    /// Allocates a vector and writes `values` into it (transposing to the vertical layout).
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation and shape errors from [`SimdramMachine::alloc`] and
+    /// [`SimdramMachine::write`].
+    pub fn alloc_and_write(&mut self, width: usize, values: &[u64]) -> Result<SimdVector> {
+        let vector = self.alloc(width, values.len())?;
+        self.write(&vector, values)?;
+        Ok(vector)
+    }
+
+    /// Writes host (horizontal) data into a vector through the transposition unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Shape`] if more values than the vector's length are supplied.
+    pub fn write(&mut self, vector: &SimdVector, values: &[u64]) -> Result<()> {
+        if values.len() > vector.len() {
+            return Err(CoreError::Shape(format!(
+                "writing {} values into a vector of {} elements",
+                values.len(),
+                vector.len()
+            )));
+        }
+        let columns = self.lanes_per_subarray();
+        let width = vector.width();
+        for (chunk_index, chunk) in values.chunks(columns).enumerate() {
+            let (bank, subarray) = self.subarray_coordinates(chunk_index)?;
+            let slices = horizontal_to_vertical(chunk, width, columns);
+            let sa = self.device.bank_mut(bank)?.subarray_mut(subarray)?;
+            for (bit, slice) in slices.iter().enumerate() {
+                let row = BitRow::from_words(slice, columns);
+                sa.poke(RowAddr::Data(vector.base_row() + bit), &row)?;
+            }
+        }
+        let latency = self.transposer.latency_ns(values.len(), width);
+        let energy = self.transposer.energy_nj(values.len(), width);
+        self.stats.record_transpose(latency, energy);
+        Ok(())
+    }
+
+    /// Writes a boolean predicate vector (1-bit elements).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Shape`] if the vector is not 1 bit wide.
+    pub fn write_bools(&mut self, vector: &SimdVector, values: &[bool]) -> Result<()> {
+        if vector.width() != 1 {
+            return Err(CoreError::Shape(format!(
+                "predicate vectors must be 1 bit wide, got {}",
+                vector.width()
+            )));
+        }
+        let as_words: Vec<u64> = values.iter().map(|&b| u64::from(b)).collect();
+        self.write(vector, &as_words)
+    }
+
+    /// Reads a vector back into host (horizontal) layout through the transposition unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the vector's rows lie outside the device (stale handle).
+    pub fn read(&mut self, vector: &SimdVector) -> Result<Vec<u64>> {
+        let columns = self.lanes_per_subarray();
+        let width = vector.width();
+        let mut values = Vec::with_capacity(vector.len());
+        let mut remaining = vector.len();
+        let mut chunk_index = 0;
+        while remaining > 0 {
+            let lanes = remaining.min(columns);
+            let (bank, subarray) = self.subarray_coordinates(chunk_index)?;
+            let sa = self.device.bank(bank)?.subarray(subarray)?;
+            let mut slices = Vec::with_capacity(width);
+            for bit in 0..width {
+                let row = sa.peek(RowAddr::Data(vector.base_row() + bit))?;
+                slices.push(row.words().to_vec());
+            }
+            values.extend(vertical_to_horizontal(&slices, width, lanes));
+            remaining -= lanes;
+            chunk_index += 1;
+        }
+        let latency = self.transposer.latency_ns(vector.len(), width);
+        let energy = self.transposer.energy_nj(vector.len(), width);
+        self.stats.record_transpose(latency, energy);
+        Ok(values)
+    }
+
+    /// Executes one bbop instruction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape, allocation and substrate errors.
+    pub fn issue(&mut self, instruction: &BbopInstruction) -> Result<Option<ExecutionReport>> {
+        match *instruction {
+            BbopInstruction::Op {
+                op,
+                dst,
+                src_a,
+                src_b,
+                pred,
+            } => self
+                .execute(op, &dst, &src_a, src_b.as_ref(), pred.as_ref())
+                .map(Some),
+            BbopInstruction::Transpose { vector, direction } => {
+                let latency = self.transposer.latency_ns(vector.len(), vector.width());
+                let energy = self.transposer.energy_nj(vector.len(), vector.width());
+                self.stats.record_transpose(latency, energy);
+                let _ = direction;
+                Ok(None)
+            }
+            BbopInstruction::Init { dst, value } => {
+                self.init(&dst, value)?;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Fills every element of `vector` with `value`, using row-wide copies from the control
+    /// rows (`C0`/`C1`), one AAP per destination bit-row per subarray.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the vector's rows lie outside the device.
+    pub fn init(&mut self, vector: &SimdVector, value: u64) -> Result<()> {
+        let subarrays = self.subarrays_for(vector.len());
+        for chunk_index in 0..subarrays {
+            let (bank, subarray) = self.subarray_coordinates(chunk_index)?;
+            let sa = self.device.bank_mut(bank)?.subarray_mut(subarray)?;
+            for bit in 0..vector.width() {
+                let src = if (value >> bit) & 1 == 1 {
+                    RowAddr::BGroup(BGroupRow::C1)
+                } else {
+                    RowAddr::BGroup(BGroupRow::C0)
+                };
+                sa.aap(src, RowAddr::Data(vector.base_row() + bit))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes `op` element-wise, writing results into `dst`.
+    ///
+    /// `src_b` must be supplied for two-operand operations and `pred` (a 1-bit vector) for
+    /// predicated operations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Shape`] for operand mismatches, [`CoreError::Allocation`] when
+    /// the μProgram needs more reserved rows than configured, or a substrate error.
+    pub fn execute(
+        &mut self,
+        op: Operation,
+        dst: &SimdVector,
+        src_a: &SimdVector,
+        src_b: Option<&SimdVector>,
+        pred: Option<&SimdVector>,
+    ) -> Result<ExecutionReport> {
+        let binding = self
+            .control
+            .bind(op, dst, src_a, src_b, pred, self.config.reserved_base())?;
+        let program = self.control.microprogram(op, src_a.width()).clone();
+        if program.temp_rows() > self.config.dram.reserved_rows {
+            return Err(CoreError::Allocation(format!(
+                "{op} at {} bits needs {} reserved rows but only {} are configured",
+                src_a.width(),
+                program.temp_rows(),
+                self.config.dram.reserved_rows
+            )));
+        }
+        let subarrays_used = self.subarrays_for(src_a.len());
+        let report = self.run_program(&program, &binding, subarrays_used, src_a.len())?;
+        self.stats.record_execution(&report);
+        Ok(report)
+    }
+
+    /// Convenience: allocates a destination and executes a two-operand operation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`SimdramMachine::alloc`] and [`SimdramMachine::execute`].
+    pub fn binary(
+        &mut self,
+        op: Operation,
+        a: &SimdVector,
+        b: &SimdVector,
+    ) -> Result<(SimdVector, ExecutionReport)> {
+        let dst = self.alloc(op.output_width(a.width()), a.len())?;
+        let report = self.execute(op, &dst, a, Some(b), None)?;
+        Ok((dst, report))
+    }
+
+    /// Convenience: allocates a destination and executes a single-operand operation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`SimdramMachine::alloc`] and [`SimdramMachine::execute`].
+    pub fn unary(&mut self, op: Operation, a: &SimdVector) -> Result<(SimdVector, ExecutionReport)> {
+        let dst = self.alloc(op.output_width(a.width()), a.len())?;
+        let report = self.execute(op, &dst, a, None, None)?;
+        Ok((dst, report))
+    }
+
+    /// Copies a vector with in-DRAM RowClone operations (one AAP per bit-row per subarray),
+    /// never moving the data over the memory channel.
+    ///
+    /// This is the bulk-copy primitive the paper inherits from RowClone: initializing or
+    /// duplicating operands costs row activations only.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation and substrate errors.
+    pub fn copy(&mut self, src: &SimdVector) -> Result<SimdVector> {
+        let dst = self.alloc(src.width(), src.len())?;
+        let subarrays = self.subarrays_for(src.len());
+        for chunk_index in 0..subarrays {
+            let (bank, subarray) = self.subarray_coordinates(chunk_index)?;
+            let sa = self.device.bank_mut(bank)?.subarray_mut(subarray)?;
+            for bit in 0..src.width() {
+                sa.aap(
+                    RowAddr::Data(src.base_row() + bit),
+                    RowAddr::Data(dst.base_row() + bit),
+                )?;
+            }
+        }
+        Ok(dst)
+    }
+
+    /// Returns a *view* of `vector` logically right-shifted by `bits` (dropping its low
+    /// bits), without issuing a single DRAM command.
+    ///
+    /// This implements the paper's observation that explicit in-DRAM shifting is usually
+    /// unnecessary: because the layout is vertical, shifting is just re-indexing which rows
+    /// a later μProgram reads, i.e. the returned handle simply starts `bits` rows higher.
+    /// The view aliases the original rows; do not pass the view to [`SimdramMachine::free`]
+    /// — free the original handle when the data is no longer needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Shape`] if `bits` is not smaller than the vector's width.
+    pub fn shifted_view(&self, vector: &SimdVector, bits: usize) -> Result<SimdVector> {
+        if bits >= vector.width() {
+            return Err(CoreError::Shape(format!(
+                "cannot shift a {}-bit vector right by {bits} bits",
+                vector.width()
+            )));
+        }
+        Ok(SimdVector::new(
+            vector.id(),
+            vector.base_row() + bits,
+            vector.width() - bits,
+            vector.len(),
+        ))
+    }
+
+    /// Convenience: predicated select (`pred ? a : b`), SIMDRAM's if-then-else.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`SimdramMachine::alloc`] and [`SimdramMachine::execute`].
+    pub fn select(
+        &mut self,
+        pred: &SimdVector,
+        a: &SimdVector,
+        b: &SimdVector,
+    ) -> Result<(SimdVector, ExecutionReport)> {
+        let dst = self.alloc(a.width(), a.len())?;
+        let report = self.execute(Operation::IfElse, &dst, a, Some(b), Some(pred))?;
+        Ok((dst, report))
+    }
+
+    fn run_program(
+        &mut self,
+        program: &MicroProgram,
+        binding: &RowBinding,
+        subarrays_used: usize,
+        elements: usize,
+    ) -> Result<ExecutionReport> {
+        for chunk_index in 0..subarrays_used {
+            let (bank, subarray) = self.subarray_coordinates(chunk_index)?;
+            let sa = self.device.bank_mut(bank)?.subarray_mut(subarray)?;
+            execute_uprog(program, sa, binding)?;
+        }
+        let timing = &self.config.dram.timing;
+        let energy_model = &self.config.dram.energy;
+        Ok(ExecutionReport {
+            op: program.operation(),
+            width: program.width(),
+            elements,
+            subarrays_used,
+            commands: program.command_count(),
+            tra_count: program.tra_count(),
+            latency_ns: program.latency_ns(timing),
+            energy_nj: program.energy_nj(energy_model) * subarrays_used as f64,
+        })
+    }
+
+    fn subarrays_for(&self, elements: usize) -> usize {
+        elements.div_ceil(self.lanes_per_subarray()).max(1)
+    }
+
+    fn subarray_coordinates(&self, chunk_index: usize) -> Result<(usize, usize)> {
+        let per_bank = self.config.compute_subarrays_per_bank;
+        let bank = chunk_index / per_bank;
+        let subarray = chunk_index % per_bank;
+        if bank >= self.config.compute_banks {
+            return Err(CoreError::Allocation(format!(
+                "object spans {chunk_index} subarrays, exceeding the configured {} banks × {} subarrays",
+                self.config.compute_banks, per_bank
+            )));
+        }
+        Ok((bank, subarray))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::TransposeDirection;
+
+    fn machine() -> SimdramMachine {
+        SimdramMachine::new(SimdramConfig::functional_test()).unwrap()
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut m = machine();
+        let values: Vec<u64> = (0..300).map(|i| (i * 7 + 3) & 0xFF).collect();
+        let v = m.alloc_and_write(8, &values).unwrap();
+        assert_eq!(m.read(&v).unwrap(), values);
+    }
+
+    #[test]
+    fn addition_matches_reference_across_subarrays() {
+        let mut m = machine();
+        // 300 elements with 256 columns per subarray spans two subarrays.
+        let a_vals: Vec<u64> = (0..300u64).map(|i| i & 0xFF).collect();
+        let b_vals: Vec<u64> = (0..300u64).map(|i| (i * 3) & 0xFF).collect();
+        let a = m.alloc_and_write(8, &a_vals).unwrap();
+        let b = m.alloc_and_write(8, &b_vals).unwrap();
+        let (sum, report) = m.binary(Operation::Add, &a, &b).unwrap();
+        assert_eq!(report.subarrays_used, 2);
+        let results = m.read(&sum).unwrap();
+        for i in 0..300 {
+            assert_eq!(results[i], Operation::Add.reference(8, a_vals[i], b_vals[i], false));
+        }
+    }
+
+    #[test]
+    fn predicated_select_uses_predicate_vector() {
+        let mut m = machine();
+        let a = m.alloc_and_write(8, &[1, 2, 3, 4]).unwrap();
+        let b = m.alloc_and_write(8, &[10, 20, 30, 40]).unwrap();
+        let pred = m.alloc(1, 4).unwrap();
+        m.write_bools(&pred, &[true, false, true, false]).unwrap();
+        let (out, _) = m.select(&pred, &a, &b).unwrap();
+        assert_eq!(m.read(&out).unwrap(), vec![1, 20, 3, 40]);
+    }
+
+    #[test]
+    fn init_broadcasts_a_constant() {
+        let mut m = machine();
+        let v = m.alloc(8, 100).unwrap();
+        m.init(&v, 0xA5).unwrap();
+        assert_eq!(m.read(&v).unwrap(), vec![0xA5; 100]);
+    }
+
+    #[test]
+    fn issue_executes_bbop_instructions() {
+        let mut m = machine();
+        let a = m.alloc_and_write(8, &[100, 200]).unwrap();
+        let b = m.alloc_and_write(8, &[1, 2]).unwrap();
+        let dst = m.alloc(8, 2).unwrap();
+        let report = m
+            .issue(&BbopInstruction::Op {
+                op: Operation::Sub,
+                dst,
+                src_a: a,
+                src_b: Some(b),
+                pred: None,
+            })
+            .unwrap()
+            .unwrap();
+        assert_eq!(report.op, Operation::Sub);
+        assert_eq!(m.read(&dst).unwrap(), vec![99, 198]);
+        assert!(m
+            .issue(&BbopInstruction::Transpose {
+                vector: a,
+                direction: TransposeDirection::VerticalToHorizontal,
+            })
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn oversized_vectors_are_rejected() {
+        let mut m = machine();
+        let too_many = m.lanes() + 1;
+        assert!(matches!(m.alloc(8, too_many), Err(CoreError::Allocation(_))));
+        assert!(matches!(m.alloc(0, 10), Err(CoreError::Shape(_))));
+        assert!(matches!(m.alloc(65, 10), Err(CoreError::Shape(_))));
+    }
+
+    #[test]
+    fn free_allows_rows_to_be_reused() {
+        let mut m = machine();
+        let mut remaining = m.config().allocatable_rows();
+        let mut held = Vec::new();
+        while remaining > 0 {
+            let width = remaining.min(64);
+            held.push(m.alloc(width, 4).unwrap());
+            remaining -= width;
+        }
+        assert!(m.alloc(1, 4).is_err());
+        for vector in held {
+            m.free(vector);
+        }
+        assert!(m.alloc(64, 4).is_ok());
+    }
+
+    #[test]
+    fn copy_duplicates_a_vector_in_dram() {
+        let mut m = machine();
+        let values: Vec<u64> = (0..100u64).map(|i| (i * 13 + 5) & 0xFFFF).collect();
+        let original = m.alloc_and_write(16, &values).unwrap();
+        let clone = m.copy(&original).unwrap();
+        assert_ne!(clone.base_row(), original.base_row());
+        assert_eq!(m.read(&clone).unwrap(), values);
+        // The copy is independent: overwriting the original leaves the clone intact.
+        m.init(&original, 0).unwrap();
+        assert_eq!(m.read(&clone).unwrap(), values);
+    }
+
+    #[test]
+    fn shifted_view_reads_high_bits_without_commands() {
+        let mut m = machine();
+        let values: Vec<u64> = (0..50u64).map(|i| i * 7 + 3).collect();
+        let v = m.alloc_and_write(16, &values).unwrap();
+        let commands_before = m.stats().commands;
+        let half = m.shifted_view(&v, 4).unwrap();
+        assert_eq!(m.stats().commands, commands_before);
+        assert_eq!(half.width(), 12);
+        let expected: Vec<u64> = values.iter().map(|&x| x >> 4).collect();
+        assert_eq!(m.read(&half).unwrap(), expected);
+        assert!(m.shifted_view(&v, 16).is_err());
+    }
+
+    #[test]
+    fn shifted_view_composes_with_operations() {
+        // Divide by 16 via a shifted view, then add 1 — all in DRAM.
+        let mut m = machine();
+        let values: Vec<u64> = (0..64u64).map(|i| i * 97).collect();
+        let v = m.alloc_and_write(16, &values).unwrap();
+        let high = m.shifted_view(&v, 4).unwrap();
+        let one = m.alloc(12, values.len()).unwrap();
+        m.init(&one, 1).unwrap();
+        let (result, _) = m.binary(Operation::Add, &high, &one).unwrap();
+        let expected: Vec<u64> = values.iter().map(|&x| ((x >> 4) + 1) & 0xFFF).collect();
+        assert_eq!(m.read(&result).unwrap(), expected);
+    }
+
+    #[test]
+    fn stats_track_operations_and_transposes() {
+        let mut m = machine();
+        let a = m.alloc_and_write(8, &[1, 2, 3]).unwrap();
+        let b = m.alloc_and_write(8, &[4, 5, 6]).unwrap();
+        m.binary(Operation::Add, &a, &b).unwrap();
+        let stats = m.stats();
+        assert_eq!(stats.operations, 1);
+        assert_eq!(stats.elements, 3);
+        assert!(stats.compute_latency_ns > 0.0);
+        assert!(stats.transpose_latency_ns > 0.0);
+    }
+
+    #[test]
+    fn ambit_target_produces_identical_results_with_more_commands() {
+        let mut simdram = machine();
+        let mut ambit = SimdramMachine::new(SimdramConfig::functional_test_ambit()).unwrap();
+        let a_vals = [13u64, 77, 250, 8];
+        let b_vals = [9u64, 77, 100, 200];
+        let mut results = Vec::new();
+        let mut commands = Vec::new();
+        for m in [&mut simdram, &mut ambit] {
+            let a = m.alloc_and_write(8, &a_vals).unwrap();
+            let b = m.alloc_and_write(8, &b_vals).unwrap();
+            let (out, report) = m.binary(Operation::Add, &a, &b).unwrap();
+            results.push(m.read(&out).unwrap());
+            commands.push(report.commands);
+        }
+        assert_eq!(results[0], results[1]);
+        assert!(commands[0] < commands[1], "SIMDRAM should issue fewer commands than Ambit");
+    }
+}

@@ -1,0 +1,127 @@
+//! Analytic performance model for the throughput and energy-efficiency figures.
+//!
+//! The paper's throughput and energy figures are derived from the μProgram command counts,
+//! DDR timing and per-command energy, scaled by the amount of subarray- and bank-level
+//! parallelism each design point enables. This module computes exactly those numbers without
+//! functionally executing the (65,536-lane) μPrograms, so figure generation is fast; the
+//! functional correctness of the same μPrograms is established separately by the test suite.
+
+use simdram_logic::Operation;
+use simdram_uprog::{build_program, Target};
+
+use crate::config::SimdramConfig;
+
+/// One performance point: an (operation, width, platform configuration) triple evaluated
+/// for throughput and energy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfPoint {
+    /// Latency of one μProgram execution (one batch of `lanes` elements), in nanoseconds.
+    pub latency_ns: f64,
+    /// Number of elements processed per μProgram execution.
+    pub lanes: usize,
+    /// Sustained throughput in giga-operations per second.
+    pub throughput_gops: f64,
+    /// Average DRAM energy per element, in nanojoules.
+    pub energy_per_element_nj: f64,
+    /// Energy efficiency in giga-operations per second per watt.
+    pub gops_per_watt: f64,
+    /// DRAM commands issued per μProgram (per subarray).
+    pub commands: usize,
+}
+
+/// Evaluates the processing-using-DRAM performance of `op` at `width` bits for the given
+/// machine configuration and μProgram target (SIMDRAM or the Ambit baseline).
+pub fn pud_performance(target: Target, op: Operation, width: usize, config: &SimdramConfig) -> PerfPoint {
+    let program = build_program(target, op, width, config.codegen);
+    let timing = &config.dram.timing;
+    let energy = &config.dram.energy;
+
+    let lanes = config.total_lanes();
+    let subarrays = config.compute_banks * config.compute_subarrays_per_bank;
+    let latency_ns = program.latency_ns(timing);
+    let energy_total_nj = program.energy_nj(energy) * subarrays as f64;
+
+    let throughput_gops = lanes as f64 / latency_ns; // elements per ns == GOPS
+    let energy_per_element_nj = energy_total_nj / lanes as f64;
+    let power_w = energy_total_nj / latency_ns;
+    let gops_per_watt = if power_w > 0.0 {
+        throughput_gops / power_w
+    } else {
+        0.0
+    };
+
+    PerfPoint {
+        latency_ns,
+        lanes,
+        throughput_gops,
+        energy_per_element_nj,
+        gops_per_watt,
+        commands: program.command_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_scales_with_bank_count() {
+        let one = pud_performance(
+            Target::Simdram,
+            Operation::Add,
+            32,
+            &SimdramConfig::paper_banks(1),
+        );
+        let sixteen = pud_performance(
+            Target::Simdram,
+            Operation::Add,
+            32,
+            &SimdramConfig::paper_banks(16),
+        );
+        assert!((sixteen.throughput_gops / one.throughput_gops - 16.0).abs() < 1e-6);
+        // Energy per element and efficiency are bank-count independent.
+        assert!((sixteen.energy_per_element_nj - one.energy_per_element_nj).abs() < 1e-9);
+        assert!((sixteen.gops_per_watt - one.gops_per_watt).abs() < 1e-6);
+    }
+
+    #[test]
+    fn simdram_outperforms_ambit_on_arithmetic() {
+        let cfg = SimdramConfig::paper_banks(16);
+        for op in [Operation::Add, Operation::Sub, Operation::Mul, Operation::BitCount] {
+            let simdram = pud_performance(Target::Simdram, op, 32, &cfg);
+            let ambit = pud_performance(Target::Ambit, op, 32, &cfg);
+            assert!(
+                simdram.throughput_gops > ambit.throughput_gops,
+                "{op}: SIMDRAM {} GOPS <= Ambit {} GOPS",
+                simdram.throughput_gops,
+                ambit.throughput_gops
+            );
+            assert!(simdram.gops_per_watt > ambit.gops_per_watt);
+        }
+    }
+
+    #[test]
+    fn wider_operands_are_slower() {
+        let cfg = SimdramConfig::paper_banks(16);
+        let w8 = pud_performance(Target::Simdram, Operation::Add, 8, &cfg);
+        let w64 = pud_performance(Target::Simdram, Operation::Add, 64, &cfg);
+        assert!(w8.throughput_gops > w64.throughput_gops);
+        assert!(w8.energy_per_element_nj < w64.energy_per_element_nj);
+    }
+
+    #[test]
+    fn headline_addition_throughput_is_in_the_expected_range() {
+        // SIMDRAM:16 banks, 32-bit addition — the paper reports tens of GOPS for this point.
+        let perf = pud_performance(
+            Target::Simdram,
+            Operation::Add,
+            32,
+            &SimdramConfig::paper_banks(16),
+        );
+        assert!(
+            perf.throughput_gops > 10.0 && perf.throughput_gops < 10_000.0,
+            "unexpected throughput {}",
+            perf.throughput_gops
+        );
+    }
+}

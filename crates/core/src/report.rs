@@ -1,0 +1,204 @@
+//! Execution reports and machine-level statistics.
+
+use std::fmt;
+
+use simdram_logic::Operation;
+
+/// The cost accounting of one executed bbop operation.
+///
+/// Latency is the time the μProgram occupies the participating banks (commands issue in
+/// lock-step across subarrays, so latency does not grow with the number of lanes); energy
+/// scales with the number of subarrays that actually computed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionReport {
+    /// The operation that was executed.
+    pub op: Operation,
+    /// Element width in bits.
+    pub width: usize,
+    /// Number of elements processed.
+    pub elements: usize,
+    /// Number of subarrays that participated.
+    pub subarrays_used: usize,
+    /// Total DRAM commands issued per subarray (AAP + AP).
+    pub commands: usize,
+    /// Triple-row activations per subarray.
+    pub tra_count: usize,
+    /// Latency of the operation in nanoseconds.
+    pub latency_ns: f64,
+    /// DRAM energy of the operation in nanojoules (all subarrays).
+    pub energy_nj: f64,
+}
+
+impl ExecutionReport {
+    /// Throughput in giga-operations per second achieved by this execution.
+    pub fn throughput_gops(&self) -> f64 {
+        if self.latency_ns == 0.0 {
+            0.0
+        } else {
+            self.elements as f64 / self.latency_ns
+        }
+    }
+
+    /// Average DRAM energy per element in nanojoules.
+    pub fn energy_per_element_nj(&self) -> f64 {
+        if self.elements == 0 {
+            0.0
+        } else {
+            self.energy_nj / self.elements as f64
+        }
+    }
+
+    /// Average DRAM power drawn during the operation, in watts.
+    pub fn average_power_w(&self) -> f64 {
+        if self.latency_ns == 0.0 {
+            0.0
+        } else {
+            self.energy_nj / self.latency_ns
+        }
+    }
+
+    /// Energy efficiency in giga-operations per second per watt.
+    pub fn gops_per_watt(&self) -> f64 {
+        let power = self.average_power_w();
+        if power == 0.0 {
+            0.0
+        } else {
+            self.throughput_gops() / power
+        }
+    }
+}
+
+impl fmt::Display for ExecutionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}-bit, {} elements): {} commands/subarray, {:.1} ns, {:.1} nJ, {:.2} GOPS, {:.2} GOPS/W",
+            self.op,
+            self.width,
+            self.elements,
+            self.commands,
+            self.latency_ns,
+            self.energy_nj,
+            self.throughput_gops(),
+            self.gops_per_watt()
+        )
+    }
+}
+
+/// Cumulative statistics of a [`crate::SimdramMachine`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MachineStats {
+    /// Number of bbop operations executed.
+    pub operations: usize,
+    /// Total elements processed across all operations.
+    pub elements: usize,
+    /// Total DRAM commands issued (per-subarray counts summed over operations).
+    pub commands: usize,
+    /// Total in-DRAM computation latency in nanoseconds.
+    pub compute_latency_ns: f64,
+    /// Total in-DRAM computation energy in nanojoules.
+    pub compute_energy_nj: f64,
+    /// Total transposition-unit latency in nanoseconds (host ↔ vertical layout conversion).
+    pub transpose_latency_ns: f64,
+    /// Total transposition-unit energy in nanojoules.
+    pub transpose_energy_nj: f64,
+}
+
+impl MachineStats {
+    /// Adds one execution report to the totals.
+    pub fn record_execution(&mut self, report: &ExecutionReport) {
+        self.operations += 1;
+        self.elements += report.elements;
+        self.commands += report.commands;
+        self.compute_latency_ns += report.latency_ns;
+        self.compute_energy_nj += report.energy_nj;
+    }
+
+    /// Adds one layout conversion to the totals.
+    pub fn record_transpose(&mut self, latency_ns: f64, energy_nj: f64) {
+        self.transpose_latency_ns += latency_ns;
+        self.transpose_energy_nj += energy_nj;
+    }
+
+    /// Total latency (compute + transposition) in nanoseconds.
+    pub fn total_latency_ns(&self) -> f64 {
+        self.compute_latency_ns + self.transpose_latency_ns
+    }
+
+    /// Total energy (compute + transposition) in nanojoules.
+    pub fn total_energy_nj(&self) -> f64 {
+        self.compute_energy_nj + self.transpose_energy_nj
+    }
+}
+
+impl fmt::Display for MachineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "SIMDRAM machine statistics:")?;
+        writeln!(f, "  operations executed : {}", self.operations)?;
+        writeln!(f, "  elements processed  : {}", self.elements)?;
+        writeln!(f, "  DRAM commands       : {}", self.commands)?;
+        writeln!(f, "  compute latency     : {:.1} ns", self.compute_latency_ns)?;
+        writeln!(f, "  compute energy      : {:.1} nJ", self.compute_energy_nj)?;
+        writeln!(f, "  transpose latency   : {:.1} ns", self.transpose_latency_ns)?;
+        write!(f, "  transpose energy    : {:.1} nJ", self.transpose_energy_nj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ExecutionReport {
+        ExecutionReport {
+            op: Operation::Add,
+            width: 32,
+            elements: 65_536,
+            subarrays_used: 1,
+            commands: 300,
+            tra_count: 96,
+            latency_ns: 22_950.0,
+            energy_nj: 1_000.0,
+        }
+    }
+
+    #[test]
+    fn throughput_and_efficiency_are_consistent() {
+        let r = report();
+        let gops = r.throughput_gops();
+        assert!(gops > 1.0 && gops < 10.0);
+        let power = r.average_power_w();
+        assert!((r.gops_per_watt() - gops / power).abs() < 1e-9);
+        assert!((r.energy_per_element_nj() - 1_000.0 / 65_536.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_latency_report_does_not_divide_by_zero() {
+        let mut r = report();
+        r.latency_ns = 0.0;
+        r.elements = 0;
+        assert_eq!(r.throughput_gops(), 0.0);
+        assert_eq!(r.gops_per_watt(), 0.0);
+        assert_eq!(r.energy_per_element_nj(), 0.0);
+    }
+
+    #[test]
+    fn stats_accumulate_reports_and_transposes() {
+        let mut stats = MachineStats::default();
+        stats.record_execution(&report());
+        stats.record_execution(&report());
+        stats.record_transpose(100.0, 5.0);
+        assert_eq!(stats.operations, 2);
+        assert_eq!(stats.elements, 2 * 65_536);
+        assert!((stats.total_latency_ns() - (2.0 * 22_950.0 + 100.0)).abs() < 1e-9);
+        assert!((stats.total_energy_nj() - 2_005.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_renders_key_fields() {
+        let text = report().to_string();
+        assert!(text.contains("addition"));
+        assert!(text.contains("GOPS"));
+        let stats_text = MachineStats::default().to_string();
+        assert!(stats_text.contains("operations executed"));
+    }
+}

@@ -1,0 +1,189 @@
+//! The transposition unit: converting between horizontal and vertical data layouts.
+//!
+//! SIMDRAM stores compute data *vertically* (all bits of an element in one bitline) while
+//! the CPU reads and writes DRAM *horizontally* (all bits of an element in one row, accessed
+//! a cache line at a time). The paper adds a transposition unit to the memory controller
+//! that converts between the two layouts at object granularity, so only data that is
+//! actually used for in-DRAM computation pays the conversion cost and the rest of memory
+//! keeps the conventional layout and full CPU bandwidth.
+//!
+//! This module provides both the *functional* transposition (a 64×64 bit-matrix transpose,
+//! the building block the hardware unit would use) and an *analytical* cost model for
+//! transposing whole objects through the memory controller.
+
+use simdram_dram::{energy::EnergyModel, DramTiming};
+
+/// Transposes a 64×64 bit matrix held as 64 row words.
+///
+/// Bit `j` of input word `i` becomes bit `i` of output word `j`. This is the core primitive
+/// of the transposition unit: a horizontal cache line's worth of 64-bit elements becomes 64
+/// vertical bit-slices (and vice versa — the transform is an involution).
+///
+/// The software model walks the set bits of each row, which is simple, branch-predictable
+/// and fast for the tile sizes involved; the hardware unit would use a 6-stage butterfly
+/// network with identical semantics.
+///
+/// # Examples
+///
+/// ```
+/// use simdram_core::transpose_64x64;
+///
+/// let mut matrix = [0u64; 64];
+/// matrix[3] = 1 << 10; // row 3, column 10
+/// let t = transpose_64x64(&matrix);
+/// assert_eq!(t[10], 1 << 3); // row 10, column 3
+/// assert_eq!(transpose_64x64(&t), matrix);
+/// ```
+pub fn transpose_64x64(rows: &[u64; 64]) -> [u64; 64] {
+    let mut out = [0u64; 64];
+    for (i, &row) in rows.iter().enumerate() {
+        let mut remaining = row;
+        while remaining != 0 {
+            let j = remaining.trailing_zeros() as usize;
+            out[j] |= 1 << i;
+            remaining &= remaining - 1;
+        }
+    }
+    out
+}
+
+/// Analytic latency/energy model of the memory-controller transposition unit.
+///
+/// The unit streams data between the channel and a small SRAM holding one 64×64 tile;
+/// transposing an object of `n` `width`-bit elements therefore moves `n × width` bits twice
+/// (read horizontally, write vertically, or vice versa) plus a fixed per-tile pipeline
+/// latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TranspositionUnit {
+    /// Pipeline latency of transposing one 64×64 tile, in nanoseconds.
+    pub tile_latency_ns: f64,
+    /// Energy of transposing one 64×64 tile inside the unit's SRAM, in nanojoules.
+    pub tile_energy_nj: f64,
+    timing: DramTiming,
+    energy: EnergyModel,
+}
+
+impl TranspositionUnit {
+    /// Creates the unit with the paper's assumptions: the tile transpose is pipelined behind
+    /// the DRAM accesses, costing a few nanoseconds and a fraction of a nanojoule per tile.
+    pub fn new(timing: DramTiming, energy: EnergyModel) -> Self {
+        TranspositionUnit {
+            tile_latency_ns: 4.0,
+            tile_energy_nj: 0.1,
+            timing,
+            energy,
+        }
+    }
+
+    /// Number of 64×64 tiles needed to transpose `elements` elements of `width` bits.
+    pub fn tiles(&self, elements: usize, width: usize) -> usize {
+        elements.div_ceil(64) * width.div_ceil(64).max(1)
+    }
+
+    /// Latency in nanoseconds of transposing an object of `elements` × `width` bits,
+    /// including reading it from DRAM in one layout and writing it back in the other.
+    pub fn latency_ns(&self, elements: usize, width: usize) -> f64 {
+        let bytes = (elements * width).div_ceil(8);
+        let tiles = self.tiles(elements, width) as f64;
+        self.timing.row_read_ns(bytes) + self.timing.row_write_ns(bytes) + tiles * self.tile_latency_ns
+    }
+
+    /// Energy in nanojoules of transposing an object of `elements` × `width` bits.
+    pub fn energy_nj(&self, elements: usize, width: usize) -> f64 {
+        let bits = elements * width;
+        let tiles = self.tiles(elements, width) as f64;
+        // The data crosses the on-DIMM datapath twice (read + write) plus the tile SRAM.
+        2.0 * self.energy.array_access_nj(bits) + tiles * self.tile_energy_nj
+    }
+}
+
+/// Transposes `values` (one `width`-bit element each, element `i` in lane `i`) into
+/// `width` bit-slices of `lanes` bits packed as `u64` words (LSB-first lane order).
+///
+/// Slice `b` of the result holds bit `b` of every element — exactly the contents of DRAM row
+/// `base + b` in SIMDRAM's vertical layout. [`vertical_to_horizontal`] is the inverse.
+pub fn horizontal_to_vertical(values: &[u64], width: usize, lanes: usize) -> Vec<Vec<u64>> {
+    let words_per_slice = lanes.div_ceil(64);
+    let mut slices = vec![vec![0u64; words_per_slice]; width];
+    for (lane, &value) in values.iter().enumerate().take(lanes) {
+        for (bit, slice) in slices.iter_mut().enumerate() {
+            if (value >> bit) & 1 == 1 {
+                slice[lane / 64] |= 1 << (lane % 64);
+            }
+        }
+    }
+    slices
+}
+
+/// Inverse of [`horizontal_to_vertical`]: reassembles per-element values from bit-slices.
+pub fn vertical_to_horizontal(slices: &[Vec<u64>], width: usize, lanes: usize) -> Vec<u64> {
+    let mut values = vec![0u64; lanes];
+    for (bit, slice) in slices.iter().enumerate().take(width) {
+        for (lane, value) in values.iter_mut().enumerate() {
+            if (slice[lane / 64] >> (lane % 64)) & 1 == 1 {
+                *value |= 1 << bit;
+            }
+        }
+    }
+    values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdram_dram::DramConfig;
+
+    #[test]
+    fn transpose_is_an_involution() {
+        let mut matrix = [0u64; 64];
+        for (i, row) in matrix.iter_mut().enumerate() {
+            *row = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i as u64) << 17;
+        }
+        let once = transpose_64x64(&matrix);
+        let twice = transpose_64x64(&once);
+        assert_eq!(twice, matrix);
+    }
+
+    #[test]
+    fn transpose_moves_single_bits_correctly() {
+        for (row, col) in [(0usize, 0usize), (5, 63), (63, 5), (17, 42)] {
+            let mut matrix = [0u64; 64];
+            matrix[row] = 1 << col;
+            let t = transpose_64x64(&matrix);
+            for (i, &word) in t.iter().enumerate() {
+                let expected = if i == col { 1u64 << row } else { 0 };
+                assert_eq!(word, expected, "row {row} col {col} output word {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn horizontal_vertical_roundtrip() {
+        let values: Vec<u64> = (0..100u64).map(|i| i.wrapping_mul(2654435761) & 0xFFFF).collect();
+        let slices = horizontal_to_vertical(&values, 16, 128);
+        assert_eq!(slices.len(), 16);
+        let back = vertical_to_horizontal(&slices, 16, 128);
+        assert_eq!(&back[..100], &values[..]);
+        assert!(back[100..].iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn vertical_slices_contain_expected_bits() {
+        let values = vec![0b01u64, 0b10, 0b11];
+        let slices = horizontal_to_vertical(&values, 2, 3);
+        assert_eq!(slices[0][0], 0b101); // bit 0 of elements 0 and 2
+        assert_eq!(slices[1][0], 0b110); // bit 1 of elements 1 and 2
+    }
+
+    #[test]
+    fn cost_model_scales_with_object_size() {
+        let cfg = DramConfig::default();
+        let unit = TranspositionUnit::new(cfg.timing.clone(), cfg.energy.clone());
+        let small_lat = unit.latency_ns(64, 8);
+        let big_lat = unit.latency_ns(65_536, 32);
+        assert!(big_lat > small_lat * 10.0);
+        assert!(unit.energy_nj(65_536, 32) > unit.energy_nj(64, 8));
+        assert_eq!(unit.tiles(64, 8), 1);
+        assert_eq!(unit.tiles(128, 8), 2);
+    }
+}

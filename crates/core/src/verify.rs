@@ -1,0 +1,73 @@
+//! Scalar reference execution used to verify in-DRAM results.
+
+use simdram_logic::Operation;
+
+/// Computes the element-wise reference result of `op` over host-side slices.
+///
+/// `b` is ignored for single-operand operations; `pred` is ignored unless the operation is
+/// predicated. Slices shorter than `a` are treated as zero/false.
+pub fn reference_elementwise(
+    op: Operation,
+    width: usize,
+    a: &[u64],
+    b: &[u64],
+    pred: &[bool],
+) -> Vec<u64> {
+    a.iter()
+        .enumerate()
+        .map(|(i, &av)| {
+            let bv = b.get(i).copied().unwrap_or(0);
+            let pv = pred.get(i).copied().unwrap_or(false);
+            op.reference(width, av, bv, pv)
+        })
+        .collect()
+}
+
+/// Compares in-DRAM results against the scalar reference, returning the indices of any
+/// mismatching elements (empty means the results are correct).
+pub fn mismatches(
+    op: Operation,
+    width: usize,
+    a: &[u64],
+    b: &[u64],
+    pred: &[bool],
+    results: &[u64],
+) -> Vec<usize> {
+    let expected = reference_elementwise(op, width, a, b, pred);
+    expected
+        .iter()
+        .zip(results)
+        .enumerate()
+        .filter_map(|(i, (e, r))| if e != r { Some(i) } else { None })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_elementwise_applies_operation_per_lane() {
+        let out = reference_elementwise(Operation::Add, 8, &[250, 3], &[10, 4], &[]);
+        assert_eq!(out, vec![4, 7]);
+        let relu = reference_elementwise(Operation::Relu, 8, &[0x80, 0x7F], &[], &[]);
+        assert_eq!(relu, vec![0, 0x7F]);
+    }
+
+    #[test]
+    fn mismatches_reports_only_wrong_lanes() {
+        let a = [1u64, 2, 3];
+        let b = [1u64, 1, 1];
+        let good = reference_elementwise(Operation::Add, 8, &a, &b, &[]);
+        assert!(mismatches(Operation::Add, 8, &a, &b, &[], &good).is_empty());
+        let mut bad = good.clone();
+        bad[1] ^= 1;
+        assert_eq!(mismatches(Operation::Add, 8, &a, &b, &[], &bad), vec![1]);
+    }
+
+    #[test]
+    fn missing_operands_default_to_zero() {
+        let out = reference_elementwise(Operation::Add, 8, &[5, 6], &[1], &[]);
+        assert_eq!(out, vec![6, 6]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Property-based tests of the transposition unit and the vertical-layout round trip
+//! through a real machine.
+
+use proptest::prelude::*;
+use simdram_core::{
+    horizontal_to_vertical, transpose_64x64, vertical_to_horizontal, SimdramConfig,
+    SimdramMachine,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tile_transpose_is_involutive(rows in proptest::collection::vec(any::<u64>(), 64)) {
+        let tile: [u64; 64] = rows.clone().try_into().unwrap();
+        let twice = transpose_64x64(&transpose_64x64(&tile));
+        prop_assert_eq!(twice.to_vec(), rows);
+    }
+
+    #[test]
+    fn tile_transpose_moves_every_bit(row in 0usize..64, col in 0usize..64) {
+        let mut tile = [0u64; 64];
+        tile[row] = 1 << col;
+        let t = transpose_64x64(&tile);
+        prop_assert_eq!(t[col], 1u64 << row);
+        prop_assert_eq!(t.iter().map(|w| w.count_ones()).sum::<u32>(), 1);
+    }
+
+    #[test]
+    fn layout_conversion_round_trips(
+        values in proptest::collection::vec(0u64..=0xFFFF_FFFF, 1..200),
+        width in 1usize..=32,
+    ) {
+        let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+        let masked: Vec<u64> = values.iter().map(|v| v & mask).collect();
+        let lanes = masked.len();
+        let slices = horizontal_to_vertical(&masked, width, lanes);
+        prop_assert_eq!(slices.len(), width);
+        let back = vertical_to_horizontal(&slices, width, lanes);
+        prop_assert_eq!(back, masked);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn machine_write_read_round_trips(
+        values in proptest::collection::vec(any::<u64>(), 1..300),
+        width in 1usize..=64,
+    ) {
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let masked: Vec<u64> = values.iter().map(|v| v & mask).collect();
+        let mut machine = SimdramMachine::new(SimdramConfig::functional_test()).unwrap();
+        let vector = machine.alloc_and_write(width, &masked).unwrap();
+        prop_assert_eq!(machine.read(&vector).unwrap(), masked);
+    }
+
+    #[test]
+    fn allocation_free_cycles_do_not_leak_rows(widths in proptest::collection::vec(1usize..=32, 1..20)) {
+        let mut machine = SimdramMachine::new(SimdramConfig::functional_test()).unwrap();
+        for &width in &widths {
+            let v = machine.alloc(width, 8).unwrap();
+            machine.free(v);
+        }
+        // After freeing everything, the largest legal vector must still be allocatable.
+        let all_rows = 64usize.min(machine.config().allocatable_rows());
+        prop_assert!(machine.alloc(all_rows, 8).is_ok());
+    }
+}

@@ -1,0 +1,140 @@
+//! A DRAM bank: a collection of subarrays that can compute in lock-step.
+//!
+//! SIMDRAM exploits *subarray-level parallelism*: the memory controller broadcasts the same
+//! μProgram command stream to many subarrays of a bank simultaneously, so the latency of an
+//! operation is paid once per bank while the number of SIMD lanes scales with the number of
+//! participating subarrays.
+
+use crate::config::DramConfig;
+use crate::error::{DramError, Result};
+use crate::subarray::{RowAddr, Subarray};
+
+/// A bank containing `subarrays_per_bank` compute-capable subarrays.
+#[derive(Debug, Clone)]
+pub struct Bank {
+    subarrays: Vec<Subarray>,
+}
+
+impl Bank {
+    /// Creates a bank with the geometry of `config`.
+    pub fn new(config: &DramConfig) -> Self {
+        Bank {
+            subarrays: (0..config.subarrays_per_bank)
+                .map(|_| Subarray::new(config))
+                .collect(),
+        }
+    }
+
+    /// Number of subarrays in the bank.
+    pub fn subarray_count(&self) -> usize {
+        self.subarrays.len()
+    }
+
+    /// Immutable access to a subarray.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::SubarrayOutOfRange`] if the index is invalid.
+    pub fn subarray(&self, index: usize) -> Result<&Subarray> {
+        self.subarrays.get(index).ok_or(DramError::SubarrayOutOfRange {
+            subarray: index,
+            subarrays: self.subarrays.len(),
+        })
+    }
+
+    /// Mutable access to a subarray.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::SubarrayOutOfRange`] if the index is invalid.
+    pub fn subarray_mut(&mut self, index: usize) -> Result<&mut Subarray> {
+        let subarrays = self.subarrays.len();
+        self.subarrays
+            .get_mut(index)
+            .ok_or(DramError::SubarrayOutOfRange {
+                subarray: index,
+                subarrays,
+            })
+    }
+
+    /// Iterates over the subarrays.
+    pub fn iter(&self) -> impl Iterator<Item = &Subarray> {
+        self.subarrays.iter()
+    }
+
+    /// Iterates mutably over the subarrays.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Subarray> {
+        self.subarrays.iter_mut()
+    }
+
+    /// Broadcasts an `AAP src, dst` command to every subarray whose index is in
+    /// `participants` (lock-step SIMD execution).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any participant index or row address is invalid.
+    pub fn broadcast_aap(
+        &mut self,
+        participants: &[usize],
+        src: RowAddr,
+        dst: RowAddr,
+    ) -> Result<()> {
+        for &idx in participants {
+            self.subarray_mut(idx)?.aap(src, dst)?;
+        }
+        Ok(())
+    }
+
+    /// Clears all per-subarray command traces.
+    pub fn reset_traces(&mut self) {
+        for sa in &mut self.subarrays {
+            sa.reset_trace();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitrow::BitRow;
+
+    #[test]
+    fn bank_has_configured_subarrays() {
+        let cfg = DramConfig::tiny();
+        let bank = Bank::new(&cfg);
+        assert_eq!(bank.subarray_count(), cfg.subarrays_per_bank);
+    }
+
+    #[test]
+    fn out_of_range_subarray_is_an_error() {
+        let mut bank = Bank::new(&DramConfig::tiny());
+        assert!(bank.subarray(100).is_err());
+        assert!(bank.subarray_mut(100).is_err());
+    }
+
+    #[test]
+    fn broadcast_aap_touches_all_participants() {
+        let cfg = DramConfig::tiny();
+        let mut bank = Bank::new(&cfg);
+        let pattern = BitRow::splat_word(0xDEAD, cfg.columns_per_row);
+        for idx in 0..bank.subarray_count() {
+            bank.subarray_mut(idx).unwrap().write_row(0, &pattern);
+        }
+        bank.broadcast_aap(&[0, 1], RowAddr::Data(0), RowAddr::Data(1)).unwrap();
+        for idx in 0..2 {
+            assert_eq!(
+                bank.subarray(idx).unwrap().peek(RowAddr::Data(1)).unwrap(),
+                pattern
+            );
+        }
+    }
+
+    #[test]
+    fn reset_traces_clears_all_subarrays() {
+        let cfg = DramConfig::tiny();
+        let mut bank = Bank::new(&cfg);
+        bank.subarray_mut(0).unwrap().write_row(0, &BitRow::zeros(256));
+        bank.reset_traces();
+        assert!(bank.subarray(0).unwrap().trace().is_empty());
+    }
+}

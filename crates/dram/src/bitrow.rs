@@ -1,0 +1,454 @@
+//! Packed bit-vector representation of a DRAM row.
+//!
+//! A DRAM row in this simulator is a dense bit vector: one bit per bitline (column). The
+//! default SIMDRAM configuration uses 8 KiB rows, i.e. 65,536 bitlines, so a row is 1,024
+//! `u64` words. All in-DRAM compute primitives (triple-row activation, dual-contact-cell
+//! negation, RowClone copies) are bulk bitwise operations over whole rows, which is exactly
+//! what makes processing-using-DRAM massively parallel: every column is an independent SIMD
+//! lane.
+
+use std::fmt;
+
+use crate::error::{DramError, Result};
+
+/// A packed bit vector with one bit per DRAM column (bitline).
+///
+/// `BitRow` is the fundamental data container of the substrate: DRAM rows, sense-amplifier
+/// state and SIMD lane masks are all `BitRow`s. Bits beyond `len` inside the last word are
+/// kept at zero by every operation so that [`BitRow::count_ones`] and equality behave
+/// intuitively.
+///
+/// # Examples
+///
+/// ```
+/// use simdram_dram::BitRow;
+///
+/// let a = BitRow::splat_word(0b1010, 128);
+/// let b = BitRow::splat_word(0b0110, 128);
+/// let c = BitRow::zeros(128);
+/// // Majority of (a, b, 0) is AND(a, b).
+/// assert_eq!(BitRow::majority(&a, &b, &c).unwrap(), a.and(&b).unwrap());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitRow {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitRow {
+    /// Creates a row of `len` zero bits.
+    pub fn zeros(len: usize) -> Self {
+        BitRow {
+            words: vec![0u64; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Creates a row of `len` one bits.
+    pub fn ones(len: usize) -> Self {
+        let mut row = BitRow {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
+        row.mask_tail();
+        row
+    }
+
+    /// Creates a row whose every 64-bit word equals `word` (the last word is truncated to
+    /// the row length).
+    ///
+    /// This is convenient for building repetitive test patterns.
+    pub fn splat_word(word: u64, len: usize) -> Self {
+        let mut row = BitRow {
+            words: vec![word; len.div_ceil(64)],
+            len,
+        };
+        row.mask_tail();
+        row
+    }
+
+    /// Creates a row from a function mapping bit index to bit value.
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> bool) -> Self {
+        let mut row = BitRow::zeros(len);
+        for i in 0..len {
+            if f(i) {
+                row.set(i, true);
+            }
+        }
+        row
+    }
+
+    /// Creates a row from a slice of 64-bit words; `len` bits are kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` holds fewer than `len` bits.
+    pub fn from_words(words: &[u64], len: usize) -> Self {
+        assert!(
+            words.len() * 64 >= len,
+            "from_words: {} words cannot hold {len} bits",
+            words.len()
+        );
+        let mut w = words[..len.div_ceil(64)].to_vec();
+        w.resize(len.div_ceil(64), 0);
+        let mut row = BitRow { words: w, len };
+        row.mask_tail();
+        row
+    }
+
+    /// Number of bits (columns) in the row.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the row has zero columns.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns the bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`. Use [`BitRow::try_get`] for a fallible variant.
+    pub fn get(&self, index: usize) -> bool {
+        assert!(index < self.len, "bit index {index} out of range ({})", self.len);
+        (self.words[index / 64] >> (index % 64)) & 1 == 1
+    }
+
+    /// Returns the bit at `index`, or an error if out of range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::ColumnOutOfRange`] if `index >= len()`.
+    pub fn try_get(&self, index: usize) -> Result<bool> {
+        if index >= self.len {
+            return Err(DramError::ColumnOutOfRange {
+                column: index,
+                columns: self.len,
+            });
+        }
+        Ok(self.get(index))
+    }
+
+    /// Sets the bit at `index` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn set(&mut self, index: usize, value: bool) {
+        assert!(index < self.len, "bit index {index} out of range ({})", self.len);
+        if value {
+            self.words[index / 64] |= 1 << (index % 64);
+        } else {
+            self.words[index / 64] &= !(1 << (index % 64));
+        }
+    }
+
+    /// Returns the `i`-th 64-bit word of the row (zero-padded beyond the row length).
+    pub fn word(&self, i: usize) -> u64 {
+        self.words.get(i).copied().unwrap_or(0)
+    }
+
+    /// Immutable view of the packed words.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable view of the packed words.
+    ///
+    /// Callers must not set bits beyond the row length; [`BitRow::normalize`] can be used to
+    /// clear any stray tail bits afterwards.
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Clears any bits beyond the row length (useful after direct word manipulation).
+    pub fn normalize(&mut self) {
+        self.mask_tail();
+    }
+
+    /// Number of set bits in the row.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if every bit is zero.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Copies the contents of `src` into `self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::WidthMismatch`] if the rows have different lengths.
+    pub fn copy_from(&mut self, src: &BitRow) -> Result<()> {
+        self.check_width(src)?;
+        self.words.copy_from_slice(&src.words);
+        Ok(())
+    }
+
+    /// Bitwise AND of two rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::WidthMismatch`] if the rows have different lengths.
+    pub fn and(&self, other: &BitRow) -> Result<BitRow> {
+        self.zip_with(other, |a, b| a & b)
+    }
+
+    /// Bitwise OR of two rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::WidthMismatch`] if the rows have different lengths.
+    pub fn or(&self, other: &BitRow) -> Result<BitRow> {
+        self.zip_with(other, |a, b| a | b)
+    }
+
+    /// Bitwise XOR of two rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::WidthMismatch`] if the rows have different lengths.
+    pub fn xor(&self, other: &BitRow) -> Result<BitRow> {
+        self.zip_with(other, |a, b| a ^ b)
+    }
+
+    /// Bitwise NOT of the row (the dual-contact-cell primitive).
+    pub fn not(&self) -> BitRow {
+        let mut out = BitRow {
+            words: self.words.iter().map(|w| !w).collect(),
+            len: self.len,
+        };
+        out.mask_tail();
+        out
+    }
+
+    /// Bitwise majority of three rows: the triple-row-activation primitive.
+    ///
+    /// Each output bit is `1` when at least two of the corresponding input bits are `1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::WidthMismatch`] if the rows have different lengths.
+    pub fn majority(a: &BitRow, b: &BitRow, c: &BitRow) -> Result<BitRow> {
+        a.check_width(b)?;
+        a.check_width(c)?;
+        let words = a
+            .words
+            .iter()
+            .zip(&b.words)
+            .zip(&c.words)
+            .map(|((&x, &y), &z)| (x & y) | (y & z) | (x & z))
+            .collect();
+        Ok(BitRow { words, len: a.len })
+    }
+
+    /// In-place fill with zeros or ones (the control rows `C0`/`C1`).
+    pub fn fill(&mut self, value: bool) {
+        let word = if value { u64::MAX } else { 0 };
+        for w in &mut self.words {
+            *w = word;
+        }
+        self.mask_tail();
+    }
+
+    /// Iterates over the bits of the row.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    fn zip_with(&self, other: &BitRow, f: impl Fn(u64, u64) -> u64) -> Result<BitRow> {
+        self.check_width(other)?;
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        let mut out = BitRow { words, len: self.len };
+        out.mask_tail();
+        Ok(out)
+    }
+
+    fn check_width(&self, other: &BitRow) -> Result<()> {
+        if self.len != other.len {
+            return Err(DramError::WidthMismatch {
+                left: self.len,
+                right: other.len,
+            });
+        }
+        Ok(())
+    }
+
+    fn mask_tail(&mut self) {
+        let rem = self.len % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+        if self.len == 0 {
+            self.words.clear();
+        }
+    }
+}
+
+impl fmt::Debug for BitRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Rows are huge; print length, population count and the first word only.
+        write!(
+            f,
+            "BitRow {{ len: {}, ones: {}, word0: {:#018x} }}",
+            self.len,
+            self.count_ones(),
+            self.word(0)
+        )
+    }
+}
+
+impl fmt::Binary for BitRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.len.min(64)).rev() {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        if self.len > 64 {
+            write!(f, "… ({} bits)", self.len)?;
+        }
+        Ok(())
+    }
+}
+
+impl Default for BitRow {
+    fn default() -> Self {
+        BitRow::zeros(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = BitRow::zeros(100);
+        let o = BitRow::ones(100);
+        assert_eq!(z.count_ones(), 0);
+        assert_eq!(o.count_ones(), 100);
+        assert_eq!(z.len(), 100);
+        assert!(!z.is_empty());
+        assert!(z.is_zero());
+        assert!(!o.is_zero());
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut row = BitRow::zeros(130);
+        row.set(0, true);
+        row.set(64, true);
+        row.set(129, true);
+        assert!(row.get(0));
+        assert!(row.get(64));
+        assert!(row.get(129));
+        assert!(!row.get(1));
+        assert_eq!(row.count_ones(), 3);
+        row.set(64, false);
+        assert_eq!(row.count_ones(), 2);
+    }
+
+    #[test]
+    fn try_get_out_of_range() {
+        let row = BitRow::zeros(16);
+        assert_eq!(
+            row.try_get(16),
+            Err(DramError::ColumnOutOfRange { column: 16, columns: 16 })
+        );
+        assert_eq!(row.try_get(3), Ok(false));
+    }
+
+    #[test]
+    fn bitwise_ops_match_u64_semantics() {
+        let a = BitRow::splat_word(0xDEAD_BEEF_0123_4567, 256);
+        let b = BitRow::splat_word(0x0F0F_F0F0_AAAA_5555, 256);
+        assert_eq!(a.and(&b).unwrap().word(1), 0xDEAD_BEEF_0123_4567 & 0x0F0F_F0F0_AAAA_5555);
+        assert_eq!(a.or(&b).unwrap().word(2), 0xDEAD_BEEF_0123_4567 | 0x0F0F_F0F0_AAAA_5555);
+        assert_eq!(a.xor(&b).unwrap().word(3), 0xDEAD_BEEF_0123_4567 ^ 0x0F0F_F0F0_AAAA_5555);
+        assert_eq!(a.not().word(0), !0xDEAD_BEEF_0123_4567u64);
+    }
+
+    #[test]
+    fn majority_truth_table() {
+        // Exhaustive 3-input truth table packed into one word.
+        let a = BitRow::splat_word(0b1111_0000, 8);
+        let b = BitRow::splat_word(0b1100_1100, 8);
+        let c = BitRow::splat_word(0b1010_1010, 8);
+        let maj = BitRow::majority(&a, &b, &c).unwrap();
+        assert_eq!(maj.word(0), 0b1110_1000);
+    }
+
+    #[test]
+    fn majority_of_identical_rows_is_identity() {
+        let a = BitRow::splat_word(0x1234_5678_9ABC_DEF0, 512);
+        assert_eq!(BitRow::majority(&a, &a, &a).unwrap(), a);
+    }
+
+    #[test]
+    fn not_respects_tail_mask() {
+        let z = BitRow::zeros(10);
+        let n = z.not();
+        assert_eq!(n.count_ones(), 10);
+        assert_eq!(n.word(0), 0b11_1111_1111);
+    }
+
+    #[test]
+    fn width_mismatch_is_reported() {
+        let a = BitRow::zeros(64);
+        let b = BitRow::zeros(65);
+        assert_eq!(
+            a.and(&b),
+            Err(DramError::WidthMismatch { left: 64, right: 65 })
+        );
+        assert!(BitRow::majority(&a, &a, &b).is_err());
+    }
+
+    #[test]
+    fn from_fn_and_iter() {
+        let row = BitRow::from_fn(70, |i| i % 3 == 0);
+        let expected: Vec<bool> = (0..70).map(|i| i % 3 == 0).collect();
+        let got: Vec<bool> = row.iter().collect();
+        assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn from_words_truncates_and_masks() {
+        let row = BitRow::from_words(&[u64::MAX, u64::MAX], 70);
+        assert_eq!(row.count_ones(), 70);
+        assert_eq!(row.len(), 70);
+    }
+
+    #[test]
+    fn fill_toggles_all_bits() {
+        let mut row = BitRow::zeros(200);
+        row.fill(true);
+        assert_eq!(row.count_ones(), 200);
+        row.fill(false);
+        assert!(row.is_zero());
+    }
+
+    #[test]
+    fn copy_from_replaces_contents() {
+        let mut dst = BitRow::zeros(128);
+        let src = BitRow::splat_word(0xFFFF_0000_FFFF_0000, 128);
+        dst.copy_from(&src).unwrap();
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn debug_and_binary_render() {
+        let row = BitRow::splat_word(0b1011, 8);
+        assert!(format!("{row:?}").contains("len: 8"));
+        assert_eq!(format!("{row:b}"), "00001011");
+    }
+}

@@ -1,0 +1,173 @@
+//! DRAM command kinds and the command trace collected during simulation.
+
+use std::fmt;
+
+/// The kind of a DRAM command issued to a subarray.
+///
+/// The substrate distinguishes the command templates that matter for SIMDRAM's latency and
+/// energy accounting. `ActivatePrecharge`/`TripleRowActivate` correspond to the paper's `AP`
+/// template, `ActivateActivatePrecharge` to the `AAP` template, and `Read`/`Write` to
+/// conventional column accesses over the channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommandKind {
+    /// Single-row ACTIVATE followed by PRECHARGE (`AP`).
+    ActivatePrecharge,
+    /// Triple-row ACTIVATE followed by PRECHARGE (`AP` with a TRA address): computes the
+    /// bitwise majority of three B-group rows in place.
+    TripleRowActivate,
+    /// ACTIVATE → ACTIVATE → PRECHARGE (`AAP`): copies the first row into the second through
+    /// the sense amplifiers (RowClone-FPM).
+    ActivateActivatePrecharge,
+    /// Conventional burst read of a row segment over the memory channel.
+    Read,
+    /// Conventional burst write of a row segment over the memory channel.
+    Write,
+}
+
+impl fmt::Display for CommandKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CommandKind::ActivatePrecharge => "AP",
+            CommandKind::TripleRowActivate => "AP(TRA)",
+            CommandKind::ActivateActivatePrecharge => "AAP",
+            CommandKind::Read => "RD",
+            CommandKind::Write => "WR",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One issued DRAM command, as recorded in a [`CommandTrace`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramCommand {
+    /// The command template.
+    pub kind: CommandKind,
+    /// Latency charged for this command, in nanoseconds.
+    pub latency_ns: f64,
+    /// Energy charged for this command, in nanojoules.
+    pub energy_nj: f64,
+}
+
+/// An append-only trace of issued commands with aggregate counters.
+///
+/// Traces are cheap to merge, which is how bank- and device-level statistics are built from
+/// per-subarray execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CommandTrace {
+    commands: Vec<DramCommand>,
+    total_latency_ns: f64,
+    total_energy_nj: f64,
+}
+
+impl CommandTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a command.
+    pub fn push(&mut self, command: DramCommand) {
+        self.total_latency_ns += command.latency_ns;
+        self.total_energy_nj += command.energy_nj;
+        self.commands.push(command);
+    }
+
+    /// All recorded commands, in issue order.
+    pub fn commands(&self) -> &[DramCommand] {
+        &self.commands
+    }
+
+    /// Number of recorded commands.
+    pub fn len(&self) -> usize {
+        self.commands.len()
+    }
+
+    /// Returns `true` if no commands were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.commands.is_empty()
+    }
+
+    /// Number of commands of the given kind.
+    pub fn count(&self, kind: CommandKind) -> usize {
+        self.commands.iter().filter(|c| c.kind == kind).count()
+    }
+
+    /// Sum of the latencies of all recorded commands (sequential issue), in nanoseconds.
+    pub fn total_latency_ns(&self) -> f64 {
+        self.total_latency_ns
+    }
+
+    /// Sum of the energies of all recorded commands, in nanojoules.
+    pub fn total_energy_nj(&self) -> f64 {
+        self.total_energy_nj
+    }
+
+    /// Appends all commands of `other` to `self`.
+    pub fn merge(&mut self, other: &CommandTrace) {
+        for c in &other.commands {
+            self.push(c.clone());
+        }
+    }
+
+    /// Clears the trace.
+    pub fn clear(&mut self) {
+        self.commands.clear();
+        self.total_latency_ns = 0.0;
+        self.total_energy_nj = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmd(kind: CommandKind) -> DramCommand {
+        DramCommand {
+            kind,
+            latency_ns: 10.0,
+            energy_nj: 2.0,
+        }
+    }
+
+    #[test]
+    fn trace_accumulates_totals() {
+        let mut trace = CommandTrace::new();
+        assert!(trace.is_empty());
+        trace.push(cmd(CommandKind::ActivatePrecharge));
+        trace.push(cmd(CommandKind::ActivateActivatePrecharge));
+        trace.push(cmd(CommandKind::ActivateActivatePrecharge));
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.count(CommandKind::ActivateActivatePrecharge), 2);
+        assert_eq!(trace.count(CommandKind::Read), 0);
+        assert!((trace.total_latency_ns() - 30.0).abs() < 1e-12);
+        assert!((trace.total_energy_nj() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_concatenates_traces() {
+        let mut a = CommandTrace::new();
+        a.push(cmd(CommandKind::Read));
+        let mut b = CommandTrace::new();
+        b.push(cmd(CommandKind::Write));
+        b.push(cmd(CommandKind::TripleRowActivate));
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.count(CommandKind::Write), 1);
+        assert!((a.total_latency_ns() - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut a = CommandTrace::new();
+        a.push(cmd(CommandKind::Read));
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.total_energy_nj(), 0.0);
+    }
+
+    #[test]
+    fn command_kind_display() {
+        assert_eq!(CommandKind::ActivateActivatePrecharge.to_string(), "AAP");
+        assert_eq!(CommandKind::TripleRowActivate.to_string(), "AP(TRA)");
+    }
+}

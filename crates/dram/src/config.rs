@@ -1,0 +1,243 @@
+//! DRAM geometry configuration.
+
+use crate::energy::EnergyModel;
+use crate::error::{DramError, Result};
+use crate::timing::DramTiming;
+
+/// Geometry and model parameters of the simulated DRAM device.
+///
+/// The defaults match the configuration evaluated in the SIMDRAM paper: a DDR4-2400 module
+/// with 16 banks, 64 subarrays per bank, 512 rows per subarray and 8 KiB rows (65,536
+/// bitlines), of which 16 banks × however many subarrays the experiment enables participate
+/// in computation.
+///
+/// Use [`DramConfig::builder`] to customize, e.g. for small unit-test geometries.
+///
+/// # Examples
+///
+/// ```
+/// use simdram_dram::DramConfig;
+///
+/// let cfg = DramConfig::builder()
+///     .banks(4)
+///     .subarrays_per_bank(8)
+///     .columns_per_row(1024)
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.total_subarrays(), 32);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramConfig {
+    /// Number of banks in the device.
+    pub banks: usize,
+    /// Number of subarrays per bank.
+    pub subarrays_per_bank: usize,
+    /// Number of data rows per subarray (excluding the B-group compute rows).
+    pub rows_per_subarray: usize,
+    /// Number of columns (bitlines) per row; each column is one SIMD lane.
+    pub columns_per_row: usize,
+    /// Number of rows reserved in each compute subarray for μProgram temporaries
+    /// (the "reserved rows" of SIMDRAM Step 2).
+    pub reserved_rows: usize,
+    /// DDR timing parameters.
+    pub timing: DramTiming,
+    /// Per-command energy model.
+    pub energy: EnergyModel,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig {
+            banks: 16,
+            subarrays_per_bank: 64,
+            rows_per_subarray: 512,
+            columns_per_row: 65_536,
+            reserved_rows: 128,
+            timing: DramTiming::default(),
+            energy: EnergyModel::default(),
+        }
+    }
+}
+
+impl DramConfig {
+    /// Starts building a configuration from the defaults.
+    pub fn builder() -> DramConfigBuilder {
+        DramConfigBuilder {
+            config: DramConfig::default(),
+        }
+    }
+
+    /// A small geometry suitable for fast unit tests: 2 banks × 2 subarrays × 64 rows of
+    /// 256 columns.
+    pub fn tiny() -> Self {
+        DramConfig::builder()
+            .banks(2)
+            .subarrays_per_bank(2)
+            .rows_per_subarray(256)
+            .columns_per_row(256)
+            .reserved_rows(96)
+            .build()
+            .expect("tiny config is valid")
+    }
+
+    /// Total number of subarrays in the device.
+    pub fn total_subarrays(&self) -> usize {
+        self.banks * self.subarrays_per_bank
+    }
+
+    /// Total number of SIMD lanes if every subarray in the device computes concurrently.
+    pub fn total_lanes(&self) -> usize {
+        self.total_subarrays() * self.columns_per_row
+    }
+
+    /// Size of one row in bytes.
+    pub fn row_bytes(&self) -> usize {
+        self.columns_per_row / 8
+    }
+
+    /// Raw data capacity of the device in bytes (data rows only).
+    pub fn capacity_bytes(&self) -> usize {
+        self.total_subarrays() * self.rows_per_subarray * self.row_bytes()
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::InvalidConfig`] if any dimension is zero, if the row width is not
+    /// a multiple of 8, or if the reserved-row count does not fit in the subarray.
+    pub fn validate(&self) -> Result<()> {
+        if self.banks == 0
+            || self.subarrays_per_bank == 0
+            || self.rows_per_subarray == 0
+            || self.columns_per_row == 0
+        {
+            return Err(DramError::InvalidConfig(
+                "all geometry dimensions must be non-zero".into(),
+            ));
+        }
+        if self.columns_per_row % 8 != 0 {
+            return Err(DramError::InvalidConfig(format!(
+                "columns_per_row must be a multiple of 8, got {}",
+                self.columns_per_row
+            )));
+        }
+        if self.reserved_rows >= self.rows_per_subarray {
+            return Err(DramError::InvalidConfig(format!(
+                "reserved_rows ({}) must be smaller than rows_per_subarray ({})",
+                self.reserved_rows, self.rows_per_subarray
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`DramConfig`].
+#[derive(Debug, Clone)]
+pub struct DramConfigBuilder {
+    config: DramConfig,
+}
+
+impl DramConfigBuilder {
+    /// Sets the number of banks.
+    pub fn banks(mut self, banks: usize) -> Self {
+        self.config.banks = banks;
+        self
+    }
+
+    /// Sets the number of subarrays per bank.
+    pub fn subarrays_per_bank(mut self, subarrays: usize) -> Self {
+        self.config.subarrays_per_bank = subarrays;
+        self
+    }
+
+    /// Sets the number of data rows per subarray.
+    pub fn rows_per_subarray(mut self, rows: usize) -> Self {
+        self.config.rows_per_subarray = rows;
+        self
+    }
+
+    /// Sets the number of columns (SIMD lanes) per row.
+    pub fn columns_per_row(mut self, columns: usize) -> Self {
+        self.config.columns_per_row = columns;
+        self
+    }
+
+    /// Sets the number of rows reserved for μProgram temporaries.
+    pub fn reserved_rows(mut self, rows: usize) -> Self {
+        self.config.reserved_rows = rows;
+        self
+    }
+
+    /// Sets the timing parameters.
+    pub fn timing(mut self, timing: DramTiming) -> Self {
+        self.config.timing = timing;
+        self
+    }
+
+    /// Sets the energy model.
+    pub fn energy(mut self, energy: EnergyModel) -> Self {
+        self.config.energy = energy;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::InvalidConfig`] when the configuration is inconsistent; see
+    /// [`DramConfig::validate`].
+    pub fn build(self) -> Result<DramConfig> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_configuration() {
+        let cfg = DramConfig::default();
+        assert_eq!(cfg.banks, 16);
+        assert_eq!(cfg.columns_per_row, 65_536);
+        assert_eq!(cfg.row_bytes(), 8192);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn tiny_config_is_valid_and_small() {
+        let cfg = DramConfig::tiny();
+        assert!(cfg.validate().is_ok());
+        assert!(cfg.capacity_bytes() < 2 * 1024 * 1024);
+    }
+
+    #[test]
+    fn builder_rejects_zero_dimensions() {
+        let err = DramConfig::builder().banks(0).build().unwrap_err();
+        assert!(matches!(err, DramError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn builder_rejects_non_byte_row_width() {
+        let err = DramConfig::builder().columns_per_row(100).build().unwrap_err();
+        assert!(matches!(err, DramError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn builder_rejects_reserved_rows_overflow() {
+        let err = DramConfig::builder()
+            .rows_per_subarray(16)
+            .reserved_rows(16)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DramError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn lane_count_is_product_of_geometry() {
+        let cfg = DramConfig::tiny();
+        assert_eq!(cfg.total_lanes(), 2 * 2 * 256);
+    }
+}

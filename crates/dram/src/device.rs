@@ -1,0 +1,136 @@
+//! The top-level DRAM device: a set of banks sharing one channel.
+
+use crate::bank::Bank;
+use crate::config::DramConfig;
+use crate::error::{DramError, Result};
+use crate::stats::DeviceStats;
+
+/// A DRAM device (one rank on one channel) made of [`Bank`]s.
+///
+/// The device is the unit handed to the SIMDRAM control unit: bbop instructions name a set
+/// of banks/subarrays inside one device, and bank-level parallelism multiplies throughput
+/// because every bank can execute a μProgram independently.
+#[derive(Debug, Clone)]
+pub struct DramDevice {
+    config: DramConfig,
+    banks: Vec<Bank>,
+}
+
+impl DramDevice {
+    /// Creates a device with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::InvalidConfig`] if the configuration fails validation.
+    pub fn new(config: DramConfig) -> Result<Self> {
+        config.validate()?;
+        let banks = (0..config.banks).map(|_| Bank::new(&config)).collect();
+        Ok(DramDevice { config, banks })
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// Number of banks.
+    pub fn bank_count(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Immutable access to a bank.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::BankOutOfRange`] if the index is invalid.
+    pub fn bank(&self, index: usize) -> Result<&Bank> {
+        self.banks.get(index).ok_or(DramError::BankOutOfRange {
+            bank: index,
+            banks: self.banks.len(),
+        })
+    }
+
+    /// Mutable access to a bank.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::BankOutOfRange`] if the index is invalid.
+    pub fn bank_mut(&mut self, index: usize) -> Result<&mut Bank> {
+        let banks = self.banks.len();
+        self.banks.get_mut(index).ok_or(DramError::BankOutOfRange {
+            bank: index,
+            banks,
+        })
+    }
+
+    /// Iterates over the banks.
+    pub fn iter(&self) -> impl Iterator<Item = &Bank> {
+        self.banks.iter()
+    }
+
+    /// Iterates mutably over the banks.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Bank> {
+        self.banks.iter_mut()
+    }
+
+    /// Aggregates the command traces of every subarray into device-level statistics.
+    pub fn stats(&self) -> DeviceStats {
+        let mut stats = DeviceStats::default();
+        for bank in &self.banks {
+            for sa in bank.iter() {
+                stats.absorb_trace(sa.trace());
+            }
+        }
+        stats
+    }
+
+    /// Clears every subarray's command trace.
+    pub fn reset_stats(&mut self) {
+        for bank in &mut self.banks {
+            bank.reset_traces();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitrow::BitRow;
+    use crate::command::CommandKind;
+
+    #[test]
+    fn device_has_configured_banks() {
+        let device = DramDevice::new(DramConfig::tiny()).unwrap();
+        assert_eq!(device.bank_count(), 2);
+        assert!(device.bank(5).is_err());
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut cfg = DramConfig::tiny();
+        cfg.banks = 0;
+        assert!(DramDevice::new(cfg).is_err());
+    }
+
+    #[test]
+    fn stats_aggregate_across_banks() {
+        let mut device = DramDevice::new(DramConfig::tiny()).unwrap();
+        let pattern = BitRow::ones(256);
+        device
+            .bank_mut(0)
+            .unwrap()
+            .subarray_mut(0)
+            .unwrap()
+            .write_row(0, &pattern);
+        device
+            .bank_mut(1)
+            .unwrap()
+            .subarray_mut(1)
+            .unwrap()
+            .write_row(0, &pattern);
+        let stats = device.stats();
+        assert_eq!(stats.count(CommandKind::Write), 2);
+        device.reset_stats();
+        assert_eq!(device.stats().total_commands(), 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Energy model for DRAM commands and in-DRAM compute primitives.
+//!
+//! The SIMDRAM/Ambit evaluations derive energy from per-command costs: every ACTIVATE +
+//! PRECHARGE pair costs a fixed amount of energy (dominated by charging the wordline and
+//! the bitlines of an 8 KiB row), and data transfers over the channel cost energy per bit.
+//! The defaults below follow the values reported for DDR4 in the Ambit and SIMDRAM papers
+//! (on the order of a few nanojoules per row activation and a few picojoules per bit moved
+//! over the channel). Absolute numbers are configuration constants; the experiments only
+//! rely on the *relative* costs (an AAP costs roughly twice an AP, channel transfers
+//! dominate CPU-side energy).
+
+/// Per-command and per-bit energy costs, in nanojoules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    /// Energy of one ACTIVATE + PRECHARGE of a single row (nJ).
+    pub act_pre_nj: f64,
+    /// Additional energy of the second ACTIVATE in an AAP (nJ).
+    pub second_act_nj: f64,
+    /// Extra energy of a triple-row activation relative to a single activation (three
+    /// wordlines are raised and the bitlines swing with three cells sharing charge), in nJ.
+    pub tra_extra_nj: f64,
+    /// Energy per bit read or written over the memory channel (nJ/bit).
+    pub channel_nj_per_bit: f64,
+    /// Energy per bit for an on-DIMM read/write access that does not cross the channel
+    /// (used by the transposition unit), in nJ/bit.
+    pub array_access_nj_per_bit: f64,
+    /// Static/background power of the DRAM device in watts, charged per nanosecond of
+    /// occupancy when computing energy for a command trace.
+    pub background_w: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            // ~2.5 nJ to activate + precharge an 8 KiB row (DDR4, per Ambit's estimates).
+            act_pre_nj: 2.5,
+            // The second activation of an AAP re-drives the bitlines into the target row.
+            second_act_nj: 1.5,
+            // TRA raises three wordlines simultaneously.
+            tra_extra_nj: 0.6,
+            // ~4 pJ/bit over the off-chip channel.
+            channel_nj_per_bit: 0.004,
+            // ~1 pJ/bit for internal accesses that stay on the DIMM.
+            array_access_nj_per_bit: 0.001,
+            background_w: 0.25,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Creates the default DDR4 energy model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Energy of one `AP` command (single- or triple-row activation followed by precharge).
+    ///
+    /// `triple` selects whether three wordlines were raised (triple-row activation).
+    pub fn ap_nj(&self, triple: bool) -> f64 {
+        if triple {
+            self.act_pre_nj + self.tra_extra_nj
+        } else {
+            self.act_pre_nj
+        }
+    }
+
+    /// Energy of one `AAP` command (copy through the sense amplifiers).
+    ///
+    /// `triple_first` selects whether the first activation was a triple-row activation
+    /// (Ambit issues `AAP` with a TRA source address to copy the majority result out).
+    pub fn aap_nj(&self, triple_first: bool) -> f64 {
+        self.ap_nj(triple_first) + self.second_act_nj
+    }
+
+    /// Energy of moving `bits` bits across the off-chip channel.
+    pub fn channel_transfer_nj(&self, bits: usize) -> f64 {
+        self.channel_nj_per_bit * bits as f64
+    }
+
+    /// Energy of accessing `bits` bits inside the DIMM without crossing the channel.
+    pub fn array_access_nj(&self, bits: usize) -> f64 {
+        self.array_access_nj_per_bit * bits as f64
+    }
+
+    /// Background (static) energy for a busy period of `ns` nanoseconds.
+    pub fn background_nj(&self, ns: f64) -> f64 {
+        // 1 W · 1 ns = 1 nJ, so watts × ns gives nJ directly.
+        self.background_w * ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aap_costs_more_than_ap() {
+        let e = EnergyModel::default();
+        assert!(e.aap_nj(false) > e.ap_nj(false));
+        assert!(e.aap_nj(true) > e.aap_nj(false));
+        assert!(e.ap_nj(true) > e.ap_nj(false));
+    }
+
+    #[test]
+    fn channel_transfer_scales_linearly() {
+        let e = EnergyModel::default();
+        assert!((e.channel_transfer_nj(1000) - 1000.0 * e.channel_nj_per_bit).abs() < 1e-12);
+        assert!(e.channel_transfer_nj(0) == 0.0);
+    }
+
+    #[test]
+    fn internal_access_is_cheaper_than_channel() {
+        let e = EnergyModel::default();
+        assert!(e.array_access_nj(4096) < e.channel_transfer_nj(4096));
+    }
+
+    #[test]
+    fn background_energy_is_watts_times_ns() {
+        let e = EnergyModel::default();
+        assert!((e.background_nj(100.0) - 25.0).abs() < 1e-12);
+    }
+}

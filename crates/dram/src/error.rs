@@ -1,0 +1,85 @@
+//! Error type for the DRAM substrate.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, DramError>;
+
+/// Errors raised by the DRAM substrate simulator.
+///
+/// All public fallible operations in this crate return [`DramError`]; the variants carry
+/// enough context to diagnose which structural limit or addressing rule was violated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DramError {
+    /// A row index addressed a row outside the subarray.
+    RowOutOfRange {
+        /// The offending row index.
+        row: usize,
+        /// Number of data rows in the subarray.
+        rows: usize,
+    },
+    /// A column index addressed a bit outside the row.
+    ColumnOutOfRange {
+        /// The offending column index.
+        column: usize,
+        /// Number of columns (bitlines) per row.
+        columns: usize,
+    },
+    /// A subarray index addressed a subarray outside the bank.
+    SubarrayOutOfRange {
+        /// The offending subarray index.
+        subarray: usize,
+        /// Number of subarrays per bank.
+        subarrays: usize,
+    },
+    /// A bank index addressed a bank outside the device.
+    BankOutOfRange {
+        /// The offending bank index.
+        bank: usize,
+        /// Number of banks in the device.
+        banks: usize,
+    },
+    /// Two rows involved in the same command must have the same width.
+    WidthMismatch {
+        /// Width of the first operand in bits.
+        left: usize,
+        /// Width of the second operand in bits.
+        right: usize,
+    },
+    /// A triple-row activation named the same B-group row more than once.
+    DuplicateTraRow,
+    /// A command that requires an open row was issued while the subarray was precharged.
+    NoOpenRow,
+    /// A configuration value was invalid (zero-sized geometry, non-power-of-two row size, …).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for DramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramError::RowOutOfRange { row, rows } => {
+                write!(f, "row index {row} out of range (subarray has {rows} data rows)")
+            }
+            DramError::ColumnOutOfRange { column, columns } => {
+                write!(f, "column index {column} out of range (row has {columns} columns)")
+            }
+            DramError::SubarrayOutOfRange { subarray, subarrays } => {
+                write!(f, "subarray index {subarray} out of range (bank has {subarrays} subarrays)")
+            }
+            DramError::BankOutOfRange { bank, banks } => {
+                write!(f, "bank index {bank} out of range (device has {banks} banks)")
+            }
+            DramError::WidthMismatch { left, right } => {
+                write!(f, "row width mismatch: {left} bits vs {right} bits")
+            }
+            DramError::DuplicateTraRow => {
+                write!(f, "triple-row activation requires three distinct B-group rows")
+            }
+            DramError::NoOpenRow => write!(f, "command requires an open row but the subarray is precharged"),
+            DramError::InvalidConfig(msg) => write!(f, "invalid DRAM configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DramError {}

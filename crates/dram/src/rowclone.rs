@@ -1,0 +1,132 @@
+//! In-DRAM bulk-copy mechanisms (RowClone, LISA, FIGARO).
+//!
+//! SIMDRAM relies on row-to-row copies for two purposes: moving operands in and out of the
+//! B-group inside a subarray (intra-subarray, RowClone-FPM, a single `AAP`), and moving data
+//! between subarrays when operands do not reside in a compute subarray. The paper cites
+//! three inter-subarray mechanisms with very different costs — RowClone-PSM (pipelined
+//! serial copy through the channel), LISA (linked subarrays) and FIGARO (fine-grained
+//! relocation). This module provides an analytic model of those mechanisms so the framework
+//! can charge a realistic cost for data placement decisions.
+
+use crate::config::DramConfig;
+
+/// The mechanism used to copy a row between two subarrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CopyMechanism {
+    /// RowClone Fast-Parallel-Mode: only valid within one subarray (two activations).
+    RowCloneFpm,
+    /// RowClone Pipelined-Serial-Mode: copies cache line by cache line over the internal bus.
+    RowClonePsm,
+    /// LISA: links neighbouring subarrays with isolation transistors for fast row transfer.
+    Lisa,
+    /// FIGARO: fine-grained (column-granularity) relocation through the shared global buffer.
+    Figaro,
+}
+
+/// Analytic cost model for inter- and intra-subarray row copies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterSubarrayCopy {
+    row_bytes: usize,
+    aap_ns: f64,
+    ap_ns: f64,
+    cacheline_transfer_ns: f64,
+    energy_per_bit_nj: f64,
+    act_pre_nj: f64,
+}
+
+impl InterSubarrayCopy {
+    /// Builds the copy cost model from a DRAM configuration.
+    pub fn new(config: &DramConfig) -> Self {
+        InterSubarrayCopy {
+            row_bytes: config.row_bytes(),
+            aap_ns: config.timing.aap_ns(),
+            ap_ns: config.timing.ap_ns(),
+            // Moving one 64-byte cache line over the internal bus takes roughly tCCD.
+            cacheline_transfer_ns: config.timing.t_ccd_ns,
+            energy_per_bit_nj: config.energy.array_access_nj_per_bit,
+            act_pre_nj: config.energy.act_pre_nj,
+        }
+    }
+
+    /// Latency in nanoseconds of copying one full row with the given mechanism.
+    pub fn latency_ns(&self, mechanism: CopyMechanism) -> f64 {
+        match mechanism {
+            CopyMechanism::RowCloneFpm => self.aap_ns,
+            CopyMechanism::RowClonePsm => {
+                // One activation per subarray plus one cache-line transfer per 64 bytes.
+                let lines = self.row_bytes.div_ceil(64) as f64;
+                2.0 * self.ap_ns + lines * self.cacheline_transfer_ns
+            }
+            CopyMechanism::Lisa => {
+                // LISA chains row-buffer movements between adjacent subarrays; ~3 activations.
+                3.0 * self.ap_ns
+            }
+            CopyMechanism::Figaro => {
+                // FIGARO moves column-granularity chunks through the global row buffer;
+                // modelled as PSM with half the per-line cost.
+                let lines = self.row_bytes.div_ceil(64) as f64;
+                2.0 * self.ap_ns + 0.5 * lines * self.cacheline_transfer_ns
+            }
+        }
+    }
+
+    /// Energy in nanojoules of copying one full row with the given mechanism.
+    pub fn energy_nj(&self, mechanism: CopyMechanism) -> f64 {
+        let bits = (self.row_bytes * 8) as f64;
+        match mechanism {
+            CopyMechanism::RowCloneFpm => 2.0 * self.act_pre_nj,
+            CopyMechanism::RowClonePsm => 2.0 * self.act_pre_nj + bits * self.energy_per_bit_nj,
+            CopyMechanism::Lisa => 3.0 * self.act_pre_nj,
+            CopyMechanism::Figaro => 2.0 * self.act_pre_nj + 0.5 * bits * self.energy_per_bit_nj,
+        }
+    }
+
+    /// The cheapest mechanism available for a copy between `src_subarray` and
+    /// `dst_subarray` (FPM within a subarray, LISA between adjacent subarrays, PSM
+    /// otherwise).
+    pub fn best_mechanism(&self, src_subarray: usize, dst_subarray: usize) -> CopyMechanism {
+        if src_subarray == dst_subarray {
+            CopyMechanism::RowCloneFpm
+        } else if src_subarray.abs_diff(dst_subarray) == 1 {
+            CopyMechanism::Lisa
+        } else {
+            CopyMechanism::RowClonePsm
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fpm_is_fastest_and_cheapest() {
+        let model = InterSubarrayCopy::new(&DramConfig::default());
+        for mech in [CopyMechanism::RowClonePsm, CopyMechanism::Lisa, CopyMechanism::Figaro] {
+            assert!(model.latency_ns(CopyMechanism::RowCloneFpm) < model.latency_ns(mech));
+            assert!(model.energy_nj(CopyMechanism::RowCloneFpm) <= model.energy_nj(mech));
+        }
+    }
+
+    #[test]
+    fn psm_scales_with_row_size() {
+        let big = InterSubarrayCopy::new(&DramConfig::default());
+        let small = InterSubarrayCopy::new(&DramConfig::tiny());
+        assert!(big.latency_ns(CopyMechanism::RowClonePsm) > small.latency_ns(CopyMechanism::RowClonePsm));
+    }
+
+    #[test]
+    fn figaro_is_cheaper_than_psm() {
+        let model = InterSubarrayCopy::new(&DramConfig::default());
+        assert!(model.latency_ns(CopyMechanism::Figaro) < model.latency_ns(CopyMechanism::RowClonePsm));
+        assert!(model.energy_nj(CopyMechanism::Figaro) < model.energy_nj(CopyMechanism::RowClonePsm));
+    }
+
+    #[test]
+    fn best_mechanism_prefers_locality() {
+        let model = InterSubarrayCopy::new(&DramConfig::default());
+        assert_eq!(model.best_mechanism(3, 3), CopyMechanism::RowCloneFpm);
+        assert_eq!(model.best_mechanism(3, 4), CopyMechanism::Lisa);
+        assert_eq!(model.best_mechanism(0, 17), CopyMechanism::RowClonePsm);
+    }
+}

@@ -1,0 +1,633 @@
+//! The compute-capable DRAM subarray: data rows plus the Ambit B-group.
+//!
+//! Following Ambit (MICRO 2017) — the substrate SIMDRAM builds on — each compute subarray
+//! reserves a small group of rows attached to a special row decoder (the *B-group*):
+//!
+//! * **T0–T3**: four designated rows that can participate in *triple-row activation* (TRA).
+//!   Activating three of them simultaneously makes the bitlines settle to the bitwise
+//!   majority of the three rows, which is then restored into all three rows and latched in
+//!   the sense amplifiers.
+//! * **DCC0/DCC1**: two *dual-contact cells* rows. Each has a second, negated wordline
+//!   (`DCC0N`/`DCC1N`); activating the negated wordline drives the complement of the stored
+//!   value onto the bitlines, providing bitwise NOT.
+//! * **C0/C1**: control rows hard-wired to all-zeros and all-ones.
+//!
+//! Data movement between regular data rows and the B-group uses RowClone-FPM copies,
+//! expressed as `AAP` (ACTIVATE–ACTIVATE–PRECHARGE) commands; TRA is an `AP`
+//! (ACTIVATE–PRECHARGE) with a special triple-row address.
+//!
+//! The model deviates from real Ambit in one documented way (see `DESIGN.md`): any three
+//! distinct B-group rows may be named in a TRA, instead of Ambit's fixed triple-address
+//! table. μProgram command counts are unaffected.
+
+use crate::bitrow::BitRow;
+use crate::command::{CommandKind, CommandTrace, DramCommand};
+use crate::config::DramConfig;
+use crate::error::{DramError, Result};
+
+/// Rows of the B-group (compute rows) of a subarray.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BGroupRow {
+    /// Designated TRA row 0.
+    T0,
+    /// Designated TRA row 1.
+    T1,
+    /// Designated TRA row 2.
+    T2,
+    /// Designated TRA row 3.
+    T3,
+    /// Dual-contact cell row 0 (true wordline).
+    Dcc0,
+    /// Dual-contact cell row 0, negated wordline.
+    Dcc0N,
+    /// Dual-contact cell row 1 (true wordline).
+    Dcc1,
+    /// Dual-contact cell row 1, negated wordline.
+    Dcc1N,
+    /// Control row hard-wired to all zeros.
+    C0,
+    /// Control row hard-wired to all ones.
+    C1,
+}
+
+impl BGroupRow {
+    /// All B-group rows, useful for iteration in tests.
+    pub const ALL: [BGroupRow; 10] = [
+        BGroupRow::T0,
+        BGroupRow::T1,
+        BGroupRow::T2,
+        BGroupRow::T3,
+        BGroupRow::Dcc0,
+        BGroupRow::Dcc0N,
+        BGroupRow::Dcc1,
+        BGroupRow::Dcc1N,
+        BGroupRow::C0,
+        BGroupRow::C1,
+    ];
+
+    /// Returns `true` for the constant control rows `C0`/`C1`.
+    pub fn is_control(self) -> bool {
+        matches!(self, BGroupRow::C0 | BGroupRow::C1)
+    }
+
+    /// Returns `true` for the negated wordlines of the dual-contact cells.
+    pub fn is_negated_wordline(self) -> bool {
+        matches!(self, BGroupRow::Dcc0N | BGroupRow::Dcc1N)
+    }
+}
+
+/// Address of a row within a subarray.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowAddr {
+    /// A regular data row, indexed from 0.
+    Data(usize),
+    /// A compute row of the B-group.
+    BGroup(BGroupRow),
+}
+
+/// A DRAM subarray with Ambit-style compute capability.
+///
+/// See the [module documentation](self) for the row organization. All mutating operations
+/// record the DRAM command(s) they correspond to in an internal [`CommandTrace`] so tests
+/// and higher layers can verify both the *data* transformation and the *cost* of an
+/// operation.
+#[derive(Debug, Clone)]
+pub struct Subarray {
+    columns: usize,
+    rows: Vec<BitRow>,
+    t: [BitRow; 4],
+    dcc: [BitRow; 2],
+    sense: BitRow,
+    row_open: bool,
+    trace: CommandTrace,
+    timing_ap_ns: f64,
+    timing_aap_ns: f64,
+    timing_read_ns: f64,
+    timing_write_ns: f64,
+    energy_ap_nj: f64,
+    energy_tra_nj: f64,
+    energy_aap_nj: f64,
+    energy_aap_tra_nj: f64,
+    energy_row_io_nj: f64,
+}
+
+impl Subarray {
+    /// Creates a subarray with the geometry and cost models of `config`. All rows start
+    /// zeroed.
+    pub fn new(config: &DramConfig) -> Self {
+        let columns = config.columns_per_row;
+        let row_bits = columns;
+        Subarray {
+            columns,
+            rows: vec![BitRow::zeros(columns); config.rows_per_subarray],
+            t: [
+                BitRow::zeros(columns),
+                BitRow::zeros(columns),
+                BitRow::zeros(columns),
+                BitRow::zeros(columns),
+            ],
+            dcc: [BitRow::zeros(columns), BitRow::zeros(columns)],
+            sense: BitRow::zeros(columns),
+            row_open: false,
+            trace: CommandTrace::new(),
+            timing_ap_ns: config.timing.ap_ns(),
+            timing_aap_ns: config.timing.aap_ns(),
+            timing_read_ns: config.timing.row_read_ns(columns / 8),
+            timing_write_ns: config.timing.row_write_ns(columns / 8),
+            energy_ap_nj: config.energy.ap_nj(false),
+            energy_tra_nj: config.energy.ap_nj(true),
+            energy_aap_nj: config.energy.aap_nj(false),
+            energy_aap_tra_nj: config.energy.aap_nj(true),
+            energy_row_io_nj: config.energy.channel_transfer_nj(row_bits),
+        }
+    }
+
+    /// Number of columns (SIMD lanes) in the subarray.
+    pub fn columns(&self) -> usize {
+        self.columns
+    }
+
+    /// Number of regular data rows.
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The command trace accumulated so far.
+    pub fn trace(&self) -> &CommandTrace {
+        &self.trace
+    }
+
+    /// Clears the accumulated command trace.
+    pub fn reset_trace(&mut self) {
+        self.trace.clear();
+    }
+
+    /// Host-side write of a full row (a conventional `WR` burst over the channel).
+    ///
+    /// Rows shorter or longer than the subarray width are truncated / zero-extended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range; use [`Subarray::try_write_row`] for a fallible
+    /// variant.
+    pub fn write_row(&mut self, row: usize, data: &BitRow) {
+        self.try_write_row(row, data).expect("row index in range");
+    }
+
+    /// Fallible variant of [`Subarray::write_row`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::RowOutOfRange`] if `row` is not a valid data-row index.
+    pub fn try_write_row(&mut self, row: usize, data: &BitRow) -> Result<()> {
+        let columns = self.columns;
+        let rows = self.rows.len();
+        let dst = self
+            .rows
+            .get_mut(row)
+            .ok_or(DramError::RowOutOfRange { row, rows })?;
+        *dst = resize_row(data, columns);
+        self.trace.push(DramCommand {
+            kind: CommandKind::Write,
+            latency_ns: self.timing_write_ns,
+            energy_nj: self.energy_row_io_nj,
+        });
+        Ok(())
+    }
+
+    /// Host-side read of a full row (a conventional `RD` burst over the channel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range; use [`Subarray::try_read_row`] for a fallible
+    /// variant.
+    pub fn read_row(&mut self, row: usize) -> BitRow {
+        self.try_read_row(row).expect("row index in range")
+    }
+
+    /// Fallible variant of [`Subarray::read_row`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::RowOutOfRange`] if `row` is not a valid data-row index.
+    pub fn try_read_row(&mut self, row: usize) -> Result<BitRow> {
+        let rows = self.rows.len();
+        let data = self
+            .rows
+            .get(row)
+            .cloned()
+            .ok_or(DramError::RowOutOfRange { row, rows })?;
+        self.trace.push(DramCommand {
+            kind: CommandKind::Read,
+            latency_ns: self.timing_read_ns,
+            energy_nj: self.energy_row_io_nj,
+        });
+        Ok(data)
+    }
+
+    /// Returns a snapshot of a row's contents without issuing any DRAM command.
+    ///
+    /// This is a debugging/verification helper (the simulator equivalent of probing the
+    /// array), not an architectural operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::RowOutOfRange`] if the address is not valid.
+    pub fn peek(&self, addr: RowAddr) -> Result<BitRow> {
+        Ok(self.value_of(addr)?)
+    }
+
+    /// Directly overwrites a row's contents without issuing any DRAM command.
+    ///
+    /// Like [`Subarray::peek`], this is a simulation convenience used to initialize state in
+    /// tests and by the transposition unit model (which accounts for its cost separately).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::RowOutOfRange`] for an invalid data row, and
+    /// [`DramError::InvalidConfig`] when attempting to poke a constant control row.
+    pub fn poke(&mut self, addr: RowAddr, data: &BitRow) -> Result<()> {
+        let value = resize_row(data, self.columns);
+        match addr {
+            RowAddr::Data(r) => {
+                let rows = self.rows.len();
+                let dst = self
+                    .rows
+                    .get_mut(r)
+                    .ok_or(DramError::RowOutOfRange { row: r, rows })?;
+                *dst = value;
+            }
+            RowAddr::BGroup(b) => self.store_bgroup(b, value)?,
+        }
+        Ok(())
+    }
+
+    /// `AAP src, dst`: copies the value driven by `src` into `dst` through the sense
+    /// amplifiers (RowClone-FPM). This is the workhorse command of SIMDRAM μPrograms.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either address is invalid or if `dst` is a constant control row.
+    pub fn aap(&mut self, src: RowAddr, dst: RowAddr) -> Result<()> {
+        let value = self.value_of(src)?;
+        self.store(dst, value.clone())?;
+        self.sense = value;
+        self.row_open = false; // AAP ends with a precharge.
+        self.trace.push(DramCommand {
+            kind: CommandKind::ActivateActivatePrecharge,
+            latency_ns: self.timing_aap_ns,
+            energy_nj: self.energy_aap_nj,
+        });
+        Ok(())
+    }
+
+    /// `AP` with a triple-row address: simultaneously activates three distinct B-group rows,
+    /// computing their bitwise majority. The majority value is restored into all three rows
+    /// (except hard-wired control rows) and latched in the sense amplifiers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::DuplicateTraRow`] if the three rows are not distinct.
+    pub fn ap_tra(&mut self, a: BGroupRow, b: BGroupRow, c: BGroupRow) -> Result<()> {
+        if a == b || b == c || a == c {
+            return Err(DramError::DuplicateTraRow);
+        }
+        let va = self.bgroup_value(a);
+        let vb = self.bgroup_value(b);
+        let vc = self.bgroup_value(c);
+        let maj = BitRow::majority(&va, &vb, &vc)?;
+        for row in [a, b, c] {
+            if !row.is_control() {
+                self.store_bgroup(row, maj.clone())?;
+            }
+        }
+        self.sense = maj;
+        self.row_open = false;
+        self.trace.push(DramCommand {
+            kind: CommandKind::TripleRowActivate,
+            latency_ns: self.timing_ap_ns,
+            energy_nj: self.energy_tra_nj,
+        });
+        Ok(())
+    }
+
+    /// `AAP` whose first activation is a triple-row activation: computes the majority of
+    /// three B-group rows and copies the result into `dst` in a single command, as Ambit
+    /// does when the result is needed in a different row.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the rows are not distinct or `dst` is invalid.
+    pub fn aap_tra(
+        &mut self,
+        a: BGroupRow,
+        b: BGroupRow,
+        c: BGroupRow,
+        dst: RowAddr,
+    ) -> Result<()> {
+        if a == b || b == c || a == c {
+            return Err(DramError::DuplicateTraRow);
+        }
+        let va = self.bgroup_value(a);
+        let vb = self.bgroup_value(b);
+        let vc = self.bgroup_value(c);
+        let maj = BitRow::majority(&va, &vb, &vc)?;
+        for row in [a, b, c] {
+            if !row.is_control() {
+                self.store_bgroup(row, maj.clone())?;
+            }
+        }
+        self.store(dst, maj.clone())?;
+        self.sense = maj;
+        self.row_open = false;
+        self.trace.push(DramCommand {
+            kind: CommandKind::ActivateActivatePrecharge,
+            latency_ns: self.timing_aap_ns,
+            energy_nj: self.energy_aap_tra_nj,
+        });
+        Ok(())
+    }
+
+    /// `AP row`: activates and precharges a single row without copying it anywhere. Used to
+    /// refresh the sense amplifiers or as a timing placeholder; the data is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the address is invalid.
+    pub fn ap(&mut self, row: RowAddr) -> Result<()> {
+        let value = self.value_of(row)?;
+        self.sense = value;
+        self.row_open = false;
+        self.trace.push(DramCommand {
+            kind: CommandKind::ActivatePrecharge,
+            latency_ns: self.timing_ap_ns,
+            energy_nj: self.energy_ap_nj,
+        });
+        Ok(())
+    }
+
+    /// Convenience: Ambit's in-DRAM NOT. Copies `src` into DCC0 and then the negated
+    /// wordline into `dst` (2 AAPs).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either address is invalid.
+    pub fn not_row(&mut self, src: RowAddr, dst: RowAddr) -> Result<()> {
+        self.aap(src, RowAddr::BGroup(BGroupRow::Dcc0))?;
+        self.aap(RowAddr::BGroup(BGroupRow::Dcc0N), dst)?;
+        Ok(())
+    }
+
+    /// Convenience: Ambit's in-DRAM MAJ of three data rows into a destination row
+    /// (3 AAPs to stage the operands + 1 AAP with a TRA source).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any address is invalid.
+    pub fn maj_rows(&mut self, a: RowAddr, b: RowAddr, c: RowAddr, dst: RowAddr) -> Result<()> {
+        self.aap(a, RowAddr::BGroup(BGroupRow::T0))?;
+        self.aap(b, RowAddr::BGroup(BGroupRow::T1))?;
+        self.aap(c, RowAddr::BGroup(BGroupRow::T2))?;
+        self.aap_tra(BGroupRow::T0, BGroupRow::T1, BGroupRow::T2, dst)?;
+        Ok(())
+    }
+
+    /// Convenience: Ambit's in-DRAM AND of two rows (`MAJ(a, b, 0)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any address is invalid.
+    pub fn and_rows(&mut self, a: RowAddr, b: RowAddr, dst: RowAddr) -> Result<()> {
+        self.maj_rows(a, b, RowAddr::BGroup(BGroupRow::C0), dst)
+    }
+
+    /// Convenience: Ambit's in-DRAM OR of two rows (`MAJ(a, b, 1)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any address is invalid.
+    pub fn or_rows(&mut self, a: RowAddr, b: RowAddr, dst: RowAddr) -> Result<()> {
+        self.maj_rows(a, b, RowAddr::BGroup(BGroupRow::C1), dst)
+    }
+
+    fn value_of(&self, addr: RowAddr) -> Result<BitRow> {
+        match addr {
+            RowAddr::Data(r) => self
+                .rows
+                .get(r)
+                .cloned()
+                .ok_or(DramError::RowOutOfRange {
+                    row: r,
+                    rows: self.rows.len(),
+                }),
+            RowAddr::BGroup(b) => Ok(self.bgroup_value(b)),
+        }
+    }
+
+    fn bgroup_value(&self, row: BGroupRow) -> BitRow {
+        match row {
+            BGroupRow::T0 => self.t[0].clone(),
+            BGroupRow::T1 => self.t[1].clone(),
+            BGroupRow::T2 => self.t[2].clone(),
+            BGroupRow::T3 => self.t[3].clone(),
+            BGroupRow::Dcc0 => self.dcc[0].clone(),
+            BGroupRow::Dcc0N => self.dcc[0].not(),
+            BGroupRow::Dcc1 => self.dcc[1].clone(),
+            BGroupRow::Dcc1N => self.dcc[1].not(),
+            BGroupRow::C0 => BitRow::zeros(self.columns),
+            BGroupRow::C1 => BitRow::ones(self.columns),
+        }
+    }
+
+    fn store(&mut self, addr: RowAddr, value: BitRow) -> Result<()> {
+        match addr {
+            RowAddr::Data(r) => {
+                let rows = self.rows.len();
+                let dst = self
+                    .rows
+                    .get_mut(r)
+                    .ok_or(DramError::RowOutOfRange { row: r, rows })?;
+                *dst = value;
+                Ok(())
+            }
+            RowAddr::BGroup(b) => self.store_bgroup(b, value),
+        }
+    }
+
+    fn store_bgroup(&mut self, row: BGroupRow, value: BitRow) -> Result<()> {
+        match row {
+            BGroupRow::T0 => self.t[0] = value,
+            BGroupRow::T1 => self.t[1] = value,
+            BGroupRow::T2 => self.t[2] = value,
+            BGroupRow::T3 => self.t[3] = value,
+            BGroupRow::Dcc0 => self.dcc[0] = value,
+            // Driving the negated wordline stores the complement in the cell, so that a
+            // subsequent activation of the true wordline reads back NOT(value).
+            BGroupRow::Dcc0N => self.dcc[0] = value.not(),
+            BGroupRow::Dcc1 => self.dcc[1] = value,
+            BGroupRow::Dcc1N => self.dcc[1] = value.not(),
+            BGroupRow::C0 | BGroupRow::C1 => {
+                return Err(DramError::InvalidConfig(
+                    "control rows C0/C1 are hard-wired and cannot be written".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+}
+
+fn resize_row(data: &BitRow, columns: usize) -> BitRow {
+    if data.len() == columns {
+        data.clone()
+    } else {
+        BitRow::from_fn(columns, |i| i < data.len() && data.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_subarray() -> Subarray {
+        Subarray::new(&DramConfig::tiny())
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let mut sa = small_subarray();
+        let pattern = BitRow::splat_word(0xAAAA_5555_0F0F_F0F0, 256);
+        sa.write_row(7, &pattern);
+        assert_eq!(sa.read_row(7), pattern);
+        assert_eq!(sa.trace().count(CommandKind::Write), 1);
+        assert_eq!(sa.trace().count(CommandKind::Read), 1);
+    }
+
+    #[test]
+    fn out_of_range_rows_error() {
+        let mut sa = small_subarray();
+        let rows = sa.rows();
+        assert!(sa.try_read_row(rows).is_err());
+        assert!(sa.try_write_row(rows, &BitRow::zeros(256)).is_err());
+        assert!(sa.aap(RowAddr::Data(rows + 1), RowAddr::Data(0)).is_err());
+    }
+
+    #[test]
+    fn aap_copies_between_data_rows() {
+        let mut sa = small_subarray();
+        let pattern = BitRow::from_fn(256, |i| i % 7 == 0);
+        sa.write_row(3, &pattern);
+        sa.aap(RowAddr::Data(3), RowAddr::Data(9)).unwrap();
+        assert_eq!(sa.peek(RowAddr::Data(9)).unwrap(), pattern);
+        assert_eq!(sa.trace().count(CommandKind::ActivateActivatePrecharge), 1);
+    }
+
+    #[test]
+    fn tra_computes_majority_and_restores_rows() {
+        let mut sa = small_subarray();
+        sa.poke(RowAddr::BGroup(BGroupRow::T0), &BitRow::splat_word(0b1111_0000, 256))
+            .unwrap();
+        sa.poke(RowAddr::BGroup(BGroupRow::T1), &BitRow::splat_word(0b1100_1100, 256))
+            .unwrap();
+        sa.poke(RowAddr::BGroup(BGroupRow::T2), &BitRow::splat_word(0b1010_1010, 256))
+            .unwrap();
+        sa.ap_tra(BGroupRow::T0, BGroupRow::T1, BGroupRow::T2).unwrap();
+        let expected = 0b1110_1000u64;
+        for row in [BGroupRow::T0, BGroupRow::T1, BGroupRow::T2] {
+            assert_eq!(sa.peek(RowAddr::BGroup(row)).unwrap().word(0) & 0xFF, expected);
+        }
+        assert_eq!(sa.trace().count(CommandKind::TripleRowActivate), 1);
+    }
+
+    #[test]
+    fn tra_requires_distinct_rows() {
+        let mut sa = small_subarray();
+        assert_eq!(
+            sa.ap_tra(BGroupRow::T0, BGroupRow::T0, BGroupRow::T1),
+            Err(DramError::DuplicateTraRow)
+        );
+    }
+
+    #[test]
+    fn dcc_negated_wordline_reads_complement() {
+        let mut sa = small_subarray();
+        let pattern = BitRow::from_fn(256, |i| i % 2 == 0);
+        sa.write_row(0, &pattern);
+        sa.aap(RowAddr::Data(0), RowAddr::BGroup(BGroupRow::Dcc0)).unwrap();
+        sa.aap(RowAddr::BGroup(BGroupRow::Dcc0N), RowAddr::Data(1)).unwrap();
+        assert_eq!(sa.peek(RowAddr::Data(1)).unwrap(), pattern.not());
+    }
+
+    #[test]
+    fn not_row_convenience_matches_manual_sequence() {
+        let mut sa = small_subarray();
+        let pattern = BitRow::splat_word(0x0123_4567_89AB_CDEF, 256);
+        sa.write_row(5, &pattern);
+        sa.not_row(RowAddr::Data(5), RowAddr::Data(6)).unwrap();
+        assert_eq!(sa.peek(RowAddr::Data(6)).unwrap(), pattern.not());
+        // 2 AAPs for the NOT plus 1 host write.
+        assert_eq!(sa.trace().count(CommandKind::ActivateActivatePrecharge), 2);
+    }
+
+    #[test]
+    fn control_rows_cannot_be_written() {
+        let mut sa = small_subarray();
+        assert!(sa.aap(RowAddr::Data(0), RowAddr::BGroup(BGroupRow::C0)).is_err());
+        assert!(sa.aap(RowAddr::Data(0), RowAddr::BGroup(BGroupRow::C1)).is_err());
+    }
+
+    #[test]
+    fn and_or_via_control_rows() {
+        let mut sa = small_subarray();
+        let a = BitRow::splat_word(0b1100, 256);
+        let b = BitRow::splat_word(0b1010, 256);
+        sa.write_row(0, &a);
+        sa.write_row(1, &b);
+        sa.and_rows(RowAddr::Data(0), RowAddr::Data(1), RowAddr::Data(2)).unwrap();
+        sa.or_rows(RowAddr::Data(0), RowAddr::Data(1), RowAddr::Data(3)).unwrap();
+        assert_eq!(sa.peek(RowAddr::Data(2)).unwrap().word(0) & 0xF, 0b1000);
+        assert_eq!(sa.peek(RowAddr::Data(3)).unwrap().word(0) & 0xF, 0b1110);
+    }
+
+    #[test]
+    fn maj_rows_counts_four_aaps() {
+        let mut sa = small_subarray();
+        sa.write_row(0, &BitRow::ones(256));
+        sa.write_row(1, &BitRow::zeros(256));
+        sa.write_row(2, &BitRow::ones(256));
+        sa.reset_trace();
+        sa.maj_rows(
+            RowAddr::Data(0),
+            RowAddr::Data(1),
+            RowAddr::Data(2),
+            RowAddr::Data(3),
+        )
+        .unwrap();
+        assert_eq!(sa.trace().count(CommandKind::ActivateActivatePrecharge), 4);
+        assert_eq!(sa.peek(RowAddr::Data(3)).unwrap(), BitRow::ones(256));
+    }
+
+    #[test]
+    fn ap_latches_sense_amplifiers_without_data_change() {
+        let mut sa = small_subarray();
+        let pattern = BitRow::splat_word(0xF0F0, 256);
+        sa.write_row(4, &pattern);
+        sa.ap(RowAddr::Data(4)).unwrap();
+        assert_eq!(sa.peek(RowAddr::Data(4)).unwrap(), pattern);
+        assert_eq!(sa.trace().count(CommandKind::ActivatePrecharge), 1);
+    }
+
+    #[test]
+    fn poke_rejects_control_rows() {
+        let mut sa = small_subarray();
+        assert!(sa.poke(RowAddr::BGroup(BGroupRow::C0), &BitRow::zeros(256)).is_err());
+    }
+
+    #[test]
+    fn shorter_host_rows_are_zero_extended() {
+        let mut sa = small_subarray();
+        sa.write_row(0, &BitRow::ones(8));
+        let row = sa.read_row(0);
+        assert_eq!(row.len(), 256);
+        assert_eq!(row.count_ones(), 8);
+    }
+}

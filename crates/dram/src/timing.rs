@@ -1,0 +1,135 @@
+//! DDR timing parameters and derived latencies of the in-DRAM compute primitives.
+//!
+//! The SIMDRAM paper (like Ambit and RowClone before it) derives the latency of in-DRAM
+//! computation from a handful of standard DDR timing parameters. The two command templates
+//! that matter are:
+//!
+//! * `AP` — **A**CTIVATE → **P**RECHARGE. Used for triple-row activation: the row(s) are
+//!   opened, charge sharing settles the majority value into the cells and sense amplifiers,
+//!   and the array is precharged. Latency ≈ `tRAS + tRP`.
+//! * `AAP` — **A**CTIVATE → **A**CTIVATE → **P**RECHARGE. Used for RowClone-FPM copies
+//!   (copy the source row through the sense amplifiers into the destination row). Latency ≈
+//!   `2·tRAS + tRP` in the conservative model used here (the paper notes the second
+//!   activation can be shortened; see [`DramTiming::aggressive_aap`]).
+
+/// DDR timing parameters (all in nanoseconds) plus derived compute-command latencies.
+///
+/// Defaults correspond to a DDR4-2400 part, the configuration used by the SIMDRAM paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramTiming {
+    /// Row-address-to-column-address delay (ACTIVATE until the row is readable).
+    pub t_rcd_ns: f64,
+    /// Minimum time a row must stay open (ACTIVATE to PRECHARGE).
+    pub t_ras_ns: f64,
+    /// Precharge latency.
+    pub t_rp_ns: f64,
+    /// Column access strobe latency for reads.
+    pub t_cas_ns: f64,
+    /// Column-to-column delay (burst gap) for streaming reads/writes.
+    pub t_ccd_ns: f64,
+    /// Write recovery time.
+    pub t_wr_ns: f64,
+    /// Bus clock period (I/O clock; DDR transfers two beats per cycle).
+    pub t_ck_ns: f64,
+    /// When `true`, model the optimized AAP in which the second ACTIVATE overlaps with the
+    /// first row's restoration (as proposed by RowClone/Ambit), reducing AAP latency.
+    pub aggressive_aap: bool,
+}
+
+impl Default for DramTiming {
+    fn default() -> Self {
+        // DDR4-2400R: tRCD = tRP = 12.5 ns, tRAS = 32 ns, tCCD_L = 5 ns, tCK = 0.833 ns.
+        DramTiming {
+            t_rcd_ns: 12.5,
+            t_ras_ns: 32.0,
+            t_rp_ns: 12.5,
+            t_cas_ns: 12.5,
+            t_ccd_ns: 5.0,
+            t_wr_ns: 15.0,
+            t_ck_ns: 0.833,
+            aggressive_aap: false,
+        }
+    }
+}
+
+impl DramTiming {
+    /// Creates the default DDR4-2400 timing set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Latency of a single ACTIVATE → PRECHARGE command pair (`AP`), used for triple-row
+    /// activation.
+    pub fn ap_ns(&self) -> f64 {
+        self.t_ras_ns + self.t_rp_ns
+    }
+
+    /// Latency of an ACTIVATE → ACTIVATE → PRECHARGE command triple (`AAP`), used for
+    /// RowClone-FPM copies and for moving operands in and out of the B-group.
+    pub fn aap_ns(&self) -> f64 {
+        if self.aggressive_aap {
+            // The second activation only needs to drive the destination row's cells from the
+            // already-latched sense amplifiers; Ambit models this as tRAS + tRCD + tRP.
+            self.t_ras_ns + self.t_rcd_ns + self.t_rp_ns
+        } else {
+            2.0 * self.t_ras_ns + self.t_rp_ns
+        }
+    }
+
+    /// Latency of a conventional row activation followed by a burst read of `bytes` bytes
+    /// over a 64-bit (8-byte per beat) channel, followed by a precharge.
+    ///
+    /// Used for modelling the CPU reading operands in the horizontal layout and for the
+    /// transposition unit's row reads.
+    pub fn row_read_ns(&self, bytes: usize) -> f64 {
+        let beats = bytes.div_ceil(8);
+        // Two beats per clock (DDR).
+        let burst_ns = (beats as f64 / 2.0) * self.t_ck_ns;
+        self.t_rcd_ns + self.t_cas_ns + burst_ns + self.t_rp_ns
+    }
+
+    /// Latency of writing `bytes` bytes into an open row and precharging.
+    pub fn row_write_ns(&self, bytes: usize) -> f64 {
+        let beats = bytes.div_ceil(8);
+        let burst_ns = (beats as f64 / 2.0) * self.t_ck_ns;
+        self.t_rcd_ns + burst_ns + self.t_wr_ns + self.t_rp_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_latencies_are_in_expected_ranges() {
+        let t = DramTiming::default();
+        // AP ~ 44.5 ns, AAP ~ 76.5 ns for DDR4-2400.
+        assert!((t.ap_ns() - 44.5).abs() < 1e-9);
+        assert!((t.aap_ns() - 76.5).abs() < 1e-9);
+        assert!(t.aap_ns() > t.ap_ns());
+    }
+
+    #[test]
+    fn aggressive_aap_is_faster() {
+        let mut t = DramTiming::default();
+        let slow = t.aap_ns();
+        t.aggressive_aap = true;
+        assert!(t.aap_ns() < slow);
+    }
+
+    #[test]
+    fn row_read_scales_with_burst_length() {
+        let t = DramTiming::default();
+        let short = t.row_read_ns(64);
+        let long = t.row_read_ns(8192);
+        assert!(long > short);
+        // An 8 KiB row is 1024 beats = 512 clocks ≈ 426 ns of burst on top of the fixed part.
+        assert!(long - short > 400.0);
+    }
+
+    #[test]
+    fn row_write_includes_write_recovery() {
+        let t = DramTiming::default();
+        assert!(t.row_write_ns(64) > t.t_rcd_ns + t.t_wr_ns);
+    }
+}

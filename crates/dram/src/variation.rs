@@ -1,0 +1,298 @@
+//! Process-variation reliability model for triple-row activation.
+//!
+//! The SIMDRAM paper evaluates whether in-DRAM majority computation remains correct when
+//! manufacturing process variation grows as DRAM technology scales to smaller nodes. The
+//! mechanism that can fail is charge sharing during a triple-row activation (TRA): three
+//! cells share charge on a bitline, and the sense amplifier must resolve the deviation from
+//! `Vdd/2` in the direction of the majority value. In the worst case (a 2-vs-1 split) the
+//! nominal deviation is only `Vdd/6`; cell-capacitance mismatch, incomplete restoration and
+//! sense-amplifier offset eat into that margin.
+//!
+//! This module implements a Monte Carlo model of that failure mechanism:
+//!
+//! * each of the three cells contributes its charge with a multiplicative Gaussian error
+//!   whose standard deviation grows as the technology node shrinks;
+//! * the sense amplifier adds a Gaussian input-referred offset;
+//! * a TRA fails when the perturbed bitline deviation has the wrong sign (or is below the
+//!   sense threshold).
+//!
+//! The model reproduces the qualitative result of the paper: with realistic variation the
+//! worst-case (2-vs-1) margin is preserved and SIMDRAM operations execute correctly, and
+//! failures only appear when variation is pushed far beyond what the smallest nodes exhibit.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// DRAM technology nodes considered in the reliability sweep, with the relative
+/// cell-to-cell variation (one standard deviation, as a fraction of nominal cell charge)
+/// assumed for each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TechnologyNode {
+    /// Mature ~22 nm class node.
+    Nm22,
+    /// ~17 nm class node.
+    Nm17,
+    /// ~14 nm class node.
+    Nm14,
+    /// ~10 nm class node (smallest production node considered).
+    Nm10,
+    /// Hypothetical ~7 nm class node, beyond current production.
+    Nm7,
+}
+
+impl TechnologyNode {
+    /// All nodes from largest to smallest.
+    pub const ALL: [TechnologyNode; 5] = [
+        TechnologyNode::Nm22,
+        TechnologyNode::Nm17,
+        TechnologyNode::Nm14,
+        TechnologyNode::Nm10,
+        TechnologyNode::Nm7,
+    ];
+
+    /// Human-readable name of the node.
+    pub fn name(self) -> &'static str {
+        match self {
+            TechnologyNode::Nm22 => "22nm",
+            TechnologyNode::Nm17 => "17nm",
+            TechnologyNode::Nm14 => "14nm",
+            TechnologyNode::Nm10 => "10nm",
+            TechnologyNode::Nm7 => "7nm",
+        }
+    }
+
+    /// Relative cell-charge variation (σ / nominal) assumed at this node.
+    pub fn cell_sigma(self) -> f64 {
+        match self {
+            TechnologyNode::Nm22 => 0.02,
+            TechnologyNode::Nm17 => 0.03,
+            TechnologyNode::Nm14 => 0.04,
+            TechnologyNode::Nm10 => 0.05,
+            TechnologyNode::Nm7 => 0.07,
+        }
+    }
+}
+
+/// Parameters of the TRA failure model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariationModel {
+    /// Relative standard deviation of each cell's stored charge (fraction of nominal).
+    pub cell_sigma: f64,
+    /// Input-referred sense-amplifier offset, as a fraction of `Vdd`.
+    pub sense_offset_sigma: f64,
+    /// Minimum bitline deviation (fraction of `Vdd`) the sense amplifier needs to resolve
+    /// reliably; deviations smaller than this are treated as failures.
+    pub sense_threshold: f64,
+    /// Fraction of full charge actually restored into the cells before the TRA
+    /// (models incomplete restoration of previous operations; 1.0 = fully restored).
+    pub restoration: f64,
+}
+
+impl Default for VariationModel {
+    fn default() -> Self {
+        VariationModel {
+            cell_sigma: 0.04,
+            sense_offset_sigma: 0.01,
+            sense_threshold: 0.005,
+            restoration: 1.0,
+        }
+    }
+}
+
+impl VariationModel {
+    /// Builds the model for a given technology node using the node's nominal cell variation.
+    pub fn for_node(node: TechnologyNode) -> Self {
+        VariationModel {
+            cell_sigma: node.cell_sigma(),
+            ..VariationModel::default()
+        }
+    }
+
+    /// Builds a model with an explicit relative cell variation (used for sweeps).
+    pub fn with_cell_sigma(cell_sigma: f64) -> Self {
+        VariationModel {
+            cell_sigma,
+            ..VariationModel::default()
+        }
+    }
+
+    /// Monte Carlo estimate of the probability that a single TRA produces a wrong bit, for
+    /// the *worst-case* input pattern (two cells against one).
+    ///
+    /// `trials` Monte Carlo samples are drawn with the deterministic seed `seed`, so results
+    /// are reproducible.
+    pub fn tra_failure_probability(&self, trials: usize, seed: u64) -> f64 {
+        self.failure_probability_for_pattern(2, trials, seed)
+    }
+
+    /// Monte Carlo estimate of the single-TRA failure probability when `ones` of the three
+    /// participating cells store a logic one (`ones` in `0..=3`).
+    ///
+    /// Patterns with `ones == 0` or `ones == 3` have a much larger margin (`Vdd/2`) than the
+    /// 2-vs-1 patterns (`Vdd/6`), which is why the worst case drives reliability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ones > 3` or `trials == 0`.
+    pub fn failure_probability_for_pattern(&self, ones: usize, trials: usize, seed: u64) -> f64 {
+        assert!(ones <= 3, "a TRA involves exactly three cells");
+        assert!(trials > 0, "at least one Monte Carlo trial is required");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let majority_is_one = ones >= 2;
+        let mut failures = 0usize;
+        for _ in 0..trials {
+            // Each cell stores Vdd (one) or 0 (zero) scaled by restoration, with
+            // multiplicative charge variation. The bitline is precharged to Vdd/2 and the
+            // three cells plus the bitline capacitance share charge; with the standard
+            // assumption that cell capacitance ≈ bitline capacitance / 3, the settled
+            // deviation is proportional to the mean cell voltage minus Vdd/2.
+            let mut sum = 0.0;
+            for i in 0..3 {
+                let stored = if i < ones { 1.0 } else { 0.0 };
+                let noise = gaussian(&mut rng) * self.cell_sigma;
+                sum += (stored * self.restoration) * (1.0 + noise);
+            }
+            let mean_cell_v = sum / 3.0;
+            let deviation = mean_cell_v - 0.5;
+            let offset = gaussian(&mut rng) * self.sense_offset_sigma;
+            let sensed = deviation + offset;
+            let resolved_one = sensed > 0.0;
+            let too_small = sensed.abs() < self.sense_threshold;
+            if too_small || resolved_one != majority_is_one {
+                failures += 1;
+            }
+        }
+        failures as f64 / trials as f64
+    }
+
+    /// Probability that an operation consisting of `tra_count` TRAs per SIMD lane completes
+    /// without any failing TRA, given a per-TRA failure probability `p_tra`.
+    pub fn operation_success_probability(p_tra: f64, tra_count: usize) -> f64 {
+        (1.0 - p_tra).powi(tra_count as i32)
+    }
+}
+
+/// A single point of the reliability sweep reported by [`reliability_sweep`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReliabilityPoint {
+    /// Relative cell variation (σ / nominal charge) of this point.
+    pub cell_sigma: f64,
+    /// Worst-case (2-vs-1) per-TRA failure probability.
+    pub tra_failure_probability: f64,
+    /// Probability that a 32-bit addition (one of the TRA-heaviest basic operations)
+    /// completes correctly in one SIMD lane.
+    pub add32_success_probability: f64,
+}
+
+/// Sweeps the relative cell variation from `0` to `max_sigma` in `steps` steps and reports
+/// the per-TRA and per-operation failure behaviour. `tra_per_add32` is the number of TRAs a
+/// 32-bit addition μProgram issues (obtained from the μProgram generator).
+pub fn reliability_sweep(
+    max_sigma: f64,
+    steps: usize,
+    trials: usize,
+    tra_per_add32: usize,
+    seed: u64,
+) -> Vec<ReliabilityPoint> {
+    (0..=steps)
+        .map(|i| {
+            let sigma = max_sigma * i as f64 / steps as f64;
+            let model = VariationModel::with_cell_sigma(sigma);
+            let p = model.tra_failure_probability(trials, seed.wrapping_add(i as u64));
+            ReliabilityPoint {
+                cell_sigma: sigma,
+                tra_failure_probability: p,
+                add32_success_probability: VariationModel::operation_success_probability(
+                    p,
+                    tra_per_add32,
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Draws a standard-normal sample using the Box–Muller transform.
+///
+/// Implemented locally so the crate only depends on `rand` (not `rand_distr`).
+fn gaussian(rng: &mut impl RngExt) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        let u2: f64 = rng.random();
+        if u1 > f64::EPSILON {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_variation_never_fails() {
+        let model = VariationModel::with_cell_sigma(0.0);
+        for ones in 0..=3 {
+            assert_eq!(model.failure_probability_for_pattern(ones, 2_000, 7), 0.0);
+        }
+    }
+
+    #[test]
+    fn realistic_nodes_are_reliable() {
+        // The paper's conclusion: correct operation is guaranteed down to the smallest nodes.
+        for node in TechnologyNode::ALL {
+            let model = VariationModel::for_node(node);
+            let p = model.tra_failure_probability(5_000, 42);
+            assert!(
+                p < 1e-3,
+                "{} unexpectedly unreliable: p = {p}",
+                node.name()
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_variation_does_fail() {
+        let model = VariationModel::with_cell_sigma(0.5);
+        let p = model.tra_failure_probability(5_000, 42);
+        assert!(p > 0.01, "expected visible failures at 50% variation, got {p}");
+    }
+
+    #[test]
+    fn worst_case_pattern_is_two_vs_one() {
+        let model = VariationModel::with_cell_sigma(0.25);
+        let p_unanimous = model.failure_probability_for_pattern(3, 5_000, 1);
+        let p_split = model.failure_probability_for_pattern(2, 5_000, 1);
+        assert!(p_split >= p_unanimous);
+    }
+
+    #[test]
+    fn failure_probability_is_monotonic_in_sigma() {
+        let sweep = reliability_sweep(0.4, 8, 3_000, 128, 9);
+        assert_eq!(sweep.len(), 9);
+        assert!(sweep.first().unwrap().tra_failure_probability <= 1e-9);
+        assert!(
+            sweep.last().unwrap().tra_failure_probability
+                >= sweep[sweep.len() / 2].tra_failure_probability
+        );
+        // Operation success degrades with per-TRA failure probability.
+        for point in &sweep {
+            assert!(point.add32_success_probability <= 1.0);
+            assert!(point.add32_success_probability >= 0.0);
+        }
+    }
+
+    #[test]
+    fn operation_success_compounds_per_tra() {
+        let p = VariationModel::operation_success_probability(0.01, 100);
+        assert!((p - 0.99f64.powi(100)).abs() < 1e-12);
+        assert_eq!(VariationModel::operation_success_probability(0.0, 1_000), 1.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let model = VariationModel::with_cell_sigma(0.2);
+        let a = model.tra_failure_probability(2_000, 123);
+        let b = model.tra_failure_probability(2_000, 123);
+        assert_eq!(a, b);
+    }
+}

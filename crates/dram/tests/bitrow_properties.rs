@@ -1,0 +1,138 @@
+//! Property-based tests of the substrate's core data structure ([`BitRow`]) and of the
+//! algebraic identities the in-DRAM compute primitives rely on.
+
+use proptest::prelude::*;
+use simdram_dram::{BGroupRow, BitRow, DramConfig, RowAddr, Subarray};
+
+fn bitrow_strategy(len: usize) -> impl Strategy<Value = BitRow> {
+    proptest::collection::vec(any::<u64>(), len.div_ceil(64))
+        .prop_map(move |words| BitRow::from_words(&words, len))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn double_negation_is_identity(row in bitrow_strategy(300)) {
+        prop_assert_eq!(row.not().not(), row);
+    }
+
+    #[test]
+    fn and_or_de_morgan(a in bitrow_strategy(300), b in bitrow_strategy(300)) {
+        let lhs = a.and(&b).unwrap().not();
+        let rhs = a.not().or(&b.not()).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn majority_is_symmetric(
+        a in bitrow_strategy(200),
+        b in bitrow_strategy(200),
+        c in bitrow_strategy(200),
+    ) {
+        let m1 = BitRow::majority(&a, &b, &c).unwrap();
+        let m2 = BitRow::majority(&c, &a, &b).unwrap();
+        let m3 = BitRow::majority(&b, &c, &a).unwrap();
+        prop_assert_eq!(&m1, &m2);
+        prop_assert_eq!(&m1, &m3);
+    }
+
+    #[test]
+    fn majority_with_constants_is_and_or(a in bitrow_strategy(256), b in bitrow_strategy(256)) {
+        let zeros = BitRow::zeros(256);
+        let ones = BitRow::ones(256);
+        prop_assert_eq!(BitRow::majority(&a, &b, &zeros).unwrap(), a.and(&b).unwrap());
+        prop_assert_eq!(BitRow::majority(&a, &b, &ones).unwrap(), a.or(&b).unwrap());
+    }
+
+    #[test]
+    fn majority_complement_propagates(
+        a in bitrow_strategy(192),
+        b in bitrow_strategy(192),
+        c in bitrow_strategy(192),
+    ) {
+        let lhs = BitRow::majority(&a.not(), &b.not(), &c.not()).unwrap();
+        let rhs = BitRow::majority(&a, &b, &c).unwrap().not();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn count_ones_matches_iterated_bits(row in bitrow_strategy(137)) {
+        let by_iter = row.iter().filter(|&b| b).count();
+        prop_assert_eq!(row.count_ones(), by_iter);
+    }
+
+    #[test]
+    fn xor_is_its_own_inverse(a in bitrow_strategy(256), b in bitrow_strategy(256)) {
+        let x = a.xor(&b).unwrap();
+        prop_assert_eq!(x.xor(&b).unwrap(), a);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn ambit_maj_sequence_matches_functional_majority(
+        a in bitrow_strategy(256),
+        b in bitrow_strategy(256),
+        c in bitrow_strategy(256),
+    ) {
+        // The full Ambit command sequence (stage + TRA + copy out) must compute exactly the
+        // word-level majority of the three source rows.
+        let mut sa = Subarray::new(&DramConfig::tiny());
+        sa.poke(RowAddr::Data(0), &a).unwrap();
+        sa.poke(RowAddr::Data(1), &b).unwrap();
+        sa.poke(RowAddr::Data(2), &c).unwrap();
+        sa.maj_rows(RowAddr::Data(0), RowAddr::Data(1), RowAddr::Data(2), RowAddr::Data(3))
+            .unwrap();
+        prop_assert_eq!(
+            sa.peek(RowAddr::Data(3)).unwrap(),
+            BitRow::majority(&a, &b, &c).unwrap()
+        );
+        // Source rows are preserved by the staging copies.
+        prop_assert_eq!(sa.peek(RowAddr::Data(0)).unwrap(), a);
+    }
+
+    #[test]
+    fn dcc_round_trip_restores_original(row in bitrow_strategy(256)) {
+        let mut sa = Subarray::new(&DramConfig::tiny());
+        sa.poke(RowAddr::Data(0), &row).unwrap();
+        // NOT twice through the dual-contact cells.
+        sa.not_row(RowAddr::Data(0), RowAddr::Data(1)).unwrap();
+        sa.not_row(RowAddr::Data(1), RowAddr::Data(2)).unwrap();
+        prop_assert_eq!(sa.peek(RowAddr::Data(1)).unwrap(), row.not());
+        prop_assert_eq!(sa.peek(RowAddr::Data(2)).unwrap(), row);
+    }
+
+    #[test]
+    fn and_or_rows_match_word_level_semantics(
+        a in bitrow_strategy(256),
+        b in bitrow_strategy(256),
+    ) {
+        let mut sa = Subarray::new(&DramConfig::tiny());
+        sa.poke(RowAddr::Data(0), &a).unwrap();
+        sa.poke(RowAddr::Data(1), &b).unwrap();
+        sa.and_rows(RowAddr::Data(0), RowAddr::Data(1), RowAddr::Data(4)).unwrap();
+        sa.or_rows(RowAddr::Data(0), RowAddr::Data(1), RowAddr::Data(5)).unwrap();
+        prop_assert_eq!(sa.peek(RowAddr::Data(4)).unwrap(), a.and(&b).unwrap());
+        prop_assert_eq!(sa.peek(RowAddr::Data(5)).unwrap(), a.or(&b).unwrap());
+    }
+
+    #[test]
+    fn tra_result_lands_in_all_three_designated_rows(
+        a in bitrow_strategy(256),
+        b in bitrow_strategy(256),
+        c in bitrow_strategy(256),
+    ) {
+        let mut sa = Subarray::new(&DramConfig::tiny());
+        sa.poke(RowAddr::BGroup(BGroupRow::T0), &a).unwrap();
+        sa.poke(RowAddr::BGroup(BGroupRow::T1), &b).unwrap();
+        sa.poke(RowAddr::BGroup(BGroupRow::T2), &c).unwrap();
+        sa.ap_tra(BGroupRow::T0, BGroupRow::T1, BGroupRow::T2).unwrap();
+        let expected = BitRow::majority(&a, &b, &c).unwrap();
+        for row in [BGroupRow::T0, BGroupRow::T1, BGroupRow::T2] {
+            prop_assert_eq!(sa.peek(RowAddr::BGroup(row)).unwrap(), expected.clone());
+        }
+    }
+}

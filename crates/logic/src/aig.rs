@@ -1,0 +1,321 @@
+//! And-Inverter Graphs (AIGs): the AND/OR/NOT representation used by the Ambit baseline.
+//!
+//! Ambit implements bulk bitwise computation out of two-input AND/OR (each realized with a
+//! triple-row activation against a control row) plus NOT (through dual-contact cells). An
+//! AIG captures exactly that cost model: every AND node corresponds to one in-DRAM
+//! AND/OR-style operation, and complemented edges are NOTs. Building the *same* operation
+//! generators over [`Aig`] and [`crate::Mig`] lets the benchmarks compare the number of DRAM
+//! commands each representation needs — the source of SIMDRAM's throughput advantage.
+
+use std::collections::HashMap;
+
+use crate::builder::LogicBuilder;
+use crate::eval::EvalGraph;
+use crate::signal::Signal;
+
+/// A node of an [`Aig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AigNode {
+    /// The constant-zero node (always node 0).
+    Const0,
+    /// The `n`-th primary input.
+    Input(u32),
+    /// A two-input AND gate over the given (sorted) fan-in signals.
+    And([Signal; 2]),
+}
+
+/// An and-inverter graph with structural hashing and the usual local simplifications
+/// (`a·a = a`, `a·¬a = 0`, constant absorption).
+///
+/// # Examples
+///
+/// ```
+/// use simdram_logic::{Aig, LogicBuilder};
+///
+/// let mut aig = Aig::new();
+/// let a = aig.add_input();
+/// let b = aig.add_input();
+/// let f = aig.or2(a, b);
+/// assert_eq!(aig.and_count(), 1); // OR is one AND node plus complemented edges.
+/// # let _ = f;
+/// ```
+#[derive(Debug, Clone)]
+pub struct Aig {
+    nodes: Vec<AigNode>,
+    strash: HashMap<[Signal; 2], u32>,
+    num_inputs: u32,
+}
+
+impl Default for Aig {
+    fn default() -> Self {
+        Aig::new()
+    }
+}
+
+impl Aig {
+    /// Creates an empty AIG containing only the constant node.
+    pub fn new() -> Self {
+        Aig {
+            nodes: vec![AigNode::Const0],
+            strash: HashMap::new(),
+            num_inputs: 0,
+        }
+    }
+
+    /// Total number of nodes, including the constant and the inputs.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of AND nodes (each corresponds to one Ambit AND/OR-style in-DRAM operation).
+    pub fn and_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, AigNode::And(_)))
+            .count()
+    }
+
+    /// Number of primary inputs.
+    pub fn input_count(&self) -> usize {
+        self.num_inputs as usize
+    }
+
+    /// The node referenced by `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn node(&self, index: u32) -> AigNode {
+        self.nodes[index as usize]
+    }
+
+    /// Logic depth (number of AND levels) of the cone rooted at `signal`.
+    pub fn depth_of(&self, signal: Signal) -> usize {
+        let mut memo = vec![usize::MAX; self.nodes.len()];
+        self.depth_rec(signal.node(), &mut memo)
+    }
+
+    /// Number of distinct AND nodes in the cones rooted at `outputs`.
+    pub fn and_count_in_cone(&self, outputs: &[Signal]) -> usize {
+        let mut visited = vec![false; self.nodes.len()];
+        let mut stack: Vec<u32> = outputs.iter().map(|s| s.node()).collect();
+        let mut count = 0;
+        while let Some(idx) = stack.pop() {
+            if visited[idx as usize] {
+                continue;
+            }
+            visited[idx as usize] = true;
+            if let AigNode::And(children) = self.nodes[idx as usize] {
+                count += 1;
+                stack.extend(children.iter().map(|s| s.node()));
+            }
+        }
+        count
+    }
+
+    /// Topological order (children before parents) of the AND nodes in the cones rooted at
+    /// `outputs`.
+    pub fn topological_cone(&self, outputs: &[Signal]) -> Vec<u32> {
+        let mut visited = vec![false; self.nodes.len()];
+        let mut order = Vec::new();
+        for &out in outputs {
+            self.topo_rec(out.node(), &mut visited, &mut order);
+        }
+        order
+    }
+
+    fn topo_rec(&self, idx: u32, visited: &mut [bool], order: &mut Vec<u32>) {
+        if visited[idx as usize] {
+            return;
+        }
+        visited[idx as usize] = true;
+        if let AigNode::And(children) = self.nodes[idx as usize] {
+            for child in children {
+                self.topo_rec(child.node(), visited, order);
+            }
+            order.push(idx);
+        }
+    }
+
+    fn depth_rec(&self, idx: u32, memo: &mut [usize]) -> usize {
+        if memo[idx as usize] != usize::MAX {
+            return memo[idx as usize];
+        }
+        let depth = match self.nodes[idx as usize] {
+            AigNode::Const0 | AigNode::Input(_) => 0,
+            AigNode::And(children) => {
+                1 + children
+                    .iter()
+                    .map(|c| self.depth_rec(c.node(), memo))
+                    .max()
+                    .unwrap_or(0)
+            }
+        };
+        memo[idx as usize] = depth;
+        depth
+    }
+
+    fn push_node(&mut self, node: AigNode) -> u32 {
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(node);
+        idx
+    }
+}
+
+impl LogicBuilder for Aig {
+    fn const_signal(&mut self, value: bool) -> Signal {
+        Signal::new(0, value)
+    }
+
+    fn add_input(&mut self) -> Signal {
+        let id = self.num_inputs;
+        self.num_inputs += 1;
+        let idx = self.push_node(AigNode::Input(id));
+        Signal::new(idx, false)
+    }
+
+    fn and2(&mut self, a: Signal, b: Signal) -> Signal {
+        let zero = self.const_signal(false);
+        let one = self.const_signal(true);
+        // Local simplifications.
+        if a == zero || b == zero || (a.node() == b.node() && a != b) {
+            return zero;
+        }
+        if a == one {
+            return b;
+        }
+        if b == one {
+            return a;
+        }
+        if a == b {
+            return a;
+        }
+        let mut key = [a, b];
+        key.sort();
+        if let Some(&idx) = self.strash.get(&key) {
+            return Signal::new(idx, false);
+        }
+        let idx = self.push_node(AigNode::And(key));
+        self.strash.insert(key, idx);
+        Signal::new(idx, false)
+    }
+}
+
+impl EvalGraph for Aig {
+    fn input_count(&self) -> usize {
+        self.num_inputs as usize
+    }
+
+    fn eval_packed(&self, inputs: &[u64], outputs: &[Signal]) -> Vec<u64> {
+        assert_eq!(
+            inputs.len(),
+            self.num_inputs as usize,
+            "expected one packed word per primary input"
+        );
+        let mut values = vec![0u64; self.nodes.len()];
+        for (idx, node) in self.nodes.iter().enumerate() {
+            values[idx] = match *node {
+                AigNode::Const0 => 0,
+                AigNode::Input(i) => inputs[i as usize],
+                AigNode::And([a, b]) => read(&values, a) & read(&values, b),
+            };
+        }
+        outputs.iter().map(|&s| read(&values, s)).collect()
+    }
+}
+
+fn read(values: &[u64], signal: Signal) -> u64 {
+    let v = values[signal.node() as usize];
+    if signal.is_complemented() {
+        !v
+    } else {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_inputs() -> (Aig, Signal, Signal) {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        (aig, a, b)
+    }
+
+    #[test]
+    fn and_or_xor_truth_tables() {
+        let (mut aig, a, b) = two_inputs();
+        let and = aig.and2(a, b);
+        let or = aig.or2(a, b);
+        let xor = aig.xor2(a, b);
+        let out = aig.eval_packed(&[0b1100, 0b1010], &[and, or, xor]);
+        assert_eq!(out[0] & 0xF, 0b1000);
+        assert_eq!(out[1] & 0xF, 0b1110);
+        assert_eq!(out[2] & 0xF, 0b0110);
+    }
+
+    #[test]
+    fn simplifications_avoid_nodes() {
+        let (mut aig, a, b) = two_inputs();
+        let zero = aig.const_signal(false);
+        let one = aig.const_signal(true);
+        assert_eq!(aig.and2(a, zero), zero);
+        assert_eq!(aig.and2(a, one), a);
+        assert_eq!(aig.and2(a, a), a);
+        assert_eq!(aig.and2(a, a.complement()), zero);
+        assert_eq!(aig.and_count(), 0);
+        let _ = b;
+    }
+
+    #[test]
+    fn structural_hashing_shares_nodes() {
+        let (mut aig, a, b) = two_inputs();
+        let x = aig.and2(a, b);
+        let y = aig.and2(b, a);
+        assert_eq!(x, y);
+        assert_eq!(aig.and_count(), 1);
+    }
+
+    #[test]
+    fn default_majority_matches_truth_table() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let m = aig.maj3(a, b, c);
+        let out = aig.eval_packed(&[0b1111_0000, 0b1100_1100, 0b1010_1010], &[m]);
+        assert_eq!(out[0] & 0xFF, 0b1110_1000);
+        // The AND/OR expansion of a majority costs several AND nodes — this is exactly the
+        // overhead SIMDRAM eliminates.
+        assert!(aig.and_count() >= 4);
+    }
+
+    #[test]
+    fn default_full_adder_is_correct_but_larger_than_mig() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let (sum, carry) = aig.full_adder(a, b, c);
+        let va = 0b1111_0000u64;
+        let vb = 0b1100_1100u64;
+        let vc = 0b1010_1010u64;
+        let out = aig.eval_packed(&[va, vb, vc], &[sum, carry]);
+        assert_eq!(out[0] & 0xFF, (va ^ vb ^ vc) & 0xFF);
+        assert_eq!(out[1] & 0xFF, ((va & vb) | (vb & vc) | (va & vc)) & 0xFF);
+        assert!(aig.and_count() > 3, "AIG full adder should need more gates than the 3-MAJ MIG version");
+    }
+
+    #[test]
+    fn depth_and_cone_metrics() {
+        let (mut aig, a, b) = two_inputs();
+        let x = aig.and2(a, b);
+        let y = aig.and2(x, a);
+        assert_eq!(aig.depth_of(y), 2);
+        assert_eq!(aig.and_count_in_cone(&[y]), 2);
+        let topo = aig.topological_cone(&[y]);
+        assert_eq!(topo, vec![x.node(), y.node()]);
+    }
+}

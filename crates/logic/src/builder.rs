@@ -1,0 +1,149 @@
+//! The [`LogicBuilder`] abstraction: one set of operation generators, two target
+//! representations.
+//!
+//! SIMDRAM's Step 1 derives an optimized MAJ/NOT implementation of each operation, while the
+//! Ambit baseline implements the *same* operation out of AND/OR/NOT building blocks. To
+//! guarantee both implementations compute identical functions, every operation generator in
+//! [`crate::ops`] is written once against the [`LogicBuilder`] trait and instantiated over
+//! both [`crate::Mig`] (majority-inverter graph) and [`crate::Aig`] (and-inverter graph).
+//!
+//! Default method implementations express derived gates (OR, XOR, MUX, majority, full adder)
+//! in terms of AND/NOT, which is what an AIG uses. The MIG implementation overrides the
+//! majority-friendly ones (`and2`, `or2`, `maj3`, `full_adder`) with majority-native
+//! constructions, which is precisely where SIMDRAM's command-count advantage comes from.
+
+use crate::signal::Signal;
+
+/// A builder of combinational logic networks.
+///
+/// Complementation (`NOT`) is free in both target representations (complemented edges), so
+/// it is provided by [`Signal::complement`] rather than by the builder.
+pub trait LogicBuilder {
+    /// Returns the constant signal with the given value.
+    fn const_signal(&mut self, value: bool) -> Signal;
+
+    /// Allocates a new primary input and returns its signal.
+    fn add_input(&mut self) -> Signal;
+
+    /// Two-input AND.
+    fn and2(&mut self, a: Signal, b: Signal) -> Signal;
+
+    /// Two-input OR. Default: De Morgan over [`LogicBuilder::and2`].
+    fn or2(&mut self, a: Signal, b: Signal) -> Signal {
+        self.and2(a.complement(), b.complement()).complement()
+    }
+
+    /// Three-input majority. Default: `(a·b) + (b·c) + (a·c)`.
+    fn maj3(&mut self, a: Signal, b: Signal, c: Signal) -> Signal {
+        let ab = self.and2(a, b);
+        let bc = self.and2(b, c);
+        let ac = self.and2(a, c);
+        let t = self.or2(ab, bc);
+        self.or2(t, ac)
+    }
+
+    /// Two-input XOR. Default: `a·¬b + ¬a·b`.
+    fn xor2(&mut self, a: Signal, b: Signal) -> Signal {
+        let x = self.and2(a, b.complement());
+        let y = self.and2(a.complement(), b);
+        self.or2(x, y)
+    }
+
+    /// Two-input XNOR.
+    fn xnor2(&mut self, a: Signal, b: Signal) -> Signal {
+        self.xor2(a, b).complement()
+    }
+
+    /// Two-to-one multiplexer: returns `then_s` when `sel` is 1, `else_s` otherwise.
+    fn mux(&mut self, sel: Signal, then_s: Signal, else_s: Signal) -> Signal {
+        let a = self.and2(sel, then_s);
+        let b = self.and2(sel.complement(), else_s);
+        self.or2(a, b)
+    }
+
+    /// Full adder: returns `(sum, carry_out)`.
+    ///
+    /// Default: carry = `MAJ(a, b, cin)` (expanded per the representation), sum via two XORs.
+    fn full_adder(&mut self, a: Signal, b: Signal, cin: Signal) -> (Signal, Signal) {
+        let carry = self.maj3(a, b, cin);
+        let t = self.xor2(a, b);
+        let sum = self.xor2(t, cin);
+        (sum, carry)
+    }
+
+    /// Half adder: returns `(sum, carry_out)`.
+    fn half_adder(&mut self, a: Signal, b: Signal) -> (Signal, Signal) {
+        let sum = self.xor2(a, b);
+        let carry = self.and2(a, b);
+        (sum, carry)
+    }
+
+    /// AND over an arbitrary number of signals (returns constant 1 for an empty slice).
+    fn and_many(&mut self, signals: &[Signal]) -> Signal {
+        match signals {
+            [] => self.const_signal(true),
+            [only] => *only,
+            [first, rest @ ..] => {
+                let mut acc = *first;
+                for &s in rest {
+                    acc = self.and2(acc, s);
+                }
+                acc
+            }
+        }
+    }
+
+    /// OR over an arbitrary number of signals (returns constant 0 for an empty slice).
+    fn or_many(&mut self, signals: &[Signal]) -> Signal {
+        match signals {
+            [] => self.const_signal(false),
+            [only] => *only,
+            [first, rest @ ..] => {
+                let mut acc = *first;
+                for &s in rest {
+                    acc = self.or2(acc, s);
+                }
+                acc
+            }
+        }
+    }
+
+    /// XOR over an arbitrary number of signals (returns constant 0 for an empty slice).
+    fn xor_many(&mut self, signals: &[Signal]) -> Signal {
+        match signals {
+            [] => self.const_signal(false),
+            [only] => *only,
+            [first, rest @ ..] => {
+                let mut acc = *first;
+                for &s in rest {
+                    acc = self.xor2(acc, s);
+                }
+                acc
+            }
+        }
+    }
+
+    /// Ripple-carry addition of two equally sized words, with an explicit carry-in.
+    /// Returns the sum bits (LSB first) and the final carry-out.
+    fn ripple_add(&mut self, a: &[Signal], b: &[Signal], carry_in: Signal) -> (Vec<Signal>, Signal) {
+        assert_eq!(a.len(), b.len(), "ripple_add requires equal operand widths");
+        let mut carry = carry_in;
+        let mut sum = Vec::with_capacity(a.len());
+        for (&ai, &bi) in a.iter().zip(b) {
+            let (s, c) = self.full_adder(ai, bi, carry);
+            sum.push(s);
+            carry = c;
+        }
+        (sum, carry)
+    }
+
+    /// Word-level multiplexer over equally sized words.
+    fn mux_word(&mut self, sel: Signal, then_w: &[Signal], else_w: &[Signal]) -> Vec<Signal> {
+        assert_eq!(then_w.len(), else_w.len(), "mux_word requires equal widths");
+        then_w
+            .iter()
+            .zip(else_w)
+            .map(|(&t, &e)| self.mux(sel, t, e))
+            .collect()
+    }
+}

@@ -1,0 +1,32 @@
+//! Bit-parallel evaluation of logic graphs, used to verify synthesized circuits.
+
+use crate::signal::Signal;
+
+/// A logic graph that can be simulated.
+///
+/// Evaluation is *packed*: every primary input is assigned a 64-bit word, and the graph is
+/// evaluated bitwise, so 64 independent test vectors are simulated per call. This is the
+/// software analogue of the DRAM substrate's SIMD execution (where each bitline is a lane)
+/// and is what the property-based tests use to compare circuits against reference
+/// semantics.
+pub trait EvalGraph {
+    /// Number of primary inputs the graph declares.
+    fn input_count(&self) -> usize;
+
+    /// Evaluates the graph with the given packed input assignment and returns the packed
+    /// value of each requested output signal.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `inputs.len()` differs from [`EvalGraph::input_count`].
+    fn eval_packed(&self, inputs: &[u64], outputs: &[Signal]) -> Vec<u64>;
+
+    /// Evaluates the graph for a single assignment of boolean input values.
+    fn eval_single(&self, inputs: &[bool], outputs: &[Signal]) -> Vec<bool> {
+        let packed: Vec<u64> = inputs.iter().map(|&b| if b { 1 } else { 0 }).collect();
+        self.eval_packed(&packed, outputs)
+            .into_iter()
+            .map(|w| w & 1 == 1)
+            .collect()
+    }
+}

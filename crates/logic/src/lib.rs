@@ -1,0 +1,58 @@
+//! # simdram-logic — Step 1 of the SIMDRAM framework
+//!
+//! SIMDRAM's first step turns a desired operation into an efficient **MAJ/NOT**
+//! representation, because the DRAM substrate natively computes three-input majority
+//! (triple-row activation) and NOT (dual-contact cells). This crate provides:
+//!
+//! * [`Mig`] — majority-inverter graphs with eager simplification and structural hashing,
+//!   the output representation of Step 1;
+//! * [`Aig`] — and-inverter graphs, the AND/OR/NOT representation used by the Ambit
+//!   baseline the paper compares against;
+//! * [`LogicBuilder`] — a builder trait both graphs implement, so that the word-level
+//!   operation generators in [`ops`] produce *functionally identical* circuits for both
+//!   targets;
+//! * [`Operation`] — the paper's 16-operation set with scalar reference semantics;
+//! * [`WordCircuit`] — a synthesized operation (graph + port bindings + statistics), the
+//!   object handed to Step 2 (the μProgram generator in `simdram-uprog`).
+//!
+//! ## Example
+//!
+//! ```
+//! use simdram_logic::{Aig, Mig, Operation, WordCircuit};
+//!
+//! // Step 1: derive the MAJ/NOT implementation of 16-bit addition...
+//! let simdram_add: WordCircuit<Mig> = WordCircuit::synthesize(Operation::Add, 16);
+//! // ...and the AND/OR/NOT implementation Ambit would use.
+//! let ambit_add: WordCircuit<Aig> = WordCircuit::synthesize(Operation::Add, 16);
+//!
+//! // Both compute the same function…
+//! assert_eq!(simdram_add.eval_scalar(1000, 2345, false),
+//!            ambit_add.eval_scalar(1000, 2345, false));
+//! // …but the majority-based circuit needs fewer gates, which is where SIMDRAM's
+//! // throughput advantage over Ambit comes from.
+//! assert!(simdram_add.gate_count() < ambit_add.gate_count());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aig;
+mod builder;
+mod eval;
+mod mig;
+mod operation;
+mod signal;
+mod transform;
+mod word;
+
+pub mod ops;
+
+pub use aig::{Aig, AigNode};
+pub use builder::LogicBuilder;
+pub use eval::EvalGraph;
+pub use mig::{Mig, MigNode};
+pub use operation::{word_mask, Operation, OperationClass};
+pub use ops::WordPorts;
+pub use signal::Signal;
+pub use transform::{aig_to_mig, compact_mig};
+pub use word::{CircuitStats, InputBit, WordCircuit};

@@ -1,0 +1,411 @@
+//! Majority-Inverter Graphs (MIGs): the representation SIMDRAM Step 1 produces.
+//!
+//! A MIG is a directed acyclic graph whose internal nodes are three-input majority gates and
+//! whose edges may be complemented. Together with complementation, majority is functionally
+//! complete, and — crucially for SIMDRAM — it maps one-to-one onto the DRAM substrate's
+//! triple-row activation, so *the number of majority nodes directly determines the number of
+//! TRA commands* a μProgram needs.
+//!
+//! Construction applies the standard MIG simplification axioms eagerly:
+//!
+//! * **Majority** (Ω.M): `MAJ(x, x, y) = x` and `MAJ(x, ¬x, y) = y`.
+//! * **Constant absorption**: duplicate/complementary constants reduce via the same rules
+//!   (`MAJ(0, 1, y) = y`, `MAJ(0, 0, y) = 0`, …).
+//! * **Inverter propagation** (Ω.I): `MAJ(¬x, ¬y, ¬z) = ¬MAJ(x, y, z)`; triples with two or
+//!   more complemented fan-ins are canonicalized to their complemented form so that
+//!   structurally identical nodes are shared.
+//! * **Structural hashing**: identical (sorted) fan-in triples return the existing node.
+
+use std::collections::HashMap;
+
+use crate::builder::LogicBuilder;
+use crate::eval::EvalGraph;
+use crate::signal::Signal;
+
+/// A node of a [`Mig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigNode {
+    /// The constant-zero node (always node 0; constant one is its complement).
+    Const0,
+    /// The `n`-th primary input.
+    Input(u32),
+    /// A three-input majority gate over the given (sorted) fan-in signals.
+    Maj([Signal; 3]),
+}
+
+/// A majority-inverter graph.
+///
+/// # Examples
+///
+/// ```
+/// use simdram_logic::{LogicBuilder, Mig};
+///
+/// let mut mig = Mig::new();
+/// let a = mig.add_input();
+/// let b = mig.add_input();
+/// let c = mig.add_input();
+/// let m = mig.maj3(a, b, c);
+/// assert_eq!(mig.maj_count(), 1);
+/// // MAJ(a, a, b) simplifies away without creating a node.
+/// assert_eq!(mig.maj3(a, a, b), a);
+/// assert_eq!(mig.maj_count(), 1);
+/// # let _ = (m, c);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mig {
+    nodes: Vec<MigNode>,
+    strash: HashMap<[Signal; 3], u32>,
+    num_inputs: u32,
+}
+
+impl Default for Mig {
+    fn default() -> Self {
+        Mig::new()
+    }
+}
+
+impl Mig {
+    /// Creates an empty MIG containing only the constant node.
+    pub fn new() -> Self {
+        Mig {
+            nodes: vec![MigNode::Const0],
+            strash: HashMap::new(),
+            num_inputs: 0,
+        }
+    }
+
+    /// Total number of nodes, including the constant and the inputs.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of majority nodes (each one costs one triple-row activation in DRAM).
+    pub fn maj_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, MigNode::Maj(_)))
+            .count()
+    }
+
+    /// Number of primary inputs.
+    pub fn input_count(&self) -> usize {
+        self.num_inputs as usize
+    }
+
+    /// The node referenced by `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn node(&self, index: u32) -> MigNode {
+        self.nodes[index as usize]
+    }
+
+    /// Logic depth (number of majority levels) of the cone rooted at `signal`.
+    pub fn depth_of(&self, signal: Signal) -> usize {
+        let mut memo = vec![usize::MAX; self.nodes.len()];
+        self.depth_rec(signal.node(), &mut memo)
+    }
+
+    /// Number of distinct majority nodes in the cones rooted at `outputs`.
+    pub fn maj_count_in_cone(&self, outputs: &[Signal]) -> usize {
+        let mut visited = vec![false; self.nodes.len()];
+        let mut stack: Vec<u32> = outputs.iter().map(|s| s.node()).collect();
+        let mut count = 0;
+        while let Some(idx) = stack.pop() {
+            if visited[idx as usize] {
+                continue;
+            }
+            visited[idx as usize] = true;
+            if let MigNode::Maj(children) = self.nodes[idx as usize] {
+                count += 1;
+                stack.extend(children.iter().map(|s| s.node()));
+            }
+        }
+        count
+    }
+
+    /// Topological order (children before parents) of the majority nodes in the cones rooted
+    /// at `outputs`. The returned indices can be used to schedule TRA commands.
+    pub fn topological_cone(&self, outputs: &[Signal]) -> Vec<u32> {
+        let mut visited = vec![false; self.nodes.len()];
+        let mut order = Vec::new();
+        for &out in outputs {
+            self.topo_rec(out.node(), &mut visited, &mut order);
+        }
+        order
+    }
+
+    fn topo_rec(&self, idx: u32, visited: &mut [bool], order: &mut Vec<u32>) {
+        if visited[idx as usize] {
+            return;
+        }
+        visited[idx as usize] = true;
+        if let MigNode::Maj(children) = self.nodes[idx as usize] {
+            for child in children {
+                self.topo_rec(child.node(), visited, order);
+            }
+            order.push(idx);
+        }
+    }
+
+    fn depth_rec(&self, idx: u32, memo: &mut [usize]) -> usize {
+        if memo[idx as usize] != usize::MAX {
+            return memo[idx as usize];
+        }
+        let depth = match self.nodes[idx as usize] {
+            MigNode::Const0 | MigNode::Input(_) => 0,
+            MigNode::Maj(children) => {
+                1 + children
+                    .iter()
+                    .map(|c| self.depth_rec(c.node(), memo))
+                    .max()
+                    .unwrap_or(0)
+            }
+        };
+        memo[idx as usize] = depth;
+        depth
+    }
+
+    fn push_node(&mut self, node: MigNode) -> u32 {
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(node);
+        idx
+    }
+}
+
+impl LogicBuilder for Mig {
+    fn const_signal(&mut self, value: bool) -> Signal {
+        Signal::new(0, value)
+    }
+
+    fn add_input(&mut self) -> Signal {
+        let id = self.num_inputs;
+        self.num_inputs += 1;
+        let idx = self.push_node(MigNode::Input(id));
+        Signal::new(idx, false)
+    }
+
+    fn and2(&mut self, a: Signal, b: Signal) -> Signal {
+        let zero = self.const_signal(false);
+        self.maj3(a, b, zero)
+    }
+
+    fn or2(&mut self, a: Signal, b: Signal) -> Signal {
+        let one = self.const_signal(true);
+        self.maj3(a, b, one)
+    }
+
+    fn maj3(&mut self, a: Signal, b: Signal, c: Signal) -> Signal {
+        let mut fanins = [a, b, c];
+        fanins.sort();
+        let [x, y, z] = fanins;
+
+        // Ω.M: two identical fan-ins dominate.
+        if x == y {
+            return x;
+        }
+        if y == z {
+            return y;
+        }
+        // Ω.M': a complementary pair cancels, leaving the third fan-in.
+        if x.node() == y.node() && x != y {
+            return z;
+        }
+        if y.node() == z.node() && y != z {
+            return x;
+        }
+        if x.node() == z.node() && x != z {
+            return y;
+        }
+
+        // Ω.I: canonicalize so that at most one fan-in is complemented, sharing nodes between
+        // a majority and its complement.
+        let complemented = fanins.iter().filter(|s| s.is_complemented()).count();
+        let (mut key, invert_output) = if complemented >= 2 {
+            ([x.complement(), y.complement(), z.complement()], true)
+        } else {
+            (fanins, false)
+        };
+        key.sort();
+
+        if let Some(&idx) = self.strash.get(&key) {
+            return Signal::new(idx, invert_output);
+        }
+        let idx = self.push_node(MigNode::Maj(key));
+        self.strash.insert(key, idx);
+        Signal::new(idx, invert_output)
+    }
+
+    fn full_adder(&mut self, a: Signal, b: Signal, cin: Signal) -> (Signal, Signal) {
+        // The majority-native full adder used by SIMDRAM: three majority gates total.
+        //   carry = MAJ(a, b, cin)
+        //   sum   = MAJ(¬carry, cin, MAJ(a, b, ¬cin))
+        let carry = self.maj3(a, b, cin);
+        let inner = self.maj3(a, b, cin.complement());
+        let sum = self.maj3(carry.complement(), cin, inner);
+        (sum, carry)
+    }
+}
+
+impl EvalGraph for Mig {
+    fn input_count(&self) -> usize {
+        self.num_inputs as usize
+    }
+
+    fn eval_packed(&self, inputs: &[u64], outputs: &[Signal]) -> Vec<u64> {
+        assert_eq!(
+            inputs.len(),
+            self.num_inputs as usize,
+            "expected one packed word per primary input"
+        );
+        let mut values = vec![0u64; self.nodes.len()];
+        for (idx, node) in self.nodes.iter().enumerate() {
+            values[idx] = match *node {
+                MigNode::Const0 => 0,
+                MigNode::Input(i) => inputs[i as usize],
+                MigNode::Maj([a, b, c]) => {
+                    let va = read(&values, a);
+                    let vb = read(&values, b);
+                    let vc = read(&values, c);
+                    (va & vb) | (vb & vc) | (va & vc)
+                }
+            };
+        }
+        outputs.iter().map(|&s| read(&values, s)).collect()
+    }
+}
+
+fn read(values: &[u64], signal: Signal) -> u64 {
+    let v = values[signal.node() as usize];
+    if signal.is_complemented() {
+        !v
+    } else {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_inputs() -> (Mig, Signal, Signal, Signal) {
+        let mut mig = Mig::new();
+        let a = mig.add_input();
+        let b = mig.add_input();
+        let c = mig.add_input();
+        (mig, a, b, c)
+    }
+
+    #[test]
+    fn maj_truth_table() {
+        let (mut mig, a, b, c) = three_inputs();
+        let m = mig.maj3(a, b, c);
+        // Pack the 8 input combinations into the low bits of the lanes.
+        let va = 0b1111_0000u64;
+        let vb = 0b1100_1100u64;
+        let vc = 0b1010_1010u64;
+        let out = mig.eval_packed(&[va, vb, vc], &[m]);
+        assert_eq!(out[0] & 0xFF, 0b1110_1000);
+    }
+
+    #[test]
+    fn and_or_via_constants() {
+        let (mut mig, a, b, _) = three_inputs();
+        let and = mig.and2(a, b);
+        let or = mig.or2(a, b);
+        let out = mig.eval_packed(&[0b1100, 0b1010, 0], &[and, or]);
+        assert_eq!(out[0] & 0xF, 0b1000);
+        assert_eq!(out[1] & 0xF, 0b1110);
+    }
+
+    #[test]
+    fn identical_fanins_simplify() {
+        let (mut mig, a, b, _) = three_inputs();
+        assert_eq!(mig.maj3(a, a, b), a);
+        assert_eq!(mig.maj3(a, a, a), a);
+        assert_eq!(mig.maj_count(), 0);
+    }
+
+    #[test]
+    fn complementary_pair_simplifies() {
+        let (mut mig, a, b, _) = three_inputs();
+        assert_eq!(mig.maj3(a, a.complement(), b), b);
+        assert_eq!(mig.maj_count(), 0);
+    }
+
+    #[test]
+    fn constant_pairs_simplify() {
+        let (mut mig, a, _, _) = three_inputs();
+        let zero = mig.const_signal(false);
+        let one = mig.const_signal(true);
+        assert_eq!(mig.maj3(zero, one, a), a);
+        assert_eq!(mig.maj3(zero, zero, a), zero);
+        assert_eq!(mig.maj3(one, one, a), one);
+        assert_eq!(mig.maj_count(), 0);
+    }
+
+    #[test]
+    fn structural_hashing_shares_nodes() {
+        let (mut mig, a, b, c) = three_inputs();
+        let m1 = mig.maj3(a, b, c);
+        let m2 = mig.maj3(c, a, b);
+        assert_eq!(m1, m2);
+        assert_eq!(mig.maj_count(), 1);
+    }
+
+    #[test]
+    fn inverter_propagation_shares_complemented_nodes() {
+        let (mut mig, a, b, c) = three_inputs();
+        let m = mig.maj3(a, b, c);
+        let m_comp = mig.maj3(a.complement(), b.complement(), c.complement());
+        assert_eq!(m_comp, m.complement());
+        assert_eq!(mig.maj_count(), 1);
+    }
+
+    #[test]
+    fn native_full_adder_uses_three_majorities_and_is_correct() {
+        let (mut mig, a, b, c) = three_inputs();
+        let (sum, carry) = mig.full_adder(a, b, c);
+        assert_eq!(mig.maj_count(), 3);
+        let va = 0b1111_0000u64;
+        let vb = 0b1100_1100u64;
+        let vc = 0b1010_1010u64;
+        let out = mig.eval_packed(&[va, vb, vc], &[sum, carry]);
+        // sum = a ^ b ^ c, carry = maj(a, b, c).
+        assert_eq!(out[0] & 0xFF, (va ^ vb ^ vc) & 0xFF);
+        assert_eq!(out[1] & 0xFF, ((va & vb) | (vb & vc) | (va & vc)) & 0xFF);
+    }
+
+    #[test]
+    fn xor_matches_reference() {
+        let (mut mig, a, b, _) = three_inputs();
+        let x = mig.xor2(a, b);
+        let out = mig.eval_packed(&[0b1100, 0b1010, 0], &[x]);
+        assert_eq!(out[0] & 0xF, 0b0110);
+    }
+
+    #[test]
+    fn depth_and_cone_size() {
+        let (mut mig, a, b, c) = three_inputs();
+        let m1 = mig.maj3(a, b, c);
+        let m2 = mig.maj3(m1, a, b);
+        assert_eq!(mig.depth_of(m2), 2);
+        assert_eq!(mig.depth_of(a), 0);
+        assert_eq!(mig.maj_count_in_cone(&[m2]), 2);
+        assert_eq!(mig.maj_count_in_cone(&[m1]), 1);
+        let topo = mig.topological_cone(&[m2]);
+        assert_eq!(topo.len(), 2);
+        assert_eq!(topo[0], m1.node());
+        assert_eq!(topo[1], m2.node());
+    }
+
+    #[test]
+    fn mux_selects_correctly() {
+        let (mut mig, sel, t, e) = three_inputs();
+        let m = mig.mux(sel, t, e);
+        // sel=1 lanes take t, sel=0 lanes take e.
+        let out = mig.eval_packed(&[0b1100, 0b1010, 0b0110], &[m]);
+        assert_eq!(out[0] & 0xF, (0b1100 & 0b1010) | (!0b1100u64 & 0b0110) & 0xF);
+    }
+}

@@ -1,0 +1,363 @@
+//! The SIMDRAM operation set and its reference (scalar) semantics.
+//!
+//! The paper demonstrates the framework on a set of 16 operations spanning five classes:
+//! N-input logic operations, relational operations, arithmetic, predication, and "other"
+//! complex operations (bitcount, ReLU). This module enumerates them, records their shape
+//! (number of word operands, whether a 1-bit predicate is used, output width) and provides a
+//! scalar reference implementation used to verify both the synthesized circuits and the
+//! end-to-end in-DRAM execution.
+//!
+//! ## Semantics conventions
+//!
+//! * Words are `width`-bit values stored LSB-first; `width` may be 1–64.
+//! * `Add`, `Sub` and `Mul` wrap modulo `2^width` (`Mul` returns the low half).
+//! * `Div` is unsigned integer division; division by zero yields all-ones (the hardware
+//!   convention of saturating to the maximum representable value).
+//! * `Greater`, `GreaterEqual`, `Equal` are unsigned comparisons producing a 1-bit result.
+//! * `Max`/`Min` are unsigned selections.
+//! * `Abs` and `Relu` interpret their operand as a two's-complement signed value.
+//! * `AndRed`/`OrRed`/`XorRed` reduce the bits of operand A to a single bit.
+//! * `BitCount` returns the population count of operand A (in `width` output bits).
+//! * `IfElse` selects operand A where the 1-bit predicate is set, operand B elsewhere.
+
+use std::fmt;
+
+/// One of the 16 operations the SIMDRAM paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Operation {
+    /// Two's-complement absolute value of A.
+    Abs,
+    /// A + B (mod 2^width).
+    Add,
+    /// AND-reduction of the bits of A (1-bit result).
+    AndRed,
+    /// Population count of A.
+    BitCount,
+    /// Unsigned A / B (all-ones when B = 0).
+    Div,
+    /// A == B (1-bit result).
+    Equal,
+    /// Unsigned A > B (1-bit result).
+    Greater,
+    /// Unsigned A >= B (1-bit result).
+    GreaterEqual,
+    /// Predicated select: predicate ? A : B.
+    IfElse,
+    /// Unsigned max(A, B).
+    Max,
+    /// Unsigned min(A, B).
+    Min,
+    /// A × B (low `width` bits).
+    Mul,
+    /// OR-reduction of the bits of A (1-bit result).
+    OrRed,
+    /// ReLU(A) for two's-complement A: A if A ≥ 0, else 0.
+    Relu,
+    /// A − B (mod 2^width).
+    Sub,
+    /// XOR-reduction of the bits of A (1-bit result).
+    XorRed,
+}
+
+impl Operation {
+    /// All 16 operations, in a stable order used by tables and figures.
+    pub const ALL: [Operation; 16] = [
+        Operation::Abs,
+        Operation::Add,
+        Operation::AndRed,
+        Operation::BitCount,
+        Operation::Div,
+        Operation::Equal,
+        Operation::Greater,
+        Operation::GreaterEqual,
+        Operation::IfElse,
+        Operation::Max,
+        Operation::Min,
+        Operation::Mul,
+        Operation::OrRed,
+        Operation::Relu,
+        Operation::Sub,
+        Operation::XorRed,
+    ];
+
+    /// Short lower-case name used in tables (matches the paper's operation names).
+    pub fn name(self) -> &'static str {
+        match self {
+            Operation::Abs => "abs",
+            Operation::Add => "addition",
+            Operation::AndRed => "and_red",
+            Operation::BitCount => "bitcount",
+            Operation::Div => "division",
+            Operation::Equal => "equal",
+            Operation::Greater => "greater",
+            Operation::GreaterEqual => "greater_equal",
+            Operation::IfElse => "if_else",
+            Operation::Max => "max",
+            Operation::Min => "min",
+            Operation::Mul => "multiplication",
+            Operation::OrRed => "or_red",
+            Operation::Relu => "relu",
+            Operation::Sub => "subtraction",
+            Operation::XorRed => "xor_red",
+        }
+    }
+
+    /// The class the paper assigns the operation to.
+    pub fn class(self) -> OperationClass {
+        match self {
+            Operation::AndRed | Operation::OrRed | Operation::XorRed => OperationClass::NInputLogic,
+            Operation::Equal
+            | Operation::Greater
+            | Operation::GreaterEqual
+            | Operation::Max
+            | Operation::Min => OperationClass::Relational,
+            Operation::Add | Operation::Sub | Operation::Mul | Operation::Div => {
+                OperationClass::Arithmetic
+            }
+            Operation::IfElse => OperationClass::Predication,
+            Operation::Abs | Operation::BitCount | Operation::Relu => OperationClass::Other,
+        }
+    }
+
+    /// Whether the operation consumes a second word operand (B).
+    pub fn uses_second_operand(self) -> bool {
+        matches!(
+            self,
+            Operation::Add
+                | Operation::Sub
+                | Operation::Mul
+                | Operation::Div
+                | Operation::Equal
+                | Operation::Greater
+                | Operation::GreaterEqual
+                | Operation::Max
+                | Operation::Min
+                | Operation::IfElse
+        )
+    }
+
+    /// Whether the operation consumes a 1-bit predicate input.
+    pub fn uses_predicate(self) -> bool {
+        matches!(self, Operation::IfElse)
+    }
+
+    /// Width of the result in bits, for a given operand width.
+    pub fn output_width(self, width: usize) -> usize {
+        match self {
+            Operation::Equal
+            | Operation::Greater
+            | Operation::GreaterEqual
+            | Operation::AndRed
+            | Operation::OrRed
+            | Operation::XorRed => 1,
+            _ => width,
+        }
+    }
+
+    /// Scalar reference semantics.
+    ///
+    /// `a` and `b` are interpreted as `width`-bit values (higher bits are ignored); `pred`
+    /// is the 1-bit predicate (only used by [`Operation::IfElse`]). The result is truncated
+    /// to [`Operation::output_width`] bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or greater than 64.
+    pub fn reference(self, width: usize, a: u64, b: u64, pred: bool) -> u64 {
+        assert!(width >= 1 && width <= 64, "width must be in 1..=64");
+        let mask = word_mask(width);
+        let a = a & mask;
+        let b = b & mask;
+        let sign_bit = 1u64 << (width - 1);
+        let result = match self {
+            Operation::Abs => {
+                if a & sign_bit != 0 {
+                    a.wrapping_neg()
+                } else {
+                    a
+                }
+            }
+            Operation::Add => a.wrapping_add(b),
+            Operation::AndRed => u64::from(a == mask),
+            Operation::BitCount => u64::from(a.count_ones()),
+            Operation::Div => {
+                if b == 0 {
+                    mask
+                } else {
+                    a / b
+                }
+            }
+            Operation::Equal => u64::from(a == b),
+            Operation::Greater => u64::from(a > b),
+            Operation::GreaterEqual => u64::from(a >= b),
+            Operation::IfElse => {
+                if pred {
+                    a
+                } else {
+                    b
+                }
+            }
+            Operation::Max => a.max(b),
+            Operation::Min => a.min(b),
+            Operation::Mul => a.wrapping_mul(b),
+            Operation::OrRed => u64::from(a != 0),
+            Operation::Relu => {
+                if a & sign_bit != 0 {
+                    0
+                } else {
+                    a
+                }
+            }
+            Operation::Sub => a.wrapping_sub(b),
+            Operation::XorRed => u64::from(a.count_ones() % 2 == 1),
+        };
+        result & word_mask(self.output_width(width))
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The five operation classes of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperationClass {
+    /// N-input bitwise logic (AND/OR/XOR reductions).
+    NInputLogic,
+    /// Relational operations (comparisons, max/min).
+    Relational,
+    /// Arithmetic operations.
+    Arithmetic,
+    /// Predication (if-then-else).
+    Predication,
+    /// Other complex operations (bitcount, ReLU, abs).
+    Other,
+}
+
+impl fmt::Display for OperationClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OperationClass::NInputLogic => "N-input logic",
+            OperationClass::Relational => "relational",
+            OperationClass::Arithmetic => "arithmetic",
+            OperationClass::Predication => "predication",
+            OperationClass::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Mask selecting the low `width` bits of a word.
+///
+/// # Panics
+///
+/// Panics if `width > 64`.
+pub fn word_mask(width: usize) -> u64 {
+    assert!(width <= 64);
+    if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_contains_sixteen_distinct_operations() {
+        let mut names: Vec<&str> = Operation::ALL.iter().map(|op| op.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 16);
+    }
+
+    #[test]
+    fn arithmetic_wraps_modulo_width() {
+        assert_eq!(Operation::Add.reference(8, 0xFF, 0x01, false), 0x00);
+        assert_eq!(Operation::Sub.reference(8, 0x00, 0x01, false), 0xFF);
+        assert_eq!(Operation::Mul.reference(8, 0x10, 0x10, false), 0x00);
+        assert_eq!(Operation::Mul.reference(8, 7, 9, false), 63);
+    }
+
+    #[test]
+    fn division_by_zero_saturates() {
+        assert_eq!(Operation::Div.reference(8, 42, 0, false), 0xFF);
+        assert_eq!(Operation::Div.reference(8, 42, 5, false), 8);
+    }
+
+    #[test]
+    fn comparisons_are_unsigned_one_bit() {
+        assert_eq!(Operation::Greater.reference(8, 200, 100, false), 1);
+        assert_eq!(Operation::Greater.reference(8, 100, 200, false), 0);
+        assert_eq!(Operation::GreaterEqual.reference(8, 5, 5, false), 1);
+        assert_eq!(Operation::Equal.reference(8, 5, 6, false), 0);
+        assert_eq!(Operation::Equal.reference(8, 6, 6, false), 1);
+    }
+
+    #[test]
+    fn signed_operations_use_twos_complement() {
+        // -1 in 8 bits is 0xFF.
+        assert_eq!(Operation::Abs.reference(8, 0xFF, 0, false), 1);
+        assert_eq!(Operation::Abs.reference(8, 0x05, 0, false), 5);
+        assert_eq!(Operation::Relu.reference(8, 0xFF, 0, false), 0);
+        assert_eq!(Operation::Relu.reference(8, 0x7F, 0, false), 0x7F);
+    }
+
+    #[test]
+    fn reductions_and_bitcount() {
+        assert_eq!(Operation::AndRed.reference(4, 0b1111, 0, false), 1);
+        assert_eq!(Operation::AndRed.reference(4, 0b1110, 0, false), 0);
+        assert_eq!(Operation::OrRed.reference(4, 0b0000, 0, false), 0);
+        assert_eq!(Operation::OrRed.reference(4, 0b0100, 0, false), 1);
+        assert_eq!(Operation::XorRed.reference(4, 0b0110, 0, false), 0);
+        assert_eq!(Operation::XorRed.reference(4, 0b0111, 0, false), 1);
+        assert_eq!(Operation::BitCount.reference(8, 0b1011_0110, 0, false), 5);
+    }
+
+    #[test]
+    fn if_else_uses_predicate() {
+        assert_eq!(Operation::IfElse.reference(8, 1, 2, true), 1);
+        assert_eq!(Operation::IfElse.reference(8, 1, 2, false), 2);
+    }
+
+    #[test]
+    fn max_min_select_operands() {
+        assert_eq!(Operation::Max.reference(8, 9, 200, false), 200);
+        assert_eq!(Operation::Min.reference(8, 9, 200, false), 9);
+    }
+
+    #[test]
+    fn output_width_shrinks_for_flags() {
+        assert_eq!(Operation::Equal.output_width(32), 1);
+        assert_eq!(Operation::Add.output_width(32), 32);
+        assert_eq!(Operation::BitCount.output_width(32), 32);
+    }
+
+    #[test]
+    fn operand_shape_metadata() {
+        assert!(Operation::Add.uses_second_operand());
+        assert!(!Operation::Abs.uses_second_operand());
+        assert!(Operation::IfElse.uses_predicate());
+        assert!(!Operation::Add.uses_predicate());
+    }
+
+    #[test]
+    fn classes_cover_paper_taxonomy() {
+        assert_eq!(Operation::AndRed.class(), OperationClass::NInputLogic);
+        assert_eq!(Operation::Max.class(), OperationClass::Relational);
+        assert_eq!(Operation::Div.class(), OperationClass::Arithmetic);
+        assert_eq!(Operation::IfElse.class(), OperationClass::Predication);
+        assert_eq!(Operation::Relu.class(), OperationClass::Other);
+    }
+
+    #[test]
+    fn word_mask_edges() {
+        assert_eq!(word_mask(1), 1);
+        assert_eq!(word_mask(8), 0xFF);
+        assert_eq!(word_mask(64), u64::MAX);
+    }
+}

@@ -1,0 +1,83 @@
+//! Arithmetic operation generators: addition, subtraction, multiplication, division and
+//! absolute value.
+
+use crate::builder::LogicBuilder;
+use crate::signal::Signal;
+
+/// Ripple-carry addition, discarding the final carry (wrap-around semantics).
+pub(crate) fn build_add<B: LogicBuilder>(b: &mut B, x: &[Signal], y: &[Signal]) -> Vec<Signal> {
+    let zero = b.const_signal(false);
+    let (sum, _) = b.ripple_add(x, y, zero);
+    sum
+}
+
+/// Two's-complement subtraction: `x + ¬y + 1`, discarding the final carry.
+pub(crate) fn build_sub<B: LogicBuilder>(b: &mut B, x: &[Signal], y: &[Signal]) -> Vec<Signal> {
+    let one = b.const_signal(true);
+    let not_y: Vec<Signal> = y.iter().map(|s| s.complement()).collect();
+    let (diff, _) = b.ripple_add(x, &not_y, one);
+    diff
+}
+
+/// Shift-and-add multiplication returning the low `width` bits of the product.
+pub(crate) fn build_mul<B: LogicBuilder>(b: &mut B, x: &[Signal], y: &[Signal]) -> Vec<Signal> {
+    let width = x.len();
+    let zero = b.const_signal(false);
+    let mut acc: Vec<Signal> = vec![zero; width];
+    for i in 0..width {
+        // Partial product i only affects bits i..width of the low word.
+        let addend: Vec<Signal> = (0..width - i).map(|j| b.and2(x[j], y[i])).collect();
+        let acc_hi: Vec<Signal> = acc[i..].to_vec();
+        let (sum, _) = b.ripple_add(&acc_hi, &addend, zero);
+        acc[i..].copy_from_slice(&sum);
+    }
+    acc
+}
+
+/// Restoring division producing the unsigned quotient (all-ones when the divisor is zero).
+///
+/// Uses a `width + 1`-bit partial remainder so the intermediate `2·rem + bit` never
+/// overflows.
+pub(crate) fn build_div<B: LogicBuilder>(b: &mut B, x: &[Signal], y: &[Signal]) -> Vec<Signal> {
+    let width = x.len();
+    let zero = b.const_signal(false);
+    let one = b.const_signal(true);
+
+    // Remainder register of width + 1 bits, initially zero.
+    let mut rem: Vec<Signal> = vec![zero; width + 1];
+    // Divisor zero-extended to width + 1 bits and complemented for subtraction.
+    let not_y_ext: Vec<Signal> = y
+        .iter()
+        .map(|s| s.complement())
+        .chain(std::iter::once(zero.complement()))
+        .collect();
+
+    let mut quotient = vec![zero; width];
+    for i in (0..width).rev() {
+        // rem = (rem << 1) | x_i, keeping width + 1 bits.
+        let mut shifted = Vec::with_capacity(width + 1);
+        shifted.push(x[i]);
+        shifted.extend_from_slice(&rem[..width]);
+        // trial = rem - y  (rem + ¬y + 1); carry-out means rem >= y.
+        let (trial, ge) = b.ripple_add(&shifted, &not_y_ext, one);
+        quotient[i] = ge;
+        rem = b.mux_word(ge, &trial, &shifted);
+    }
+    quotient
+}
+
+/// Two's-complement absolute value: conditionally negate based on the sign bit.
+pub(crate) fn build_abs<B: LogicBuilder>(b: &mut B, x: &[Signal]) -> Vec<Signal> {
+    let width = x.len();
+    let sign = x[width - 1];
+    // (x XOR sign) + sign  — implemented with an incrementer chain of half adders.
+    let mut carry = sign;
+    let mut out = Vec::with_capacity(width);
+    for &bit in x {
+        let flipped = b.xor2(bit, sign);
+        let (s, c) = b.half_adder(flipped, carry);
+        out.push(s);
+        carry = c;
+    }
+    out
+}

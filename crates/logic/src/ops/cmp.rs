@@ -1,0 +1,44 @@
+//! Relational operation generators: equality, unsigned comparisons, max and min.
+
+use crate::builder::LogicBuilder;
+use crate::signal::Signal;
+
+/// Equality: AND-reduction over per-bit XNORs.
+pub(crate) fn build_equal<B: LogicBuilder>(b: &mut B, x: &[Signal], y: &[Signal]) -> Vec<Signal> {
+    let xnors: Vec<Signal> = x.iter().zip(y).map(|(&xi, &yi)| b.xnor2(xi, yi)).collect();
+    vec![b.and_many(&xnors)]
+}
+
+/// Unsigned `x >= y`: the carry-out of `x + ¬y + 1`.
+pub(crate) fn build_greater_equal<B: LogicBuilder>(
+    b: &mut B,
+    x: &[Signal],
+    y: &[Signal],
+) -> Vec<Signal> {
+    vec![unsigned_ge(b, x, y)]
+}
+
+/// Unsigned `x > y`, computed as `¬(y >= x)`.
+pub(crate) fn build_greater<B: LogicBuilder>(b: &mut B, x: &[Signal], y: &[Signal]) -> Vec<Signal> {
+    vec![unsigned_ge(b, y, x).complement()]
+}
+
+/// Unsigned maximum: select with the `x >= y` flag.
+pub(crate) fn build_max<B: LogicBuilder>(b: &mut B, x: &[Signal], y: &[Signal]) -> Vec<Signal> {
+    let ge = unsigned_ge(b, x, y);
+    b.mux_word(ge, x, y)
+}
+
+/// Unsigned minimum: select with the `x >= y` flag.
+pub(crate) fn build_min<B: LogicBuilder>(b: &mut B, x: &[Signal], y: &[Signal]) -> Vec<Signal> {
+    let ge = unsigned_ge(b, x, y);
+    b.mux_word(ge, y, x)
+}
+
+/// Shared helper: the carry chain of `x - y`, whose final carry is 1 iff `x >= y` (unsigned).
+fn unsigned_ge<B: LogicBuilder>(b: &mut B, x: &[Signal], y: &[Signal]) -> Signal {
+    let one = b.const_signal(true);
+    let not_y: Vec<Signal> = y.iter().map(|s| s.complement()).collect();
+    let (_, carry) = b.ripple_add(x, &not_y, one);
+    carry
+}

@@ -1,0 +1,23 @@
+//! Predication and activation-function generators: if-then-else and ReLU.
+
+use crate::builder::LogicBuilder;
+use crate::signal::Signal;
+
+/// Predicated select: each output bit is `pred ? a_i : b_i`.
+///
+/// This is the building block of SIMDRAM's predication support: branch-free execution of
+/// `if-then-else` bodies by computing both sides and selecting per SIMD lane.
+pub(crate) fn build_if_else<B: LogicBuilder>(
+    b: &mut B,
+    x: &[Signal],
+    y: &[Signal],
+    pred: Signal,
+) -> Vec<Signal> {
+    b.mux_word(pred, x, y)
+}
+
+/// ReLU for two's-complement operands: zero when the sign bit is set, the operand otherwise.
+pub(crate) fn build_relu<B: LogicBuilder>(b: &mut B, x: &[Signal]) -> Vec<Signal> {
+    let sign = x[x.len() - 1];
+    x.iter().map(|&bit| b.and2(bit, sign.complement())).collect()
+}

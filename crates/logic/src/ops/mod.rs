@@ -1,0 +1,84 @@
+//! Word-level circuit generators for the 16 SIMDRAM operations.
+//!
+//! Every generator is written once against [`LogicBuilder`] and can therefore be
+//! instantiated over a [`crate::Mig`] (to obtain the SIMDRAM MAJ/NOT implementation, Step 1
+//! of the framework) or over an [`crate::Aig`] (to obtain the Ambit-style AND/OR/NOT
+//! implementation used as a baseline). Inputs and outputs are word-level ports
+//! ([`WordPorts`]) with LSB-first bit order.
+
+mod arith;
+mod cmp;
+mod misc;
+mod reduce;
+
+use crate::builder::LogicBuilder;
+use crate::operation::Operation;
+use crate::signal::Signal;
+
+pub(crate) use arith::{build_abs, build_add, build_div, build_mul, build_sub};
+pub(crate) use cmp::{build_equal, build_greater, build_greater_equal, build_max, build_min};
+pub(crate) use misc::{build_if_else, build_relu};
+pub(crate) use reduce::{build_and_red, build_bitcount, build_or_red, build_xor_red};
+
+/// The word-level ports of a synthesized operation circuit.
+///
+/// Bit order is LSB first. Operand `b` is empty for single-operand operations and `pred` is
+/// `None` unless the operation is predicated ([`Operation::IfElse`]).
+#[derive(Debug, Clone)]
+pub struct WordPorts {
+    /// Bits of the first word operand (always present).
+    pub a: Vec<Signal>,
+    /// Bits of the second word operand (empty when unused).
+    pub b: Vec<Signal>,
+    /// The 1-bit predicate input (only for predicated operations).
+    pub pred: Option<Signal>,
+    /// Bits of the result, LSB first; length equals [`Operation::output_width`].
+    pub outputs: Vec<Signal>,
+}
+
+/// Synthesizes the circuit for `op` at the given operand `width` into `builder`, allocating
+/// fresh primary inputs, and returns the circuit's ports.
+///
+/// Inputs are allocated in a fixed order — operand A bits (LSB first), then operand B bits
+/// (if any), then the predicate bit (if any) — so callers can map primary-input indices back
+/// to operand bits.
+///
+/// # Panics
+///
+/// Panics if `width` is zero or greater than 64.
+pub fn build_operation<B: LogicBuilder>(builder: &mut B, op: Operation, width: usize) -> WordPorts {
+    assert!(width >= 1 && width <= 64, "operand width must be in 1..=64");
+    let a: Vec<Signal> = (0..width).map(|_| builder.add_input()).collect();
+    let b: Vec<Signal> = if op.uses_second_operand() {
+        (0..width).map(|_| builder.add_input()).collect()
+    } else {
+        Vec::new()
+    };
+    let pred = if op.uses_predicate() {
+        Some(builder.add_input())
+    } else {
+        None
+    };
+
+    let outputs = match op {
+        Operation::Abs => build_abs(builder, &a),
+        Operation::Add => build_add(builder, &a, &b),
+        Operation::AndRed => build_and_red(builder, &a),
+        Operation::BitCount => build_bitcount(builder, &a),
+        Operation::Div => build_div(builder, &a, &b),
+        Operation::Equal => build_equal(builder, &a, &b),
+        Operation::Greater => build_greater(builder, &a, &b),
+        Operation::GreaterEqual => build_greater_equal(builder, &a, &b),
+        Operation::IfElse => build_if_else(builder, &a, &b, pred.expect("if_else has a predicate")),
+        Operation::Max => build_max(builder, &a, &b),
+        Operation::Min => build_min(builder, &a, &b),
+        Operation::Mul => build_mul(builder, &a, &b),
+        Operation::OrRed => build_or_red(builder, &a),
+        Operation::Relu => build_relu(builder, &a),
+        Operation::Sub => build_sub(builder, &a, &b),
+        Operation::XorRed => build_xor_red(builder, &a),
+    };
+    debug_assert_eq!(outputs.len(), op.output_width(width));
+
+    WordPorts { a, b, pred, outputs }
+}

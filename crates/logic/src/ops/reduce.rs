@@ -1,0 +1,42 @@
+//! N-input logic reductions and population count.
+
+use crate::builder::LogicBuilder;
+use crate::signal::Signal;
+
+/// AND-reduction of all bits of the operand.
+pub(crate) fn build_and_red<B: LogicBuilder>(b: &mut B, x: &[Signal]) -> Vec<Signal> {
+    vec![b.and_many(x)]
+}
+
+/// OR-reduction of all bits of the operand.
+pub(crate) fn build_or_red<B: LogicBuilder>(b: &mut B, x: &[Signal]) -> Vec<Signal> {
+    vec![b.or_many(x)]
+}
+
+/// XOR-reduction (parity) of all bits of the operand.
+pub(crate) fn build_xor_red<B: LogicBuilder>(b: &mut B, x: &[Signal]) -> Vec<Signal> {
+    vec![b.xor_many(x)]
+}
+
+/// Population count of the operand, zero-extended to the operand width.
+///
+/// The count is accumulated in a `ceil(log2(width + 1))`-bit register with an incrementer
+/// chain per input bit, then zero-extended so all operations share the convention that the
+/// destination vector is `width` bits wide.
+pub(crate) fn build_bitcount<B: LogicBuilder>(b: &mut B, x: &[Signal]) -> Vec<Signal> {
+    let width = x.len();
+    let zero = b.const_signal(false);
+    let acc_width = usize::BITS as usize - width.leading_zeros() as usize; // ceil(log2(width + 1))
+    let mut acc: Vec<Signal> = vec![zero; acc_width.max(1)];
+    for &bit in x {
+        let mut carry = bit;
+        for slot in acc.iter_mut() {
+            let (s, c) = b.half_adder(*slot, carry);
+            *slot = s;
+            carry = c;
+        }
+    }
+    acc.resize(width, zero);
+    acc.truncate(width);
+    acc
+}

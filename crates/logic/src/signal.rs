@@ -1,0 +1,124 @@
+//! Signals (node references with optional complementation) shared by the MIG and AIG
+//! representations.
+
+use std::fmt;
+
+/// A reference to a logic node, possibly complemented.
+///
+/// Signals are encoded like AIG literals: the node index shifted left by one, with the
+/// least-significant bit holding the complement flag. Complementation is therefore free —
+/// it never allocates a node — which matches both representations used by SIMDRAM
+/// (majority-*inverter* graphs) and Ambit (and-*inverter* graphs).
+///
+/// # Examples
+///
+/// ```
+/// use simdram_logic::Signal;
+///
+/// let s = Signal::new(5, false);
+/// assert_eq!(s.node(), 5);
+/// assert!(!s.is_complemented());
+/// assert_eq!(s.complement().node(), 5);
+/// assert!(s.complement().is_complemented());
+/// assert_eq!(s.complement().complement(), s);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Signal {
+    lit: u32,
+}
+
+impl Signal {
+    /// Creates a signal referring to node `node`, complemented if `complemented` is true.
+    pub fn new(node: u32, complemented: bool) -> Self {
+        Signal {
+            lit: (node << 1) | u32::from(complemented),
+        }
+    }
+
+    /// The index of the referenced node.
+    pub fn node(self) -> u32 {
+        self.lit >> 1
+    }
+
+    /// Whether the signal is complemented.
+    pub fn is_complemented(self) -> bool {
+        self.lit & 1 == 1
+    }
+
+    /// Returns the complemented version of this signal.
+    #[must_use]
+    pub fn complement(self) -> Signal {
+        Signal { lit: self.lit ^ 1 }
+    }
+
+    /// Returns this signal complemented if `cond` is true, unchanged otherwise.
+    #[must_use]
+    pub fn complement_if(self, cond: bool) -> Signal {
+        Signal {
+            lit: self.lit ^ u32::from(cond),
+        }
+    }
+
+    /// The raw literal encoding (node index × 2 + complement bit).
+    pub fn literal(self) -> u32 {
+        self.lit
+    }
+
+    /// Rebuilds a signal from its raw literal encoding.
+    pub fn from_literal(lit: u32) -> Self {
+        Signal { lit }
+    }
+}
+
+impl fmt::Debug for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_complemented() {
+            write!(f, "!n{}", self.node())
+        } else {
+            write!(f, "n{}", self.node())
+        }
+    }
+}
+
+impl fmt::Display for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_roundtrip() {
+        for node in [0u32, 1, 7, 1000] {
+            for comp in [false, true] {
+                let s = Signal::new(node, comp);
+                assert_eq!(s.node(), node);
+                assert_eq!(s.is_complemented(), comp);
+                assert_eq!(Signal::from_literal(s.literal()), s);
+            }
+        }
+    }
+
+    #[test]
+    fn complement_is_involutive() {
+        let s = Signal::new(42, false);
+        assert_eq!(s.complement().complement(), s);
+        assert_ne!(s.complement(), s);
+    }
+
+    #[test]
+    fn complement_if_only_flips_when_true() {
+        let s = Signal::new(3, false);
+        assert_eq!(s.complement_if(false), s);
+        assert_eq!(s.complement_if(true), s.complement());
+    }
+
+    #[test]
+    fn debug_format_marks_complemented_signals() {
+        assert_eq!(format!("{:?}", Signal::new(2, true)), "!n2");
+        assert_eq!(format!("{}", Signal::new(2, false)), "n2");
+    }
+}

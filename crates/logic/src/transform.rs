@@ -1,0 +1,187 @@
+//! Graph transformations used by Step 1: AIG → MIG conversion and cone compaction.
+//!
+//! The paper describes Step 1 as *deriving an optimized MAJ/NOT implementation from an
+//! AND/OR/NOT implementation*. In this reproduction most operations are synthesized
+//! majority-natively (which is where the large gains come from), but the conversion path is
+//! also provided: [`aig_to_mig`] replays an AND/OR/NOT circuit into a majority-inverter
+//! graph, and [`compact_mig`] re-builds a MIG's output cone through the hashing,
+//! simplifying constructor — eliminating dead nodes and re-applying the Ω simplification
+//! axioms after any transformation.
+
+use std::collections::HashMap;
+
+use crate::aig::{Aig, AigNode};
+use crate::builder::LogicBuilder;
+use crate::mig::{Mig, MigNode};
+use crate::signal::Signal;
+
+/// Converts an AND/OR/NOT network (AIG) into a majority-inverter graph by replaying each
+/// AND node as `MAJ(a, b, 0)`.
+///
+/// Returns the new graph together with the translation of the requested `outputs`. The
+/// resulting MIG computes exactly the same functions (complemented edges are preserved), and
+/// never contains more gates than the source AIG; the simplification axioms applied during
+/// construction can only merge or remove nodes.
+///
+/// # Examples
+///
+/// ```
+/// use simdram_logic::{aig_to_mig, Aig, EvalGraph, LogicBuilder};
+///
+/// let mut aig = Aig::new();
+/// let a = aig.add_input();
+/// let b = aig.add_input();
+/// let f = aig.xor2(a, b);
+/// let (mig, outputs) = aig_to_mig(&aig, &[f]);
+/// assert_eq!(
+///     mig.eval_packed(&[0b1100, 0b1010], &outputs),
+///     aig.eval_packed(&[0b1100, 0b1010], &[f])
+/// );
+/// ```
+pub fn aig_to_mig(aig: &Aig, outputs: &[Signal]) -> (Mig, Vec<Signal>) {
+    let mut mig = Mig::new();
+    // Inputs must keep their indices so evaluation assignments carry over unchanged.
+    let inputs: Vec<Signal> = (0..aig.input_count()).map(|_| mig.add_input()).collect();
+
+    let mut translated: HashMap<u32, Signal> = HashMap::new();
+    let translate = |signal: Signal,
+                     translated: &HashMap<u32, Signal>,
+                     inputs: &[Signal],
+                     mig: &mut Mig|
+     -> Signal {
+        let base = match aig.node(signal.node()) {
+            AigNode::Const0 => mig.const_signal(false),
+            AigNode::Input(i) => inputs[i as usize],
+            AigNode::And(_) => translated[&signal.node()],
+        };
+        base.complement_if(signal.is_complemented())
+    };
+
+    for node_id in aig.topological_cone(outputs) {
+        if let AigNode::And([x, y]) = aig.node(node_id) {
+            let mx = translate(x, &translated, &inputs, &mut mig);
+            let my = translate(y, &translated, &inputs, &mut mig);
+            let m = mig.and2(mx, my);
+            translated.insert(node_id, m);
+        }
+    }
+    let mapped_outputs = outputs
+        .iter()
+        .map(|&s| translate(s, &translated, &inputs, &mut mig))
+        .collect();
+    (mig, mapped_outputs)
+}
+
+/// Re-builds the cone of `outputs` through the hashing, simplifying MIG constructor,
+/// dropping every node that is not reachable from the outputs and re-canonicalizing
+/// complement markings.
+///
+/// Returns the compacted graph and the translated output signals. The result is logically
+/// equivalent to the input cone and never larger.
+pub fn compact_mig(mig: &Mig, outputs: &[Signal]) -> (Mig, Vec<Signal>) {
+    let mut compact = Mig::new();
+    let inputs: Vec<Signal> = (0..mig.input_count()).map(|_| compact.add_input()).collect();
+
+    let mut translated: HashMap<u32, Signal> = HashMap::new();
+    let translate = |signal: Signal,
+                     translated: &HashMap<u32, Signal>,
+                     inputs: &[Signal],
+                     compact: &mut Mig|
+     -> Signal {
+        let base = match mig.node(signal.node()) {
+            MigNode::Const0 => compact.const_signal(false),
+            MigNode::Input(i) => inputs[i as usize],
+            MigNode::Maj(_) => translated[&signal.node()],
+        };
+        base.complement_if(signal.is_complemented())
+    };
+
+    for node_id in mig.topological_cone(outputs) {
+        if let MigNode::Maj([x, y, z]) = mig.node(node_id) {
+            let mx = translate(x, &translated, &inputs, &mut compact);
+            let my = translate(y, &translated, &inputs, &mut compact);
+            let mz = translate(z, &translated, &inputs, &mut compact);
+            let m = compact.maj3(mx, my, mz);
+            translated.insert(node_id, m);
+        }
+    }
+    let mapped_outputs = outputs
+        .iter()
+        .map(|&s| translate(s, &translated, &inputs, &mut compact))
+        .collect();
+    (compact, mapped_outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::EvalGraph;
+    use crate::operation::Operation;
+    use crate::ops::build_operation;
+    use crate::word::WordCircuit;
+
+    /// One pseudo-random 64-lane test word per primary input (deterministic).
+    fn test_vectors(n: usize) -> Vec<u64> {
+        (0..n as u64)
+            .map(|i| (i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i << 23) ^ 0x5DEE_CE66_D1CE_CAFE)
+            .collect()
+    }
+
+    #[test]
+    fn aig_to_mig_preserves_functionality_for_all_operations() {
+        for op in Operation::ALL {
+            let mut aig = Aig::new();
+            let ports = build_operation(&mut aig, op, 3);
+            let (mig, outputs) = aig_to_mig(&aig, &ports.outputs);
+            let inputs = test_vectors(aig.input_count());
+            let expected = aig.eval_packed(&inputs, &ports.outputs);
+            let got = mig.eval_packed(&inputs, &outputs);
+            assert_eq!(expected, got, "{op}");
+            assert!(mig.maj_count() <= aig.and_count(), "{op}");
+        }
+    }
+
+    #[test]
+    fn compacting_a_fresh_circuit_does_not_grow_it() {
+        for op in [Operation::Add, Operation::Mul, Operation::Max, Operation::BitCount] {
+            let circuit: WordCircuit<Mig> = WordCircuit::synthesize(op, 8);
+            let (compacted, outputs) = compact_mig(circuit.graph(), circuit.outputs());
+            assert!(compacted.maj_count_in_cone(&outputs) <= circuit.gate_count(), "{op}");
+        }
+    }
+
+    #[test]
+    fn compaction_drops_dead_nodes() {
+        let mut mig = Mig::new();
+        let a = mig.add_input();
+        let b = mig.add_input();
+        let c = mig.add_input();
+        let kept = mig.maj3(a, b, c);
+        // Two nodes that no output references.
+        let dead = mig.maj3(kept, a, b);
+        let _deader = mig.maj3(dead, c, a);
+        assert_eq!(mig.maj_count(), 3);
+        let (compacted, outputs) = compact_mig(&mig, &[kept]);
+        assert_eq!(compacted.maj_count(), 1);
+        let inputs = test_vectors(3);
+        assert_eq!(
+            compacted.eval_packed(&inputs, &outputs),
+            mig.eval_packed(&inputs, &[kept])
+        );
+    }
+
+    #[test]
+    fn compaction_preserves_complemented_outputs() {
+        let mut mig = Mig::new();
+        let a = mig.add_input();
+        let b = mig.add_input();
+        let c = mig.add_input();
+        let m = mig.maj3(a, b, c).complement();
+        let (compacted, outputs) = compact_mig(&mig, &[m]);
+        let inputs = test_vectors(3);
+        assert_eq!(
+            compacted.eval_packed(&inputs, &outputs),
+            mig.eval_packed(&inputs, &[m])
+        );
+    }
+}

@@ -1,0 +1,283 @@
+//! Word-level circuits: a synthesized operation together with its graph and port bindings.
+
+use crate::aig::Aig;
+use crate::builder::LogicBuilder;
+use crate::eval::EvalGraph;
+use crate::mig::Mig;
+use crate::operation::{word_mask, Operation};
+use crate::ops::{build_operation, WordPorts};
+use crate::signal::Signal;
+
+/// Where a primary input of a word circuit comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InputBit {
+    /// Bit `i` (LSB = 0) of operand A.
+    A(usize),
+    /// Bit `i` (LSB = 0) of operand B.
+    B(usize),
+    /// The 1-bit predicate.
+    Pred,
+}
+
+/// Statistics shared by both graph representations, used for command-count tables.
+pub trait CircuitStats {
+    /// Number of logic gates (MAJ or AND nodes) in the cone of the given outputs.
+    fn gate_count(&self, outputs: &[Signal]) -> usize;
+    /// Logic depth (gate levels) over the given outputs.
+    fn depth(&self, outputs: &[Signal]) -> usize;
+}
+
+impl CircuitStats for Mig {
+    fn gate_count(&self, outputs: &[Signal]) -> usize {
+        self.maj_count_in_cone(outputs)
+    }
+
+    fn depth(&self, outputs: &[Signal]) -> usize {
+        outputs.iter().map(|&s| self.depth_of(s)).max().unwrap_or(0)
+    }
+}
+
+impl CircuitStats for Aig {
+    fn gate_count(&self, outputs: &[Signal]) -> usize {
+        self.and_count_in_cone(outputs)
+    }
+
+    fn depth(&self, outputs: &[Signal]) -> usize {
+        outputs.iter().map(|&s| self.depth_of(s)).max().unwrap_or(0)
+    }
+}
+
+/// A synthesized word-level operation circuit over graph representation `G`.
+///
+/// `WordCircuit<Mig>` is the output of SIMDRAM's Step 1; `WordCircuit<Aig>` is the
+/// corresponding Ambit-style AND/OR/NOT implementation used by the baseline. Both are
+/// produced by the *same* generator, so they are functionally identical by construction
+/// (and verified to be by the property tests).
+///
+/// # Examples
+///
+/// ```
+/// use simdram_logic::{Mig, Operation, WordCircuit};
+///
+/// let circuit: WordCircuit<Mig> = WordCircuit::synthesize(Operation::Add, 8);
+/// assert_eq!(circuit.eval_scalar(200, 60, false), (200u64 + 60) & 0xFF);
+/// assert!(circuit.gate_count() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WordCircuit<G> {
+    graph: G,
+    op: Operation,
+    width: usize,
+    ports: WordPorts,
+}
+
+impl<G: LogicBuilder + Default> WordCircuit<G> {
+    /// Synthesizes the circuit for `op` with `width`-bit operands into a fresh graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or greater than 64.
+    pub fn synthesize(op: Operation, width: usize) -> Self {
+        let mut graph = G::default();
+        let ports = build_operation(&mut graph, op, width);
+        WordCircuit {
+            graph,
+            op,
+            width,
+            ports,
+        }
+    }
+}
+
+impl<G> WordCircuit<G> {
+    /// The operation this circuit implements.
+    pub fn operation(&self) -> Operation {
+        self.op
+    }
+
+    /// The operand width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The underlying logic graph.
+    pub fn graph(&self) -> &G {
+        &self.graph
+    }
+
+    /// The circuit's word-level ports.
+    pub fn ports(&self) -> &WordPorts {
+        &self.ports
+    }
+
+    /// The output signals (LSB first).
+    pub fn outputs(&self) -> &[Signal] {
+        &self.ports.outputs
+    }
+
+    /// Maps every primary-input index of the graph to the operand bit it carries.
+    ///
+    /// Index `i` of the returned vector describes the graph's `i`-th primary input.
+    pub fn input_bindings(&self) -> Vec<InputBit> {
+        let mut bindings = Vec::with_capacity(
+            self.ports.a.len() + self.ports.b.len() + usize::from(self.ports.pred.is_some()),
+        );
+        bindings.extend((0..self.ports.a.len()).map(InputBit::A));
+        bindings.extend((0..self.ports.b.len()).map(InputBit::B));
+        if self.ports.pred.is_some() {
+            bindings.push(InputBit::Pred);
+        }
+        bindings
+    }
+}
+
+impl<G: CircuitStats> WordCircuit<G> {
+    /// Number of logic gates in the circuit (MAJ nodes for a MIG, AND nodes for an AIG).
+    pub fn gate_count(&self) -> usize {
+        self.graph.gate_count(&self.ports.outputs)
+    }
+
+    /// Logic depth of the circuit.
+    pub fn depth(&self) -> usize {
+        self.graph.depth(&self.ports.outputs)
+    }
+}
+
+impl<G: EvalGraph> WordCircuit<G> {
+    /// Evaluates the circuit for a single pair of operand values and predicate, returning
+    /// the result as an integer (LSB-first bit assembly).
+    pub fn eval_scalar(&self, a: u64, b: u64, pred: bool) -> u64 {
+        self.eval_lanes(&[a], &[b], &[pred])[0]
+    }
+
+    /// Evaluates the circuit for up to 64 SIMD lanes at once.
+    ///
+    /// Lane `i` takes operand values `a[i]`/`b[i]` and predicate `pred[i]`. Returns one
+    /// result per lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths or more than 64 lanes are supplied.
+    pub fn eval_lanes(&self, a: &[u64], b: &[u64], pred: &[bool]) -> Vec<u64> {
+        let lanes = a.len();
+        assert!(lanes <= 64, "at most 64 lanes per packed evaluation");
+        assert_eq!(b.len(), lanes, "operand B must have one value per lane");
+        assert_eq!(pred.len(), lanes, "predicate must have one value per lane");
+
+        // Build one packed word per primary input: bit `lane` of the word is that lane's
+        // value of the input bit.
+        let mut inputs = Vec::with_capacity(
+            self.ports.a.len() + self.ports.b.len() + usize::from(self.ports.pred.is_some()),
+        );
+        for bit in 0..self.ports.a.len() {
+            inputs.push(pack_lane_bits(a, bit));
+        }
+        for bit in 0..self.ports.b.len() {
+            inputs.push(pack_lane_bits(b, bit));
+        }
+        if self.ports.pred.is_some() {
+            let mut word = 0u64;
+            for (lane, &p) in pred.iter().enumerate() {
+                word |= u64::from(p) << lane;
+            }
+            inputs.push(word);
+        }
+
+        let packed_outputs = self.graph.eval_packed(&inputs, &self.ports.outputs);
+        let out_mask = word_mask(self.op.output_width(self.width));
+        (0..lanes)
+            .map(|lane| {
+                let mut value = 0u64;
+                for (bit, word) in packed_outputs.iter().enumerate() {
+                    value |= ((word >> lane) & 1) << bit;
+                }
+                value & out_mask
+            })
+            .collect()
+    }
+}
+
+fn pack_lane_bits(values: &[u64], bit: usize) -> u64 {
+    let mut word = 0u64;
+    for (lane, &v) in values.iter().enumerate() {
+        word |= ((v >> bit) & 1) << lane;
+    }
+    word
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mig_add_matches_reference() {
+        let circuit: WordCircuit<Mig> = WordCircuit::synthesize(Operation::Add, 8);
+        for (a, b) in [(0u64, 0u64), (1, 2), (255, 255), (100, 200), (17, 42)] {
+            assert_eq!(
+                circuit.eval_scalar(a, b, false),
+                Operation::Add.reference(8, a, b, false)
+            );
+        }
+    }
+
+    #[test]
+    fn aig_add_matches_reference() {
+        let circuit: WordCircuit<Aig> = WordCircuit::synthesize(Operation::Add, 8);
+        for (a, b) in [(0u64, 0u64), (1, 2), (255, 255), (100, 200), (17, 42)] {
+            assert_eq!(
+                circuit.eval_scalar(a, b, false),
+                Operation::Add.reference(8, a, b, false)
+            );
+        }
+    }
+
+    #[test]
+    fn mig_needs_fewer_gates_than_aig_for_addition() {
+        let mig: WordCircuit<Mig> = WordCircuit::synthesize(Operation::Add, 32);
+        let aig: WordCircuit<Aig> = WordCircuit::synthesize(Operation::Add, 32);
+        assert!(
+            mig.gate_count() < aig.gate_count(),
+            "MAJ/NOT addition ({} gates) should be smaller than AND/OR/NOT addition ({} gates)",
+            mig.gate_count(),
+            aig.gate_count()
+        );
+    }
+
+    #[test]
+    fn lane_packed_evaluation_matches_scalar() {
+        let circuit: WordCircuit<Mig> = WordCircuit::synthesize(Operation::Max, 8);
+        let a = [3u64, 200, 17, 255];
+        let b = [5u64, 100, 17, 0];
+        let pred = [false; 4];
+        let lanes = circuit.eval_lanes(&a, &b, &pred);
+        for i in 0..4 {
+            assert_eq!(lanes[i], circuit.eval_scalar(a[i], b[i], false));
+        }
+    }
+
+    #[test]
+    fn input_bindings_follow_allocation_order() {
+        let circuit: WordCircuit<Mig> = WordCircuit::synthesize(Operation::IfElse, 4);
+        let bindings = circuit.input_bindings();
+        assert_eq!(bindings.len(), 9);
+        assert_eq!(bindings[0], InputBit::A(0));
+        assert_eq!(bindings[3], InputBit::A(3));
+        assert_eq!(bindings[4], InputBit::B(0));
+        assert_eq!(bindings[8], InputBit::Pred);
+    }
+
+    #[test]
+    fn one_bit_operations_report_single_output() {
+        let circuit: WordCircuit<Mig> = WordCircuit::synthesize(Operation::Equal, 16);
+        assert_eq!(circuit.outputs().len(), 1);
+        assert_eq!(circuit.eval_scalar(1234, 1234, false), 1);
+        assert_eq!(circuit.eval_scalar(1234, 1235, false), 0);
+    }
+
+    #[test]
+    fn depth_is_positive_for_nontrivial_circuits() {
+        let circuit: WordCircuit<Mig> = WordCircuit::synthesize(Operation::Mul, 8);
+        assert!(circuit.depth() >= 8);
+        assert!(circuit.gate_count() > 50);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based and exhaustive verification of the synthesized operation circuits.
+//!
+//! Every operation circuit — in both the MIG (SIMDRAM) and AIG (Ambit) representations —
+//! must match the scalar reference semantics of [`Operation::reference`] for all operand
+//! values. Small widths are checked exhaustively; larger widths are checked with proptest.
+
+use proptest::prelude::*;
+use simdram_logic::{Aig, Mig, Operation, WordCircuit};
+
+fn check_exhaustive_width(op: Operation, width: usize) {
+    let mig: WordCircuit<Mig> = WordCircuit::synthesize(op, width);
+    let aig: WordCircuit<Aig> = WordCircuit::synthesize(op, width);
+    let limit = 1u64 << width;
+    for a in 0..limit {
+        for b in 0..if op.uses_second_operand() { limit } else { 1 } {
+            for pred in if op.uses_predicate() { vec![false, true] } else { vec![false] } {
+                let expected = op.reference(width, a, b, pred);
+                assert_eq!(
+                    mig.eval_scalar(a, b, pred),
+                    expected,
+                    "MIG {op} width={width} a={a} b={b} pred={pred}"
+                );
+                assert_eq!(
+                    aig.eval_scalar(a, b, pred),
+                    expected,
+                    "AIG {op} width={width} a={a} b={b} pred={pred}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_operations_exhaustive_at_width_3() {
+    for op in Operation::ALL {
+        check_exhaustive_width(op, 3);
+    }
+}
+
+#[test]
+fn all_operations_exhaustive_at_width_4() {
+    for op in Operation::ALL {
+        check_exhaustive_width(op, 4);
+    }
+}
+
+#[test]
+fn single_bit_operations_are_correct() {
+    for op in Operation::ALL {
+        check_exhaustive_width(op, 1);
+    }
+}
+
+#[test]
+fn mig_is_never_larger_than_aig() {
+    // The whole point of Step 1: the MAJ/NOT implementation needs at most as many gates as
+    // the AND/OR/NOT implementation, and strictly fewer for the arithmetic-heavy operations.
+    for op in Operation::ALL {
+        let mig: WordCircuit<Mig> = WordCircuit::synthesize(op, 16);
+        let aig: WordCircuit<Aig> = WordCircuit::synthesize(op, 16);
+        assert!(
+            mig.gate_count() <= aig.gate_count(),
+            "{op}: MIG {} gates > AIG {} gates",
+            mig.gate_count(),
+            aig.gate_count()
+        );
+    }
+    let mig_add: WordCircuit<Mig> = WordCircuit::synthesize(Operation::Add, 16);
+    let aig_add: WordCircuit<Aig> = WordCircuit::synthesize(Operation::Add, 16);
+    assert!(mig_add.gate_count() < aig_add.gate_count());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mig_matches_reference_width_8(a in 0u64..256, b in 0u64..256, pred: bool) {
+        for op in Operation::ALL {
+            let circuit: WordCircuit<Mig> = WordCircuit::synthesize(op, 8);
+            prop_assert_eq!(circuit.eval_scalar(a, b, pred), op.reference(8, a, b, pred));
+        }
+    }
+
+    #[test]
+    fn aig_matches_reference_width_8(a in 0u64..256, b in 0u64..256, pred: bool) {
+        for op in Operation::ALL {
+            let circuit: WordCircuit<Aig> = WordCircuit::synthesize(op, 8);
+            prop_assert_eq!(circuit.eval_scalar(a, b, pred), op.reference(8, a, b, pred));
+        }
+    }
+
+    #[test]
+    fn mig_matches_reference_width_16_arithmetic(a in 0u64..65536, b in 0u64..65536) {
+        for op in [Operation::Add, Operation::Sub, Operation::Mul, Operation::Div,
+                   Operation::Greater, Operation::GreaterEqual, Operation::Equal,
+                   Operation::Max, Operation::Min] {
+            let circuit: WordCircuit<Mig> = WordCircuit::synthesize(op, 16);
+            prop_assert_eq!(circuit.eval_scalar(a, b, false), op.reference(16, a, b, false));
+        }
+    }
+
+    #[test]
+    fn mig_matches_reference_width_32_add_sub(a: u32, b: u32) {
+        for op in [Operation::Add, Operation::Sub, Operation::Relu, Operation::Abs,
+                   Operation::BitCount] {
+            let circuit: WordCircuit<Mig> = WordCircuit::synthesize(op, 32);
+            prop_assert_eq!(
+                circuit.eval_scalar(a as u64, b as u64, false),
+                op.reference(32, a as u64, b as u64, false)
+            );
+        }
+    }
+
+    #[test]
+    fn lane_evaluation_matches_scalar_evaluation(
+        values in proptest::collection::vec((0u64..256, 0u64..256, any::<bool>()), 1..32)
+    ) {
+        let circuit: WordCircuit<Mig> = WordCircuit::synthesize(Operation::IfElse, 8);
+        let a: Vec<u64> = values.iter().map(|v| v.0).collect();
+        let b: Vec<u64> = values.iter().map(|v| v.1).collect();
+        let p: Vec<bool> = values.iter().map(|v| v.2).collect();
+        let lanes = circuit.eval_lanes(&a, &b, &p);
+        for (i, lane) in lanes.iter().enumerate() {
+            prop_assert_eq!(*lane, circuit.eval_scalar(a[i], b[i], p[i]));
+        }
+    }
+}

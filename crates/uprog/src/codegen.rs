@@ -1,0 +1,341 @@
+//! μProgram code generation: operand-to-row mapping and AAP/AP scheduling (Step 2).
+//!
+//! For every gate of the normalized network (see [`GateNetwork`]) the generator emits the
+//! Ambit-style command sequence: stage the three fan-ins into the designated rows `T0–T2`
+//! (routing complemented fan-ins through a dual-contact-cell row), then issue one `AAP`
+//! whose first activation is a triple-row activation, copying the majority into the row that
+//! holds the gate's value (a reserved temporary row or directly a destination row).
+//!
+//! Two optimizations — both enabled by default and controllable for the ablation study —
+//! reduce the command count exactly the way SIMDRAM's Step 2 does:
+//!
+//! * **TRA-row reuse** ([`CodegenOptions::reuse_tra_rows`]): after a TRA, the majority value
+//!   is restored into all three designated rows, so a gate that consumes the *previous*
+//!   gate's value does not need to stage it again.
+//! * **Direct destination write** ([`CodegenOptions::direct_output_write`]): a gate whose
+//!   (uncomplemented) value is an output bit writes straight to the destination row instead
+//!   of a temporary followed by an extra copy.
+
+use simdram_dram::BGroupRow;
+use simdram_logic::{InputBit, Operation};
+
+use crate::microop::{MicroOp, MicroRow};
+use crate::network::{GateInput, GateNetwork};
+use crate::program::MicroProgram;
+
+/// Options controlling the μProgram generator's optimizations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodegenOptions {
+    /// Reuse the value left in the designated rows by the previous TRA when possible.
+    pub reuse_tra_rows: bool,
+    /// Write gate results straight to destination rows when the gate drives an output bit.
+    pub direct_output_write: bool,
+}
+
+impl Default for CodegenOptions {
+    fn default() -> Self {
+        CodegenOptions {
+            reuse_tra_rows: true,
+            direct_output_write: true,
+        }
+    }
+}
+
+impl CodegenOptions {
+    /// The fully optimized configuration (the SIMDRAM default).
+    pub fn optimized() -> Self {
+        Self::default()
+    }
+
+    /// A naive generator with every optimization disabled (used for the ablation study).
+    pub fn naive() -> Self {
+        CodegenOptions {
+            reuse_tra_rows: false,
+            direct_output_write: false,
+        }
+    }
+}
+
+/// Where a gate's computed value is stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Loc {
+    Temp(usize),
+    Out(usize),
+}
+
+impl Loc {
+    fn row(self) -> MicroRow {
+        match self {
+            Loc::Temp(i) => MicroRow::Temp(i),
+            Loc::Out(i) => MicroRow::Output(i),
+        }
+    }
+}
+
+/// Generates the μProgram for `network` (the circuit of `op` at `width` bits).
+pub fn generate(
+    network: &GateNetwork,
+    op: Operation,
+    width: usize,
+    options: CodegenOptions,
+) -> MicroProgram {
+    let gate_count = network.gates.len();
+
+    // How many times each gate's *stored* value will be read later.
+    let mut remaining_reads = vec![0usize; gate_count];
+    for gate in &network.gates {
+        for fanin in gate.fanins {
+            if let GateInput::Gate { index, .. } = fanin {
+                remaining_reads[index] += 1;
+            }
+        }
+    }
+
+    // Decide which gates write directly into a destination row.
+    let mut direct_out: Vec<Option<usize>> = vec![None; gate_count];
+    let mut out_written_directly = vec![false; network.outputs.len()];
+    if options.direct_output_write {
+        for (bit, out) in network.outputs.iter().enumerate() {
+            if let GateInput::Gate {
+                index,
+                complemented: false,
+            } = out
+            {
+                if direct_out[*index].is_none() {
+                    direct_out[*index] = Some(bit);
+                    out_written_directly[bit] = true;
+                }
+            }
+        }
+    }
+    // The remaining output copies also read the gate's stored value.
+    for (bit, out) in network.outputs.iter().enumerate() {
+        if out_written_directly[bit] {
+            continue;
+        }
+        if let GateInput::Gate { index, .. } = out {
+            remaining_reads[*index] += 1;
+        }
+    }
+
+    let mut ops: Vec<MicroOp> = Vec::new();
+    let mut loc: Vec<Option<Loc>> = vec![None; gate_count];
+    let mut free_temps: Vec<usize> = Vec::new();
+    let mut next_temp = 0usize;
+    // The gate whose value currently occupies T0/T1/T2 (all three, after an AAP-TRA).
+    let mut tra_resident: Option<usize> = None;
+
+    let t_rows = [BGroupRow::T0, BGroupRow::T1, BGroupRow::T2];
+
+    let consume_read = |gate: usize,
+                            remaining_reads: &mut Vec<usize>,
+                            loc: &Vec<Option<Loc>>,
+                            free_temps: &mut Vec<usize>| {
+        remaining_reads[gate] = remaining_reads[gate].saturating_sub(1);
+        if remaining_reads[gate] == 0 {
+            if let Some(Loc::Temp(t)) = loc[gate] {
+                free_temps.push(t);
+            }
+        }
+    };
+
+    for (gate_index, gate) in network.gates.iter().enumerate() {
+        // Stage the fan-ins into T0..T2.
+        for (slot, fanin) in gate.fanins.iter().enumerate() {
+            if options.reuse_tra_rows {
+                if let GateInput::Gate {
+                    index,
+                    complemented: false,
+                } = fanin
+                {
+                    if Some(*index) == tra_resident {
+                        // Already resident in its designated row from the previous TRA.
+                        consume_read(*index, &mut remaining_reads, &loc, &mut free_temps);
+                        continue;
+                    }
+                }
+            }
+
+            let (src, complemented) = source_row(*fanin, &loc);
+            if complemented {
+                ops.push(MicroOp::Aap {
+                    src,
+                    dst: MicroRow::BGroup(BGroupRow::Dcc0),
+                });
+                ops.push(MicroOp::Aap {
+                    src: MicroRow::BGroup(BGroupRow::Dcc0N),
+                    dst: MicroRow::BGroup(t_rows[slot]),
+                });
+            } else {
+                ops.push(MicroOp::Aap {
+                    src,
+                    dst: MicroRow::BGroup(t_rows[slot]),
+                });
+            }
+            if let GateInput::Gate { index, .. } = fanin {
+                consume_read(*index, &mut remaining_reads, &loc, &mut free_temps);
+            }
+        }
+
+        // Choose where the gate's value lives.
+        let destination = if let Some(bit) = direct_out[gate_index] {
+            Loc::Out(bit)
+        } else {
+            let temp = free_temps.pop().unwrap_or_else(|| {
+                let t = next_temp;
+                next_temp += 1;
+                t
+            });
+            Loc::Temp(temp)
+        };
+        ops.push(MicroOp::AapTra {
+            a: BGroupRow::T0,
+            b: BGroupRow::T1,
+            c: BGroupRow::T2,
+            dst: destination.row(),
+        });
+        loc[gate_index] = Some(destination);
+        tra_resident = Some(gate_index);
+
+        // A gate nobody reads (e.g. its only use was the direct output write) can release
+        // its temporary immediately.
+        if remaining_reads[gate_index] == 0 {
+            if let Loc::Temp(t) = destination {
+                free_temps.push(t);
+            }
+        }
+    }
+
+    // Copy the remaining output bits into the destination rows.
+    for (bit, out) in network.outputs.iter().enumerate() {
+        if out_written_directly[bit] {
+            continue;
+        }
+        let dst = MicroRow::Output(bit);
+        let (src, complemented) = source_row(*out, &loc);
+        if complemented {
+            ops.push(MicroOp::Aap {
+                src,
+                dst: MicroRow::BGroup(BGroupRow::Dcc0),
+            });
+            ops.push(MicroOp::Aap {
+                src: MicroRow::BGroup(BGroupRow::Dcc0N),
+                dst,
+            });
+        } else {
+            ops.push(MicroOp::Aap { src, dst });
+        }
+        if let GateInput::Gate { index, .. } = out {
+            consume_read(*index, &mut remaining_reads, &loc, &mut free_temps);
+        }
+    }
+
+    MicroProgram::new(op, width, ops, next_temp)
+}
+
+/// Resolves a fan-in to the symbolic row holding its (uncomplemented) value, plus a flag
+/// telling the caller whether the value must be routed through a DCC row to complement it.
+fn source_row(input: GateInput, loc: &[Option<Loc>]) -> (MicroRow, bool) {
+    match input {
+        GateInput::Const(false) => (MicroRow::Zero, false),
+        GateInput::Const(true) => (MicroRow::One, false),
+        GateInput::Operand { bit, complemented } => {
+            let row = match bit {
+                InputBit::A(i) => MicroRow::InputA(i),
+                InputBit::B(i) => MicroRow::InputB(i),
+                InputBit::Pred => MicroRow::Pred,
+            };
+            (row, complemented)
+        }
+        GateInput::Gate { index, complemented } => {
+            let stored = loc[index].expect("gate value read before it was computed");
+            (stored.row(), complemented)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::GateNetwork;
+    use simdram_logic::{Aig, Mig, WordCircuit};
+
+    fn mig_program(op: Operation, width: usize, options: CodegenOptions) -> MicroProgram {
+        let circuit: WordCircuit<Mig> = WordCircuit::synthesize(op, width);
+        let network = GateNetwork::from_mig(&circuit);
+        generate(&network, op, width, options)
+    }
+
+    #[test]
+    fn every_gate_becomes_one_tra() {
+        for op in [Operation::Add, Operation::Mul, Operation::Equal, Operation::Relu] {
+            let circuit: WordCircuit<Mig> = WordCircuit::synthesize(op, 8);
+            let network = GateNetwork::from_mig(&circuit);
+            let program = generate(&network, op, 8, CodegenOptions::naive());
+            assert_eq!(program.tra_count(), network.gate_count(), "{op}");
+        }
+    }
+
+    #[test]
+    fn optimizations_reduce_command_count() {
+        for op in [Operation::Add, Operation::Sub, Operation::Mul, Operation::BitCount] {
+            let naive = mig_program(op, 16, CodegenOptions::naive());
+            let optimized = mig_program(op, 16, CodegenOptions::optimized());
+            assert!(
+                optimized.command_count() < naive.command_count(),
+                "{op}: optimized {} >= naive {}",
+                optimized.command_count(),
+                naive.command_count()
+            );
+            // Optimizations never change the amount of majority computation.
+            assert_eq!(optimized.tra_count(), naive.tra_count());
+        }
+    }
+
+    #[test]
+    fn simdram_needs_fewer_commands_than_ambit_for_addition() {
+        let op = Operation::Add;
+        let mig_prog = mig_program(op, 32, CodegenOptions::optimized());
+        let aig_circuit: WordCircuit<Aig> = WordCircuit::synthesize(op, 32);
+        let aig_net = GateNetwork::from_aig(&aig_circuit);
+        let ambit_prog = generate(&aig_net, op, 32, CodegenOptions::optimized());
+        assert!(
+            mig_prog.command_count() * 2 < ambit_prog.command_count(),
+            "expected ≥2× command reduction: SIMDRAM {} vs Ambit {}",
+            mig_prog.command_count(),
+            ambit_prog.command_count()
+        );
+    }
+
+    #[test]
+    fn temp_rows_stay_within_a_reasonable_budget() {
+        for op in Operation::ALL {
+            let program = mig_program(op, 16, CodegenOptions::optimized());
+            assert!(
+                program.temp_rows() <= 80,
+                "{op} needs {} temporary rows",
+                program.temp_rows()
+            );
+        }
+    }
+
+    #[test]
+    fn all_microops_are_valid() {
+        for op in Operation::ALL {
+            for options in [CodegenOptions::naive(), CodegenOptions::optimized()] {
+                let program = mig_program(op, 8, options);
+                for micro in program.ops() {
+                    micro.validate().unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wider_operands_need_more_commands() {
+        let narrow = mig_program(Operation::Add, 8, CodegenOptions::optimized());
+        let wide = mig_program(Operation::Add, 32, CodegenOptions::optimized());
+        assert!(wide.command_count() > narrow.command_count());
+        assert!(wide.tra_count() > narrow.tra_count());
+    }
+}

@@ -1,0 +1,56 @@
+//! Error type for μProgram generation and execution.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, UprogError>;
+
+/// Errors raised during μProgram generation or execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum UprogError {
+    /// A μOp attempted to write to one of the hard-wired control rows.
+    WriteToConstantRow,
+    /// The μProgram needs more temporary rows than the subarray reserves.
+    NotEnoughReservedRows {
+        /// Temporary rows required by the μProgram.
+        required: usize,
+        /// Temporary rows available in the configuration.
+        available: usize,
+    },
+    /// The row binding places operands outside the subarray or lets regions overlap.
+    InvalidBinding(String),
+    /// An error reported by the DRAM substrate while executing a μOp.
+    Dram(simdram_dram::DramError),
+}
+
+impl fmt::Display for UprogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UprogError::WriteToConstantRow => {
+                write!(f, "μOp writes to a hard-wired control row (C0/C1)")
+            }
+            UprogError::NotEnoughReservedRows { required, available } => write!(
+                f,
+                "μProgram needs {required} reserved rows but only {available} are available"
+            ),
+            UprogError::InvalidBinding(msg) => write!(f, "invalid row binding: {msg}"),
+            UprogError::Dram(e) => write!(f, "DRAM error during μProgram execution: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for UprogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            UprogError::Dram(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<simdram_dram::DramError> for UprogError {
+    fn from(e: simdram_dram::DramError) -> Self {
+        UprogError::Dram(e)
+    }
+}

@@ -1,0 +1,52 @@
+//! # simdram-uprog — Step 2 of the SIMDRAM framework
+//!
+//! Step 2 takes the MAJ/NOT circuit produced by Step 1 (`simdram-logic`) and turns it into a
+//! **μProgram**: the sequence of `AAP`/`AP` DRAM commands — over symbolic operand, result
+//! and temporary rows — that computes the operation on vertically laid-out data inside a
+//! subarray. This crate provides:
+//!
+//! * [`MicroOp`]/[`MicroRow`] — the μOp vocabulary and symbolic row names;
+//! * [`GateNetwork`] — a representation-independent view of MIG and AIG circuits;
+//! * [`generate`]/[`CodegenOptions`] — the operand-to-row mapping and command scheduler,
+//!   with the reuse optimizations SIMDRAM applies (and switches to disable them for the
+//!   ablation study);
+//! * [`MicroProgram`] — the generated program with command counts, latency and energy;
+//! * [`MicroProgramLibrary`] — the per-(target, operation, width) cache the control unit
+//!   consults, covering both the SIMDRAM and the Ambit baseline targets;
+//! * [`execute`] — functional execution of a μProgram on a `simdram-dram` subarray.
+//!
+//! ## Example
+//!
+//! ```
+//! use simdram_uprog::{build_program, CodegenOptions, Target};
+//! use simdram_logic::Operation;
+//! use simdram_dram::DramTiming;
+//!
+//! let add32 = build_program(Target::Simdram, Operation::Add, 32, CodegenOptions::optimized());
+//! let ambit_add32 = build_program(Target::Ambit, Operation::Add, 32, CodegenOptions::optimized());
+//! assert!(add32.command_count() < ambit_add32.command_count());
+//!
+//! // One μProgram execution computes 65,536 additions per subarray (one per bitline).
+//! let timing = DramTiming::default();
+//! let ops_per_sec = add32.throughput_ops_per_sec(&timing, 65_536);
+//! assert!(ops_per_sec > 1e9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codegen;
+mod error;
+mod execute;
+mod library;
+mod microop;
+mod network;
+mod program;
+
+pub use codegen::{generate, CodegenOptions};
+pub use error::{Result, UprogError};
+pub use execute::{execute, live_in_rows, validate_binding};
+pub use library::{build_program, MicroProgramLibrary, Target};
+pub use microop::{MicroOp, MicroRow, RowBinding};
+pub use network::{Gate, GateInput, GateNetwork};
+pub use program::MicroProgram;

@@ -1,0 +1,146 @@
+//! The μProgram library: Step 1 + Step 2 results cached per (target, operation, width).
+//!
+//! In a real system the μPrograms are generated once (offline, by the framework's
+//! programming interface) and stored in a small memory inside the memory controller; the
+//! bbop instructions then simply name an operation and the control unit looks the μProgram
+//! up. [`MicroProgramLibrary`] plays that role in the simulator.
+
+use std::collections::HashMap;
+
+use simdram_logic::{Aig, Mig, Operation, WordCircuit};
+
+use crate::codegen::{generate, CodegenOptions};
+use crate::network::GateNetwork;
+use crate::program::MicroProgram;
+
+/// Which substrate programming style a μProgram targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// SIMDRAM: MAJ/NOT implementation (majority-inverter graph).
+    Simdram,
+    /// Ambit baseline: AND/OR/NOT implementation (and-inverter graph).
+    Ambit,
+}
+
+/// A cache of generated μPrograms keyed by target, operation and operand width.
+#[derive(Debug, Default)]
+pub struct MicroProgramLibrary {
+    options: CodegenOptions,
+    cache: HashMap<(Target, Operation, usize), MicroProgram>,
+}
+
+impl MicroProgramLibrary {
+    /// Creates a library using the default (fully optimized) code generator options.
+    pub fn new() -> Self {
+        Self::with_options(CodegenOptions::optimized())
+    }
+
+    /// Creates a library with explicit code generator options (used for the ablation study).
+    pub fn with_options(options: CodegenOptions) -> Self {
+        MicroProgramLibrary {
+            options,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The code generator options used by this library.
+    pub fn options(&self) -> CodegenOptions {
+        self.options
+    }
+
+    /// Returns the μProgram for `(target, op, width)`, generating and caching it on first
+    /// use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or greater than 64 (propagated from circuit synthesis).
+    pub fn get_or_build(&mut self, target: Target, op: Operation, width: usize) -> &MicroProgram {
+        let options = self.options;
+        self.cache
+            .entry((target, op, width))
+            .or_insert_with(|| build_program(target, op, width, options))
+    }
+
+    /// Number of μPrograms currently cached.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Returns `true` if nothing has been generated yet.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+}
+
+/// Generates a μProgram without caching (convenience for one-off use in benches and tests).
+pub fn build_program(
+    target: Target,
+    op: Operation,
+    width: usize,
+    options: CodegenOptions,
+) -> MicroProgram {
+    match target {
+        Target::Simdram => {
+            let circuit: WordCircuit<Mig> = WordCircuit::synthesize(op, width);
+            let network = GateNetwork::from_mig(&circuit);
+            generate(&network, op, width, options)
+        }
+        Target::Ambit => {
+            let circuit: WordCircuit<Aig> = WordCircuit::synthesize(op, width);
+            let network = GateNetwork::from_aig(&circuit);
+            generate(&network, op, width, options)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caching_returns_identical_programs() {
+        let mut lib = MicroProgramLibrary::new();
+        let first = lib.get_or_build(Target::Simdram, Operation::Add, 8).command_count();
+        let second = lib.get_or_build(Target::Simdram, Operation::Add, 8).command_count();
+        assert_eq!(first, second);
+        assert_eq!(lib.len(), 1);
+        assert!(!lib.is_empty());
+    }
+
+    #[test]
+    fn targets_are_cached_separately() {
+        let mut lib = MicroProgramLibrary::new();
+        lib.get_or_build(Target::Simdram, Operation::Add, 8);
+        lib.get_or_build(Target::Ambit, Operation::Add, 8);
+        assert_eq!(lib.len(), 2);
+    }
+
+    #[test]
+    fn simdram_beats_ambit_across_the_operation_set() {
+        // The headline Table-1 trend: the MAJ/NOT μProgram never needs more commands than
+        // the AND/OR/NOT μProgram.
+        let mut lib = MicroProgramLibrary::new();
+        for op in Operation::ALL {
+            let simdram = lib.get_or_build(Target::Simdram, op, 16).command_count();
+            let ambit = lib.get_or_build(Target::Ambit, op, 16).command_count();
+            assert!(
+                simdram <= ambit,
+                "{op}: SIMDRAM {simdram} commands > Ambit {ambit}"
+            );
+        }
+    }
+
+    #[test]
+    fn ablation_options_are_honoured() {
+        let mut optimized = MicroProgramLibrary::new();
+        let mut naive = MicroProgramLibrary::with_options(CodegenOptions::naive());
+        let a = optimized
+            .get_or_build(Target::Simdram, Operation::Mul, 8)
+            .command_count();
+        let b = naive
+            .get_or_build(Target::Simdram, Operation::Mul, 8)
+            .command_count();
+        assert!(a < b);
+        assert_eq!(naive.options(), CodegenOptions::naive());
+    }
+}

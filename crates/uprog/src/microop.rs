@@ -1,0 +1,201 @@
+//! μOps: the DRAM-command-level instructions that make up a μProgram.
+//!
+//! A SIMDRAM μProgram is a sequence of `AAP`/`AP` commands over *symbolic* row names:
+//! operand bit-rows, result bit-rows, reserved temporary rows and the B-group compute rows.
+//! The symbolic names are resolved to physical row addresses by a [`RowBinding`] when the
+//! control unit executes the μProgram in a concrete subarray, which is what lets one
+//! μProgram be reused for any operand location (and broadcast across subarrays).
+
+use simdram_dram::{BGroupRow, RowAddr};
+
+use crate::error::{Result, UprogError};
+
+/// A symbolic row referenced by a μOp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MicroRow {
+    /// Bit `i` (LSB = 0) of the first source operand.
+    InputA(usize),
+    /// Bit `i` (LSB = 0) of the second source operand.
+    InputB(usize),
+    /// The 1-bit predicate row.
+    Pred,
+    /// Bit `i` (LSB = 0) of the destination operand.
+    Output(usize),
+    /// Reserved temporary row `i` (intermediate MIG/AIG node values).
+    Temp(usize),
+    /// The all-zeros control row (`C0`).
+    Zero,
+    /// The all-ones control row (`C1`).
+    One,
+    /// A compute row of the B-group (designated TRA rows, DCC rows).
+    BGroup(BGroupRow),
+}
+
+/// The physical placement of a μProgram's symbolic rows inside one subarray.
+///
+/// All bases are data-row indices; operand bit `i` lives at `base + i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowBinding {
+    /// First row of operand A.
+    pub a_base: usize,
+    /// First row of operand B (ignored if the operation has no second operand).
+    pub b_base: usize,
+    /// Row holding the 1-bit predicate (ignored if unused).
+    pub pred_row: usize,
+    /// First row of the destination.
+    pub out_base: usize,
+    /// First reserved (temporary) row.
+    pub temp_base: usize,
+}
+
+impl MicroRow {
+    /// Resolves the symbolic row to a physical subarray row address under `binding`.
+    pub fn resolve(self, binding: &RowBinding) -> RowAddr {
+        match self {
+            MicroRow::InputA(i) => RowAddr::Data(binding.a_base + i),
+            MicroRow::InputB(i) => RowAddr::Data(binding.b_base + i),
+            MicroRow::Pred => RowAddr::Data(binding.pred_row),
+            MicroRow::Output(i) => RowAddr::Data(binding.out_base + i),
+            MicroRow::Temp(i) => RowAddr::Data(binding.temp_base + i),
+            MicroRow::Zero => RowAddr::BGroup(BGroupRow::C0),
+            MicroRow::One => RowAddr::BGroup(BGroupRow::C1),
+            MicroRow::BGroup(b) => RowAddr::BGroup(b),
+        }
+    }
+}
+
+/// One μOp of a μProgram.
+///
+/// The three variants correspond to the command templates of the substrate: plain copies
+/// (`AAP`), majority computation with the result copied out (`AAP` whose first activation is
+/// a TRA), and in-place majority computation (`AP` with a TRA address).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MicroOp {
+    /// Copy `src` into `dst` through the sense amplifiers.
+    Aap {
+        /// Source row.
+        src: MicroRow,
+        /// Destination row.
+        dst: MicroRow,
+    },
+    /// Triple-row activation over three B-group rows, copying the majority into `dst`.
+    AapTra {
+        /// First TRA participant.
+        a: BGroupRow,
+        /// Second TRA participant.
+        b: BGroupRow,
+        /// Third TRA participant.
+        c: BGroupRow,
+        /// Destination row for the majority value.
+        dst: MicroRow,
+    },
+    /// Triple-row activation over three B-group rows, leaving the majority in those rows.
+    ApTra {
+        /// First TRA participant.
+        a: BGroupRow,
+        /// Second TRA participant.
+        b: BGroupRow,
+        /// Third TRA participant.
+        c: BGroupRow,
+    },
+}
+
+impl MicroOp {
+    /// Returns `true` if this μOp issues an `AAP` command (as opposed to a bare `AP`).
+    pub fn is_aap(self) -> bool {
+        matches!(self, MicroOp::Aap { .. } | MicroOp::AapTra { .. })
+    }
+
+    /// Returns `true` if this μOp performs a triple-row activation.
+    pub fn is_tra(self) -> bool {
+        matches!(self, MicroOp::AapTra { .. } | MicroOp::ApTra { .. })
+    }
+
+    /// Validates that the μOp only writes to writable rows (not the control rows).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UprogError::WriteToConstantRow`] when the destination is `C0`/`C1`.
+    pub fn validate(self) -> Result<()> {
+        let dst = match self {
+            MicroOp::Aap { dst, .. } | MicroOp::AapTra { dst, .. } => Some(dst),
+            MicroOp::ApTra { .. } => None,
+        };
+        if let Some(MicroRow::Zero | MicroRow::One) = dst {
+            return Err(UprogError::WriteToConstantRow);
+        }
+        if let Some(MicroRow::BGroup(b)) = dst {
+            if b.is_control() {
+                return Err(UprogError::WriteToConstantRow);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn binding() -> RowBinding {
+        RowBinding {
+            a_base: 0,
+            b_base: 8,
+            pred_row: 16,
+            out_base: 24,
+            temp_base: 32,
+        }
+    }
+
+    #[test]
+    fn resolution_offsets_by_bit_index() {
+        let b = binding();
+        assert_eq!(MicroRow::InputA(3).resolve(&b), RowAddr::Data(3));
+        assert_eq!(MicroRow::InputB(2).resolve(&b), RowAddr::Data(10));
+        assert_eq!(MicroRow::Pred.resolve(&b), RowAddr::Data(16));
+        assert_eq!(MicroRow::Output(0).resolve(&b), RowAddr::Data(24));
+        assert_eq!(MicroRow::Temp(5).resolve(&b), RowAddr::Data(37));
+        assert_eq!(MicroRow::Zero.resolve(&b), RowAddr::BGroup(BGroupRow::C0));
+        assert_eq!(MicroRow::One.resolve(&b), RowAddr::BGroup(BGroupRow::C1));
+        assert_eq!(
+            MicroRow::BGroup(BGroupRow::T2).resolve(&b),
+            RowAddr::BGroup(BGroupRow::T2)
+        );
+    }
+
+    #[test]
+    fn command_classification() {
+        let aap = MicroOp::Aap {
+            src: MicroRow::InputA(0),
+            dst: MicroRow::BGroup(BGroupRow::T0),
+        };
+        let aap_tra = MicroOp::AapTra {
+            a: BGroupRow::T0,
+            b: BGroupRow::T1,
+            c: BGroupRow::T2,
+            dst: MicroRow::Temp(0),
+        };
+        let ap_tra = MicroOp::ApTra {
+            a: BGroupRow::T0,
+            b: BGroupRow::T1,
+            c: BGroupRow::T2,
+        };
+        assert!(aap.is_aap() && !aap.is_tra());
+        assert!(aap_tra.is_aap() && aap_tra.is_tra());
+        assert!(!ap_tra.is_aap() && ap_tra.is_tra());
+    }
+
+    #[test]
+    fn writing_to_control_rows_is_rejected() {
+        let bad = MicroOp::Aap {
+            src: MicroRow::InputA(0),
+            dst: MicroRow::Zero,
+        };
+        assert_eq!(bad.validate(), Err(UprogError::WriteToConstantRow));
+        let good = MicroOp::Aap {
+            src: MicroRow::Zero,
+            dst: MicroRow::Output(0),
+        };
+        assert!(good.validate().is_ok());
+    }
+}

@@ -1,0 +1,190 @@
+//! A normalized, representation-independent view of a synthesized operation circuit.
+//!
+//! The μProgram generator does not want to care whether Step 1 produced a MIG (SIMDRAM) or
+//! an AIG (the Ambit baseline): in both cases every gate is computed in DRAM with a
+//! triple-row activation over three staged fan-ins — a MAJ gate uses its three real fan-ins,
+//! while an AND/OR gate uses two fan-ins plus a control row. [`GateNetwork`] normalizes both
+//! representations into that common three-fan-in form, preserving topological order.
+
+use simdram_logic::{Aig, AigNode, InputBit, Mig, MigNode, Signal, WordCircuit};
+
+/// The source of a gate fan-in (or of an output bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateInput {
+    /// A constant zero/one.
+    Const(bool),
+    /// A bit of one of the word operands (possibly complemented).
+    Operand {
+        /// Which operand bit.
+        bit: InputBit,
+        /// Whether the value is complemented.
+        complemented: bool,
+    },
+    /// The result of an earlier gate in the network (possibly complemented).
+    Gate {
+        /// Index into [`GateNetwork::gates`].
+        index: usize,
+        /// Whether the value is complemented.
+        complemented: bool,
+    },
+}
+
+/// One gate of the normalized network: a three-input majority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gate {
+    /// The three fan-ins (an AND/OR gate carries a constant as its third fan-in).
+    pub fanins: [GateInput; 3],
+}
+
+/// A normalized gate network in topological order, plus its output bindings.
+#[derive(Debug, Clone)]
+pub struct GateNetwork {
+    /// Gates in topological order (fan-ins always reference earlier gates).
+    pub gates: Vec<Gate>,
+    /// One entry per output bit (LSB first), describing where the bit comes from.
+    pub outputs: Vec<GateInput>,
+}
+
+impl GateNetwork {
+    /// Builds the network from a MIG word circuit (the SIMDRAM path).
+    pub fn from_mig(circuit: &WordCircuit<Mig>) -> Self {
+        let mig = circuit.graph();
+        let bindings = circuit.input_bindings();
+        let topo = mig.topological_cone(circuit.outputs());
+        let mut index_of = std::collections::HashMap::with_capacity(topo.len());
+        let mut gates = Vec::with_capacity(topo.len());
+
+        let convert = |signal: Signal,
+                       index_of: &std::collections::HashMap<u32, usize>|
+         -> GateInput {
+            match mig.node(signal.node()) {
+                MigNode::Const0 => GateInput::Const(signal.is_complemented()),
+                MigNode::Input(i) => GateInput::Operand {
+                    bit: bindings[i as usize],
+                    complemented: signal.is_complemented(),
+                },
+                MigNode::Maj(_) => GateInput::Gate {
+                    index: index_of[&signal.node()],
+                    complemented: signal.is_complemented(),
+                },
+            }
+        };
+
+        for node_id in topo {
+            if let MigNode::Maj(children) = mig.node(node_id) {
+                let fanins = [
+                    convert(children[0], &index_of),
+                    convert(children[1], &index_of),
+                    convert(children[2], &index_of),
+                ];
+                index_of.insert(node_id, gates.len());
+                gates.push(Gate { fanins });
+            }
+        }
+        let outputs = circuit
+            .outputs()
+            .iter()
+            .map(|&s| convert(s, &index_of))
+            .collect();
+        GateNetwork { gates, outputs }
+    }
+
+    /// Builds the network from an AIG word circuit (the Ambit baseline path). Each AND gate
+    /// becomes a majority with a constant-zero third fan-in, matching how Ambit computes
+    /// AND/OR with a control row.
+    pub fn from_aig(circuit: &WordCircuit<Aig>) -> Self {
+        let aig = circuit.graph();
+        let bindings = circuit.input_bindings();
+        let topo = aig.topological_cone(circuit.outputs());
+        let mut index_of = std::collections::HashMap::with_capacity(topo.len());
+        let mut gates = Vec::with_capacity(topo.len());
+
+        let convert = |signal: Signal,
+                       index_of: &std::collections::HashMap<u32, usize>|
+         -> GateInput {
+            match aig.node(signal.node()) {
+                AigNode::Const0 => GateInput::Const(signal.is_complemented()),
+                AigNode::Input(i) => GateInput::Operand {
+                    bit: bindings[i as usize],
+                    complemented: signal.is_complemented(),
+                },
+                AigNode::And(_) => GateInput::Gate {
+                    index: index_of[&signal.node()],
+                    complemented: signal.is_complemented(),
+                },
+            }
+        };
+
+        for node_id in topo {
+            if let AigNode::And(children) = aig.node(node_id) {
+                let fanins = [
+                    convert(children[0], &index_of),
+                    convert(children[1], &index_of),
+                    GateInput::Const(false),
+                ];
+                index_of.insert(node_id, gates.len());
+                gates.push(Gate { fanins });
+            }
+        }
+        let outputs = circuit
+            .outputs()
+            .iter()
+            .map(|&s| convert(s, &index_of))
+            .collect();
+        GateNetwork { gates, outputs }
+    }
+
+    /// Number of gates (each corresponds to one TRA in DRAM).
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdram_logic::Operation;
+
+    #[test]
+    fn mig_network_matches_circuit_gate_count() {
+        let circuit: WordCircuit<Mig> = WordCircuit::synthesize(Operation::Add, 8);
+        let network = GateNetwork::from_mig(&circuit);
+        assert_eq!(network.gate_count(), circuit.gate_count());
+        assert_eq!(network.outputs.len(), 8);
+    }
+
+    #[test]
+    fn aig_network_third_fanin_is_constant() {
+        let circuit: WordCircuit<Aig> = WordCircuit::synthesize(Operation::Equal, 4);
+        let network = GateNetwork::from_aig(&circuit);
+        assert_eq!(network.gate_count(), circuit.gate_count());
+        for gate in &network.gates {
+            assert_eq!(gate.fanins[2], GateInput::Const(false));
+        }
+        assert_eq!(network.outputs.len(), 1);
+    }
+
+    #[test]
+    fn gate_fanins_reference_earlier_gates_only() {
+        let circuit: WordCircuit<Mig> = WordCircuit::synthesize(Operation::Mul, 6);
+        let network = GateNetwork::from_mig(&circuit);
+        for (idx, gate) in network.gates.iter().enumerate() {
+            for fanin in gate.fanins {
+                if let GateInput::Gate { index, .. } = fanin {
+                    assert!(index < idx, "gate {idx} references later gate {index}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn outputs_reference_valid_gates() {
+        let circuit: WordCircuit<Mig> = WordCircuit::synthesize(Operation::Greater, 8);
+        let network = GateNetwork::from_mig(&circuit);
+        for out in &network.outputs {
+            if let GateInput::Gate { index, .. } = out {
+                assert!(*index < network.gates.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! μPrograms: the executable artifact of SIMDRAM's Step 2.
+
+use simdram_dram::{energy::EnergyModel, DramTiming};
+use simdram_logic::Operation;
+
+use crate::microop::MicroOp;
+
+/// A complete μProgram: the sequence of AAP/AP commands that computes one operation over
+/// vertically laid-out operands in a subarray, together with its resource requirements.
+///
+/// μPrograms are *symbolic* (see [`crate::MicroRow`]); the SIMDRAM control unit binds them
+/// to physical rows at issue time and broadcasts them across subarrays and banks.
+#[derive(Debug, Clone)]
+pub struct MicroProgram {
+    op: Operation,
+    width: usize,
+    ops: Vec<MicroOp>,
+    temp_rows: usize,
+}
+
+impl MicroProgram {
+    /// Assembles a μProgram from its parts. Intended for use by the code generator.
+    pub fn new(op: Operation, width: usize, ops: Vec<MicroOp>, temp_rows: usize) -> Self {
+        MicroProgram {
+            op,
+            width,
+            ops,
+            temp_rows,
+        }
+    }
+
+    /// The operation this μProgram implements.
+    pub fn operation(&self) -> Operation {
+        self.op
+    }
+
+    /// The operand width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The μOps in issue order.
+    pub fn ops(&self) -> &[MicroOp] {
+        &self.ops
+    }
+
+    /// Number of reserved (temporary) data rows the μProgram needs in each subarray.
+    pub fn temp_rows(&self) -> usize {
+        self.temp_rows
+    }
+
+    /// Total number of DRAM commands (AAPs plus bare APs).
+    pub fn command_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of `AAP` commands (copies and TRA-copies).
+    pub fn aap_count(&self) -> usize {
+        self.ops.iter().filter(|op| op.is_aap()).count()
+    }
+
+    /// Number of bare `AP` commands.
+    pub fn ap_count(&self) -> usize {
+        self.ops.iter().filter(|op| !op.is_aap()).count()
+    }
+
+    /// Number of triple-row activations (majority computations).
+    pub fn tra_count(&self) -> usize {
+        self.ops.iter().filter(|op| op.is_tra()).count()
+    }
+
+    /// Latency of one execution of the μProgram in nanoseconds, given DDR timing.
+    ///
+    /// The μProgram executes in a single subarray; when broadcast over many subarrays and
+    /// banks the latency is unchanged while throughput scales with the number of lanes.
+    pub fn latency_ns(&self, timing: &DramTiming) -> f64 {
+        self.aap_count() as f64 * timing.aap_ns() + self.ap_count() as f64 * timing.ap_ns()
+    }
+
+    /// Energy of one execution of the μProgram in a single subarray, in nanojoules.
+    pub fn energy_nj(&self, energy: &EnergyModel) -> f64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                MicroOp::Aap { .. } => energy.aap_nj(false),
+                MicroOp::AapTra { .. } => energy.aap_nj(true),
+                MicroOp::ApTra { .. } => energy.ap_nj(true),
+            })
+            .sum()
+    }
+
+    /// Throughput in operations per second when the μProgram is broadcast over `lanes`
+    /// SIMD lanes (bitlines × subarrays × banks) back-to-back.
+    pub fn throughput_ops_per_sec(&self, timing: &DramTiming, lanes: usize) -> f64 {
+        let latency_s = self.latency_ns(timing) * 1e-9;
+        lanes as f64 / latency_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::microop::MicroRow;
+    use simdram_dram::BGroupRow;
+
+    fn sample_program() -> MicroProgram {
+        let ops = vec![
+            MicroOp::Aap {
+                src: MicroRow::InputA(0),
+                dst: MicroRow::BGroup(BGroupRow::T0),
+            },
+            MicroOp::Aap {
+                src: MicroRow::InputB(0),
+                dst: MicroRow::BGroup(BGroupRow::T1),
+            },
+            MicroOp::Aap {
+                src: MicroRow::Zero,
+                dst: MicroRow::BGroup(BGroupRow::T2),
+            },
+            MicroOp::AapTra {
+                a: BGroupRow::T0,
+                b: BGroupRow::T1,
+                c: BGroupRow::T2,
+                dst: MicroRow::Output(0),
+            },
+            MicroOp::ApTra {
+                a: BGroupRow::T0,
+                b: BGroupRow::T1,
+                c: BGroupRow::T2,
+            },
+        ];
+        MicroProgram::new(Operation::Add, 1, ops, 2)
+    }
+
+    #[test]
+    fn command_counts() {
+        let p = sample_program();
+        assert_eq!(p.command_count(), 5);
+        assert_eq!(p.aap_count(), 4);
+        assert_eq!(p.ap_count(), 1);
+        assert_eq!(p.tra_count(), 2);
+        assert_eq!(p.temp_rows(), 2);
+        assert_eq!(p.operation(), Operation::Add);
+        assert_eq!(p.width(), 1);
+    }
+
+    #[test]
+    fn latency_combines_aap_and_ap() {
+        let p = sample_program();
+        let timing = DramTiming::default();
+        let expected = 4.0 * timing.aap_ns() + timing.ap_ns();
+        assert!((p.latency_ns(&timing) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_distinguishes_tra_commands() {
+        let p = sample_program();
+        let e = EnergyModel::default();
+        let expected = 3.0 * e.aap_nj(false) + e.aap_nj(true) + e.ap_nj(true);
+        assert!((p.energy_nj(&e) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_scales_with_lanes() {
+        let p = sample_program();
+        let timing = DramTiming::default();
+        let t1 = p.throughput_ops_per_sec(&timing, 65_536);
+        let t16 = p.throughput_ops_per_sec(&timing, 16 * 65_536);
+        assert!((t16 / t1 - 16.0).abs() < 1e-9);
+    }
+}

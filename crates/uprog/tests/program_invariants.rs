@@ -1,0 +1,126 @@
+//! Structural invariants every generated μProgram must satisfy, checked across the whole
+//! operation set, both targets and several widths.
+
+use simdram_dram::BGroupRow;
+use simdram_logic::Operation;
+use simdram_uprog::{
+    build_program, live_in_rows, CodegenOptions, MicroOp, MicroProgram, MicroRow, Target,
+};
+
+fn all_programs(width: usize) -> Vec<(Target, Operation, MicroProgram)> {
+    let mut programs = Vec::new();
+    for target in [Target::Simdram, Target::Ambit] {
+        for op in Operation::ALL {
+            programs.push((
+                target,
+                op,
+                build_program(target, op, width, CodegenOptions::optimized()),
+            ));
+        }
+    }
+    programs
+}
+
+#[test]
+fn every_tra_is_preceded_by_stages_into_its_designated_rows() {
+    // Before the first TRA of a μProgram, all three designated rows it activates must have
+    // been written by an AAP (otherwise the majority would read stale data).
+    for (target, op, program) in all_programs(8) {
+        let mut written: Vec<BGroupRow> = Vec::new();
+        let mut first_tra_seen = false;
+        for micro in program.ops() {
+            match *micro {
+                MicroOp::Aap { dst: MicroRow::BGroup(b), .. } => written.push(b),
+                MicroOp::AapTra { a, b, c, .. } | MicroOp::ApTra { a, b, c } => {
+                    if !first_tra_seen {
+                        for row in [a, b, c] {
+                            assert!(
+                                written.contains(&row) || row.is_control(),
+                                "{target:?} {op}: first TRA reads un-staged row {row:?}"
+                            );
+                        }
+                        first_tra_seen = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn programs_never_write_control_rows_and_every_op_validates() {
+    for (target, op, program) in all_programs(16) {
+        for micro in program.ops() {
+            micro
+                .validate()
+                .unwrap_or_else(|e| panic!("{target:?} {op}: invalid μOp {micro:?}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn live_in_rows_are_limited_to_declared_operands() {
+    for (target, op, program) in all_programs(8) {
+        for row in live_in_rows(&program) {
+            match row {
+                MicroRow::InputA(bit) => assert!(bit < 8, "{target:?} {op}: A bit {bit}"),
+                MicroRow::InputB(bit) => {
+                    assert!(op.uses_second_operand(), "{target:?} {op} reads operand B");
+                    assert!(bit < 8);
+                }
+                MicroRow::Pred => assert!(op.uses_predicate(), "{target:?} {op} reads a predicate"),
+                other => panic!("{target:?} {op}: unexpected live-in row {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn every_output_bit_is_written_exactly_where_expected() {
+    for (target, op, program) in all_programs(8) {
+        let out_width = op.output_width(8);
+        let mut written = vec![false; out_width];
+        for micro in program.ops() {
+            if let MicroOp::Aap { dst: MicroRow::Output(bit), .. }
+            | MicroOp::AapTra { dst: MicroRow::Output(bit), .. } = *micro
+            {
+                assert!(bit < out_width, "{target:?} {op}: writes output bit {bit}");
+                written[bit] = true;
+            }
+        }
+        assert!(
+            written.iter().all(|&w| w),
+            "{target:?} {op}: some output bits are never written: {written:?}"
+        );
+    }
+}
+
+#[test]
+fn temporary_row_requirements_fit_the_default_reserved_region() {
+    let reserved = simdram_dram::DramConfig::default().reserved_rows;
+    for width in [8, 16, 32] {
+        for (target, op, program) in all_programs(width) {
+            assert!(
+                program.temp_rows() <= reserved,
+                "{target:?} {op} at {width} bits needs {} temporaries (> {reserved} reserved)",
+                program.temp_rows()
+            );
+        }
+    }
+}
+
+#[test]
+fn command_counts_grow_monotonically_with_width_for_arithmetic() {
+    for op in [Operation::Add, Operation::Sub, Operation::Mul, Operation::Div] {
+        let mut previous = 0;
+        for width in [4, 8, 16, 32] {
+            let program = build_program(Target::Simdram, op, width, CodegenOptions::optimized());
+            assert!(
+                program.command_count() > previous,
+                "{op}: commands did not grow from width {width}",
+            );
+            previous = program.command_count();
+        }
+    }
+}

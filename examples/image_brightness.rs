@@ -1,0 +1,34 @@
+//! Image processing with SIMDRAM: saturating brightness adjustment over a whole image in a
+//! handful of bbop instructions.
+//!
+//! Run with `cargo run --example image_brightness`.
+
+use simdram_apps::brightness::Brightness;
+use simdram_apps::Kernel;
+use simdram_core::{SimdramConfig, SimdramMachine};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let width = 64;
+    let height = 32;
+    let delta = 75;
+
+    let kernel = Brightness::new(width, height, delta, 7);
+    let mut machine = SimdramMachine::new(SimdramConfig::demo())?;
+    let run = kernel.run(&mut machine)?;
+
+    println!(
+        "Brightened a {width}x{height} image by {delta} grey levels entirely inside DRAM:"
+    );
+    println!("  pixels processed : {}", run.output_elements);
+    println!("  bbop operations  : {}", run.bbops);
+    println!("  result verified  : {}", run.verified);
+    println!("  DRAM latency     : {:.1} µs", run.compute_latency_ns / 1_000.0);
+    println!("  DRAM energy      : {:.1} µJ", run.compute_energy_nj / 1_000.0);
+    println!(
+        "\nEach pixel is one SIMD lane (one DRAM bitline); a full-size SIMDRAM configuration\n\
+         processes {} pixels per bbop instead of the {} used here.",
+        SimdramConfig::paper_banks(16).total_lanes(),
+        SimdramConfig::demo().total_lanes()
+    );
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Quantized neural-network inference with SIMDRAM.
+//!
+//! Run with `cargo run --example neural_network`.
+//!
+//! The example functionally executes a quantized fully-connected layer in DRAM (each SIMD
+//! lane computes one output neuron) and then uses the analytic platform models to estimate
+//! how long full VGG-13 / VGG-16 / LeNet-5 inference passes would take on the CPU, the GPU,
+//! Ambit and SIMDRAM — the comparison behind the paper's application figure.
+
+use simdram_apps::analysis::{cost_on_platform, speedup};
+use simdram_apps::lenet::lenet_kernel;
+use simdram_apps::nn::QuantizedLinear;
+use simdram_apps::vgg::{vgg13_kernel, vgg16_kernel};
+use simdram_apps::Kernel;
+use simdram_baselines::Platform;
+use simdram_core::{SimdramConfig, SimdramMachine};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Functional proof: a quantized 64×128 fully-connected layer, one output neuron per lane.
+    let mut machine = SimdramMachine::new(SimdramConfig::demo())?;
+    let layer = QuantizedLinear::new(64, 128, 2024);
+    let outputs = layer.run_on(&mut machine)?;
+    assert_eq!(outputs, layer.reference());
+    println!(
+        "Quantized 64x128 fully-connected layer computed in DRAM: {} neurons, all correct.",
+        outputs.len()
+    );
+    println!("{}\n", machine.stats());
+
+    // Analytic comparison for the full networks.
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>14} {:>16}",
+        "network", "CPU (ms)", "GPU (ms)", "Ambit (ms)", "SIMDRAM16 (ms)", "vs Ambit speedup"
+    );
+    for kernel in [vgg13_kernel(1), vgg16_kernel(2), lenet_kernel(3)] {
+        let mix = kernel.op_mix();
+        let cpu = cost_on_platform(Platform::Cpu, &mix);
+        let gpu = cost_on_platform(Platform::Gpu, &mix);
+        let ambit = cost_on_platform(Platform::Ambit, &mix);
+        let simdram = cost_on_platform(Platform::Simdram { banks: 16 }, &mix);
+        let costs = vec![cpu.clone(), gpu.clone(), ambit.clone(), simdram.clone()];
+        println!(
+            "{:<8} {:>12.2} {:>12.2} {:>12.2} {:>14.2} {:>15.2}x",
+            kernel.name(),
+            cpu.time_ms,
+            gpu.time_ms,
+            ambit.time_ms,
+            simdram.time_ms,
+            speedup(&costs, Platform::Ambit, Platform::Simdram { banks: 16 })
+        );
+    }
+    Ok(())
+}

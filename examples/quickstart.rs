@@ -1,0 +1,65 @@
+//! Quickstart: the SIMDRAM framework end to end in a few dozen lines.
+//!
+//! Run with `cargo run --example quickstart`.
+//!
+//! The example walks through the paper's three steps for one operation (32-bit addition):
+//! Step 1 synthesizes the MAJ/NOT circuit, Step 2 generates the μProgram, and Step 3
+//! executes it on the simulated DRAM device — then checks the results and prints the cost
+//! accounting.
+
+use simdram_core::{SimdramConfig, SimdramMachine};
+use simdram_logic::{Mig, Operation, WordCircuit};
+use simdram_uprog::{build_program, CodegenOptions, Target};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ------------------------------------------------------------------ Step 1: synthesis
+    let circuit: WordCircuit<Mig> = WordCircuit::synthesize(Operation::Add, 32);
+    println!(
+        "Step 1: 32-bit addition as a majority-inverter graph: {} MAJ gates, depth {}",
+        circuit.gate_count(),
+        circuit.depth()
+    );
+
+    // --------------------------------------------------------- Step 2: μProgram generation
+    let program = build_program(Target::Simdram, Operation::Add, 32, CodegenOptions::optimized());
+    println!(
+        "Step 2: μProgram with {} DRAM commands ({} triple-row activations, {} reserved rows)",
+        program.command_count(),
+        program.tra_count(),
+        program.temp_rows()
+    );
+
+    // ------------------------------------------------------------------ Step 3: execution
+    // A small machine keeps the example fast; `SimdramConfig::paper_banks(16)` is the
+    // full-size configuration used by the benchmarks.
+    let mut machine = SimdramMachine::new(SimdramConfig::functional_test())?;
+
+    let a_values: Vec<u64> = (0..512u64).map(|i| i * 3 + 7).collect();
+    let b_values: Vec<u64> = (0..512u64).map(|i| i * 11 + 1).collect();
+
+    let a = machine.alloc_and_write(32, &a_values)?;
+    let b = machine.alloc_and_write(32, &b_values)?;
+    let (sum, report) = machine.binary(Operation::Add, &a, &b)?;
+    let results = machine.read(&sum)?;
+
+    let all_correct = results
+        .iter()
+        .zip(a_values.iter().zip(&b_values))
+        .all(|(&r, (&x, &y))| r == (x + y) & 0xFFFF_FFFF);
+    println!(
+        "Step 3: executed over {} SIMD lanes in {} subarray(s): {}",
+        report.elements,
+        report.subarrays_used,
+        if all_correct { "all results correct" } else { "MISMATCH" }
+    );
+    println!(
+        "        latency {:.1} ns, energy {:.1} nJ, {:.2} GOPS, {:.1} GOPS/W",
+        report.latency_ns,
+        report.energy_nj,
+        report.throughput_gops(),
+        report.gops_per_watt()
+    );
+
+    println!("\nCumulative machine statistics:\n{}", machine.stats());
+    Ok(())
+}

@@ -1,0 +1,20 @@
+//! Umbrella crate for the SIMDRAM reproduction workspace.
+//!
+//! This crate only re-exports the member crates so that the runnable examples under
+//! `examples/` and the integration tests under `tests/` have a single, convenient
+//! dependency. The actual functionality lives in:
+//!
+//! - [`simdram_dram`]: the DRAM substrate simulator (Ambit-style compute subarrays).
+//! - [`simdram_logic`]: Step 1 — MAJ/NOT (MIG) and AND/OR/NOT (AIG) circuit synthesis.
+//! - [`simdram_uprog`]: Step 2 — operand-to-row mapping and μProgram generation.
+//! - [`simdram_core`]: Step 3 — ISA, control unit, transposition unit and the
+//!   [`simdram_core::SimdramMachine`] end-to-end executor.
+//! - [`simdram_baselines`]: Ambit, CPU and GPU comparison models.
+//! - [`simdram_apps`]: the seven real-world application kernels.
+
+pub use simdram_apps;
+pub use simdram_baselines;
+pub use simdram_core;
+pub use simdram_dram;
+pub use simdram_logic;
+pub use simdram_uprog;

@@ -1,0 +1,120 @@
+//! Cross-crate integration tests: the full SIMDRAM pipeline from operation definition to
+//! in-DRAM execution and back, on both the SIMDRAM and Ambit targets.
+
+use simdram_core::{reference_elementwise, SimdramConfig, SimdramMachine};
+use simdram_logic::{word_mask, Operation};
+
+fn machine(ambit: bool) -> SimdramMachine {
+    let config = if ambit {
+        SimdramConfig::functional_test_ambit()
+    } else {
+        SimdramConfig::functional_test()
+    };
+    SimdramMachine::new(config).expect("functional test configuration is valid")
+}
+
+fn run_all_operations(ambit: bool) {
+    let width = 8;
+    let mask = word_mask(width);
+    let a_vals: Vec<u64> = (0..200u64).map(|i| (i * 37 + 13) & mask).collect();
+    let b_vals: Vec<u64> = (0..200u64).map(|i| (i * 91 + 5) & mask).collect();
+    let preds: Vec<bool> = (0..200).map(|i| i % 3 == 0).collect();
+
+    for op in Operation::ALL {
+        let mut m = machine(ambit);
+        let a = m.alloc_and_write(width, &a_vals).unwrap();
+        let b = m.alloc_and_write(width, &b_vals).unwrap();
+        let pred = m.alloc(1, a_vals.len()).unwrap();
+        m.write_bools(&pred, &preds).unwrap();
+
+        let dst = m.alloc(op.output_width(width), a_vals.len()).unwrap();
+        let src_b = op.uses_second_operand().then_some(&b);
+        let src_pred = op.uses_predicate().then_some(&pred);
+        let report = m.execute(op, &dst, &a, src_b, src_pred).unwrap();
+        assert!(report.commands > 0);
+        assert!(report.latency_ns > 0.0);
+
+        let produced = m.read(&dst).unwrap();
+        let expected = reference_elementwise(op, width, &a_vals, &b_vals, &preds);
+        assert_eq!(produced, expected, "{op} diverged (ambit = {ambit})");
+    }
+}
+
+#[test]
+fn simdram_executes_all_sixteen_operations_correctly() {
+    run_all_operations(false);
+}
+
+#[test]
+fn ambit_baseline_executes_all_sixteen_operations_correctly() {
+    run_all_operations(true);
+}
+
+#[test]
+fn simdram_issues_fewer_commands_than_ambit_for_every_operation() {
+    let width = 16;
+    for op in Operation::ALL {
+        let mut counts = Vec::new();
+        for ambit in [false, true] {
+            let mut m = machine(ambit);
+            let a = m.alloc_and_write(width, &[1, 2, 3, 4]).unwrap();
+            let b = m.alloc_and_write(width, &[4, 3, 2, 1]).unwrap();
+            let pred = m.alloc(1, 4).unwrap();
+            m.write_bools(&pred, &[true, false, true, false]).unwrap();
+            let dst = m.alloc(op.output_width(width), 4).unwrap();
+            let report = m
+                .execute(
+                    op,
+                    &dst,
+                    &a,
+                    op.uses_second_operand().then_some(&b),
+                    op.uses_predicate().then_some(&pred),
+                )
+                .unwrap();
+            counts.push(report.commands);
+        }
+        assert!(
+            counts[0] <= counts[1],
+            "{op}: SIMDRAM used {} commands, Ambit {}",
+            counts[0],
+            counts[1]
+        );
+    }
+}
+
+#[test]
+fn chained_operations_compose_like_a_program() {
+    // relu(|a - b|) followed by a comparison against a threshold — a small pipeline that
+    // exercises vector reuse across operations.
+    let mut m = machine(false);
+    let a_vals: Vec<u64> = (0..100u64).map(|i| (i * 7) & 0xFF).collect();
+    let b_vals: Vec<u64> = (0..100u64).map(|i| (i * 5 + 60) & 0xFF).collect();
+
+    let a = m.alloc_and_write(8, &a_vals).unwrap();
+    let b = m.alloc_and_write(8, &b_vals).unwrap();
+    let (diff, _) = m.binary(Operation::Sub, &a, &b).unwrap();
+    let (abs, _) = m.unary(Operation::Abs, &diff).unwrap();
+    let threshold = m.alloc(8, 100).unwrap();
+    m.init(&threshold, 50).unwrap();
+    let (flag, _) = m.binary(Operation::Greater, &abs, &threshold).unwrap();
+
+    let produced = m.read(&flag).unwrap();
+    for i in 0..100 {
+        let d = a_vals[i].wrapping_sub(b_vals[i]) & 0xFF;
+        let abs_d = if d & 0x80 != 0 { (d ^ 0xFF) + 1 } else { d } & 0xFF;
+        assert_eq!(produced[i], u64::from(abs_d > 50), "lane {i}");
+    }
+}
+
+#[test]
+fn machine_statistics_accumulate_across_a_session() {
+    let mut m = machine(false);
+    let a = m.alloc_and_write(8, &[1, 2, 3]).unwrap();
+    let b = m.alloc_and_write(8, &[9, 8, 7]).unwrap();
+    m.binary(Operation::Add, &a, &b).unwrap();
+    m.binary(Operation::Mul, &a, &b).unwrap();
+    let stats = m.stats();
+    assert_eq!(stats.operations, 2);
+    assert!(stats.commands > 0);
+    assert!(stats.total_latency_ns() > stats.compute_latency_ns);
+}

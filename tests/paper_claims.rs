@@ -1,0 +1,108 @@
+//! Integration tests asserting the *shape* of the paper's headline claims, as reproduced by
+//! the analytic models. Absolute numbers differ from the paper (different substrate
+//! constants); these tests pin down the qualitative results: who wins, in which direction,
+//! and by roughly what kind of factor.
+
+use simdram_apps::{kernel_comparison, paper_kernels, speedup};
+use simdram_baselines::{platform_performance, Platform};
+use simdram_core::AreaModel;
+use simdram_dram::variation::{TechnologyNode, VariationModel};
+use simdram_logic::Operation;
+use simdram_uprog::{build_program, CodegenOptions, Target};
+
+#[test]
+fn simdram_improves_throughput_over_ambit_for_all_sixteen_operations() {
+    for op in Operation::ALL {
+        let simdram = platform_performance(Platform::Simdram { banks: 16 }, op, 32);
+        let ambit = platform_performance(Platform::Ambit, op, 32);
+        let speedup = simdram.throughput_gops / ambit.throughput_gops;
+        assert!(
+            speedup >= 1.0,
+            "{op}: SIMDRAM should not be slower than Ambit (got {speedup:.2}x)"
+        );
+    }
+    // At least one operation should show a multiple-x advantage (the paper reports up to 5.1x).
+    let best = Operation::ALL
+        .iter()
+        .map(|&op| {
+            platform_performance(Platform::Simdram { banks: 16 }, op, 32).throughput_gops
+                / platform_performance(Platform::Ambit, op, 32).throughput_gops
+        })
+        .fold(0.0f64, f64::max);
+    assert!(best > 2.0, "best speedup over Ambit was only {best:.2}x");
+}
+
+#[test]
+fn simdram_is_much_faster_and_more_efficient_than_the_cpu() {
+    let mut throughput_ratios = Vec::new();
+    let mut efficiency_ratios = Vec::new();
+    for op in Operation::ALL {
+        let simdram = platform_performance(Platform::Simdram { banks: 16 }, op, 32);
+        let cpu = platform_performance(Platform::Cpu, op, 32);
+        throughput_ratios.push(simdram.throughput_gops / cpu.throughput_gops);
+        efficiency_ratios.push(simdram.gops_per_watt / cpu.gops_per_watt);
+    }
+    let avg_throughput: f64 = throughput_ratios.iter().sum::<f64>() / throughput_ratios.len() as f64;
+    let avg_efficiency: f64 = efficiency_ratios.iter().sum::<f64>() / efficiency_ratios.len() as f64;
+    // Paper: 93x throughput and 257x energy efficiency over the CPU (averaged).
+    assert!(avg_throughput > 20.0, "average CPU speedup only {avg_throughput:.1}x");
+    assert!(avg_efficiency > 50.0, "average CPU efficiency gain only {avg_efficiency:.1}x");
+}
+
+#[test]
+fn simdram_outperforms_the_gpu_on_average() {
+    let mut ratios = Vec::new();
+    for op in Operation::ALL {
+        let simdram = platform_performance(Platform::Simdram { banks: 16 }, op, 32);
+        let gpu = platform_performance(Platform::Gpu, op, 32);
+        ratios.push(simdram.throughput_gops / gpu.throughput_gops);
+    }
+    let avg: f64 = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    // Paper: 5.7x average over the GPU.
+    assert!(avg > 2.0, "average GPU speedup only {avg:.1}x");
+}
+
+#[test]
+fn application_kernels_speed_up_over_ambit_cpu_and_gpu() {
+    for kernel in paper_kernels(0) {
+        let costs = kernel_comparison(kernel.as_ref());
+        let vs_ambit = speedup(&costs, Platform::Ambit, Platform::Simdram { banks: 16 });
+        let vs_cpu = speedup(&costs, Platform::Cpu, Platform::Simdram { banks: 16 });
+        assert!(vs_ambit > 1.0, "{}: vs Ambit {vs_ambit:.2}x", kernel.name());
+        assert!(vs_cpu > 1.0, "{}: vs CPU {vs_cpu:.2}x", kernel.name());
+    }
+}
+
+#[test]
+fn dram_area_overhead_is_below_one_percent() {
+    let area = AreaModel::default();
+    assert!(area.dram_overhead_percent() < 1.0);
+    assert!(area.cpu_overhead_percent() < 1.0);
+}
+
+#[test]
+fn reliability_holds_at_realistic_technology_nodes() {
+    let add32 = build_program(Target::Simdram, Operation::Add, 32, CodegenOptions::optimized());
+    for node in TechnologyNode::ALL {
+        let model = VariationModel::for_node(node);
+        let p_tra = model.tra_failure_probability(20_000, 99);
+        let p_op = VariationModel::operation_success_probability(p_tra, add32.tra_count());
+        assert!(
+            p_op > 0.999,
+            "32-bit addition should complete reliably at {} (success probability {p_op})",
+            node.name()
+        );
+    }
+    // Sanity: the model is not vacuous — extreme variation does break computation.
+    let broken = VariationModel::with_cell_sigma(0.6).tra_failure_probability(20_000, 99);
+    assert!(broken > 0.05);
+}
+
+#[test]
+fn ablation_reuse_optimizations_reduce_commands() {
+    for op in [Operation::Add, Operation::Mul, Operation::BitCount, Operation::Max] {
+        let naive = build_program(Target::Simdram, op, 32, CodegenOptions::naive());
+        let optimized = build_program(Target::Simdram, op, 32, CodegenOptions::optimized());
+        assert!(optimized.command_count() < naive.command_count(), "{op}");
+    }
+}
