@@ -69,7 +69,12 @@ pub fn paper_kernels(seed: u64) -> Vec<Box<dyn Kernel>> {
         Box::new(crate::vgg::vgg13_kernel(seed)),
         Box::new(crate::vgg::vgg16_kernel(seed.wrapping_add(1))),
         Box::new(crate::lenet::lenet_kernel(seed.wrapping_add(2))),
-        Box::new(crate::knn::KnnDistances::new(256, 16, 5, seed.wrapping_add(3))),
+        Box::new(crate::knn::KnnDistances::new(
+            256,
+            16,
+            5,
+            seed.wrapping_add(3),
+        )),
         Box::new(crate::tpch::TpchQuery6::new(512, seed.wrapping_add(4))),
         Box::new(crate::bitweaving::BitWeavingScan::new(
             512,
@@ -77,7 +82,12 @@ pub fn paper_kernels(seed: u64) -> Vec<Box<dyn Kernel>> {
             crate::bitweaving::ScanPredicate::LessThan(2048),
             seed.wrapping_add(5),
         )),
-        Box::new(crate::brightness::Brightness::new(32, 16, 70, seed.wrapping_add(6))),
+        Box::new(crate::brightness::Brightness::new(
+            32,
+            16,
+            70,
+            seed.wrapping_add(6),
+        )),
     ]
 }
 

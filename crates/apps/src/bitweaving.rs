@@ -37,7 +37,7 @@ impl BitWeavingScan {
     ///
     /// Panics if `code_bits` is zero or greater than 64.
     pub fn new(rows: usize, code_bits: usize, predicate: ScanPredicate, seed: u64) -> Self {
-        assert!(code_bits >= 1 && code_bits <= 64);
+        assert!((1..=64).contains(&code_bits));
         let mut rng = StdRng::seed_from_u64(seed);
         let mask = word_mask(code_bits);
         let column = (0..rows).map(|_| rng.random::<u64>() & mask).collect();
@@ -88,9 +88,21 @@ impl Kernel for BitWeavingScan {
                 elements: n,
             }],
             ScanPredicate::Between(_, _) => vec![
-                OpCount { op: Operation::GreaterEqual, width: w, elements: n },
-                OpCount { op: Operation::GreaterEqual, width: w, elements: n },
-                OpCount { op: Operation::Min, width: 1, elements: n },
+                OpCount {
+                    op: Operation::GreaterEqual,
+                    width: w,
+                    elements: n,
+                },
+                OpCount {
+                    op: Operation::GreaterEqual,
+                    width: w,
+                    elements: n,
+                },
+                OpCount {
+                    op: Operation::Min,
+                    width: 1,
+                    elements: n,
+                },
             ],
         }
     }
@@ -138,7 +150,15 @@ impl Kernel for BitWeavingScan {
         machine.free(matches);
         machine.free(column);
 
-        Ok(finish_run(self.name(), machine, ops0, lat0, en0, n, verified))
+        Ok(finish_run(
+            self.name(),
+            machine,
+            ops0,
+            lat0,
+            en0,
+            n,
+            verified,
+        ))
     }
 }
 

@@ -23,7 +23,9 @@ impl Brightness {
     /// and a brightness increase of `delta` grey levels.
     pub fn new(width: usize, height: usize, delta: u8, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let pixels = (0..width * height).map(|_| rng.random_range(0..256u64)).collect();
+        let pixels = (0..width * height)
+            .map(|_| rng.random_range(0..256u64))
+            .collect();
         Brightness {
             pixels,
             delta: u64::from(delta),
@@ -52,10 +54,22 @@ impl Kernel for Brightness {
     fn op_mix(&self) -> Vec<OpCount> {
         let n = self.pixels.len() as u64;
         vec![
-            OpCount { op: Operation::Add, width: 8, elements: n },
+            OpCount {
+                op: Operation::Add,
+                width: 8,
+                elements: n,
+            },
             // Saturation: compare against the pre-add value to detect wrap-around, then select.
-            OpCount { op: Operation::GreaterEqual, width: 8, elements: n },
-            OpCount { op: Operation::IfElse, width: 8, elements: n },
+            OpCount {
+                op: Operation::GreaterEqual,
+                width: 8,
+                elements: n,
+            },
+            OpCount {
+                op: Operation::IfElse,
+                width: 8,
+                elements: n,
+            },
         ]
     }
 
@@ -103,7 +117,10 @@ mod tests {
         let kernel = Brightness::new(16, 12, 60, 7);
         let mut machine = SimdramMachine::new(SimdramConfig::functional_test()).unwrap();
         let run = kernel.run(&mut machine).unwrap();
-        assert!(run.verified, "in-DRAM brightness result diverged from reference");
+        assert!(
+            run.verified,
+            "in-DRAM brightness result diverged from reference"
+        );
         assert_eq!(run.output_elements, 16 * 12);
         assert!(run.bbops >= 3);
         assert!(run.compute_latency_ns > 0.0);

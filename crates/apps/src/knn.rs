@@ -82,9 +82,21 @@ impl Kernel for KnnDistances {
         let f = self.feature_count() as u64;
         vec![
             // Per feature: one 16-bit subtraction, one absolute value and one accumulation.
-            OpCount { op: Operation::Sub, width: 16, elements: n * f },
-            OpCount { op: Operation::Abs, width: 16, elements: n * f },
-            OpCount { op: Operation::Add, width: 16, elements: n * f },
+            OpCount {
+                op: Operation::Sub,
+                width: 16,
+                elements: n * f,
+            },
+            OpCount {
+                op: Operation::Abs,
+                width: 16,
+                elements: n * f,
+            },
+            OpCount {
+                op: Operation::Add,
+                width: 16,
+                elements: n * f,
+            },
         ]
     }
 
@@ -115,7 +127,15 @@ impl Kernel for KnnDistances {
         machine.free(distance);
         let verified = produced == self.reference_distances();
 
-        Ok(finish_run(self.name(), machine, ops0, lat0, en0, n, verified))
+        Ok(finish_run(
+            self.name(),
+            machine,
+            ops0,
+            lat0,
+            en0,
+            n,
+            verified,
+        ))
     }
 }
 

@@ -7,11 +7,30 @@ pub fn lenet5_model() -> NetworkModel {
     NetworkModel {
         name: "lenet",
         layers: vec![
-            LayerShape::Conv { in_channels: 1, out_channels: 6, kernel: 5, output_hw: 28 },
-            LayerShape::Conv { in_channels: 6, out_channels: 16, kernel: 5, output_hw: 10 },
-            LayerShape::FullyConnected { inputs: 400, outputs: 120 },
-            LayerShape::FullyConnected { inputs: 120, outputs: 84 },
-            LayerShape::FullyConnected { inputs: 84, outputs: 10 },
+            LayerShape::Conv {
+                in_channels: 1,
+                out_channels: 6,
+                kernel: 5,
+                output_hw: 28,
+            },
+            LayerShape::Conv {
+                in_channels: 6,
+                out_channels: 16,
+                kernel: 5,
+                output_hw: 10,
+            },
+            LayerShape::FullyConnected {
+                inputs: 400,
+                outputs: 120,
+            },
+            LayerShape::FullyConnected {
+                inputs: 120,
+                outputs: 84,
+            },
+            LayerShape::FullyConnected {
+                inputs: 84,
+                outputs: 10,
+            },
         ],
     }
 }

@@ -31,5 +31,7 @@ pub mod nn;
 pub mod tpch;
 pub mod vgg;
 
-pub use analysis::{cost_on_platform, kernel_comparison, paper_kernels, speedup, KernelPlatformCost};
+pub use analysis::{
+    cost_on_platform, kernel_comparison, paper_kernels, speedup, KernelPlatformCost,
+};
 pub use kernel::{Kernel, KernelRun, OpCount};

@@ -93,9 +93,21 @@ impl NetworkModel {
     /// accumulate per MAC, plus one 16-bit ReLU per activation.
     pub fn op_mix(&self) -> Vec<OpCount> {
         vec![
-            OpCount { op: Operation::Mul, width: 8, elements: self.total_macs() },
-            OpCount { op: Operation::Add, width: 16, elements: self.total_macs() },
-            OpCount { op: Operation::Relu, width: 16, elements: self.total_activations() },
+            OpCount {
+                op: Operation::Mul,
+                width: 8,
+                elements: self.total_macs(),
+            },
+            OpCount {
+                op: Operation::Add,
+                width: 16,
+                elements: self.total_macs(),
+            },
+            OpCount {
+                op: Operation::Relu,
+                width: 16,
+                elements: self.total_activations(),
+            },
         ]
     }
 }
@@ -242,7 +254,10 @@ mod tests {
         };
         assert_eq!(conv.macs(), 3 * 64 * 9 * 32 * 32);
         assert_eq!(conv.activations(), 64 * 32 * 32);
-        let fc = LayerShape::FullyConnected { inputs: 512, outputs: 10 };
+        let fc = LayerShape::FullyConnected {
+            inputs: 512,
+            outputs: 10,
+        };
         assert_eq!(fc.macs(), 5120);
         assert_eq!(fc.activations(), 10);
     }
@@ -260,8 +275,16 @@ mod tests {
         let model = NetworkModel {
             name: "toy",
             layers: vec![
-                LayerShape::Conv { in_channels: 1, out_channels: 4, kernel: 3, output_hw: 8 },
-                LayerShape::FullyConnected { inputs: 256, outputs: 10 },
+                LayerShape::Conv {
+                    in_channels: 1,
+                    out_channels: 4,
+                    kernel: 3,
+                    output_hw: 8,
+                },
+                LayerShape::FullyConnected {
+                    inputs: 256,
+                    outputs: 10,
+                },
             ],
         };
         let mix = model.op_mix();
@@ -274,7 +297,10 @@ mod tests {
     fn neural_network_kernel_verifies_its_proxy_layer() {
         let model = NetworkModel {
             name: "toy",
-            layers: vec![LayerShape::FullyConnected { inputs: 8, outputs: 16 }],
+            layers: vec![LayerShape::FullyConnected {
+                inputs: 8,
+                outputs: 16,
+            }],
         };
         let kernel = NeuralNetworkKernel::new(model, 8, 16, 5);
         let mut machine = SimdramMachine::new(SimdramConfig::functional_test()).unwrap();

@@ -70,13 +70,41 @@ impl Kernel for TpchQuery6 {
     fn op_mix(&self) -> Vec<OpCount> {
         let n = self.rows() as u64;
         vec![
-            OpCount { op: Operation::Greater, width: 8, elements: n },
-            OpCount { op: Operation::GreaterEqual, width: 8, elements: n },
-            OpCount { op: Operation::GreaterEqual, width: 8, elements: n },
-            OpCount { op: Operation::Min, width: 1, elements: n },
-            OpCount { op: Operation::Min, width: 1, elements: n },
-            OpCount { op: Operation::Mul, width: 16, elements: n },
-            OpCount { op: Operation::IfElse, width: 16, elements: n },
+            OpCount {
+                op: Operation::Greater,
+                width: 8,
+                elements: n,
+            },
+            OpCount {
+                op: Operation::GreaterEqual,
+                width: 8,
+                elements: n,
+            },
+            OpCount {
+                op: Operation::GreaterEqual,
+                width: 8,
+                elements: n,
+            },
+            OpCount {
+                op: Operation::Min,
+                width: 1,
+                elements: n,
+            },
+            OpCount {
+                op: Operation::Min,
+                width: 1,
+                elements: n,
+            },
+            OpCount {
+                op: Operation::Mul,
+                width: 16,
+                elements: n,
+            },
+            OpCount {
+                op: Operation::IfElse,
+                width: 16,
+                elements: n,
+            },
         ]
     }
 
@@ -115,12 +143,20 @@ impl Kernel for TpchQuery6 {
         let verified = per_row == expected_rows && total == expected_total;
 
         for v in [
-            quantity, discount8, discount16, price, qty_limit, disc_low, disc_high, zero16,
-            qty_ok, disc_ge, disc_le, disc_ok, selected, revenue, masked,
+            quantity, discount8, discount16, price, qty_limit, disc_low, disc_high, zero16, qty_ok,
+            disc_ge, disc_le, disc_ok, selected, revenue, masked,
         ] {
             machine.free(v);
         }
-        Ok(finish_run(self.name(), machine, ops0, lat0, en0, n, verified))
+        Ok(finish_run(
+            self.name(),
+            machine,
+            ops0,
+            lat0,
+            en0,
+            n,
+            verified,
+        ))
     }
 }
 
@@ -134,7 +170,10 @@ mod tests {
         let kernel = TpchQuery6::new(300, 11);
         let mut machine = SimdramMachine::new(SimdramConfig::functional_test()).unwrap();
         let run = kernel.run(&mut machine).unwrap();
-        assert!(run.verified, "in-DRAM TPC-H aggregation diverged from reference");
+        assert!(
+            run.verified,
+            "in-DRAM TPC-H aggregation diverged from reference"
+        );
         assert_eq!(run.output_elements, 300);
         assert!(run.bbops >= 7);
     }

@@ -15,9 +15,18 @@ fn vgg_block(in_channels: usize, out_channels: usize, convs: usize, hw: usize) -
 
 fn vgg_classifier() -> Vec<LayerShape> {
     vec![
-        LayerShape::FullyConnected { inputs: 512 * 7 * 7, outputs: 4096 },
-        LayerShape::FullyConnected { inputs: 4096, outputs: 4096 },
-        LayerShape::FullyConnected { inputs: 4096, outputs: 1000 },
+        LayerShape::FullyConnected {
+            inputs: 512 * 7 * 7,
+            outputs: 4096,
+        },
+        LayerShape::FullyConnected {
+            inputs: 4096,
+            outputs: 4096,
+        },
+        LayerShape::FullyConnected {
+            inputs: 4096,
+            outputs: 1000,
+        },
     ]
 }
 
@@ -30,7 +39,10 @@ pub fn vgg13_model() -> NetworkModel {
     layers.extend(vgg_block(256, 512, 2, 28));
     layers.extend(vgg_block(512, 512, 2, 14));
     layers.extend(vgg_classifier());
-    NetworkModel { name: "vgg-13", layers }
+    NetworkModel {
+        name: "vgg-13",
+        layers,
+    }
 }
 
 /// The VGG-16 layer shapes (224×224 ImageNet-class input).
@@ -42,7 +54,10 @@ pub fn vgg16_model() -> NetworkModel {
     layers.extend(vgg_block(256, 512, 3, 28));
     layers.extend(vgg_block(512, 512, 3, 14));
     layers.extend(vgg_classifier());
-    NetworkModel { name: "vgg-16", layers }
+    NetworkModel {
+        name: "vgg-16",
+        layers,
+    }
 }
 
 /// The VGG-13 kernel (functional verification on a 32 × 64 fully-connected slice).

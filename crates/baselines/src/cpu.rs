@@ -126,7 +126,9 @@ mod tests {
                 < cpu.compute_throughput_gops(Operation::Add, 32)
         );
         let perf = cpu.performance(Operation::Add, 32);
-        assert!((perf.throughput_gops - cpu.memory_throughput_gops(Operation::Add, 32)).abs() < 1e-9);
+        assert!(
+            (perf.throughput_gops - cpu.memory_throughput_gops(Operation::Add, 32)).abs() < 1e-9
+        );
     }
 
     #[test]
@@ -148,7 +150,10 @@ mod tests {
     fn energy_includes_package_and_movement() {
         let cpu = CpuModel::default();
         let e = cpu.energy_per_element_nj(Operation::Add, 32);
-        assert!(e > 10.0 && e < 100.0, "unexpected CPU energy {e} nJ/element");
+        assert!(
+            e > 10.0 && e < 100.0,
+            "unexpected CPU energy {e} nJ/element"
+        );
         let perf = cpu.performance(Operation::Add, 32);
         assert!((perf.gops_per_watt - 1.0 / e).abs() < 1e-12);
     }

@@ -112,7 +112,8 @@ mod tests {
         let cpu = CpuModel::default();
         for width in [8, 16, 32, 64] {
             assert!(
-                gpu.throughput_gops(Operation::Add, width) > cpu.throughput_gops(Operation::Add, width)
+                gpu.throughput_gops(Operation::Add, width)
+                    > cpu.throughput_gops(Operation::Add, width)
             );
         }
     }
@@ -131,7 +132,8 @@ mod tests {
         let gpu = GpuModel::default();
         let cpu = CpuModel::default();
         assert!(
-            gpu.energy_per_element_nj(Operation::Add, 32) < cpu.energy_per_element_nj(Operation::Add, 32)
+            gpu.energy_per_element_nj(Operation::Add, 32)
+                < cpu.energy_per_element_nj(Operation::Add, 32)
         );
     }
 }

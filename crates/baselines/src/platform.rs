@@ -119,7 +119,10 @@ mod tests {
         let simdram = platform_performance(Platform::Simdram { banks: 16 }, Operation::Add, 32);
         let ambit = platform_performance(Platform::Ambit, Operation::Add, 32);
         let speedup = simdram.throughput_gops / ambit.throughput_gops;
-        assert!(speedup > 1.5 && speedup < 10.0, "speedup over Ambit was {speedup}");
+        assert!(
+            speedup > 1.5 && speedup < 10.0,
+            "speedup over Ambit was {speedup}"
+        );
     }
 
     #[test]

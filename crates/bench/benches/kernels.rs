@@ -18,7 +18,12 @@ fn bench_kernels(c: &mut Criterion) {
         ("brightness", Box::new(Brightness::new(32, 16, 60, 1))),
         (
             "bitweaving",
-            Box::new(BitWeavingScan::new(512, 12, ScanPredicate::LessThan(2048), 2)),
+            Box::new(BitWeavingScan::new(
+                512,
+                12,
+                ScanPredicate::LessThan(2048),
+                2,
+            )),
         ),
         ("tpch", Box::new(TpchQuery6::new(512, 3))),
         ("knn", Box::new(KnnDistances::new(256, 8, 5, 4))),

@@ -32,11 +32,19 @@ fn bench_primitives(c: &mut Criterion) {
 
     group.bench_function("triple_row_activation_8KiB", |b| {
         let mut subarray = full_size_subarray();
-        subarray.aap(RowAddr::Data(0), RowAddr::BGroup(BGroupRow::T0)).unwrap();
-        subarray.aap(RowAddr::Data(1), RowAddr::BGroup(BGroupRow::T1)).unwrap();
-        subarray.aap(RowAddr::Data(2), RowAddr::BGroup(BGroupRow::T2)).unwrap();
+        subarray
+            .aap(RowAddr::Data(0), RowAddr::BGroup(BGroupRow::T0))
+            .unwrap();
+        subarray
+            .aap(RowAddr::Data(1), RowAddr::BGroup(BGroupRow::T1))
+            .unwrap();
+        subarray
+            .aap(RowAddr::Data(2), RowAddr::BGroup(BGroupRow::T2))
+            .unwrap();
         b.iter(|| {
-            subarray.ap_tra(BGroupRow::T0, BGroupRow::T1, BGroupRow::T2).unwrap();
+            subarray
+                .ap_tra(BGroupRow::T0, BGroupRow::T1, BGroupRow::T2)
+                .unwrap();
         });
     });
 
@@ -57,7 +65,9 @@ fn bench_primitives(c: &mut Criterion) {
     group.bench_function("in_dram_not_of_a_row", |b| {
         let mut subarray = full_size_subarray();
         b.iter(|| {
-            subarray.not_row(RowAddr::Data(3), RowAddr::Data(11)).unwrap();
+            subarray
+                .not_row(RowAddr::Data(3), RowAddr::Data(11))
+                .unwrap();
         });
     });
 

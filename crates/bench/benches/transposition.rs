@@ -17,7 +17,9 @@ fn bench_transpose(c: &mut Criterion) {
     });
 
     let elements = 65_536usize;
-    let values: Vec<u64> = (0..elements as u64).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+    let values: Vec<u64> = (0..elements as u64)
+        .map(|i| i.wrapping_mul(2_654_435_761))
+        .collect();
     group.throughput(Throughput::Elements(elements as u64));
     group.bench_function("object_to_vertical_64k_x_32bit", |b| {
         b.iter(|| horizontal_to_vertical(&values, 32, elements));

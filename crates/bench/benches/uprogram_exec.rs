@@ -14,7 +14,9 @@ fn bench_generation(c: &mut Criterion) {
                 BenchmarkId::new(op.name(), width),
                 &(op, width),
                 |b, &(op, width)| {
-                    b.iter(|| build_program(Target::Simdram, op, width, CodegenOptions::optimized()));
+                    b.iter(|| {
+                        build_program(Target::Simdram, op, width, CodegenOptions::optimized())
+                    });
                 },
             );
         }

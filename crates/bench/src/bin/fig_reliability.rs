@@ -12,7 +12,9 @@ use simdram_bench::reliability_table;
 use simdram_dram::variation::{TechnologyNode, VariationModel};
 
 fn main() {
-    println!("Experiment F4: reliability under process variation (50,000 Monte Carlo trials/point)");
+    println!(
+        "Experiment F4: reliability under process variation (50,000 Monte Carlo trials/point)"
+    );
     println!(
         "{:>12} {:>22} {:>26}",
         "cell sigma", "P(TRA failure)", "P(32-bit add succeeds)"
@@ -27,10 +29,18 @@ fn main() {
     }
 
     println!("\nTechnology-node operating points:");
-    println!("{:>8} {:>12} {:>22}", "node", "cell sigma", "P(TRA failure)");
+    println!(
+        "{:>8} {:>12} {:>22}",
+        "node", "cell sigma", "P(TRA failure)"
+    );
     for node in TechnologyNode::ALL {
         let model = VariationModel::for_node(node);
         let p = model.tra_failure_probability(50_000, 7);
-        println!("{:>8} {:>11.1}% {:>22.6}", node.name(), node.cell_sigma() * 100.0, p);
+        println!(
+            "{:>8} {:>11.1}% {:>22.6}",
+            node.name(),
+            node.cell_sigma() * 100.0,
+            p
+        );
     }
 }

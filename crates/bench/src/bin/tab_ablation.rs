@@ -8,7 +8,9 @@ use simdram_bench::ablation_table;
 
 fn main() {
     let width = 32;
-    println!("Experiment A1: DRAM commands per {width}-bit operation with Step-2 optimizations toggled");
+    println!(
+        "Experiment A1: DRAM commands per {width}-bit operation with Step-2 optimizations toggled"
+    );
     println!(
         "{:<16} {:>8} {:>12} {:>14} {:>11} {:>10}",
         "operation", "naive", "reuse only", "direct-out only", "optimized", "saving"

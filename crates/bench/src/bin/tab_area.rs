@@ -26,6 +26,10 @@ fn main() {
     println!(
         "\nPaper claim: < 1% DRAM chip area overhead. Measured: {:.2}% -> {}",
         model.dram_overhead_percent(),
-        if model.dram_overhead_percent() < 1.0 { "reproduced" } else { "NOT reproduced" }
+        if model.dram_overhead_percent() < 1.0 {
+            "reproduced"
+        } else {
+            "NOT reproduced"
+        }
     );
 }

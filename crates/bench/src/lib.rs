@@ -53,8 +53,13 @@ pub fn command_table(width: usize) -> Vec<CommandRow> {
         .map(|&op| CommandRow {
             op,
             width,
-            simdram_commands: build_program(Target::Simdram, op, width, CodegenOptions::optimized())
-                .command_count(),
+            simdram_commands: build_program(
+                Target::Simdram,
+                op,
+                width,
+                CodegenOptions::optimized(),
+            )
+            .command_count(),
             ambit_commands: build_program(Target::Ambit, op, width, CodegenOptions::optimized())
                 .command_count(),
         })
@@ -130,7 +135,12 @@ pub fn kernel_table() -> Vec<KernelRow> {
 /// Generates the reliability sweep (experiment F4): per-TRA and per-operation failure
 /// behaviour as cell-charge variation grows.
 pub fn reliability_table(trials: usize) -> Vec<ReliabilityPoint> {
-    let add32 = build_program(Target::Simdram, Operation::Add, 32, CodegenOptions::optimized());
+    let add32 = build_program(
+        Target::Simdram,
+        Operation::Add,
+        32,
+        CodegenOptions::optimized(),
+    );
     reliability_sweep(0.4, 16, trials, add32.tra_count(), 2024)
 }
 
@@ -185,7 +195,9 @@ mod tests {
     fn command_table_shows_simdram_advantage() {
         let table = command_table(32);
         assert_eq!(table.len(), 16);
-        assert!(table.iter().all(|row| row.simdram_commands <= row.ambit_commands));
+        assert!(table
+            .iter()
+            .all(|row| row.simdram_commands <= row.ambit_commands));
         assert!(table.iter().any(|row| row.reduction() > 2.0));
     }
 

@@ -74,8 +74,7 @@ mod tests {
     }
 
     #[test]
-    fn cpu_overhead_is_a_tiny_fraction_of_the_die()
-    {
+    fn cpu_overhead_is_a_tiny_fraction_of_the_die() {
         let model = AreaModel::default();
         let overhead = model.cpu_overhead_percent();
         assert!(overhead < 0.5);

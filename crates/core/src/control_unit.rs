@@ -98,7 +98,9 @@ impl ControlUnit {
                 )));
             }
         } else if pred.is_some() {
-            return Err(CoreError::Shape(format!("{op} is not a predicated operation")));
+            return Err(CoreError::Shape(format!(
+                "{op} is not a predicated operation"
+            )));
         }
         if dst.width() != op.output_width(width) {
             return Err(CoreError::Shape(format!(
@@ -151,7 +153,9 @@ mod tests {
         let a = vector(1, 0, 8, 100);
         let b = vector(2, 8, 8, 100);
         let dst = vector(3, 16, 8, 100);
-        let binding = cu.bind(Operation::Add, &dst, &a, Some(&b), None, 96).unwrap();
+        let binding = cu
+            .bind(Operation::Add, &dst, &a, Some(&b), None, 96)
+            .unwrap();
         assert_eq!(binding.a_base, 0);
         assert_eq!(binding.b_base, 8);
         assert_eq!(binding.out_base, 16);
@@ -176,7 +180,9 @@ mod tests {
         let a = vector(1, 0, 8, 10);
         let dst = vector(3, 16, 8, 10);
         assert!(cu.bind(Operation::Add, &dst, &a, None, None, 96).is_err());
-        assert!(cu.bind(Operation::IfElse, &dst, &a, Some(&a), None, 96).is_err());
+        assert!(cu
+            .bind(Operation::IfElse, &dst, &a, Some(&a), None, 96)
+            .is_err());
         let wrong_pred = vector(4, 30, 8, 10);
         assert!(cu
             .bind(Operation::IfElse, &dst, &a, Some(&a), Some(&wrong_pred), 96)
@@ -189,9 +195,13 @@ mod tests {
         let a = vector(1, 0, 8, 10);
         let b = vector(2, 8, 8, 10);
         let wrong_dst = vector(3, 16, 8, 10); // equality produces a 1-bit result
-        assert!(cu.bind(Operation::Equal, &wrong_dst, &a, Some(&b), None, 96).is_err());
+        assert!(cu
+            .bind(Operation::Equal, &wrong_dst, &a, Some(&b), None, 96)
+            .is_err());
         let dst = vector(4, 16, 1, 10);
-        assert!(cu.bind(Operation::Equal, &dst, &a, Some(&b), None, 96).is_ok());
+        assert!(cu
+            .bind(Operation::Equal, &dst, &a, Some(&b), None, 96)
+            .is_ok());
     }
 
     #[test]
@@ -199,7 +209,9 @@ mod tests {
         let cu = ControlUnit::new(Target::Simdram, CodegenOptions::optimized());
         let a = vector(1, 0, 8, 10);
         let dst = vector(3, 16, 8, 10);
-        assert!(cu.bind(Operation::Relu, &dst, &a, Some(&a), None, 96).is_err());
+        assert!(cu
+            .bind(Operation::Relu, &dst, &a, Some(&a), None, 96)
+            .is_err());
         assert!(cu.bind(Operation::Relu, &dst, &a, None, None, 96).is_ok());
     }
 }

@@ -55,7 +55,8 @@ impl SimdramMachine {
         let device = DramDevice::new(config.dram.clone())?;
         let allocator = RowAllocator::new(config.allocatable_rows());
         let control = ControlUnit::new(config.target, config.codegen);
-        let transposer = TranspositionUnit::new(config.dram.timing.clone(), config.dram.energy.clone());
+        let transposer =
+            TranspositionUnit::new(config.dram.timing.clone(), config.dram.energy.clone());
         Ok(SimdramMachine {
             config,
             device,
@@ -277,9 +278,9 @@ impl SimdramMachine {
         src_b: Option<&SimdVector>,
         pred: Option<&SimdVector>,
     ) -> Result<ExecutionReport> {
-        let binding = self
-            .control
-            .bind(op, dst, src_a, src_b, pred, self.config.reserved_base())?;
+        let binding =
+            self.control
+                .bind(op, dst, src_a, src_b, pred, self.config.reserved_base())?;
         let program = self.control.microprogram(op, src_a.width()).clone();
         if program.temp_rows() > self.config.dram.reserved_rows {
             return Err(CoreError::Allocation(format!(
@@ -316,7 +317,11 @@ impl SimdramMachine {
     /// # Errors
     ///
     /// Propagates errors from [`SimdramMachine::alloc`] and [`SimdramMachine::execute`].
-    pub fn unary(&mut self, op: Operation, a: &SimdVector) -> Result<(SimdVector, ExecutionReport)> {
+    pub fn unary(
+        &mut self,
+        op: Operation,
+        a: &SimdVector,
+    ) -> Result<(SimdVector, ExecutionReport)> {
         let dst = self.alloc(op.output_width(a.width()), a.len())?;
         let report = self.execute(op, &dst, a, None, None)?;
         Ok((dst, report))
@@ -463,7 +468,10 @@ mod tests {
         assert_eq!(report.subarrays_used, 2);
         let results = m.read(&sum).unwrap();
         for i in 0..300 {
-            assert_eq!(results[i], Operation::Add.reference(8, a_vals[i], b_vals[i], false));
+            assert_eq!(
+                results[i],
+                Operation::Add.reference(8, a_vals[i], b_vals[i], false)
+            );
         }
     }
 
@@ -517,7 +525,10 @@ mod tests {
     fn oversized_vectors_are_rejected() {
         let mut m = machine();
         let too_many = m.lanes() + 1;
-        assert!(matches!(m.alloc(8, too_many), Err(CoreError::Allocation(_))));
+        assert!(matches!(
+            m.alloc(8, too_many),
+            Err(CoreError::Allocation(_))
+        ));
         assert!(matches!(m.alloc(0, 10), Err(CoreError::Shape(_))));
         assert!(matches!(m.alloc(65, 10), Err(CoreError::Shape(_))));
     }
@@ -609,6 +620,9 @@ mod tests {
             commands.push(report.commands);
         }
         assert_eq!(results[0], results[1]);
-        assert!(commands[0] < commands[1], "SIMDRAM should issue fewer commands than Ambit");
+        assert!(
+            commands[0] < commands[1],
+            "SIMDRAM should issue fewer commands than Ambit"
+        );
     }
 }

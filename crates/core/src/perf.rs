@@ -31,7 +31,12 @@ pub struct PerfPoint {
 
 /// Evaluates the processing-using-DRAM performance of `op` at `width` bits for the given
 /// machine configuration and μProgram target (SIMDRAM or the Ambit baseline).
-pub fn pud_performance(target: Target, op: Operation, width: usize, config: &SimdramConfig) -> PerfPoint {
+pub fn pud_performance(
+    target: Target,
+    op: Operation,
+    width: usize,
+    config: &SimdramConfig,
+) -> PerfPoint {
     let program = build_program(target, op, width, config.codegen);
     let timing = &config.dram.timing;
     let energy = &config.dram.energy;
@@ -87,7 +92,12 @@ mod tests {
     #[test]
     fn simdram_outperforms_ambit_on_arithmetic() {
         let cfg = SimdramConfig::paper_banks(16);
-        for op in [Operation::Add, Operation::Sub, Operation::Mul, Operation::BitCount] {
+        for op in [
+            Operation::Add,
+            Operation::Sub,
+            Operation::Mul,
+            Operation::BitCount,
+        ] {
             let simdram = pud_performance(Target::Simdram, op, 32, &cfg);
             let ambit = pud_performance(Target::Ambit, op, 32, &cfg);
             assert!(

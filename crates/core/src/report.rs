@@ -137,10 +137,26 @@ impl fmt::Display for MachineStats {
         writeln!(f, "  operations executed : {}", self.operations)?;
         writeln!(f, "  elements processed  : {}", self.elements)?;
         writeln!(f, "  DRAM commands       : {}", self.commands)?;
-        writeln!(f, "  compute latency     : {:.1} ns", self.compute_latency_ns)?;
-        writeln!(f, "  compute energy      : {:.1} nJ", self.compute_energy_nj)?;
-        writeln!(f, "  transpose latency   : {:.1} ns", self.transpose_latency_ns)?;
-        write!(f, "  transpose energy    : {:.1} nJ", self.transpose_energy_nj)
+        writeln!(
+            f,
+            "  compute latency     : {:.1} ns",
+            self.compute_latency_ns
+        )?;
+        writeln!(
+            f,
+            "  compute energy      : {:.1} nJ",
+            self.compute_energy_nj
+        )?;
+        writeln!(
+            f,
+            "  transpose latency   : {:.1} ns",
+            self.transpose_latency_ns
+        )?;
+        write!(
+            f,
+            "  transpose energy    : {:.1} nJ",
+            self.transpose_energy_nj
+        )
     }
 }
 

@@ -85,7 +85,9 @@ impl TranspositionUnit {
     pub fn latency_ns(&self, elements: usize, width: usize) -> f64 {
         let bytes = (elements * width).div_ceil(8);
         let tiles = self.tiles(elements, width) as f64;
-        self.timing.row_read_ns(bytes) + self.timing.row_write_ns(bytes) + tiles * self.tile_latency_ns
+        self.timing.row_read_ns(bytes)
+            + self.timing.row_write_ns(bytes)
+            + tiles * self.tile_latency_ns
     }
 
     /// Energy in nanojoules of transposing an object of `elements` × `width` bits.
@@ -159,7 +161,9 @@ mod tests {
 
     #[test]
     fn horizontal_vertical_roundtrip() {
-        let values: Vec<u64> = (0..100u64).map(|i| i.wrapping_mul(2654435761) & 0xFFFF).collect();
+        let values: Vec<u64> = (0..100u64)
+            .map(|i| i.wrapping_mul(2654435761) & 0xFFFF)
+            .collect();
         let slices = horizontal_to_vertical(&values, 16, 128);
         assert_eq!(slices.len(), 16);
         let back = vertical_to_horizontal(&slices, 16, 128);

@@ -3,8 +3,7 @@
 
 use proptest::prelude::*;
 use simdram_core::{
-    horizontal_to_vertical, transpose_64x64, vertical_to_horizontal, SimdramConfig,
-    SimdramMachine,
+    horizontal_to_vertical, transpose_64x64, vertical_to_horizontal, SimdramConfig, SimdramMachine,
 };
 
 proptest! {

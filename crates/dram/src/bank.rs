@@ -36,10 +36,12 @@ impl Bank {
     ///
     /// Returns [`DramError::SubarrayOutOfRange`] if the index is invalid.
     pub fn subarray(&self, index: usize) -> Result<&Subarray> {
-        self.subarrays.get(index).ok_or(DramError::SubarrayOutOfRange {
-            subarray: index,
-            subarrays: self.subarrays.len(),
-        })
+        self.subarrays
+            .get(index)
+            .ok_or(DramError::SubarrayOutOfRange {
+                subarray: index,
+                subarrays: self.subarrays.len(),
+            })
     }
 
     /// Mutable access to a subarray.
@@ -120,7 +122,8 @@ mod tests {
         for idx in 0..bank.subarray_count() {
             bank.subarray_mut(idx).unwrap().write_row(0, &pattern);
         }
-        bank.broadcast_aap(&[0, 1], RowAddr::Data(0), RowAddr::Data(1)).unwrap();
+        bank.broadcast_aap(&[0, 1], RowAddr::Data(0), RowAddr::Data(1))
+            .unwrap();
         for idx in 0..2 {
             assert_eq!(
                 bank.subarray(idx).unwrap().peek(RowAddr::Data(1)).unwrap(),
@@ -133,7 +136,9 @@ mod tests {
     fn reset_traces_clears_all_subarrays() {
         let cfg = DramConfig::tiny();
         let mut bank = Bank::new(&cfg);
-        bank.subarray_mut(0).unwrap().write_row(0, &BitRow::zeros(256));
+        bank.subarray_mut(0)
+            .unwrap()
+            .write_row(0, &BitRow::zeros(256));
         bank.reset_traces();
         assert!(bank.subarray(0).unwrap().trace().is_empty());
     }

@@ -112,7 +112,11 @@ impl BitRow {
     ///
     /// Panics if `index >= len()`. Use [`BitRow::try_get`] for a fallible variant.
     pub fn get(&self, index: usize) -> bool {
-        assert!(index < self.len, "bit index {index} out of range ({})", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range ({})",
+            self.len
+        );
         (self.words[index / 64] >> (index % 64)) & 1 == 1
     }
 
@@ -137,7 +141,11 @@ impl BitRow {
     ///
     /// Panics if `index >= len()`.
     pub fn set(&mut self, index: usize, value: bool) {
-        assert!(index < self.len, "bit index {index} out of range ({})", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range ({})",
+            self.len
+        );
         if value {
             self.words[index / 64] |= 1 << (index % 64);
         } else {
@@ -268,7 +276,10 @@ impl BitRow {
             .zip(&other.words)
             .map(|(&a, &b)| f(a, b))
             .collect();
-        let mut out = BitRow { words, len: self.len };
+        let mut out = BitRow {
+            words,
+            len: self.len,
+        };
         out.mask_tail();
         Ok(out)
     }
@@ -363,7 +374,10 @@ mod tests {
         let row = BitRow::zeros(16);
         assert_eq!(
             row.try_get(16),
-            Err(DramError::ColumnOutOfRange { column: 16, columns: 16 })
+            Err(DramError::ColumnOutOfRange {
+                column: 16,
+                columns: 16
+            })
         );
         assert_eq!(row.try_get(3), Ok(false));
     }
@@ -372,9 +386,18 @@ mod tests {
     fn bitwise_ops_match_u64_semantics() {
         let a = BitRow::splat_word(0xDEAD_BEEF_0123_4567, 256);
         let b = BitRow::splat_word(0x0F0F_F0F0_AAAA_5555, 256);
-        assert_eq!(a.and(&b).unwrap().word(1), 0xDEAD_BEEF_0123_4567 & 0x0F0F_F0F0_AAAA_5555);
-        assert_eq!(a.or(&b).unwrap().word(2), 0xDEAD_BEEF_0123_4567 | 0x0F0F_F0F0_AAAA_5555);
-        assert_eq!(a.xor(&b).unwrap().word(3), 0xDEAD_BEEF_0123_4567 ^ 0x0F0F_F0F0_AAAA_5555);
+        assert_eq!(
+            a.and(&b).unwrap().word(1),
+            0xDEAD_BEEF_0123_4567 & 0x0F0F_F0F0_AAAA_5555
+        );
+        assert_eq!(
+            a.or(&b).unwrap().word(2),
+            0xDEAD_BEEF_0123_4567 | 0x0F0F_F0F0_AAAA_5555
+        );
+        assert_eq!(
+            a.xor(&b).unwrap().word(3),
+            0xDEAD_BEEF_0123_4567 ^ 0x0F0F_F0F0_AAAA_5555
+        );
         assert_eq!(a.not().word(0), !0xDEAD_BEEF_0123_4567u64);
     }
 
@@ -408,7 +431,10 @@ mod tests {
         let b = BitRow::zeros(65);
         assert_eq!(
             a.and(&b),
-            Err(DramError::WidthMismatch { left: 64, right: 65 })
+            Err(DramError::WidthMismatch {
+                left: 64,
+                right: 65
+            })
         );
         assert!(BitRow::majority(&a, &a, &b).is_err());
     }

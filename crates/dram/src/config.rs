@@ -221,7 +221,10 @@ mod tests {
 
     #[test]
     fn builder_rejects_non_byte_row_width() {
-        let err = DramConfig::builder().columns_per_row(100).build().unwrap_err();
+        let err = DramConfig::builder()
+            .columns_per_row(100)
+            .build()
+            .unwrap_err();
         assert!(matches!(err, DramError::InvalidConfig(_)));
     }
 

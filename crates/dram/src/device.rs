@@ -57,10 +57,9 @@ impl DramDevice {
     /// Returns [`DramError::BankOutOfRange`] if the index is invalid.
     pub fn bank_mut(&mut self, index: usize) -> Result<&mut Bank> {
         let banks = self.banks.len();
-        self.banks.get_mut(index).ok_or(DramError::BankOutOfRange {
-            bank: index,
-            banks,
-        })
+        self.banks
+            .get_mut(index)
+            .ok_or(DramError::BankOutOfRange { bank: index, banks })
     }
 
     /// Iterates over the banks.

@@ -59,24 +59,45 @@ impl fmt::Display for DramError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DramError::RowOutOfRange { row, rows } => {
-                write!(f, "row index {row} out of range (subarray has {rows} data rows)")
+                write!(
+                    f,
+                    "row index {row} out of range (subarray has {rows} data rows)"
+                )
             }
             DramError::ColumnOutOfRange { column, columns } => {
-                write!(f, "column index {column} out of range (row has {columns} columns)")
+                write!(
+                    f,
+                    "column index {column} out of range (row has {columns} columns)"
+                )
             }
-            DramError::SubarrayOutOfRange { subarray, subarrays } => {
-                write!(f, "subarray index {subarray} out of range (bank has {subarrays} subarrays)")
+            DramError::SubarrayOutOfRange {
+                subarray,
+                subarrays,
+            } => {
+                write!(
+                    f,
+                    "subarray index {subarray} out of range (bank has {subarrays} subarrays)"
+                )
             }
             DramError::BankOutOfRange { bank, banks } => {
-                write!(f, "bank index {bank} out of range (device has {banks} banks)")
+                write!(
+                    f,
+                    "bank index {bank} out of range (device has {banks} banks)"
+                )
             }
             DramError::WidthMismatch { left, right } => {
                 write!(f, "row width mismatch: {left} bits vs {right} bits")
             }
             DramError::DuplicateTraRow => {
-                write!(f, "triple-row activation requires three distinct B-group rows")
+                write!(
+                    f,
+                    "triple-row activation requires three distinct B-group rows"
+                )
             }
-            DramError::NoOpenRow => write!(f, "command requires an open row but the subarray is precharged"),
+            DramError::NoOpenRow => write!(
+                f,
+                "command requires an open row but the subarray is precharged"
+            ),
             DramError::InvalidConfig(msg) => write!(f, "invalid DRAM configuration: {msg}"),
         }
     }

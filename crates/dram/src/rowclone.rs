@@ -102,7 +102,11 @@ mod tests {
     #[test]
     fn fpm_is_fastest_and_cheapest() {
         let model = InterSubarrayCopy::new(&DramConfig::default());
-        for mech in [CopyMechanism::RowClonePsm, CopyMechanism::Lisa, CopyMechanism::Figaro] {
+        for mech in [
+            CopyMechanism::RowClonePsm,
+            CopyMechanism::Lisa,
+            CopyMechanism::Figaro,
+        ] {
             assert!(model.latency_ns(CopyMechanism::RowCloneFpm) < model.latency_ns(mech));
             assert!(model.energy_nj(CopyMechanism::RowCloneFpm) <= model.energy_nj(mech));
         }
@@ -112,14 +116,21 @@ mod tests {
     fn psm_scales_with_row_size() {
         let big = InterSubarrayCopy::new(&DramConfig::default());
         let small = InterSubarrayCopy::new(&DramConfig::tiny());
-        assert!(big.latency_ns(CopyMechanism::RowClonePsm) > small.latency_ns(CopyMechanism::RowClonePsm));
+        assert!(
+            big.latency_ns(CopyMechanism::RowClonePsm)
+                > small.latency_ns(CopyMechanism::RowClonePsm)
+        );
     }
 
     #[test]
     fn figaro_is_cheaper_than_psm() {
         let model = InterSubarrayCopy::new(&DramConfig::default());
-        assert!(model.latency_ns(CopyMechanism::Figaro) < model.latency_ns(CopyMechanism::RowClonePsm));
-        assert!(model.energy_nj(CopyMechanism::Figaro) < model.energy_nj(CopyMechanism::RowClonePsm));
+        assert!(
+            model.latency_ns(CopyMechanism::Figaro) < model.latency_ns(CopyMechanism::RowClonePsm)
+        );
+        assert!(
+            model.energy_nj(CopyMechanism::Figaro) < model.energy_nj(CopyMechanism::RowClonePsm)
+        );
     }
 
     #[test]

@@ -234,7 +234,7 @@ impl Subarray {
     ///
     /// Returns [`DramError::RowOutOfRange`] if the address is not valid.
     pub fn peek(&self, addr: RowAddr) -> Result<BitRow> {
-        Ok(self.value_of(addr)?)
+        self.value_of(addr)
     }
 
     /// Directly overwrites a row's contents without issuing any DRAM command.
@@ -412,14 +412,10 @@ impl Subarray {
 
     fn value_of(&self, addr: RowAddr) -> Result<BitRow> {
         match addr {
-            RowAddr::Data(r) => self
-                .rows
-                .get(r)
-                .cloned()
-                .ok_or(DramError::RowOutOfRange {
-                    row: r,
-                    rows: self.rows.len(),
-                }),
+            RowAddr::Data(r) => self.rows.get(r).cloned().ok_or(DramError::RowOutOfRange {
+                row: r,
+                rows: self.rows.len(),
+            }),
             RowAddr::BGroup(b) => Ok(self.bgroup_value(b)),
         }
     }
@@ -524,16 +520,29 @@ mod tests {
     #[test]
     fn tra_computes_majority_and_restores_rows() {
         let mut sa = small_subarray();
-        sa.poke(RowAddr::BGroup(BGroupRow::T0), &BitRow::splat_word(0b1111_0000, 256))
+        sa.poke(
+            RowAddr::BGroup(BGroupRow::T0),
+            &BitRow::splat_word(0b1111_0000, 256),
+        )
+        .unwrap();
+        sa.poke(
+            RowAddr::BGroup(BGroupRow::T1),
+            &BitRow::splat_word(0b1100_1100, 256),
+        )
+        .unwrap();
+        sa.poke(
+            RowAddr::BGroup(BGroupRow::T2),
+            &BitRow::splat_word(0b1010_1010, 256),
+        )
+        .unwrap();
+        sa.ap_tra(BGroupRow::T0, BGroupRow::T1, BGroupRow::T2)
             .unwrap();
-        sa.poke(RowAddr::BGroup(BGroupRow::T1), &BitRow::splat_word(0b1100_1100, 256))
-            .unwrap();
-        sa.poke(RowAddr::BGroup(BGroupRow::T2), &BitRow::splat_word(0b1010_1010, 256))
-            .unwrap();
-        sa.ap_tra(BGroupRow::T0, BGroupRow::T1, BGroupRow::T2).unwrap();
         let expected = 0b1110_1000u64;
         for row in [BGroupRow::T0, BGroupRow::T1, BGroupRow::T2] {
-            assert_eq!(sa.peek(RowAddr::BGroup(row)).unwrap().word(0) & 0xFF, expected);
+            assert_eq!(
+                sa.peek(RowAddr::BGroup(row)).unwrap().word(0) & 0xFF,
+                expected
+            );
         }
         assert_eq!(sa.trace().count(CommandKind::TripleRowActivate), 1);
     }
@@ -552,8 +561,10 @@ mod tests {
         let mut sa = small_subarray();
         let pattern = BitRow::from_fn(256, |i| i % 2 == 0);
         sa.write_row(0, &pattern);
-        sa.aap(RowAddr::Data(0), RowAddr::BGroup(BGroupRow::Dcc0)).unwrap();
-        sa.aap(RowAddr::BGroup(BGroupRow::Dcc0N), RowAddr::Data(1)).unwrap();
+        sa.aap(RowAddr::Data(0), RowAddr::BGroup(BGroupRow::Dcc0))
+            .unwrap();
+        sa.aap(RowAddr::BGroup(BGroupRow::Dcc0N), RowAddr::Data(1))
+            .unwrap();
         assert_eq!(sa.peek(RowAddr::Data(1)).unwrap(), pattern.not());
     }
 
@@ -571,8 +582,12 @@ mod tests {
     #[test]
     fn control_rows_cannot_be_written() {
         let mut sa = small_subarray();
-        assert!(sa.aap(RowAddr::Data(0), RowAddr::BGroup(BGroupRow::C0)).is_err());
-        assert!(sa.aap(RowAddr::Data(0), RowAddr::BGroup(BGroupRow::C1)).is_err());
+        assert!(sa
+            .aap(RowAddr::Data(0), RowAddr::BGroup(BGroupRow::C0))
+            .is_err());
+        assert!(sa
+            .aap(RowAddr::Data(0), RowAddr::BGroup(BGroupRow::C1))
+            .is_err());
     }
 
     #[test]
@@ -582,8 +597,10 @@ mod tests {
         let b = BitRow::splat_word(0b1010, 256);
         sa.write_row(0, &a);
         sa.write_row(1, &b);
-        sa.and_rows(RowAddr::Data(0), RowAddr::Data(1), RowAddr::Data(2)).unwrap();
-        sa.or_rows(RowAddr::Data(0), RowAddr::Data(1), RowAddr::Data(3)).unwrap();
+        sa.and_rows(RowAddr::Data(0), RowAddr::Data(1), RowAddr::Data(2))
+            .unwrap();
+        sa.or_rows(RowAddr::Data(0), RowAddr::Data(1), RowAddr::Data(3))
+            .unwrap();
         assert_eq!(sa.peek(RowAddr::Data(2)).unwrap().word(0) & 0xF, 0b1000);
         assert_eq!(sa.peek(RowAddr::Data(3)).unwrap().word(0) & 0xF, 0b1110);
     }
@@ -619,7 +636,9 @@ mod tests {
     #[test]
     fn poke_rejects_control_rows() {
         let mut sa = small_subarray();
-        assert!(sa.poke(RowAddr::BGroup(BGroupRow::C0), &BitRow::zeros(256)).is_err());
+        assert!(sa
+            .poke(RowAddr::BGroup(BGroupRow::C0), &BitRow::zeros(256))
+            .is_err());
     }
 
     #[test]

@@ -242,11 +242,7 @@ mod tests {
         for node in TechnologyNode::ALL {
             let model = VariationModel::for_node(node);
             let p = model.tra_failure_probability(5_000, 42);
-            assert!(
-                p < 1e-3,
-                "{} unexpectedly unreliable: p = {p}",
-                node.name()
-            );
+            assert!(p < 1e-3, "{} unexpectedly unreliable: p = {p}", node.name());
         }
     }
 
@@ -254,7 +250,10 @@ mod tests {
     fn extreme_variation_does_fail() {
         let model = VariationModel::with_cell_sigma(0.5);
         let p = model.tra_failure_probability(5_000, 42);
-        assert!(p > 0.01, "expected visible failures at 50% variation, got {p}");
+        assert!(
+            p > 0.01,
+            "expected visible failures at 50% variation, got {p}"
+        );
     }
 
     #[test]
@@ -285,7 +284,10 @@ mod tests {
     fn operation_success_compounds_per_tra() {
         let p = VariationModel::operation_success_probability(0.01, 100);
         assert!((p - 0.99f64.powi(100)).abs() < 1e-12);
-        assert_eq!(VariationModel::operation_success_probability(0.0, 1_000), 1.0);
+        assert_eq!(
+            VariationModel::operation_success_probability(0.0, 1_000),
+            1.0
+        );
     }
 
     #[test]

@@ -305,7 +305,10 @@ mod tests {
         let out = aig.eval_packed(&[va, vb, vc], &[sum, carry]);
         assert_eq!(out[0] & 0xFF, (va ^ vb ^ vc) & 0xFF);
         assert_eq!(out[1] & 0xFF, ((va & vb) | (vb & vc) | (va & vc)) & 0xFF);
-        assert!(aig.and_count() > 3, "AIG full adder should need more gates than the 3-MAJ MIG version");
+        assert!(
+            aig.and_count() > 3,
+            "AIG full adder should need more gates than the 3-MAJ MIG version"
+        );
     }
 
     #[test]

@@ -125,7 +125,12 @@ pub trait LogicBuilder {
 
     /// Ripple-carry addition of two equally sized words, with an explicit carry-in.
     /// Returns the sum bits (LSB first) and the final carry-out.
-    fn ripple_add(&mut self, a: &[Signal], b: &[Signal], carry_in: Signal) -> (Vec<Signal>, Signal) {
+    fn ripple_add(
+        &mut self,
+        a: &[Signal],
+        b: &[Signal],
+        carry_in: Signal,
+    ) -> (Vec<Signal>, Signal) {
         assert_eq!(a.len(), b.len(), "ripple_add requires equal operand widths");
         let mut carry = carry_in;
         let mut sum = Vec::with_capacity(a.len());

@@ -406,6 +406,9 @@ mod tests {
         let m = mig.mux(sel, t, e);
         // sel=1 lanes take t, sel=0 lanes take e.
         let out = mig.eval_packed(&[0b1100, 0b1010, 0b0110], &[m]);
-        assert_eq!(out[0] & 0xF, (0b1100 & 0b1010) | (!0b1100u64 & 0b0110) & 0xF);
+        assert_eq!(
+            out[0] & 0xF,
+            (0b1100 & 0b1010) | (!0b1100u64 & 0b0110) & 0xF
+        );
     }
 }

@@ -164,7 +164,7 @@ impl Operation {
     ///
     /// Panics if `width` is zero or greater than 64.
     pub fn reference(self, width: usize, a: u64, b: u64, pred: bool) -> u64 {
-        assert!(width >= 1 && width <= 64, "width must be in 1..=64");
+        assert!((1..=64).contains(&width), "width must be in 1..=64");
         let mask = word_mask(width);
         let a = a & mask;
         let b = b & mask;
@@ -180,13 +180,7 @@ impl Operation {
             Operation::Add => a.wrapping_add(b),
             Operation::AndRed => u64::from(a == mask),
             Operation::BitCount => u64::from(a.count_ones()),
-            Operation::Div => {
-                if b == 0 {
-                    mask
-                } else {
-                    a / b
-                }
-            }
+            Operation::Div => a.checked_div(b).unwrap_or(mask),
             Operation::Equal => u64::from(a == b),
             Operation::Greater => u64::from(a > b),
             Operation::GreaterEqual => u64::from(a >= b),

@@ -19,5 +19,7 @@ pub(crate) fn build_if_else<B: LogicBuilder>(
 /// ReLU for two's-complement operands: zero when the sign bit is set, the operand otherwise.
 pub(crate) fn build_relu<B: LogicBuilder>(b: &mut B, x: &[Signal]) -> Vec<Signal> {
     let sign = x[x.len() - 1];
-    x.iter().map(|&bit| b.and2(bit, sign.complement())).collect()
+    x.iter()
+        .map(|&bit| b.and2(bit, sign.complement()))
+        .collect()
 }

@@ -47,7 +47,7 @@ pub struct WordPorts {
 ///
 /// Panics if `width` is zero or greater than 64.
 pub fn build_operation<B: LogicBuilder>(builder: &mut B, op: Operation, width: usize) -> WordPorts {
-    assert!(width >= 1 && width <= 64, "operand width must be in 1..=64");
+    assert!((1..=64).contains(&width), "operand width must be in 1..=64");
     let a: Vec<Signal> = (0..width).map(|_| builder.add_input()).collect();
     let b: Vec<Signal> = if op.uses_second_operand() {
         (0..width).map(|_| builder.add_input()).collect()
@@ -80,5 +80,10 @@ pub fn build_operation<B: LogicBuilder>(builder: &mut B, op: Operation, width: u
     };
     debug_assert_eq!(outputs.len(), op.output_width(width));
 
-    WordPorts { a, b, pred, outputs }
+    WordPorts {
+        a,
+        b,
+        pred,
+        outputs,
+    }
 }

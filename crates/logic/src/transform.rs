@@ -80,7 +80,9 @@ pub fn aig_to_mig(aig: &Aig, outputs: &[Signal]) -> (Mig, Vec<Signal>) {
 /// equivalent to the input cone and never larger.
 pub fn compact_mig(mig: &Mig, outputs: &[Signal]) -> (Mig, Vec<Signal>) {
     let mut compact = Mig::new();
-    let inputs: Vec<Signal> = (0..mig.input_count()).map(|_| compact.add_input()).collect();
+    let inputs: Vec<Signal> = (0..mig.input_count())
+        .map(|_| compact.add_input())
+        .collect();
 
     let mut translated: HashMap<u32, Signal> = HashMap::new();
     let translate = |signal: Signal,
@@ -123,7 +125,9 @@ mod tests {
     /// One pseudo-random 64-lane test word per primary input (deterministic).
     fn test_vectors(n: usize) -> Vec<u64> {
         (0..n as u64)
-            .map(|i| (i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i << 23) ^ 0x5DEE_CE66_D1CE_CAFE)
+            .map(|i| {
+                (i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i << 23) ^ 0x5DEE_CE66_D1CE_CAFE
+            })
             .collect()
     }
 
@@ -143,10 +147,18 @@ mod tests {
 
     #[test]
     fn compacting_a_fresh_circuit_does_not_grow_it() {
-        for op in [Operation::Add, Operation::Mul, Operation::Max, Operation::BitCount] {
+        for op in [
+            Operation::Add,
+            Operation::Mul,
+            Operation::Max,
+            Operation::BitCount,
+        ] {
             let circuit: WordCircuit<Mig> = WordCircuit::synthesize(op, 8);
             let (compacted, outputs) = compact_mig(circuit.graph(), circuit.outputs());
-            assert!(compacted.maj_count_in_cone(&outputs) <= circuit.gate_count(), "{op}");
+            assert!(
+                compacted.maj_count_in_cone(&outputs) <= circuit.gate_count(),
+                "{op}"
+            );
         }
     }
 

@@ -13,7 +13,11 @@ fn check_exhaustive_width(op: Operation, width: usize) {
     let limit = 1u64 << width;
     for a in 0..limit {
         for b in 0..if op.uses_second_operand() { limit } else { 1 } {
-            for pred in if op.uses_predicate() { vec![false, true] } else { vec![false] } {
+            for pred in if op.uses_predicate() {
+                vec![false, true]
+            } else {
+                vec![false]
+            } {
                 let expected = op.reference(width, a, b, pred);
                 assert_eq!(
                     mig.eval_scalar(a, b, pred),

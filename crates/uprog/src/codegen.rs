@@ -128,9 +128,9 @@ pub fn generate(
     let t_rows = [BGroupRow::T0, BGroupRow::T1, BGroupRow::T2];
 
     let consume_read = |gate: usize,
-                            remaining_reads: &mut Vec<usize>,
-                            loc: &Vec<Option<Loc>>,
-                            free_temps: &mut Vec<usize>| {
+                        remaining_reads: &mut Vec<usize>,
+                        loc: &Vec<Option<Loc>>,
+                        free_temps: &mut Vec<usize>| {
         remaining_reads[gate] = remaining_reads[gate].saturating_sub(1);
         if remaining_reads[gate] == 0 {
             if let Some(Loc::Temp(t)) = loc[gate] {
@@ -247,7 +247,10 @@ fn source_row(input: GateInput, loc: &[Option<Loc>]) -> (MicroRow, bool) {
             };
             (row, complemented)
         }
-        GateInput::Gate { index, complemented } => {
+        GateInput::Gate {
+            index,
+            complemented,
+        } => {
             let stored = loc[index].expect("gate value read before it was computed");
             (stored.row(), complemented)
         }
@@ -268,7 +271,12 @@ mod tests {
 
     #[test]
     fn every_gate_becomes_one_tra() {
-        for op in [Operation::Add, Operation::Mul, Operation::Equal, Operation::Relu] {
+        for op in [
+            Operation::Add,
+            Operation::Mul,
+            Operation::Equal,
+            Operation::Relu,
+        ] {
             let circuit: WordCircuit<Mig> = WordCircuit::synthesize(op, 8);
             let network = GateNetwork::from_mig(&circuit);
             let program = generate(&network, op, 8, CodegenOptions::naive());
@@ -278,7 +286,12 @@ mod tests {
 
     #[test]
     fn optimizations_reduce_command_count() {
-        for op in [Operation::Add, Operation::Sub, Operation::Mul, Operation::BitCount] {
+        for op in [
+            Operation::Add,
+            Operation::Sub,
+            Operation::Mul,
+            Operation::BitCount,
+        ] {
             let naive = mig_program(op, 16, CodegenOptions::naive());
             let optimized = mig_program(op, 16, CodegenOptions::optimized());
             assert!(

@@ -30,7 +30,10 @@ impl fmt::Display for UprogError {
             UprogError::WriteToConstantRow => {
                 write!(f, "μOp writes to a hard-wired control row (C0/C1)")
             }
-            UprogError::NotEnoughReservedRows { required, available } => write!(
+            UprogError::NotEnoughReservedRows {
+                required,
+                available,
+            } => write!(
                 f,
                 "μProgram needs {required} reserved rows but only {available} are available"
             ),

@@ -100,8 +100,12 @@ mod tests {
     #[test]
     fn caching_returns_identical_programs() {
         let mut lib = MicroProgramLibrary::new();
-        let first = lib.get_or_build(Target::Simdram, Operation::Add, 8).command_count();
-        let second = lib.get_or_build(Target::Simdram, Operation::Add, 8).command_count();
+        let first = lib
+            .get_or_build(Target::Simdram, Operation::Add, 8)
+            .command_count();
+        let second = lib
+            .get_or_build(Target::Simdram, Operation::Add, 8)
+            .command_count();
         assert_eq!(first, second);
         assert_eq!(lib.len(), 1);
         assert!(!lib.is_empty());

@@ -54,21 +54,20 @@ impl GateNetwork {
         let mut index_of = std::collections::HashMap::with_capacity(topo.len());
         let mut gates = Vec::with_capacity(topo.len());
 
-        let convert = |signal: Signal,
-                       index_of: &std::collections::HashMap<u32, usize>|
-         -> GateInput {
-            match mig.node(signal.node()) {
-                MigNode::Const0 => GateInput::Const(signal.is_complemented()),
-                MigNode::Input(i) => GateInput::Operand {
-                    bit: bindings[i as usize],
-                    complemented: signal.is_complemented(),
-                },
-                MigNode::Maj(_) => GateInput::Gate {
-                    index: index_of[&signal.node()],
-                    complemented: signal.is_complemented(),
-                },
-            }
-        };
+        let convert =
+            |signal: Signal, index_of: &std::collections::HashMap<u32, usize>| -> GateInput {
+                match mig.node(signal.node()) {
+                    MigNode::Const0 => GateInput::Const(signal.is_complemented()),
+                    MigNode::Input(i) => GateInput::Operand {
+                        bit: bindings[i as usize],
+                        complemented: signal.is_complemented(),
+                    },
+                    MigNode::Maj(_) => GateInput::Gate {
+                        index: index_of[&signal.node()],
+                        complemented: signal.is_complemented(),
+                    },
+                }
+            };
 
         for node_id in topo {
             if let MigNode::Maj(children) = mig.node(node_id) {
@@ -99,21 +98,20 @@ impl GateNetwork {
         let mut index_of = std::collections::HashMap::with_capacity(topo.len());
         let mut gates = Vec::with_capacity(topo.len());
 
-        let convert = |signal: Signal,
-                       index_of: &std::collections::HashMap<u32, usize>|
-         -> GateInput {
-            match aig.node(signal.node()) {
-                AigNode::Const0 => GateInput::Const(signal.is_complemented()),
-                AigNode::Input(i) => GateInput::Operand {
-                    bit: bindings[i as usize],
-                    complemented: signal.is_complemented(),
-                },
-                AigNode::And(_) => GateInput::Gate {
-                    index: index_of[&signal.node()],
-                    complemented: signal.is_complemented(),
-                },
-            }
-        };
+        let convert =
+            |signal: Signal, index_of: &std::collections::HashMap<u32, usize>| -> GateInput {
+                match aig.node(signal.node()) {
+                    AigNode::Const0 => GateInput::Const(signal.is_complemented()),
+                    AigNode::Input(i) => GateInput::Operand {
+                        bit: bindings[i as usize],
+                        complemented: signal.is_complemented(),
+                    },
+                    AigNode::And(_) => GateInput::Gate {
+                        index: index_of[&signal.node()],
+                        complemented: signal.is_complemented(),
+                    },
+                }
+            };
 
         for node_id in topo {
             if let AigNode::And(children) = aig.node(node_id) {

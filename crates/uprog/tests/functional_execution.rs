@@ -49,7 +49,14 @@ fn binding_for(program: &MicroProgram) -> RowBinding {
     }
 }
 
-fn run_operation(target: Target, op: Operation, width: usize, a: &[u64], b: &[u64], pred: &[bool]) -> Vec<u64> {
+fn run_operation(
+    target: Target,
+    op: Operation,
+    width: usize,
+    a: &[u64],
+    b: &[u64],
+    pred: &[bool],
+) -> Vec<u64> {
     let program = build_program(target, op, width, CodegenOptions::optimized());
     let config = DramConfig::tiny();
     let mut subarray = Subarray::new(&config);

@@ -30,17 +30,18 @@ fn every_tra_is_preceded_by_stages_into_its_designated_rows() {
         let mut first_tra_seen = false;
         for micro in program.ops() {
             match *micro {
-                MicroOp::Aap { dst: MicroRow::BGroup(b), .. } => written.push(b),
-                MicroOp::AapTra { a, b, c, .. } | MicroOp::ApTra { a, b, c } => {
-                    if !first_tra_seen {
-                        for row in [a, b, c] {
-                            assert!(
-                                written.contains(&row) || row.is_control(),
-                                "{target:?} {op}: first TRA reads un-staged row {row:?}"
-                            );
-                        }
-                        first_tra_seen = true;
+                MicroOp::Aap {
+                    dst: MicroRow::BGroup(b),
+                    ..
+                } => written.push(b),
+                MicroOp::AapTra { a, b, c, .. } | MicroOp::ApTra { a, b, c } if !first_tra_seen => {
+                    for row in [a, b, c] {
+                        assert!(
+                            written.contains(&row) || row.is_control(),
+                            "{target:?} {op}: first TRA reads un-staged row {row:?}"
+                        );
                     }
+                    first_tra_seen = true;
                 }
                 _ => {}
             }
@@ -82,8 +83,14 @@ fn every_output_bit_is_written_exactly_where_expected() {
         let out_width = op.output_width(8);
         let mut written = vec![false; out_width];
         for micro in program.ops() {
-            if let MicroOp::Aap { dst: MicroRow::Output(bit), .. }
-            | MicroOp::AapTra { dst: MicroRow::Output(bit), .. } = *micro
+            if let MicroOp::Aap {
+                dst: MicroRow::Output(bit),
+                ..
+            }
+            | MicroOp::AapTra {
+                dst: MicroRow::Output(bit),
+                ..
+            } = *micro
             {
                 assert!(bit < out_width, "{target:?} {op}: writes output bit {bit}");
                 written[bit] = true;
@@ -112,7 +119,12 @@ fn temporary_row_requirements_fit_the_default_reserved_region() {
 
 #[test]
 fn command_counts_grow_monotonically_with_width_for_arithmetic() {
-    for op in [Operation::Add, Operation::Sub, Operation::Mul, Operation::Div] {
+    for op in [
+        Operation::Add,
+        Operation::Sub,
+        Operation::Mul,
+        Operation::Div,
+    ] {
         let mut previous = 0;
         for width in [4, 8, 16, 32] {
             let program = build_program(Target::Simdram, op, width, CodegenOptions::optimized());

@@ -16,14 +16,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut machine = SimdramMachine::new(SimdramConfig::demo())?;
     let run = kernel.run(&mut machine)?;
 
-    println!(
-        "Brightened a {width}x{height} image by {delta} grey levels entirely inside DRAM:"
-    );
+    println!("Brightened a {width}x{height} image by {delta} grey levels entirely inside DRAM:");
     println!("  pixels processed : {}", run.output_elements);
     println!("  bbop operations  : {}", run.bbops);
     println!("  result verified  : {}", run.verified);
-    println!("  DRAM latency     : {:.1} µs", run.compute_latency_ns / 1_000.0);
-    println!("  DRAM energy      : {:.1} µJ", run.compute_energy_nj / 1_000.0);
+    println!(
+        "  DRAM latency     : {:.1} µs",
+        run.compute_latency_ns / 1_000.0
+    );
+    println!(
+        "  DRAM energy      : {:.1} µJ",
+        run.compute_energy_nj / 1_000.0
+    );
     println!(
         "\nEach pixel is one SIMD lane (one DRAM bitline); a full-size SIMDRAM configuration\n\
          processes {} pixels per bbop instead of the {} used here.",

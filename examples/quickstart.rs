@@ -21,7 +21,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --------------------------------------------------------- Step 2: μProgram generation
-    let program = build_program(Target::Simdram, Operation::Add, 32, CodegenOptions::optimized());
+    let program = build_program(
+        Target::Simdram,
+        Operation::Add,
+        32,
+        CodegenOptions::optimized(),
+    );
     println!(
         "Step 2: μProgram with {} DRAM commands ({} triple-row activations, {} reserved rows)",
         program.command_count(),
@@ -50,7 +55,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Step 3: executed over {} SIMD lanes in {} subarray(s): {}",
         report.elements,
         report.subarrays_used,
-        if all_correct { "all results correct" } else { "MISMATCH" }
+        if all_correct {
+            "all results correct"
+        } else {
+            "MISMATCH"
+        }
     );
     println!(
         "        latency {:.1} ns, energy {:.1} nJ, {:.2} GOPS, {:.1} GOPS/W",

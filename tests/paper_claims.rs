@@ -42,11 +42,19 @@ fn simdram_is_much_faster_and_more_efficient_than_the_cpu() {
         throughput_ratios.push(simdram.throughput_gops / cpu.throughput_gops);
         efficiency_ratios.push(simdram.gops_per_watt / cpu.gops_per_watt);
     }
-    let avg_throughput: f64 = throughput_ratios.iter().sum::<f64>() / throughput_ratios.len() as f64;
-    let avg_efficiency: f64 = efficiency_ratios.iter().sum::<f64>() / efficiency_ratios.len() as f64;
+    let avg_throughput: f64 =
+        throughput_ratios.iter().sum::<f64>() / throughput_ratios.len() as f64;
+    let avg_efficiency: f64 =
+        efficiency_ratios.iter().sum::<f64>() / efficiency_ratios.len() as f64;
     // Paper: 93x throughput and 257x energy efficiency over the CPU (averaged).
-    assert!(avg_throughput > 20.0, "average CPU speedup only {avg_throughput:.1}x");
-    assert!(avg_efficiency > 50.0, "average CPU efficiency gain only {avg_efficiency:.1}x");
+    assert!(
+        avg_throughput > 20.0,
+        "average CPU speedup only {avg_throughput:.1}x"
+    );
+    assert!(
+        avg_efficiency > 50.0,
+        "average CPU efficiency gain only {avg_efficiency:.1}x"
+    );
 }
 
 #[test]
@@ -82,7 +90,12 @@ fn dram_area_overhead_is_below_one_percent() {
 
 #[test]
 fn reliability_holds_at_realistic_technology_nodes() {
-    let add32 = build_program(Target::Simdram, Operation::Add, 32, CodegenOptions::optimized());
+    let add32 = build_program(
+        Target::Simdram,
+        Operation::Add,
+        32,
+        CodegenOptions::optimized(),
+    );
     for node in TechnologyNode::ALL {
         let model = VariationModel::for_node(node);
         let p_tra = model.tra_failure_probability(20_000, 99);
@@ -100,7 +113,12 @@ fn reliability_holds_at_realistic_technology_nodes() {
 
 #[test]
 fn ablation_reuse_optimizations_reduce_commands() {
-    for op in [Operation::Add, Operation::Mul, Operation::BitCount, Operation::Max] {
+    for op in [
+        Operation::Add,
+        Operation::Mul,
+        Operation::BitCount,
+        Operation::Max,
+    ] {
         let naive = build_program(Target::Simdram, op, 32, CodegenOptions::naive());
         let optimized = build_program(Target::Simdram, op, 32, CodegenOptions::optimized());
         assert!(optimized.command_count() < naive.command_count(), "{op}");

@@ -1,0 +1,42 @@
+//! Workspace-level smoke test: one binary operation executed end-to-end **through the
+//! umbrella crate's re-exports only**.
+//!
+//! Every other integration test depends on the member crates directly; this one guards the
+//! public re-export surface of the `simdram` umbrella crate itself, so a future rearrangement
+//! of the workspace (renamed members, dropped re-exports) fails loudly here.
+
+use simdram::simdram_core::{SimdramConfig, SimdramMachine};
+use simdram::simdram_logic::Operation;
+
+#[test]
+fn umbrella_crate_executes_one_binary_op_end_to_end() {
+    let mut machine =
+        SimdramMachine::new(SimdramConfig::functional_test()).expect("functional config is valid");
+    let a = machine
+        .alloc_and_write(16, &[120, 4999, 25, 310])
+        .expect("allocate operand A");
+    let b = machine
+        .alloc_and_write(16, &[200, 200, 200, 200])
+        .expect("allocate operand B");
+    let (result, report) = machine
+        .binary(Operation::Greater, &b, &a)
+        .expect("execute Greater");
+    assert_eq!(
+        machine.read(&result).expect("read result"),
+        vec![1, 0, 1, 0],
+        "200 > a elementwise"
+    );
+    assert!(report.commands > 0, "execution must account DRAM commands");
+}
+
+#[test]
+fn umbrella_crate_reexports_every_member() {
+    // Touch one public item per re-exported member crate so a dropped re-export is a
+    // compile error in this test rather than a silent API break.
+    let _ = simdram::simdram_dram::DramConfig::default();
+    let _ = simdram::simdram_logic::Operation::Add;
+    let _ = simdram::simdram_uprog::CodegenOptions::optimized();
+    let _ = simdram::simdram_core::SimdramConfig::functional_test();
+    let _ = simdram::simdram_baselines::Platform::Simdram { banks: 1 };
+    let _ = simdram::simdram_apps::paper_kernels(0);
+}

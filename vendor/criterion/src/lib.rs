@@ -1,0 +1,258 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this crate vendors the
+//! subset of criterion's API that the workspace's benches use: [`Criterion`],
+//! [`criterion_group!`]/[`criterion_main!`], benchmark groups with
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`] /
+//! [`BenchmarkGroup::throughput`] / [`BenchmarkGroup::sample_size`], [`BenchmarkId`],
+//! [`Throughput`] and [`Bencher::iter`].
+//!
+//! It is a *measuring* stand-in, not a statistics engine: each benchmark is warmed up and
+//! then timed for a fixed budget, and the mean time per iteration is printed in a
+//! `name ... time: x ns/iter` line. There is no outlier analysis, no HTML report and no
+//! saved baseline — swap the path dependency for real criterion once a registry is
+//! reachable if you need those.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// An opaque value barrier; re-export of [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark group (printed alongside timings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier of the form `function_name/parameter`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id combining a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            id: name.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { id: name }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+/// The timing loop handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly for the sampling budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up call so lazy initialization doesn't pollute the measurement.
+        std_black_box(routine());
+        let budget = Duration::from_millis(200);
+        let start = Instant::now();
+        let mut iterations = 0u64;
+        loop {
+            std_black_box(routine());
+            iterations += 1;
+            if start.elapsed() >= budget || iterations >= self.iterations {
+                break;
+            }
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = iterations;
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a per-iteration throughput.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Caps the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) {
+        self.sample_size = n as u64;
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iterations: self.sample_size.max(1),
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        self.criterion
+            .report(&self.name, &id, &bencher, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group. (All reporting already happened eagerly.)
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named [`BenchmarkGroup`].
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 100,
+        }
+    }
+
+    /// Runs one stand-alone benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        self
+    }
+
+    fn report(
+        &mut self,
+        group: &str,
+        id: &BenchmarkId,
+        bencher: &Bencher,
+        throughput: Option<Throughput>,
+    ) {
+        let iters = bencher.iterations.max(1);
+        let ns_per_iter = bencher.elapsed.as_nanos() as f64 / iters as f64;
+        let full_name = if group.is_empty() {
+            id.to_string()
+        } else {
+            format!("{group}/{id}")
+        };
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) if ns_per_iter > 0.0 => {
+                format!("  ({:.3} Melem/s)", n as f64 / ns_per_iter * 1e3)
+            }
+            Some(Throughput::Bytes(n)) if ns_per_iter > 0.0 => {
+                format!("  ({:.3} MiB/s)", n as f64 / ns_per_iter * 1e3 / 1.048_576)
+            }
+            _ => String::new(),
+        };
+        println!("{full_name:<50} time: {ns_per_iter:>12.1} ns/iter  ({iters} iterations){rate}");
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` function, mirroring criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes harness flags such as `--bench`; a measuring stand-in has no
+            // filtering or reporting options, so arguments are deliberately ignored.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(64));
+        let mut runs = 0u64;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        assert!(runs >= 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("add", 32).to_string(), "add/32");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+}

@@ -1,0 +1,351 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this crate vendors the
+//! subset of proptest this workspace actually uses: the [`proptest!`] macro (with
+//! `#![proptest_config]`, `name in strategy` and `name: Type` parameter forms), the
+//! [`Strategy`] trait with [`Strategy::prop_map`], [`any`], integer-range and tuple
+//! strategies, [`collection::vec`], and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, deliberately accepted for a test-only stand-in:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs left to the assert
+//!   message rather than being minimized first.
+//! * **Deterministic seeding.** Case `i` of every test derives its RNG seed from the test
+//!   name and `i`, so failures reproduce exactly in CI and locally with no seed file.
+//! * `prop_assert*` panic immediately (they are `assert*`) instead of returning `Err`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// The `proptest!` macro example necessarily shows `#[test]` functions inside a doctest;
+// the doctest exists to prove the macro expands, not to run the inner test.
+#![allow(clippy::test_attr_in_doctest)]
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+pub mod test_runner;
+
+use test_runner::TestRng;
+
+/// Runtime configuration for a [`proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of random values of an associated type.
+///
+/// This is the stub's whole strategy model: a strategy is just a value generator; there is
+/// no shrinking tree behind it.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Produces one random value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms every generated value with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Types with a canonical "uniform over the whole domain" strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rand::RngExt::random::<u64>(rng) as $ty
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rand::RngExt::random::<bool>(rng)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rand::RngExt::random::<f64>(rng)
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// A strategy producing uniformly arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy that always produces clones of one value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                rand::RngExt::random_range(rng, self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                rand::RngExt::random_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+/// The usual glob import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property test (panics on failure, no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test (panics on failure, no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test (panics on failure, no shrinking).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares a block of property-based tests.
+///
+/// Supported syntax (the subset this workspace uses):
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(a in 0u64..256, b: bool) {
+///         prop_assert!(a < 256 || b);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each test fn.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut runner =
+                $crate::test_runner::TestRunner::new(config, concat!(module_path!(), "::", stringify!($name)));
+            while let Some(mut rng) = runner.next_case() {
+                let rng = &mut rng;
+                $crate::__proptest_bind!(rng $($params)*);
+                $body
+            }
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: binds one parameter per step.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident) => {};
+    ($rng:ident,) => {};
+    ($rng:ident $name:ident in $strategy:expr) => {
+        let $name = $crate::Strategy::generate(&($strategy), $rng);
+    };
+    ($rng:ident $name:ident in $strategy:expr, $($rest:tt)*) => {
+        let $name = $crate::Strategy::generate(&($strategy), $rng);
+        $crate::__proptest_bind!($rng $($rest)*);
+    };
+    ($rng:ident $name:ident: $ty:ty) => {
+        let $name = $crate::Strategy::generate(&$crate::any::<$ty>(), $rng);
+    };
+    ($rng:ident $name:ident: $ty:ty, $($rest:tt)*) => {
+        let $name = $crate::Strategy::generate(&$crate::any::<$ty>(), $rng);
+        $crate::__proptest_bind!($rng $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn doubled(max: u64) -> impl Strategy<Value = u64> {
+        (0u64..max).prop_map(|v| v * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn range_strategies_stay_in_bounds(a in 0u64..256, b in 1usize..=32) {
+            prop_assert!(a < 256);
+            prop_assert!((1..=32).contains(&b));
+        }
+
+        #[test]
+        fn type_ascription_binds_any(x: u32, flag: bool) {
+            let _ = flag;
+            prop_assert!(u64::from(x) <= u64::from(u32::MAX));
+        }
+
+        #[test]
+        fn mapped_and_tuple_and_vec_strategies_compose(
+            pairs in crate::collection::vec((any::<u64>(), any::<bool>()), 1..8),
+            d in doubled(100),
+        ) {
+            prop_assert!(!pairs.is_empty() && pairs.len() < 8);
+            prop_assert_eq!(d % 2, 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_is_used_without_header(x in 0u64..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_test_name() {
+        let mut r1 = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(4), "t");
+        let mut r2 = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(4), "t");
+        while let (Some(mut a), Some(mut b)) = (r1.next_case(), r2.next_case()) {
+            prop_assert_eq!(any::<u64>().generate(&mut a), any::<u64>().generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! The minimal case-running machinery behind the [`proptest!`](crate::proptest) macro.
+
+use crate::ProptestConfig;
+
+/// The RNG handed to strategies. An alias of the vendored [`rand::rngs::StdRng`] so test
+/// helpers can mix strategy-driven and hand-rolled randomness from one generator type.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Runs the configured number of cases for one property test.
+#[derive(Debug)]
+pub struct TestRunner {
+    cases: u32,
+    next: u32,
+    seed_base: u64,
+}
+
+/// FNV-1a, used to derive a stable per-test seed from the test's module path and name.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+impl TestRunner {
+    /// Creates a runner executing `config.cases` cases, seeded deterministically from
+    /// `test_name`.
+    pub fn new(config: ProptestConfig, test_name: &str) -> Self {
+        TestRunner {
+            cases: config.cases,
+            next: 0,
+            seed_base: fnv1a(test_name.as_bytes()),
+        }
+    }
+
+    /// Returns the RNG for the next case, or `None` once all cases have run.
+    pub fn next_case(&mut self) -> Option<TestRng> {
+        if self.next >= self.cases {
+            return None;
+        }
+        let case = u64::from(self.next);
+        self.next += 1;
+        Some(<TestRng as rand::SeedableRng>::seed_from_u64(
+            self.seed_base
+                .wrapping_add(case.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        ))
+    }
+}
