@@ -1,0 +1,87 @@
+//! Criterion benchmark of the broadcast execution engine: functional wall-clock of one
+//! μProgram broadcast vs. lane count, under the sequential and the threaded policy.
+//!
+//! The modelled DRAM latency is identical either way (commands issue in lock-step across
+//! subarrays); what this measures is the *simulator's* wall-clock, which the threaded
+//! [`ExecutionPolicy`] turns from O(lanes) into O(lanes / cores). Two workloads bracket
+//! the behaviour:
+//!
+//! * `add8` — a light μProgram (~100 commands/chunk): per-chunk work is comparable to the
+//!   per-broadcast thread-spawn cost, so threading only breaks even; this is the overhead
+//!   floor.
+//! * `mul32` — a heavy μProgram (~8,000 commands/chunk): spawn cost amortizes away and on
+//!   a host with ≥2 cores the threaded rows beat the sequential rows on every
+//!   multi-subarray point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use simdram_core::{ExecutionPolicy, SimdramConfig, SimdramMachine};
+use simdram_dram::DramConfig;
+use simdram_logic::Operation;
+
+/// A machine with 2 banks × 8 subarrays of 256 columns (4,096 lanes), enough for the
+/// broadcast to fan out over 16 chunks at the largest point.
+fn scaling_config(policy: ExecutionPolicy) -> SimdramConfig {
+    let dram = DramConfig::builder()
+        .banks(2)
+        .subarrays_per_bank(8)
+        .rows_per_subarray(256)
+        .columns_per_row(256)
+        .reserved_rows(96)
+        .build()
+        .expect("scaling geometry is valid");
+    SimdramConfig {
+        dram,
+        compute_banks: 2,
+        compute_subarrays_per_bank: 8,
+        execution: policy,
+        ..SimdramConfig::functional_test()
+    }
+}
+
+fn bench_workload(c: &mut Criterion, group_name: &str, op: Operation, width: usize) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+
+    let policies = [
+        ("sequential", ExecutionPolicy::Sequential),
+        ("threaded", ExecutionPolicy::threaded()),
+    ];
+    // 1, 4 and 16 participating subarrays (256 lanes each).
+    for lanes in [256usize, 1_024, 4_096] {
+        for (name, policy) in policies {
+            group.throughput(Throughput::Elements(lanes as u64));
+            group.bench_with_input(BenchmarkId::new(name, lanes), &lanes, |b, &lanes| {
+                let mut machine =
+                    SimdramMachine::new(scaling_config(policy)).expect("valid config");
+                let mask = if width >= 64 {
+                    u64::MAX
+                } else {
+                    (1 << width) - 1
+                };
+                let values: Vec<u64> = (0..lanes as u64).map(|i| i & mask).collect();
+                let a = machine.alloc_and_write(width, &values).expect("write a");
+                let bv = machine.alloc_and_write(width, &values).expect("write b");
+                let dst = machine
+                    .alloc(op.output_width(width), lanes)
+                    .expect("alloc dst");
+                b.iter(|| {
+                    // Per-subarray traces are append-only; reset them each iteration so
+                    // the measurement loop does not accumulate unbounded command history.
+                    machine.reset_device_stats();
+                    machine
+                        .execute(op, &dst, &a, Some(&bv), None)
+                        .expect("broadcast op")
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    bench_workload(c, "parallel_scaling_add8", Operation::Add, 8);
+    bench_workload(c, "parallel_scaling_mul32", Operation::Mul, 32);
+}
+
+criterion_group!(benches, bench_parallel_scaling);
+criterion_main!(benches);

@@ -4,6 +4,7 @@ use simdram_dram::DramConfig;
 use simdram_uprog::{CodegenOptions, Target};
 
 use crate::error::{CoreError, Result};
+use crate::executor::ExecutionPolicy;
 
 /// Configuration of a [`crate::SimdramMachine`]: the underlying DRAM geometry, how much of
 /// it participates in computation, and which μProgram target/optimizations to use.
@@ -22,6 +23,11 @@ pub struct SimdramConfig {
     pub target: Target,
     /// Code generator options (disable for the ablation study).
     pub codegen: CodegenOptions,
+    /// How the functional simulator drives the participating subarrays: sequentially or
+    /// fanned out over threads ([`ExecutionPolicy::Threaded`]). The two policies are
+    /// bit-identical in results and accounting; threaded only changes simulation
+    /// wall-clock.
+    pub execution: ExecutionPolicy,
 }
 
 impl Default for SimdramConfig {
@@ -32,6 +38,7 @@ impl Default for SimdramConfig {
             compute_subarrays_per_bank: 16,
             target: Target::Simdram,
             codegen: CodegenOptions::optimized(),
+            execution: ExecutionPolicy::default(),
         }
     }
 }
@@ -48,6 +55,10 @@ impl SimdramConfig {
 
     /// A small configuration for fast functional tests: 2 banks × 2 subarrays of 256
     /// columns.
+    ///
+    /// Honors the `SIMDRAM_EXEC` environment override (see
+    /// [`ExecutionPolicy::from_env`]), so CI can force every functional test through the
+    /// threaded broadcast engine without code changes.
     pub fn functional_test() -> Self {
         SimdramConfig {
             dram: DramConfig::tiny(),
@@ -55,6 +66,7 @@ impl SimdramConfig {
             compute_subarrays_per_bank: 2,
             target: Target::Simdram,
             codegen: CodegenOptions::optimized(),
+            execution: ExecutionPolicy::from_env().unwrap_or_default(),
         }
     }
 
@@ -83,6 +95,7 @@ impl SimdramConfig {
             compute_subarrays_per_bank: 4,
             target: Target::Simdram,
             codegen: CodegenOptions::optimized(),
+            execution: ExecutionPolicy::from_env().unwrap_or_default(),
         }
     }
 
@@ -125,6 +138,7 @@ impl SimdramConfig {
                 self.compute_subarrays_per_bank, self.dram.subarrays_per_bank
             )));
         }
+        self.execution.validate()?;
         Ok(())
     }
 }
@@ -158,6 +172,15 @@ mod tests {
         let mut cfg = SimdramConfig::functional_test();
         cfg.compute_subarrays_per_bank = 0;
         assert!(matches!(cfg.validate(), Err(CoreError::Shape(_))));
+    }
+
+    #[test]
+    fn zero_thread_policy_is_rejected() {
+        let mut cfg = SimdramConfig::functional_test();
+        cfg.execution = ExecutionPolicy::Threaded { max_threads: 0 };
+        assert!(matches!(cfg.validate(), Err(CoreError::Shape(_))));
+        cfg.execution = ExecutionPolicy::Threaded { max_threads: 1 };
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

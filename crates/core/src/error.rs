@@ -19,6 +19,17 @@ pub enum CoreError {
     Shape(String),
     /// A vector handle refers to memory that has been freed or belongs to another machine.
     InvalidHandle(String),
+    /// A broadcast spans more compute subarrays than the configuration provides.
+    ///
+    /// Raised when mapping a vector's chunks onto `(bank, subarray)` coordinates would
+    /// walk past `compute_banks × compute_subarrays_per_bank`; the typed fields let
+    /// callers distinguish this capacity limit from generic allocation failures.
+    SubarrayOverflow {
+        /// Number of subarrays the broadcast needs.
+        needed: usize,
+        /// Number of compute subarrays the configuration provides.
+        available: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -29,6 +40,10 @@ impl fmt::Display for CoreError {
             CoreError::Allocation(msg) => write!(f, "allocation failure: {msg}"),
             CoreError::Shape(msg) => write!(f, "operand shape mismatch: {msg}"),
             CoreError::InvalidHandle(msg) => write!(f, "invalid vector handle: {msg}"),
+            CoreError::SubarrayOverflow { needed, available } => write!(
+                f,
+                "broadcast needs {needed} compute subarrays but the configuration provides {available}"
+            ),
         }
     }
 }

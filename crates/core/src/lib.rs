@@ -9,6 +9,9 @@
 //!   baseline when configured with [`simdram_uprog::Target::Ambit`].
 //! * [`ControlUnit`] — the memory-controller logic that expands **bbop** instructions
 //!   ([`BbopInstruction`]) into μPrograms and binds them to physical rows.
+//! * [`BroadcastExecutor`]/[`ExecutionPolicy`] — the broadcast execution engine that fans
+//!   μProgram chunks out over the participating subarrays, either sequentially or on
+//!   threads (bank-level parallelism), with bit-identical results either way.
 //! * [`transpose_64x64`] — horizontal ↔ vertical layout conversion, both functional and as
 //!   a cost model ([`TranspositionUnit`]).
 //! * [`pud_performance`] — the analytic throughput/energy model used to regenerate the
@@ -36,6 +39,7 @@ mod area;
 mod config;
 mod control_unit;
 mod error;
+mod executor;
 mod isa;
 mod layout;
 mod machine;
@@ -48,6 +52,7 @@ pub use area::AreaModel;
 pub use config::SimdramConfig;
 pub use control_unit::ControlUnit;
 pub use error::{CoreError, Result};
+pub use executor::{BroadcastExecutor, ExecutionPolicy};
 pub use isa::{BbopInstruction, TransposeDirection};
 pub use layout::SimdVector;
 pub use machine::SimdramMachine;

@@ -1,12 +1,14 @@
 //! The end-to-end SIMDRAM machine: allocation, layout conversion and bbop execution.
 
-use simdram_dram::{BGroupRow, BitRow, DramDevice, RowAddr};
+use simdram_dram::stats::DeviceStats;
+use simdram_dram::{BGroupRow, BitRow, CommandTrace, DramDevice, RowAddr};
 use simdram_logic::Operation;
 use simdram_uprog::{execute as execute_uprog, MicroProgram, RowBinding};
 
 use crate::config::SimdramConfig;
 use crate::control_unit::ControlUnit;
 use crate::error::{CoreError, Result};
+use crate::executor::{BroadcastExecutor, ExecutionPolicy};
 use crate::isa::BbopInstruction;
 use crate::layout::{RowAllocator, SimdVector};
 use crate::report::{ExecutionReport, MachineStats};
@@ -40,7 +42,9 @@ pub struct SimdramMachine {
     allocator: RowAllocator,
     control: ControlUnit,
     transposer: TranspositionUnit,
+    executor: BroadcastExecutor,
     stats: MachineStats,
+    functional_stats: DeviceStats,
     next_id: u64,
 }
 
@@ -57,13 +61,16 @@ impl SimdramMachine {
         let control = ControlUnit::new(config.target, config.codegen);
         let transposer =
             TranspositionUnit::new(config.dram.timing.clone(), config.dram.energy.clone());
+        let executor = BroadcastExecutor::new(config.execution);
         Ok(SimdramMachine {
             config,
             device,
             allocator,
             control,
             transposer,
+            executor,
             stats: MachineStats::default(),
+            functional_stats: DeviceStats::new(),
             next_id: 0,
         })
     }
@@ -76,6 +83,44 @@ impl SimdramMachine {
     /// Cumulative execution statistics.
     pub fn stats(&self) -> &MachineStats {
         &self.stats
+    }
+
+    /// Cumulative *functional* DRAM command statistics: every command actually issued by
+    /// broadcast execution (μPrograms, constant broadcasts, RowClone copies), merged from
+    /// the per-chunk [`CommandTrace`]s in deterministic chunk order.
+    ///
+    /// Because chunk kernels are pure and the merge order is fixed, this is bit-identical
+    /// between [`ExecutionPolicy::Sequential`] and [`ExecutionPolicy::Threaded`] runs.
+    pub fn device_stats(&self) -> &DeviceStats {
+        &self.functional_stats
+    }
+
+    /// Clears the functional command accounting: the machine-level [`DeviceStats`] and
+    /// every subarray's cumulative command trace.
+    ///
+    /// Long-running drivers (benchmarks, soak tests) call this between measurements —
+    /// per-subarray traces are append-only and would otherwise grow without bound.
+    pub fn reset_device_stats(&mut self) {
+        self.device.reset_stats();
+        self.functional_stats = DeviceStats::new();
+    }
+
+    /// The active broadcast execution policy.
+    pub fn execution_policy(&self) -> ExecutionPolicy {
+        self.executor.policy()
+    }
+
+    /// Switches the broadcast execution policy at runtime (results are unaffected; only
+    /// simulation wall-clock changes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Shape`] for a threaded policy with `max_threads == 0`.
+    pub fn set_execution_policy(&mut self, policy: ExecutionPolicy) -> Result<()> {
+        policy.validate()?;
+        self.config.execution = policy;
+        self.executor = BroadcastExecutor::new(policy);
+        Ok(())
     }
 
     /// Number of SIMD lanes (elements processed per μProgram broadcast).
@@ -147,15 +192,23 @@ impl SimdramMachine {
         }
         let columns = self.lanes_per_subarray();
         let width = vector.width();
-        for (chunk_index, chunk) in values.chunks(columns).enumerate() {
-            let (bank, subarray) = self.subarray_coordinates(chunk_index)?;
-            let slices = horizontal_to_vertical(chunk, width, columns);
-            let sa = self.device.bank_mut(bank)?.subarray_mut(subarray)?;
-            for (bit, slice) in slices.iter().enumerate() {
-                let row = BitRow::from_words(slice, columns);
-                sa.poke(RowAddr::Data(vector.base_row() + bit), &row)?;
-            }
-        }
+        let base_row = vector.base_row();
+        // The layout conversion is per-chunk and pure, so each kernel converts its own
+        // slice of `values` in place: under the threaded policy the dominant
+        // O(lanes × width) transpose cost parallelizes along with the pokes, and no full
+        // converted copy of the data is ever materialized.
+        let coords = self.compute_coords(values.len().div_ceil(columns))?;
+        self.executor
+            .broadcast(&mut self.device, &coords, |chunk, sa| {
+                let start = chunk * columns;
+                let end = (start + columns).min(values.len());
+                let slices = horizontal_to_vertical(&values[start..end], width, columns);
+                for (bit, slice) in slices.iter().enumerate() {
+                    let row = BitRow::from_words(slice, columns);
+                    sa.poke(RowAddr::Data(base_row + bit), &row)?;
+                }
+                Ok(())
+            })?;
         let latency = self.transposer.latency_ns(values.len(), width);
         let energy = self.transposer.energy_nj(values.len(), width);
         self.stats.record_transpose(latency, energy);
@@ -186,24 +239,26 @@ impl SimdramMachine {
     pub fn read(&mut self, vector: &SimdVector) -> Result<Vec<u64>> {
         let columns = self.lanes_per_subarray();
         let width = vector.width();
-        let mut values = Vec::with_capacity(vector.len());
-        let mut remaining = vector.len();
-        let mut chunk_index = 0;
-        while remaining > 0 {
-            let lanes = remaining.min(columns);
-            let (bank, subarray) = self.subarray_coordinates(chunk_index)?;
-            let sa = self.device.bank(bank)?.subarray(subarray)?;
-            let mut slices = Vec::with_capacity(width);
-            for bit in 0..width {
-                let row = sa.peek(RowAddr::Data(vector.base_row() + bit))?;
-                slices.push(row.words().to_vec());
-            }
-            values.extend(vertical_to_horizontal(&slices, width, lanes));
-            remaining -= lanes;
-            chunk_index += 1;
+        let base_row = vector.base_row();
+        let len = vector.len();
+        let coords = self.compute_coords(self.subarrays_for(len))?;
+        let chunk_values = self
+            .executor
+            .broadcast(&mut self.device, &coords, |chunk, sa| {
+                let lanes = columns.min(len - chunk * columns);
+                let mut slices = Vec::with_capacity(width);
+                for bit in 0..width {
+                    let row = sa.peek(RowAddr::Data(base_row + bit))?;
+                    slices.push(row.words().to_vec());
+                }
+                Ok(vertical_to_horizontal(&slices, width, lanes))
+            })?;
+        let mut values = Vec::with_capacity(len);
+        for chunk in chunk_values {
+            values.extend(chunk);
         }
-        let latency = self.transposer.latency_ns(vector.len(), width);
-        let energy = self.transposer.energy_nj(vector.len(), width);
+        let latency = self.transposer.latency_ns(len, width);
+        let energy = self.transposer.energy_nj(len, width);
         self.stats.record_transpose(latency, energy);
         Ok(values)
     }
@@ -245,19 +300,24 @@ impl SimdramMachine {
     ///
     /// Returns an error if the vector's rows lie outside the device.
     pub fn init(&mut self, vector: &SimdVector, value: u64) -> Result<()> {
-        let subarrays = self.subarrays_for(vector.len());
-        for chunk_index in 0..subarrays {
-            let (bank, subarray) = self.subarray_coordinates(chunk_index)?;
-            let sa = self.device.bank_mut(bank)?.subarray_mut(subarray)?;
-            for bit in 0..vector.width() {
-                let src = if (value >> bit) & 1 == 1 {
-                    RowAddr::BGroup(BGroupRow::C1)
-                } else {
-                    RowAddr::BGroup(BGroupRow::C0)
-                };
-                sa.aap(src, RowAddr::Data(vector.base_row() + bit))?;
-            }
-        }
+        let coords = self.compute_coords(self.subarrays_for(vector.len()))?;
+        let width = vector.width();
+        let base_row = vector.base_row();
+        let traces = self
+            .executor
+            .broadcast(&mut self.device, &coords, |_, sa| {
+                let mark = sa.trace_mark();
+                for bit in 0..width {
+                    let src = if (value >> bit) & 1 == 1 {
+                        RowAddr::BGroup(BGroupRow::C1)
+                    } else {
+                        RowAddr::BGroup(BGroupRow::C0)
+                    };
+                    sa.aap(src, RowAddr::Data(base_row + bit))?;
+                }
+                Ok(sa.trace_since(mark))
+            })?;
+        self.absorb_chunk_traces(&traces);
         Ok(())
     }
 
@@ -338,17 +398,20 @@ impl SimdramMachine {
     /// Propagates allocation and substrate errors.
     pub fn copy(&mut self, src: &SimdVector) -> Result<SimdVector> {
         let dst = self.alloc(src.width(), src.len())?;
-        let subarrays = self.subarrays_for(src.len());
-        for chunk_index in 0..subarrays {
-            let (bank, subarray) = self.subarray_coordinates(chunk_index)?;
-            let sa = self.device.bank_mut(bank)?.subarray_mut(subarray)?;
-            for bit in 0..src.width() {
-                sa.aap(
-                    RowAddr::Data(src.base_row() + bit),
-                    RowAddr::Data(dst.base_row() + bit),
-                )?;
-            }
-        }
+        let coords = self.compute_coords(self.subarrays_for(src.len()))?;
+        let width = src.width();
+        let src_base = src.base_row();
+        let dst_base = dst.base_row();
+        let traces = self
+            .executor
+            .broadcast(&mut self.device, &coords, |_, sa| {
+                let mark = sa.trace_mark();
+                for bit in 0..width {
+                    sa.aap(RowAddr::Data(src_base + bit), RowAddr::Data(dst_base + bit))?;
+                }
+                Ok(sa.trace_since(mark))
+            })?;
+        self.absorb_chunk_traces(&traces);
         Ok(dst)
     }
 
@@ -395,6 +458,12 @@ impl SimdramMachine {
         Ok((dst, report))
     }
 
+    /// Broadcasts one μProgram over the participating subarrays through the executor.
+    ///
+    /// Every chunk runs the same pure kernel ([`simdram_uprog::execute`]) against its own
+    /// exclusively borrowed subarray; the returned per-chunk [`CommandTrace`]s are merged
+    /// into the machine's functional [`DeviceStats`] in chunk order, so sequential and
+    /// threaded policies account identically.
     fn run_program(
         &mut self,
         program: &MicroProgram,
@@ -402,11 +471,13 @@ impl SimdramMachine {
         subarrays_used: usize,
         elements: usize,
     ) -> Result<ExecutionReport> {
-        for chunk_index in 0..subarrays_used {
-            let (bank, subarray) = self.subarray_coordinates(chunk_index)?;
-            let sa = self.device.bank_mut(bank)?.subarray_mut(subarray)?;
-            execute_uprog(program, sa, binding)?;
-        }
+        let coords = self.compute_coords(subarrays_used)?;
+        let traces = self
+            .executor
+            .broadcast(&mut self.device, &coords, |_, sa| {
+                execute_uprog(program, sa, binding).map_err(CoreError::from)
+            })?;
+        self.absorb_chunk_traces(&traces);
         let timing = &self.config.dram.timing;
         let energy_model = &self.config.dram.energy;
         Ok(ExecutionReport {
@@ -421,8 +492,36 @@ impl SimdramMachine {
         })
     }
 
+    /// Merges per-chunk traces into the functional device statistics **in chunk order**
+    /// (the executor already returns them ordered), keeping even floating-point sums
+    /// identical between execution policies.
+    fn absorb_chunk_traces(&mut self, traces: &[CommandTrace]) {
+        for trace in traces {
+            self.functional_stats.absorb_trace(trace);
+        }
+    }
+
     fn subarrays_for(&self, elements: usize) -> usize {
         elements.div_ceil(self.lanes_per_subarray()).max(1)
+    }
+
+    /// Maps chunk indices `0..chunks` to `(bank, subarray)` coordinates for a broadcast.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::SubarrayOverflow`] when the broadcast needs more subarrays
+    /// than `compute_banks × compute_subarrays_per_bank` provides.
+    fn compute_coords(&self, chunks: usize) -> Result<Vec<(usize, usize)>> {
+        let available = self.config.compute_banks * self.config.compute_subarrays_per_bank;
+        if chunks > available {
+            // Report the full requirement, not the first failing chunk, so a user can
+            // size the configuration from the message in one step.
+            return Err(CoreError::SubarrayOverflow {
+                needed: chunks,
+                available,
+            });
+        }
+        (0..chunks).map(|i| self.subarray_coordinates(i)).collect()
     }
 
     fn subarray_coordinates(&self, chunk_index: usize) -> Result<(usize, usize)> {
@@ -430,10 +529,10 @@ impl SimdramMachine {
         let bank = chunk_index / per_bank;
         let subarray = chunk_index % per_bank;
         if bank >= self.config.compute_banks {
-            return Err(CoreError::Allocation(format!(
-                "object spans {chunk_index} subarrays, exceeding the configured {} banks × {} subarrays",
-                self.config.compute_banks, per_bank
-            )));
+            return Err(CoreError::SubarrayOverflow {
+                needed: chunk_index + 1,
+                available: self.config.compute_banks * per_bank,
+            });
         }
         Ok((bank, subarray))
     }
@@ -602,6 +701,87 @@ mod tests {
         assert_eq!(stats.elements, 3);
         assert!(stats.compute_latency_ns > 0.0);
         assert!(stats.transpose_latency_ns > 0.0);
+    }
+
+    #[test]
+    fn subarray_coordinates_overflow_is_a_typed_error() {
+        let m = machine();
+        // functional_test: 2 banks × 2 subarrays = 4 compute subarrays; chunk 4 overflows.
+        assert_eq!(m.subarray_coordinates(3).unwrap(), (1, 1));
+        assert_eq!(
+            m.subarray_coordinates(4),
+            Err(CoreError::SubarrayOverflow {
+                needed: 5,
+                available: 4
+            })
+        );
+        // compute_coords reports the full requirement, not the first failing chunk.
+        assert!(matches!(
+            m.compute_coords(6),
+            Err(CoreError::SubarrayOverflow {
+                needed: 6,
+                available: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn threaded_policy_is_bit_identical_to_sequential() {
+        // Pin both policies explicitly: functional_test() honors SIMDRAM_EXEC, and this
+        // test must keep comparing sequential against threaded even in the CI job that
+        // forces the threaded engine globally.
+        let machine_with = |policy: ExecutionPolicy| {
+            let mut config = SimdramConfig::functional_test();
+            config.execution = policy;
+            SimdramMachine::new(config).unwrap()
+        };
+        let mut sequential = machine_with(ExecutionPolicy::Sequential);
+        let mut threaded = machine_with(ExecutionPolicy::Threaded { max_threads: 4 });
+        assert!(threaded.execution_policy().is_threaded());
+        // 700 elements span 3 of the 4 subarrays.
+        let a_vals: Vec<u64> = (0..700u64).map(|i| (i * 37 + 11) & 0xFFFF).collect();
+        let b_vals: Vec<u64> = (0..700u64).map(|i| (i * 91 + 3) & 0xFFFF).collect();
+        let mut results = Vec::new();
+        let mut reports = Vec::new();
+        let mut device_stats = Vec::new();
+        for m in [&mut sequential, &mut threaded] {
+            let a = m.alloc_and_write(16, &a_vals).unwrap();
+            let b = m.alloc_and_write(16, &b_vals).unwrap();
+            let (sum, report) = m.binary(Operation::Add, &a, &b).unwrap();
+            let clone = m.copy(&sum).unwrap();
+            m.init(&a, 0x5A).unwrap();
+            results.push(m.read(&clone).unwrap());
+            reports.push(report);
+            device_stats.push(m.device_stats().clone());
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(reports[0], reports[1]);
+        assert_eq!(device_stats[0], device_stats[1]);
+        assert!(device_stats[0].total_commands() > 0);
+    }
+
+    #[test]
+    fn reset_device_stats_clears_functional_accounting() {
+        let mut m = machine();
+        let a = m.alloc_and_write(8, &[1, 2, 3]).unwrap();
+        m.init(&a, 7).unwrap();
+        assert!(m.device_stats().total_commands() > 0);
+        m.reset_device_stats();
+        assert_eq!(m.device_stats().total_commands(), 0);
+    }
+
+    #[test]
+    fn execution_policy_can_be_switched_at_runtime() {
+        let mut m = machine();
+        let values: Vec<u64> = (0..300u64).map(|i| i & 0xFF).collect();
+        let v = m.alloc_and_write(8, &values).unwrap();
+        m.set_execution_policy(ExecutionPolicy::Threaded { max_threads: 3 })
+            .unwrap();
+        assert_eq!(m.read(&v).unwrap(), values);
+        assert!(matches!(
+            m.set_execution_policy(ExecutionPolicy::Threaded { max_threads: 0 }),
+            Err(CoreError::Shape(_))
+        ));
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //! operation is paid once per bank while the number of SIMD lanes scales with the number of
 //! participating subarrays.
 
+use std::collections::HashMap;
+
 use crate::config::DramConfig;
 use crate::error::{DramError, Result};
 use crate::subarray::{RowAddr, Subarray};
@@ -69,6 +71,68 @@ impl Bank {
         self.subarrays.iter_mut()
     }
 
+    /// The bank's subarrays as a mutable slice, for slice-splitting borrows.
+    pub fn subarrays_mut_slice(&mut self) -> &mut [Subarray] {
+        &mut self.subarrays
+    }
+
+    /// Borrows several subarrays mutably at once, one `&mut` per index in `indices`,
+    /// returned in request order.
+    ///
+    /// This is the bank-local disjoint-borrow primitive behind
+    /// [`crate::DramDevice::subarrays_mut`]: a broadcast executor obtains independent
+    /// mutable access to every participating subarray up front and can then drive them from
+    /// separate threads. Built entirely on safe slice splitting — no aliasing is possible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::SubarrayOutOfRange`] for an invalid index and
+    /// [`DramError::AliasedSubarray`] if the same index appears twice (with `bank: None` —
+    /// a bank does not know its own position in the device).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use simdram_dram::{Bank, BitRow, DramConfig};
+    ///
+    /// let mut bank = Bank::new(&DramConfig::tiny());
+    /// let mut sas = bank.subarrays_mut(&[1, 0])?;
+    /// assert_eq!(sas.len(), 2);
+    /// sas[0].write_row(0, &BitRow::ones(256)); // subarray 1 (request order)
+    /// # Ok::<(), simdram_dram::DramError>(())
+    /// ```
+    pub fn subarrays_mut(&mut self, indices: &[usize]) -> Result<Vec<&mut Subarray>> {
+        let subarrays = self.subarrays.len();
+        // index -> request position; insert detects duplicates, lookup keeps the
+        // collection pass O(subarrays + indices) instead of quadratic.
+        let mut pos_of: HashMap<usize, usize> = HashMap::with_capacity(indices.len());
+        for (pos, &idx) in indices.iter().enumerate() {
+            if idx >= subarrays {
+                return Err(DramError::SubarrayOutOfRange {
+                    subarray: idx,
+                    subarrays,
+                });
+            }
+            if pos_of.insert(idx, pos).is_some() {
+                return Err(DramError::AliasedSubarray {
+                    bank: None,
+                    subarray: idx,
+                });
+            }
+        }
+        let mut slots: Vec<Option<&mut Subarray>> = Vec::with_capacity(indices.len());
+        slots.resize_with(indices.len(), || None);
+        for (idx, sa) in self.subarrays.iter_mut().enumerate() {
+            if let Some(&pos) = pos_of.get(&idx) {
+                slots[pos] = Some(sa);
+            }
+        }
+        Ok(slots
+            .into_iter()
+            .map(|slot| slot.expect("every validated index was visited"))
+            .collect())
+    }
+
     /// Broadcasts an `AAP src, dst` command to every subarray whose index is in
     /// `participants` (lock-step SIMD execution).
     ///
@@ -130,6 +194,44 @@ mod tests {
                 pattern
             );
         }
+    }
+
+    #[test]
+    fn subarrays_mut_returns_disjoint_borrows_in_request_order() {
+        let cfg = DramConfig::tiny();
+        let mut bank = Bank::new(&cfg);
+        let pattern = BitRow::splat_word(0xBEEF, cfg.columns_per_row);
+        {
+            let mut sas = bank.subarrays_mut(&[1, 0]).unwrap();
+            assert_eq!(sas.len(), 2);
+            // Request order: slot 0 is subarray 1.
+            sas[0].write_row(3, &pattern);
+        }
+        assert_eq!(
+            bank.subarray(1).unwrap().peek(RowAddr::Data(3)).unwrap(),
+            pattern
+        );
+        assert_ne!(
+            bank.subarray(0).unwrap().peek(RowAddr::Data(3)).unwrap(),
+            pattern
+        );
+    }
+
+    #[test]
+    fn subarrays_mut_rejects_bad_requests() {
+        let mut bank = Bank::new(&DramConfig::tiny());
+        assert!(matches!(
+            bank.subarrays_mut(&[0, 99]),
+            Err(DramError::SubarrayOutOfRange { .. })
+        ));
+        assert!(matches!(
+            bank.subarrays_mut(&[0, 1, 0]),
+            Err(DramError::AliasedSubarray {
+                bank: None,
+                subarray: 0
+            })
+        ));
+        assert!(bank.subarrays_mut(&[]).unwrap().is_empty());
     }
 
     #[test]

@@ -109,6 +109,21 @@ impl CommandTrace {
         }
     }
 
+    /// Returns a new trace containing only the commands recorded at or after position
+    /// `mark` (a value previously obtained from [`CommandTrace::len`]).
+    ///
+    /// Totals are recomputed from the copied commands, so the returned trace is a
+    /// self-contained accounting of exactly the suffix — this is how per-broadcast
+    /// command/latency/energy deltas are extracted without sharing mutable state
+    /// between execution chunks.
+    pub fn since(&self, mark: usize) -> CommandTrace {
+        let mut suffix = CommandTrace::new();
+        for c in self.commands.iter().skip(mark) {
+            suffix.push(c.clone());
+        }
+        suffix
+    }
+
     /// Clears the trace.
     pub fn clear(&mut self) {
         self.commands.clear();
@@ -154,6 +169,24 @@ mod tests {
         assert_eq!(a.len(), 3);
         assert_eq!(a.count(CommandKind::Write), 1);
         assert!((a.total_latency_ns() - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn since_extracts_a_self_contained_suffix() {
+        let mut trace = CommandTrace::new();
+        trace.push(cmd(CommandKind::Read));
+        let mark = trace.len();
+        trace.push(cmd(CommandKind::ActivateActivatePrecharge));
+        trace.push(cmd(CommandKind::TripleRowActivate));
+        let suffix = trace.since(mark);
+        assert_eq!(suffix.len(), 2);
+        assert_eq!(suffix.count(CommandKind::Read), 0);
+        assert_eq!(suffix.count(CommandKind::ActivateActivatePrecharge), 1);
+        assert!((suffix.total_latency_ns() - 20.0).abs() < 1e-12);
+        assert!((suffix.total_energy_nj() - 4.0).abs() < 1e-12);
+        // A mark past the end yields an empty trace, not a panic.
+        assert!(trace.since(trace.len()).is_empty());
+        assert!(trace.since(trace.len() + 10).is_empty());
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! The top-level DRAM device: a set of banks sharing one channel.
 
+use std::collections::HashMap;
+
 use crate::bank::Bank;
 use crate::config::DramConfig;
 use crate::error::{DramError, Result};
 use crate::stats::DeviceStats;
+use crate::subarray::Subarray;
 
 /// A DRAM device (one rank on one channel) made of [`Bank`]s.
 ///
@@ -62,6 +65,84 @@ impl DramDevice {
             .ok_or(DramError::BankOutOfRange { bank: index, banks })
     }
 
+    /// Borrows several subarrays mutably at once, one `&mut` per `(bank, subarray)`
+    /// coordinate, returned in request order.
+    ///
+    /// This is the disjoint-borrow API that makes broadcast execution parallelizable: a
+    /// μProgram broadcast names the participating subarrays up front, obtains independent
+    /// mutable access to each, and can then execute every chunk on its own thread (the
+    /// borrows are `Send`, and each points at distinct state). The partitioning is built on
+    /// safe slice splitting of the bank/subarray vectors — no `unsafe`, no aliasing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::BankOutOfRange`] / [`DramError::SubarrayOutOfRange`] for an
+    /// invalid coordinate, and [`DramError::AliasedSubarray`] if the same coordinate
+    /// appears twice.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use simdram_dram::{BitRow, DramConfig, DramDevice, RowAddr};
+    ///
+    /// let mut device = DramDevice::new(DramConfig::tiny())?;
+    /// // One exclusive borrow per participating subarray, across banks.
+    /// let mut sas = device.subarrays_mut(&[(0, 0), (0, 1), (1, 0)])?;
+    /// for sa in &mut sas {
+    ///     sa.write_row(0, &BitRow::ones(256));
+    /// }
+    /// assert_eq!(device.bank(1)?.subarray(0)?.peek(RowAddr::Data(0))?, BitRow::ones(256));
+    /// # Ok::<(), simdram_dram::DramError>(())
+    /// ```
+    pub fn subarrays_mut(&mut self, coords: &[(usize, usize)]) -> Result<Vec<&mut Subarray>> {
+        // One validation pass builds both the coordinate -> request-position map (insert
+        // detects duplicates) and the per-bank index groups, so the whole partition is
+        // O(coords + participating subarrays) — this runs on every machine operation.
+        // Validating up front also means the per-bank delegation below cannot fail and
+        // every error carries the real bank index.
+        let banks = self.banks.len();
+        let mut slot_of: HashMap<(usize, usize), usize> = HashMap::with_capacity(coords.len());
+        let mut by_bank: Vec<Vec<usize>> = vec![Vec::new(); banks];
+        for (pos, &(bank, subarray)) in coords.iter().enumerate() {
+            if bank >= banks {
+                return Err(DramError::BankOutOfRange { bank, banks });
+            }
+            let subarrays = self.banks[bank].subarray_count();
+            if subarray >= subarrays {
+                return Err(DramError::SubarrayOutOfRange {
+                    subarray,
+                    subarrays,
+                });
+            }
+            if slot_of.insert((bank, subarray), pos).is_some() {
+                return Err(DramError::AliasedSubarray {
+                    bank: Some(bank),
+                    subarray,
+                });
+            }
+            by_bank[bank].push(subarray);
+        }
+        let mut slots: Vec<Option<&mut Subarray>> = Vec::with_capacity(coords.len());
+        slots.resize_with(coords.len(), || None);
+        for (b, bank) in self.banks.iter_mut().enumerate() {
+            if by_bank[b].is_empty() {
+                continue;
+            }
+            // Bank::subarrays_mut returns the borrows in `by_bank[b]` order.
+            for (sa, &s) in bank
+                .subarrays_mut(&by_bank[b])?
+                .into_iter()
+                .zip(&by_bank[b])
+            {
+                slots[slot_of[&(b, s)]] = Some(sa);
+            }
+        }
+        Ok(slots
+            .into_iter()
+            .map(|slot| slot.expect("every validated coordinate was visited"))
+            .collect())
+    }
+
     /// Iterates over the banks.
     pub fn iter(&self) -> impl Iterator<Item = &Bank> {
         self.banks.iter()
@@ -109,6 +190,51 @@ mod tests {
         let mut cfg = DramConfig::tiny();
         cfg.banks = 0;
         assert!(DramDevice::new(cfg).is_err());
+    }
+
+    #[test]
+    fn subarrays_mut_spans_banks_and_preserves_request_order() {
+        let mut device = DramDevice::new(DramConfig::tiny()).unwrap();
+        let pattern = BitRow::splat_word(0xACE, 256);
+        {
+            let mut sas = device.subarrays_mut(&[(1, 1), (0, 0)]).unwrap();
+            assert_eq!(sas.len(), 2);
+            sas[0].write_row(5, &pattern); // (1, 1) — request order, not device order
+            sas[1].write_row(6, &pattern); // (0, 0)
+        }
+        use crate::subarray::RowAddr;
+        let probe = |d: &DramDevice, b: usize, s: usize, r: usize| {
+            d.bank(b)
+                .unwrap()
+                .subarray(s)
+                .unwrap()
+                .peek(RowAddr::Data(r))
+                .unwrap()
+        };
+        assert_eq!(probe(&device, 1, 1, 5), pattern);
+        assert_eq!(probe(&device, 0, 0, 6), pattern);
+        assert_ne!(probe(&device, 0, 0, 5), pattern);
+    }
+
+    #[test]
+    fn subarrays_mut_rejects_aliased_and_invalid_coordinates() {
+        let mut device = DramDevice::new(DramConfig::tiny()).unwrap();
+        assert!(matches!(
+            device.subarrays_mut(&[(5, 0)]),
+            Err(DramError::BankOutOfRange { bank: 5, .. })
+        ));
+        assert!(matches!(
+            device.subarrays_mut(&[(0, 9)]),
+            Err(DramError::SubarrayOutOfRange { subarray: 9, .. })
+        ));
+        assert!(matches!(
+            device.subarrays_mut(&[(0, 0), (1, 0), (0, 0)]),
+            Err(DramError::AliasedSubarray {
+                bank: Some(0),
+                subarray: 0
+            })
+        ));
+        assert!(device.subarrays_mut(&[]).unwrap().is_empty());
     }
 
     #[test]

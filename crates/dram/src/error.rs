@@ -49,6 +49,19 @@ pub enum DramError {
     },
     /// A triple-row activation named the same B-group row more than once.
     DuplicateTraRow,
+    /// A disjoint-borrow request named the same subarray more than once.
+    ///
+    /// Returned by [`crate::DramDevice::subarrays_mut`] and [`crate::Bank::subarrays_mut`],
+    /// which hand out one `&mut` per requested subarray and therefore require every
+    /// coordinate to be distinct.
+    AliasedSubarray {
+        /// Bank index of the repeated coordinate, when known. Device-level requests carry
+        /// `Some(bank)`; a [`crate::Bank`] does not know its own position in the device,
+        /// so bank-local requests carry `None`.
+        bank: Option<usize>,
+        /// Subarray index of the repeated coordinate.
+        subarray: usize,
+    },
     /// A command that requires an open row was issued while the subarray was precharged.
     NoOpenRow,
     /// A configuration value was invalid (zero-sized geometry, non-power-of-two row size, …).
@@ -87,6 +100,24 @@ impl fmt::Display for DramError {
             }
             DramError::WidthMismatch { left, right } => {
                 write!(f, "row width mismatch: {left} bits vs {right} bits")
+            }
+            DramError::AliasedSubarray {
+                bank: Some(bank),
+                subarray,
+            } => {
+                write!(
+                    f,
+                    "subarray (bank {bank}, subarray {subarray}) requested more than once in a disjoint borrow"
+                )
+            }
+            DramError::AliasedSubarray {
+                bank: None,
+                subarray,
+            } => {
+                write!(
+                    f,
+                    "subarray {subarray} requested more than once in a disjoint borrow"
+                )
             }
             DramError::DuplicateTraRow => {
                 write!(

@@ -162,6 +162,23 @@ impl Subarray {
         self.trace.clear();
     }
 
+    /// A mark into the command trace; pass it to [`Subarray::trace_since`] later to obtain
+    /// the commands issued in between as a self-contained [`CommandTrace`].
+    pub fn trace_mark(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// Returns the commands issued since `mark` (from [`Subarray::trace_mark`]) as a new,
+    /// self-contained trace with its own latency/energy totals.
+    ///
+    /// Execution kernels use this to *return* their accounting instead of accumulating it
+    /// through shared state, which is what makes broadcast execution parallelizable: each
+    /// chunk produces a local trace, and the caller merges them in deterministic chunk
+    /// order.
+    pub fn trace_since(&self, mark: usize) -> CommandTrace {
+        self.trace.since(mark)
+    }
+
     /// Host-side write of a full row (a conventional `WR` burst over the channel).
     ///
     /// Rows shorter or longer than the subarray width are truncated / zero-extended.
@@ -496,6 +513,20 @@ mod tests {
         assert_eq!(sa.read_row(7), pattern);
         assert_eq!(sa.trace().count(CommandKind::Write), 1);
         assert_eq!(sa.trace().count(CommandKind::Read), 1);
+    }
+
+    #[test]
+    fn trace_since_returns_only_new_commands() {
+        let mut sa = small_subarray();
+        sa.write_row(0, &BitRow::ones(256));
+        let mark = sa.trace_mark();
+        sa.aap(RowAddr::Data(0), RowAddr::Data(1)).unwrap();
+        sa.aap(RowAddr::Data(1), RowAddr::Data(2)).unwrap();
+        let local = sa.trace_since(mark);
+        assert_eq!(local.len(), 2);
+        assert_eq!(local.count(CommandKind::Write), 0);
+        // The cumulative trace is untouched.
+        assert_eq!(sa.trace().len(), 3);
     }
 
     #[test]

@@ -5,11 +5,23 @@
 //! μProgram generator can be tested end-to-end against the substrate without the rest of
 //! the framework.
 
-use simdram_dram::Subarray;
+use simdram_dram::{CommandTrace, Subarray};
 
 use crate::error::{Result, UprogError};
 use crate::microop::{MicroOp, MicroRow, RowBinding};
 use crate::program::MicroProgram;
+
+// The execution kernel below is the unit of work a broadcast executor fans out across
+// threads: everything it touches must be safe to move to / share with another thread.
+// Enforce that at compile time so a later field addition cannot silently break it.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_sync<T: Sync>() {}
+    assert_send::<Subarray>();
+    assert_send::<CommandTrace>();
+    assert_sync::<MicroProgram>();
+    assert_sync::<RowBinding>();
+};
 
 /// Checks that `binding` places every row the μProgram touches inside the subarray and that
 /// the operand, destination and temporary regions do not overlap.
@@ -65,21 +77,42 @@ pub fn validate_binding(
     Ok(())
 }
 
-/// Executes every μOp of `program` in `subarray` under the given row binding.
+/// Executes every μOp of `program` in `subarray` under the given row binding, returning
+/// the commands it issued as a self-contained local [`CommandTrace`].
 ///
-/// The subarray's command trace records exactly the AAP/AP sequence of the μProgram, so
-/// callers can cross-check analytic command counts against the functional execution.
+/// This is the single-subarray broadcast kernel: a pure `Send`-safe function of
+/// `(&MicroProgram, &RowBinding, &mut Subarray)` with no access to any other shared
+/// mutable state, so a broadcast executor can run one invocation per subarray on separate
+/// threads and merge the returned traces in deterministic chunk order. The subarray's own
+/// cumulative trace also records the same AAP/AP sequence, so callers can still
+/// cross-check analytic command counts against the functional execution.
 ///
 /// # Errors
 ///
 /// Returns [`UprogError::InvalidBinding`] if the binding does not fit the subarray, or a
 /// wrapped [`simdram_dram::DramError`] if a μOp addresses the substrate illegally.
+///
+/// # Examples
+///
+/// ```
+/// use simdram_dram::{DramConfig, Subarray};
+/// use simdram_logic::Operation;
+/// use simdram_uprog::{build_program, execute, CodegenOptions, RowBinding, Target};
+///
+/// let program = build_program(Target::Simdram, Operation::Add, 8, CodegenOptions::optimized());
+/// let mut subarray = Subarray::new(&DramConfig::tiny());
+/// let binding = RowBinding { a_base: 0, b_base: 8, pred_row: 16, out_base: 17, temp_base: 30 };
+/// let trace = execute(&program, &mut subarray, &binding)?;
+/// assert_eq!(trace.len(), program.command_count());
+/// # Ok::<(), simdram_uprog::UprogError>(())
+/// ```
 pub fn execute(
     program: &MicroProgram,
     subarray: &mut Subarray,
     binding: &RowBinding,
-) -> Result<()> {
+) -> Result<CommandTrace> {
     validate_binding(program, binding, subarray.rows())?;
+    let mark = subarray.trace_mark();
     for micro in program.ops() {
         match *micro {
             MicroOp::Aap { src, dst } => {
@@ -93,7 +126,7 @@ pub fn execute(
             }
         }
     }
-    Ok(())
+    Ok(subarray.trace_since(mark))
 }
 
 /// Returns the symbolic rows a μProgram reads before writing (its live-in set). Useful for
@@ -172,10 +205,22 @@ mod tests {
     fn valid_binding_passes_and_executes() {
         let program = program_for(Operation::Add, 8);
         let mut subarray = Subarray::new(&DramConfig::tiny());
-        execute(&program, &mut subarray, &binding()).unwrap();
+        let local = execute(&program, &mut subarray, &binding()).unwrap();
         // The functional result is checked by the integration tests; here we only confirm
-        // that the trace matches the analytic command count.
+        // that both the returned local trace and the subarray's cumulative trace match the
+        // analytic command count.
+        assert_eq!(local.len(), program.command_count());
         assert_eq!(subarray.trace().len(), program.command_count());
+    }
+
+    #[test]
+    fn repeated_execution_returns_only_the_local_trace() {
+        let program = program_for(Operation::Add, 8);
+        let mut subarray = Subarray::new(&DramConfig::tiny());
+        execute(&program, &mut subarray, &binding()).unwrap();
+        let second = execute(&program, &mut subarray, &binding()).unwrap();
+        assert_eq!(second.len(), program.command_count());
+        assert_eq!(subarray.trace().len(), 2 * program.command_count());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! executed on the simulated DRAM and compared lane-by-lane against reference semantics.
 
 use proptest::prelude::*;
-use simdram_core::{reference_elementwise, SimdramConfig, SimdramMachine};
+use simdram_core::{reference_elementwise, ExecutionPolicy, SimdramConfig, SimdramMachine};
 use simdram_logic::{word_mask, Operation};
 
 fn run_op(
@@ -51,6 +51,52 @@ proptest! {
             let produced = run_op(op, width, &a, &b, &p, false);
             let expected = reference_elementwise(op, width, &a, &b, &p);
             prop_assert_eq!(&produced, &expected, "{} at width {}", op, width);
+        }
+    }
+
+    #[test]
+    fn threaded_and_sequential_policies_are_bit_identical(
+        seed_values in proptest::collection::vec((any::<u64>(), any::<u64>(), any::<bool>()), 260..700),
+        width in 2usize..=10,
+        max_threads in 1usize..=8,
+    ) {
+        // 260..700 elements span 2–3 of the functional-test machine's 4 subarrays (256
+        // columns each), so the broadcast genuinely fans out.
+        let mask = word_mask(width);
+        let a_vals: Vec<u64> = seed_values.iter().map(|v| v.0 & mask).collect();
+        let b_vals: Vec<u64> = seed_values.iter().map(|v| v.1 & mask).collect();
+        let preds: Vec<bool> = seed_values.iter().map(|v| v.2).collect();
+        for op in [Operation::Add, Operation::Sub, Operation::Greater, Operation::Max, Operation::IfElse] {
+            let mut outcomes = Vec::new();
+            for policy in [ExecutionPolicy::Sequential, ExecutionPolicy::Threaded { max_threads }] {
+                let mut config = SimdramConfig::functional_test();
+                config.execution = policy;
+                let mut m = SimdramMachine::new(config).unwrap();
+                let a = m.alloc_and_write(width, &a_vals).unwrap();
+                let b = m.alloc_and_write(width, &b_vals).unwrap();
+                let pred = m.alloc(1, preds.len()).unwrap();
+                m.write_bools(&pred, &preds).unwrap();
+                let dst = m.alloc(op.output_width(width), a_vals.len()).unwrap();
+                let report = m.execute(
+                    op,
+                    &dst,
+                    &a,
+                    op.uses_second_operand().then_some(&b),
+                    op.uses_predicate().then_some(&pred),
+                ).unwrap();
+                let clone = m.copy(&dst).unwrap();
+                m.init(&a, mask & 0xA5).unwrap();
+                let results = m.read(&clone).unwrap();
+                outcomes.push((results, report, m.device_stats().clone()));
+            }
+            let (seq_results, seq_report, seq_stats) = &outcomes[0];
+            let (thr_results, thr_report, thr_stats) = &outcomes[1];
+            // Element results, the analytic ExecutionReport (latency/energy included) and
+            // the functional DeviceStats must all be bit-identical across policies.
+            prop_assert_eq!(seq_results, thr_results, "{} at width {}", op, width);
+            prop_assert_eq!(seq_report, thr_report, "{} at width {}", op, width);
+            prop_assert_eq!(seq_stats, thr_stats, "{} at width {}", op, width);
+            prop_assert!(seq_stats.total_commands() > 0);
         }
     }
 
