@@ -1,0 +1,202 @@
+//! `bench_diff` — the CI perf-regression gate.
+//!
+//! ```text
+//! cargo run --release -p simdram-bench --bin bench_diff -- \
+//!     crates/bench/baseline.json BENCH_3.json [--threshold 0.15]
+//! ```
+//!
+//! Compares a freshly generated `BENCH_*.json` against the committed baseline and exits
+//! non-zero when any shared datapoint regresses by more than the threshold (default
+//! 15%) on a gated metric:
+//!
+//! * lower-is-better: `latency_ns`, `busy_latency_ns`, `energy_pj`, `energy_nj`,
+//!   `time_ms`, `energy_mj` — fail when `fresh > base × (1 + threshold)`;
+//! * higher-is-better: `throughput_gops`, `gops_per_watt`, `speedup_*` — fail when
+//!   `fresh < base × (1 − threshold)`.
+//!
+//! Datapoints present in the baseline but missing from the fresh report — and gated
+//! metrics that disappeared from a shared datapoint — count as coverage regressions and
+//! also fail the gate. New datapoints are allowed (they will be gated once the baseline
+//! is refreshed). See README § "Evaluation pipeline" for the baseline-update (override)
+//! procedure.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use simdram_bench::json::Json;
+
+/// Metrics where a larger fresh value is a regression.
+const LOWER_IS_BETTER: [&str; 6] = [
+    "latency_ns",
+    "busy_latency_ns",
+    "energy_pj",
+    "energy_nj",
+    "time_ms",
+    "energy_mj",
+];
+
+/// Metrics where a smaller fresh value is a regression.
+const HIGHER_IS_BETTER: [&str; 6] = [
+    "throughput_gops",
+    "gops_per_watt",
+    "speedup",
+    "speedup_vs_cpu",
+    "speedup_vs_gpu",
+    "speedup_vs_ambit",
+];
+
+type Metrics = BTreeMap<String, f64>;
+
+fn load(path: &str) -> Result<BTreeMap<String, Metrics>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let version = json
+        .get("schema_version")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{path}: missing schema_version"))?;
+    if version != simdram_bench::report::SCHEMA_VERSION as f64 {
+        return Err(format!(
+            "{path}: schema_version {version} is not the supported {}",
+            simdram_bench::report::SCHEMA_VERSION
+        ));
+    }
+    let datapoints = json
+        .get("datapoints")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: missing datapoints array"))?;
+    let mut index = BTreeMap::new();
+    for dp in datapoints {
+        let suite = dp
+            .get("suite")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: datapoint without suite"))?;
+        let name = dp
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: datapoint without name"))?;
+        let mut metrics = Metrics::new();
+        if let Some(members) = dp.get("metrics").and_then(Json::as_obj) {
+            for (key, value) in members {
+                if let Some(v) = value.as_f64() {
+                    metrics.insert(key.clone(), v);
+                }
+            }
+        }
+        index.insert(format!("{suite}/{name}"), metrics);
+    }
+    Ok(index)
+}
+
+struct Regression {
+    key: String,
+    metric: &'static str,
+    base: f64,
+    fresh: f64,
+}
+
+fn compare(
+    baseline: &BTreeMap<String, Metrics>,
+    fresh: &BTreeMap<String, Metrics>,
+    threshold: f64,
+) -> (Vec<Regression>, Vec<String>) {
+    let mut regressions = Vec::new();
+    let mut missing = Vec::new();
+    for (key, base_metrics) in baseline {
+        let Some(fresh_metrics) = fresh.get(key) else {
+            missing.push(key.clone());
+            continue;
+        };
+        for (metric, lower_is_better) in LOWER_IS_BETTER
+            .iter()
+            .map(|&m| (m, true))
+            .chain(HIGHER_IS_BETTER.iter().map(|&m| (m, false)))
+        {
+            let Some(&base) = base_metrics.get(metric) else {
+                continue;
+            };
+            let Some(&new) = fresh_metrics.get(metric) else {
+                // A gated metric that disappeared is a coverage loss, not a pass.
+                missing.push(format!("{key} [{metric}]"));
+                continue;
+            };
+            let regressed = if lower_is_better {
+                base > 0.0 && new > base * (1.0 + threshold)
+            } else {
+                base > 0.0 && new < base * (1.0 - threshold)
+            };
+            if regressed {
+                regressions.push(Regression {
+                    key: key.clone(),
+                    metric,
+                    base,
+                    fresh: new,
+                });
+            }
+        }
+    }
+    (regressions, missing)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold = 0.15;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--threshold" => {
+                i += 1;
+                threshold = match argv.get(i).map(|s| s.parse::<f64>()) {
+                    Some(Ok(t)) if t > 0.0 => t,
+                    _ => {
+                        eprintln!("--threshold requires a positive number");
+                        return ExitCode::from(64);
+                    }
+                };
+            }
+            other => paths.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if paths.len() != 2 {
+        eprintln!("usage: bench_diff BASELINE.json FRESH.json [--threshold 0.15]");
+        return ExitCode::from(64);
+    }
+
+    let (baseline, fresh) = match (load(&paths[0]), load(&paths[1])) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (regressions, missing) = compare(&baseline, &fresh, threshold);
+    for key in &missing {
+        println!("MISSING {key}: present in baseline, absent from fresh report");
+    }
+    for r in &regressions {
+        let delta = (r.fresh / r.base - 1.0) * 100.0;
+        println!(
+            "REGRESSION {} [{}]: {} -> {} ({:+.1}%)",
+            r.key, r.metric, r.base, r.fresh, delta
+        );
+    }
+    if regressions.is_empty() && missing.is_empty() {
+        println!(
+            "perf gate: {} baseline datapoints compared, none regressed beyond {:.0}%",
+            baseline.len(),
+            threshold * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "perf gate: {} regression(s), {} missing datapoint(s) (threshold {:.0}%); \
+             see README \"Evaluation pipeline\" for the baseline override procedure",
+            regressions.len(),
+            missing.len(),
+            threshold * 100.0
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,161 @@
+//! `simdram-bench` — the unified evaluation CLI.
+//!
+//! ```text
+//! cargo run --release -p simdram-bench -- --suite all --out BENCH_3.json
+//! cargo run --release -p simdram-bench -- --suite throughput,energy
+//! cargo run --release -p simdram-bench -- --list
+//! ```
+//!
+//! Runs the selected suites, prints a human summary, optionally writes the versioned
+//! JSON report to `--out`, and exits with status 2 when any datapoint's verdict falls
+//! outside its paper-expected range (the JSON is still written first, so CI can upload
+//! the failing report as an artifact).
+
+use std::process::ExitCode;
+
+use simdram_bench::report::Verdict;
+use simdram_bench::suites::{run_suites, Suite};
+
+struct Args {
+    suites: Vec<Suite>,
+    out: Option<String>,
+    list: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simdram-bench [--suite NAME[,NAME...]] [--out FILE] [--list]\n\
+         suites: {} | all (default)",
+        Suite::ALL
+            .iter()
+            .map(|s| s.name())
+            .collect::<Vec<_>>()
+            .join(" | ")
+    );
+    std::process::exit(64);
+}
+
+fn parse_args() -> Args {
+    let mut suites = Vec::new();
+    let mut out = None;
+    let mut list = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--suite" => {
+                let Some(value) = argv.next() else { usage() };
+                for name in value.split(',') {
+                    if name == "all" {
+                        suites.extend(Suite::ALL);
+                    } else {
+                        match Suite::from_name(name) {
+                            Some(suite) => suites.push(suite),
+                            None => {
+                                eprintln!("unknown suite '{name}'");
+                                usage();
+                            }
+                        }
+                    }
+                }
+            }
+            "--out" => {
+                let Some(value) = argv.next() else { usage() };
+                out = Some(value);
+            }
+            "--list" => list = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                usage();
+            }
+        }
+    }
+    if suites.is_empty() {
+        suites.extend(Suite::ALL);
+    }
+    // First occurrence wins, including non-adjacent repeats (`--suite all,throughput`
+    // must not run — or report — the throughput suite twice).
+    let mut seen = Vec::new();
+    suites.retain(|s| {
+        if seen.contains(s) {
+            false
+        } else {
+            seen.push(*s);
+            true
+        }
+    });
+    Args { suites, out, list }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    if args.list {
+        println!("available suites:");
+        for suite in Suite::ALL {
+            println!("  {}", suite.name());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let report = run_suites(&args.suites);
+
+    println!(
+        "simdram-bench: {} suites, {} datapoints",
+        report.suites.len(),
+        report.datapoints.len()
+    );
+    for &suite in &report.suites {
+        let of_suite: Vec<_> = report
+            .datapoints
+            .iter()
+            .filter(|d| d.suite == suite)
+            .collect();
+        let pass = of_suite
+            .iter()
+            .filter(|d| d.verdict == Verdict::Pass)
+            .count();
+        let fail = of_suite
+            .iter()
+            .filter(|d| d.verdict == Verdict::Fail)
+            .count();
+        let info = of_suite
+            .iter()
+            .filter(|d| d.verdict == Verdict::Info)
+            .count();
+        println!("  {suite:<12} {pass:>3} pass  {fail:>3} fail  {info:>3} info");
+    }
+
+    let failures = report.failures();
+    for dp in &failures {
+        let expected = dp.expected.as_ref().expect("failed datapoints are checked");
+        println!(
+            "FAIL {}/{}: {} = {:?} outside paper-expected [{}, {}]",
+            dp.suite,
+            dp.name,
+            expected.metric,
+            dp.metric(expected.metric),
+            expected.min,
+            expected.max
+        );
+    }
+
+    if let Some(path) = &args.out {
+        let text = report.to_json().to_pretty_string();
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+
+    if failures.is_empty() {
+        println!("all checked datapoints within paper-expected ranges");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "{} datapoint(s) outside their paper-expected range",
+            failures.len()
+        );
+        ExitCode::from(2)
+    }
+}

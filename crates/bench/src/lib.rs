@@ -1,21 +1,27 @@
-//! # simdram-bench — experiment harness
+//! # simdram-bench — the unified evaluation pipeline
 //!
-//! This crate regenerates every table and figure of the SIMDRAM evaluation (see
-//! `DESIGN.md`'s experiment index and `EXPERIMENTS.md` for paper-vs-measured numbers).
-//! Each experiment is a binary under `src/bin/`:
+//! One CLI regenerates the whole SIMDRAM evaluation and serializes it to a versioned,
+//! machine-readable JSON report with paper-expected ranges and per-datapoint verdicts:
 //!
-//! | Experiment | Binary |
-//! |---|---|
-//! | T1 — DRAM command counts per operation (SIMDRAM vs Ambit) | `tab_commands` |
-//! | F1 — throughput of the 16 operations across platforms | `fig_throughput` |
-//! | F2 — energy efficiency of the 16 operations across platforms | `fig_energy` |
-//! | F3 — real-world kernel speedups | `fig_kernels` |
-//! | F4 — reliability under process variation | `fig_reliability` |
-//! | T2 — area overhead | `tab_area` |
-//! | A1 — μProgram optimization ablation | `tab_ablation` |
+//! ```sh
+//! cargo run --release -p simdram-bench -- --suite all --out BENCH_3.json
+//! ```
 //!
-//! The library part of the crate holds the data-generation routines shared by the binaries
-//! and the Criterion micro-benchmarks, so they can also be unit-tested.
+//! The former one-off `fig_*`/`tab_*` binaries are now [`suites`] (see the table there
+//! for the suite ↔ paper-figure mapping). The `bench_diff` companion binary compares two
+//! reports and fails on latency/energy regressions — the CI perf gate.
+//!
+//! The crate is structured as:
+//!
+//! * [`json`] — a hand-rolled JSON value/writer/parser (no external dependencies);
+//! * [`report`] — the `BENCH_*.json` schema: datapoints, expected ranges, verdicts;
+//! * [`suites`] — the eight evaluation suites behind `--suite`;
+//! * the table-generation functions below, shared by the suites and the Criterion
+//!   micro-benchmarks so they stay unit-testable.
+
+pub mod json;
+pub mod report;
+pub mod suites;
 
 use simdram_apps::{kernel_comparison, paper_kernels, speedup, KernelPlatformCost};
 use simdram_baselines::{platform_performance, Platform};

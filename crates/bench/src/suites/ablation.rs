@@ -1,0 +1,50 @@
+//! Ablation suite (formerly `tab_ablation`): μProgram command counts with the
+//! code-generator optimizations individually disabled.
+
+use crate::ablation_table;
+use crate::report::{Datapoint, Expected};
+
+const SUITE: &str = "ablation";
+
+/// Operand width of the ablation table.
+pub const WIDTH: usize = 16;
+
+pub fn run() -> Vec<Datapoint> {
+    ablation_table(WIDTH)
+        .into_iter()
+        .map(|row| {
+            Datapoint::checked(
+                SUITE,
+                format!("{}/{WIDTH}b", row.op.name()),
+                vec![
+                    ("naive", row.naive as f64),
+                    ("reuse_only", row.reuse_only as f64),
+                    ("direct_out_only", row.direct_out_only as f64),
+                    ("optimized", row.optimized as f64),
+                    ("optimized_ratio", row.optimized as f64 / row.naive as f64),
+                ],
+                // Optimizations must never add commands.
+                Expected {
+                    metric: "optimized_ratio",
+                    min: 0.0,
+                    max: 1.0,
+                },
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Verdict;
+
+    #[test]
+    fn sixteen_rows_all_passing() {
+        let datapoints = run();
+        assert_eq!(datapoints.len(), 16);
+        for dp in &datapoints {
+            assert_eq!(dp.verdict, Verdict::Pass, "{}", dp.name);
+        }
+    }
+}

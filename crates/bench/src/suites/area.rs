@@ -1,0 +1,43 @@
+//! Area suite (paper Table 2, formerly `tab_area`): DRAM-chip and CPU-die overhead of
+//! the SIMDRAM hardware additions.
+
+use simdram_core::AreaModel;
+
+use crate::report::{Datapoint, Expected};
+
+const SUITE: &str = "area";
+
+pub fn run() -> Vec<Datapoint> {
+    let model = AreaModel::new();
+    vec![
+        // The paper's headline claim: < 1% DRAM chip area.
+        Datapoint::checked(
+            SUITE,
+            "dram_chip_overhead".to_string(),
+            vec![("overhead_percent", model.dram_overhead_percent())],
+            Expected {
+                metric: "overhead_percent",
+                min: 0.0,
+                max: 1.0,
+            },
+        ),
+        Datapoint::info(
+            SUITE,
+            "cpu_die_overhead".to_string(),
+            vec![("overhead_percent", model.cpu_overhead_percent())],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Verdict;
+
+    #[test]
+    fn dram_overhead_stays_below_one_percent() {
+        let datapoints = run();
+        assert_eq!(datapoints.len(), 2);
+        assert_eq!(datapoints[0].verdict, Verdict::Pass);
+    }
+}

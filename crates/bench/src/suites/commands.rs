@@ -1,0 +1,50 @@
+//! Commands suite (paper Table 1, formerly `tab_commands`): DRAM command counts of the
+//! SIMDRAM (MAJ/NOT) μPrograms vs the Ambit-style (AND/OR/NOT) baseline.
+
+use crate::command_table;
+use crate::report::{Datapoint, Expected};
+
+const SUITE: &str = "commands";
+
+/// Operand width of the command-count table.
+pub const WIDTH: usize = 32;
+
+pub fn run() -> Vec<Datapoint> {
+    command_table(WIDTH)
+        .into_iter()
+        .map(|row| {
+            Datapoint::checked(
+                SUITE,
+                format!("{}/{WIDTH}b", row.op.name()),
+                vec![
+                    ("simdram_commands", row.simdram_commands as f64),
+                    ("ambit_commands", row.ambit_commands as f64),
+                    ("reduction", row.reduction()),
+                ],
+                // SIMDRAM must never need more commands than Ambit (the whole point of
+                // the MAJ/NOT synthesis), and the reduction stays a small factor.
+                Expected {
+                    metric: "reduction",
+                    min: 1.0,
+                    max: 100.0,
+                },
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Verdict;
+
+    #[test]
+    fn sixteen_rows_all_passing() {
+        let datapoints = run();
+        assert_eq!(datapoints.len(), 16);
+        for dp in &datapoints {
+            assert_eq!(dp.verdict, Verdict::Pass, "{}", dp.name);
+            assert!(dp.metric("simdram_commands").unwrap() >= 1.0);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Energy suite (paper Fig. 10, formerly `fig_energy`): per-bbop energy per element in
+//! picojoules and energy efficiency, SIMDRAM:16 vs the CPU/GPU baselines.
+
+use simdram_baselines::{platform_performance, Platform};
+use simdram_logic::Operation;
+
+use crate::report::{Datapoint, Expected};
+
+const SUITE: &str = "energy";
+
+/// Operand width of the energy figure.
+pub const WIDTH: usize = 32;
+
+/// Paper-expected DRAM energy per element (pJ) at 32 bits: the shape of Fig. 10 with a
+/// generous ±2× margin around the reproduced values. Energy per element is independent
+/// of the bank count (every active subarray does the same work).
+fn expected_pj(op: Operation) -> (f64, f64) {
+    match op {
+        Operation::Abs => (25.0, 120.0),
+        Operation::Add => (12.0, 60.0),
+        Operation::AndRed => (3.0, 15.0),
+        Operation::BitCount => (80.0, 400.0),
+        Operation::Div => (700.0, 3_200.0),
+        Operation::Equal => (15.0, 70.0),
+        Operation::Greater => (4.0, 18.0),
+        Operation::GreaterEqual => (4.0, 18.0),
+        Operation::IfElse => (11.0, 55.0),
+        Operation::Max => (15.0, 70.0),
+        Operation::Min => (15.0, 70.0),
+        Operation::Mul => (230.0, 1_100.0),
+        Operation::OrRed => (3.0, 15.0),
+        Operation::Relu => (4.5, 22.0),
+        Operation::Sub => (13.0, 62.0),
+        Operation::XorRed => (11.0, 52.0),
+    }
+}
+
+pub fn run() -> Vec<Datapoint> {
+    let mut datapoints = Vec::new();
+    let simdram16 = Platform::Simdram { banks: 16 };
+
+    for op in Operation::ALL {
+        let perf = platform_performance(simdram16, op, WIDTH);
+        let (lo, hi) = expected_pj(op);
+        datapoints.push(Datapoint::checked(
+            SUITE,
+            format!("{}/{WIDTH}b/{simdram16}", op.name()),
+            vec![
+                ("energy_pj", perf.energy_per_element_nj * 1e3),
+                ("gops_per_watt", perf.gops_per_watt),
+            ],
+            Expected {
+                metric: "energy_pj",
+                min: lo,
+                max: hi,
+            },
+        ));
+    }
+
+    for platform in [Platform::Cpu, Platform::Gpu] {
+        for op in Operation::ALL {
+            let perf = platform_performance(platform, op, WIDTH);
+            datapoints.push(Datapoint::info(
+                SUITE,
+                format!("{}/{WIDTH}b/{platform}", op.name()),
+                vec![
+                    ("energy_pj", perf.energy_per_element_nj * 1e3),
+                    ("gops_per_watt", perf.gops_per_watt),
+                ],
+            ));
+        }
+    }
+
+    // Headline efficiency ratios (average GOPS/W over the 16 operations).
+    let avg_efficiency = |platform: Platform| -> f64 {
+        Operation::ALL
+            .iter()
+            .map(|&op| platform_performance(platform, op, WIDTH).gops_per_watt)
+            .sum::<f64>()
+            / Operation::ALL.len() as f64
+    };
+    let simdram_eff = avg_efficiency(simdram16);
+    for (baseline, lo, hi) in [
+        (Platform::Cpu, 100.0, 5_000.0),
+        (Platform::Gpu, 20.0, 1_000.0),
+    ] {
+        datapoints.push(Datapoint::checked(
+            SUITE,
+            format!("avg_efficiency_ratio/{WIDTH}b/SIMDRAM:16_vs_{baseline}"),
+            vec![("efficiency_ratio", simdram_eff / avg_efficiency(baseline))],
+            Expected {
+                metric: "efficiency_ratio",
+                min: lo,
+                max: hi,
+            },
+        ));
+    }
+
+    datapoints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Verdict;
+
+    #[test]
+    fn covers_all_ops_with_passing_verdicts() {
+        let datapoints = run();
+        assert_eq!(datapoints.len(), 16 + 16 * 2 + 2);
+        let checked = datapoints.iter().filter(|d| d.expected.is_some());
+        for dp in checked {
+            assert_eq!(dp.verdict, Verdict::Pass, "{}", dp.name);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Estimate suite (new): functionally executes every bbop on a small machine and
+//! cross-checks the **trace-driven** estimation engine (`simdram_core::estimate`)
+//! against the analytic performance model.
+//!
+//! The functional simulator issues exactly the μProgram's command sequence, so the
+//! per-operation latency/energy measured from the executed [`simdram_dram::CommandTrace`]s
+//! must agree with the analytic `latency_ns`/`energy_nj` to floating-point accuracy.
+//! A drift here means either the executor issued commands the model does not account
+//! for, or the model charges costs the hardware would not pay — both bugs the paper's
+//! figures would silently inherit.
+
+use simdram_core::{SimdramConfig, SimdramMachine};
+use simdram_logic::{word_mask, Operation};
+
+use crate::report::{Datapoint, Expected};
+
+const SUITE: &str = "estimate";
+
+/// Operand width of the functional cross-check (kept narrow so all 16 μPrograms execute
+/// in milliseconds).
+pub const WIDTH: usize = 8;
+
+/// Elements per operation: spans two of the functional-test machine's subarrays, so the
+/// broadcast genuinely fans out and the max-over-chunks latency semantics are exercised.
+pub const ELEMENTS: usize = 300;
+
+/// Tolerated relative difference between trace-measured and analytic values. The two
+/// sides sum identical per-command costs, only in different groupings, so anything above
+/// a few ULPs is a real modelling bug.
+pub const REL_TOLERANCE: f64 = 1e-12;
+
+fn relative_error(measured: f64, analytic: f64) -> f64 {
+    if analytic == 0.0 {
+        measured.abs()
+    } else {
+        ((measured - analytic) / analytic).abs()
+    }
+}
+
+pub fn run() -> Vec<Datapoint> {
+    let mut machine =
+        SimdramMachine::new(SimdramConfig::functional_test()).expect("functional config");
+    let mask = word_mask(WIDTH);
+    let a_vals: Vec<u64> = (0..ELEMENTS as u64).map(|i| (i * 37 + 11) & mask).collect();
+    let b_vals: Vec<u64> = (0..ELEMENTS as u64).map(|i| (i * 91 + 3) & mask).collect();
+    let preds: Vec<bool> = (0..ELEMENTS).map(|i| i % 3 == 0).collect();
+
+    let mut datapoints = Vec::new();
+    for op in Operation::ALL {
+        let a = machine.alloc_and_write(WIDTH, &a_vals).expect("alloc a");
+        let b = machine.alloc_and_write(WIDTH, &b_vals).expect("alloc b");
+        let pred = machine.alloc(1, ELEMENTS).expect("alloc pred");
+        machine.write_bools(&pred, &preds).expect("write pred");
+        let dst = machine
+            .alloc(op.output_width(WIDTH), ELEMENTS)
+            .expect("alloc dst");
+        let report = machine
+            .execute(
+                op,
+                &dst,
+                &a,
+                op.uses_second_operand().then_some(&b),
+                op.uses_predicate().then_some(&pred),
+            )
+            .expect("functional execution");
+        let rel_latency = relative_error(report.measured_latency_ns, report.latency_ns);
+        let rel_energy = relative_error(report.measured_energy_nj, report.energy_nj);
+        datapoints.push(Datapoint::checked(
+            SUITE,
+            format!("{}/{WIDTH}b/trace_vs_analytic", op.name()),
+            vec![
+                ("measured_latency_ns", report.measured_latency_ns),
+                ("analytic_latency_ns", report.latency_ns),
+                ("measured_energy_nj", report.measured_energy_nj),
+                ("analytic_energy_nj", report.energy_nj),
+                ("commands", report.commands as f64),
+                ("rel_err_max", rel_latency.max(rel_energy)),
+            ],
+            Expected {
+                metric: "rel_err_max",
+                min: 0.0,
+                max: REL_TOLERANCE,
+            },
+        ));
+        // Free everything so the 16 ops fit in the small machine's rows.
+        machine.free(dst);
+        machine.free(pred);
+        machine.free(b);
+        machine.free(a);
+    }
+
+    // Machine-level totals from the cumulative estimation engine: the busy window must
+    // reflect bank-parallel overlap — strictly shorter than the sequential-issue sum in
+    // DeviceStats (every broadcast above spans 2 subarrays).
+    let estimate = machine.estimate();
+    let stats = machine.device_stats();
+    let parallel_speedup = stats.total_latency_ns() / estimate.busy_latency_ns;
+    datapoints.push(Datapoint::checked(
+        SUITE,
+        "machine_totals".to_string(),
+        vec![
+            ("broadcasts", estimate.broadcasts as f64),
+            ("commands", estimate.commands as f64),
+            ("busy_latency_ns", estimate.busy_latency_ns),
+            ("cycles", estimate.cycles as f64),
+            ("energy_pj", estimate.energy_pj()),
+            ("background_nj", estimate.background_nj),
+            ("parallel_speedup", parallel_speedup),
+        ],
+        // 300 elements over 256-column subarrays -> exactly 2 lock-step chunks, so the
+        // sequential-issue sum is exactly twice the busy window.
+        Expected {
+            metric: "parallel_speedup",
+            min: 1.5,
+            max: 2.5,
+        },
+    ));
+    datapoints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Verdict;
+
+    #[test]
+    fn trace_engine_matches_analytic_model_for_every_op() {
+        let datapoints = run();
+        assert_eq!(datapoints.len(), 16 + 1);
+        for dp in &datapoints {
+            assert_eq!(dp.verdict, Verdict::Pass, "{}", dp.name);
+        }
+        let totals = datapoints.last().unwrap();
+        assert!(totals.metric("busy_latency_ns").unwrap() > 0.0);
+        assert!(totals.metric("cycles").unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Kernels suite (paper Figs. 11–12, formerly `fig_kernels`): the seven real-world
+//! application kernels costed on every platform, with checked SIMDRAM:16 speedups.
+
+use crate::kernel_table;
+use crate::report::{Datapoint, Expected};
+
+const SUITE: &str = "kernels";
+
+/// Paper-expected SIMDRAM:16-over-CPU speedup range per kernel (reproduced values with
+/// a ±2× margin; the paper reports large CPU speedups on all seven kernels).
+fn expected_cpu_speedup(kernel: &str) -> (f64, f64) {
+    match kernel {
+        "vgg-13" | "vgg-16" | "lenet" => (18.0, 80.0),
+        "knn" => (25.0, 110.0),
+        "tpch" => (14.0, 60.0),
+        "bitweaving" => (90.0, 380.0),
+        "brightness" => (48.0, 200.0),
+        other => panic!("unknown kernel {other}"),
+    }
+}
+
+pub fn run() -> Vec<Datapoint> {
+    let mut datapoints = Vec::new();
+    for row in kernel_table() {
+        for cost in &row.costs {
+            datapoints.push(Datapoint::info(
+                SUITE,
+                format!("{}/{}", row.name, cost.platform),
+                vec![("time_ms", cost.time_ms), ("energy_mj", cost.energy_mj)],
+            ));
+        }
+        let (lo, hi) = expected_cpu_speedup(row.name);
+        datapoints.push(Datapoint::checked(
+            SUITE,
+            format!("{}/speedup_vs_cpu", row.name),
+            vec![("speedup_vs_cpu", row.speedup_vs_cpu)],
+            Expected {
+                metric: "speedup_vs_cpu",
+                min: lo,
+                max: hi,
+            },
+        ));
+        // The paper's GPU comparison: SIMDRAM:16 wins on every kernel, from a few x on
+        // the MAC-heavy ML kernels to ~20x on the scan-style ones.
+        datapoints.push(Datapoint::checked(
+            SUITE,
+            format!("{}/speedup_vs_gpu", row.name),
+            vec![("speedup_vs_gpu", row.speedup_vs_gpu)],
+            Expected {
+                metric: "speedup_vs_gpu",
+                min: 1.5,
+                max: 45.0,
+            },
+        ));
+        // The paper's Ambit comparison: SIMDRAM wins on every kernel, by a low
+        // single-digit factor.
+        datapoints.push(Datapoint::checked(
+            SUITE,
+            format!("{}/speedup_vs_ambit", row.name),
+            vec![("speedup_vs_ambit", row.speedup_vs_ambit)],
+            Expected {
+                metric: "speedup_vs_ambit",
+                min: 1.1,
+                max: 10.0,
+            },
+        ));
+    }
+    datapoints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Verdict;
+
+    #[test]
+    fn seven_kernels_six_platforms_all_passing() {
+        let datapoints = run();
+        // 7 kernels x (6 platform costs + 3 checked speedups).
+        assert_eq!(datapoints.len(), 7 * 9);
+        for dp in datapoints.iter().filter(|d| d.expected.is_some()) {
+            assert_eq!(dp.verdict, Verdict::Pass, "{}", dp.name);
+        }
+        assert!(datapoints.iter().any(|d| d.name == "vgg-13/CPU"));
+    }
+}

@@ -1,0 +1,144 @@
+//! The evaluation suites of the unified `simdram-bench` pipeline.
+//!
+//! Each suite subsumes one of the former standalone `fig_*`/`tab_*` binaries (plus the
+//! new trace-driven `estimate` suite) and produces [`crate::report::Datapoint`]s with
+//! paper-expected ranges embedded, so the JSON report carries its own pass/fail
+//! verdicts:
+//!
+//! | Suite | Former binary | Paper artifact |
+//! |---|---|---|
+//! | [`Suite::Throughput`] | `fig_throughput` | Fig. 9 — throughput of the 16 bbops |
+//! | [`Suite::Energy`] | `fig_energy` | Fig. 10 — energy of the 16 bbops |
+//! | [`Suite::Kernels`] | `fig_kernels` | Figs. 11–12 — real-world kernels |
+//! | [`Suite::Commands`] | `tab_commands` | Table 1 — command counts vs Ambit |
+//! | [`Suite::Ablation`] | `tab_ablation` | μProgram optimization ablation |
+//! | [`Suite::Reliability`] | `fig_reliability` | Fig. 13 — process variation |
+//! | [`Suite::Area`] | `tab_area` | Table 2 — area overhead |
+//! | [`Suite::Estimate`] | — (new) | trace-driven vs analytic cross-check |
+
+mod ablation;
+mod area;
+mod commands;
+mod energy;
+mod estimate;
+mod kernels;
+mod reliability;
+mod throughput;
+
+use crate::report::{BenchReport, Datapoint};
+
+/// One runnable evaluation suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Suite {
+    /// Throughput of the 16 bbops across platforms and bank counts (Fig. 9).
+    Throughput,
+    /// Energy per element of the 16 bbops (Fig. 10).
+    Energy,
+    /// Real-world application kernels across platforms (Figs. 11–12).
+    Kernels,
+    /// DRAM command counts, SIMDRAM vs Ambit (Table 1).
+    Commands,
+    /// μProgram optimization ablation.
+    Ablation,
+    /// Reliability under process variation (Fig. 13).
+    Reliability,
+    /// Area overhead (Table 2).
+    Area,
+    /// Trace-driven estimation engine vs the analytic model (functional execution).
+    Estimate,
+}
+
+impl Suite {
+    /// All suites, in the order `--suite all` runs them.
+    pub const ALL: [Suite; 8] = [
+        Suite::Throughput,
+        Suite::Energy,
+        Suite::Kernels,
+        Suite::Commands,
+        Suite::Ablation,
+        Suite::Reliability,
+        Suite::Area,
+        Suite::Estimate,
+    ];
+
+    /// The suite's CLI / JSON name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Suite::Throughput => "throughput",
+            Suite::Energy => "energy",
+            Suite::Kernels => "kernels",
+            Suite::Commands => "commands",
+            Suite::Ablation => "ablation",
+            Suite::Reliability => "reliability",
+            Suite::Area => "area",
+            Suite::Estimate => "estimate",
+        }
+    }
+
+    /// Parses a CLI suite name (`all` is handled by the caller).
+    pub fn from_name(name: &str) -> Option<Suite> {
+        Suite::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    /// Runs the suite, producing its datapoints.
+    pub fn run(self) -> Vec<Datapoint> {
+        match self {
+            Suite::Throughput => throughput::run(),
+            Suite::Energy => energy::run(),
+            Suite::Kernels => kernels::run(),
+            Suite::Commands => commands::run(),
+            Suite::Ablation => ablation::run(),
+            Suite::Reliability => reliability::run(),
+            Suite::Area => area::run(),
+            Suite::Estimate => estimate::run(),
+        }
+    }
+}
+
+/// Runs the given suites in order and assembles the report.
+pub fn run_suites(suites: &[Suite]) -> BenchReport {
+    let mut report = BenchReport::default();
+    for &suite in suites {
+        report.suites.push(suite.name());
+        report.datapoints.extend(suite.run());
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_names_round_trip() {
+        for suite in Suite::ALL {
+            assert_eq!(Suite::from_name(suite.name()), Some(suite));
+        }
+        assert_eq!(Suite::from_name("nope"), None);
+    }
+
+    #[test]
+    fn every_suite_produces_passing_datapoints() {
+        // The full pipeline (what CI runs as `--suite all`) must be verdict-clean, and
+        // every checked range must reference a metric the datapoint actually carries.
+        let report = run_suites(&Suite::ALL);
+        assert_eq!(report.suites.len(), Suite::ALL.len());
+        for dp in &report.datapoints {
+            if let Some(expected) = &dp.expected {
+                assert!(
+                    dp.metric(expected.metric).is_some(),
+                    "{}/{} checks a missing metric {}",
+                    dp.suite,
+                    dp.name,
+                    expected.metric
+                );
+            }
+        }
+        let failures: Vec<String> = report
+            .failures()
+            .iter()
+            .map(|d| format!("{}/{}", d.suite, d.name))
+            .collect();
+        assert!(failures.is_empty(), "failing datapoints: {failures:?}");
+    }
+}

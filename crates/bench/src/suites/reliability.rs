@@ -1,0 +1,68 @@
+//! Reliability suite (paper Fig. 13, formerly `fig_reliability`): per-TRA and
+//! per-operation failure behaviour as cell-charge variation grows.
+
+use crate::reliability_table;
+use crate::report::{Datapoint, Expected};
+
+const SUITE: &str = "reliability";
+
+/// Monte-Carlo trials per sweep point (seeded; deterministic across runs).
+pub const TRIALS: usize = 2_000;
+
+pub fn run() -> Vec<Datapoint> {
+    let table = reliability_table(TRIALS);
+    let mut datapoints = Vec::new();
+    for (i, point) in table.iter().enumerate() {
+        let metrics = vec![
+            ("cell_sigma", point.cell_sigma),
+            ("tra_failure_probability", point.tra_failure_probability),
+            ("add32_success_probability", point.add32_success_probability),
+        ];
+        let name = format!("sigma_{:.3}", point.cell_sigma);
+        if i == 0 {
+            // At zero variation the substrate must be essentially perfect — the paper's
+            // operating points all sit in this regime.
+            datapoints.push(Datapoint::checked(
+                SUITE,
+                name,
+                metrics,
+                Expected {
+                    metric: "add32_success_probability",
+                    min: 0.999,
+                    max: 1.0,
+                },
+            ));
+        } else {
+            datapoints.push(Datapoint::info(SUITE, name, metrics));
+        }
+    }
+    // Failure probability must grow (weakly) across the sweep.
+    let increase = table.last().unwrap().tra_failure_probability
+        - table.first().unwrap().tra_failure_probability;
+    datapoints.push(Datapoint::checked(
+        SUITE,
+        "tra_failure_increase".to_string(),
+        vec![("failure_increase", increase)],
+        Expected {
+            metric: "failure_increase",
+            min: 0.0,
+            max: 1.0,
+        },
+    ));
+    datapoints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Verdict;
+
+    #[test]
+    fn sweep_is_covered_and_checks_pass() {
+        let datapoints = run();
+        assert_eq!(datapoints.len(), 17 + 1);
+        for dp in datapoints.iter().filter(|d| d.expected.is_some()) {
+            assert_eq!(dp.verdict, Verdict::Pass, "{}", dp.name);
+        }
+    }
+}

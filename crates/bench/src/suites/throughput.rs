@@ -1,0 +1,144 @@
+//! Throughput suite (paper Fig. 9, formerly `fig_throughput`): all 16 bbops at 1, 4 and
+//! 16 compute banks, plus the CPU/GPU/Ambit baselines and the headline average-speedup
+//! datapoints.
+
+use simdram_baselines::{platform_performance, Platform};
+use simdram_core::{pud_performance, SimdramConfig};
+use simdram_logic::Operation;
+use simdram_uprog::Target;
+
+use crate::report::{Datapoint, Expected};
+
+const SUITE: &str = "throughput";
+
+/// Operand width of the bank sweep (the paper's headline configuration).
+pub const WIDTH: usize = 32;
+
+/// Bank counts of the paper's three SIMDRAM design points.
+pub const BANKS: [usize; 3] = [1, 4, 16];
+
+/// Paper-expected throughput range (GOPS) per operation at **16 banks, 32-bit**:
+/// the shape of Fig. 9 with a generous ±2× margin around the reproduced values.
+/// Scaled by `banks / 16` for the smaller design points (throughput is linear in the
+/// bank count).
+fn expected_gops_16banks(op: Operation) -> (f64, f64) {
+    match op {
+        Operation::Abs => (120.0, 500.0),
+        Operation::Add => (260.0, 1_100.0),
+        Operation::AndRed => (1_100.0, 4_700.0),
+        Operation::BitCount => (39.0, 160.0),
+        Operation::Div => (4.5, 19.0),
+        Operation::Equal => (210.0, 900.0),
+        Operation::Greater => (850.0, 3_400.0),
+        Operation::GreaterEqual => (830.0, 3_350.0),
+        Operation::IfElse => (280.0, 1_150.0),
+        Operation::Max => (210.0, 880.0),
+        Operation::Min => (210.0, 880.0),
+        Operation::Mul => (13.0, 55.0),
+        Operation::OrRed => (1_100.0, 4_700.0),
+        Operation::Relu => (700.0, 2_900.0),
+        Operation::Sub => (240.0, 1_000.0),
+        Operation::XorRed => (290.0, 1_200.0),
+    }
+}
+
+pub fn run() -> Vec<Datapoint> {
+    let mut datapoints = Vec::new();
+
+    // SIMDRAM design points: checked against the scaled paper range.
+    for banks in BANKS {
+        let config = SimdramConfig::paper_banks(banks);
+        for op in Operation::ALL {
+            let perf = pud_performance(Target::Simdram, op, WIDTH, &config);
+            let (lo, hi) = expected_gops_16banks(op);
+            let scale = banks as f64 / 16.0;
+            datapoints.push(Datapoint::checked(
+                SUITE,
+                format!("{}/{WIDTH}b/SIMDRAM:{banks}", op.name()),
+                vec![
+                    ("latency_ns", perf.latency_ns),
+                    ("energy_pj", perf.energy_per_element_nj * 1e3),
+                    ("throughput_gops", perf.throughput_gops),
+                    ("gops_per_watt", perf.gops_per_watt),
+                ],
+                Expected {
+                    metric: "throughput_gops",
+                    min: lo * scale,
+                    max: hi * scale,
+                },
+            ));
+        }
+    }
+
+    // Baselines: context datapoints (no paper range of their own; they feed the
+    // speedup summaries below and the bench_diff gate).
+    for platform in [Platform::Cpu, Platform::Gpu, Platform::Ambit] {
+        for op in Operation::ALL {
+            let perf = platform_performance(platform, op, WIDTH);
+            datapoints.push(Datapoint::info(
+                SUITE,
+                format!("{}/{WIDTH}b/{platform}", op.name()),
+                vec![
+                    ("energy_pj", perf.energy_per_element_nj * 1e3),
+                    ("throughput_gops", perf.throughput_gops),
+                    ("gops_per_watt", perf.gops_per_watt),
+                ],
+            ));
+        }
+    }
+
+    // Headline averages over the 16 operations (the paper reports 88x/5.8x average
+    // speedup over CPU/GPU; the reproduced model lands at ~84x/~10x).
+    let avg = |platform: Platform| -> f64 {
+        Operation::ALL
+            .iter()
+            .map(|&op| platform_performance(platform, op, WIDTH).throughput_gops)
+            .sum::<f64>()
+            / Operation::ALL.len() as f64
+    };
+    let simdram16 = avg(Platform::Simdram { banks: 16 });
+    for (baseline, lo, hi) in [
+        (Platform::Cpu, 40.0, 170.0),
+        (Platform::Gpu, 4.0, 20.0),
+        (Platform::Ambit, 1.1, 3.5),
+    ] {
+        datapoints.push(Datapoint::checked(
+            SUITE,
+            format!("avg_speedup/{WIDTH}b/SIMDRAM:16_vs_{baseline}"),
+            vec![("speedup", simdram16 / avg(baseline))],
+            Expected {
+                metric: "speedup",
+                min: lo,
+                max: hi,
+            },
+        ));
+    }
+
+    datapoints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Verdict;
+
+    #[test]
+    fn covers_all_ops_and_bank_counts_with_passing_verdicts() {
+        let datapoints = run();
+        // 16 ops x 3 bank counts checked + 16 x 3 baselines info + 3 summaries.
+        assert_eq!(datapoints.len(), 16 * 3 + 16 * 3 + 3);
+        for banks in BANKS {
+            for op in Operation::ALL {
+                let name = format!("{}/{WIDTH}b/SIMDRAM:{banks}", op.name());
+                let dp = datapoints
+                    .iter()
+                    .find(|d| d.name == name)
+                    .unwrap_or_else(|| panic!("missing {name}"));
+                assert_eq!(dp.verdict, Verdict::Pass, "{name}");
+                for metric in ["latency_ns", "energy_pj", "throughput_gops"] {
+                    assert!(dp.metric(metric).unwrap() > 0.0, "{name}/{metric}");
+                }
+            }
+        }
+    }
+}

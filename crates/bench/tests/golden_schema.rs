@@ -1,0 +1,106 @@
+//! Golden-file test for the `simdram-bench --suite kernels` JSON report.
+//!
+//! Guards three properties of the evaluation pipeline:
+//!
+//! 1. **Round-trip stability** — the report survives `parse(write(report))`
+//!    byte-identically, so `bench_diff` always reads exactly what was written.
+//! 2. **Schema stability** — the schema version and the datapoint field set cannot
+//!    change silently (a change here must also update `bench_diff` and the committed
+//!    `baseline.json`).
+//! 3. **Value stability** — the kernels suite is deterministic (seeded kernels, analytic
+//!    models), so the serialized report must match the committed golden file byte for
+//!    byte.
+//!
+//! After an *intentional* model change, regenerate the golden file with
+//! `SIMDRAM_BLESS=1 cargo test -p simdram-bench --test golden_schema` and commit the
+//! diff alongside the change that caused it.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use simdram_bench::json::Json;
+use simdram_bench::report::SCHEMA_VERSION;
+use simdram_bench::suites::{run_suites, Suite};
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("kernels.json")
+}
+
+fn kernels_report_text() -> String {
+    run_suites(&[Suite::Kernels]).to_json().to_pretty_string()
+}
+
+#[test]
+fn kernels_report_round_trips_byte_identically() {
+    let text = kernels_report_text();
+    let parsed = Json::parse(&text).expect("generated report parses");
+    assert_eq!(parsed.to_pretty_string(), text);
+}
+
+#[test]
+fn schema_version_and_field_set_are_stable() {
+    let text = kernels_report_text();
+    let json = Json::parse(&text).unwrap();
+    assert_eq!(
+        json.get("schema_version").and_then(Json::as_f64),
+        Some(SCHEMA_VERSION as f64)
+    );
+
+    let top_level: BTreeSet<&str> = json
+        .as_obj()
+        .unwrap()
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .collect();
+    assert_eq!(
+        top_level,
+        BTreeSet::from(["schema_version", "tool", "suites", "datapoints", "summary"])
+    );
+
+    let datapoints = json.get("datapoints").and_then(Json::as_arr).unwrap();
+    assert!(!datapoints.is_empty());
+    for dp in datapoints {
+        let fields: BTreeSet<&str> = dp
+            .as_obj()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(
+            fields,
+            BTreeSet::from(["suite", "name", "metrics", "expected", "verdict"]),
+            "datapoint field set drifted"
+        );
+    }
+
+    let summary: BTreeSet<&str> = json
+        .get("summary")
+        .and_then(Json::as_obj)
+        .unwrap()
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .collect();
+    assert_eq!(summary, BTreeSet::from(["total", "pass", "fail", "info"]));
+}
+
+#[test]
+fn kernels_report_matches_the_committed_golden_file() {
+    let text = kernels_report_text();
+    let path = golden_path();
+    if std::env::var_os("SIMDRAM_BLESS").is_some() {
+        std::fs::write(&path, &text).expect("bless golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    assert_eq!(
+        text,
+        golden,
+        "kernels suite output drifted from {}; if intentional, regenerate with \
+         SIMDRAM_BLESS=1 cargo test -p simdram-bench --test golden_schema and commit",
+        path.display()
+    );
+}

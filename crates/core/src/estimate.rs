@@ -1,0 +1,268 @@
+//! Trace-driven timing/energy estimation: turns the [`CommandTrace`]s produced by
+//! broadcast execution into cycle/latency/energy accounting.
+//!
+//! The functional simulator records every DRAM command each subarray actually issues
+//! (see [`simdram_dram::Subarray`]); this module is the *estimation engine* that
+//! aggregates those per-chunk traces under the hardware's concurrency semantics:
+//!
+//! * **Latency**: commands of one broadcast issue in lock-step across the participating
+//!   banks and subarrays, so the broadcast's busy window is the **maximum** over the
+//!   per-chunk trace latencies, not their sum. Successive broadcasts serialize, so the
+//!   machine-level latency is the sum of per-broadcast windows.
+//! * **Energy**: every participating subarray really charges and discharges its
+//!   bitlines, so dynamic energy is the **sum** over chunks, plus background (static)
+//!   power integrated over the busy window.
+//! * **Cycles**: the busy window converted to whole DDR bus clocks
+//!   ([`simdram_dram::DramTiming::cycles`]).
+//!
+//! Because the per-chunk traces are pure outputs of the broadcast kernels and the
+//! executor returns them in deterministic chunk order, every number produced here is
+//! **bit-identical** between [`crate::ExecutionPolicy::Sequential`] and
+//! [`crate::ExecutionPolicy::Threaded`] runs — the bank-parallel broadcasts overlap in
+//! time but sum in energy either way.
+
+use std::fmt;
+
+use simdram_dram::energy::EnergyModel;
+use simdram_dram::{CommandTrace, DramTiming};
+
+/// Timing/energy accounting of **one** broadcast (one μProgram issue, constant
+/// broadcast, RowClone copy, …) derived from its per-chunk command traces.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BroadcastEstimate {
+    /// Number of subarray chunks that participated.
+    pub chunks: usize,
+    /// Total DRAM commands issued across all chunks.
+    pub commands: usize,
+    /// Busy window of the broadcast in nanoseconds: the maximum per-chunk trace latency
+    /// (chunks execute in lock-step, overlapping in time).
+    pub latency_ns: f64,
+    /// Busy window in whole DDR bus-clock cycles.
+    pub cycles: u64,
+    /// Dynamic DRAM energy in nanojoules: the sum over all chunks (energy adds up even
+    /// though time overlaps).
+    pub energy_nj: f64,
+    /// Background (static) energy over the busy window, in nanojoules.
+    pub background_nj: f64,
+}
+
+impl BroadcastEstimate {
+    /// Dynamic plus background energy, in nanojoules.
+    pub fn total_energy_nj(&self) -> f64 {
+        self.energy_nj + self.background_nj
+    }
+
+    /// Dynamic energy in picojoules (the paper's per-bbop energy unit).
+    pub fn energy_pj(&self) -> f64 {
+        self.energy_nj * 1e3
+    }
+}
+
+/// The estimation engine: owns the DDR timing and energy models and folds command
+/// traces into [`BroadcastEstimate`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEstimator {
+    timing: DramTiming,
+    energy: EnergyModel,
+}
+
+impl TraceEstimator {
+    /// Creates an estimator for the given DDR timing and energy models.
+    pub fn new(timing: DramTiming, energy: EnergyModel) -> Self {
+        TraceEstimator { timing, energy }
+    }
+
+    /// The DDR timing model driving cycle conversion.
+    pub fn timing(&self) -> &DramTiming {
+        &self.timing
+    }
+
+    /// The energy model driving background-power accounting.
+    pub fn energy_model(&self) -> &EnergyModel {
+        &self.energy
+    }
+
+    /// Estimates one broadcast from its per-chunk traces: latency is the max over
+    /// chunks (lock-step execution), dynamic energy the sum, background energy the
+    /// static power integrated over the busy window.
+    pub fn broadcast(&self, traces: &[CommandTrace]) -> BroadcastEstimate {
+        let mut latency_ns: f64 = 0.0;
+        let mut energy_nj = 0.0;
+        let mut commands = 0;
+        for trace in traces {
+            latency_ns = latency_ns.max(trace.total_latency_ns());
+            energy_nj += trace.total_energy_nj();
+            commands += trace.len();
+        }
+        BroadcastEstimate {
+            chunks: traces.len(),
+            commands,
+            latency_ns,
+            cycles: self.timing.cycles(latency_ns),
+            energy_nj,
+            background_nj: self.energy.background_nj(latency_ns),
+        }
+    }
+}
+
+/// Cumulative trace-driven accounting of a whole [`crate::SimdramMachine`] run:
+/// broadcasts serialize in time, so latencies and cycles sum; energy sums too.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MachineEstimate {
+    /// Number of broadcasts absorbed.
+    pub broadcasts: usize,
+    /// Total DRAM commands across all broadcasts and chunks.
+    pub commands: usize,
+    /// Sum of per-broadcast busy windows, in nanoseconds.
+    pub busy_latency_ns: f64,
+    /// Sum of per-broadcast busy windows, in DDR bus-clock cycles.
+    pub cycles: u64,
+    /// Total dynamic DRAM energy, in nanojoules.
+    pub energy_nj: f64,
+    /// Total background (static) energy, in nanojoules.
+    pub background_nj: f64,
+}
+
+impl MachineEstimate {
+    /// Creates an empty estimate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one broadcast's estimate into the running totals.
+    pub fn record(&mut self, broadcast: &BroadcastEstimate) {
+        self.broadcasts += 1;
+        self.commands += broadcast.commands;
+        self.busy_latency_ns += broadcast.latency_ns;
+        self.cycles += broadcast.cycles;
+        self.energy_nj += broadcast.energy_nj;
+        self.background_nj += broadcast.background_nj;
+    }
+
+    /// Dynamic plus background energy, in nanojoules.
+    pub fn total_energy_nj(&self) -> f64 {
+        self.energy_nj + self.background_nj
+    }
+
+    /// Dynamic energy in picojoules.
+    pub fn energy_pj(&self) -> f64 {
+        self.energy_nj * 1e3
+    }
+}
+
+impl fmt::Display for MachineEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "trace-driven estimate:")?;
+        writeln!(f, "  broadcasts    : {}", self.broadcasts)?;
+        writeln!(f, "  commands      : {}", self.commands)?;
+        writeln!(
+            f,
+            "  busy latency  : {:.1} ns ({} cycles)",
+            self.busy_latency_ns, self.cycles
+        )?;
+        write!(
+            f,
+            "  energy        : {:.1} nJ dynamic + {:.1} nJ background",
+            self.energy_nj, self.background_nj
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdram_dram::{BGroupRow, BitRow, DramConfig, RowAddr, Subarray};
+
+    fn estimator() -> TraceEstimator {
+        TraceEstimator::new(DramTiming::default(), EnergyModel::default())
+    }
+
+    /// Hand-computed accounting for a known 3-μop trace (2 AAPs + 1 TRA) under the
+    /// default DDR4-2400 models:
+    ///
+    /// * AAP latency = 2·tRAS + tRP = 2·32 + 12.5 = 76.5 ns; AP(TRA) = tRAS + tRP = 44.5 ns
+    ///   ⇒ chunk latency = 2·76.5 + 44.5 = 197.5 ns.
+    /// * AAP energy = 2.5 + 1.5 = 4.0 nJ; TRA energy = 2.5 + 0.6 = 3.1 nJ
+    ///   ⇒ chunk energy = 2·4.0 + 3.1 = 11.1 nJ.
+    /// * Background = 0.25 W × 197.5 ns = 49.375 nJ; cycles = ⌈197.5 / 0.833⌉ = 238.
+    #[test]
+    fn three_microop_trace_matches_hand_computation() {
+        let mut sa = Subarray::new(&DramConfig::tiny());
+        sa.poke(RowAddr::Data(0), &BitRow::ones(256)).unwrap();
+        let mark = sa.trace_mark();
+        sa.aap(RowAddr::Data(0), RowAddr::BGroup(BGroupRow::T0))
+            .unwrap();
+        sa.aap(RowAddr::Data(0), RowAddr::BGroup(BGroupRow::T1))
+            .unwrap();
+        sa.ap_tra(BGroupRow::T0, BGroupRow::T1, BGroupRow::T2)
+            .unwrap();
+        let trace = sa.trace_since(mark);
+        assert_eq!(trace.len(), 3);
+
+        let est = estimator().broadcast(&[trace]);
+        assert_eq!(est.chunks, 1);
+        assert_eq!(est.commands, 3);
+        assert!((est.latency_ns - 197.5).abs() < 1e-9, "{}", est.latency_ns);
+        assert!((est.energy_nj - 11.1).abs() < 1e-9, "{}", est.energy_nj);
+        assert!(
+            (est.background_nj - 49.375).abs() < 1e-9,
+            "{}",
+            est.background_nj
+        );
+        assert_eq!(est.cycles, 238);
+        assert!((est.total_energy_nj() - (11.1 + 49.375)).abs() < 1e-9);
+        assert!((est.energy_pj() - 11_100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn broadcast_latency_is_max_over_chunks_and_energy_is_sum() {
+        let config = DramConfig::tiny();
+        // Chunk 0 issues two AAPs, chunk 1 only one: the busy window is chunk 0's.
+        let mut sa0 = Subarray::new(&config);
+        sa0.aap(RowAddr::Data(0), RowAddr::Data(1)).unwrap();
+        sa0.aap(RowAddr::Data(1), RowAddr::Data(2)).unwrap();
+        let mut sa1 = Subarray::new(&config);
+        sa1.aap(RowAddr::Data(0), RowAddr::Data(1)).unwrap();
+
+        let traces = [sa0.trace().clone(), sa1.trace().clone()];
+        let est = estimator().broadcast(&traces);
+        assert_eq!(est.chunks, 2);
+        assert_eq!(est.commands, 3);
+        assert!((est.latency_ns - 2.0 * 76.5).abs() < 1e-9);
+        assert!((est.energy_nj - 3.0 * 4.0).abs() < 1e-9);
+        // Parallel semantics: strictly less than the sequential-sum latency.
+        assert!(est.latency_ns < traces[0].total_latency_ns() + traces[1].total_latency_ns());
+    }
+
+    #[test]
+    fn empty_broadcast_costs_nothing() {
+        let est = estimator().broadcast(&[]);
+        assert_eq!(est, BroadcastEstimate::default());
+        let est = estimator().broadcast(&[CommandTrace::new()]);
+        assert_eq!(est.latency_ns, 0.0);
+        assert_eq!(est.cycles, 0);
+        assert_eq!(est.chunks, 1);
+    }
+
+    #[test]
+    fn machine_estimate_accumulates_serialized_broadcasts() {
+        let mut sa = Subarray::new(&DramConfig::tiny());
+        sa.aap(RowAddr::Data(0), RowAddr::Data(1)).unwrap();
+        let traces = [sa.trace().clone()];
+        let est = estimator().broadcast(&traces);
+
+        let mut machine = MachineEstimate::new();
+        machine.record(&est);
+        machine.record(&est);
+        assert_eq!(machine.broadcasts, 2);
+        assert_eq!(machine.commands, 2);
+        assert!((machine.busy_latency_ns - 2.0 * est.latency_ns).abs() < 1e-9);
+        assert_eq!(machine.cycles, 2 * est.cycles);
+        assert!(
+            (machine.total_energy_nj() - 2.0 * (est.energy_nj + est.background_nj)).abs() < 1e-9
+        );
+        let text = machine.to_string();
+        assert!(text.contains("broadcasts    : 2"));
+        assert!(text.contains("cycles"));
+    }
+}

@@ -39,6 +39,7 @@ mod area;
 mod config;
 mod control_unit;
 mod error;
+mod estimate;
 mod executor;
 mod isa;
 mod layout;
@@ -52,11 +53,12 @@ pub use area::AreaModel;
 pub use config::SimdramConfig;
 pub use control_unit::ControlUnit;
 pub use error::{CoreError, Result};
+pub use estimate::{BroadcastEstimate, MachineEstimate, TraceEstimator};
 pub use executor::{BroadcastExecutor, ExecutionPolicy};
 pub use isa::{BbopInstruction, TransposeDirection};
 pub use layout::SimdVector;
 pub use machine::SimdramMachine;
-pub use perf::{pud_performance, PerfPoint};
+pub use perf::{ddr4, pud_performance, PerfPoint};
 pub use report::{ExecutionReport, MachineStats};
 pub use transpose::{
     horizontal_to_vertical, transpose_64x64, vertical_to_horizontal, TranspositionUnit,

@@ -8,6 +8,7 @@ use simdram_uprog::{execute as execute_uprog, MicroProgram, RowBinding};
 use crate::config::SimdramConfig;
 use crate::control_unit::ControlUnit;
 use crate::error::{CoreError, Result};
+use crate::estimate::{BroadcastEstimate, MachineEstimate, TraceEstimator};
 use crate::executor::{BroadcastExecutor, ExecutionPolicy};
 use crate::isa::BbopInstruction;
 use crate::layout::{RowAllocator, SimdVector};
@@ -43,8 +44,10 @@ pub struct SimdramMachine {
     control: ControlUnit,
     transposer: TranspositionUnit,
     executor: BroadcastExecutor,
+    estimator: TraceEstimator,
     stats: MachineStats,
     functional_stats: DeviceStats,
+    machine_estimate: MachineEstimate,
     next_id: u64,
 }
 
@@ -62,6 +65,7 @@ impl SimdramMachine {
         let transposer =
             TranspositionUnit::new(config.dram.timing.clone(), config.dram.energy.clone());
         let executor = BroadcastExecutor::new(config.execution);
+        let estimator = TraceEstimator::new(config.dram.timing.clone(), config.dram.energy.clone());
         Ok(SimdramMachine {
             config,
             device,
@@ -69,8 +73,10 @@ impl SimdramMachine {
             control,
             transposer,
             executor,
+            estimator,
             stats: MachineStats::default(),
             functional_stats: DeviceStats::new(),
+            machine_estimate: MachineEstimate::new(),
             next_id: 0,
         })
     }
@@ -95,14 +101,27 @@ impl SimdramMachine {
         &self.functional_stats
     }
 
-    /// Clears the functional command accounting: the machine-level [`DeviceStats`] and
-    /// every subarray's cumulative command trace.
+    /// Cumulative *trace-driven* timing/energy estimate: every broadcast's command
+    /// traces folded through the estimation engine ([`TraceEstimator`]) under the
+    /// hardware's concurrency semantics — per-broadcast latency is the max over the
+    /// participating subarrays (they execute in lock-step), energy is the sum, and
+    /// successive broadcasts serialize.
+    ///
+    /// Like [`SimdramMachine::device_stats`], this is bit-identical between
+    /// [`ExecutionPolicy::Sequential`] and [`ExecutionPolicy::Threaded`] runs.
+    pub fn estimate(&self) -> &MachineEstimate {
+        &self.machine_estimate
+    }
+
+    /// Clears the functional command accounting: the machine-level [`DeviceStats`], the
+    /// cumulative [`MachineEstimate`] and every subarray's cumulative command trace.
     ///
     /// Long-running drivers (benchmarks, soak tests) call this between measurements —
     /// per-subarray traces are append-only and would otherwise grow without bound.
     pub fn reset_device_stats(&mut self) {
         self.device.reset_stats();
         self.functional_stats = DeviceStats::new();
+        self.machine_estimate = MachineEstimate::new();
     }
 
     /// The active broadcast execution policy.
@@ -477,7 +496,7 @@ impl SimdramMachine {
             .broadcast(&mut self.device, &coords, |_, sa| {
                 execute_uprog(program, sa, binding).map_err(CoreError::from)
             })?;
-        self.absorb_chunk_traces(&traces);
+        let measured = self.absorb_chunk_traces(&traces);
         let timing = &self.config.dram.timing;
         let energy_model = &self.config.dram.energy;
         Ok(ExecutionReport {
@@ -489,16 +508,22 @@ impl SimdramMachine {
             tra_count: program.tra_count(),
             latency_ns: program.latency_ns(timing),
             energy_nj: program.energy_nj(energy_model) * subarrays_used as f64,
+            measured_latency_ns: measured.latency_ns,
+            measured_energy_nj: measured.energy_nj,
         })
     }
 
     /// Merges per-chunk traces into the functional device statistics **in chunk order**
     /// (the executor already returns them ordered), keeping even floating-point sums
-    /// identical between execution policies.
-    fn absorb_chunk_traces(&mut self, traces: &[CommandTrace]) {
+    /// identical between execution policies, and folds the broadcast through the
+    /// estimation engine into the cumulative [`MachineEstimate`].
+    fn absorb_chunk_traces(&mut self, traces: &[CommandTrace]) -> BroadcastEstimate {
         for trace in traces {
             self.functional_stats.absorb_trace(trace);
         }
+        let estimate = self.estimator.broadcast(traces);
+        self.machine_estimate.record(&estimate);
+        estimate
     }
 
     fn subarrays_for(&self, elements: usize) -> usize {

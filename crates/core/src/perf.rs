@@ -11,6 +11,15 @@ use simdram_uprog::{build_program, Target};
 
 use crate::config::SimdramConfig;
 
+/// The canonical DDR4-2400 timing constants, re-exported from
+/// [`simdram_dram::timing::ddr4`].
+///
+/// This is the **single source of truth** for tRAS/tWR and friends: the functional
+/// simulator's [`simdram_dram::DramTiming`] defaults are built from these constants, and
+/// the analytic model below consumes the same `DramTiming` through the machine
+/// configuration, so the two layers cannot drift apart.
+pub use simdram_dram::timing::ddr4;
+
 /// One performance point: an (operation, width, platform configuration) triple evaluated
 /// for throughput and energy.
 #[derive(Debug, Clone, PartialEq)]
@@ -117,6 +126,17 @@ mod tests {
         let w64 = pud_performance(Target::Simdram, Operation::Add, 64, &cfg);
         assert!(w8.throughput_gops > w64.throughput_gops);
         assert!(w8.energy_per_element_nj < w64.energy_per_element_nj);
+    }
+
+    #[test]
+    fn analytic_model_and_functional_timing_share_one_constant_set() {
+        // The re-exported ddr4 constants ARE the values inside the default DramTiming
+        // the analytic model consumes; a drift here would silently skew every figure.
+        let cfg = SimdramConfig::default();
+        assert_eq!(cfg.dram.timing.t_ras_ns, ddr4::T_RAS_NS);
+        assert_eq!(cfg.dram.timing.t_wr_ns, ddr4::T_WR_NS);
+        assert_eq!(cfg.dram.timing.t_rp_ns, ddr4::T_RP_NS);
+        assert_eq!(cfg.dram.timing.t_ck_ns, ddr4::T_CK_NS);
     }
 
     #[test]

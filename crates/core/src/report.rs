@@ -27,6 +27,15 @@ pub struct ExecutionReport {
     pub latency_ns: f64,
     /// DRAM energy of the operation in nanojoules (all subarrays).
     pub energy_nj: f64,
+    /// Latency **measured** from the executed command traces by the estimation engine
+    /// ([`crate::TraceEstimator`]): the maximum per-chunk trace latency, since the
+    /// participating subarrays execute in lock-step. Matches [`Self::latency_ns`] to
+    /// floating-point accuracy — the functional simulator issues exactly the μProgram's
+    /// command sequence.
+    pub measured_latency_ns: f64,
+    /// Dynamic DRAM energy **measured** from the executed command traces (summed over
+    /// all participating subarrays), in nanojoules.
+    pub measured_energy_nj: f64,
 }
 
 impl ExecutionReport {
@@ -174,6 +183,8 @@ mod tests {
             tra_count: 96,
             latency_ns: 22_950.0,
             energy_nj: 1_000.0,
+            measured_latency_ns: 22_950.0,
+            measured_energy_nj: 1_000.0,
         }
     }
 

@@ -31,23 +31,27 @@ pub struct EnergyModel {
 
 impl Default for EnergyModel {
     fn default() -> Self {
-        EnergyModel {
-            // ~2.5 nJ to activate + precharge an 8 KiB row (DDR4, per Ambit's estimates).
-            act_pre_nj: 2.5,
-            // The second activation of an AAP re-drives the bitlines into the target row.
-            second_act_nj: 1.5,
-            // TRA raises three wordlines simultaneously.
-            tra_extra_nj: 0.6,
-            // ~4 pJ/bit over the off-chip channel.
-            channel_nj_per_bit: 0.004,
-            // ~1 pJ/bit for internal accesses that stay on the DIMM.
-            array_access_nj_per_bit: 0.001,
-            background_w: 0.25,
-        }
+        Self::DDR4
     }
 }
 
 impl EnergyModel {
+    /// The canonical DDR4 per-command energy costs (single source of truth, mirroring
+    /// [`crate::timing::ddr4`] for the timing side).
+    pub const DDR4: EnergyModel = EnergyModel {
+        // ~2.5 nJ to activate + precharge an 8 KiB row (DDR4, per Ambit's estimates).
+        act_pre_nj: 2.5,
+        // The second activation of an AAP re-drives the bitlines into the target row.
+        second_act_nj: 1.5,
+        // TRA raises three wordlines simultaneously.
+        tra_extra_nj: 0.6,
+        // ~4 pJ/bit over the off-chip channel.
+        channel_nj_per_bit: 0.004,
+        // ~1 pJ/bit for internal accesses that stay on the DIMM.
+        array_access_nj_per_bit: 0.001,
+        background_w: 0.25,
+    };
+
     /// Creates the default DDR4 energy model.
     pub fn new() -> Self {
         Self::default()

@@ -45,10 +45,10 @@ mod device;
 mod error;
 mod rowclone;
 mod subarray;
-mod timing;
 
 pub mod energy;
 pub mod stats;
+pub mod timing;
 pub mod variation;
 
 pub use bank::Bank;

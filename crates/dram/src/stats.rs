@@ -53,6 +53,12 @@ impl DeviceStats {
         self.total_energy_nj
     }
 
+    /// Sum of command energies in picojoules (the unit the paper's per-bbop energy
+    /// figures and the `simdram-bench` JSON reports use).
+    pub fn total_energy_pj(&self) -> f64 {
+        self.total_energy_nj * 1e3
+    }
+
     /// Merges another statistics record into this one.
     pub fn merge(&mut self, other: &DeviceStats) {
         for (k, v) in &other.counts {

@@ -12,6 +12,30 @@
 //!   `2·tRAS + tRP` in the conservative model used here (the paper notes the second
 //!   activation can be shortened; see [`DramTiming::aggressive_aap`]).
 
+/// Canonical DDR4-2400R timing constants, in nanoseconds.
+///
+/// This module is the **single source of truth** for the DDR4 timing parameters used
+/// throughout the workspace: [`DramTiming::DDR4_2400`] (and therefore
+/// `DramTiming::default()`) is built from these constants, and the analytic performance
+/// model in `simdram-core` re-exports this module so figure generation and the functional
+/// simulator can never drift apart on tRAS/tWR and friends.
+pub mod ddr4 {
+    /// Row-address-to-column-address delay (tRCD).
+    pub const T_RCD_NS: f64 = 12.5;
+    /// Minimum ACTIVATE-to-PRECHARGE time (tRAS).
+    pub const T_RAS_NS: f64 = 32.0;
+    /// Precharge latency (tRP).
+    pub const T_RP_NS: f64 = 12.5;
+    /// Column access strobe latency (tCAS).
+    pub const T_CAS_NS: f64 = 12.5;
+    /// Column-to-column (burst gap) delay (tCCD_L).
+    pub const T_CCD_NS: f64 = 5.0;
+    /// Write recovery time (tWR).
+    pub const T_WR_NS: f64 = 15.0;
+    /// Bus clock period (tCK; DDR transfers two beats per cycle).
+    pub const T_CK_NS: f64 = 0.833;
+}
+
 /// DDR timing parameters (all in nanoseconds) plus derived compute-command latencies.
 ///
 /// Defaults correspond to a DDR4-2400 part, the configuration used by the SIMDRAM paper.
@@ -38,24 +62,36 @@ pub struct DramTiming {
 
 impl Default for DramTiming {
     fn default() -> Self {
-        // DDR4-2400R: tRCD = tRP = 12.5 ns, tRAS = 32 ns, tCCD_L = 5 ns, tCK = 0.833 ns.
-        DramTiming {
-            t_rcd_ns: 12.5,
-            t_ras_ns: 32.0,
-            t_rp_ns: 12.5,
-            t_cas_ns: 12.5,
-            t_ccd_ns: 5.0,
-            t_wr_ns: 15.0,
-            t_ck_ns: 0.833,
-            aggressive_aap: false,
-        }
+        Self::DDR4_2400
     }
 }
 
 impl DramTiming {
+    /// The DDR4-2400R timing set used by the SIMDRAM paper, built from the canonical
+    /// constants in [`ddr4`].
+    pub const DDR4_2400: DramTiming = DramTiming {
+        t_rcd_ns: ddr4::T_RCD_NS,
+        t_ras_ns: ddr4::T_RAS_NS,
+        t_rp_ns: ddr4::T_RP_NS,
+        t_cas_ns: ddr4::T_CAS_NS,
+        t_ccd_ns: ddr4::T_CCD_NS,
+        t_wr_ns: ddr4::T_WR_NS,
+        t_ck_ns: ddr4::T_CK_NS,
+        aggressive_aap: false,
+    };
+
     /// Creates the default DDR4-2400 timing set.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Number of whole bus-clock cycles a busy window of `ns` nanoseconds occupies.
+    pub fn cycles(&self, ns: f64) -> u64 {
+        if ns <= 0.0 {
+            0
+        } else {
+            (ns / self.t_ck_ns).ceil() as u64
+        }
     }
 
     /// Latency of a single ACTIVATE → PRECHARGE command pair (`AP`), used for triple-row
@@ -131,5 +167,23 @@ mod tests {
     fn row_write_includes_write_recovery() {
         let t = DramTiming::default();
         assert!(t.row_write_ns(64) > t.t_rcd_ns + t.t_wr_ns);
+    }
+
+    #[test]
+    fn default_is_built_from_the_canonical_constants() {
+        let t = DramTiming::default();
+        assert_eq!(t, DramTiming::DDR4_2400);
+        assert_eq!(t.t_ras_ns, ddr4::T_RAS_NS);
+        assert_eq!(t.t_wr_ns, ddr4::T_WR_NS);
+        assert_eq!(t.t_ck_ns, ddr4::T_CK_NS);
+    }
+
+    #[test]
+    fn cycles_round_up_and_zero_is_zero() {
+        let t = DramTiming::default();
+        assert_eq!(t.cycles(0.0), 0);
+        assert_eq!(t.cycles(-5.0), 0);
+        assert_eq!(t.cycles(t.t_ck_ns), 1);
+        assert_eq!(t.cycles(t.t_ck_ns * 2.5), 3);
     }
 }

@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nSIMDRAM finishes the same scans faster because its MAJ/NOT μPrograms issue fewer\n\
          row activations than Ambit's AND/OR/NOT sequences (see `cargo run -p simdram-bench \
-         --bin tab_commands`)."
+         -- --suite commands`)."
     );
     Ok(())
 }

@@ -101,6 +101,48 @@ proptest! {
     }
 
     #[test]
+    fn estimation_engine_is_policy_invariant(
+        seed_values in proptest::collection::vec((any::<u64>(), any::<u64>()), 260..700),
+        width in 2usize..=10,
+        max_threads in 1usize..=8,
+    ) {
+        // The trace-driven estimation engine must report identical energy totals and
+        // identical max-over-banks busy latency whichever execution policy ran: both are
+        // folds over the per-chunk CommandTraces, which the executor returns in chunk
+        // order under either policy.
+        let mask = word_mask(width);
+        let a_vals: Vec<u64> = seed_values.iter().map(|v| v.0 & mask).collect();
+        let b_vals: Vec<u64> = seed_values.iter().map(|v| v.1 & mask).collect();
+        let mut estimates = Vec::new();
+        let mut stats_latencies = Vec::new();
+        for policy in [ExecutionPolicy::Sequential, ExecutionPolicy::Threaded { max_threads }] {
+            let mut config = SimdramConfig::functional_test();
+            config.execution = policy;
+            let mut m = SimdramMachine::new(config).unwrap();
+            let a = m.alloc_and_write(width, &a_vals).unwrap();
+            let b = m.alloc_and_write(width, &b_vals).unwrap();
+            let (sum, report) = m.binary(Operation::Add, &a, &b).unwrap();
+            let _ = m.copy(&sum).unwrap();
+            m.init(&b, 1).unwrap();
+            // The per-operation measured numbers agree with the analytic model.
+            prop_assert!((report.measured_latency_ns - report.latency_ns).abs()
+                <= 1e-12 * report.latency_ns);
+            prop_assert!((report.measured_energy_nj - report.energy_nj).abs()
+                <= 1e-12 * report.energy_nj);
+            stats_latencies.push(m.device_stats().total_latency_ns());
+            estimates.push(m.estimate().clone());
+        }
+        // Bit-identical across policies: energy totals AND the max-over-banks latency.
+        prop_assert_eq!(&estimates[0], &estimates[1]);
+        prop_assert!(estimates[0].broadcasts >= 3);
+        prop_assert!(estimates[0].energy_nj > 0.0);
+        // 260..700 elements span 2-3 subarrays, so the parallel busy window is strictly
+        // shorter than the sequential-issue sum the DeviceStats report.
+        prop_assert!(estimates[0].busy_latency_ns < stats_latencies[0]);
+        prop_assert!(estimates[0].cycles > 0);
+    }
+
+    #[test]
     fn simdram_and_ambit_targets_agree(
         seed_values in proptest::collection::vec((any::<u64>(), any::<u64>()), 4..24),
         width in 2usize..=8,
