@@ -16,9 +16,16 @@
 //!
 //! Datapoints present in the baseline but missing from the fresh report — and gated
 //! metrics that disappeared from a shared datapoint — count as coverage regressions and
-//! also fail the gate. New datapoints are allowed (they will be gated once the baseline
-//! is refreshed). See README § "Evaluation pipeline" for the baseline-update (override)
-//! procedure.
+//! also fail the gate, with one exception: baseline datapoints whose verdict is `info`
+//! (informational context such as the host-dependent `estimate/simspeed` metric) are
+//! *skipped* when absent from the fresh report instead of failing it, so informational
+//! metrics can come and go without a lock-step baseline refresh. Informational
+//! datapoints present in **both** reports are still compared on the gated metrics —
+//! the deterministic CPU/GPU/Ambit baselines and kernel timings are `info`-verdict and
+//! deliberately gated — which is why host-dependent metrics must use names outside the
+//! gated lists (the `host_*`/`*_per_host_s` convention). New datapoints are allowed
+//! (they will be gated once the baseline is refreshed). See README § "Evaluation
+//! pipeline" for the baseline-update (override) procedure.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -47,7 +54,14 @@ const HIGHER_IS_BETTER: [&str; 6] = [
 
 type Metrics = BTreeMap<String, f64>;
 
-fn load(path: &str) -> Result<BTreeMap<String, Metrics>, String> {
+/// One datapoint as loaded from a report: its metrics plus whether it is informational
+/// (`verdict: "info"`, i.e. context with no paper-expected range).
+struct Entry {
+    metrics: Metrics,
+    informational: bool,
+}
+
+fn load(path: &str) -> Result<BTreeMap<String, Entry>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let json = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
     let version = json
@@ -82,7 +96,14 @@ fn load(path: &str) -> Result<BTreeMap<String, Metrics>, String> {
                 }
             }
         }
-        index.insert(format!("{suite}/{name}"), metrics);
+        let informational = dp.get("verdict").and_then(Json::as_str) == Some("info");
+        index.insert(
+            format!("{suite}/{name}"),
+            Entry {
+                metrics,
+                informational,
+            },
+        );
     }
     Ok(index)
 }
@@ -95,17 +116,26 @@ struct Regression {
 }
 
 fn compare(
-    baseline: &BTreeMap<String, Metrics>,
-    fresh: &BTreeMap<String, Metrics>,
+    baseline: &BTreeMap<String, Entry>,
+    fresh: &BTreeMap<String, Entry>,
     threshold: f64,
-) -> (Vec<Regression>, Vec<String>) {
+) -> (Vec<Regression>, Vec<String>, Vec<String>) {
     let mut regressions = Vec::new();
     let mut missing = Vec::new();
-    for (key, base_metrics) in baseline {
-        let Some(fresh_metrics) = fresh.get(key) else {
-            missing.push(key.clone());
+    let mut skipped = Vec::new();
+    for (key, base_entry) in baseline {
+        let base_metrics = &base_entry.metrics;
+        let Some(fresh_entry) = fresh.get(key) else {
+            // Informational context (e.g. host-dependent simulator-speed metrics) may
+            // come and go without a baseline refresh; only checked coverage is gated.
+            if base_entry.informational {
+                skipped.push(key.clone());
+            } else {
+                missing.push(key.clone());
+            }
             continue;
         };
+        let fresh_metrics = &fresh_entry.metrics;
         for (metric, lower_is_better) in LOWER_IS_BETTER
             .iter()
             .map(|&m| (m, true))
@@ -115,8 +145,13 @@ fn compare(
                 continue;
             };
             let Some(&new) = fresh_metrics.get(metric) else {
-                // A gated metric that disappeared is a coverage loss, not a pass.
-                missing.push(format!("{key} [{metric}]"));
+                // A gated metric that disappeared is a coverage loss, not a pass —
+                // unless the whole datapoint is informational.
+                if base_entry.informational {
+                    skipped.push(format!("{key} [{metric}]"));
+                } else {
+                    missing.push(format!("{key} [{metric}]"));
+                }
                 continue;
             };
             let regressed = if lower_is_better {
@@ -134,7 +169,7 @@ fn compare(
             }
         }
     }
-    (regressions, missing)
+    (regressions, missing, skipped)
 }
 
 fn main() -> ExitCode {
@@ -171,7 +206,10 @@ fn main() -> ExitCode {
         }
     };
 
-    let (regressions, missing) = compare(&baseline, &fresh, threshold);
+    let (regressions, missing, skipped) = compare(&baseline, &fresh, threshold);
+    for key in &skipped {
+        println!("SKIPPED {key}: informational in baseline, absent from fresh report");
+    }
     for key in &missing {
         println!("MISSING {key}: present in baseline, absent from fresh report");
     }
@@ -198,5 +236,93 @@ fn main() -> ExitCode {
             threshold * 100.0
         );
         ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(informational: bool, metrics: &[(&str, f64)]) -> Entry {
+        Entry {
+            metrics: metrics.iter().map(|&(k, v)| (k.to_string(), v)).collect(),
+            informational,
+        }
+    }
+
+    fn report(entries: Vec<(&str, Entry)>) -> BTreeMap<String, Entry> {
+        entries
+            .into_iter()
+            .map(|(k, e)| (k.to_string(), e))
+            .collect()
+    }
+
+    #[test]
+    fn informational_baseline_entries_are_skipped_when_dropped() {
+        let baseline = report(vec![
+            ("estimate/simspeed", entry(true, &[("latency_ns", 5.0)])),
+            (
+                "estimate/machine_totals",
+                entry(false, &[("busy_latency_ns", 10.0)]),
+            ),
+        ]);
+        let fresh = report(vec![(
+            "estimate/machine_totals",
+            entry(false, &[("busy_latency_ns", 10.0)]),
+        )]);
+        let (regressions, missing, skipped) = compare(&baseline, &fresh, 0.15);
+        assert!(regressions.is_empty());
+        assert!(missing.is_empty());
+        assert_eq!(skipped, vec!["estimate/simspeed".to_string()]);
+    }
+
+    #[test]
+    fn checked_baseline_entries_still_fail_when_dropped() {
+        let baseline = report(vec![(
+            "kernels/add32",
+            entry(false, &[("latency_ns", 10.0)]),
+        )]);
+        let fresh = report(vec![]);
+        let (_, missing, skipped) = compare(&baseline, &fresh, 0.15);
+        assert_eq!(missing, vec!["kernels/add32".to_string()]);
+        assert!(skipped.is_empty());
+    }
+
+    #[test]
+    fn dropped_gated_metric_is_skipped_only_for_informational_datapoints() {
+        let baseline = report(vec![
+            ("a/info", entry(true, &[("latency_ns", 5.0), ("x", 1.0)])),
+            ("a/checked", entry(false, &[("latency_ns", 5.0)])),
+        ]);
+        let fresh = report(vec![
+            ("a/info", entry(true, &[("x", 1.0)])),
+            ("a/checked", entry(false, &[("x", 2.0)])),
+        ]);
+        let (_, missing, skipped) = compare(&baseline, &fresh, 0.15);
+        assert_eq!(skipped, vec!["a/info [latency_ns]".to_string()]);
+        assert_eq!(missing, vec!["a/checked [latency_ns]".to_string()]);
+    }
+
+    #[test]
+    fn regressions_respect_direction_and_threshold() {
+        let baseline = report(vec![(
+            "k/dp",
+            entry(false, &[("latency_ns", 100.0), ("throughput_gops", 10.0)]),
+        )]);
+        let fresh = report(vec![(
+            "k/dp",
+            entry(false, &[("latency_ns", 120.0), ("throughput_gops", 8.0)]),
+        )]);
+        let (regressions, missing, skipped) = compare(&baseline, &fresh, 0.15);
+        assert!(missing.is_empty() && skipped.is_empty());
+        let names: Vec<&str> = regressions.iter().map(|r| r.metric).collect();
+        assert_eq!(names, vec!["latency_ns", "throughput_gops"]);
+        // Within threshold: no regression.
+        let fresh_ok = report(vec![(
+            "k/dp",
+            entry(false, &[("latency_ns", 110.0), ("throughput_gops", 9.0)]),
+        )]);
+        let (regressions, _, _) = compare(&baseline, &fresh_ok, 0.15);
+        assert!(regressions.is_empty());
     }
 }

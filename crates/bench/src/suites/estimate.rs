@@ -46,6 +46,7 @@ pub fn run() -> Vec<Datapoint> {
     let preds: Vec<bool> = (0..ELEMENTS).map(|i| i % 3 == 0).collect();
 
     let mut datapoints = Vec::new();
+    let host_start = std::time::Instant::now();
     for op in Operation::ALL {
         let a = machine.alloc_and_write(WIDTH, &a_vals).expect("alloc a");
         let b = machine.alloc_and_write(WIDTH, &b_vals).expect("alloc b");
@@ -89,6 +90,27 @@ pub fn run() -> Vec<Datapoint> {
         machine.free(a);
     }
 
+    // Informational simulator-speed metric: simulated lane-bit-ops (every command
+    // operates on all bitlines of each participating subarray) per host-second across
+    // the functional executions above. Host-dependent by construction, so the datapoint
+    // is informational (`verdict: info`, which `bench_diff` skips if a later report
+    // drops it) and its metric names (`*_per_host_s`, `host_ms`) deliberately stay off
+    // `bench_diff`'s gated-metric lists so host speed can never fail the perf gate.
+    let host_s = host_start.elapsed().as_secs_f64();
+    let lane_bit_ops = machine.estimate().commands as f64 * machine.lanes_per_subarray() as f64;
+    datapoints.push(Datapoint::info(
+        SUITE,
+        "simspeed".to_string(),
+        vec![
+            ("lane_bit_ops_per_host_s", lane_bit_ops / host_s),
+            (
+                "commands_per_host_s",
+                machine.estimate().commands as f64 / host_s,
+            ),
+            ("host_ms", host_s * 1e3),
+        ],
+    ));
+
     // Machine-level totals from the cumulative estimation engine: the busy window must
     // reflect bank-parallel overlap — strictly shorter than the sequential-issue sum in
     // DeviceStats (every broadcast above spans 2 subarrays).
@@ -126,9 +148,14 @@ mod tests {
     #[test]
     fn trace_engine_matches_analytic_model_for_every_op() {
         let datapoints = run();
-        assert_eq!(datapoints.len(), 16 + 1);
+        assert_eq!(datapoints.len(), 16 + 2);
         for dp in &datapoints {
-            assert_eq!(dp.verdict, Verdict::Pass, "{}", dp.name);
+            if dp.name == "simspeed" {
+                assert_eq!(dp.verdict, Verdict::Info, "{}", dp.name);
+                assert!(dp.metric("lane_bit_ops_per_host_s").unwrap() > 0.0);
+            } else {
+                assert_eq!(dp.verdict, Verdict::Pass, "{}", dp.name);
+            }
         }
         let totals = datapoints.last().unwrap();
         assert!(totals.metric("busy_latency_ns").unwrap() > 0.0);

@@ -116,8 +116,10 @@ impl SimdramMachine {
     /// Clears the functional command accounting: the machine-level [`DeviceStats`], the
     /// cumulative [`MachineEstimate`] and every subarray's cumulative command trace.
     ///
-    /// Long-running drivers (benchmarks, soak tests) call this between measurements —
-    /// per-subarray traces are append-only and would otherwise grow without bound.
+    /// Long-running drivers (benchmarks, soak tests) call this between measurements.
+    /// Note that machine memory is bounded even without calling this: every broadcast
+    /// kernel drains the per-command history its subarray accumulated (the absorbed
+    /// local traces carry it), keeping only O(1) aggregate counters per subarray.
     pub fn reset_device_stats(&mut self) {
         self.device.reset_stats();
         self.functional_stats = DeviceStats::new();
@@ -265,10 +267,11 @@ impl SimdramMachine {
             .executor
             .broadcast(&mut self.device, &coords, |chunk, sa| {
                 let lanes = columns.min(len - chunk * columns);
-                let mut slices = Vec::with_capacity(width);
+                // Borrow each row's packed words directly — the inspect path never
+                // clones a row.
+                let mut slices: Vec<&[u64]> = Vec::with_capacity(width);
                 for bit in 0..width {
-                    let row = sa.peek(RowAddr::Data(base_row + bit))?;
-                    slices.push(row.words().to_vec());
+                    slices.push(sa.row(RowAddr::Data(base_row + bit))?.words());
                 }
                 Ok(vertical_to_horizontal(&slices, width, lanes))
             })?;
@@ -334,7 +337,11 @@ impl SimdramMachine {
                     };
                     sa.aap(src, RowAddr::Data(base_row + bit))?;
                 }
-                Ok(sa.trace_since(mark))
+                let local = sa.trace_since(mark);
+                // The local trace now owns this broadcast's history (absorbed below);
+                // drain the subarray's copy so long-running machines stay bounded.
+                sa.drain_trace();
+                Ok(local)
             })?;
         self.absorb_chunk_traces(&traces);
         Ok(())
@@ -428,7 +435,9 @@ impl SimdramMachine {
                 for bit in 0..width {
                     sa.aap(RowAddr::Data(src_base + bit), RowAddr::Data(dst_base + bit))?;
                 }
-                Ok(sa.trace_since(mark))
+                let local = sa.trace_since(mark);
+                sa.drain_trace();
+                Ok(local)
             })?;
         self.absorb_chunk_traces(&traces);
         Ok(dst)
@@ -494,7 +503,12 @@ impl SimdramMachine {
         let traces = self
             .executor
             .broadcast(&mut self.device, &coords, |_, sa| {
-                execute_uprog(program, sa, binding).map_err(CoreError::from)
+                let local = execute_uprog(program, sa, binding).map_err(CoreError::from)?;
+                // The kernel returned its own accounting; drop the subarray's duplicate
+                // per-command history (aggregate counters are kept) so repeated
+                // executions do not grow memory without bound.
+                sa.drain_trace();
+                Ok(local)
             })?;
         let measured = self.absorb_chunk_traces(&traces);
         let timing = &self.config.dram.timing;
@@ -783,6 +797,36 @@ mod tests {
         assert_eq!(reports[0], reports[1]);
         assert_eq!(device_stats[0], device_stats[1]);
         assert!(device_stats[0].total_commands() > 0);
+    }
+
+    #[test]
+    fn broadcast_kernels_drain_subarray_history() {
+        // Repeated executions must not accumulate per-command history inside the
+        // device's subarrays (the machine absorbs each broadcast's local trace instead);
+        // aggregate counters survive the drain, so device-level stats stay complete.
+        let mut m = machine();
+        let a = m.alloc_and_write(8, &[1, 2, 3]).unwrap();
+        let b = m.alloc_and_write(8, &[4, 5, 6]).unwrap();
+        for _ in 0..5 {
+            let (dst, _) = m.binary(Operation::Add, &a, &b).unwrap();
+            m.init(&dst, 0).unwrap();
+            m.free(dst);
+        }
+        let retained: usize = m
+            .device
+            .iter()
+            .flat_map(|bank| bank.iter())
+            .map(|sa| sa.trace().history_len())
+            .sum();
+        assert_eq!(retained, 0, "subarray per-command history must be drained");
+        let commands: usize = m
+            .device
+            .iter()
+            .flat_map(|bank| bank.iter())
+            .map(|sa| sa.trace().len())
+            .sum();
+        assert!(commands > 0, "aggregate counters must survive the drain");
+        assert_eq!(m.device_stats().total_commands(), commands);
     }
 
     #[test]

@@ -19,9 +19,10 @@ use simdram_dram::{energy::EnergyModel, DramTiming};
 /// of the transposition unit: a horizontal cache line's worth of 64-bit elements becomes 64
 /// vertical bit-slices (and vice versa — the transform is an involution).
 ///
-/// The software model walks the set bits of each row, which is simple, branch-predictable
-/// and fast for the tile sizes involved; the hardware unit would use a 6-stage butterfly
-/// network with identical semantics.
+/// The software model runs the same 6-stage butterfly network the hardware unit would
+/// use: each stage swaps square sub-blocks with word-wide masked XORs (the classic
+/// recursive block-transpose), so the cost is ~6 × 64 branch-free word operations,
+/// independent of how many bits are set.
 ///
 /// # Examples
 ///
@@ -35,16 +36,24 @@ use simdram_dram::{energy::EnergyModel, DramTiming};
 /// assert_eq!(transpose_64x64(&t), matrix);
 /// ```
 pub fn transpose_64x64(rows: &[u64; 64]) -> [u64; 64] {
-    let mut out = [0u64; 64];
-    for (i, &row) in rows.iter().enumerate() {
-        let mut remaining = row;
-        while remaining != 0 {
-            let j = remaining.trailing_zeros() as usize;
-            out[j] |= 1 << i;
-            remaining &= remaining - 1;
+    let mut m = *rows;
+    // Stage s swaps, for every 2j×2j block on the diagonal, its upper-right and
+    // lower-left j×j sub-blocks (j = 32, 16, …, 1): a delta-swap between row r's high
+    // (column ≥ j) bits and row r+j's low bits.
+    let mut j = 32usize;
+    let mut mask: u64 = 0x0000_0000_FFFF_FFFF;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < 64 {
+            let t = (m[k] >> j ^ m[k + j]) & mask;
+            m[k] ^= t << j;
+            m[k + j] ^= t;
+            k = (k + j + 1) & !j;
         }
+        j >>= 1;
+        mask ^= mask << j;
     }
-    out
+    m
 }
 
 /// Analytic latency/energy model of the memory-controller transposition unit.
@@ -104,28 +113,57 @@ impl TranspositionUnit {
 ///
 /// Slice `b` of the result holds bit `b` of every element — exactly the contents of DRAM row
 /// `base + b` in SIMDRAM's vertical layout. [`vertical_to_horizontal`] is the inverse.
+///
+/// The conversion is word-tiled: each group of 64 lanes forms one 64×64 tile that is
+/// transposed with [`transpose_64x64`] — the same primitive the hardware unit pipelines —
+/// so the cost is one tile transpose per 64 lanes instead of one inner loop per bit.
+/// `width` must be at most 64 (elements are `u64`s).
 pub fn horizontal_to_vertical(values: &[u64], width: usize, lanes: usize) -> Vec<Vec<u64>> {
     let words_per_slice = lanes.div_ceil(64);
     let mut slices = vec![vec![0u64; words_per_slice]; width];
-    for (lane, &value) in values.iter().enumerate().take(lanes) {
-        for (bit, slice) in slices.iter_mut().enumerate() {
-            if (value >> bit) & 1 == 1 {
-                slice[lane / 64] |= 1 << (lane % 64);
-            }
+    let used = values.len().min(lanes);
+    let mut tile = [0u64; 64];
+    for w in 0..words_per_slice {
+        let base = w * 64;
+        let n = used.saturating_sub(base).min(64);
+        if n == 0 {
+            break;
+        }
+        tile[..n].copy_from_slice(&values[base..base + n]);
+        tile[n..].fill(0);
+        let transposed = transpose_64x64(&tile);
+        for (slice, &word) in slices.iter_mut().zip(&transposed) {
+            slice[w] = word;
         }
     }
     slices
 }
 
 /// Inverse of [`horizontal_to_vertical`]: reassembles per-element values from bit-slices.
-pub fn vertical_to_horizontal(slices: &[Vec<u64>], width: usize, lanes: usize) -> Vec<u64> {
+///
+/// Word-tiled like the forward conversion. Accepts any word-slice representation of the
+/// vertical layout (`Vec<u64>` rows, borrowed `&[u64]` DRAM row words, …); slices shorter
+/// than `lanes` bits are treated as zero-padded.
+pub fn vertical_to_horizontal<S: AsRef<[u64]>>(
+    slices: &[S],
+    width: usize,
+    lanes: usize,
+) -> Vec<u64> {
     let mut values = vec![0u64; lanes];
-    for (bit, slice) in slices.iter().enumerate().take(width) {
-        for (lane, value) in values.iter_mut().enumerate() {
-            if (slice[lane / 64] >> (lane % 64)) & 1 == 1 {
-                *value |= 1 << bit;
-            }
+    let width = width.min(slices.len()).min(64);
+    let mut tile = [0u64; 64];
+    for w in 0..lanes.div_ceil(64) {
+        let base = w * 64;
+        for (bit, row) in tile.iter_mut().enumerate() {
+            *row = if bit < width {
+                slices[bit].as_ref().get(w).copied().unwrap_or(0)
+            } else {
+                0
+            };
         }
+        let transposed = transpose_64x64(&tile);
+        let n = (lanes - base).min(64);
+        values[base..base + n].copy_from_slice(&transposed[..n]);
     }
     values
 }

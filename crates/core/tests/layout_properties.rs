@@ -6,8 +6,86 @@ use simdram_core::{
     horizontal_to_vertical, transpose_64x64, vertical_to_horizontal, SimdramConfig, SimdramMachine,
 };
 
+/// The pre-tiling scalar implementation of `horizontal_to_vertical`, kept as the
+/// reference the word-tiled version must match bit-for-bit.
+fn scalar_horizontal_to_vertical(values: &[u64], width: usize, lanes: usize) -> Vec<Vec<u64>> {
+    let words_per_slice = lanes.div_ceil(64);
+    let mut slices = vec![vec![0u64; words_per_slice]; width];
+    for (lane, &value) in values.iter().enumerate().take(lanes) {
+        for (bit, slice) in slices.iter_mut().enumerate() {
+            if (value >> bit) & 1 == 1 {
+                slice[lane / 64] |= 1 << (lane % 64);
+            }
+        }
+    }
+    slices
+}
+
+/// The pre-tiling scalar implementation of `vertical_to_horizontal` (reference).
+fn scalar_vertical_to_horizontal(slices: &[Vec<u64>], width: usize, lanes: usize) -> Vec<u64> {
+    let mut values = vec![0u64; lanes];
+    for (bit, slice) in slices.iter().enumerate().take(width) {
+        for (lane, value) in values.iter_mut().enumerate() {
+            if (slice[lane / 64] >> (lane % 64)) & 1 == 1 {
+                *value |= 1 << bit;
+            }
+        }
+    }
+    values
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // The tiled conversions must match the scalar reference bit-for-bit, in particular
+    // for lane counts that are not multiples of the 64×64 tile size and for value lists
+    // shorter or longer than the lane count.
+    #[test]
+    fn tiled_h2v_matches_scalar_reference(
+        values in proptest::collection::vec(any::<u64>(), 1..300),
+        width in 1usize..=64,
+        extra_lanes in 0usize..70,
+    ) {
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let masked: Vec<u64> = values.iter().map(|v| v & mask).collect();
+        let lanes = (masked.len() + extra_lanes).max(1);
+        prop_assert_eq!(
+            horizontal_to_vertical(&masked, width, lanes),
+            scalar_horizontal_to_vertical(&masked, width, lanes)
+        );
+    }
+
+    #[test]
+    fn tiled_v2h_matches_scalar_reference(
+        values in proptest::collection::vec(any::<u64>(), 1..300),
+        width in 1usize..=64,
+    ) {
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let masked: Vec<u64> = values.iter().map(|v| v & mask).collect();
+        let lanes = masked.len();
+        let slices = scalar_horizontal_to_vertical(&masked, width, lanes);
+        prop_assert_eq!(
+            vertical_to_horizontal(&slices, width, lanes),
+            scalar_vertical_to_horizontal(&slices, width, lanes)
+        );
+    }
+
+    #[test]
+    fn tiled_round_trip_against_scalar_for_ragged_lanes(
+        lanes in 1usize..200,
+        width in 1usize..=32,
+    ) {
+        // Deterministic ragged-lane round trip: tiled h2v -> scalar v2h and
+        // scalar h2v -> tiled v2h both recover the original values.
+        let mask = (1u64 << width) - 1;
+        let values: Vec<u64> = (0..lanes as u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask)
+            .collect();
+        let tiled = horizontal_to_vertical(&values, width, lanes);
+        prop_assert_eq!(scalar_vertical_to_horizontal(&tiled, width, lanes), values.clone());
+        let scalar = scalar_horizontal_to_vertical(&values, width, lanes);
+        prop_assert_eq!(vertical_to_horizontal(&scalar, width, lanes), values);
+    }
 
     #[test]
     fn tile_transpose_is_involutive(rows in proptest::collection::vec(any::<u64>(), 64)) {

@@ -197,6 +197,20 @@ impl BitRow {
         Ok(())
     }
 
+    /// Copies `src` into `self`, truncating or zero-extending to `self`'s length.
+    ///
+    /// This is the in-place, allocation-free equivalent of re-building a row from another
+    /// row of a different width: whole words are copied with `copy_from_slice`, missing
+    /// words are zeroed and the tail is re-masked.
+    pub fn copy_from_resized(&mut self, src: &BitRow) {
+        let n = self.words.len().min(src.words.len());
+        self.words[..n].copy_from_slice(&src.words[..n]);
+        for w in &mut self.words[n..] {
+            *w = 0;
+        }
+        self.mask_tail();
+    }
+
     /// Bitwise AND of two rows.
     ///
     /// # Errors
@@ -234,6 +248,31 @@ impl BitRow {
         out
     }
 
+    /// Writes the bitwise NOT of `self` into `out` without allocating.
+    ///
+    /// This is the in-place equivalent of [`BitRow::not`], used by the dual-contact-cell
+    /// datapath where the complement is driven directly onto an existing row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::WidthMismatch`] if the rows have different lengths.
+    pub fn not_into(&self, out: &mut BitRow) -> Result<()> {
+        self.check_width(out)?;
+        for (dst, &src) in out.words.iter_mut().zip(&self.words) {
+            *dst = !src;
+        }
+        out.mask_tail();
+        Ok(())
+    }
+
+    /// Inverts every bit of the row in place (allocation-free [`BitRow::not`]).
+    pub fn invert(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.mask_tail();
+    }
+
     /// Bitwise majority of three rows: the triple-row-activation primitive.
     ///
     /// Each output bit is `1` when at least two of the corresponding input bits are `1`.
@@ -252,6 +291,24 @@ impl BitRow {
             .map(|((&x, &y), &z)| (x & y) | (y & z) | (x & z))
             .collect();
         Ok(BitRow { words, len: a.len })
+    }
+
+    /// Writes the bitwise majority of three rows into `out` without allocating: the
+    /// in-place equivalent of [`BitRow::majority`], used by the triple-row-activation
+    /// datapath where the majority settles directly in the sense amplifiers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::WidthMismatch`] if any row's length differs from `out`'s.
+    pub fn majority_into(a: &BitRow, b: &BitRow, c: &BitRow, out: &mut BitRow) -> Result<()> {
+        a.check_width(b)?;
+        a.check_width(c)?;
+        a.check_width(out)?;
+        for (i, dst) in out.words.iter_mut().enumerate() {
+            let (x, y, z) = (a.words[i], b.words[i], c.words[i]);
+            *dst = (x & y) | (y & z) | (x & z);
+        }
+        Ok(())
     }
 
     /// In-place fill with zeros or ones (the control rows `C0`/`C1`).
@@ -469,6 +526,43 @@ mod tests {
         let src = BitRow::splat_word(0xFFFF_0000_FFFF_0000, 128);
         dst.copy_from(&src).unwrap();
         assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn in_place_ops_match_allocating_variants() {
+        let a = BitRow::splat_word(0xDEAD_BEEF_0123_4567, 130);
+        let b = BitRow::splat_word(0x0F0F_F0F0_AAAA_5555, 130);
+        let c = BitRow::splat_word(0x1234_5678_9ABC_DEF0, 130);
+
+        let mut out = BitRow::zeros(130);
+        a.not_into(&mut out).unwrap();
+        assert_eq!(out, a.not());
+
+        BitRow::majority_into(&a, &b, &c, &mut out).unwrap();
+        assert_eq!(out, BitRow::majority(&a, &b, &c).unwrap());
+
+        let mut inv = a.clone();
+        inv.invert();
+        assert_eq!(inv, a.not());
+
+        let mut mismatched = BitRow::zeros(64);
+        assert!(a.not_into(&mut mismatched).is_err());
+        assert!(BitRow::majority_into(&a, &b, &c, &mut mismatched).is_err());
+    }
+
+    #[test]
+    fn copy_from_resized_truncates_and_extends() {
+        let short = BitRow::ones(10);
+        let mut dst = BitRow::splat_word(u64::MAX, 130);
+        dst.copy_from_resized(&short);
+        assert_eq!(dst.count_ones(), 10);
+        assert_eq!(dst.len(), 130);
+
+        let long = BitRow::ones(130);
+        let mut small = BitRow::zeros(70);
+        small.copy_from_resized(&long);
+        assert_eq!(small.count_ones(), 70);
+        assert_eq!(small.len(), 70);
     }
 
     #[test]

@@ -1,4 +1,12 @@
 //! DRAM command kinds and the command trace collected during simulation.
+//!
+//! Traces are on the per-command hot path of the functional simulator, so they are stored
+//! compactly: one byte per command (an index into a small table of distinct
+//! (kind, latency, energy) cost combinations) plus incrementally maintained totals and
+//! per-slot counters. Full [`DramCommand`] values are reconstructed lazily by
+//! [`CommandTrace::commands`]. Compared to storing a 24-byte `DramCommand` per command
+//! this is a ~24× reduction in trace memory and removes all per-command heap traffic
+//! beyond the amortized 1-byte vector push.
 
 use std::fmt;
 
@@ -48,13 +56,52 @@ pub struct DramCommand {
     pub energy_nj: f64,
 }
 
+/// A pre-registered cost-table index of a [`CommandTrace`], obtained from
+/// [`CommandTrace::register`]. Valid for the registering trace until its next
+/// [`CommandTrace::clear`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSlot(u8);
+
+/// One distinct (kind, latency, energy) cost combination plus the number of commands
+/// recorded with it (including commands whose per-command history was drained).
+#[derive(Debug, Clone, PartialEq)]
+struct CostSlot {
+    kind: CommandKind,
+    latency_ns: f64,
+    energy_nj: f64,
+    count: usize,
+}
+
+impl CostSlot {
+    fn command(&self) -> DramCommand {
+        DramCommand {
+            kind: self.kind,
+            latency_ns: self.latency_ns,
+            energy_nj: self.energy_nj,
+        }
+    }
+}
+
 /// An append-only trace of issued commands with aggregate counters.
 ///
-/// Traces are cheap to merge, which is how bank- and device-level statistics are built from
-/// per-subarray execution.
+/// Storage is compact (see the [module documentation](self)): the per-command history is a
+/// `Vec<u8>` of indices into a per-trace cost table, and kind counts plus latency/energy
+/// totals are maintained incrementally on every [`CommandTrace::push`]. A subarray only
+/// ever produces a handful of distinct cost combinations, so the table stays tiny; traces
+/// support at most 256 distinct combinations.
+///
+/// Long-running owners can call [`CommandTrace::drain_history`] to drop the per-command
+/// history while keeping every aggregate (length, per-kind counts, totals) intact — this
+/// is what keeps a [`crate::Subarray`]'s cumulative trace bounded across repeated
+/// μProgram executions.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CommandTrace {
-    commands: Vec<DramCommand>,
+    /// Per-command cost-table indices for the retained history.
+    ops: Vec<u8>,
+    /// Distinct cost combinations seen by this trace, in first-seen order.
+    slots: Vec<CostSlot>,
+    /// Number of commands whose history was dropped by [`CommandTrace::drain_history`].
+    drained: usize,
     total_latency_ns: f64,
     total_energy_nj: f64,
 }
@@ -66,30 +113,120 @@ impl CommandTrace {
     }
 
     /// Records a command.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace would need more than 256 distinct (kind, latency, energy)
+    /// cost combinations — far beyond what any substrate configuration produces.
     pub fn push(&mut self, command: DramCommand) {
-        self.total_latency_ns += command.latency_ns;
-        self.total_energy_nj += command.energy_nj;
-        self.commands.push(command);
+        let slot = self.slot_index(&command);
+        self.record(TraceSlot(slot));
     }
 
-    /// All recorded commands, in issue order.
-    pub fn commands(&self) -> &[DramCommand] {
-        &self.commands
+    /// Pre-registers a cost combination, returning a [`TraceSlot`] that
+    /// [`CommandTrace::record`] accepts for search-free recording on the per-command hot
+    /// path. Registering does not record anything; registering the same combination
+    /// twice returns the same slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics on cost-table overflow, like [`CommandTrace::push`].
+    pub fn register(&mut self, command: DramCommand) -> TraceSlot {
+        TraceSlot(self.slot_index(&command))
     }
 
-    /// Number of recorded commands.
+    /// Records one command of a pre-registered cost combination (see
+    /// [`CommandTrace::register`]): one table lookup, two running-total additions and a
+    /// 1-byte history push.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` does not come from [`CommandTrace::register`] on this trace (or
+    /// the table was since [`CommandTrace::clear`]ed).
+    pub fn record(&mut self, slot: TraceSlot) {
+        let entry = &mut self.slots[slot.0 as usize];
+        entry.count += 1;
+        self.total_latency_ns += entry.latency_ns;
+        self.total_energy_nj += entry.energy_nj;
+        self.ops.push(slot.0);
+    }
+
+    fn slot_index(&mut self, command: &DramCommand) -> u8 {
+        let found = self.slots.iter().position(|s| {
+            s.kind == command.kind
+                && s.latency_ns.to_bits() == command.latency_ns.to_bits()
+                && s.energy_nj.to_bits() == command.energy_nj.to_bits()
+        });
+        match found {
+            Some(i) => i as u8,
+            None => {
+                assert!(
+                    self.slots.len() < 256,
+                    "CommandTrace cost table overflow: more than 256 distinct command costs"
+                );
+                self.slots.push(CostSlot {
+                    kind: command.kind,
+                    latency_ns: command.latency_ns,
+                    energy_nj: command.energy_nj,
+                    count: 0,
+                });
+                (self.slots.len() - 1) as u8
+            }
+        }
+    }
+
+    /// Reserves capacity for at least `additional` more commands, so a μProgram of known
+    /// length can be traced without reallocating mid-execution.
+    pub fn reserve(&mut self, additional: usize) {
+        self.ops.reserve(additional);
+    }
+
+    /// Lazily reconstructs the retained per-command history, in issue order.
+    ///
+    /// Commands dropped by [`CommandTrace::drain_history`] are not included (their counts
+    /// and costs remain in the aggregates).
+    pub fn commands(&self) -> impl Iterator<Item = DramCommand> + '_ {
+        self.ops
+            .iter()
+            .map(move |&idx| self.slots[idx as usize].command())
+    }
+
+    /// Number of recorded commands, including drained history.
     pub fn len(&self) -> usize {
-        self.commands.len()
+        self.drained + self.ops.len()
+    }
+
+    /// Number of commands whose per-command history is still retained (and therefore
+    /// reconstructable via [`CommandTrace::commands`]).
+    pub fn history_len(&self) -> usize {
+        self.ops.len()
     }
 
     /// Returns `true` if no commands were recorded.
     pub fn is_empty(&self) -> bool {
-        self.commands.is_empty()
+        self.len() == 0
     }
 
-    /// Number of commands of the given kind.
+    /// Number of commands of the given kind, including drained history.
     pub fn count(&self, kind: CommandKind) -> usize {
-        self.commands.iter().filter(|c| c.kind == kind).count()
+        self.slots
+            .iter()
+            .filter(|s| s.kind == kind)
+            .map(|s| s.count)
+            .sum()
+    }
+
+    /// Iterates over (kind, count) aggregates, one entry per cost-table slot with at
+    /// least one recorded command (pre-registered but unused slots are skipped).
+    ///
+    /// A kind can appear more than once (e.g. plain `AAP` and `AAP` with a TRA source
+    /// charge different energies); callers summing into their own per-kind aggregates are
+    /// unaffected.
+    pub fn kind_counts(&self) -> impl Iterator<Item = (CommandKind, usize)> + '_ {
+        self.slots
+            .iter()
+            .filter(|s| s.count > 0)
+            .map(|s| (s.kind, s.count))
     }
 
     /// Sum of the latencies of all recorded commands (sequential issue), in nanoseconds.
@@ -102,31 +239,59 @@ impl CommandTrace {
         self.total_energy_nj
     }
 
-    /// Appends all commands of `other` to `self`.
+    /// Merges `other` into `self`: retained history is appended, and aggregates —
+    /// including those of commands `other` has [drained](CommandTrace::drain_history) —
+    /// carry over in full (drained commands stay history-less in the merged trace).
     pub fn merge(&mut self, other: &CommandTrace) {
-        for c in &other.commands {
-            self.push(c.clone());
+        // Remap other's cost table into self's, then splice counts, history and totals.
+        let mut remap = [0u8; 256];
+        for (i, slot) in other.slots.iter().enumerate() {
+            let idx = self.slot_index(&slot.command());
+            remap[i] = idx;
+            self.slots[idx as usize].count += slot.count;
         }
+        self.reserve(other.ops.len());
+        self.ops
+            .extend(other.ops.iter().map(|&op| remap[op as usize]));
+        self.drained += other.drained;
+        self.total_latency_ns += other.total_latency_ns;
+        self.total_energy_nj += other.total_energy_nj;
     }
 
     /// Returns a new trace containing only the commands recorded at or after position
     /// `mark` (a value previously obtained from [`CommandTrace::len`]).
     ///
-    /// Totals are recomputed from the copied commands, so the returned trace is a
+    /// Totals are recomputed command-by-command in issue order, so the returned trace is a
     /// self-contained accounting of exactly the suffix — this is how per-broadcast
     /// command/latency/energy deltas are extracted without sharing mutable state
-    /// between execution chunks.
+    /// between execution chunks. Marks taken before a [`CommandTrace::drain_history`]
+    /// call clamp to the retained history.
     pub fn since(&self, mark: usize) -> CommandTrace {
+        let start = mark.saturating_sub(self.drained).min(self.ops.len());
         let mut suffix = CommandTrace::new();
-        for c in self.commands.iter().skip(mark) {
-            suffix.push(c.clone());
+        suffix.reserve(self.ops.len() - start);
+        for &idx in &self.ops[start..] {
+            suffix.push(self.slots[idx as usize].command());
         }
         suffix
     }
 
-    /// Clears the trace.
+    /// Drops the per-command history while keeping every aggregate — length, per-kind
+    /// counts and latency/energy totals — intact.
+    ///
+    /// This bounds the memory of cumulative traces: owners that have already absorbed the
+    /// per-command history (e.g. a machine merging per-broadcast traces) drain it so
+    /// long-running simulations do not grow without bound.
+    pub fn drain_history(&mut self) {
+        self.drained += self.ops.len();
+        self.ops.clear();
+    }
+
+    /// Clears the trace, including aggregates and the cost table.
     pub fn clear(&mut self) {
-        self.commands.clear();
+        self.ops.clear();
+        self.slots.clear();
+        self.drained = 0;
         self.total_latency_ns = 0.0;
         self.total_energy_nj = 0.0;
     }
@@ -159,6 +324,45 @@ mod tests {
     }
 
     #[test]
+    fn commands_reconstruct_the_issue_order() {
+        let mut trace = CommandTrace::new();
+        trace.push(cmd(CommandKind::Read));
+        trace.push(cmd(CommandKind::TripleRowActivate));
+        trace.push(cmd(CommandKind::Read));
+        let kinds: Vec<CommandKind> = trace.commands().map(|c| c.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                CommandKind::Read,
+                CommandKind::TripleRowActivate,
+                CommandKind::Read
+            ]
+        );
+        assert!(trace.commands().all(|c| c.latency_ns == 10.0));
+    }
+
+    #[test]
+    fn same_kind_with_different_costs_gets_distinct_slots() {
+        // Plain AAP and AAP-with-TRA-source share a kind but charge different energies;
+        // the trace must reconstruct each command with its exact cost.
+        let mut trace = CommandTrace::new();
+        trace.push(DramCommand {
+            kind: CommandKind::ActivateActivatePrecharge,
+            latency_ns: 10.0,
+            energy_nj: 2.0,
+        });
+        trace.push(DramCommand {
+            kind: CommandKind::ActivateActivatePrecharge,
+            latency_ns: 10.0,
+            energy_nj: 3.5,
+        });
+        assert_eq!(trace.count(CommandKind::ActivateActivatePrecharge), 2);
+        let energies: Vec<f64> = trace.commands().map(|c| c.energy_nj).collect();
+        assert_eq!(energies, vec![2.0, 3.5]);
+        assert!((trace.total_energy_nj() - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
     fn merge_concatenates_traces() {
         let mut a = CommandTrace::new();
         a.push(cmd(CommandKind::Read));
@@ -169,6 +373,31 @@ mod tests {
         assert_eq!(a.len(), 3);
         assert_eq!(a.count(CommandKind::Write), 1);
         assert!((a.total_latency_ns() - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_preserves_drained_aggregates() {
+        let mut src = CommandTrace::new();
+        src.push(cmd(CommandKind::Read));
+        src.push(cmd(CommandKind::Write));
+        src.drain_history();
+        src.push(cmd(CommandKind::TripleRowActivate));
+        let mut dst = CommandTrace::new();
+        dst.push(cmd(CommandKind::Read));
+        dst.merge(&src);
+        // All three of src's commands count, even though two were drained.
+        assert_eq!(dst.len(), 4);
+        assert_eq!(dst.count(CommandKind::Read), 2);
+        assert_eq!(dst.count(CommandKind::Write), 1);
+        assert!((dst.total_latency_ns() - 40.0).abs() < 1e-12);
+        assert!((dst.total_energy_nj() - 8.0).abs() < 1e-12);
+        // Only the retained history is reconstructable.
+        assert_eq!(dst.history_len(), 2);
+        let kinds: Vec<CommandKind> = dst.commands().map(|c| c.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![CommandKind::Read, CommandKind::TripleRowActivate]
+        );
     }
 
     #[test]
@@ -190,12 +419,34 @@ mod tests {
     }
 
     #[test]
+    fn drain_history_keeps_aggregates() {
+        let mut trace = CommandTrace::new();
+        trace.push(cmd(CommandKind::Read));
+        trace.push(cmd(CommandKind::Write));
+        trace.drain_history();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.history_len(), 0);
+        assert_eq!(trace.count(CommandKind::Read), 1);
+        assert!((trace.total_latency_ns() - 20.0).abs() < 1e-12);
+        assert_eq!(trace.commands().count(), 0);
+        // Marks keep working across a drain: new commands land after the drained region.
+        let mark = trace.len();
+        trace.push(cmd(CommandKind::TripleRowActivate));
+        let suffix = trace.since(mark);
+        assert_eq!(suffix.len(), 1);
+        assert_eq!(suffix.count(CommandKind::TripleRowActivate), 1);
+        // A stale mark from before the drain clamps to the retained history.
+        assert_eq!(trace.since(0).len(), 1);
+    }
+
+    #[test]
     fn clear_resets_everything() {
         let mut a = CommandTrace::new();
         a.push(cmd(CommandKind::Read));
         a.clear();
         assert!(a.is_empty());
         assert_eq!(a.total_energy_nj(), 0.0);
+        assert_eq!(a.count(CommandKind::Read), 0);
     }
 
     #[test]

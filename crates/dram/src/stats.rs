@@ -24,11 +24,15 @@ impl DeviceStats {
     }
 
     /// Absorbs every command of a trace into the aggregate.
+    ///
+    /// Uses the trace's incrementally maintained aggregates (per-kind counts and
+    /// latency/energy totals), so this is O(cost-table size), not O(commands), and it
+    /// covers commands whose per-command history was drained.
     pub fn absorb_trace(&mut self, trace: &CommandTrace) {
-        for cmd in trace.commands() {
-            *self.counts.entry(kind_name(cmd.kind)).or_insert(0) += 1;
-            self.total_commands += 1;
+        for (kind, count) in trace.kind_counts() {
+            *self.counts.entry(kind_name(kind)).or_insert(0) += count;
         }
+        self.total_commands += trace.len();
         self.total_latency_ns += trace.total_latency_ns();
         self.total_energy_nj += trace.total_energy_nj();
     }

@@ -21,7 +21,7 @@
 //! table. μProgram command counts are unaffected.
 
 use crate::bitrow::BitRow;
-use crate::command::{CommandKind, CommandTrace, DramCommand};
+use crate::command::{CommandKind, CommandTrace, DramCommand, TraceSlot};
 use crate::config::DramConfig;
 use crate::error::{DramError, Result};
 
@@ -97,18 +97,29 @@ pub struct Subarray {
     rows: Vec<BitRow>,
     t: [BitRow; 4],
     dcc: [BitRow; 2],
+    /// Materialized contents of the hard-wired control rows `C0`/`C1`. They never change
+    /// after construction; keeping them as real rows lets [`Subarray::row`] hand out
+    /// borrows and the command path copy from them without allocating.
+    c0: BitRow,
+    c1: BitRow,
     sense: BitRow,
     row_open: bool,
     trace: CommandTrace,
-    timing_ap_ns: f64,
-    timing_aap_ns: f64,
-    timing_read_ns: f64,
-    timing_write_ns: f64,
-    energy_ap_nj: f64,
-    energy_tra_nj: f64,
-    energy_aap_nj: f64,
-    energy_aap_tra_nj: f64,
-    energy_row_io_nj: f64,
+    /// The six cost combinations this subarray's commands charge, pre-registered in the
+    /// trace's cost table so the per-command hot path records without searching.
+    costs: [DramCommand; 6],
+    slots: [TraceSlot; 6],
+}
+
+/// Indices into [`Subarray::costs`]/[`Subarray::slots`], one per command template.
+#[derive(Debug, Clone, Copy)]
+enum Cost {
+    Write,
+    Read,
+    Aap,
+    AapTra,
+    Tra,
+    Ap,
 }
 
 impl Subarray {
@@ -117,6 +128,41 @@ impl Subarray {
     pub fn new(config: &DramConfig) -> Self {
         let columns = config.columns_per_row;
         let row_bits = columns;
+        // Index order must match the `Cost` enum.
+        let costs = [
+            DramCommand {
+                kind: CommandKind::Write,
+                latency_ns: config.timing.row_write_ns(columns / 8),
+                energy_nj: config.energy.channel_transfer_nj(row_bits),
+            },
+            DramCommand {
+                kind: CommandKind::Read,
+                latency_ns: config.timing.row_read_ns(columns / 8),
+                energy_nj: config.energy.channel_transfer_nj(row_bits),
+            },
+            DramCommand {
+                kind: CommandKind::ActivateActivatePrecharge,
+                latency_ns: config.timing.aap_ns(),
+                energy_nj: config.energy.aap_nj(false),
+            },
+            DramCommand {
+                kind: CommandKind::ActivateActivatePrecharge,
+                latency_ns: config.timing.aap_ns(),
+                energy_nj: config.energy.aap_nj(true),
+            },
+            DramCommand {
+                kind: CommandKind::TripleRowActivate,
+                latency_ns: config.timing.ap_ns(),
+                energy_nj: config.energy.ap_nj(true),
+            },
+            DramCommand {
+                kind: CommandKind::ActivatePrecharge,
+                latency_ns: config.timing.ap_ns(),
+                energy_nj: config.energy.ap_nj(false),
+            },
+        ];
+        let mut trace = CommandTrace::new();
+        let slots = costs.clone().map(|c| trace.register(c));
         Subarray {
             columns,
             rows: vec![BitRow::zeros(columns); config.rows_per_subarray],
@@ -127,19 +173,19 @@ impl Subarray {
                 BitRow::zeros(columns),
             ],
             dcc: [BitRow::zeros(columns), BitRow::zeros(columns)],
+            c0: BitRow::zeros(columns),
+            c1: BitRow::ones(columns),
             sense: BitRow::zeros(columns),
             row_open: false,
-            trace: CommandTrace::new(),
-            timing_ap_ns: config.timing.ap_ns(),
-            timing_aap_ns: config.timing.aap_ns(),
-            timing_read_ns: config.timing.row_read_ns(columns / 8),
-            timing_write_ns: config.timing.row_write_ns(columns / 8),
-            energy_ap_nj: config.energy.ap_nj(false),
-            energy_tra_nj: config.energy.ap_nj(true),
-            energy_aap_nj: config.energy.aap_nj(false),
-            energy_aap_tra_nj: config.energy.aap_nj(true),
-            energy_row_io_nj: config.energy.channel_transfer_nj(row_bits),
+            trace,
+            costs,
+            slots,
         }
+    }
+
+    /// Records one command on the pre-registered hot path.
+    fn record(&mut self, cost: Cost) {
+        self.trace.record(self.slots[cost as usize]);
     }
 
     /// Number of columns (SIMD lanes) in the subarray.
@@ -157,9 +203,27 @@ impl Subarray {
         &self.trace
     }
 
-    /// Clears the accumulated command trace.
+    /// Clears the accumulated command trace, including its aggregate counters.
     pub fn reset_trace(&mut self) {
         self.trace.clear();
+        // `clear` drops the trace's cost table; re-register this subarray's slots.
+        self.slots = self.costs.clone().map(|c| self.trace.register(c));
+    }
+
+    /// Drops the trace's per-command history while keeping its aggregate counters
+    /// (length, per-kind counts, latency/energy totals) intact.
+    ///
+    /// Callers that have already absorbed the per-command history elsewhere — e.g. a
+    /// machine merging per-broadcast [`CommandTrace`]s via [`Subarray::trace_since`] —
+    /// use this to keep long-running subarrays from accumulating unbounded history.
+    pub fn drain_trace(&mut self) {
+        self.trace.drain_history();
+    }
+
+    /// Reserves trace capacity for `additional` upcoming commands, so executing a
+    /// μProgram of known length never reallocates mid-execution.
+    pub fn reserve_trace(&mut self, additional: usize) {
+        self.trace.reserve(additional);
     }
 
     /// A mark into the command trace; pass it to [`Subarray::trace_since`] later to obtain
@@ -197,18 +261,13 @@ impl Subarray {
     ///
     /// Returns [`DramError::RowOutOfRange`] if `row` is not a valid data-row index.
     pub fn try_write_row(&mut self, row: usize, data: &BitRow) -> Result<()> {
-        let columns = self.columns;
         let rows = self.rows.len();
         let dst = self
             .rows
             .get_mut(row)
             .ok_or(DramError::RowOutOfRange { row, rows })?;
-        *dst = resize_row(data, columns);
-        self.trace.push(DramCommand {
-            kind: CommandKind::Write,
-            latency_ns: self.timing_write_ns,
-            energy_nj: self.energy_row_io_nj,
-        });
+        dst.copy_from_resized(data);
+        self.record(Cost::Write);
         Ok(())
     }
 
@@ -234,24 +293,61 @@ impl Subarray {
             .get(row)
             .cloned()
             .ok_or(DramError::RowOutOfRange { row, rows })?;
-        self.trace.push(DramCommand {
-            kind: CommandKind::Read,
-            latency_ns: self.timing_read_ns,
-            energy_nj: self.energy_row_io_nj,
-        });
+        self.record(Cost::Read);
         Ok(data)
+    }
+
+    /// Borrows a row's stored contents without issuing any DRAM command and without
+    /// cloning the row.
+    ///
+    /// This is the zero-copy accessor read/verify paths should prefer over
+    /// [`Subarray::peek`]. The negated dual-contact wordlines (`Dcc0N`/`Dcc1N`) have no
+    /// stored row of their own — they drive the complement of the corresponding DCC row —
+    /// so they cannot be borrowed; use [`Subarray::peek`] to snapshot them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::RowOutOfRange`] for an invalid data row and
+    /// [`DramError::InvalidConfig`] for a negated wordline.
+    pub fn row(&self, addr: RowAddr) -> Result<&BitRow> {
+        match addr {
+            RowAddr::Data(r) => self.rows.get(r).ok_or(DramError::RowOutOfRange {
+                row: r,
+                rows: self.rows.len(),
+            }),
+            RowAddr::BGroup(b) => match b {
+                BGroupRow::T0 => Ok(&self.t[0]),
+                BGroupRow::T1 => Ok(&self.t[1]),
+                BGroupRow::T2 => Ok(&self.t[2]),
+                BGroupRow::T3 => Ok(&self.t[3]),
+                BGroupRow::Dcc0 => Ok(&self.dcc[0]),
+                BGroupRow::Dcc1 => Ok(&self.dcc[1]),
+                BGroupRow::C0 => Ok(&self.c0),
+                BGroupRow::C1 => Ok(&self.c1),
+                BGroupRow::Dcc0N | BGroupRow::Dcc1N => Err(DramError::InvalidConfig(
+                    "negated wordlines drive a computed complement and have no stored row; \
+                     use peek() to snapshot them"
+                        .into(),
+                )),
+            },
+        }
     }
 
     /// Returns a snapshot of a row's contents without issuing any DRAM command.
     ///
     /// This is a debugging/verification helper (the simulator equivalent of probing the
-    /// array), not an architectural operation.
+    /// array), not an architectural operation. Prefer [`Subarray::row`] when a borrow
+    /// suffices.
     ///
     /// # Errors
     ///
     /// Returns [`DramError::RowOutOfRange`] if the address is not valid.
     pub fn peek(&self, addr: RowAddr) -> Result<BitRow> {
-        self.value_of(addr)
+        match addr {
+            RowAddr::BGroup(BGroupRow::Dcc0N) => Ok(self.dcc[0].not()),
+            RowAddr::BGroup(BGroupRow::Dcc1N) => Ok(self.dcc[1].not()),
+            _ => self.row(addr).cloned(),
+        }
     }
 
     /// Directly overwrites a row's contents without issuing any DRAM command.
@@ -264,7 +360,6 @@ impl Subarray {
     /// Returns [`DramError::RowOutOfRange`] for an invalid data row, and
     /// [`DramError::InvalidConfig`] when attempting to poke a constant control row.
     pub fn poke(&mut self, addr: RowAddr, data: &BitRow) -> Result<()> {
-        let value = resize_row(data, self.columns);
         match addr {
             RowAddr::Data(r) => {
                 let rows = self.rows.len();
@@ -272,9 +367,29 @@ impl Subarray {
                     .rows
                     .get_mut(r)
                     .ok_or(DramError::RowOutOfRange { row: r, rows })?;
-                *dst = value;
+                dst.copy_from_resized(data);
             }
-            RowAddr::BGroup(b) => self.store_bgroup(b, value)?,
+            RowAddr::BGroup(b) => {
+                let dst = match b {
+                    BGroupRow::T0 => &mut self.t[0],
+                    BGroupRow::T1 => &mut self.t[1],
+                    BGroupRow::T2 => &mut self.t[2],
+                    BGroupRow::T3 => &mut self.t[3],
+                    BGroupRow::Dcc0 | BGroupRow::Dcc0N => &mut self.dcc[0],
+                    BGroupRow::Dcc1 | BGroupRow::Dcc1N => &mut self.dcc[1],
+                    BGroupRow::C0 | BGroupRow::C1 => {
+                        return Err(DramError::InvalidConfig(
+                            "control rows C0/C1 are hard-wired and cannot be written".into(),
+                        ))
+                    }
+                };
+                dst.copy_from_resized(data);
+                // Driving a negated wordline stores the complement in the cell, so that a
+                // subsequent activation of the true wordline reads back NOT(value).
+                if b.is_negated_wordline() {
+                    dst.invert();
+                }
+            }
         }
         Ok(())
     }
@@ -282,19 +397,21 @@ impl Subarray {
     /// `AAP src, dst`: copies the value driven by `src` into `dst` through the sense
     /// amplifiers (RowClone-FPM). This is the workhorse command of SIMDRAM μPrograms.
     ///
+    /// The datapath is allocation-free and single-pass: in hardware the source settles on
+    /// the bitlines and the second activation restores it into the destination cells, so
+    /// the simulator performs one direct word-level row copy (a fill for the constant
+    /// control rows, an in-place complement for copies between a dual-contact cell's two
+    /// wordlines) rather than materializing the intermediate sense value.
+    ///
     /// # Errors
     ///
     /// Returns an error if either address is invalid or if `dst` is a constant control row.
     pub fn aap(&mut self, src: RowAddr, dst: RowAddr) -> Result<()> {
-        let value = self.value_of(src)?;
-        self.store(dst, value.clone())?;
-        self.sense = value;
+        let s = self.resolve(src)?;
+        let d = self.resolve_writable(dst)?;
+        self.drive(s, d);
         self.row_open = false; // AAP ends with a precharge.
-        self.trace.push(DramCommand {
-            kind: CommandKind::ActivateActivatePrecharge,
-            latency_ns: self.timing_aap_ns,
-            energy_nj: self.energy_aap_nj,
-        });
+        self.record(Cost::Aap);
         Ok(())
     }
 
@@ -309,22 +426,12 @@ impl Subarray {
         if a == b || b == c || a == c {
             return Err(DramError::DuplicateTraRow);
         }
-        let va = self.bgroup_value(a);
-        let vb = self.bgroup_value(b);
-        let vc = self.bgroup_value(c);
-        let maj = BitRow::majority(&va, &vb, &vc)?;
-        for row in [a, b, c] {
-            if !row.is_control() {
-                self.store_bgroup(row, maj.clone())?;
-            }
+        if !self.try_tra_fused(a, b, c, None) {
+            self.tra_into_sense(a, b, c);
+            self.restore_tra_rows(a, b, c)?;
         }
-        self.sense = maj;
         self.row_open = false;
-        self.trace.push(DramCommand {
-            kind: CommandKind::TripleRowActivate,
-            latency_ns: self.timing_ap_ns,
-            energy_nj: self.energy_tra_nj,
-        });
+        self.record(Cost::Tra);
         Ok(())
     }
 
@@ -345,23 +452,13 @@ impl Subarray {
         if a == b || b == c || a == c {
             return Err(DramError::DuplicateTraRow);
         }
-        let va = self.bgroup_value(a);
-        let vb = self.bgroup_value(b);
-        let vc = self.bgroup_value(c);
-        let maj = BitRow::majority(&va, &vb, &vc)?;
-        for row in [a, b, c] {
-            if !row.is_control() {
-                self.store_bgroup(row, maj.clone())?;
-            }
+        if !self.try_tra_fused(a, b, c, Some(dst)) {
+            self.tra_into_sense(a, b, c);
+            self.restore_tra_rows(a, b, c)?;
+            self.restore(dst)?;
         }
-        self.store(dst, maj.clone())?;
-        self.sense = maj;
         self.row_open = false;
-        self.trace.push(DramCommand {
-            kind: CommandKind::ActivateActivatePrecharge,
-            latency_ns: self.timing_aap_ns,
-            energy_nj: self.energy_aap_tra_nj,
-        });
+        self.record(Cost::AapTra);
         Ok(())
     }
 
@@ -372,14 +469,9 @@ impl Subarray {
     ///
     /// Returns an error if the address is invalid.
     pub fn ap(&mut self, row: RowAddr) -> Result<()> {
-        let value = self.value_of(row)?;
-        self.sense = value;
+        self.latch(row)?;
         self.row_open = false;
-        self.trace.push(DramCommand {
-            kind: CommandKind::ActivatePrecharge,
-            latency_ns: self.timing_ap_ns,
-            energy_nj: self.energy_ap_nj,
-        });
+        self.record(Cost::Ap);
         Ok(())
     }
 
@@ -427,32 +519,183 @@ impl Subarray {
         self.maj_rows(a, b, RowAddr::BGroup(BGroupRow::C1), dst)
     }
 
-    fn value_of(&self, addr: RowAddr) -> Result<BitRow> {
+    /// Resolves an address to the physical row storage that backs it (validating data-row
+    /// indices) plus the complement flag of negated wordlines.
+    fn resolve(&self, addr: RowAddr) -> Result<Driven> {
+        let phys = match addr {
+            RowAddr::Data(r) => {
+                if r >= self.rows.len() {
+                    return Err(DramError::RowOutOfRange {
+                        row: r,
+                        rows: self.rows.len(),
+                    });
+                }
+                Phys::Data(r)
+            }
+            RowAddr::BGroup(b) => match b {
+                BGroupRow::T0 => Phys::T(0),
+                BGroupRow::T1 => Phys::T(1),
+                BGroupRow::T2 => Phys::T(2),
+                BGroupRow::T3 => Phys::T(3),
+                BGroupRow::Dcc0 | BGroupRow::Dcc0N => Phys::Dcc(0),
+                BGroupRow::Dcc1 | BGroupRow::Dcc1N => Phys::Dcc(1),
+                BGroupRow::C0 => Phys::Const(false),
+                BGroupRow::C1 => Phys::Const(true),
+            },
+        };
+        let negated = matches!(addr, RowAddr::BGroup(BGroupRow::Dcc0N | BGroupRow::Dcc1N));
+        Ok(Driven { phys, negated })
+    }
+
+    /// Like [`Subarray::resolve`], rejecting the hard-wired control rows.
+    fn resolve_writable(&self, addr: RowAddr) -> Result<Driven> {
+        let driven = self.resolve(addr)?;
+        if matches!(driven.phys, Phys::Const(_)) {
+            return Err(DramError::InvalidConfig(
+                "control rows C0/C1 are hard-wired and cannot be written".into(),
+            ));
+        }
+        Ok(driven)
+    }
+
+    /// Performs the single-pass row movement of an AAP: the value `src` drives onto the
+    /// bitlines lands in `dst`'s cells. Both descriptors are pre-validated, so the copy
+    /// itself cannot fail.
+    fn drive(&mut self, src: Driven, dst: Driven) {
+        // Driving through a negated wordline complements on the way out of the source
+        // cell and again on the way into the destination cell.
+        let invert = src.negated != dst.negated;
+        if let Phys::Const(v) = src.phys {
+            self.phys_mut(dst.phys).fill(v != dst.negated);
+            return;
+        }
+        if src.phys == dst.phys {
+            // Same physical cells (e.g. `AAP Dcc0 → Dcc0N`): at most an in-place
+            // complement.
+            if invert {
+                self.phys_mut(dst.phys).invert();
+            }
+            return;
+        }
+        let (s, d) = self.phys_pair_mut(src.phys, dst.phys);
+        if invert {
+            s.not_into(d).expect("subarray rows share one width");
+        } else {
+            d.copy_from(s).expect("subarray rows share one width");
+        }
+    }
+
+    fn phys_mut(&mut self, phys: Phys) -> &mut BitRow {
+        match phys {
+            Phys::Data(r) => &mut self.rows[r],
+            Phys::T(i) => &mut self.t[i],
+            Phys::Dcc(i) => &mut self.dcc[i],
+            Phys::Const(_) => unreachable!("control rows are never writable"),
+        }
+    }
+
+    /// Disjoint borrows of two distinct physical rows (read source, written destination).
+    fn phys_pair_mut(&mut self, src: Phys, dst: Phys) -> (&BitRow, &mut BitRow) {
+        let Subarray { rows, t, dcc, .. } = self;
+        match (src, dst) {
+            (Phys::Data(i), Phys::Data(j)) => {
+                let (a, b) = split_pair(rows, i, j);
+                (a, b)
+            }
+            (Phys::T(i), Phys::T(j)) => {
+                let (a, b) = split_pair(t, i, j);
+                (a, b)
+            }
+            (Phys::Dcc(i), Phys::Dcc(j)) => {
+                let (a, b) = split_pair(dcc, i, j);
+                (a, b)
+            }
+            (Phys::Data(i), Phys::T(j)) => (&rows[i], &mut t[j]),
+            (Phys::Data(i), Phys::Dcc(j)) => (&rows[i], &mut dcc[j]),
+            (Phys::T(i), Phys::Data(j)) => (&t[i], &mut rows[j]),
+            (Phys::T(i), Phys::Dcc(j)) => (&t[i], &mut dcc[j]),
+            (Phys::Dcc(i), Phys::Data(j)) => (&dcc[i], &mut rows[j]),
+            (Phys::Dcc(i), Phys::T(j)) => (&dcc[i], &mut t[j]),
+            (Phys::Const(_), _) | (_, Phys::Const(_)) => {
+                unreachable!("constant rows are handled before pairing")
+            }
+        }
+    }
+
+    /// Fused fast path for the TRA the μProgram generator emits: three distinct plain
+    /// `T` rows (no negated wordlines, no constants) and an optional `Data` destination.
+    /// One word-level pass computes the majority and restores it into the sense row, the
+    /// three activated rows and the destination simultaneously — exactly the lock-step
+    /// charge restoration the hardware performs. Returns `false` (leaving all state
+    /// untouched) when the operands need the general path.
+    fn try_tra_fused(
+        &mut self,
+        a: BGroupRow,
+        b: BGroupRow,
+        c: BGroupRow,
+        dst: Option<RowAddr>,
+    ) -> bool {
+        let (Some(i), Some(j), Some(k)) = (t_index(a), t_index(b), t_index(c)) else {
+            return false;
+        };
+        let dst_row = match dst {
+            None => None,
+            Some(RowAddr::Data(r)) if r < self.rows.len() => Some(r),
+            // Out-of-range or non-data destinations keep the general path's
+            // error/ordering behaviour.
+            Some(_) => return false,
+        };
+        let mut idx = [i, j, k];
+        idx.sort_unstable(); // majority and restore are operand-order independent
+        let Subarray { rows, t, sense, .. } = self;
+        let (lo, rest) = t.split_at_mut(idx[1]);
+        let (mid, hi) = rest.split_at_mut(idx[2] - idx[1]);
+        let (ra, rb, rc) = (&mut lo[idx[0]], &mut mid[0], &mut hi[0]);
+        // One tight pass computes the majority into the sense row; the charge
+        // restorations are then plain word-level row copies (separate passes beat one
+        // multi-stream loop: each is a straight memcpy from the cache-hot sense row).
+        BitRow::majority_into(ra, rb, rc, sense).expect("subarray rows share one width");
+        ra.copy_from(sense).expect("subarray rows share one width");
+        rb.copy_from(sense).expect("subarray rows share one width");
+        rc.copy_from(sense).expect("subarray rows share one width");
+        if let Some(r) = dst_row {
+            rows[r]
+                .copy_from(sense)
+                .expect("subarray rows share one width");
+        }
+        true
+    }
+
+    /// Latches the value driven by `addr` into the sense-amplifier row (the first
+    /// ACTIVATE of a command) with a word-level copy and no allocation.
+    fn latch(&mut self, addr: RowAddr) -> Result<()> {
         match addr {
-            RowAddr::Data(r) => self.rows.get(r).cloned().ok_or(DramError::RowOutOfRange {
-                row: r,
-                rows: self.rows.len(),
-            }),
-            RowAddr::BGroup(b) => Ok(self.bgroup_value(b)),
+            RowAddr::Data(r) => {
+                let src = self.rows.get(r).ok_or(DramError::RowOutOfRange {
+                    row: r,
+                    rows: self.rows.len(),
+                })?;
+                self.sense.copy_from(src)?;
+            }
+            RowAddr::BGroup(b) => match b {
+                BGroupRow::T0 => self.sense.copy_from(&self.t[0])?,
+                BGroupRow::T1 => self.sense.copy_from(&self.t[1])?,
+                BGroupRow::T2 => self.sense.copy_from(&self.t[2])?,
+                BGroupRow::T3 => self.sense.copy_from(&self.t[3])?,
+                BGroupRow::Dcc0 => self.sense.copy_from(&self.dcc[0])?,
+                BGroupRow::Dcc1 => self.sense.copy_from(&self.dcc[1])?,
+                BGroupRow::Dcc0N => self.dcc[0].not_into(&mut self.sense)?,
+                BGroupRow::Dcc1N => self.dcc[1].not_into(&mut self.sense)?,
+                BGroupRow::C0 => self.sense.fill(false),
+                BGroupRow::C1 => self.sense.fill(true),
+            },
         }
+        Ok(())
     }
 
-    fn bgroup_value(&self, row: BGroupRow) -> BitRow {
-        match row {
-            BGroupRow::T0 => self.t[0].clone(),
-            BGroupRow::T1 => self.t[1].clone(),
-            BGroupRow::T2 => self.t[2].clone(),
-            BGroupRow::T3 => self.t[3].clone(),
-            BGroupRow::Dcc0 => self.dcc[0].clone(),
-            BGroupRow::Dcc0N => self.dcc[0].not(),
-            BGroupRow::Dcc1 => self.dcc[1].clone(),
-            BGroupRow::Dcc1N => self.dcc[1].not(),
-            BGroupRow::C0 => BitRow::zeros(self.columns),
-            BGroupRow::C1 => BitRow::ones(self.columns),
-        }
-    }
-
-    fn store(&mut self, addr: RowAddr, value: BitRow) -> Result<()> {
+    /// Restores the sense-amplifier row into `addr` (the second ACTIVATE of an AAP, or
+    /// the charge restoration of a TRA) with a word-level copy and no allocation.
+    fn restore(&mut self, addr: RowAddr) -> Result<()> {
         match addr {
             RowAddr::Data(r) => {
                 let rows = self.rows.len();
@@ -460,40 +703,123 @@ impl Subarray {
                     .rows
                     .get_mut(r)
                     .ok_or(DramError::RowOutOfRange { row: r, rows })?;
-                *dst = value;
-                Ok(())
+                dst.copy_from(&self.sense)?;
             }
-            RowAddr::BGroup(b) => self.store_bgroup(b, value),
+            RowAddr::BGroup(b) => match b {
+                BGroupRow::T0 => self.t[0].copy_from(&self.sense)?,
+                BGroupRow::T1 => self.t[1].copy_from(&self.sense)?,
+                BGroupRow::T2 => self.t[2].copy_from(&self.sense)?,
+                BGroupRow::T3 => self.t[3].copy_from(&self.sense)?,
+                BGroupRow::Dcc0 => self.dcc[0].copy_from(&self.sense)?,
+                BGroupRow::Dcc1 => self.dcc[1].copy_from(&self.sense)?,
+                // Driving the negated wordline stores the complement in the cell, so
+                // that a subsequent activation of the true wordline reads back NOT(value).
+                BGroupRow::Dcc0N => self.sense.not_into(&mut self.dcc[0])?,
+                BGroupRow::Dcc1N => self.sense.not_into(&mut self.dcc[1])?,
+                BGroupRow::C0 | BGroupRow::C1 => {
+                    return Err(DramError::InvalidConfig(
+                        "control rows C0/C1 are hard-wired and cannot be written".into(),
+                    ))
+                }
+            },
         }
+        Ok(())
     }
 
-    fn store_bgroup(&mut self, row: BGroupRow, value: BitRow) -> Result<()> {
-        match row {
-            BGroupRow::T0 => self.t[0] = value,
-            BGroupRow::T1 => self.t[1] = value,
-            BGroupRow::T2 => self.t[2] = value,
-            BGroupRow::T3 => self.t[3] = value,
-            BGroupRow::Dcc0 => self.dcc[0] = value,
-            // Driving the negated wordline stores the complement in the cell, so that a
-            // subsequent activation of the true wordline reads back NOT(value).
-            BGroupRow::Dcc0N => self.dcc[0] = value.not(),
-            BGroupRow::Dcc1 => self.dcc[1] = value,
-            BGroupRow::Dcc1N => self.dcc[1] = value.not(),
-            BGroupRow::C0 | BGroupRow::C1 => {
-                return Err(DramError::InvalidConfig(
-                    "control rows C0/C1 are hard-wired and cannot be written".into(),
-                ))
+    /// Computes the bitwise majority of three B-group rows directly into the
+    /// sense-amplifier row, resolving negated wordlines and constant control rows at the
+    /// word level so no operand is ever materialized.
+    fn tra_into_sense(&mut self, a: BGroupRow, b: BGroupRow, c: BGroupRow) {
+        let Subarray {
+            sense,
+            t,
+            dcc,
+            c0,
+            c1,
+            ..
+        } = self;
+        // Each operand becomes (stored words, complement mask): negated wordlines drive
+        // the complement, which a word-wise XOR with all-ones reproduces; the hard-wired
+        // control rows are materialized, so one tight three-slice loop covers every case.
+        let resolve = |row: BGroupRow| -> (&[u64], u64) {
+            match row {
+                BGroupRow::T0 => (t[0].words(), 0),
+                BGroupRow::T1 => (t[1].words(), 0),
+                BGroupRow::T2 => (t[2].words(), 0),
+                BGroupRow::T3 => (t[3].words(), 0),
+                BGroupRow::Dcc0 => (dcc[0].words(), 0),
+                BGroupRow::Dcc1 => (dcc[1].words(), 0),
+                BGroupRow::Dcc0N => (dcc[0].words(), u64::MAX),
+                BGroupRow::Dcc1N => (dcc[1].words(), u64::MAX),
+                BGroupRow::C0 => (c0.words(), 0),
+                BGroupRow::C1 => (c1.words(), 0),
+            }
+        };
+        let (wa, xa) = resolve(a);
+        let (wb, xb) = resolve(b);
+        let (wc, xc) = resolve(c);
+        let out = sense.words_mut();
+        // Every row in a subarray has the same word count; slicing all four to one
+        // length lets the compiler drop bounds checks and vectorize the majority loop.
+        let n = out.len();
+        let (wa, wb, wc) = (&wa[..n], &wb[..n], &wc[..n]);
+        for (i, w) in out.iter_mut().enumerate() {
+            let (x, y, z) = (wa[i] ^ xa, wb[i] ^ xb, wc[i] ^ xc);
+            *w = (x & y) | (y & z) | (x & z);
+        }
+        // Complemented operands set stray bits past the row length; re-mask the tail.
+        sense.normalize();
+    }
+
+    /// Restores the TRA result latched in the sense amplifiers into the activated rows
+    /// (hard-wired control rows keep their constant value).
+    fn restore_tra_rows(&mut self, a: BGroupRow, b: BGroupRow, c: BGroupRow) -> Result<()> {
+        for row in [a, b, c] {
+            if !row.is_control() {
+                self.restore(RowAddr::BGroup(row))?;
             }
         }
         Ok(())
     }
 }
 
-fn resize_row(data: &BitRow, columns: usize) -> BitRow {
-    if data.len() == columns {
-        data.clone()
+/// The physical storage backing a row address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phys {
+    Data(usize),
+    T(usize),
+    Dcc(usize),
+    /// A hard-wired constant control row (`false` = C0, `true` = C1).
+    Const(bool),
+}
+
+/// A resolved row address: its storage plus whether the wordline drives the complement.
+#[derive(Debug, Clone, Copy)]
+struct Driven {
+    phys: Phys,
+    negated: bool,
+}
+
+/// The `T`-row index of a designated TRA row, or `None` for every other B-group row.
+fn t_index(row: BGroupRow) -> Option<usize> {
+    match row {
+        BGroupRow::T0 => Some(0),
+        BGroupRow::T1 => Some(1),
+        BGroupRow::T2 => Some(2),
+        BGroupRow::T3 => Some(3),
+        _ => None,
+    }
+}
+
+/// Disjoint `(&rows[i], &mut rows[j])` borrows of two distinct rows of one slice.
+fn split_pair(rows: &mut [BitRow], i: usize, j: usize) -> (&BitRow, &mut BitRow) {
+    debug_assert_ne!(i, j);
+    if i < j {
+        let (lo, hi) = rows.split_at_mut(j);
+        (&lo[i], &mut hi[0])
     } else {
-        BitRow::from_fn(columns, |i| i < data.len() && data.get(i))
+        let (lo, hi) = rows.split_at_mut(i);
+        (&hi[0], &mut lo[j])
     }
 }
 

@@ -67,6 +67,52 @@ proptest! {
         let x = a.xor(&b).unwrap();
         prop_assert_eq!(x.xor(&b).unwrap(), a);
     }
+
+    // The in-place datapath ops must be bit-for-bit equivalent to the allocating
+    // reference variants. The 137-bit length exercises the tail-word mask (137 % 64 != 0).
+    #[test]
+    fn not_into_matches_not(src in bitrow_strategy(137), scratch in bitrow_strategy(137)) {
+        let mut out = scratch;
+        src.not_into(&mut out).unwrap();
+        prop_assert_eq!(out, src.not());
+    }
+
+    #[test]
+    fn invert_matches_not(src in bitrow_strategy(201)) {
+        let mut row = src.clone();
+        row.invert();
+        prop_assert_eq!(row, src.not());
+    }
+
+    #[test]
+    fn majority_into_matches_majority(
+        a in bitrow_strategy(137),
+        b in bitrow_strategy(137),
+        c in bitrow_strategy(137),
+        scratch in bitrow_strategy(137),
+    ) {
+        let mut out = scratch;
+        BitRow::majority_into(&a, &b, &c, &mut out).unwrap();
+        prop_assert_eq!(out, BitRow::majority(&a, &b, &c).unwrap());
+    }
+
+    #[test]
+    fn copy_from_matches_clone(src in bitrow_strategy(330), scratch in bitrow_strategy(330)) {
+        let mut out = scratch;
+        out.copy_from(&src).unwrap();
+        prop_assert_eq!(out, src);
+    }
+
+    #[test]
+    fn copy_from_resized_matches_bitwise_rebuild(
+        src in bitrow_strategy(137),
+        dst_len in 1usize..300,
+    ) {
+        let mut out = BitRow::splat_word(u64::MAX, dst_len);
+        out.copy_from_resized(&src);
+        let expected = BitRow::from_fn(dst_len, |i| i < src.len() && src.get(i));
+        prop_assert_eq!(out, expected);
+    }
 }
 
 proptest! {
@@ -120,6 +166,29 @@ proptest! {
     }
 
     #[test]
+    fn aap_between_arbitrary_rows_matches_reference(
+        data in bitrow_strategy(256),
+        dcc in bitrow_strategy(256),
+    ) {
+        // Copy chains across every row class, including negated wordlines and constants.
+        let mut sa = Subarray::new(&DramConfig::tiny());
+        sa.poke(RowAddr::Data(0), &data).unwrap();
+        sa.poke(RowAddr::BGroup(BGroupRow::Dcc1), &dcc).unwrap();
+        sa.aap(RowAddr::Data(0), RowAddr::BGroup(BGroupRow::T3)).unwrap();
+        prop_assert_eq!(sa.peek(RowAddr::BGroup(BGroupRow::T3)).unwrap(), data.clone());
+        sa.aap(RowAddr::BGroup(BGroupRow::T3), RowAddr::BGroup(BGroupRow::Dcc0N)).unwrap();
+        prop_assert_eq!(sa.peek(RowAddr::BGroup(BGroupRow::Dcc0)).unwrap(), data.not());
+        // Same-cell copy through the two wordlines complements in place.
+        sa.aap(RowAddr::BGroup(BGroupRow::Dcc1), RowAddr::BGroup(BGroupRow::Dcc1N)).unwrap();
+        prop_assert_eq!(sa.peek(RowAddr::BGroup(BGroupRow::Dcc1)).unwrap(), dcc.not());
+        // Constant sources fill.
+        sa.aap(RowAddr::BGroup(BGroupRow::C1), RowAddr::Data(1)).unwrap();
+        prop_assert_eq!(sa.peek(RowAddr::Data(1)).unwrap(), BitRow::ones(256));
+        sa.aap(RowAddr::BGroup(BGroupRow::C0), RowAddr::BGroup(BGroupRow::Dcc0N)).unwrap();
+        prop_assert_eq!(sa.peek(RowAddr::BGroup(BGroupRow::Dcc0)).unwrap(), BitRow::ones(256));
+    }
+
+    #[test]
     fn tra_result_lands_in_all_three_designated_rows(
         a in bitrow_strategy(256),
         b in bitrow_strategy(256),
@@ -133,6 +202,88 @@ proptest! {
         let expected = BitRow::majority(&a, &b, &c).unwrap();
         for row in [BGroupRow::T0, BGroupRow::T1, BGroupRow::T2] {
             prop_assert_eq!(sa.peek(RowAddr::BGroup(row)).unwrap(), expected.clone());
+        }
+    }
+}
+
+/// Exhaustive TRA reference check: every distinct B-group triple (720 of them, covering
+/// the fused T-row fast path, negated wordlines, constants and the aliased
+/// `Dcc`/`DccN` cases) must transform the subarray exactly like the word-level model.
+#[test]
+fn tra_matches_reference_for_all_bgroup_triples() {
+    let len = 256;
+    let seed: Vec<BitRow> = (0..6u64)
+        .map(|i| {
+            BitRow::from_fn(len, |bit| {
+                ((bit as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (i + 3)) & 1 == 1
+            })
+        })
+        .collect();
+
+    let value = |row: BGroupRow, t: &[BitRow], d: &[BitRow]| -> BitRow {
+        match row {
+            BGroupRow::T0 => t[0].clone(),
+            BGroupRow::T1 => t[1].clone(),
+            BGroupRow::T2 => t[2].clone(),
+            BGroupRow::T3 => t[3].clone(),
+            BGroupRow::Dcc0 => d[0].clone(),
+            BGroupRow::Dcc0N => d[0].not(),
+            BGroupRow::Dcc1 => d[1].clone(),
+            BGroupRow::Dcc1N => d[1].not(),
+            BGroupRow::C0 => BitRow::zeros(len),
+            BGroupRow::C1 => BitRow::ones(len),
+        }
+    };
+
+    for a in BGroupRow::ALL {
+        for b in BGroupRow::ALL {
+            for c in BGroupRow::ALL {
+                if a == b || b == c || a == c {
+                    continue;
+                }
+                let mut sa = Subarray::new(&DramConfig::tiny());
+                let mut t = [
+                    seed[0].clone(),
+                    seed[1].clone(),
+                    seed[2].clone(),
+                    seed[3].clone(),
+                ];
+                let mut d = [seed[4].clone(), seed[5].clone()];
+                for (i, row) in [BGroupRow::T0, BGroupRow::T1, BGroupRow::T2, BGroupRow::T3]
+                    .into_iter()
+                    .enumerate()
+                {
+                    sa.poke(RowAddr::BGroup(row), &t[i]).unwrap();
+                }
+                sa.poke(RowAddr::BGroup(BGroupRow::Dcc0), &d[0]).unwrap();
+                sa.poke(RowAddr::BGroup(BGroupRow::Dcc1), &d[1]).unwrap();
+
+                // Reference model: snapshot operands, then restore in activation order.
+                let maj = BitRow::majority(&value(a, &t, &d), &value(b, &t, &d), &value(c, &t, &d))
+                    .unwrap();
+                for row in [a, b, c] {
+                    match row {
+                        BGroupRow::T0 => t[0] = maj.clone(),
+                        BGroupRow::T1 => t[1] = maj.clone(),
+                        BGroupRow::T2 => t[2] = maj.clone(),
+                        BGroupRow::T3 => t[3] = maj.clone(),
+                        BGroupRow::Dcc0 => d[0] = maj.clone(),
+                        BGroupRow::Dcc0N => d[0] = maj.not(),
+                        BGroupRow::Dcc1 => d[1] = maj.clone(),
+                        BGroupRow::Dcc1N => d[1] = maj.not(),
+                        BGroupRow::C0 | BGroupRow::C1 => {}
+                    }
+                }
+
+                sa.ap_tra(a, b, c).unwrap();
+                for row in BGroupRow::ALL {
+                    assert_eq!(
+                        sa.peek(RowAddr::BGroup(row)).unwrap(),
+                        value(row, &t, &d),
+                        "row {row:?} after TRA({a:?}, {b:?}, {c:?})"
+                    );
+                }
+            }
         }
     }
 }

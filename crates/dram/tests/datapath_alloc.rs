@@ -1,0 +1,132 @@
+//! Enforces the datapath's zero-allocation invariant: once a subarray is warmed up (cost
+//! table registered, trace capacity reserved), AAP / AP / TRA commands must not touch the
+//! heap at all — no `BitRow` clones, no trace growth beyond the reserved capacity.
+//!
+//! The whole check lives in a single `#[test]` so the global allocation counter is not
+//! perturbed by concurrently running tests in this binary.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use simdram_dram::{BGroupRow, BitRow, DramConfig, RowAddr, Subarray};
+
+struct CountingAllocator;
+
+static ALLOC_CALLS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn per_command_datapath_never_allocates() {
+    let config = DramConfig::default();
+    let mut sa = Subarray::new(&config);
+    let columns = sa.columns();
+    sa.write_row(0, &BitRow::splat_word(0xDEAD_BEEF_0123_4567, columns));
+    sa.write_row(1, &BitRow::splat_word(0x0F0F_F0F0_AAAA_5555, columns));
+
+    // Exercise every command shape once: growth of the trace's cost table and any lazy
+    // one-time setup happens here, outside the measured window.
+    let commands: &[&dyn Fn(&mut Subarray)] = &[
+        &|sa| sa.aap(RowAddr::Data(0), RowAddr::Data(2)).unwrap(),
+        &|sa| {
+            sa.aap(RowAddr::Data(0), RowAddr::BGroup(BGroupRow::T0))
+                .unwrap()
+        },
+        &|sa| {
+            sa.aap(RowAddr::Data(1), RowAddr::BGroup(BGroupRow::T1))
+                .unwrap()
+        },
+        &|sa| {
+            sa.aap(RowAddr::Data(0), RowAddr::BGroup(BGroupRow::T2))
+                .unwrap()
+        },
+        &|sa| {
+            sa.aap(RowAddr::BGroup(BGroupRow::C0), RowAddr::Data(3))
+                .unwrap()
+        },
+        &|sa| {
+            sa.aap(RowAddr::BGroup(BGroupRow::C1), RowAddr::Data(4))
+                .unwrap()
+        },
+        &|sa| {
+            sa.aap(RowAddr::Data(0), RowAddr::BGroup(BGroupRow::Dcc0))
+                .unwrap()
+        },
+        &|sa| {
+            sa.aap(RowAddr::BGroup(BGroupRow::Dcc0N), RowAddr::Data(5))
+                .unwrap()
+        },
+        &|sa| {
+            sa.aap(
+                RowAddr::BGroup(BGroupRow::Dcc0),
+                RowAddr::BGroup(BGroupRow::Dcc0N),
+            )
+            .unwrap()
+        },
+        &|sa| sa.ap(RowAddr::Data(0)).unwrap(),
+        &|sa| sa.ap(RowAddr::BGroup(BGroupRow::Dcc1N)).unwrap(),
+        &|sa| {
+            sa.ap_tra(BGroupRow::T0, BGroupRow::T1, BGroupRow::T2)
+                .unwrap()
+        },
+        // General (non-fused) TRA path: negated wordline and constant operands.
+        &|sa| {
+            sa.ap_tra(BGroupRow::T0, BGroupRow::Dcc0N, BGroupRow::C1)
+                .unwrap()
+        },
+        &|sa| {
+            sa.aap_tra(
+                BGroupRow::T0,
+                BGroupRow::T1,
+                BGroupRow::T2,
+                RowAddr::Data(6),
+            )
+            .unwrap()
+        },
+        &|sa| {
+            sa.aap_tra(
+                BGroupRow::T1,
+                BGroupRow::T2,
+                BGroupRow::T3,
+                RowAddr::BGroup(BGroupRow::Dcc1),
+            )
+            .unwrap()
+        },
+    ];
+    const ROUNDS: usize = 8;
+    for op in commands {
+        op(&mut sa);
+    }
+    sa.drain_trace();
+    sa.reserve_trace(commands.len() * ROUNDS);
+
+    let before = ALLOC_CALLS.load(Ordering::SeqCst);
+    for _ in 0..ROUNDS {
+        for op in commands {
+            op(&mut sa);
+        }
+    }
+    let allocations = ALLOC_CALLS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        allocations,
+        0,
+        "the per-command datapath must not allocate (saw {allocations} allocations \
+         across {} commands)",
+        commands.len() * ROUNDS
+    );
+
+    // The commands above really did record into the trace.
+    assert_eq!(sa.trace().history_len(), commands.len() * ROUNDS);
+}

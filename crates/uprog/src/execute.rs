@@ -112,6 +112,9 @@ pub fn execute(
     binding: &RowBinding,
 ) -> Result<CommandTrace> {
     validate_binding(program, binding, subarray.rows())?;
+    // One trace entry per μOp: reserving up front keeps the per-command path free of
+    // mid-execution reallocation (the commands themselves are allocation-free).
+    subarray.reserve_trace(program.command_count());
     let mark = subarray.trace_mark();
     for micro in program.ops() {
         match *micro {
