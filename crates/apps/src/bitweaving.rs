@@ -108,7 +108,7 @@ impl Kernel for BitWeavingScan {
     }
 
     fn run(&self, machine: &mut SimdramMachine) -> Result<KernelRun> {
-        let (ops0, lat0, en0) = snapshot(machine);
+        let before = snapshot(machine);
         let w = self.code_bits;
         let n = self.column.len();
         let column = machine.alloc_and_write(w, &self.column)?;
@@ -150,15 +150,7 @@ impl Kernel for BitWeavingScan {
         machine.free(matches);
         machine.free(column);
 
-        Ok(finish_run(
-            self.name(),
-            machine,
-            ops0,
-            lat0,
-            en0,
-            n,
-            verified,
-        ))
+        Ok(finish_run(self.name(), machine, before, n, verified))
     }
 }
 

@@ -6,7 +6,7 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use simdram_core::{Result, SimdramMachine};
+use simdram_core::{PlanBuilder, Result, SimdramMachine};
 use simdram_logic::Operation;
 
 use crate::kernel::{finish_run, snapshot, Kernel, KernelRun, OpCount};
@@ -74,33 +74,37 @@ impl Kernel for Brightness {
     }
 
     fn run(&self, machine: &mut SimdramMachine) -> Result<KernelRun> {
-        let (ops0, lat0, en0) = snapshot(machine);
-
+        let before = snapshot(machine);
+        let n = self.pixels.len();
         let pixels = machine.alloc_and_write(8, &self.pixels)?;
-        let delta = machine.alloc(8, self.pixels.len())?;
-        machine.init(&delta, self.delta)?;
-        let saturated = machine.alloc(8, self.pixels.len())?;
-        machine.init(&saturated, 0xFF)?;
 
+        // The whole saturating add is one compiled plan: the two constants broadcast in
+        // one fused batch, the temporaries (sum, overflow flag) recycle pooled rows, and
+        // only the selected result is materialized.
+        let mut plan = PlanBuilder::new();
+        let px = plan.input(&pixels);
+        let delta = plan.constant(8, n, self.delta)?;
+        let saturated = plan.constant(8, n, 0xFF)?;
         // sum = pixels + delta (wraps modulo 256 on overflow).
-        let (sum, _) = machine.binary(Operation::Add, &pixels, &delta)?;
+        let sum = plan.add(px, delta)?;
         // no_overflow = sum >= pixels  (false exactly when the 8-bit addition wrapped).
-        let (no_overflow, _) = machine.binary(Operation::GreaterEqual, &sum, &pixels)?;
+        let no_overflow = plan.greater_equal(sum, px)?;
         // result = no_overflow ? sum : 255.
-        let (result, _) = machine.select(&no_overflow, &sum, &saturated)?;
+        let result = plan.select(no_overflow, sum, saturated)?;
+        let out = plan.materialize(result)?;
+        let compiled = plan.compile()?;
 
+        let exec = machine.run_plan(&compiled)?;
+        let result = *exec.output(out);
         let produced = machine.read(&result)?;
         let verified = produced == self.reference();
 
-        for v in [pixels, delta, saturated, sum, no_overflow, result] {
-            machine.free(v);
-        }
+        machine.free(pixels);
+        machine.free(result);
         Ok(finish_run(
             self.name(),
             machine,
-            ops0,
-            lat0,
-            en0,
+            before,
             produced.len(),
             verified,
         ))
@@ -124,6 +128,9 @@ mod tests {
         assert_eq!(run.output_elements, 16 * 12);
         assert!(run.bbops >= 3);
         assert!(run.compute_latency_ns > 0.0);
+        // The fused plan issues fewer broadcasts than the former eager sequence
+        // (2 constant inits + 3 ops): one constants batch + one batch per op level.
+        assert_eq!(run.broadcasts, 4);
     }
 
     #[test]

@@ -29,6 +29,9 @@ pub struct KernelRun {
     pub verified: bool,
     /// Number of bbop operations executed in DRAM.
     pub bbops: usize,
+    /// Number of broadcasts issued: with the plan frontend, batches of fused steps; one
+    /// per operation/initialization under eager issue.
+    pub broadcasts: usize,
     /// Total in-DRAM compute latency in nanoseconds.
     pub compute_latency_ns: f64,
     /// Total in-DRAM energy in nanojoules.
@@ -53,14 +56,32 @@ pub trait Kernel {
     fn run(&self, machine: &mut SimdramMachine) -> Result<KernelRun>;
 }
 
+/// Snapshot of the machine counters a kernel run is measured against.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StatsSnapshot {
+    operations: usize,
+    broadcasts: usize,
+    compute_latency_ns: f64,
+    compute_energy_nj: f64,
+}
+
+/// Captures the counters used by [`finish_run`] before the kernel body executes.
+pub(crate) fn snapshot(machine: &SimdramMachine) -> StatsSnapshot {
+    let stats = machine.stats();
+    StatsSnapshot {
+        operations: stats.operations,
+        broadcasts: machine.estimate().broadcasts,
+        compute_latency_ns: stats.compute_latency_ns,
+        compute_energy_nj: stats.compute_energy_nj,
+    }
+}
+
 /// Helper used by kernel implementations to build a [`KernelRun`] from machine statistics
 /// recorded before and after the kernel body.
 pub(crate) fn finish_run(
     name: &'static str,
     machine: &SimdramMachine,
-    ops_before: usize,
-    latency_before: f64,
-    energy_before: f64,
+    before: StatsSnapshot,
     output_elements: usize,
     verified: bool,
 ) -> KernelRun {
@@ -69,20 +90,11 @@ pub(crate) fn finish_run(
         name,
         output_elements,
         verified,
-        bbops: stats.operations - ops_before,
-        compute_latency_ns: stats.compute_latency_ns - latency_before,
-        compute_energy_nj: stats.compute_energy_nj - energy_before,
+        bbops: stats.operations - before.operations,
+        broadcasts: machine.estimate().broadcasts - before.broadcasts,
+        compute_latency_ns: stats.compute_latency_ns - before.compute_latency_ns,
+        compute_energy_nj: stats.compute_energy_nj - before.compute_energy_nj,
     }
-}
-
-/// Snapshot of the counters used by [`finish_run`].
-pub(crate) fn snapshot(machine: &SimdramMachine) -> (usize, f64, f64) {
-    let stats = machine.stats();
-    (
-        stats.operations,
-        stats.compute_latency_ns,
-        stats.compute_energy_nj,
-    )
 }
 
 #[cfg(test)]

@@ -224,15 +224,13 @@ impl Kernel for NeuralNetworkKernel {
     }
 
     fn run(&self, machine: &mut SimdramMachine) -> Result<KernelRun> {
-        let (ops0, lat0, en0) = snapshot(machine);
+        let before = snapshot(machine);
         let produced = self.proxy.run_on(machine)?;
         let verified = produced == self.proxy.reference();
         Ok(finish_run(
             self.name(),
             machine,
-            ops0,
-            lat0,
-            en0,
+            before,
             produced.len(),
             verified,
         ))

@@ -8,7 +8,7 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use simdram_core::{Result, SimdramMachine};
+use simdram_core::{PlanBuilder, Result, SimdramMachine};
 use simdram_logic::Operation;
 
 use crate::kernel::{finish_run, snapshot, Kernel, KernelRun, OpCount};
@@ -109,7 +109,7 @@ impl Kernel for TpchQuery6 {
     }
 
     fn run(&self, machine: &mut SimdramMachine) -> Result<KernelRun> {
-        let (ops0, lat0, en0) = snapshot(machine);
+        let before = snapshot(machine);
         let n = self.rows();
 
         let quantity = machine.alloc_and_write(8, &self.quantity)?;
@@ -117,46 +117,43 @@ impl Kernel for TpchQuery6 {
         let discount16 = machine.alloc_and_write(16, &self.discount)?;
         let price = machine.alloc_and_write(16, &self.price)?;
 
-        let qty_limit = machine.alloc(8, n)?;
-        machine.init(&qty_limit, self.quantity_limit)?;
-        let disc_low = machine.alloc(8, n)?;
-        machine.init(&disc_low, self.discount_low)?;
-        let disc_high = machine.alloc(8, n)?;
-        machine.init(&disc_high, self.discount_high)?;
-        let zero16 = machine.alloc(16, n)?;
-        machine.init(&zero16, 0)?;
+        // The whole query is one plan: the three comparisons and the multiply are
+        // independent (they fuse into the first op batch), the threshold constants
+        // broadcast together, and the intermediates recycle pooled temp rows.
+        let mut plan = PlanBuilder::new();
+        let qty = plan.input(&quantity);
+        let disc8 = plan.input(&discount8);
+        let disc16 = plan.input(&discount16);
+        let price_e = plan.input(&price);
+        let qty_limit = plan.constant(8, n, self.quantity_limit)?;
+        let disc_low = plan.constant(8, n, self.discount_low)?;
+        let disc_high = plan.constant(8, n, self.discount_high)?;
+        let zero16 = plan.constant(16, n, 0)?;
 
         // Selection predicate.
-        let (qty_ok, _) = machine.binary(Operation::Greater, &qty_limit, &quantity)?;
-        let (disc_ge, _) = machine.binary(Operation::GreaterEqual, &discount8, &disc_low)?;
-        let (disc_le, _) = machine.binary(Operation::GreaterEqual, &disc_high, &discount8)?;
-        let (disc_ok, _) = machine.binary(Operation::Min, &disc_ge, &disc_le)?;
-        let (selected, _) = machine.binary(Operation::Min, &qty_ok, &disc_ok)?;
+        let qty_ok = plan.greater(qty_limit, qty)?;
+        let disc_ge = plan.greater_equal(disc8, disc_low)?;
+        let disc_le = plan.greater_equal(disc_high, disc8)?;
+        let disc_ok = plan.min(disc_ge, disc_le)?;
+        let selected = plan.min(qty_ok, disc_ok)?;
 
         // Revenue contribution, predicated on selection.
-        let (revenue, _) = machine.binary(Operation::Mul, &price, &discount16)?;
-        let (masked, _) = machine.select(&selected, &revenue, &zero16)?;
+        let revenue = plan.mul(price_e, disc16)?;
+        let masked = plan.select(selected, revenue, zero16)?;
+        let out = plan.materialize(masked)?;
+        let compiled = plan.compile()?;
 
+        let exec = machine.run_plan(&compiled)?;
+        let masked = *exec.output(out);
         let per_row = machine.read(&masked)?;
         let total: u64 = per_row.iter().sum();
         let (expected_rows, expected_total) = self.reference();
         let verified = per_row == expected_rows && total == expected_total;
 
-        for v in [
-            quantity, discount8, discount16, price, qty_limit, disc_low, disc_high, zero16, qty_ok,
-            disc_ge, disc_le, disc_ok, selected, revenue, masked,
-        ] {
+        for v in [quantity, discount8, discount16, price, masked] {
             machine.free(v);
         }
-        Ok(finish_run(
-            self.name(),
-            machine,
-            ops0,
-            lat0,
-            en0,
-            n,
-            verified,
-        ))
+        Ok(finish_run(self.name(), machine, before, n, verified))
     }
 }
 
@@ -176,6 +173,10 @@ mod tests {
         );
         assert_eq!(run.output_elements, 300);
         assert!(run.bbops >= 7);
+        // Fused batches: constants, then {comparisons + multiply}, disc_ok, selected,
+        // select — versus 11 eager broadcasts (4 inits + 7 ops).
+        assert_eq!(run.broadcasts, 5);
+        assert!(run.broadcasts < run.bbops + 4);
     }
 
     #[test]

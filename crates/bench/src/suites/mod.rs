@@ -15,6 +15,7 @@
 //! | [`Suite::Reliability`] | `fig_reliability` | Fig. 13 — process variation |
 //! | [`Suite::Area`] | `tab_area` | Table 2 — area overhead |
 //! | [`Suite::Estimate`] | — (new) | trace-driven vs analytic cross-check |
+//! | [`Suite::Plans`] | — (new) | fused plan execution vs eager op-by-op |
 
 mod ablation;
 mod area;
@@ -22,6 +23,7 @@ mod commands;
 mod energy;
 mod estimate;
 mod kernels;
+mod plans;
 mod reliability;
 mod throughput;
 
@@ -46,11 +48,13 @@ pub enum Suite {
     Area,
     /// Trace-driven estimation engine vs the analytic model (functional execution).
     Estimate,
+    /// Deferred dataflow plans: fused expression execution vs eager op-by-op.
+    Plans,
 }
 
 impl Suite {
     /// All suites, in the order `--suite all` runs them.
-    pub const ALL: [Suite; 8] = [
+    pub const ALL: [Suite; 9] = [
         Suite::Throughput,
         Suite::Energy,
         Suite::Kernels,
@@ -59,6 +63,7 @@ impl Suite {
         Suite::Reliability,
         Suite::Area,
         Suite::Estimate,
+        Suite::Plans,
     ];
 
     /// The suite's CLI / JSON name.
@@ -72,6 +77,7 @@ impl Suite {
             Suite::Reliability => "reliability",
             Suite::Area => "area",
             Suite::Estimate => "estimate",
+            Suite::Plans => "plans",
         }
     }
 
@@ -91,6 +97,7 @@ impl Suite {
             Suite::Reliability => reliability::run(),
             Suite::Area => area::run(),
             Suite::Estimate => estimate::run(),
+            Suite::Plans => plans::run(),
         }
     }
 }

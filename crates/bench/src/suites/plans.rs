@@ -1,0 +1,287 @@
+//! Plans suite (new): the deferred dataflow frontend vs eager op-by-op execution.
+//!
+//! Each scenario runs one expression twice on fresh functional machines — once through
+//! the eager `SimdramMachine` calls (one broadcast per operation/initialization) and
+//! once as a compiled `Plan` (fused broadcast batches, pooled temporaries) — asserts the
+//! results are bit-identical, and emits a datapoint comparing the two schedules. The
+//! fused schedule must issue **strictly fewer broadcasts**; its busy latency must match
+//! the eager schedule (the same commands issue in lock-step either way, so fusion
+//! removes synchronization points without changing the modeled DRAM time).
+
+use simdram_core::{PlanBuilder, SimdramConfig, SimdramMachine};
+use simdram_logic::Operation;
+
+use crate::report::{Datapoint, Expected};
+
+const SUITE: &str = "plans";
+
+/// Elements per scenario: spans two of the functional-test machine's subarrays so the
+/// broadcasts genuinely fan out.
+pub const ELEMENTS: usize = 300;
+
+/// One fused-vs-eager comparison.
+struct Comparison {
+    name: &'static str,
+    eager_broadcasts: usize,
+    fused_broadcasts: usize,
+    eager_busy_ns: f64,
+    fused_busy_ns: f64,
+    fused_energy_pj: f64,
+    commands: usize,
+    /// Rows the eager schedule held for constants and intermediates.
+    eager_temp_rows: usize,
+    /// Pooled slot rows of the compiled plan.
+    plan_temp_rows: usize,
+}
+
+fn machine() -> SimdramMachine {
+    SimdramMachine::new(SimdramConfig::functional_test()).expect("functional config")
+}
+
+fn inputs() -> (Vec<u64>, Vec<u64>) {
+    let a = (0..ELEMENTS as u64).map(|i| (i * 37 + 11) & 0xFF).collect();
+    let b = (0..ELEMENTS as u64).map(|i| (i * 91 + 3) & 0xFF).collect();
+    (a, b)
+}
+
+/// `saturated = (pixels + delta >= pixels) ? pixels + delta : 255` — the brightness
+/// kernel's saturating add.
+fn brightness_saturate() -> Comparison {
+    let (pixels, _) = inputs();
+
+    let mut eager = machine();
+    let px = eager.alloc_and_write(8, &pixels).expect("write pixels");
+    let delta = eager.alloc(8, ELEMENTS).expect("alloc delta");
+    eager.init(&delta, 60).expect("init delta");
+    let sat = eager.alloc(8, ELEMENTS).expect("alloc saturated");
+    eager.init(&sat, 0xFF).expect("init saturated");
+    let (sum, _) = eager.binary(Operation::Add, &px, &delta).expect("add");
+    let (ok, _) = eager
+        .binary(Operation::GreaterEqual, &sum, &px)
+        .expect("compare");
+    let (result, _) = eager.select(&ok, &sum, &sat).expect("select");
+    let eager_result = eager.read(&result).expect("read");
+
+    let mut fused = machine();
+    let px = fused.alloc_and_write(8, &pixels).expect("write pixels");
+    let mut s = PlanBuilder::new();
+    let xp = s.input(&px);
+    let delta = s.constant(8, ELEMENTS, 60).expect("const");
+    let sat = s.constant(8, ELEMENTS, 0xFF).expect("const");
+    let sum = s.add(xp, delta).expect("add");
+    let ok = s.greater_equal(sum, xp).expect("compare");
+    let result = s.select(ok, sum, sat).expect("select");
+    let out = s.materialize(result).expect("materialize");
+    let plan = s.compile().expect("compile");
+    let exec = fused.run_plan(&plan).expect("run plan");
+    let fused_result = fused.read(exec.output(out)).expect("read");
+    assert_eq!(eager_result, fused_result, "brightness results diverged");
+
+    Comparison {
+        name: "brightness_saturate",
+        eager_broadcasts: eager.estimate().broadcasts,
+        fused_broadcasts: exec.report().broadcasts,
+        eager_busy_ns: eager.estimate().busy_latency_ns,
+        fused_busy_ns: exec.report().measured_latency_ns,
+        fused_energy_pj: exec.report().measured_energy_nj * 1e3,
+        commands: exec.report().commands,
+        // delta + saturated + sum (8 rows each) + the 1-bit flag.
+        eager_temp_rows: 8 + 8 + 8 + 1,
+        plan_temp_rows: plan.temp_rows(),
+    }
+}
+
+/// `d = |x − q1| + |x − q2|` — a two-feature kNN Manhattan distance.
+fn knn_pair() -> Comparison {
+    let (x_vals, _) = inputs();
+
+    let mut eager = machine();
+    let x = eager.alloc_and_write(8, &x_vals).expect("write x");
+    let q1 = eager.alloc(8, ELEMENTS).expect("alloc q1");
+    eager.init(&q1, 90).expect("init q1");
+    let q2 = eager.alloc(8, ELEMENTS).expect("alloc q2");
+    eager.init(&q2, 200).expect("init q2");
+    let (d1, _) = eager.binary(Operation::Sub, &x, &q1).expect("sub");
+    let (d2, _) = eager.binary(Operation::Sub, &x, &q2).expect("sub");
+    let (a1, _) = eager.unary(Operation::Abs, &d1).expect("abs");
+    let (a2, _) = eager.unary(Operation::Abs, &d2).expect("abs");
+    let (sum, _) = eager.binary(Operation::Add, &a1, &a2).expect("add");
+    let eager_result = eager.read(&sum).expect("read");
+
+    let mut fused = machine();
+    let x = fused.alloc_and_write(8, &x_vals).expect("write x");
+    let mut s = PlanBuilder::new();
+    let xe = s.input(&x);
+    let q1 = s.constant(8, ELEMENTS, 90).expect("const");
+    let q2 = s.constant(8, ELEMENTS, 200).expect("const");
+    let d1 = s.sub(xe, q1).expect("sub");
+    let d2 = s.sub(xe, q2).expect("sub");
+    let a1 = s.abs(d1).expect("abs");
+    let a2 = s.abs(d2).expect("abs");
+    let sum = s.add(a1, a2).expect("add");
+    let out = s.materialize(sum).expect("materialize");
+    let plan = s.compile().expect("compile");
+    let exec = fused.run_plan(&plan).expect("run plan");
+    let fused_result = fused.read(exec.output(out)).expect("read");
+    assert_eq!(eager_result, fused_result, "knn results diverged");
+
+    Comparison {
+        name: "knn_pair",
+        eager_broadcasts: eager.estimate().broadcasts,
+        fused_broadcasts: exec.report().broadcasts,
+        eager_busy_ns: eager.estimate().busy_latency_ns,
+        fused_busy_ns: exec.report().measured_latency_ns,
+        fused_energy_pj: exec.report().measured_energy_nj * 1e3,
+        commands: exec.report().commands,
+        // q1, q2, d1, d2, a1, a2 at 8 rows each.
+        eager_temp_rows: 6 * 8,
+        plan_temp_rows: plan.temp_rows(),
+    }
+}
+
+/// The TPC-H query-6 expression of the application kernel (comparisons, 1-bit AND as
+/// min, predicated multiply).
+fn tpch_q6() -> Comparison {
+    let (price, discount) = inputs();
+    let discount: Vec<u64> = discount.iter().map(|d| d % 11).collect();
+
+    let mut eager = machine();
+    let p = eager.alloc_and_write(16, &price).expect("write price");
+    let d8 = eager.alloc_and_write(8, &discount).expect("write discount");
+    let d16 = eager
+        .alloc_and_write(16, &discount)
+        .expect("write discount16");
+    let low = eager.alloc(8, ELEMENTS).expect("alloc");
+    eager.init(&low, 3).expect("init");
+    let high = eager.alloc(8, ELEMENTS).expect("alloc");
+    eager.init(&high, 7).expect("init");
+    let zero = eager.alloc(16, ELEMENTS).expect("alloc");
+    eager.init(&zero, 0).expect("init");
+    let (ge, _) = eager
+        .binary(Operation::GreaterEqual, &d8, &low)
+        .expect("ge");
+    let (le, _) = eager
+        .binary(Operation::GreaterEqual, &high, &d8)
+        .expect("le");
+    let (sel, _) = eager.binary(Operation::Min, &ge, &le).expect("min");
+    let (rev, _) = eager.binary(Operation::Mul, &p, &d16).expect("mul");
+    let (masked, _) = eager.select(&sel, &rev, &zero).expect("select");
+    let eager_result = eager.read(&masked).expect("read");
+
+    let mut fused = machine();
+    let p = fused.alloc_and_write(16, &price).expect("write price");
+    let d8 = fused.alloc_and_write(8, &discount).expect("write discount");
+    let d16 = fused
+        .alloc_and_write(16, &discount)
+        .expect("write discount16");
+    let mut s = PlanBuilder::new();
+    let (pe, d8e, d16e) = (s.input(&p), s.input(&d8), s.input(&d16));
+    let low = s.constant(8, ELEMENTS, 3).expect("const");
+    let high = s.constant(8, ELEMENTS, 7).expect("const");
+    let zero = s.constant(16, ELEMENTS, 0).expect("const");
+    let ge = s.greater_equal(d8e, low).expect("ge");
+    let le = s.greater_equal(high, d8e).expect("le");
+    let sel = s.min(ge, le).expect("min");
+    let rev = s.mul(pe, d16e).expect("mul");
+    let masked = s.select(sel, rev, zero).expect("select");
+    let out = s.materialize(masked).expect("materialize");
+    let plan = s.compile().expect("compile");
+    let exec = fused.run_plan(&plan).expect("run plan");
+    let fused_result = fused.read(exec.output(out)).expect("read");
+    assert_eq!(eager_result, fused_result, "tpch results diverged");
+
+    Comparison {
+        name: "tpch_q6",
+        eager_broadcasts: eager.estimate().broadcasts,
+        fused_broadcasts: exec.report().broadcasts,
+        eager_busy_ns: eager.estimate().busy_latency_ns,
+        fused_busy_ns: exec.report().measured_latency_ns,
+        fused_energy_pj: exec.report().measured_energy_nj * 1e3,
+        commands: exec.report().commands,
+        // low + high (8 each), zero (16), three 1-bit flags, revenue (16).
+        eager_temp_rows: 8 + 8 + 16 + 3 + 16,
+        plan_temp_rows: plan.temp_rows(),
+    }
+}
+
+pub fn run() -> Vec<Datapoint> {
+    let mut datapoints = Vec::new();
+    for cmp in [brightness_saturate(), knn_pair(), tpch_q6()] {
+        let reduction = cmp.eager_broadcasts as f64 / cmp.fused_broadcasts as f64;
+        datapoints.push(Datapoint::checked(
+            SUITE,
+            format!("{}/fused_vs_eager", cmp.name),
+            vec![
+                ("eager_broadcasts", cmp.eager_broadcasts as f64),
+                ("fused_broadcasts", cmp.fused_broadcasts as f64),
+                ("broadcast_reduction", reduction),
+                ("busy_latency_ns", cmp.fused_busy_ns),
+                ("energy_pj", cmp.fused_energy_pj),
+                ("commands", cmp.commands as f64),
+            ],
+            // Strictly fewer broadcasts than op-by-op: the fused schedule must cut at
+            // least the constant-initialization barrier, typically much more.
+            Expected {
+                metric: "broadcast_reduction",
+                min: 1.05,
+                max: 8.0,
+            },
+        ));
+        // Fusion removes synchronization points, not DRAM work: the same commands
+        // issue in lock-step either way, so the fused busy window must equal the eager
+        // one to floating-point accuracy.
+        let parity = cmp.fused_busy_ns / cmp.eager_busy_ns;
+        datapoints.push(Datapoint::checked(
+            SUITE,
+            format!("{}/latency_parity", cmp.name),
+            vec![
+                ("fused_busy_ns", cmp.fused_busy_ns),
+                ("eager_busy_ns", cmp.eager_busy_ns),
+                ("parity", parity),
+            ],
+            Expected {
+                metric: "parity",
+                min: 1.0 - 1e-9,
+                max: 1.0 + 1e-9,
+            },
+        ));
+        // Liveness-driven slot pooling can only shrink the temporary footprint.
+        let temp_reduction = cmp.eager_temp_rows as f64 / cmp.plan_temp_rows as f64;
+        datapoints.push(Datapoint::checked(
+            SUITE,
+            format!("{}/temp_rows", cmp.name),
+            vec![
+                ("eager_temp_rows", cmp.eager_temp_rows as f64),
+                ("plan_temp_rows", cmp.plan_temp_rows as f64),
+                ("temp_row_reduction", temp_reduction),
+            ],
+            Expected {
+                metric: "temp_row_reduction",
+                min: 1.0,
+                max: 8.0,
+            },
+        ));
+    }
+    datapoints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Verdict;
+
+    #[test]
+    fn every_scenario_fuses_and_stays_latency_neutral() {
+        let datapoints = run();
+        assert_eq!(datapoints.len(), 3 * 3);
+        for dp in &datapoints {
+            assert_eq!(dp.verdict, Verdict::Pass, "{}/{}", dp.suite, dp.name);
+        }
+        // The kNN scenario demonstrates genuine slot reuse, not just parity.
+        let knn_temp = datapoints
+            .iter()
+            .find(|d| d.name == "knn_pair/temp_rows")
+            .expect("knn temp datapoint");
+        assert!(knn_temp.metric("temp_row_reduction").unwrap() > 1.2);
+    }
+}

@@ -42,6 +42,14 @@ impl ControlUnit {
         self.library.get_or_build(self.target, op, width)
     }
 
+    /// Ensures every `(op, width)` pair of a compiled plan has a resident μProgram,
+    /// generating the missing ones in one pass (the plan-compile entry point of
+    /// [`simdram_uprog::MicroProgramLibrary::preload`]). Returns how many programs were
+    /// newly built.
+    pub fn preload(&mut self, ops: impl IntoIterator<Item = (Operation, usize)>) -> usize {
+        self.library.preload(self.target, ops)
+    }
+
     /// Validates operand shapes and produces the row binding for one bbop operation.
     ///
     /// # Errors

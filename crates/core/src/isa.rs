@@ -7,6 +7,8 @@
 //! instructions move objects between the conventional horizontal layout and SIMDRAM's
 //! vertical layout through the transposition unit.
 
+use std::fmt;
+
 use simdram_logic::Operation;
 
 use crate::layout::SimdVector;
@@ -55,17 +57,65 @@ pub enum BbopInstruction {
     },
 }
 
+/// Allocation-free mnemonic formatter returned by [`BbopInstruction::mnemonic`].
+///
+/// Every mnemonic is a fixed prefix plus an optional `&'static` operation name, so
+/// formatting writes two string slices and never allocates. Use `to_string()` only when
+/// an owned `String` is genuinely needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mnemonic {
+    prefix: &'static str,
+    suffix: &'static str,
+}
+
+impl fmt::Display for Mnemonic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.prefix)?;
+        f.write_str(self.suffix)
+    }
+}
+
+impl PartialEq<&str> for Mnemonic {
+    fn eq(&self, other: &&str) -> bool {
+        let (head, tail) = match other.split_at_checked(self.prefix.len()) {
+            Some(parts) => parts,
+            None => return false,
+        };
+        head == self.prefix && tail == self.suffix
+    }
+}
+
 impl BbopInstruction {
-    /// Short mnemonic used in traces and reports.
-    pub fn mnemonic(&self) -> String {
+    /// Short mnemonic used in traces and reports, as an allocation-free
+    /// [`Display`](fmt::Display) adapter (also available through the instruction's own
+    /// `Display` impl).
+    pub fn mnemonic(&self) -> Mnemonic {
         match self {
             BbopInstruction::Transpose { direction, .. } => match direction {
-                TransposeDirection::HorizontalToVertical => "bbop_trsp_h2v".to_string(),
-                TransposeDirection::VerticalToHorizontal => "bbop_trsp_v2h".to_string(),
+                TransposeDirection::HorizontalToVertical => Mnemonic {
+                    prefix: "bbop_trsp_h2v",
+                    suffix: "",
+                },
+                TransposeDirection::VerticalToHorizontal => Mnemonic {
+                    prefix: "bbop_trsp_v2h",
+                    suffix: "",
+                },
             },
-            BbopInstruction::Op { op, .. } => format!("bbop_{}", op.name()),
-            BbopInstruction::Init { .. } => "bbop_init".to_string(),
+            BbopInstruction::Op { op, .. } => Mnemonic {
+                prefix: "bbop_",
+                suffix: op.name(),
+            },
+            BbopInstruction::Init { .. } => Mnemonic {
+                prefix: "bbop_init",
+                suffix: "",
+            },
         }
+    }
+}
+
+impl fmt::Display for BbopInstruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.mnemonic().fmt(f)
     }
 }
 
@@ -87,6 +137,7 @@ mod tests {
             pred: None,
         };
         assert_eq!(instr.mnemonic(), "bbop_addition");
+        assert_eq!(instr.to_string(), "bbop_addition");
         let trsp = BbopInstruction::Transpose {
             vector: vec_handle(8),
             direction: TransposeDirection::HorizontalToVertical,
@@ -97,5 +148,10 @@ mod tests {
             value: 3,
         };
         assert_eq!(init.mnemonic(), "bbop_init");
+        assert_eq!(init.to_string(), "bbop_init");
+        // The adapter compares against full mnemonics only, not prefixes or extensions.
+        assert_ne!(instr.mnemonic(), "bbop_");
+        assert_ne!(init.mnemonic(), "bbop_init_extra");
+        assert_ne!(init.mnemonic(), "bbop");
     }
 }

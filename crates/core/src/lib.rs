@@ -7,6 +7,10 @@
 //!   vectors, write/read them through the **transposition unit**, and execute any of the 16
 //!   operations (or your own) on them with a single call. The same machine drives the Ambit
 //!   baseline when configured with [`simdram_uprog::Target::Ambit`].
+//! * [`PlanBuilder`]/[`Plan`] — the deferred dataflow frontend: compose whole expressions
+//!   lazily, `compile()` them (dead-code elimination, subexpression sharing, temp-row
+//!   reuse, broadcast batching) and run them with [`SimdramMachine::run_plan`]. The eager
+//!   single-op calls are kept as sugar over one-node plans.
 //! * [`ControlUnit`] — the memory-controller logic that expands **bbop** instructions
 //!   ([`BbopInstruction`]) into μPrograms and binds them to physical rows.
 //! * [`BroadcastExecutor`]/[`ExecutionPolicy`] — the broadcast execution engine that fans
@@ -45,6 +49,7 @@ mod isa;
 mod layout;
 mod machine;
 mod perf;
+mod plan;
 mod report;
 mod transpose;
 mod verify;
@@ -55,11 +60,12 @@ pub use control_unit::ControlUnit;
 pub use error::{CoreError, Result};
 pub use estimate::{BroadcastEstimate, MachineEstimate, TraceEstimator};
 pub use executor::{BroadcastExecutor, ExecutionPolicy};
-pub use isa::{BbopInstruction, TransposeDirection};
+pub use isa::{BbopInstruction, Mnemonic, TransposeDirection};
 pub use layout::SimdVector;
 pub use machine::SimdramMachine;
 pub use perf::{ddr4, pud_performance, PerfPoint};
-pub use report::{ExecutionReport, MachineStats};
+pub use plan::{Expr, Plan, PlanBuilder, PlanExecution, PlanOutput, Session};
+pub use report::{ExecutionReport, MachineStats, PlanReport};
 pub use transpose::{
     horizontal_to_vertical, transpose_64x64, vertical_to_horizontal, TranspositionUnit,
 };

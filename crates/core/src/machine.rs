@@ -12,8 +12,31 @@ use crate::estimate::{BroadcastEstimate, MachineEstimate, TraceEstimator};
 use crate::executor::{BroadcastExecutor, ExecutionPolicy};
 use crate::isa::BbopInstruction;
 use crate::layout::{RowAllocator, SimdVector};
-use crate::report::{ExecutionReport, MachineStats};
+use crate::plan::{Plan, PlanBuilder, PlanExecution, Storage};
+use crate::report::{ExecutionReport, MachineStats, PlanReport};
 use crate::transpose::{horizontal_to_vertical, vertical_to_horizontal, TranspositionUnit};
+
+/// One resolved step of a fused broadcast batch (see [`SimdramMachine::run_plan`]).
+enum RunStep {
+    /// Constant broadcast: one AAP from `C0`/`C1` per destination bit-row.
+    Init {
+        base_row: usize,
+        width: usize,
+        value: u64,
+    },
+    /// RowClone duplicate: one AAP per bit-row from a source extent.
+    Copy {
+        src_base: usize,
+        dst_base: usize,
+        width: usize,
+    },
+    /// One μProgram execution under a concrete row binding.
+    Exec {
+        program: MicroProgram,
+        binding: RowBinding,
+        node: usize,
+    },
+}
 
 /// A complete SIMDRAM system: DRAM device, memory-controller control unit, transposition
 /// unit and the memory manager for vertically laid-out objects.
@@ -327,8 +350,7 @@ impl SimdramMachine {
         let base_row = vector.base_row();
         let traces = self
             .executor
-            .broadcast(&mut self.device, &coords, |_, sa| {
-                let mark = sa.trace_mark();
+            .broadcast_traced(&mut self.device, &coords, |_, sa| {
                 for bit in 0..width {
                     let src = if (value >> bit) & 1 == 1 {
                         RowAddr::BGroup(BGroupRow::C1)
@@ -337,11 +359,7 @@ impl SimdramMachine {
                     };
                     sa.aap(src, RowAddr::Data(base_row + bit))?;
                 }
-                let local = sa.trace_since(mark);
-                // The local trace now owns this broadcast's history (absorbed below);
-                // drain the subarray's copy so long-running machines stay bounded.
-                sa.drain_trace();
-                Ok(local)
+                Ok(())
             })?;
         self.absorb_chunk_traces(&traces);
         Ok(())
@@ -351,6 +369,11 @@ impl SimdramMachine {
     ///
     /// `src_b` must be supplied for two-operand operations and `pred` (a 1-bit vector) for
     /// predicated operations.
+    ///
+    /// This is the eager **convenience path**: internally it builds, compiles and runs a
+    /// one-node [`Plan`] storing into `dst`. Multi-operation expressions fuse better when
+    /// composed with a [`PlanBuilder`] and executed through
+    /// [`SimdramMachine::run_plan`].
     ///
     /// # Errors
     ///
@@ -364,25 +387,22 @@ impl SimdramMachine {
         src_b: Option<&SimdVector>,
         pred: Option<&SimdVector>,
     ) -> Result<ExecutionReport> {
-        let binding =
-            self.control
-                .bind(op, dst, src_a, src_b, pred, self.config.reserved_base())?;
-        let program = self.control.microprogram(op, src_a.width()).clone();
-        if program.temp_rows() > self.config.dram.reserved_rows {
-            return Err(CoreError::Allocation(format!(
-                "{op} at {} bits needs {} reserved rows but only {} are configured",
-                src_a.width(),
-                program.temp_rows(),
-                self.config.dram.reserved_rows
-            )));
-        }
-        let subarrays_used = self.subarrays_for(src_a.len());
-        let report = self.run_program(&program, &binding, subarrays_used, src_a.len())?;
-        self.stats.record_execution(&report);
-        Ok(report)
+        let mut builder = PlanBuilder::new();
+        let a = builder.input(src_a);
+        let b = src_b.map(|v| builder.input(v));
+        let p = pred.map(|v| builder.input(v));
+        let expr = builder.apply(op, a, b, p)?;
+        builder.store(expr, dst)?;
+        let plan = builder.compile()?;
+        let (_, mut report) = self.run_plan(&plan)?.into_parts();
+        Ok(report
+            .step_reports
+            .pop()
+            .expect("a one-node plan produces exactly one step report"))
     }
 
-    /// Convenience: allocates a destination and executes a two-operand operation.
+    /// Convenience: allocates a destination and executes a two-operand operation (sugar
+    /// over a one-node [`Plan`], like [`SimdramMachine::execute`]).
     ///
     /// # Errors
     ///
@@ -398,7 +418,8 @@ impl SimdramMachine {
         Ok((dst, report))
     }
 
-    /// Convenience: allocates a destination and executes a single-operand operation.
+    /// Convenience: allocates a destination and executes a single-operand operation
+    /// (sugar over a one-node [`Plan`], like [`SimdramMachine::execute`]).
     ///
     /// # Errors
     ///
@@ -430,14 +451,11 @@ impl SimdramMachine {
         let dst_base = dst.base_row();
         let traces = self
             .executor
-            .broadcast(&mut self.device, &coords, |_, sa| {
-                let mark = sa.trace_mark();
+            .broadcast_traced(&mut self.device, &coords, |_, sa| {
                 for bit in 0..width {
                     sa.aap(RowAddr::Data(src_base + bit), RowAddr::Data(dst_base + bit))?;
                 }
-                let local = sa.trace_since(mark);
-                sa.drain_trace();
-                Ok(local)
+                Ok(())
             })?;
         self.absorb_chunk_traces(&traces);
         Ok(dst)
@@ -470,7 +488,8 @@ impl SimdramMachine {
         ))
     }
 
-    /// Convenience: predicated select (`pred ? a : b`), SIMDRAM's if-then-else.
+    /// Convenience: predicated select (`pred ? a : b`), SIMDRAM's if-then-else (sugar
+    /// over a one-node [`Plan`], like [`SimdramMachine::execute`]).
     ///
     /// # Errors
     ///
@@ -486,45 +505,300 @@ impl SimdramMachine {
         Ok((dst, report))
     }
 
-    /// Broadcasts one μProgram over the participating subarrays through the executor.
+    /// Executes a compiled [`Plan`]: binds it to physical rows, issues every batch as
+    /// one **fused broadcast**, and returns the materialized outputs with the
+    /// plan-level accounting.
     ///
-    /// Every chunk runs the same pure kernel ([`simdram_uprog::execute`]) against its own
-    /// exclusively borrowed subarray; the returned per-chunk [`CommandTrace`]s are merged
-    /// into the machine's functional [`DeviceStats`] in chunk order, so sequential and
-    /// threaded policies account identically.
-    fn run_program(
+    /// Each batch's steps run back-to-back inside a single broadcast kernel per
+    /// participating subarray, so under [`ExecutionPolicy::Threaded`] the banks crunch
+    /// through the whole batch without synchronizing between steps, and the modeled
+    /// broadcast count drops below op-by-op issue (see [`PlanReport`]). Per-step
+    /// command traces are still merged in `(step, chunk)` order, keeping every number —
+    /// results, [`DeviceStats`], [`MachineEstimate`], [`ExecutionReport`]s —
+    /// bit-identical between execution policies and with the equivalent eager call
+    /// sequence.
+    ///
+    /// Pooled temporaries are allocated before the first batch and released when the
+    /// run finishes (or fails); output vectors are owned by the caller and must be
+    /// freed with [`SimdramMachine::free`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Allocation`] when a μProgram needs more reserved rows than
+    /// configured or the plan's vectors do not fit, [`CoreError::SubarrayOverflow`] when
+    /// a batch needs more subarrays than available, or a substrate error. On error the
+    /// machine's row allocator is restored (no rows leak).
+    pub fn run_plan(&mut self, plan: &Plan) -> Result<PlanExecution> {
+        // Generate every μProgram the plan needs up front — the paper's offline
+        // programming step — and validate reserved-row requirements before touching the
+        // allocator.
+        self.control.preload(plan.programs_needed());
+        for (op, width) in plan.programs_needed() {
+            let temp_rows = self.control.microprogram(op, width).temp_rows();
+            if temp_rows > self.config.dram.reserved_rows {
+                return Err(CoreError::Allocation(format!(
+                    "{op} at {width} bits needs {temp_rows} reserved rows but only {} are configured",
+                    self.config.dram.reserved_rows
+                )));
+            }
+        }
+        let (outputs, slot_bases) = self.alloc_plan_storage(plan)?;
+        let result = self.execute_plan_batches(plan, &outputs, &slot_bases);
+        for (slot, &base) in slot_bases.iter().enumerate() {
+            self.allocator.free(base, plan.slot_widths()[slot]);
+        }
+        match result {
+            Ok(report) => Ok(PlanExecution::new(plan.builder_id(), outputs, report)),
+            Err(err) => {
+                for vector in outputs {
+                    self.free(vector);
+                }
+                Err(err)
+            }
+        }
+    }
+
+    /// Allocates a plan's dedicated outputs and pooled temp slots, rolling back every
+    /// partial allocation on failure.
+    fn alloc_plan_storage(&mut self, plan: &Plan) -> Result<(Vec<SimdVector>, Vec<usize>)> {
+        let mut outputs: Vec<SimdVector> = Vec::with_capacity(plan.output_count());
+        let mut slot_bases: Vec<usize> = Vec::with_capacity(plan.slot_widths().len());
+        let mut failure = None;
+        for &node_id in plan.output_nodes() {
+            let node = plan.node(node_id);
+            match self.alloc(node.width(), node.len()) {
+                Ok(vector) => outputs.push(vector),
+                Err(err) => {
+                    failure = Some(err);
+                    break;
+                }
+            }
+        }
+        if failure.is_none() {
+            for &width in plan.slot_widths() {
+                match self.allocator.alloc(width) {
+                    Ok(base) => slot_bases.push(base),
+                    Err(err) => {
+                        failure = Some(err);
+                        break;
+                    }
+                }
+            }
+        }
+        if let Some(err) = failure {
+            for (slot, &base) in slot_bases.iter().enumerate() {
+                self.allocator.free(base, plan.slot_widths()[slot]);
+            }
+            for vector in outputs {
+                self.free(vector);
+            }
+            return Err(err);
+        }
+        Ok((outputs, slot_bases))
+    }
+
+    /// Issues every batch of a plan as one fused broadcast, folding the per-step traces
+    /// into the machine's accounting exactly like the eager path would have.
+    fn execute_plan_batches(
         &mut self,
-        program: &MicroProgram,
-        binding: &RowBinding,
-        subarrays_used: usize,
-        elements: usize,
-    ) -> Result<ExecutionReport> {
-        let coords = self.compute_coords(subarrays_used)?;
-        let traces = self
-            .executor
-            .broadcast(&mut self.device, &coords, |_, sa| {
-                let local = execute_uprog(program, sa, binding).map_err(CoreError::from)?;
-                // The kernel returned its own accounting; drop the subarray's duplicate
-                // per-command history (aggregate counters are kept) so repeated
-                // executions do not grow memory without bound.
-                sa.drain_trace();
-                Ok(local)
-            })?;
-        let measured = self.absorb_chunk_traces(&traces);
-        let timing = &self.config.dram.timing;
-        let energy_model = &self.config.dram.energy;
-        Ok(ExecutionReport {
-            op: program.operation(),
-            width: program.width(),
-            elements,
-            subarrays_used,
-            commands: program.command_count(),
-            tra_count: program.tra_count(),
-            latency_ns: program.latency_ns(timing),
-            energy_nj: program.energy_nj(energy_model) * subarrays_used as f64,
-            measured_latency_ns: measured.latency_ns,
-            measured_energy_nj: measured.energy_nj,
-        })
+        plan: &Plan,
+        outputs: &[SimdVector],
+        slot_bases: &[usize],
+    ) -> Result<PlanReport> {
+        // Resolve each node's run-time vector handle (inputs in place, temporaries in
+        // their pooled slots, outputs/stores in their destinations).
+        let mut node_vectors: Vec<Option<SimdVector>> = Vec::with_capacity(plan.nodes().len());
+        for (id, node) in plan.nodes().iter().enumerate() {
+            let vector = match plan.storage_of(id) {
+                Storage::InPlace => node.input_vector(),
+                Storage::Slot(slot) => {
+                    let handle_id = self.next_id;
+                    self.next_id += 1;
+                    Some(SimdVector::new(
+                        handle_id,
+                        slot_bases[*slot],
+                        node.width(),
+                        node.len(),
+                    ))
+                }
+                Storage::Output(index) => Some(outputs[*index]),
+                Storage::External(dst) => Some(*dst),
+            };
+            node_vectors.push(vector);
+        }
+
+        let mut report = PlanReport {
+            eager_broadcasts: plan.step_count(),
+            ..PlanReport::default()
+        };
+        for batch in plan.batches() {
+            let chunks = self.subarrays_for(batch.len);
+            let coords = self.compute_coords(chunks)?;
+            let mut steps: Vec<RunStep> = Vec::with_capacity(batch.steps.len());
+            for &id in &batch.steps {
+                let node = plan.node(id);
+                let dst = node_vectors[id].expect("computed nodes have storage");
+                if let Some(value) = node.kind_constant() {
+                    steps.push(RunStep::Init {
+                        base_row: dst.base_row(),
+                        width: node.width(),
+                        value,
+                    });
+                } else if let Some(src) = node.kind_copy() {
+                    let src_vec = node_vectors[src].expect("operands precede their users");
+                    steps.push(RunStep::Copy {
+                        src_base: src_vec.base_row(),
+                        dst_base: dst.base_row(),
+                        width: node.width(),
+                    });
+                } else if let Some((op, a, b, pred)) = node.kind_op() {
+                    let a_vec = node_vectors[a].expect("operands precede their users");
+                    let b_vec = b.map(|i| node_vectors[i].expect("operands precede their users"));
+                    let p_vec =
+                        pred.map(|i| node_vectors[i].expect("operands precede their users"));
+                    let binding = self.control.bind(
+                        op,
+                        &dst,
+                        &a_vec,
+                        b_vec.as_ref(),
+                        p_vec.as_ref(),
+                        self.config.reserved_base(),
+                    )?;
+                    let program = self.control.microprogram(op, a_vec.width()).clone();
+                    steps.push(RunStep::Exec {
+                        program,
+                        binding,
+                        node: id,
+                    });
+                }
+            }
+
+            // One fused broadcast: every chunk executes the whole batch back-to-back,
+            // returning one local trace per step so per-step accounting stays exact.
+            let chunk_traces = self
+                .executor
+                .broadcast(&mut self.device, &coords, |_, sa| {
+                    let mut per_step = Vec::with_capacity(steps.len());
+                    for step in &steps {
+                        match step {
+                            RunStep::Init {
+                                base_row,
+                                width,
+                                value,
+                            } => {
+                                let mark = sa.trace_mark();
+                                for bit in 0..*width {
+                                    let src = if (value >> bit) & 1 == 1 {
+                                        RowAddr::BGroup(BGroupRow::C1)
+                                    } else {
+                                        RowAddr::BGroup(BGroupRow::C0)
+                                    };
+                                    sa.aap(src, RowAddr::Data(base_row + bit))?;
+                                }
+                                per_step.push(sa.trace_since(mark));
+                            }
+                            RunStep::Copy {
+                                src_base,
+                                dst_base,
+                                width,
+                            } => {
+                                let mark = sa.trace_mark();
+                                for bit in 0..*width {
+                                    sa.aap(
+                                        RowAddr::Data(src_base + bit),
+                                        RowAddr::Data(dst_base + bit),
+                                    )?;
+                                }
+                                per_step.push(sa.trace_since(mark));
+                            }
+                            RunStep::Exec {
+                                program, binding, ..
+                            } => {
+                                per_step.push(
+                                    execute_uprog(program, sa, binding).map_err(CoreError::from)?,
+                                );
+                            }
+                        }
+                    }
+                    sa.drain_trace();
+                    Ok(per_step)
+                })?;
+
+            // Transpose [chunk][step] into per-step chunk-ordered traces.
+            let mut per_step: Vec<Vec<CommandTrace>> = (0..steps.len())
+                .map(|_| Vec::with_capacity(chunk_traces.len()))
+                .collect();
+            for chunk in chunk_traces {
+                for (step, trace) in chunk.into_iter().enumerate() {
+                    per_step[step].push(trace);
+                }
+            }
+
+            let mut batch_chunk_latency = vec![0.0f64; chunks];
+            let mut batch_commands = 0usize;
+            let mut batch_energy = 0.0f64;
+            for (step, traces) in steps.iter().zip(&per_step) {
+                for (chunk, trace) in traces.iter().enumerate() {
+                    self.functional_stats.absorb_trace(trace);
+                    batch_chunk_latency[chunk] += trace.total_latency_ns();
+                    batch_energy += trace.total_energy_nj();
+                    batch_commands += trace.len();
+                }
+                match step {
+                    RunStep::Init { width, .. } => {
+                        report.constants += 1;
+                        report.commands += width;
+                    }
+                    RunStep::Copy { width, .. } => {
+                        report.copies += 1;
+                        report.commands += width;
+                    }
+                    RunStep::Exec { program, node, .. } => {
+                        let measured = self.estimator.broadcast(traces);
+                        let elements = plan.node(*node).len();
+                        let timing = &self.config.dram.timing;
+                        let energy_model = &self.config.dram.energy;
+                        let step_report = ExecutionReport {
+                            op: program.operation(),
+                            width: program.width(),
+                            elements,
+                            subarrays_used: chunks,
+                            commands: program.command_count(),
+                            tra_count: program.tra_count(),
+                            latency_ns: program.latency_ns(timing),
+                            energy_nj: program.energy_nj(energy_model) * chunks as f64,
+                            measured_latency_ns: measured.latency_ns,
+                            measured_energy_nj: measured.energy_nj,
+                        };
+                        self.stats.record_execution(&step_report);
+                        report.ops += 1;
+                        report.commands += step_report.commands;
+                        report.elements += step_report.elements;
+                        report.latency_ns += step_report.latency_ns;
+                        report.energy_nj += step_report.energy_nj;
+                        report.step_reports.push(step_report);
+                    }
+                }
+            }
+
+            // Fold the fused batch into the cumulative estimate as ONE broadcast: the
+            // chunks run the whole batch in lock-step, so the busy window is the max
+            // over chunks of each chunk's batch total.
+            let batch_latency = batch_chunk_latency.iter().copied().fold(0.0f64, f64::max);
+            let fused = BroadcastEstimate {
+                chunks,
+                commands: batch_commands,
+                latency_ns: batch_latency,
+                cycles: self.estimator.timing().cycles(batch_latency),
+                energy_nj: batch_energy,
+                background_nj: self.estimator.energy_model().background_nj(batch_latency),
+            };
+            self.machine_estimate.record(&fused);
+            report.broadcasts += 1;
+            report.measured_latency_ns += fused.latency_ns;
+            report.measured_energy_nj += fused.energy_nj;
+        }
+        Ok(report)
     }
 
     /// Merges per-chunk traces into the functional device statistics **in chunk order**
@@ -851,6 +1125,146 @@ mod tests {
             m.set_execution_policy(ExecutionPolicy::Threaded { max_threads: 0 }),
             Err(CoreError::Shape(_))
         ));
+    }
+
+    #[test]
+    fn compiled_plan_matches_eager_execution_with_fewer_broadcasts() {
+        // knn-style distance: d = |x - q| + |x - r| with q, r constants.
+        let x_vals: Vec<u64> = (0..300u64).map(|i| (i * 37 + 11) & 0xFF).collect();
+        let wrapped_abs_diff = |x: u64, q: u64| {
+            let diff = Operation::Sub.reference(8, x, q, false);
+            Operation::Abs.reference(8, diff, 0, false)
+        };
+        let reference: Vec<u64> = x_vals
+            .iter()
+            .map(|&x| {
+                Operation::Add.reference(
+                    8,
+                    wrapped_abs_diff(x, 90),
+                    wrapped_abs_diff(x, 200),
+                    false,
+                )
+            })
+            .collect();
+
+        // Eager: 2 inits + 5 ops = 7 broadcasts.
+        let mut eager = machine();
+        let x = eager.alloc_and_write(8, &x_vals).unwrap();
+        let q = eager.alloc(8, x_vals.len()).unwrap();
+        eager.init(&q, 90).unwrap();
+        let r = eager.alloc(8, x_vals.len()).unwrap();
+        eager.init(&r, 200).unwrap();
+        let (d1, _) = eager.binary(Operation::Sub, &x, &q).unwrap();
+        let (d2, _) = eager.binary(Operation::Sub, &x, &r).unwrap();
+        let (a1, _) = eager.unary(Operation::Abs, &d1).unwrap();
+        let (a2, _) = eager.unary(Operation::Abs, &d2).unwrap();
+        let (sum, _) = eager.binary(Operation::Add, &a1, &a2).unwrap();
+        assert_eq!(eager.read(&sum).unwrap(), reference);
+        let eager_broadcasts = eager.estimate().broadcasts;
+        assert_eq!(eager_broadcasts, 7);
+
+        // Plan: constants + subs + abs + add fuse into 4 batches.
+        let mut planned = machine();
+        let x = planned.alloc_and_write(8, &x_vals).unwrap();
+        let mut s = PlanBuilder::new();
+        let xe = s.input(&x);
+        let q = s.constant(8, x_vals.len(), 90).unwrap();
+        let r = s.constant(8, x_vals.len(), 200).unwrap();
+        let d1 = s.sub(xe, q).unwrap();
+        let d2 = s.sub(xe, r).unwrap();
+        let a1 = s.abs(d1).unwrap();
+        let a2 = s.abs(d2).unwrap();
+        let sum = s.add(a1, a2).unwrap();
+        let out = s.materialize(sum).unwrap();
+        let plan = s.compile().unwrap();
+        let exec = planned.run_plan(&plan).unwrap();
+        assert_eq!(planned.read(exec.output(out)).unwrap(), reference);
+
+        let report = exec.report();
+        assert_eq!(report.ops, 5);
+        assert_eq!(report.constants, 2);
+        assert_eq!(report.eager_broadcasts, 7);
+        assert_eq!(report.broadcasts, 4);
+        assert_eq!(planned.estimate().broadcasts, 4);
+        assert!(report.broadcasts < eager_broadcasts);
+        assert!(report.broadcast_savings() > 1.5);
+        // The fused schedule issues exactly the commands the eager path issued, and the
+        // machine-level functional accounting is identical.
+        assert_eq!(planned.device_stats(), eager.device_stats());
+        assert_eq!(planned.stats().operations, 5);
+        assert_eq!(report.step_reports.len(), 5);
+        assert!(report.measured_latency_ns > 0.0);
+        assert!((report.measured_latency_ns - planned.estimate().busy_latency_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plan_temporaries_are_released_after_the_run() {
+        let mut m = machine();
+        let free_before = m.allocator.free_rows();
+        let x = m.alloc_and_write(8, &[1, 2, 3]).unwrap();
+        let mut s = PlanBuilder::new();
+        let xe = s.input(&x);
+        let c = s.constant(8, 3, 5).unwrap();
+        let sum = s.add(xe, c).unwrap();
+        let doubled = s.add(sum, sum).unwrap();
+        let out = s.materialize(doubled).unwrap();
+        let plan = s.compile().unwrap();
+        assert!(plan.temp_rows() > 0);
+        let exec = m.run_plan(&plan).unwrap();
+        assert_eq!(m.read(exec.output(out)).unwrap(), vec![12, 14, 16]);
+        // Only the input and the single output remain allocated.
+        assert_eq!(m.allocator.free_rows(), free_before - 2 * 8);
+        let output = *exec.output(out);
+        m.free(output);
+        m.free(x);
+        assert_eq!(m.allocator.free_rows(), free_before);
+    }
+
+    #[test]
+    fn failing_plans_leak_no_rows() {
+        let mut m = machine();
+        let free_before = m.allocator.free_rows();
+        // Four 64-bit temp slots (256 rows) exceed the functional machine's 160
+        // allocatable rows, so storage allocation fails partway and must roll back.
+        let mut s = PlanBuilder::new();
+        let c1 = s.constant(64, 4, 1).unwrap();
+        let c2 = s.constant(64, 4, 2).unwrap();
+        let c3 = s.constant(64, 4, 3).unwrap();
+        let s1 = s.add(c1, c2).unwrap();
+        let s2 = s.add(s1, c3).unwrap();
+        s.materialize(s2).unwrap();
+        let plan = s.compile().unwrap();
+        assert!(plan.temp_rows() > m.config().allocatable_rows());
+        assert!(matches!(m.run_plan(&plan), Err(CoreError::Allocation(_))));
+        assert_eq!(m.allocator.free_rows(), free_before);
+
+        // A plan whose element count exceeds the machine's lanes fails cleanly too.
+        let mut s = PlanBuilder::new();
+        let c = s.constant(8, 5_000, 1).unwrap();
+        let sum = s.add(c, c).unwrap();
+        s.materialize(sum).unwrap();
+        let plan = s.compile().unwrap();
+        assert!(m.run_plan(&plan).is_err());
+        assert_eq!(m.allocator.free_rows(), free_before);
+    }
+
+    #[test]
+    fn one_node_plan_reports_match_the_legacy_eager_contract() {
+        // execute() is sugar over a one-node plan; its report must carry the same
+        // analytic and measured accounting the dedicated broadcast produced.
+        let mut m = machine();
+        let a = m.alloc_and_write(8, &[1, 2, 3]).unwrap();
+        let b = m.alloc_and_write(8, &[9, 8, 7]).unwrap();
+        let (sum, report) = m.binary(Operation::Add, &a, &b).unwrap();
+        assert_eq!(m.read(&sum).unwrap(), vec![10; 3]);
+        assert_eq!(report.op, Operation::Add);
+        assert_eq!(report.elements, 3);
+        assert_eq!(report.subarrays_used, 1);
+        assert!(report.commands > 0);
+        assert!(report.latency_ns > 0.0);
+        assert!((report.measured_latency_ns - report.latency_ns).abs() < 1e-9);
+        assert_eq!(m.stats().operations, 1);
+        assert_eq!(m.estimate().broadcasts, 1);
     }
 
     #[test]

@@ -94,6 +94,81 @@ impl fmt::Display for ExecutionReport {
     }
 }
 
+/// The cost accounting of one executed [`crate::Plan`].
+///
+/// A plan issues its steps as **fused broadcast batches**: every step of a batch runs
+/// back-to-back inside one broadcast, so `broadcasts` is the number of batches actually
+/// issued while `eager_broadcasts` is what op-by-op execution of the same expression
+/// would have issued (one broadcast per operation and per constant initialization).
+/// All timing/energy figures aggregate the trace-driven estimation engine
+/// ([`crate::TraceEstimator`]) over the plan's batches and are bit-identical between
+/// execution policies.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PlanReport {
+    /// Number of bbop operation steps executed.
+    pub ops: usize,
+    /// Number of constant-broadcast steps executed.
+    pub constants: usize,
+    /// Number of RowClone copy steps (inserted automatically to de-alias operands).
+    pub copies: usize,
+    /// Number of fused broadcasts (batches) issued.
+    pub broadcasts: usize,
+    /// Broadcasts the eager op-by-op path would have issued for the same steps.
+    pub eager_broadcasts: usize,
+    /// Total DRAM commands issued per subarray, summed over steps (analytic).
+    pub commands: usize,
+    /// Total elements processed across all operation steps.
+    pub elements: usize,
+    /// Analytic compute latency: the sum of the per-operation μProgram latencies.
+    pub latency_ns: f64,
+    /// Analytic DRAM energy over all operation steps and subarrays, in nanojoules.
+    pub energy_nj: f64,
+    /// Trace-measured busy window: the sum over batches of each batch's
+    /// max-over-subarrays latency (the fused schedule's serialization points).
+    pub measured_latency_ns: f64,
+    /// Trace-measured dynamic DRAM energy over every step and subarray, in nanojoules.
+    pub measured_energy_nj: f64,
+    /// Per-operation reports, in step issue order (constant steps carry no report).
+    pub step_reports: Vec<ExecutionReport>,
+}
+
+impl PlanReport {
+    /// Ratio of eager broadcasts to fused broadcasts (≥ 1; higher means more fusion).
+    pub fn broadcast_savings(&self) -> f64 {
+        if self.broadcasts == 0 {
+            1.0
+        } else {
+            self.eager_broadcasts as f64 / self.broadcasts as f64
+        }
+    }
+
+    /// Throughput in giga-operations per second over the plan's analytic latency.
+    pub fn throughput_gops(&self) -> f64 {
+        if self.latency_ns == 0.0 {
+            0.0
+        } else {
+            self.elements as f64 / self.latency_ns
+        }
+    }
+}
+
+impl fmt::Display for PlanReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "plan: {} ops + {} constants in {} broadcasts (eager: {}), \
+             {} commands/subarray, {:.1} ns busy, {:.1} nJ",
+            self.ops,
+            self.constants,
+            self.broadcasts,
+            self.eager_broadcasts,
+            self.commands,
+            self.measured_latency_ns,
+            self.measured_energy_nj
+        )
+    }
+}
+
 /// Cumulative statistics of a [`crate::SimdramMachine`].
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MachineStats {
@@ -227,5 +302,32 @@ mod tests {
         assert!(text.contains("GOPS"));
         let stats_text = MachineStats::default().to_string();
         assert!(stats_text.contains("operations executed"));
+    }
+
+    #[test]
+    fn plan_report_broadcast_savings_and_display() {
+        let plan = PlanReport {
+            ops: 5,
+            constants: 2,
+            copies: 0,
+            broadcasts: 3,
+            eager_broadcasts: 7,
+            commands: 120,
+            elements: 5 * 300,
+            latency_ns: 1_000.0,
+            energy_nj: 40.0,
+            measured_latency_ns: 1_000.0,
+            measured_energy_nj: 80.0,
+            step_reports: vec![report()],
+        };
+        assert!((plan.broadcast_savings() - 7.0 / 3.0).abs() < 1e-12);
+        assert!((plan.throughput_gops() - 1_500.0 / 1_000.0).abs() < 1e-12);
+        let text = plan.to_string();
+        assert!(text.contains("5 ops"));
+        assert!(text.contains("eager: 7"));
+        // Degenerate empty plan reports stay finite.
+        let empty = PlanReport::default();
+        assert_eq!(empty.broadcast_savings(), 1.0);
+        assert_eq!(empty.throughput_gops(), 0.0);
     }
 }

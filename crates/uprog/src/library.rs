@@ -61,6 +61,26 @@ impl MicroProgramLibrary {
             .or_insert_with(|| build_program(target, op, width, options))
     }
 
+    /// Compile entry point for whole-plan execution: ensures every `(op, width)` pair a
+    /// compiled plan needs has a resident μProgram, generating the missing ones in one
+    /// pass. Returns how many programs were newly built (duplicates in `ops` are
+    /// harmless).
+    ///
+    /// The control unit calls this before issuing a plan's first batch, mirroring the
+    /// paper's offline programming flow: μPrograms are generated once and stored in the
+    /// controller's program memory, and execution then only performs lookups.
+    pub fn preload(
+        &mut self,
+        target: Target,
+        ops: impl IntoIterator<Item = (Operation, usize)>,
+    ) -> usize {
+        let before = self.cache.len();
+        for (op, width) in ops {
+            self.get_or_build(target, op, width);
+        }
+        self.cache.len() - before
+    }
+
     /// Number of μPrograms currently cached.
     pub fn len(&self) -> usize {
         self.cache.len()
@@ -109,6 +129,23 @@ mod tests {
         assert_eq!(first, second);
         assert_eq!(lib.len(), 1);
         assert!(!lib.is_empty());
+    }
+
+    #[test]
+    fn preload_builds_each_missing_program_once() {
+        let mut lib = MicroProgramLibrary::new();
+        let built = lib.preload(
+            Target::Simdram,
+            [
+                (Operation::Add, 8),
+                (Operation::Sub, 8),
+                (Operation::Add, 8),
+            ],
+        );
+        assert_eq!(built, 2);
+        assert_eq!(lib.len(), 2);
+        // A second preload over the same set builds nothing.
+        assert_eq!(lib.preload(Target::Simdram, [(Operation::Add, 8)]), 0);
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Property-based tests of the deferred dataflow frontend: random expression DAGs are
+//! executed eagerly (one machine call per node, as a legacy program would) and as a
+//! compiled `Plan`, under both execution policies, and must produce bit-identical vector
+//! contents — while the plan's pooled temporaries never occupy more rows than the eager
+//! schedule's intermediate allocations.
+
+use proptest::prelude::*;
+use simdram_core::{ExecutionPolicy, Expr, PlanBuilder, SimdVector, SimdramConfig, SimdramMachine};
+use simdram_logic::{word_mask, Operation};
+
+/// Operation pool for random DAG nodes (all width-preserving, so every node composes
+/// with every other).
+const BINARY_OPS: [Operation; 5] = [
+    Operation::Add,
+    Operation::Sub,
+    Operation::Mul,
+    Operation::Min,
+    Operation::Max,
+];
+const UNARY_OPS: [Operation; 2] = [Operation::Abs, Operation::Relu];
+
+/// One random DAG node: an operation picked from the pools plus operand indices into
+/// the list of previously available expressions.
+type NodeSpec = (u8, u8, u8);
+
+fn pick_op(choice: u8) -> (Operation, bool) {
+    let total = BINARY_OPS.len() + UNARY_OPS.len();
+    let index = choice as usize % total;
+    if index < BINARY_OPS.len() {
+        (BINARY_OPS[index], true)
+    } else {
+        (UNARY_OPS[index - BINARY_OPS.len()], false)
+    }
+}
+
+fn machine_with(policy: ExecutionPolicy) -> SimdramMachine {
+    let mut config = SimdramConfig::functional_test();
+    config.execution = policy;
+    SimdramMachine::new(config).unwrap()
+}
+
+/// Executes the DAG eagerly, node by node, the way a legacy program would: every node
+/// allocates its own destination, aliased binary operands go through an explicit
+/// RowClone copy. Returns the two output vectors' contents plus the rows the schedule
+/// held for constants, copies and non-output intermediates.
+#[allow(clippy::too_many_arguments)]
+fn run_eager(
+    policy: ExecutionPolicy,
+    specs: &[NodeSpec],
+    a_vals: &[u64],
+    b_vals: &[u64],
+    width: usize,
+    constant: u64,
+    out_mid: usize,
+    out_last: usize,
+) -> (Vec<u64>, Vec<u64>, usize) {
+    let mut m = machine_with(policy);
+    let a = m.alloc_and_write(width, a_vals).unwrap();
+    let b = m.alloc_and_write(width, b_vals).unwrap();
+    let c = m.alloc(width, a_vals.len()).unwrap();
+    m.init(&c, constant).unwrap();
+    let mut temp_rows = width; // the constant vector
+    let mut available: Vec<SimdVector> = vec![a, b, c];
+    let mut nodes: Vec<SimdVector> = Vec::new();
+    for &(op_choice, i1, i2) in specs {
+        let (op, is_binary) = pick_op(op_choice);
+        let lhs_index = i1 as usize % available.len();
+        let lhs = available[lhs_index];
+        let dst = if is_binary {
+            let rhs_index = i2 as usize % available.len();
+            let rhs = if rhs_index == lhs_index {
+                // The μProgram binding needs disjoint operand rows; a legacy program
+                // would duplicate the operand with a RowClone copy first.
+                temp_rows += width;
+                m.copy(&available[rhs_index]).unwrap()
+            } else {
+                available[rhs_index]
+            };
+            let (dst, _) = m.binary(op, &lhs, &rhs).unwrap();
+            dst
+        } else {
+            let (dst, _) = m.unary(op, &lhs).unwrap();
+            dst
+        };
+        temp_rows += width;
+        available.push(dst);
+        nodes.push(dst);
+    }
+    // The two outputs are not temporaries; everything else the schedule allocated is.
+    temp_rows -= width; // out_last
+    if out_mid != out_last {
+        temp_rows -= width;
+    }
+    let mid = m.read(&nodes[out_mid]).unwrap();
+    let last = m.read(&nodes[out_last]).unwrap();
+    (mid, last, temp_rows)
+}
+
+/// Executes the same DAG as one compiled plan, returning the outputs and the plan's
+/// pooled temp-row footprint.
+#[allow(clippy::too_many_arguments)]
+fn run_plan(
+    policy: ExecutionPolicy,
+    specs: &[NodeSpec],
+    a_vals: &[u64],
+    b_vals: &[u64],
+    width: usize,
+    constant: u64,
+    out_mid: usize,
+    out_last: usize,
+) -> (Vec<u64>, Vec<u64>, usize) {
+    let mut m = machine_with(policy);
+    let a = m.alloc_and_write(width, a_vals).unwrap();
+    let b = m.alloc_and_write(width, b_vals).unwrap();
+    let mut s = PlanBuilder::new();
+    let mut available: Vec<Expr> = vec![s.input(&a), s.input(&b)];
+    available.push(s.constant(width, a_vals.len(), constant).unwrap());
+    let mut nodes: Vec<Expr> = Vec::new();
+    for &(op_choice, i1, i2) in specs {
+        let (op, is_binary) = pick_op(op_choice);
+        let lhs = available[i1 as usize % available.len()];
+        let expr = if is_binary {
+            let rhs = available[i2 as usize % available.len()];
+            s.binary(op, lhs, rhs).unwrap()
+        } else {
+            s.unary(op, lhs).unwrap()
+        };
+        available.push(expr);
+        nodes.push(expr);
+    }
+    let mid_handle = s.materialize(nodes[out_mid]).unwrap();
+    let last_handle = s.materialize(nodes[out_last]).unwrap();
+    let plan = s.compile().unwrap();
+    let exec = m.run_plan(&plan).unwrap();
+    let mid = m.read(exec.output(mid_handle)).unwrap();
+    let last = m.read(exec.output(last_handle)).unwrap();
+    (mid, last, plan.temp_rows())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn random_dags_are_bit_identical_to_eager_under_both_policies(
+        specs in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..8),
+        seed_values in proptest::collection::vec((any::<u64>(), any::<u64>()), 4..300),
+        width in 2usize..=8,
+        constant in any::<u64>(),
+        mid_pick in any::<u8>(),
+        max_threads in 1usize..=4,
+    ) {
+        let mask = word_mask(width);
+        let a_vals: Vec<u64> = seed_values.iter().map(|v| v.0 & mask).collect();
+        let b_vals: Vec<u64> = seed_values.iter().map(|v| v.1 & mask).collect();
+        let out_last = specs.len() - 1;
+        let out_mid = mid_pick as usize % specs.len();
+
+        let policies = [
+            ExecutionPolicy::Sequential,
+            ExecutionPolicy::Threaded { max_threads },
+        ];
+        let mut eager_runs = Vec::new();
+        let mut plan_runs = Vec::new();
+        for policy in policies {
+            eager_runs.push(run_eager(
+                policy, &specs, &a_vals, &b_vals, width, constant, out_mid, out_last,
+            ));
+            plan_runs.push(run_plan(
+                policy, &specs, &a_vals, &b_vals, width, constant, out_mid, out_last,
+            ));
+        }
+
+        // Bit-identical vector contents: eager vs plan, under each policy, and across
+        // policies.
+        for (eager, plan) in eager_runs.iter().zip(&plan_runs) {
+            prop_assert_eq!(&eager.0, &plan.0, "mid output diverged");
+            prop_assert_eq!(&eager.1, &plan.1, "last output diverged");
+        }
+        prop_assert_eq!(&eager_runs[0].0, &eager_runs[1].0);
+        prop_assert_eq!(&eager_runs[0].1, &eager_runs[1].1);
+        prop_assert_eq!(&plan_runs[0].0, &plan_runs[1].0);
+        prop_assert_eq!(&plan_runs[0].1, &plan_runs[1].1);
+
+        // The compiled plan's pooled temporaries never exceed the eager schedule's
+        // intermediate allocations (CSE, DCE and liveness reuse only shrink them).
+        let (_, _, eager_temp_rows) = eager_runs[0];
+        let (_, _, plan_temp_rows) = plan_runs[0];
+        prop_assert!(
+            plan_temp_rows <= eager_temp_rows,
+            "plan used {plan_temp_rows} temp rows, eager used {eager_temp_rows}"
+        );
+    }
+}
