@@ -17,6 +17,23 @@
 //! | [`tpch::TpchQuery6`] | Databases | comparisons, 1-bit AND, multiply, predication |
 //! | [`bitweaving::BitWeavingScan`] | Databases | comparisons |
 //! | [`brightness::Brightness`] | Image processing | add, compare, predication |
+//!
+//! ## Example
+//!
+//! ```
+//! use simdram_apps::{brightness::Brightness, Kernel};
+//! use simdram_core::{SimdramConfig, SimdramMachine};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut machine = SimdramMachine::new(SimdramConfig::functional_test())?;
+//! let kernel = Brightness::new(64, 4, 60, 7);
+//! let run = kernel.run(&mut machine)?;
+//! // Every kernel run is checked element-for-element against its host reference.
+//! assert!(run.verified);
+//! assert_eq!(run.output_elements, kernel.pixel_count());
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -10,6 +10,19 @@
 //!
 //! [`platform_performance`] evaluates any of them (plus SIMDRAM itself at 1/4/16 banks) for
 //! one operation and width, and is what the figure generators in `simdram-bench` call.
+//!
+//! ## Example
+//!
+//! ```
+//! use simdram_baselines::{platform_performance, Platform};
+//! use simdram_logic::Operation;
+//!
+//! let cpu = platform_performance(Platform::Cpu, Operation::Add, 32);
+//! let simdram = platform_performance(Platform::Simdram { banks: 16 }, Operation::Add, 32);
+//! // The paper's headline: 16-bank SIMDRAM beats the CPU on bulk 32-bit addition.
+//! assert!(simdram.throughput_gops > cpu.throughput_gops);
+//! assert!(simdram.gops_per_watt > cpu.gops_per_watt);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

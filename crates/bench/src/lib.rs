@@ -15,9 +15,28 @@
 //!
 //! * [`json`] — a hand-rolled JSON value/writer/parser (no external dependencies);
 //! * [`report`] — the `BENCH_*.json` schema: datapoints, expected ranges, verdicts;
-//! * [`suites`] — the eight evaluation suites behind `--suite`;
+//! * [`suites`] — the ten evaluation suites behind `--suite` (including the `serving`
+//!   suite exercising the multi-tenant `simdram-serve` layer);
 //! * the table-generation functions below, shared by the suites and the Criterion
 //!   micro-benchmarks so they stay unit-testable.
+//!
+//! ## Example
+//!
+//! Every suite emits [`report::Datapoint`]s; checked ones carry a paper-expected range
+//! and verdict:
+//!
+//! ```
+//! use simdram_bench::report::{Datapoint, Expected, Verdict};
+//!
+//! let dp = Datapoint::checked(
+//!     "demo",
+//!     "addition/32b".into(),
+//!     vec![("throughput_gops", 2.8)],
+//!     Expected { metric: "throughput_gops", min: 1.0, max: 10.0 },
+//! );
+//! assert_eq!(dp.verdict, Verdict::Pass);
+//! assert_eq!(dp.metric("throughput_gops"), Some(2.8));
+//! ```
 
 pub mod json;
 pub mod report;

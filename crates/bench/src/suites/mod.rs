@@ -16,6 +16,7 @@
 //! | [`Suite::Area`] | `tab_area` | Table 2 — area overhead |
 //! | [`Suite::Estimate`] | — (new) | trace-driven vs analytic cross-check |
 //! | [`Suite::Plans`] | — (new) | fused plan execution vs eager op-by-op |
+//! | [`Suite::Serving`] | — (new) | multi-tenant serving vs per-tenant sequential |
 
 mod ablation;
 mod area;
@@ -25,6 +26,7 @@ mod estimate;
 mod kernels;
 mod plans;
 mod reliability;
+mod serving;
 mod throughput;
 
 use crate::report::{BenchReport, Datapoint};
@@ -50,11 +52,13 @@ pub enum Suite {
     Estimate,
     /// Deferred dataflow plans: fused expression execution vs eager op-by-op.
     Plans,
+    /// Multi-tenant serving: cross-tenant batch fusion, fairness and tail latency.
+    Serving,
 }
 
 impl Suite {
     /// All suites, in the order `--suite all` runs them.
-    pub const ALL: [Suite; 9] = [
+    pub const ALL: [Suite; 10] = [
         Suite::Throughput,
         Suite::Energy,
         Suite::Kernels,
@@ -64,6 +68,7 @@ impl Suite {
         Suite::Area,
         Suite::Estimate,
         Suite::Plans,
+        Suite::Serving,
     ];
 
     /// The suite's CLI / JSON name.
@@ -78,6 +83,7 @@ impl Suite {
             Suite::Area => "area",
             Suite::Estimate => "estimate",
             Suite::Plans => "plans",
+            Suite::Serving => "serving",
         }
     }
 
@@ -98,6 +104,7 @@ impl Suite {
             Suite::Area => area::run(),
             Suite::Estimate => estimate::run(),
             Suite::Plans => plans::run(),
+            Suite::Serving => serving::run(),
         }
     }
 }

@@ -1,0 +1,294 @@
+//! Serving suite (new): the multi-tenant `simdram-serve` layer vs per-tenant
+//! sequential execution.
+//!
+//! Three scenarios on the functional-test machine:
+//!
+//! - `mixed_tenants`: eight tenants submitting brightness/knn/tpch-style plans
+//!   through one [`PlanServer`]. Cross-tenant batch fusion must issue **strictly
+//!   fewer** broadcast dispatches than running every tenant back-to-back, with
+//!   bit-identical results (asserted element-for-element against dedicated solo
+//!   machines).
+//! - `fairness`: weighted tenants under a shared backlog for a fixed number of
+//!   windows; the weight-normalized busy-time shares must be near-uniform (Jain
+//!   index ≈ 1).
+//! - `tail_latency`: one tenant floods its queue; queueing must show up as p99 ≫ p50
+//!   modeled turnaround.
+
+use simdram_core::{Plan, PlanBuilder, PlanOutput, SimdVector, SimdramConfig, SimdramMachine};
+use simdram_serve::{PlanServer, ServeConfig, TenantSpec};
+
+use crate::report::{Datapoint, Expected};
+
+const SUITE: &str = "serving";
+
+/// Per-tenant elements: one subarray chunk on the functional machine, so several
+/// tenants pack into one dispatch window.
+const ELEMENTS: usize = 256;
+
+/// The three plan shapes tenants mix (the same expressions the `plans` suite
+/// compares against eager execution).
+#[derive(Clone, Copy)]
+enum Shape {
+    Brightness,
+    Knn,
+    Tpch,
+}
+
+fn machine() -> SimdramMachine {
+    SimdramMachine::new(SimdramConfig::functional_test()).expect("functional config")
+}
+
+fn tenant_values(tenant: usize) -> Vec<u64> {
+    (0..ELEMENTS as u64)
+        .map(|i| (i * 37 + 11 * tenant as u64 + 13) & 0xFF)
+        .collect()
+}
+
+/// Builds one tenant's plan over its machine-resident input.
+fn build_plan(shape: Shape, input: &SimdVector) -> (Plan, PlanOutput) {
+    let mut s = PlanBuilder::new();
+    let x = s.input(input);
+    let out = match shape {
+        Shape::Brightness => {
+            let delta = s.constant(8, ELEMENTS, 60).expect("const");
+            let sat = s.constant(8, ELEMENTS, 0xFF).expect("const");
+            let sum = s.add(x, delta).expect("add");
+            let ok = s.greater_equal(sum, x).expect("compare");
+            let result = s.select(ok, sum, sat).expect("select");
+            s.materialize(result).expect("materialize")
+        }
+        Shape::Knn => {
+            let q1 = s.constant(8, ELEMENTS, 90).expect("const");
+            let q2 = s.constant(8, ELEMENTS, 200).expect("const");
+            let d1 = s.sub(x, q1).expect("sub");
+            let d2 = s.sub(x, q2).expect("sub");
+            let a1 = s.abs(d1).expect("abs");
+            let a2 = s.abs(d2).expect("abs");
+            let sum = s.add(a1, a2).expect("add");
+            s.materialize(sum).expect("materialize")
+        }
+        Shape::Tpch => {
+            let low = s.constant(8, ELEMENTS, 3).expect("const");
+            let high = s.constant(8, ELEMENTS, 7).expect("const");
+            let zero = s.constant(8, ELEMENTS, 0).expect("const");
+            let ge = s.greater_equal(x, low).expect("ge");
+            let le = s.greater_equal(high, x).expect("le");
+            let sel = s.min(ge, le).expect("min");
+            let masked = s.select(sel, x, zero).expect("select");
+            s.materialize(masked).expect("materialize")
+        }
+    };
+    (s.compile().expect("compile"), out)
+}
+
+/// Eight tenants, mixed plan shapes, one shared server: fused dispatches vs solo
+/// sequential execution, with bit-identity asserted.
+fn mixed_tenants() -> Vec<Datapoint> {
+    const SHAPES: [Shape; 3] = [Shape::Brightness, Shape::Knn, Shape::Tpch];
+    let tenants = 8;
+
+    // Served: all tenants through one PlanServer. Two jobs per window keeps the
+    // functional machine's 160 data rows sufficient for the eight staged inputs plus
+    // the in-flight jobs' outputs and pooled temporaries — rows, not subarrays, are
+    // the binding resource at this config size.
+    let config = ServeConfig {
+        max_jobs_per_window: 2,
+        ..ServeConfig::new()
+    };
+    let mut server = PlanServer::new(machine(), config);
+    let mut jobs = Vec::new();
+    for t in 0..tenants {
+        let id = server.register_tenant(TenantSpec::new(format!("tenant-{t}")));
+        let values = tenant_values(t);
+        let input = server.write_input(id, 8, &values).expect("stage input");
+        let shape = SHAPES[t % SHAPES.len()];
+        let (plan, out) = build_plan(shape, &input);
+        let job = server.submit(id, plan).expect("submit");
+        jobs.push((t, shape, job, out));
+    }
+    let report = server.serve().expect("serve");
+
+    // Sequential reference: every tenant's plan alone on a dedicated machine.
+    let mut sequential_dispatches = 0;
+    let mut identical = true;
+    for (t, shape, job, out) in &jobs {
+        let mut m = machine();
+        let input = m
+            .alloc_and_write(8, &tenant_values(*t))
+            .expect("write input");
+        let (plan, solo_out) = build_plan(*shape, &input);
+        let exec = m.run_plan(&plan).expect("solo run");
+        let solo = m.read(exec.output(solo_out)).expect("read");
+        sequential_dispatches += exec.report().broadcasts;
+        let served = server.take_result(*job).expect("result");
+        identical &= served.output(*out) == solo.as_slice();
+    }
+    assert!(identical, "served results diverged from solo execution");
+    assert_eq!(report.sequential_dispatches, sequential_dispatches);
+
+    let reduction = sequential_dispatches as f64 / report.fused_dispatches as f64;
+    vec![
+        Datapoint::checked(
+            SUITE,
+            "mixed_tenants/fused_vs_sequential".into(),
+            vec![
+                ("tenants", tenants as f64),
+                ("jobs", report.jobs_completed as f64),
+                ("windows", report.windows as f64),
+                ("fused_dispatches", report.fused_dispatches as f64),
+                ("sequential_dispatches", sequential_dispatches as f64),
+                ("dispatch_reduction", reduction),
+                ("busy_us", report.busy_ns / 1e3),
+                ("energy_nj", report.energy_nj),
+            ],
+            // Cross-tenant fusion must strictly beat back-to-back execution.
+            Expected {
+                metric: "dispatch_reduction",
+                min: 1.05,
+                max: 16.0,
+            },
+        ),
+        Datapoint::checked(
+            SUITE,
+            "mixed_tenants/bit_identity".into(),
+            vec![("identical", if identical { 1.0 } else { 0.0 })],
+            Expected {
+                metric: "identical",
+                min: 1.0,
+                max: 1.0,
+            },
+        ),
+    ]
+}
+
+/// A deliberately tiny unit-cost plan (`x + 7`), so four of them fit one window's
+/// row budget and every fairness job costs the same.
+fn unit_plan(input: &SimdVector) -> Plan {
+    let mut s = PlanBuilder::new();
+    let x = s.input(input);
+    let c = s.constant(8, ELEMENTS, 7).expect("const");
+    let sum = s.add(x, c).expect("add");
+    s.materialize(sum).expect("materialize");
+    s.compile().expect("compile")
+}
+
+/// Weighted tenants under a shared backlog: Jain fairness over weight-normalized
+/// busy time after a fixed number of contended windows.
+fn fairness() -> Vec<Datapoint> {
+    let weights = [1u64, 1, 2, 4];
+    let mut server = PlanServer::new(machine(), ServeConfig::new());
+    let ids: Vec<_> = weights
+        .iter()
+        .enumerate()
+        .map(|(t, &w)| {
+            server.register_tenant(TenantSpec::new(format!("tenant-{t}")).with_weight(w))
+        })
+        .collect();
+    for (t, &id) in ids.iter().enumerate() {
+        let values = tenant_values(t);
+        let input = server.write_input(id, 8, &values).expect("stage input");
+        for _ in 0..16 {
+            server.submit(id, unit_plan(&input)).expect("submit");
+        }
+    }
+    // A fixed contended horizon — the backlog outlasts it, so admission share is
+    // purely the scheduler's choice.
+    for _ in 0..8 {
+        server.run_window().expect("window");
+    }
+    let report = server.report();
+    let jain = report.jain_fairness();
+    let heavy = &report.tenants[3];
+    let light = &report.tenants[0];
+    let weighted_ratio = if light.jobs_completed > 0 {
+        heavy.jobs_completed as f64 / light.jobs_completed as f64
+    } else {
+        f64::INFINITY
+    };
+    vec![Datapoint::checked(
+        SUITE,
+        "fairness/weighted_backlog".into(),
+        vec![
+            ("jain_index", jain),
+            ("windows", report.windows as f64),
+            ("jobs_completed", report.jobs_completed as f64),
+            ("heavy_over_light_jobs", weighted_ratio),
+            ("heavy_share", heavy.share),
+            ("light_share", light.share),
+        ],
+        // Weight-normalized shares must be near-uniform.
+        Expected {
+            metric: "jain_index",
+            min: 0.95,
+            max: 1.0,
+        },
+    )]
+}
+
+/// One tenant floods its queue: queueing shows up as tail amplification in the
+/// modeled turnaround percentiles.
+fn tail_latency() -> Vec<Datapoint> {
+    let mut server = PlanServer::new(machine(), ServeConfig::new());
+    let id = server.register_tenant(TenantSpec::new("flood"));
+    let values = tenant_values(0);
+    let input = server.write_input(id, 8, &values).expect("stage input");
+    for _ in 0..12 {
+        let (plan, _) = build_plan(Shape::Brightness, &input);
+        server.submit(id, plan).expect("submit");
+    }
+    let report = server.serve().expect("serve");
+    let tenant = &report.tenants[0];
+    let amplification = tenant.p99_turnaround_ns / tenant.p50_turnaround_ns;
+    vec![Datapoint::checked(
+        SUITE,
+        "tail_latency/flooded_queue".into(),
+        vec![
+            ("jobs", tenant.jobs_completed as f64),
+            ("windows", report.windows as f64),
+            ("max_queue_depth", tenant.max_queue_depth as f64),
+            ("p50_turnaround_us", tenant.p50_turnaround_ns / 1e3),
+            ("p95_turnaround_us", tenant.p95_turnaround_ns / 1e3),
+            ("p99_turnaround_us", tenant.p99_turnaround_ns / 1e3),
+            ("tail_amplification", amplification),
+        ],
+        // Later jobs wait for earlier windows: the p99 job has queued through nearly
+        // the whole backlog while the median job waited for about half of it.
+        Expected {
+            metric: "tail_amplification",
+            min: 1.2,
+            max: 10.0,
+        },
+    )]
+}
+
+pub fn run() -> Vec<Datapoint> {
+    let mut datapoints = Vec::new();
+    datapoints.extend(mixed_tenants());
+    datapoints.extend(fairness());
+    datapoints.extend(tail_latency());
+    datapoints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Verdict;
+
+    #[test]
+    fn every_scenario_passes() {
+        let datapoints = run();
+        assert_eq!(datapoints.len(), 4);
+        for dp in &datapoints {
+            assert_eq!(dp.verdict, Verdict::Pass, "{}/{}", dp.suite, dp.name);
+        }
+        // The headline acceptance number: strictly fewer dispatches than sequential.
+        let fused = datapoints
+            .iter()
+            .find(|d| d.name == "mixed_tenants/fused_vs_sequential")
+            .expect("fusion datapoint");
+        assert!(
+            fused.metric("fused_dispatches").unwrap()
+                < fused.metric("sequential_dispatches").unwrap()
+        );
+    }
+}

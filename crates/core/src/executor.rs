@@ -33,7 +33,7 @@ use crate::error::{CoreError, Result};
 /// The policy only changes the simulator's wall-clock behaviour, never the simulated
 /// outcome: results, [`simdram_dram::stats::DeviceStats`] and
 /// [`crate::ExecutionReport`]s are bit-identical between the two policies (see the
-/// [module documentation](self)).
+/// determinism guarantee in this module's documentation).
 ///
 /// # Examples
 ///

@@ -62,7 +62,7 @@ pub use estimate::{BroadcastEstimate, MachineEstimate, TraceEstimator};
 pub use executor::{BroadcastExecutor, ExecutionPolicy};
 pub use isa::{BbopInstruction, Mnemonic, TransposeDirection};
 pub use layout::SimdVector;
-pub use machine::SimdramMachine;
+pub use machine::{Reservation, SimdramMachine};
 pub use perf::{ddr4, pud_performance, PerfPoint};
 pub use plan::{Expr, Plan, PlanBuilder, PlanExecution, PlanOutput, Session};
 pub use report::{ExecutionReport, MachineStats, PlanReport};

@@ -1,7 +1,9 @@
 //! The end-to-end SIMDRAM machine: allocation, layout conversion and bbop execution.
 
+use std::collections::HashMap;
+
 use simdram_dram::stats::DeviceStats;
-use simdram_dram::{BGroupRow, BitRow, CommandTrace, DramDevice, RowAddr};
+use simdram_dram::{BGroupRow, BitRow, CommandTrace, DramDevice, RowAddr, Subarray};
 use simdram_logic::Operation;
 use simdram_uprog::{execute as execute_uprog, MicroProgram, RowBinding};
 
@@ -38,6 +40,87 @@ enum RunStep {
     },
 }
 
+/// Executes one batch's resolved steps back-to-back on a single subarray, returning one
+/// self-contained local [`CommandTrace`] per step (the fused-broadcast kernel body shared
+/// by [`SimdramMachine::run_plan`] and [`SimdramMachine::run_plans_on`]).
+fn run_steps(steps: &[RunStep], sa: &mut Subarray) -> Result<Vec<CommandTrace>> {
+    let mut per_step = Vec::with_capacity(steps.len());
+    for step in steps {
+        match step {
+            RunStep::Init {
+                base_row,
+                width,
+                value,
+            } => {
+                let mark = sa.trace_mark();
+                for bit in 0..*width {
+                    let src = if (value >> bit) & 1 == 1 {
+                        RowAddr::BGroup(BGroupRow::C1)
+                    } else {
+                        RowAddr::BGroup(BGroupRow::C0)
+                    };
+                    sa.aap(src, RowAddr::Data(base_row + bit))?;
+                }
+                per_step.push(sa.trace_since(mark));
+            }
+            RunStep::Copy {
+                src_base,
+                dst_base,
+                width,
+            } => {
+                let mark = sa.trace_mark();
+                for bit in 0..*width {
+                    sa.aap(RowAddr::Data(src_base + bit), RowAddr::Data(dst_base + bit))?;
+                }
+                per_step.push(sa.trace_since(mark));
+            }
+            RunStep::Exec {
+                program, binding, ..
+            } => {
+                per_step.push(execute_uprog(program, sa, binding).map_err(CoreError::from)?);
+            }
+        }
+    }
+    sa.drain_trace();
+    Ok(per_step)
+}
+
+/// A lease on a contiguous range of compute subarrays ("chunks"), granted by
+/// [`SimdramMachine::reserve_subarrays`].
+///
+/// Reservations are the placement axis of the serving model: rows stay globally
+/// allocated (a row extent is valid at the same offset in *every* compute subarray, so a
+/// compiled [`Plan`] runs unmodified on any placement), while reservations carve the
+/// subarray dimension into disjoint sets. Plans placed on disjoint reservations touch
+/// disjoint subarrays, which is what lets [`SimdramMachine::run_plans_on`] fuse batches
+/// from independent plans into one broadcast dispatch.
+///
+/// The handle does not release itself on drop — return it through
+/// [`SimdramMachine::release_subarrays`] when the placement is no longer needed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reservation {
+    id: u64,
+    offset: usize,
+    chunks: usize,
+}
+
+impl Reservation {
+    /// Unique identifier of the reservation within its machine.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// First compute chunk (linear subarray index) of the reserved range.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Number of consecutive compute chunks reserved.
+    pub fn chunks(&self) -> usize {
+        self.chunks
+    }
+}
+
 /// A complete SIMDRAM system: DRAM device, memory-controller control unit, transposition
 /// unit and the memory manager for vertically laid-out objects.
 ///
@@ -72,6 +155,12 @@ pub struct SimdramMachine {
     functional_stats: DeviceStats,
     machine_estimate: MachineEstimate,
     next_id: u64,
+    /// Extent allocator over the compute chunks (linear subarray indices), backing
+    /// [`SimdramMachine::reserve_subarrays`].
+    chunk_allocator: RowAllocator,
+    /// Active reservations: id → (offset, chunks). Used to validate handles.
+    reservations: HashMap<u64, (usize, usize)>,
+    next_reservation_id: u64,
 }
 
 impl SimdramMachine {
@@ -89,6 +178,8 @@ impl SimdramMachine {
             TranspositionUnit::new(config.dram.timing.clone(), config.dram.energy.clone());
         let executor = BroadcastExecutor::new(config.execution);
         let estimator = TraceEstimator::new(config.dram.timing.clone(), config.dram.energy.clone());
+        let chunk_allocator =
+            RowAllocator::new(config.compute_banks * config.compute_subarrays_per_bank);
         Ok(SimdramMachine {
             config,
             device,
@@ -101,6 +192,9 @@ impl SimdramMachine {
             functional_stats: DeviceStats::new(),
             machine_estimate: MachineEstimate::new(),
             next_id: 0,
+            chunk_allocator,
+            reservations: HashMap::new(),
+            next_reservation_id: 0,
         })
     }
 
@@ -177,6 +271,91 @@ impl SimdramMachine {
         self.config.dram.columns_per_row
     }
 
+    /// Total number of compute chunks (subarrays) the machine can place work on
+    /// (`compute_banks × compute_subarrays_per_bank`).
+    pub fn compute_chunks(&self) -> usize {
+        self.config.compute_banks * self.config.compute_subarrays_per_bank
+    }
+
+    /// Number of compute chunks not currently held by a [`Reservation`].
+    pub fn free_chunks(&self) -> usize {
+        self.chunk_allocator.free_rows()
+    }
+
+    /// Reserves `chunks` consecutive compute subarrays, returning a placement handle.
+    ///
+    /// Reservations granted while others are outstanding are guaranteed disjoint, which
+    /// is the isolation contract behind [`SimdramMachine::run_plans_on`]. Plain
+    /// (non-placed) machine calls such as [`SimdramMachine::run_plan`] always use chunks
+    /// starting at 0 and do not consult the reservation table — a serving layer that
+    /// hands out reservations should route all placed work through the `*_to`/`*_on`
+    /// entry points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Shape`] for a zero-chunk request and
+    /// [`CoreError::SubarrayOverflow`] when no contiguous range of `chunks` free
+    /// subarrays exists.
+    pub fn reserve_subarrays(&mut self, chunks: usize) -> Result<Reservation> {
+        if chunks == 0 {
+            return Err(CoreError::Shape(
+                "cannot reserve zero compute subarrays".into(),
+            ));
+        }
+        let free = self.free_chunks();
+        let offset =
+            self.chunk_allocator
+                .alloc(chunks)
+                .map_err(|_| CoreError::SubarrayOverflow {
+                    needed: chunks,
+                    available: free,
+                })?;
+        let id = self.next_reservation_id;
+        self.next_reservation_id += 1;
+        self.reservations.insert(id, (offset, chunks));
+        Ok(Reservation { id, offset, chunks })
+    }
+
+    /// Returns a reservation's subarrays to the free pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidHandle`] for an unknown (already released or foreign)
+    /// reservation.
+    pub fn release_subarrays(&mut self, reservation: Reservation) -> Result<()> {
+        match self.reservations.remove(&reservation.id) {
+            Some((offset, chunks))
+                if offset == reservation.offset && chunks == reservation.chunks =>
+            {
+                self.chunk_allocator.free(offset, chunks);
+                Ok(())
+            }
+            Some(state) => {
+                self.reservations.insert(reservation.id, state);
+                Err(CoreError::InvalidHandle(
+                    "reservation handle does not match the machine's records".into(),
+                ))
+            }
+            None => Err(CoreError::InvalidHandle(
+                "unknown or already released reservation".into(),
+            )),
+        }
+    }
+
+    /// Checks that `reservation` is active on this machine and matches its records.
+    fn validate_reservation(&self, reservation: &Reservation) -> Result<()> {
+        match self.reservations.get(&reservation.id) {
+            Some(&(offset, chunks))
+                if offset == reservation.offset && chunks == reservation.chunks =>
+            {
+                Ok(())
+            }
+            _ => Err(CoreError::InvalidHandle(
+                "unknown or already released reservation".into(),
+            )),
+        }
+    }
+
     /// Allocates a vertically laid-out vector of `len` elements of `width` bits.
     ///
     /// # Errors
@@ -227,6 +406,41 @@ impl SimdramMachine {
     ///
     /// Returns [`CoreError::Shape`] if more values than the vector's length are supplied.
     pub fn write(&mut self, vector: &SimdVector, values: &[u64]) -> Result<()> {
+        self.write_at(0, vector, values)
+    }
+
+    /// Writes host data into `vector` as resident on a reserved placement: the vector's
+    /// rows inside `placement`'s subarrays, starting at its first chunk.
+    ///
+    /// This is the data-shipping half of the serving model — a plan later executed with
+    /// [`SimdramMachine::run_plan_on`] on the same placement reads exactly these
+    /// subarrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidHandle`] for a released reservation,
+    /// [`CoreError::SubarrayOverflow`] when the values span more chunks than reserved,
+    /// and the same shape errors as [`SimdramMachine::write`].
+    pub fn write_to(
+        &mut self,
+        placement: &Reservation,
+        vector: &SimdVector,
+        values: &[u64],
+    ) -> Result<()> {
+        self.validate_reservation(placement)?;
+        let needed = self.subarrays_for(values.len());
+        if needed > placement.chunks() {
+            return Err(CoreError::SubarrayOverflow {
+                needed,
+                available: placement.chunks(),
+            });
+        }
+        self.write_at(placement.offset(), vector, values)
+    }
+
+    /// Offset-aware body of [`SimdramMachine::write`]/[`SimdramMachine::write_to`]:
+    /// chunk `i` of `values` lands in compute chunk `chunk_offset + i`.
+    fn write_at(&mut self, chunk_offset: usize, vector: &SimdVector, values: &[u64]) -> Result<()> {
         if values.len() > vector.len() {
             return Err(CoreError::Shape(format!(
                 "writing {} values into a vector of {} elements",
@@ -241,7 +455,7 @@ impl SimdramMachine {
         // slice of `values` in place: under the threaded policy the dominant
         // O(lanes × width) transpose cost parallelizes along with the pokes, and no full
         // converted copy of the data is ever materialized.
-        let coords = self.compute_coords(values.len().div_ceil(columns))?;
+        let coords = self.compute_coords_at(chunk_offset, values.len().div_ceil(columns))?;
         self.executor
             .broadcast(&mut self.device, &coords, |chunk, sa| {
                 let start = chunk * columns;
@@ -281,11 +495,36 @@ impl SimdramMachine {
     ///
     /// Returns an error if the vector's rows lie outside the device (stale handle).
     pub fn read(&mut self, vector: &SimdVector) -> Result<Vec<u64>> {
+        self.read_at(0, vector)
+    }
+
+    /// Reads `vector` back from a reserved placement (the inverse of
+    /// [`SimdramMachine::write_to`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidHandle`] for a released reservation,
+    /// [`CoreError::SubarrayOverflow`] when the vector spans more chunks than reserved,
+    /// and the same errors as [`SimdramMachine::read`].
+    pub fn read_from(&mut self, placement: &Reservation, vector: &SimdVector) -> Result<Vec<u64>> {
+        self.validate_reservation(placement)?;
+        let needed = self.subarrays_for(vector.len());
+        if needed > placement.chunks() {
+            return Err(CoreError::SubarrayOverflow {
+                needed,
+                available: placement.chunks(),
+            });
+        }
+        self.read_at(placement.offset(), vector)
+    }
+
+    /// Offset-aware body of [`SimdramMachine::read`]/[`SimdramMachine::read_from`].
+    fn read_at(&mut self, chunk_offset: usize, vector: &SimdVector) -> Result<Vec<u64>> {
         let columns = self.lanes_per_subarray();
         let width = vector.width();
         let base_row = vector.base_row();
         let len = vector.len();
-        let coords = self.compute_coords(self.subarrays_for(len))?;
+        let coords = self.compute_coords_at(chunk_offset, self.subarrays_for(len))?;
         let chunk_values = self
             .executor
             .broadcast(&mut self.device, &coords, |chunk, sa| {
@@ -529,29 +768,137 @@ impl SimdramMachine {
     /// a batch needs more subarrays than available, or a substrate error. On error the
     /// machine's row allocator is restored (no rows leak).
     pub fn run_plan(&mut self, plan: &Plan) -> Result<PlanExecution> {
-        // Generate every μProgram the plan needs up front — the paper's offline
-        // programming step — and validate reserved-row requirements before touching the
-        // allocator.
-        self.control.preload(plan.programs_needed());
-        for (op, width) in plan.programs_needed() {
-            let temp_rows = self.control.microprogram(op, width).temp_rows();
-            if temp_rows > self.config.dram.reserved_rows {
-                return Err(CoreError::Allocation(format!(
-                    "{op} at {width} bits needs {temp_rows} reserved rows but only {} are configured",
-                    self.config.dram.reserved_rows
-                )));
+        let mut execs = self.run_plans_at(&[(plan, 0, self.compute_chunks())])?;
+        Ok(execs.pop().expect("one plan in, one execution out"))
+    }
+
+    /// Executes a compiled [`Plan`] on a reserved placement: every broadcast uses the
+    /// reservation's subarrays instead of chunks `0..n`.
+    ///
+    /// Inputs must be resident on the same placement (written with
+    /// [`SimdramMachine::write_to`]); outputs are read back with
+    /// [`SimdramMachine::read_from`]. Accounting is identical to
+    /// [`SimdramMachine::run_plan`] — placement changes *where* a plan runs, never what
+    /// it computes or costs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidHandle`] for a released reservation,
+    /// [`CoreError::SubarrayOverflow`] when a batch needs more subarrays than reserved,
+    /// plus every [`SimdramMachine::run_plan`] error.
+    pub fn run_plan_on(&mut self, plan: &Plan, placement: &Reservation) -> Result<PlanExecution> {
+        let mut execs = self.run_plans_on(&[(plan, placement)])?;
+        Ok(execs.pop().expect("one plan in, one execution out"))
+    }
+
+    /// Executes several independent plans **concurrently**, fusing their broadcast
+    /// batches into shared dispatches: the `d`-th batch of every plan runs as ONE
+    /// broadcast over the union of the plans' (disjoint) reserved subarrays.
+    ///
+    /// This is the multi-tenant entry point of the serving layer (`simdram-serve`).
+    /// Compared to running the same plans back-to-back it issues
+    /// `max(batches)` dispatches instead of `Σ batches`, and each fused dispatch's
+    /// modeled busy window is the max over all participating subarrays instead of the
+    /// sum of per-plan windows — while every plan's own [`PlanReport`] keeps the same
+    /// per-plan accounting (its own chunks, its own steps) it would have solo, and
+    /// results stay bit-identical to sequential execution under either
+    /// [`ExecutionPolicy`].
+    ///
+    /// Executions are returned in job order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidHandle`] when a reservation is released or one
+    /// reservation is shared by two jobs, [`CoreError::SubarrayOverflow`] when a plan's
+    /// batch does not fit its reservation, plus every [`SimdramMachine::run_plan`]
+    /// error. On error no rows leak and no partial outputs survive.
+    pub fn run_plans_on(&mut self, jobs: &[(&Plan, &Reservation)]) -> Result<Vec<PlanExecution>> {
+        for (index, (_, reservation)) in jobs.iter().enumerate() {
+            self.validate_reservation(reservation)?;
+            if jobs[..index]
+                .iter()
+                .any(|(_, r)| r.id() == reservation.id())
+            {
+                return Err(CoreError::InvalidHandle(
+                    "the same reservation was supplied for two jobs".into(),
+                ));
             }
         }
-        let (outputs, slot_bases) = self.alloc_plan_storage(plan)?;
-        let result = self.execute_plan_batches(plan, &outputs, &slot_bases);
-        for (slot, &base) in slot_bases.iter().enumerate() {
-            self.allocator.free(base, plan.slot_widths()[slot]);
+        let resolved: Vec<(&Plan, usize, usize)> = jobs
+            .iter()
+            .map(|(plan, r)| (*plan, r.offset(), r.chunks()))
+            .collect();
+        self.run_plans_at(&resolved)
+    }
+
+    /// Shared implementation of every plan entry point: each job is a plan plus a chunk
+    /// placement `(offset, budget)`. Validates, allocates storage with rollback, runs
+    /// the fused dispatches and returns per-job executions.
+    fn run_plans_at(&mut self, jobs: &[(&Plan, usize, usize)]) -> Result<Vec<PlanExecution>> {
+        if jobs.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Generate every μProgram the plans need up front — the paper's offline
+        // programming step — and validate reserved-row and subarray-budget requirements
+        // before touching the allocator.
+        for &(plan, _, budget) in jobs {
+            self.control.preload(plan.programs_needed());
+            for (op, width) in plan.programs_needed() {
+                let temp_rows = self.control.microprogram(op, width).temp_rows();
+                if temp_rows > self.config.dram.reserved_rows {
+                    return Err(CoreError::Allocation(format!(
+                        "{op} at {width} bits needs {temp_rows} reserved rows but only {} are configured",
+                        self.config.dram.reserved_rows
+                    )));
+                }
+            }
+            for batch in plan.batches() {
+                let needed = self.subarrays_for(batch.len);
+                if needed > budget {
+                    return Err(CoreError::SubarrayOverflow {
+                        needed,
+                        available: budget,
+                    });
+                }
+            }
+        }
+        let mut storages: Vec<(Vec<SimdVector>, Vec<usize>)> = Vec::with_capacity(jobs.len());
+        for &(plan, _, _) in jobs {
+            match self.alloc_plan_storage(plan) {
+                Ok(storage) => storages.push(storage),
+                Err(err) => {
+                    for (&(plan, _, _), (outputs, slot_bases)) in jobs.iter().zip(storages) {
+                        for (slot, base) in slot_bases.into_iter().enumerate() {
+                            self.allocator.free(base, plan.slot_widths()[slot]);
+                        }
+                        for vector in outputs {
+                            self.free(vector);
+                        }
+                    }
+                    return Err(err);
+                }
+            }
+        }
+        let result = self.execute_plan_batches(jobs, &storages);
+        for (&(plan, _, _), (_, slot_bases)) in jobs.iter().zip(&storages) {
+            for (slot, &base) in slot_bases.iter().enumerate() {
+                self.allocator.free(base, plan.slot_widths()[slot]);
+            }
         }
         match result {
-            Ok(report) => Ok(PlanExecution::new(plan.builder_id(), outputs, report)),
+            Ok(reports) => Ok(jobs
+                .iter()
+                .zip(storages)
+                .zip(reports)
+                .map(|((&(plan, _, _), (outputs, _)), report)| {
+                    PlanExecution::new(plan.builder_id(), outputs, report)
+                })
+                .collect()),
             Err(err) => {
-                for vector in outputs {
-                    self.free(vector);
+                for (outputs, _) in storages {
+                    for vector in outputs {
+                        self.free(vector);
+                    }
                 }
                 Err(err)
             }
@@ -597,208 +944,227 @@ impl SimdramMachine {
         Ok((outputs, slot_bases))
     }
 
-    /// Issues every batch of a plan as one fused broadcast, folding the per-step traces
-    /// into the machine's accounting exactly like the eager path would have.
+    /// Issues the jobs' batches as fused dispatches — at dispatch depth `d`, the `d`-th
+    /// batch of every plan that has one runs inside ONE broadcast over the union of the
+    /// jobs' chunk placements — folding the per-step traces into the machine's
+    /// accounting exactly like back-to-back execution would have (traces are merged in
+    /// deterministic `(job, step, chunk)` order).
     fn execute_plan_batches(
         &mut self,
-        plan: &Plan,
-        outputs: &[SimdVector],
-        slot_bases: &[usize],
-    ) -> Result<PlanReport> {
-        // Resolve each node's run-time vector handle (inputs in place, temporaries in
-        // their pooled slots, outputs/stores in their destinations).
-        let mut node_vectors: Vec<Option<SimdVector>> = Vec::with_capacity(plan.nodes().len());
-        for (id, node) in plan.nodes().iter().enumerate() {
-            let vector = match plan.storage_of(id) {
-                Storage::InPlace => node.input_vector(),
-                Storage::Slot(slot) => {
-                    let handle_id = self.next_id;
-                    self.next_id += 1;
-                    Some(SimdVector::new(
-                        handle_id,
-                        slot_bases[*slot],
-                        node.width(),
-                        node.len(),
-                    ))
-                }
-                Storage::Output(index) => Some(outputs[*index]),
-                Storage::External(dst) => Some(*dst),
-            };
-            node_vectors.push(vector);
+        jobs: &[(&Plan, usize, usize)],
+        storages: &[(Vec<SimdVector>, Vec<usize>)],
+    ) -> Result<Vec<PlanReport>> {
+        // Resolve each job's node → run-time vector handles (inputs in place,
+        // temporaries in their pooled slots, outputs/stores in their destinations).
+        let mut job_vectors: Vec<Vec<Option<SimdVector>>> = Vec::with_capacity(jobs.len());
+        for (&(plan, _, _), (outputs, slot_bases)) in jobs.iter().zip(storages) {
+            let mut node_vectors: Vec<Option<SimdVector>> = Vec::with_capacity(plan.nodes().len());
+            for (id, node) in plan.nodes().iter().enumerate() {
+                let vector = match plan.storage_of(id) {
+                    Storage::InPlace => node.input_vector(),
+                    Storage::Slot(slot) => {
+                        let handle_id = self.next_id;
+                        self.next_id += 1;
+                        Some(SimdVector::new(
+                            handle_id,
+                            slot_bases[*slot],
+                            node.width(),
+                            node.len(),
+                        ))
+                    }
+                    Storage::Output(index) => Some(outputs[*index]),
+                    Storage::External(dst) => Some(*dst),
+                };
+                node_vectors.push(vector);
+            }
+            job_vectors.push(node_vectors);
         }
 
-        let mut report = PlanReport {
-            eager_broadcasts: plan.step_count(),
-            ..PlanReport::default()
-        };
-        for batch in plan.batches() {
-            let chunks = self.subarrays_for(batch.len);
-            let coords = self.compute_coords(chunks)?;
-            let mut steps: Vec<RunStep> = Vec::with_capacity(batch.steps.len());
-            for &id in &batch.steps {
-                let node = plan.node(id);
-                let dst = node_vectors[id].expect("computed nodes have storage");
-                if let Some(value) = node.kind_constant() {
-                    steps.push(RunStep::Init {
-                        base_row: dst.base_row(),
-                        width: node.width(),
-                        value,
-                    });
-                } else if let Some(src) = node.kind_copy() {
-                    let src_vec = node_vectors[src].expect("operands precede their users");
-                    steps.push(RunStep::Copy {
-                        src_base: src_vec.base_row(),
-                        dst_base: dst.base_row(),
-                        width: node.width(),
-                    });
-                } else if let Some((op, a, b, pred)) = node.kind_op() {
-                    let a_vec = node_vectors[a].expect("operands precede their users");
-                    let b_vec = b.map(|i| node_vectors[i].expect("operands precede their users"));
-                    let p_vec =
-                        pred.map(|i| node_vectors[i].expect("operands precede their users"));
-                    let binding = self.control.bind(
-                        op,
-                        &dst,
-                        &a_vec,
-                        b_vec.as_ref(),
-                        p_vec.as_ref(),
-                        self.config.reserved_base(),
-                    )?;
-                    let program = self.control.microprogram(op, a_vec.width()).clone();
-                    steps.push(RunStep::Exec {
-                        program,
-                        binding,
-                        node: id,
-                    });
+        let mut reports: Vec<PlanReport> = jobs
+            .iter()
+            .map(|&(plan, _, _)| PlanReport {
+                eager_broadcasts: plan.step_count(),
+                ..PlanReport::default()
+            })
+            .collect();
+
+        let max_batches = jobs
+            .iter()
+            .map(|&(plan, _, _)| plan.batch_count())
+            .max()
+            .unwrap_or(0);
+        for depth in 0..max_batches {
+            // Resolve every participating job's batch into a concrete step list and its
+            // placement coordinates. Coordinates are appended in job order, so position
+            // `p` of the dispatch belongs to `owner_of_position[p]`.
+            let mut participants: Vec<usize> = Vec::new();
+            let mut step_lists: Vec<Vec<RunStep>> = Vec::new();
+            let mut chunk_counts: Vec<usize> = Vec::new();
+            let mut coords: Vec<(usize, usize)> = Vec::new();
+            let mut owner_of_position: Vec<usize> = Vec::new();
+            for (job_index, &(plan, offset, _)) in jobs.iter().enumerate() {
+                if depth >= plan.batch_count() {
+                    continue;
                 }
+                let node_vectors = &job_vectors[job_index];
+                let batch = &plan.batches()[depth];
+                let chunks = self.subarrays_for(batch.len);
+                let mut steps: Vec<RunStep> = Vec::with_capacity(batch.steps.len());
+                for &id in &batch.steps {
+                    let node = plan.node(id);
+                    let dst = node_vectors[id].expect("computed nodes have storage");
+                    if let Some(value) = node.kind_constant() {
+                        steps.push(RunStep::Init {
+                            base_row: dst.base_row(),
+                            width: node.width(),
+                            value,
+                        });
+                    } else if let Some(src) = node.kind_copy() {
+                        let src_vec = node_vectors[src].expect("operands precede their users");
+                        steps.push(RunStep::Copy {
+                            src_base: src_vec.base_row(),
+                            dst_base: dst.base_row(),
+                            width: node.width(),
+                        });
+                    } else if let Some((op, a, b, pred)) = node.kind_op() {
+                        let a_vec = node_vectors[a].expect("operands precede their users");
+                        let b_vec =
+                            b.map(|i| node_vectors[i].expect("operands precede their users"));
+                        let p_vec =
+                            pred.map(|i| node_vectors[i].expect("operands precede their users"));
+                        let binding = self.control.bind(
+                            op,
+                            &dst,
+                            &a_vec,
+                            b_vec.as_ref(),
+                            p_vec.as_ref(),
+                            self.config.reserved_base(),
+                        )?;
+                        let program = self.control.microprogram(op, a_vec.width()).clone();
+                        steps.push(RunStep::Exec {
+                            program,
+                            binding,
+                            node: id,
+                        });
+                    }
+                }
+                let participant = participants.len();
+                coords.extend(self.compute_coords_at(offset, chunks)?);
+                owner_of_position.extend(std::iter::repeat_n(participant, chunks));
+                participants.push(job_index);
+                step_lists.push(steps);
+                chunk_counts.push(chunks);
             }
 
-            // One fused broadcast: every chunk executes the whole batch back-to-back,
-            // returning one local trace per step so per-step accounting stays exact.
-            let chunk_traces = self
-                .executor
-                .broadcast(&mut self.device, &coords, |_, sa| {
-                    let mut per_step = Vec::with_capacity(steps.len());
-                    for step in &steps {
-                        match step {
-                            RunStep::Init {
-                                base_row,
-                                width,
-                                value,
-                            } => {
-                                let mark = sa.trace_mark();
-                                for bit in 0..*width {
-                                    let src = if (value >> bit) & 1 == 1 {
-                                        RowAddr::BGroup(BGroupRow::C1)
-                                    } else {
-                                        RowAddr::BGroup(BGroupRow::C0)
-                                    };
-                                    sa.aap(src, RowAddr::Data(base_row + bit))?;
-                                }
-                                per_step.push(sa.trace_since(mark));
-                            }
-                            RunStep::Copy {
-                                src_base,
-                                dst_base,
-                                width,
-                            } => {
-                                let mark = sa.trace_mark();
-                                for bit in 0..*width {
-                                    sa.aap(
-                                        RowAddr::Data(src_base + bit),
-                                        RowAddr::Data(dst_base + bit),
-                                    )?;
-                                }
-                                per_step.push(sa.trace_since(mark));
-                            }
-                            RunStep::Exec {
-                                program, binding, ..
-                            } => {
-                                per_step.push(
-                                    execute_uprog(program, sa, binding).map_err(CoreError::from)?,
-                                );
-                            }
+            // One fused dispatch: every chunk executes its owning job's whole batch
+            // back-to-back, returning one local trace per step so per-step accounting
+            // stays exact. Placements are disjoint, so the disjoint-borrow API hands
+            // every chunk kernel its own subarray.
+            let dispatch_chunks = coords.len();
+            let chunk_traces =
+                self.executor
+                    .broadcast(&mut self.device, &coords, |position, sa| {
+                        run_steps(&step_lists[owner_of_position[position]], sa)
+                    })?;
+
+            let mut dispatch_latency = 0.0f64;
+            let mut dispatch_commands = 0usize;
+            let mut dispatch_energy = 0.0f64;
+            let mut trace_iter = chunk_traces.into_iter();
+            for (participant, &job_index) in participants.iter().enumerate() {
+                let chunks = chunk_counts[participant];
+                let steps = &step_lists[participant];
+                let plan = jobs[job_index].0;
+                // Transpose this job's [chunk][step] traces into per-step chunk order.
+                let mut per_step: Vec<Vec<CommandTrace>> = (0..steps.len())
+                    .map(|_| Vec::with_capacity(chunks))
+                    .collect();
+                for _ in 0..chunks {
+                    let chunk = trace_iter.next().expect("one trace list per chunk");
+                    for (step, trace) in chunk.into_iter().enumerate() {
+                        per_step[step].push(trace);
+                    }
+                }
+
+                let mut batch_chunk_latency = vec![0.0f64; chunks];
+                let mut batch_commands = 0usize;
+                let mut batch_energy = 0.0f64;
+                let report = &mut reports[job_index];
+                for (step, traces) in steps.iter().zip(&per_step) {
+                    for (chunk, trace) in traces.iter().enumerate() {
+                        self.functional_stats.absorb_trace(trace);
+                        batch_chunk_latency[chunk] += trace.total_latency_ns();
+                        batch_energy += trace.total_energy_nj();
+                        batch_commands += trace.len();
+                    }
+                    match step {
+                        RunStep::Init { width, .. } => {
+                            report.constants += 1;
+                            report.commands += width;
+                        }
+                        RunStep::Copy { width, .. } => {
+                            report.copies += 1;
+                            report.commands += width;
+                        }
+                        RunStep::Exec { program, node, .. } => {
+                            let measured = self.estimator.broadcast(traces);
+                            let elements = plan.node(*node).len();
+                            let timing = &self.config.dram.timing;
+                            let energy_model = &self.config.dram.energy;
+                            let step_report = ExecutionReport {
+                                op: program.operation(),
+                                width: program.width(),
+                                elements,
+                                subarrays_used: chunks,
+                                commands: program.command_count(),
+                                tra_count: program.tra_count(),
+                                latency_ns: program.latency_ns(timing),
+                                energy_nj: program.energy_nj(energy_model) * chunks as f64,
+                                measured_latency_ns: measured.latency_ns,
+                                measured_energy_nj: measured.energy_nj,
+                            };
+                            self.stats.record_execution(&step_report);
+                            report.ops += 1;
+                            report.commands += step_report.commands;
+                            report.elements += step_report.elements;
+                            report.latency_ns += step_report.latency_ns;
+                            report.energy_nj += step_report.energy_nj;
+                            report.step_reports.push(step_report);
                         }
                     }
-                    sa.drain_trace();
-                    Ok(per_step)
-                })?;
-
-            // Transpose [chunk][step] into per-step chunk-ordered traces.
-            let mut per_step: Vec<Vec<CommandTrace>> = (0..steps.len())
-                .map(|_| Vec::with_capacity(chunk_traces.len()))
-                .collect();
-            for chunk in chunk_traces {
-                for (step, trace) in chunk.into_iter().enumerate() {
-                    per_step[step].push(trace);
                 }
+
+                // The job's own busy window for this batch: the chunks run the batch in
+                // lock-step, so it is the max over the job's chunks of each chunk's
+                // batch total.
+                let batch_latency = batch_chunk_latency.iter().copied().fold(0.0f64, f64::max);
+                report.broadcasts += 1;
+                report.measured_latency_ns += batch_latency;
+                report.measured_energy_nj += batch_energy;
+                dispatch_latency = dispatch_latency.max(batch_latency);
+                dispatch_commands += batch_commands;
+                dispatch_energy += batch_energy;
             }
 
-            let mut batch_chunk_latency = vec![0.0f64; chunks];
-            let mut batch_commands = 0usize;
-            let mut batch_energy = 0.0f64;
-            for (step, traces) in steps.iter().zip(&per_step) {
-                for (chunk, trace) in traces.iter().enumerate() {
-                    self.functional_stats.absorb_trace(trace);
-                    batch_chunk_latency[chunk] += trace.total_latency_ns();
-                    batch_energy += trace.total_energy_nj();
-                    batch_commands += trace.len();
-                }
-                match step {
-                    RunStep::Init { width, .. } => {
-                        report.constants += 1;
-                        report.commands += width;
-                    }
-                    RunStep::Copy { width, .. } => {
-                        report.copies += 1;
-                        report.commands += width;
-                    }
-                    RunStep::Exec { program, node, .. } => {
-                        let measured = self.estimator.broadcast(traces);
-                        let elements = plan.node(*node).len();
-                        let timing = &self.config.dram.timing;
-                        let energy_model = &self.config.dram.energy;
-                        let step_report = ExecutionReport {
-                            op: program.operation(),
-                            width: program.width(),
-                            elements,
-                            subarrays_used: chunks,
-                            commands: program.command_count(),
-                            tra_count: program.tra_count(),
-                            latency_ns: program.latency_ns(timing),
-                            energy_nj: program.energy_nj(energy_model) * chunks as f64,
-                            measured_latency_ns: measured.latency_ns,
-                            measured_energy_nj: measured.energy_nj,
-                        };
-                        self.stats.record_execution(&step_report);
-                        report.ops += 1;
-                        report.commands += step_report.commands;
-                        report.elements += step_report.elements;
-                        report.latency_ns += step_report.latency_ns;
-                        report.energy_nj += step_report.energy_nj;
-                        report.step_reports.push(step_report);
-                    }
-                }
-            }
-
-            // Fold the fused batch into the cumulative estimate as ONE broadcast: the
-            // chunks run the whole batch in lock-step, so the busy window is the max
-            // over chunks of each chunk's batch total.
-            let batch_latency = batch_chunk_latency.iter().copied().fold(0.0f64, f64::max);
+            // Fold the whole fused dispatch into the cumulative estimate as ONE
+            // broadcast: all participating subarrays (across every job) run in
+            // lock-step, so the machine's busy window is the max over all of them —
+            // this is where cross-job fusion shows up as fewer, no-longer-serialized
+            // broadcasts in [`MachineEstimate`].
             let fused = BroadcastEstimate {
-                chunks,
-                commands: batch_commands,
-                latency_ns: batch_latency,
-                cycles: self.estimator.timing().cycles(batch_latency),
-                energy_nj: batch_energy,
-                background_nj: self.estimator.energy_model().background_nj(batch_latency),
+                chunks: dispatch_chunks,
+                commands: dispatch_commands,
+                latency_ns: dispatch_latency,
+                cycles: self.estimator.timing().cycles(dispatch_latency),
+                energy_nj: dispatch_energy,
+                background_nj: self
+                    .estimator
+                    .energy_model()
+                    .background_nj(dispatch_latency),
             };
             self.machine_estimate.record(&fused);
-            report.broadcasts += 1;
-            report.measured_latency_ns += fused.latency_ns;
-            report.measured_energy_nj += fused.energy_nj;
         }
-        Ok(report)
+        Ok(reports)
     }
 
     /// Merges per-chunk traces into the functional device statistics **in chunk order**
@@ -835,6 +1201,26 @@ impl SimdramMachine {
             });
         }
         (0..chunks).map(|i| self.subarray_coordinates(i)).collect()
+    }
+
+    /// Maps chunk indices `offset..offset + chunks` to `(bank, subarray)` coordinates,
+    /// i.e. [`compute_coords`](Self::compute_coords) shifted to a reservation's window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::SubarrayOverflow`] when the shifted window runs past
+    /// `compute_banks × compute_subarrays_per_bank`.
+    fn compute_coords_at(&self, offset: usize, chunks: usize) -> Result<Vec<(usize, usize)>> {
+        let available = self.config.compute_banks * self.config.compute_subarrays_per_bank;
+        if offset + chunks > available {
+            return Err(CoreError::SubarrayOverflow {
+                needed: offset + chunks,
+                available,
+            });
+        }
+        (offset..offset + chunks)
+            .map(|i| self.subarray_coordinates(i))
+            .collect()
     }
 
     fn subarray_coordinates(&self, chunk_index: usize) -> Result<(usize, usize)> {
@@ -1246,6 +1632,180 @@ mod tests {
         let plan = s.compile().unwrap();
         assert!(m.run_plan(&plan).is_err());
         assert_eq!(m.allocator.free_rows(), free_before);
+    }
+
+    #[test]
+    fn reservations_partition_the_compute_chunks() {
+        let mut m = machine();
+        assert_eq!(m.compute_chunks(), 4);
+        assert_eq!(m.free_chunks(), 4);
+        let a = m.reserve_subarrays(2).unwrap();
+        let b = m.reserve_subarrays(1).unwrap();
+        assert_eq!(m.free_chunks(), 1);
+        // Disjoint, consecutive windows.
+        assert_eq!((a.offset(), a.chunks()), (0, 2));
+        assert_eq!((b.offset(), b.chunks()), (2, 1));
+        // No room for two more chunks; zero-chunk requests are shape errors.
+        assert!(matches!(
+            m.reserve_subarrays(2),
+            Err(CoreError::SubarrayOverflow {
+                needed: 2,
+                available: 1
+            })
+        ));
+        assert!(matches!(m.reserve_subarrays(0), Err(CoreError::Shape(_))));
+        // Releasing returns the window; double release is a typed error.
+        m.release_subarrays(a.clone()).unwrap();
+        assert_eq!(m.free_chunks(), 3);
+        assert!(matches!(
+            m.release_subarrays(a),
+            Err(CoreError::InvalidHandle(_))
+        ));
+        m.release_subarrays(b).unwrap();
+        assert_eq!(m.free_chunks(), 4);
+    }
+
+    #[test]
+    fn placed_writes_and_reads_stay_inside_the_reservation() {
+        let mut m = machine();
+        let lanes = m.lanes_per_subarray();
+        let first = m.reserve_subarrays(1).unwrap();
+        let second = m.reserve_subarrays(1).unwrap();
+        let a_vals: Vec<u64> = (0..lanes as u64).map(|i| i & 0xFF).collect();
+        let b_vals: Vec<u64> = (0..lanes as u64).map(|i| (255 - i) & 0xFF).collect();
+        let a = m.alloc(8, lanes).unwrap();
+        let b = m.alloc(8, lanes).unwrap();
+        m.write_to(&first, &a, &a_vals).unwrap();
+        m.write_to(&second, &b, &b_vals).unwrap();
+        // Both vectors share row addresses but live in different subarray windows.
+        assert_eq!(m.read_from(&first, &a).unwrap(), a_vals);
+        assert_eq!(m.read_from(&second, &b).unwrap(), b_vals);
+        // Data that spans more chunks than reserved is rejected up front.
+        let wide_vals: Vec<u64> = vec![1; lanes + 1];
+        let wide = m.alloc(8, lanes + 1).unwrap();
+        assert!(matches!(
+            m.write_to(&first, &wide, &wide_vals),
+            Err(CoreError::SubarrayOverflow { .. })
+        ));
+        // Stale handles are typed errors, not silent chunk-0 fallbacks.
+        let stale = first.clone();
+        m.release_subarrays(first).unwrap();
+        assert!(matches!(
+            m.read_from(&stale, &a),
+            Err(CoreError::InvalidHandle(_))
+        ));
+    }
+
+    /// Builds the knn-style plan from `compiled_plan_matches_eager_execution_...` over
+    /// `x`, returning the plan and its output handle.
+    fn knn_plan(x: &SimdVector, len: usize) -> (Plan, crate::plan::PlanOutput) {
+        let mut s = PlanBuilder::new();
+        let xe = s.input(x);
+        let q = s.constant(8, len, 90).unwrap();
+        let r = s.constant(8, len, 200).unwrap();
+        let d1 = s.sub(xe, q).unwrap();
+        let d2 = s.sub(xe, r).unwrap();
+        let a1 = s.abs(d1).unwrap();
+        let a2 = s.abs(d2).unwrap();
+        let sum = s.add(a1, a2).unwrap();
+        let out = s.materialize(sum).unwrap();
+        (s.compile().unwrap(), out)
+    }
+
+    #[test]
+    fn fused_multi_plan_run_is_bit_identical_with_fewer_dispatches() {
+        let lanes = machine().lanes_per_subarray();
+        let a_vals: Vec<u64> = (0..lanes as u64).map(|i| (i * 37 + 11) & 0xFF).collect();
+        let b_vals: Vec<u64> = (0..lanes as u64).map(|i| (i * 91 + 3) & 0xFF).collect();
+
+        // Sequential reference: each tenant's plan on its own machine.
+        let mut sequential_outputs = Vec::new();
+        let mut sequential_broadcasts = 0;
+        let mut sequential_reports = Vec::new();
+        for vals in [&a_vals, &b_vals] {
+            let mut m = machine();
+            let x = m.alloc_and_write(8, vals).unwrap();
+            let (plan, out) = knn_plan(&x, vals.len());
+            let exec = m.run_plan(&plan).unwrap();
+            sequential_outputs.push(m.read(exec.output(out)).unwrap());
+            sequential_broadcasts += exec.report().broadcasts;
+            sequential_reports.push(exec.report().clone());
+        }
+
+        // Served: both plans fused onto one machine with disjoint placements.
+        let mut m = machine();
+        let ra = m.reserve_subarrays(1).unwrap();
+        let rb = m.reserve_subarrays(1).unwrap();
+        let xa = m.alloc(8, a_vals.len()).unwrap();
+        let xb = m.alloc(8, b_vals.len()).unwrap();
+        m.write_to(&ra, &xa, &a_vals).unwrap();
+        m.write_to(&rb, &xb, &b_vals).unwrap();
+        let (plan_a, out_a) = knn_plan(&xa, a_vals.len());
+        let (plan_b, out_b) = knn_plan(&xb, b_vals.len());
+        let estimate_before = m.estimate().broadcasts;
+        let execs = m.run_plans_on(&[(&plan_a, &ra), (&plan_b, &rb)]).unwrap();
+        let fused_dispatches = m.estimate().broadcasts - estimate_before;
+
+        // Bit-identical results on both placements.
+        assert_eq!(
+            m.read_from(&ra, execs[0].output(out_a)).unwrap(),
+            sequential_outputs[0]
+        );
+        assert_eq!(
+            m.read_from(&rb, execs[1].output(out_b)).unwrap(),
+            sequential_outputs[1]
+        );
+
+        // The fused run issued max(batches) dispatches instead of the sequential sum,
+        // while each tenant's own report is identical to its solo run.
+        assert_eq!(
+            fused_dispatches,
+            plan_a.batch_count().max(plan_b.batch_count())
+        );
+        assert!(fused_dispatches < sequential_broadcasts);
+        for (exec, solo) in execs.iter().zip(&sequential_reports) {
+            assert_eq!(exec.report().broadcasts, solo.broadcasts);
+            assert_eq!(exec.report().ops, solo.ops);
+            assert_eq!(exec.report().commands, solo.commands);
+            assert!((exec.report().measured_latency_ns - solo.measured_latency_ns).abs() < 1e-9);
+            assert!((exec.report().measured_energy_nj - solo.measured_energy_nj).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn run_plans_on_rejects_bad_reservations_and_oversized_plans() {
+        let mut m = machine();
+        let lanes = m.lanes_per_subarray();
+        let r = m.reserve_subarrays(1).unwrap();
+        let x = m.alloc(8, lanes).unwrap();
+        m.write_to(&r, &x, &vec![1; lanes]).unwrap();
+        let (plan, _) = knn_plan(&x, lanes);
+
+        // One reservation shared by two jobs is a typed error.
+        assert!(matches!(
+            m.run_plans_on(&[(&plan, &r), (&plan, &r)]),
+            Err(CoreError::InvalidHandle(_))
+        ));
+        // A plan whose batches need more chunks than reserved is rejected up front.
+        let big = m.alloc(8, lanes + 1).unwrap();
+        let (big_plan, _) = knn_plan(&big, lanes + 1);
+        assert_eq!(big_plan.subarrays_needed(lanes), 2);
+        assert!(matches!(
+            m.run_plan_on(&big_plan, &r),
+            Err(CoreError::SubarrayOverflow {
+                needed: 2,
+                available: 1
+            })
+        ));
+        // A released reservation cannot host work.
+        let stale = r.clone();
+        m.release_subarrays(r).unwrap();
+        assert!(matches!(
+            m.run_plan_on(&plan, &stale),
+            Err(CoreError::InvalidHandle(_))
+        ));
+        // Nothing leaked: the full chunk pool is back.
+        assert_eq!(m.free_chunks(), m.compute_chunks());
     }
 
     #[test]

@@ -98,6 +98,14 @@ pub struct PlanOutput {
     index: usize,
 }
 
+impl PlanOutput {
+    /// Position of this output among the plan's materialized outputs — the index into
+    /// [`PlanExecution::outputs`] (serving layers use it to key read-back host buffers).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) enum NodeKind {
     /// An existing machine vector read in place.
@@ -231,6 +239,32 @@ impl Plan {
                 NodeKind::Op { op, a, .. } => Some((op, self.nodes[a].width)),
                 _ => None,
             })
+    }
+
+    /// The widest element count any single node computes over.
+    ///
+    /// This is the plan's lane demand: a placement must provide at least
+    /// `max_elements().div_ceil(lanes_per_subarray)` subarray chunks
+    /// (see [`subarrays_needed`](Self::subarrays_needed)).
+    pub fn max_elements(&self) -> usize {
+        self.batches.iter().map(|b| b.len).max().unwrap_or(0)
+    }
+
+    /// Number of subarray chunks the plan needs on a machine whose subarrays expose
+    /// `lanes_per_subarray` lanes each — the minimum size for a
+    /// [`Reservation`](crate::machine::Reservation) that can host this plan.
+    pub fn subarrays_needed(&self, lanes_per_subarray: usize) -> usize {
+        self.batches
+            .iter()
+            .map(|b| b.len.div_ceil(lanes_per_subarray).max(1))
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// The machine-resident input vectors the plan reads (captured by
+    /// [`PlanBuilder::input`]), in node order.
+    pub fn input_vectors(&self) -> impl Iterator<Item = SimdVector> + '_ {
+        self.nodes.iter().filter_map(|n| n.input)
     }
 
     pub(crate) fn builder_id(&self) -> u64 {

@@ -9,6 +9,13 @@ use simdram_logic::Operation;
 /// Latency is the time the μProgram occupies the participating banks (commands issue in
 /// lock-step across subarrays, so latency does not grow with the number of lanes); energy
 /// scales with the number of subarrays that actually computed.
+///
+/// An eager single-op call ([`crate::SimdramMachine::binary`] and friends) issues one
+/// broadcast per report. Inside [`PlanReport::step_reports`] the same struct describes one
+/// *step* of a fused broadcast batch: several steps (possibly from several tenants' plans,
+/// under `simdram-serve`) share one physical dispatch, but each step's report still
+/// charges exactly the commands, latency and energy of that step on its own subarrays —
+/// which is why per-plan accounting is bit-identical whether the plan ran solo or fused.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecutionReport {
     /// The operation that was executed.
@@ -103,6 +110,38 @@ impl fmt::Display for ExecutionReport {
 /// All timing/energy figures aggregate the trace-driven estimation engine
 /// ([`crate::TraceEstimator`]) over the plan's batches and are bit-identical between
 /// execution policies.
+///
+/// When several plans execute together ([`crate::SimdramMachine::run_plans_on`], or the
+/// `simdram-serve` layer built on it), the `d`-th batch of every plan fuses into **one**
+/// machine dispatch over disjoint subarray sets — yet each plan's `PlanReport` accounts
+/// only its own batches and steps, so it matches the plan's solo run exactly.
+///
+/// # Example
+///
+/// ```
+/// use simdram_core::{PlanBuilder, SimdramConfig, SimdramMachine};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut machine = SimdramMachine::new(SimdramConfig::functional_test())?;
+/// let x = machine.alloc_and_write(8, &[1, 2, 3])?;
+/// let mut s = PlanBuilder::new();
+/// let a = s.input(&x);
+/// let c = s.constant(8, 3, 10)?;
+/// let sum = s.add(a, c)?;
+/// let prod = s.mul(sum, a)?;
+/// s.materialize(prod)?;
+/// let exec = machine.run_plan(&s.compile()?)?;
+/// let report = exec.report();
+/// // The fused schedule issues no more broadcasts than op-by-op execution would.
+/// assert!(report.broadcasts <= report.eager_broadcasts);
+/// assert_eq!(
+///     report.broadcast_savings(),
+///     report.eager_broadcasts as f64 / report.broadcasts as f64
+/// );
+/// assert!(report.broadcast_savings() >= 1.0);
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct PlanReport {
     /// Number of bbop operation steps executed.

@@ -84,7 +84,7 @@ impl CostSlot {
 
 /// An append-only trace of issued commands with aggregate counters.
 ///
-/// Storage is compact (see the [module documentation](self)): the per-command history is a
+/// Storage is compact (see this module's documentation): the per-command history is a
 /// `Vec<u8>` of indices into a per-trace cost table, and kind counts plus latency/energy
 /// totals are maintained incrementally on every [`CommandTrace::push`]. A subarray only
 /// ever produces a handful of distinct cost combinations, so the table stays tiny; traces

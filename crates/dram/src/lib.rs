@@ -53,7 +53,7 @@ pub mod variation;
 
 pub use bank::Bank;
 pub use bitrow::BitRow;
-pub use command::{CommandKind, CommandTrace, DramCommand};
+pub use command::{CommandKind, CommandTrace, DramCommand, TraceSlot};
 pub use config::{DramConfig, DramConfigBuilder};
 pub use device::DramDevice;
 pub use energy::EnergyModel;

@@ -87,7 +87,7 @@ pub enum RowAddr {
 
 /// A DRAM subarray with Ambit-style compute capability.
 ///
-/// See the [module documentation](self) for the row organization. All mutating operations
+/// See this module's documentation for the row organization. All mutating operations
 /// record the DRAM command(s) they correspond to in an internal [`CommandTrace`] so tests
 /// and higher layers can verify both the *data* transformation and the *cost* of an
 /// operation.

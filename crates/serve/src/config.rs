@@ -1,0 +1,36 @@
+//! Server-wide serving policy knobs.
+
+/// Configuration of a [`PlanServer`](crate::PlanServer).
+///
+/// All limits are *server-wide defaults*; a [`TenantSpec`](crate::TenantSpec) can
+/// tighten (never widen) them per tenant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Maximum number of queued (not yet dispatched) jobs per tenant. Submissions past
+    /// this depth are rejected with
+    /// [`ServeError::QueueFull`](crate::ServeError::QueueFull).
+    pub max_queue_depth: usize,
+    /// Maximum number of jobs fused into a single dispatch window.
+    pub max_jobs_per_window: usize,
+    /// Server-wide cap on subarray chunks a single job may occupy. `None` means "the
+    /// whole machine".
+    pub max_chunks_per_job: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_queue_depth: 64,
+            max_jobs_per_window: 16,
+            max_chunks_per_job: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The default serving policy (queue depth 64, up to 16 jobs fused per window, no
+    /// per-job chunk cap).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

@@ -1,0 +1,117 @@
+//! Typed errors of the serving layer.
+
+use std::fmt;
+
+use simdram_core::CoreError;
+
+use crate::queue::JobId;
+use crate::tenant::TenantId;
+
+/// Result alias used across `simdram-serve`.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+/// Everything that can go wrong while serving plans.
+///
+/// Admission failures (`QueueFull`, `QuotaExceeded`, …) are per-request and leave the
+/// server fully operational; a `Core` error surfaced from a dispatch window is
+/// propagated after the window's reservations and partial outputs have been rolled
+/// back.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// An error bubbled up from the underlying [`simdram_core`] machine.
+    Core(CoreError),
+    /// The tenant id is not registered on this server.
+    UnknownTenant {
+        /// The offending tenant id.
+        tenant: TenantId,
+    },
+    /// The tenant's submission queue is at its configured depth limit.
+    QueueFull {
+        /// The tenant whose queue is full.
+        tenant: TenantId,
+        /// The depth limit that was hit.
+        depth: usize,
+    },
+    /// The plan needs more subarray chunks than the tenant's quota allows.
+    QuotaExceeded {
+        /// The submitting tenant.
+        tenant: TenantId,
+        /// Chunks the plan needs at its widest batch.
+        needed: usize,
+        /// The effective per-job chunk quota.
+        quota: usize,
+    },
+    /// A plan references an input vector that was never staged through
+    /// [`PlanServer::write_input`](crate::PlanServer::write_input).
+    UnknownInput {
+        /// The unrecognized vector handle id.
+        vector: u64,
+    },
+    /// A plan references an input vector staged by a *different* tenant.
+    ForeignInput {
+        /// The submitting tenant.
+        tenant: TenantId,
+        /// The vector handle id owned by another tenant.
+        vector: u64,
+    },
+    /// The job id is not known to this server (never submitted, or its result was
+    /// already taken).
+    UnknownJob {
+        /// The offending job id.
+        job: JobId,
+    },
+    /// The job is still queued or running; its result cannot be taken yet.
+    ResultNotReady {
+        /// The still-pending job.
+        job: JobId,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Core(err) => write!(f, "machine error: {err}"),
+            ServeError::UnknownTenant { tenant } => {
+                write!(f, "tenant {tenant} is not registered")
+            }
+            ServeError::QueueFull { tenant, depth } => {
+                write!(f, "tenant {tenant}'s queue is full ({depth} jobs)")
+            }
+            ServeError::QuotaExceeded {
+                tenant,
+                needed,
+                quota,
+            } => write!(
+                f,
+                "tenant {tenant}'s plan needs {needed} subarray chunks, quota is {quota}"
+            ),
+            ServeError::UnknownInput { vector } => {
+                write!(f, "plan reads vector #{vector} which was never staged")
+            }
+            ServeError::ForeignInput { tenant, vector } => write!(
+                f,
+                "tenant {tenant}'s plan reads vector #{vector} staged by another tenant"
+            ),
+            ServeError::UnknownJob { job } => write!(f, "unknown job {job}"),
+            ServeError::ResultNotReady { job } => {
+                write!(f, "job {job} has not completed yet")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Core(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(err: CoreError) -> Self {
+        ServeError::Core(err)
+    }
+}

@@ -1,0 +1,77 @@
+//! Submitted jobs and their host-side results.
+
+use std::fmt;
+
+use simdram_core::{Plan, PlanOutput, PlanReport};
+
+use crate::tenant::TenantId;
+
+/// Opaque identity of a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub(crate) u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "j{}", self.0)
+    }
+}
+
+/// A compiled plan sitting in a tenant's submission queue, waiting for a dispatch
+/// window.
+#[derive(Debug)]
+pub(crate) struct PendingJob {
+    pub(crate) id: JobId,
+    pub(crate) tenant: TenantId,
+    pub(crate) plan: Plan,
+    /// Subarray chunks the plan needs at its widest batch — the placement cost the
+    /// scheduler packs against.
+    pub(crate) chunks: usize,
+    /// Modeled server clock at submission, for turnaround accounting.
+    pub(crate) submitted_at_ns: f64,
+}
+
+/// The host-side outcome of one served job: output data read back from the job's
+/// (already released) placement, plus the job-level accounting.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    pub(crate) outputs: Vec<Vec<u64>>,
+    pub(crate) report: PlanReport,
+    pub(crate) turnaround_ns: f64,
+    pub(crate) window: usize,
+}
+
+impl JobResult {
+    /// The values of one materialized output, addressed by the handle
+    /// [`Session::materialize`](simdram_core::Session::materialize) returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle's index is out of range (a handle from a different plan).
+    pub fn output(&self, handle: PlanOutput) -> &[u64] {
+        &self.outputs[handle.index()]
+    }
+
+    /// All materialized outputs, in the plan's output order.
+    pub fn outputs(&self) -> &[Vec<u64>] {
+        &self.outputs
+    }
+
+    /// The job's own [`PlanReport`] — identical to what
+    /// [`SimdramMachine::run_plan`](simdram_core::SimdramMachine::run_plan) would have
+    /// produced for the same plan running alone.
+    pub fn report(&self) -> &PlanReport {
+        &self.report
+    }
+
+    /// Modeled submit→completion latency in nanoseconds (queueing + data shipping +
+    /// the fused dispatch windows the job participated in).
+    pub fn turnaround_ns(&self) -> f64 {
+        self.turnaround_ns
+    }
+
+    /// Index of the dispatch window that completed this job (an index into
+    /// [`PlanServer::window_log`](crate::PlanServer::window_log)).
+    pub fn window(&self) -> usize {
+        self.window
+    }
+}

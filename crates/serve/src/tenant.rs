@@ -1,0 +1,97 @@
+//! Tenant identities, admission specs and the per-tenant accounting ledger.
+
+use std::fmt;
+
+/// Opaque identity of a registered tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub(crate) u64);
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Admission-time description of a tenant: a display name, a fairness weight and
+/// optional per-tenant tightenings of the server-wide limits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Human-readable name, echoed in [`TenantReport`](crate::TenantReport).
+    pub name: String,
+    /// Fairness weight for the deficit round-robin scheduler. A tenant with weight 2
+    /// accrues dispatch credit twice as fast as one with weight 1.
+    pub weight: u64,
+    /// Per-job subarray-chunk quota for this tenant, further capped by the server-wide
+    /// [`ServeConfig::max_chunks_per_job`](crate::ServeConfig::max_chunks_per_job).
+    pub max_chunks: Option<usize>,
+    /// Queue-depth limit for this tenant, further capped by the server-wide
+    /// [`ServeConfig::max_queue_depth`](crate::ServeConfig::max_queue_depth).
+    pub max_queue_depth: Option<usize>,
+}
+
+impl TenantSpec {
+    /// A weight-1 tenant with no per-tenant limits beyond the server defaults.
+    pub fn new(name: impl Into<String>) -> Self {
+        TenantSpec {
+            name: name.into(),
+            weight: 1,
+            max_chunks: None,
+            max_queue_depth: None,
+        }
+    }
+
+    /// Sets the fairness weight (clamped up to at least 1).
+    pub fn with_weight(mut self, weight: u64) -> Self {
+        self.weight = weight.max(1);
+        self
+    }
+
+    /// Caps the subarray chunks any single job from this tenant may occupy.
+    pub fn with_max_chunks(mut self, chunks: usize) -> Self {
+        self.max_chunks = Some(chunks);
+        self
+    }
+
+    /// Caps this tenant's submission-queue depth.
+    pub fn with_max_queue_depth(mut self, depth: usize) -> Self {
+        self.max_queue_depth = Some(depth);
+        self
+    }
+}
+
+/// Mutable per-tenant serving state: the fairness deficit plus the accounting ledger
+/// every completed job folds into.
+#[derive(Debug)]
+pub(crate) struct Tenant {
+    pub(crate) spec: TenantSpec,
+    /// Deficit round-robin credit: grows by `weight` per contended window, shrinks by
+    /// the chunk cost of every admitted job.
+    pub(crate) deficit: f64,
+    pub(crate) jobs_submitted: usize,
+    pub(crate) jobs_completed: usize,
+    pub(crate) jobs_rejected: usize,
+    pub(crate) broadcasts: usize,
+    pub(crate) busy_ns: f64,
+    pub(crate) energy_nj: f64,
+    /// Modeled submit→completion turnaround of every completed job, in submission
+    /// order (percentiles are computed over a sorted copy).
+    pub(crate) turnaround_ns: Vec<f64>,
+    pub(crate) max_queue_depth_seen: usize,
+}
+
+impl Tenant {
+    pub(crate) fn new(spec: TenantSpec) -> Self {
+        Tenant {
+            spec,
+            deficit: 0.0,
+            jobs_submitted: 0,
+            jobs_completed: 0,
+            jobs_rejected: 0,
+            broadcasts: 0,
+            busy_ns: 0.0,
+            energy_nj: 0.0,
+            turnaround_ns: Vec::new(),
+            max_queue_depth_seen: 0,
+        }
+    }
+}

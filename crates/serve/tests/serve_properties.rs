@@ -1,0 +1,169 @@
+//! Property tests of the serving layer's packing invariants: concurrently admitted
+//! plans never receive overlapping subarray sets, serving N independent plans is
+//! bit-identical to running them sequentially on dedicated machines, and everything
+//! is identical under both `SIMDRAM_EXEC` execution policies.
+
+use proptest::prelude::*;
+use simdram_core::{
+    ExecutionPolicy, Plan, PlanBuilder, PlanOutput, SimdVector, SimdramConfig, SimdramMachine,
+};
+use simdram_logic::{word_mask, Operation};
+use simdram_serve::{PlanServer, ServeConfig, TenantSpec};
+
+/// Width-preserving binary operations, so any two compose.
+const OPS: [Operation; 5] = [
+    Operation::Add,
+    Operation::Sub,
+    Operation::Mul,
+    Operation::Min,
+    Operation::Max,
+];
+
+/// One random job: two op choices, an element width, a constant and a length seed.
+type JobSpec = (u8, u8, usize, u64, usize);
+
+fn machine_with(policy: ExecutionPolicy) -> SimdramMachine {
+    let mut config = SimdramConfig::functional_test();
+    config.execution = policy;
+    SimdramMachine::new(config).unwrap()
+}
+
+fn job_len(len_seed: usize, lanes: usize) -> usize {
+    // 1..=lanes elements, spanning one to all subarray chunks.
+    len_seed % lanes + 1
+}
+
+fn job_values(len: usize, width: usize, seed: u64) -> Vec<u64> {
+    let mask = word_mask(width);
+    (0..len as u64).map(|i| (i * 37 + seed) & mask).collect()
+}
+
+/// Builds the job's two-op plan over the given machine-resident input.
+fn build_plan(input: &SimdVector, spec: &JobSpec) -> (Plan, PlanOutput) {
+    let (op1, op2, width, constant, _) = *spec;
+    let mut builder = PlanBuilder::new();
+    let x = builder.input(input);
+    let c = builder
+        .constant(width, input.len(), constant & word_mask(width))
+        .unwrap();
+    let first = builder.binary(OPS[op1 as usize % OPS.len()], x, c).unwrap();
+    let second = builder
+        .binary(OPS[op2 as usize % OPS.len()], first, x)
+        .unwrap();
+    let out = builder.materialize(second).unwrap();
+    (builder.compile().unwrap(), out)
+}
+
+/// Serves every job through one shared `PlanServer`, returning the per-job outputs
+/// (in job order) and the drained server for invariant checks.
+fn run_served(
+    policy: ExecutionPolicy,
+    tenants: usize,
+    jobs: &[JobSpec],
+) -> (Vec<Vec<u64>>, PlanServer) {
+    let mut server = PlanServer::new(machine_with(policy), ServeConfig::new());
+    let lanes = server.machine().lanes();
+    let ids: Vec<_> = (0..tenants)
+        .map(|t| {
+            server.register_tenant(TenantSpec::new(format!("tenant-{t}")).with_weight(t as u64 + 1))
+        })
+        .collect();
+    let mut handles = Vec::new();
+    for (index, spec) in jobs.iter().enumerate() {
+        let tenant = ids[index % ids.len()];
+        let (_, _, width, seed, len_seed) = *spec;
+        let len = job_len(len_seed, lanes);
+        let values = job_values(len, width, seed);
+        let input = server.write_input(tenant, width, &values).unwrap();
+        let (plan, out) = build_plan(&input, spec);
+        let job = server.submit(tenant, plan).unwrap();
+        handles.push((job, out));
+    }
+    server.serve().unwrap();
+    let outputs = handles
+        .into_iter()
+        .map(|(job, out)| server.take_result(job).unwrap().output(out).to_vec())
+        .collect();
+    (outputs, server)
+}
+
+/// Runs every job alone on a dedicated machine — the sequential reference.
+fn run_sequential(policy: ExecutionPolicy, jobs: &[JobSpec]) -> (Vec<Vec<u64>>, usize) {
+    let mut outputs = Vec::new();
+    let mut dispatches = 0;
+    for spec in jobs {
+        let mut m = machine_with(policy);
+        let (_, _, width, seed, len_seed) = *spec;
+        let len = job_len(len_seed, m.lanes());
+        let values = job_values(len, width, seed);
+        let input = m.alloc_and_write(width, &values).unwrap();
+        let (plan, out) = build_plan(&input, spec);
+        let exec = m.run_plan(&plan).unwrap();
+        outputs.push(m.read(exec.output(out)).unwrap());
+        dispatches += exec.report().broadcasts;
+    }
+    (outputs, dispatches)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn served_plans_are_isolated_fused_and_bit_identical(
+        jobs in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), 2usize..=8, any::<u64>(), any::<usize>()),
+            2..10,
+        ),
+        tenants in 2usize..=4,
+        max_threads in 1usize..=4,
+    ) {
+        let policies = [
+            ExecutionPolicy::Sequential,
+            ExecutionPolicy::Threaded { max_threads },
+        ];
+        let mut served_runs = Vec::new();
+        for policy in policies {
+            let (served, server) = run_served(policy, tenants, &jobs);
+            let (sequential, sequential_dispatches) = run_sequential(policy, &jobs);
+
+            // Bit-identical to dedicated sequential machines, job by job.
+            for (job, (s, q)) in served.iter().zip(&sequential).enumerate() {
+                prop_assert_eq!(s, q, "job {} diverged from its solo run", job);
+            }
+
+            // Placements within a window are pairwise disjoint and in range.
+            let total_chunks = server.machine().compute_chunks();
+            for window in server.window_log() {
+                for (i, a) in window.placements.iter().enumerate() {
+                    prop_assert!(a.chunks > 0);
+                    prop_assert!(a.offset + a.chunks <= total_chunks);
+                    for b in &window.placements[i + 1..] {
+                        let disjoint =
+                            a.offset + a.chunks <= b.offset || b.offset + b.chunks <= a.offset;
+                        prop_assert!(
+                            disjoint,
+                            "window {} placed jobs {} and {} on overlapping chunks",
+                            window.window, a.job, b.job
+                        );
+                    }
+                }
+            }
+
+            // Fusion never issues more dispatches than back-to-back execution, and the
+            // report agrees with the log.
+            let report = server.report();
+            prop_assert_eq!(report.sequential_dispatches, sequential_dispatches);
+            prop_assert!(report.fused_dispatches <= report.sequential_dispatches);
+            prop_assert_eq!(report.jobs_completed, jobs.len());
+            prop_assert_eq!(
+                report.fused_dispatches,
+                server.window_log().iter().map(|w| w.dispatches).sum::<usize>()
+            );
+
+            served_runs.push(served);
+        }
+
+        // Identical under both execution policies.
+        prop_assert_eq!(&served_runs[0], &served_runs[1]);
+    }
+}

@@ -1,0 +1,159 @@
+//! The multi-tenant serving layer end to end: register → stage → submit → serve.
+//!
+//! Run with `cargo run --example serve_demo` (honors the `SIMDRAM_EXEC` policy
+//! override — CI runs it under both `sequential` and `threaded`).
+//!
+//! Eight weighted tenants share one demo-size machine through a [`PlanServer`],
+//! mixing the brightness, kNN and TPC-H plan shapes from the application suite.
+//! Every result is checked bit-for-bit against a dedicated solo machine, and the
+//! example asserts the serving headline: fused cross-tenant dispatch issues
+//! strictly fewer broadcasts than running the tenants back-to-back.
+
+use simdram_core::{Plan, PlanBuilder, PlanOutput, SimdVector, SimdramConfig, SimdramMachine};
+use simdram_serve::{PlanServer, ServeConfig, TenantSpec};
+
+/// Per-tenant vector length: two subarray chunks on the demo machine, so several
+/// tenants still pack into each dispatch window.
+const ELEMENTS: usize = 2_048;
+
+#[derive(Clone, Copy)]
+enum Shape {
+    Brightness,
+    Knn,
+    Tpch,
+}
+
+impl Shape {
+    fn name(self) -> &'static str {
+        match self {
+            Shape::Brightness => "brightness",
+            Shape::Knn => "knn",
+            Shape::Tpch => "tpch",
+        }
+    }
+}
+
+fn tenant_values(tenant: usize) -> Vec<u64> {
+    (0..ELEMENTS as u64)
+        .map(|i| (i * 37 + 11 * tenant as u64 + 13) & 0xFF)
+        .collect()
+}
+
+/// Builds one tenant's plan over its machine-resident input.
+fn build_plan(shape: Shape, input: &SimdVector) -> (Plan, PlanOutput) {
+    let mut s = PlanBuilder::new();
+    let x = s.input(input);
+    let out = match shape {
+        Shape::Brightness => {
+            let delta = s.constant(8, ELEMENTS, 60).expect("const");
+            let sat = s.constant(8, ELEMENTS, 0xFF).expect("const");
+            let sum = s.add(x, delta).expect("add");
+            let ok = s.greater_equal(sum, x).expect("compare");
+            let result = s.select(ok, sum, sat).expect("select");
+            s.materialize(result).expect("materialize")
+        }
+        Shape::Knn => {
+            let q1 = s.constant(8, ELEMENTS, 90).expect("const");
+            let q2 = s.constant(8, ELEMENTS, 200).expect("const");
+            let d1 = s.sub(x, q1).expect("sub");
+            let d2 = s.sub(x, q2).expect("sub");
+            let a1 = s.abs(d1).expect("abs");
+            let a2 = s.abs(d2).expect("abs");
+            let sum = s.add(a1, a2).expect("add");
+            s.materialize(sum).expect("materialize")
+        }
+        Shape::Tpch => {
+            let low = s.constant(8, ELEMENTS, 3).expect("const");
+            let high = s.constant(8, ELEMENTS, 7).expect("const");
+            let zero = s.constant(8, ELEMENTS, 0).expect("const");
+            let ge = s.greater_equal(x, low).expect("ge");
+            let le = s.greater_equal(high, x).expect("le");
+            let sel = s.min(ge, le).expect("min");
+            let masked = s.select(sel, x, zero).expect("select");
+            s.materialize(masked).expect("materialize")
+        }
+    };
+    (s.compile().expect("compile"), out)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const SHAPES: [Shape; 3] = [Shape::Brightness, Shape::Knn, Shape::Tpch];
+    let tenants = 8;
+
+    // Two jobs per window: the demo machine has 160 data rows per subarray, and
+    // eight staged inputs plus two in-flight jobs' outputs and pooled temporaries
+    // fit comfortably — rows, not subarrays, are the binding resource.
+    let config = ServeConfig {
+        max_jobs_per_window: 2,
+        ..ServeConfig::new()
+    };
+    let machine = SimdramMachine::new(SimdramConfig::demo())?;
+    println!(
+        "machine: {} lanes, {} compute chunks, {:?} execution policy",
+        machine.lanes(),
+        machine.compute_chunks(),
+        machine.execution_policy()
+    );
+    let mut server = PlanServer::new(machine, config);
+
+    // ---------------------------------------------------------- register + submit
+    let mut jobs = Vec::new();
+    for t in 0..tenants {
+        let weight = (t as u64 % 3) + 1;
+        let id = server.register_tenant(TenantSpec::new(format!("tenant-{t}")).with_weight(weight));
+        let input = server.write_input(id, 8, &tenant_values(t))?;
+        let shape = SHAPES[t % SHAPES.len()];
+        let (plan, out) = build_plan(shape, &input);
+        let job = server.submit(id, plan)?;
+        jobs.push((t, shape, job, out));
+    }
+    println!("submitted {} jobs across {tenants} tenants", jobs.len());
+
+    // ------------------------------------------------------------------- serve
+    let report = server.serve()?;
+    println!("{report}");
+
+    // ------------------------------------------- verify against dedicated machines
+    let mut sequential_dispatches = 0;
+    for (t, shape, job, out) in &jobs {
+        let mut solo = SimdramMachine::new(SimdramConfig::demo())?;
+        let input = solo.alloc_and_write(8, &tenant_values(*t))?;
+        let (plan, solo_out) = build_plan(*shape, &input);
+        let exec = solo.run_plan(&plan)?;
+        let expected = solo.read(exec.output(solo_out))?;
+        sequential_dispatches += exec.report().broadcasts;
+
+        let result = server.take_result(*job)?;
+        if result.output(*out) != expected.as_slice() {
+            eprintln!(
+                "MISMATCH: tenant-{t} ({}) served result diverged from its solo run",
+                shape.name()
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "tenant-{t:<2} {:<10} ok: {} elements, window {}, turnaround {:.1} us",
+            shape.name(),
+            result.output(*out).len(),
+            result.window(),
+            result.turnaround_ns() / 1e3
+        );
+    }
+
+    println!(
+        "verified: all {} served results are bit-identical to dedicated solo machines",
+        jobs.len()
+    );
+    println!(
+        "dispatch fusion: {} sequential -> {} fused ({:.2}x fewer)",
+        report.sequential_dispatches,
+        report.fused_dispatches,
+        report.dispatch_savings()
+    );
+    assert_eq!(report.sequential_dispatches, sequential_dispatches);
+    assert!(
+        report.fused_dispatches < sequential_dispatches,
+        "cross-tenant fusion must issue strictly fewer dispatches than sequential"
+    );
+    Ok(())
+}

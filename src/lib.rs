@@ -11,10 +11,22 @@
 //!   [`simdram_core::SimdramMachine`] end-to-end executor.
 //! - [`simdram_baselines`]: Ambit, CPU and GPU comparison models.
 //! - [`simdram_apps`]: the seven real-world application kernels.
+//! - [`simdram_serve`]: the multi-tenant plan-serving layer
+//!   ([`simdram_serve::PlanServer`]).
+//!
+//! The layer-by-layer architecture book lives in `docs/ARCHITECTURE.md`.
+//!
+//! ```
+//! use simdram::simdram_core::{SimdramConfig, SimdramMachine};
+//!
+//! let machine = SimdramMachine::new(SimdramConfig::functional_test()).unwrap();
+//! assert_eq!(machine.lanes(), 1024);
+//! ```
 
 pub use simdram_apps;
 pub use simdram_baselines;
 pub use simdram_core;
 pub use simdram_dram;
 pub use simdram_logic;
+pub use simdram_serve;
 pub use simdram_uprog;
