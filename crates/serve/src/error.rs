@@ -55,6 +55,13 @@ pub enum ServeError {
         /// The vector handle id owned by another tenant.
         vector: u64,
     },
+    /// A staged input cannot be released while a queued job's plan still reads it.
+    InputInUse {
+        /// The vector handle id a pending plan still references.
+        vector: u64,
+        /// The queued job that reads the vector.
+        job: JobId,
+    },
     /// The job id is not known to this server (never submitted, or its result was
     /// already taken).
     UnknownJob {
@@ -64,6 +71,12 @@ pub enum ServeError {
     /// The job is still queued or running; its result cannot be taken yet.
     ResultNotReady {
         /// The still-pending job.
+        job: JobId,
+    },
+    /// The job was admitted into a dispatch window whose fused run failed; it will
+    /// never produce a result and must be resubmitted.
+    JobAborted {
+        /// The aborted job.
         job: JobId,
     },
 }
@@ -93,9 +106,16 @@ impl fmt::Display for ServeError {
                 f,
                 "tenant {tenant}'s plan reads vector #{vector} staged by another tenant"
             ),
+            ServeError::InputInUse { vector, job } => write!(
+                f,
+                "vector #{vector} is still read by queued job {job} and cannot be released"
+            ),
             ServeError::UnknownJob { job } => write!(f, "unknown job {job}"),
             ServeError::ResultNotReady { job } => {
                 write!(f, "job {job} has not completed yet")
+            }
+            ServeError::JobAborted { job } => {
+                write!(f, "job {job} was aborted by its dispatch window's failure")
             }
         }
     }

@@ -12,13 +12,16 @@
 ///
 /// 1. Each tenant with queued work accrues `weight / Σ active weights × capacity`
 ///    credit for the window (credit is normalized to the capacity actually being
-///    dispatched, so deficits stay bounded and long-run chunk shares converge to the
-///    weights); idle tenants' credit resets to zero (no banking while idle — standard
-///    deficit round-robin).
+///    dispatched, so long-run chunk shares converge to the weights); idle tenants'
+///    credit resets to zero (no banking while idle — standard deficit round-robin).
 /// 2. Repeatedly admit the head job of the tenant with the highest credit (ties break
 ///    toward the lowest tenant index) among those whose head fits the remaining chunk
 ///    capacity; each admission costs the job's chunks.
 /// 3. Stop at `max_jobs` admissions or when no queued head fits.
+/// 4. Carried (unspent) credit is then capped at one window's accrual — classic
+///    deficit round-robin's one-quantum cap — so when `max_jobs` rather than chunk
+///    capacity is the binding constraint, a backlogged tenant cannot bank unbounded
+///    credit across windows.
 ///
 /// Within a tenant, jobs stay FIFO (an oversized head blocks that tenant's later
 /// jobs, never other tenants). The scheduler is work-conserving — every head fits an
@@ -34,17 +37,22 @@ pub(crate) fn plan_window(
 ) -> Vec<usize> {
     debug_assert_eq!(queued_chunks.len(), weights.len());
     debug_assert_eq!(queued_chunks.len(), deficits.len());
+    // `register_tenant` clamps weights to >= 1, but guard anyway: a zero divisor
+    // would turn every deficit into NaN and permanently corrupt fairness ordering.
     let active_weight: u64 = queued_chunks
         .iter()
         .zip(weights)
         .filter(|(queue, _)| !queue.is_empty())
         .map(|(_, &w)| w)
-        .sum();
+        .sum::<u64>()
+        .max(1);
+    let mut quantum = vec![0.0f64; queued_chunks.len()];
     for (t, queue) in queued_chunks.iter().enumerate() {
         if queue.is_empty() {
             deficits[t] = 0.0;
         } else {
-            deficits[t] += weights[t] as f64 * capacity as f64 / active_weight as f64;
+            quantum[t] = weights[t] as f64 * capacity as f64 / active_weight as f64;
+            deficits[t] += quantum[t];
         }
     }
     let mut cursor = vec![0usize; queued_chunks.len()];
@@ -68,6 +76,13 @@ pub(crate) fn plan_window(
         capacity -= cost;
         deficits[t] -= cost as f64;
         admissions.push(t);
+    }
+    // Cap the carry at one quantum so unspent credit stays bounded even when
+    // `max_jobs` stops admission long before the chunk capacity is spent.
+    for (deficit, quantum) in deficits.iter_mut().zip(&quantum) {
+        if *deficit > *quantum {
+            *deficit = *quantum;
+        }
     }
     admissions
 }
@@ -112,6 +127,33 @@ mod tests {
         let mut deficits = [0.0; 2];
         let admitted = plan_window(&queues, &weights, &mut deficits, 4, 16);
         assert_eq!(admitted, vec![1, 1]);
+    }
+
+    #[test]
+    fn deficits_stay_bounded_when_max_jobs_binds() {
+        // 16 chunks of capacity but only 1 job admitted per window: the losing tenant
+        // would bank capacity-proportional credit forever without the quantum cap.
+        let queues = vec![vec![1; 64], vec![1; 64]];
+        let weights = [1, 1];
+        let mut deficits = [0.0; 2];
+        for _ in 0..50 {
+            plan_window(&queues, &weights, &mut deficits, 16, 1);
+        }
+        for d in deficits {
+            assert!(d <= 8.0 + 1e-9, "deficit {d} escaped the one-quantum cap");
+        }
+    }
+
+    #[test]
+    fn zero_weights_do_not_poison_deficits() {
+        // register_tenant clamps weights, but the scheduler itself must not divide by
+        // zero if handed an all-zero active weight.
+        let queues = vec![vec![1], vec![1]];
+        let weights = [0, 0];
+        let mut deficits = [0.0; 2];
+        let admitted = plan_window(&queues, &weights, &mut deficits, 2, 16);
+        assert_eq!(admitted, vec![0, 1]);
+        assert!(deficits.iter().all(|d| d.is_finite()));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The [`PlanServer`]: submission queues, dispatch windows and result delivery.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use simdram_core::{Plan, Reservation, SimdVector, SimdramMachine};
 
@@ -45,6 +45,7 @@ pub struct PlanServer {
     queues: Vec<VecDeque<PendingJob>>,
     staged: HashMap<u64, StagedInput>,
     results: HashMap<JobId, JobResult>,
+    aborted: HashSet<JobId>,
     window_log: Vec<WindowRecord>,
     next_job_id: u64,
     now_ns: f64,
@@ -65,6 +66,7 @@ impl PlanServer {
             queues: Vec::new(),
             staged: HashMap::new(),
             results: HashMap::new(),
+            aborted: HashSet::new(),
             window_log: Vec::new(),
             next_job_id: 0,
             now_ns: 0.0,
@@ -77,8 +79,12 @@ impl PlanServer {
     }
 
     /// Registers a tenant and returns its id.
-    pub fn register_tenant(&mut self, spec: TenantSpec) -> TenantId {
+    ///
+    /// The fairness weight is clamped up to at least 1 (a zero weight would give the
+    /// scheduler a zero-credit tenant that can never be served fairly).
+    pub fn register_tenant(&mut self, mut spec: TenantSpec) -> TenantId {
         let id = TenantId(self.tenants.len() as u64);
+        spec.weight = spec.weight.max(1);
         self.tenants.push(Tenant::new(spec));
         self.queues.push(VecDeque::new());
         id
@@ -159,7 +165,10 @@ impl PlanServer {
     /// # Errors
     ///
     /// [`ServeError::UnknownInput`] if the vector was never staged,
-    /// [`ServeError::ForeignInput`] if another tenant staged it.
+    /// [`ServeError::ForeignInput`] if another tenant staged it,
+    /// [`ServeError::InputInUse`] while any queued job's plan still reads it (take or
+    /// abandon those jobs first — releasing under a pending plan would let its rows be
+    /// reallocated out from under the dispatch).
     pub fn release_input(&mut self, tenant: TenantId, vector: &SimdVector) -> Result<()> {
         self.tenant(tenant)?;
         match self.staged.get(&vector.id()) {
@@ -171,6 +180,17 @@ impl PlanServer {
                 vector: vector.id(),
             }),
             Some(_) => {
+                if let Some(job) = self
+                    .queues
+                    .iter()
+                    .flatten()
+                    .find(|job| job.plan.input_vectors().any(|v| v.id() == vector.id()))
+                {
+                    return Err(ServeError::InputInUse {
+                        vector: vector.id(),
+                        job: job.id,
+                    });
+                }
                 let staged = self.staged.remove(&vector.id()).expect("checked above");
                 self.machine.free(staged.vector);
                 Ok(())
@@ -261,10 +281,15 @@ impl PlanServer {
     /// # Errors
     ///
     /// [`ServeError::ResultNotReady`] while the job is still queued,
+    /// [`ServeError::JobAborted`] if the job was admitted into a window whose fused
+    /// run failed (the job was accepted but will never produce a result),
     /// [`ServeError::UnknownJob`] if it was never submitted (or already taken).
     pub fn take_result(&mut self, job: JobId) -> Result<JobResult> {
         if let Some(result) = self.results.remove(&job) {
             return Ok(result);
+        }
+        if self.aborted.contains(&job) {
+            return Err(ServeError::JobAborted { job });
         }
         if self.queues.iter().flatten().any(|j| j.id == job) {
             return Err(ServeError::ResultNotReady { job });
@@ -285,7 +310,9 @@ impl PlanServer {
     ///
     /// A wrapped [`CoreError`](simdram_core::CoreError) if the fused run fails; the
     /// window's reservations and output rows are rolled back, but its admitted jobs
-    /// are aborted (their results never materialize).
+    /// are aborted — their results never materialize, and
+    /// [`take_result`](Self::take_result) reports them as
+    /// [`ServeError::JobAborted`].
     pub fn run_window(&mut self) -> Result<Option<WindowRecord>> {
         let queued: Vec<Vec<usize>> = self
             .queues
@@ -341,7 +368,17 @@ impl PlanServer {
         for reservation in reservations.iter().cloned() {
             let _ = self.machine.release_subarrays(reservation);
         }
-        let job_outcomes = outcome?;
+        let job_outcomes = match outcome {
+            Ok(outcomes) => outcomes,
+            Err(err) => {
+                // The jobs were accepted but will never complete: remember them so
+                // take_result can tell "aborted" apart from "never submitted".
+                for job in &jobs {
+                    self.aborted.insert(job.id);
+                }
+                return Err(err);
+            }
+        };
 
         // Advance the modeled clock by the window's busy latency: the fused compute
         // window plus the transposition traffic that shipped inputs in and outputs out.
@@ -411,10 +448,14 @@ impl PlanServer {
                     continue;
                 }
                 shipped.push(vector.id());
-                let staged = self
-                    .staged
-                    .get(&vector.id())
-                    .expect("inputs validated at submission");
+                // Validated at submission and guarded by release_input's in-use
+                // check; fail typed rather than panic if that invariant ever breaks.
+                let staged =
+                    self.staged
+                        .get(&vector.id())
+                        .ok_or_else(|| ServeError::UnknownInput {
+                            vector: vector.id(),
+                        })?;
                 let values = staged.values.clone();
                 self.machine.write_to(reservation, &vector, &values)?;
             }
