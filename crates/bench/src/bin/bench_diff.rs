@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p simdram-bench --bin bench_diff -- \
-//!     crates/bench/baseline.json BENCH_3.json [--threshold 0.15]
+//!     crates/bench/baseline.json BENCH_7.json [--threshold 0.15]
 //! ```
 //!
 //! Compares a freshly generated `BENCH_*.json` against the committed baseline and exits

@@ -1,7 +1,7 @@
 //! `simdram-bench` — the unified evaluation CLI.
 //!
 //! ```text
-//! cargo run --release -p simdram-bench -- --suite all --out BENCH_3.json
+//! cargo run --release -p simdram-bench -- --suite all --out BENCH_7.json
 //! cargo run --release -p simdram-bench -- --suite throughput,energy
 //! cargo run --release -p simdram-bench -- --list
 //! ```

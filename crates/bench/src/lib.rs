@@ -4,7 +4,7 @@
 //! machine-readable JSON report with paper-expected ranges and per-datapoint verdicts:
 //!
 //! ```sh
-//! cargo run --release -p simdram-bench -- --suite all --out BENCH_3.json
+//! cargo run --release -p simdram-bench -- --suite all --out BENCH_7.json
 //! ```
 //!
 //! The former one-off `fig_*`/`tab_*` binaries are now [`suites`] (see the table there

@@ -4,7 +4,7 @@ use simdram_dram::DramConfig;
 use simdram_uprog::{CodegenOptions, Target};
 
 use crate::error::{CoreError, Result};
-use crate::executor::ExecutionPolicy;
+use crate::executor::{ExecutionPolicy, FunctionalMode};
 
 /// Configuration of a [`crate::SimdramMachine`]: the underlying DRAM geometry, how much of
 /// it participates in computation, and which μProgram target/optimizations to use.
@@ -28,6 +28,11 @@ pub struct SimdramConfig {
     /// bit-identical in results and accounting; threaded only changes simulation
     /// wall-clock.
     pub execution: ExecutionPolicy,
+    /// How each subarray chunk executes a μProgram: interpreted per-μOp, or via the
+    /// compiled word-level kernel ([`FunctionalMode::Compiled`]). Like `execution`, the
+    /// modes are bit-identical in results and aggregate accounting; compiled only changes
+    /// simulation wall-clock and per-command history retention.
+    pub functional: FunctionalMode,
 }
 
 impl Default for SimdramConfig {
@@ -39,6 +44,7 @@ impl Default for SimdramConfig {
             target: Target::Simdram,
             codegen: CodegenOptions::optimized(),
             execution: ExecutionPolicy::default(),
+            functional: FunctionalMode::default(),
         }
     }
 }
@@ -56,9 +62,10 @@ impl SimdramConfig {
     /// A small configuration for fast functional tests: 2 banks × 2 subarrays of 256
     /// columns.
     ///
-    /// Honors the `SIMDRAM_EXEC` environment override (see
-    /// [`ExecutionPolicy::from_env`]), so CI can force every functional test through the
-    /// threaded broadcast engine without code changes.
+    /// Honors the `SIMDRAM_EXEC` and `SIMDRAM_FUNC` environment overrides (see
+    /// [`ExecutionPolicy::from_env`] and [`FunctionalMode::from_env`]), so CI can force
+    /// every functional test through the threaded broadcast engine and/or the compiled
+    /// execution mode without code changes.
     pub fn functional_test() -> Self {
         SimdramConfig {
             dram: DramConfig::tiny(),
@@ -67,6 +74,7 @@ impl SimdramConfig {
             target: Target::Simdram,
             codegen: CodegenOptions::optimized(),
             execution: ExecutionPolicy::from_env().unwrap_or_default(),
+            functional: FunctionalMode::from_env().unwrap_or_default(),
         }
     }
 
@@ -96,6 +104,7 @@ impl SimdramConfig {
             target: Target::Simdram,
             codegen: CodegenOptions::optimized(),
             execution: ExecutionPolicy::from_env().unwrap_or_default(),
+            functional: FunctionalMode::from_env().unwrap_or_default(),
         }
     }
 

@@ -5,8 +5,13 @@
 //! objects, and issues the resulting AAP/AP sequence to the participating subarrays — all
 //! transparently to the program, which only ever executes bbop instructions.
 
+use std::sync::Arc;
+
+use simdram_dram::CommandCosts;
 use simdram_logic::Operation;
-use simdram_uprog::{CodegenOptions, MicroProgram, MicroProgramLibrary, RowBinding, Target};
+use simdram_uprog::{
+    CodegenOptions, CompiledProgram, MicroProgram, MicroProgramLibrary, RowBinding, Target,
+};
 
 use crate::error::{CoreError, Result};
 use crate::layout::SimdVector;
@@ -37,9 +42,33 @@ impl ControlUnit {
         self.library.len()
     }
 
+    /// Number of compiled word-level kernels resident alongside the μPrograms.
+    pub fn resident_compiled(&self) -> usize {
+        self.library.compiled_len()
+    }
+
     /// Looks up (or generates and caches) the μProgram for `op` at `width` bits.
     pub fn microprogram(&mut self, op: Operation, width: usize) -> &MicroProgram {
         self.library.get_or_build(self.target, op, width)
+    }
+
+    /// Looks up (or lowers and caches) the compiled kernel for `op` at `width` bits —
+    /// the fast-functional counterpart of [`ControlUnit::microprogram`]. The returned
+    /// `Arc` is shared with the cache, so every broadcast chunk runs the same artifact.
+    ///
+    /// `costs` must come from the machine's one DRAM config (see
+    /// [`simdram_uprog::MicroProgramLibrary::get_or_compile`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation failures (malformed μOps; never produced by the generator).
+    pub fn compiled_microprogram(
+        &mut self,
+        op: Operation,
+        width: usize,
+        costs: &CommandCosts,
+    ) -> Result<Arc<CompiledProgram>> {
+        Ok(self.library.get_or_compile(self.target, op, width, costs)?)
     }
 
     /// Ensures every `(op, width)` pair of a compiled plan has a resident μProgram,
@@ -48,6 +77,20 @@ impl ControlUnit {
     /// newly built.
     pub fn preload(&mut self, ops: impl IntoIterator<Item = (Operation, usize)>) -> usize {
         self.library.preload(self.target, ops)
+    }
+
+    /// Compiled counterpart of [`ControlUnit::preload`]: ensures every `(op, width)` pair
+    /// has a resident compiled kernel, returning how many were newly lowered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first compilation failure.
+    pub fn preload_compiled(
+        &mut self,
+        ops: impl IntoIterator<Item = (Operation, usize)>,
+        costs: &CommandCosts,
+    ) -> Result<usize> {
+        Ok(self.library.preload_compiled(self.target, ops, costs)?)
     }
 
     /// Validates operand shapes and produces the row binding for one bbop operation.

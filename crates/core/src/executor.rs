@@ -138,6 +138,114 @@ impl ExecutionPolicy {
     }
 }
 
+/// How the machine executes a μProgram functionally inside each subarray chunk.
+///
+/// Orthogonal to [`ExecutionPolicy`] (which decides *where* chunks run, this decides
+/// *what* runs per chunk): the interpreted path walks the symbolic μProgram one μOp at a
+/// time, while the compiled path runs the μProgram's cached
+/// [`simdram_uprog::CompiledProgram`] kernel — pre-resolved rows, word-level operations,
+/// one aggregate trace charge per run. The two modes are bit-identical in every simulated
+/// outcome (results, [`simdram_dram::stats::DeviceStats`], [`crate::MachineEstimate`]);
+/// only per-command *history* differs, governed by `trace_every`.
+///
+/// # Examples
+///
+/// ```
+/// use simdram_core::{FunctionalMode, SimdramConfig, SimdramMachine};
+/// use simdram_logic::Operation;
+///
+/// let mut config = SimdramConfig::functional_test();
+/// config.functional = FunctionalMode::compiled();
+/// let mut machine = SimdramMachine::new(config)?;
+/// let a = machine.alloc_and_write(8, &[1, 2, 3])?;
+/// let b = machine.alloc_and_write(8, &[10, 20, 30])?;
+/// let (sum, _) = machine.binary(Operation::Add, &a, &b)?;
+/// assert_eq!(machine.read(&sum)?, vec![11, 22, 33]);
+/// # Ok::<(), simdram_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FunctionalMode {
+    /// Walk the symbolic μProgram per chunk, recording full per-command history (the
+    /// reference behaviour).
+    #[default]
+    Interpreted,
+    /// Run the compiled word-level kernel per chunk.
+    Compiled {
+        /// Per-command history sampling: retain full history for one in every
+        /// `trace_every` chunks (chunk indices divisible by `trace_every`), aggregate-only
+        /// for the rest. `0` disables history entirely — the fastest setting and the
+        /// [`FunctionalMode::compiled`] default. Aggregate accounting (counts,
+        /// latency/energy totals) is always charged regardless.
+        trace_every: usize,
+    },
+}
+
+impl FunctionalMode {
+    /// The compiled mode at its fastest setting: no per-command history retained.
+    pub fn compiled() -> Self {
+        FunctionalMode::Compiled { trace_every: 0 }
+    }
+
+    /// Reads the `SIMDRAM_FUNC` environment override. Returns `None` only when the
+    /// variable is unset, letting the caller fall back to its configured default.
+    ///
+    /// Recognized (case-insensitive) values: `interpreted`, `compiled`, and `compiled:N`
+    /// to retain per-command history for one in every N chunks (N ≥ 1). This is how CI
+    /// forces the whole tier-1 suite through the compiled engine without code changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a set-but-unrecognized value (including `compiled:0` — plain `compiled`
+    /// already means "no history"). The variable exists solely as a test/CI override;
+    /// silently ignoring a typo would let a CI job believe it exercised the compiled
+    /// engine while re-running the interpreter.
+    pub fn from_env() -> Option<Self> {
+        let raw = std::env::var("SIMDRAM_FUNC").ok()?;
+        Some(Self::parse_override(&raw))
+    }
+
+    /// Parses a `SIMDRAM_FUNC` override value; panics on anything unrecognized (see
+    /// [`FunctionalMode::from_env`]).
+    fn parse_override(raw: &str) -> Self {
+        let value = raw.trim().to_ascii_lowercase();
+        if value == "interpreted" {
+            FunctionalMode::Interpreted
+        } else if value == "compiled" {
+            FunctionalMode::compiled()
+        } else if let Some(n) = value.strip_prefix("compiled:") {
+            let trace_every = n.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
+                panic!(
+                    "SIMDRAM_FUNC={raw}: history sampling period must be an integer >= 1 \
+                     (expected interpreted | compiled | compiled:N)"
+                )
+            });
+            FunctionalMode::Compiled { trace_every }
+        } else {
+            panic!(
+                "unrecognized SIMDRAM_FUNC value {raw:?} \
+                 (expected interpreted | compiled | compiled:N)"
+            );
+        }
+    }
+
+    /// Returns `true` for the compiled variant.
+    pub fn is_compiled(&self) -> bool {
+        matches!(self, FunctionalMode::Compiled { .. })
+    }
+
+    /// Whether the broadcast chunk at `chunk` index retains per-command history under
+    /// this mode. Chunk indices are assigned in coordinate order independent of the
+    /// [`ExecutionPolicy`], so the sampling decision — like everything else — is
+    /// deterministic across sequential and threaded runs.
+    pub fn trace_with_history(&self, chunk: usize) -> bool {
+        match *self {
+            FunctionalMode::Interpreted => true,
+            FunctionalMode::Compiled { trace_every: 0 } => false,
+            FunctionalMode::Compiled { trace_every } => chunk % trace_every == 0,
+        }
+    }
+}
+
 /// Fans per-subarray broadcast chunks out according to an [`ExecutionPolicy`].
 ///
 /// Every [`crate::SimdramMachine`] operation that touches multiple subarrays —
@@ -438,5 +546,48 @@ mod tests {
     #[should_panic(expected = "thread cap must be an integer >= 1")]
     fn env_override_rejects_zero_thread_cap() {
         let _ = ExecutionPolicy::parse_override("threaded:0");
+    }
+
+    #[test]
+    fn functional_mode_override_parsing() {
+        assert_eq!(
+            FunctionalMode::parse_override("interpreted"),
+            FunctionalMode::Interpreted
+        );
+        assert_eq!(
+            FunctionalMode::parse_override(" Compiled "),
+            FunctionalMode::compiled()
+        );
+        assert_eq!(
+            FunctionalMode::parse_override("compiled:16"),
+            FunctionalMode::Compiled { trace_every: 16 }
+        );
+        assert!(FunctionalMode::compiled().is_compiled());
+        assert!(!FunctionalMode::Interpreted.is_compiled());
+    }
+
+    #[test]
+    fn functional_mode_history_sampling_is_per_chunk() {
+        // Interpreted always keeps history; compiled-without-sampling never does;
+        // compiled:N keeps it for every Nth chunk starting at 0.
+        for chunk in 0..8 {
+            assert!(FunctionalMode::Interpreted.trace_with_history(chunk));
+            assert!(!FunctionalMode::compiled().trace_with_history(chunk));
+        }
+        let sampled = FunctionalMode::Compiled { trace_every: 3 };
+        let kept: Vec<usize> = (0..9).filter(|&c| sampled.trace_with_history(c)).collect();
+        assert_eq!(kept, vec![0, 3, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unrecognized SIMDRAM_FUNC value")]
+    fn functional_mode_override_rejects_typos() {
+        let _ = FunctionalMode::parse_override("compile");
+    }
+
+    #[test]
+    #[should_panic(expected = "history sampling period must be an integer >= 1")]
+    fn functional_mode_override_rejects_zero_period() {
+        let _ = FunctionalMode::parse_override("compiled:0");
     }
 }

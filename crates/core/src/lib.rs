@@ -16,6 +16,9 @@
 //! * [`BroadcastExecutor`]/[`ExecutionPolicy`] — the broadcast execution engine that fans
 //!   μProgram chunks out over the participating subarrays, either sequentially or on
 //!   threads (bank-level parallelism), with bit-identical results either way.
+//! * [`FunctionalMode`] — what each chunk runs: the per-μOp interpreter, or the compiled
+//!   word-level kernel cached per μProgram ([`simdram_uprog::CompiledProgram`]) — again
+//!   bit-identical in results and aggregate accounting, several times faster to simulate.
 //! * [`transpose_64x64`] — horizontal ↔ vertical layout conversion, both functional and as
 //!   a cost model ([`TranspositionUnit`]).
 //! * [`pud_performance`] — the analytic throughput/energy model used to regenerate the
@@ -59,7 +62,7 @@ pub use config::SimdramConfig;
 pub use control_unit::ControlUnit;
 pub use error::{CoreError, Result};
 pub use estimate::{BroadcastEstimate, MachineEstimate, TraceEstimator};
-pub use executor::{BroadcastExecutor, ExecutionPolicy};
+pub use executor::{BroadcastExecutor, ExecutionPolicy, FunctionalMode};
 pub use isa::{BbopInstruction, Mnemonic, TransposeDirection};
 pub use layout::SimdVector;
 pub use machine::{Reservation, SimdramMachine};

@@ -1,17 +1,18 @@
 //! The end-to-end SIMDRAM machine: allocation, layout conversion and bbop execution.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use simdram_dram::stats::DeviceStats;
-use simdram_dram::{BGroupRow, BitRow, CommandTrace, DramDevice, RowAddr, Subarray};
+use simdram_dram::{BGroupRow, BitRow, CommandCosts, CommandTrace, DramDevice, RowAddr, Subarray};
 use simdram_logic::Operation;
-use simdram_uprog::{execute as execute_uprog, MicroProgram, RowBinding};
+use simdram_uprog::{execute as execute_uprog, CompiledProgram, MicroProgram, RowBinding};
 
 use crate::config::SimdramConfig;
 use crate::control_unit::ControlUnit;
 use crate::error::{CoreError, Result};
 use crate::estimate::{BroadcastEstimate, MachineEstimate, TraceEstimator};
-use crate::executor::{BroadcastExecutor, ExecutionPolicy};
+use crate::executor::{BroadcastExecutor, ExecutionPolicy, FunctionalMode};
 use crate::isa::BbopInstruction;
 use crate::layout::{RowAllocator, SimdVector};
 use crate::plan::{Plan, PlanBuilder, PlanExecution, Storage};
@@ -32,9 +33,12 @@ enum RunStep {
         dst_base: usize,
         width: usize,
     },
-    /// One μProgram execution under a concrete row binding.
+    /// One μProgram execution under a concrete row binding. When the machine runs in
+    /// [`FunctionalMode::Compiled`], `compiled` carries the cached word-level kernel and
+    /// the interpreter is bypassed entirely.
     Exec {
         program: MicroProgram,
+        compiled: Option<Arc<CompiledProgram>>,
         binding: RowBinding,
         node: usize,
     },
@@ -43,7 +47,16 @@ enum RunStep {
 /// Executes one batch's resolved steps back-to-back on a single subarray, returning one
 /// self-contained local [`CommandTrace`] per step (the fused-broadcast kernel body shared
 /// by [`SimdramMachine::run_plan`] and [`SimdramMachine::run_plans_on`]).
-fn run_steps(steps: &[RunStep], sa: &mut Subarray) -> Result<Vec<CommandTrace>> {
+///
+/// `with_history` governs per-command history retention of the *compiled* μProgram steps
+/// (see [`FunctionalMode::trace_with_history`]); interpreted steps always record full
+/// history. Either way the history is drained before returning — only the local traces
+/// (whose aggregates are bit-identical between modes) leave the kernel.
+fn run_steps(
+    steps: &[RunStep],
+    sa: &mut Subarray,
+    with_history: bool,
+) -> Result<Vec<CommandTrace>> {
     let mut per_step = Vec::with_capacity(steps.len());
     for step in steps {
         match step {
@@ -75,10 +88,22 @@ fn run_steps(steps: &[RunStep], sa: &mut Subarray) -> Result<Vec<CommandTrace>> 
                 per_step.push(sa.trace_since(mark));
             }
             RunStep::Exec {
-                program, binding, ..
-            } => {
-                per_step.push(execute_uprog(program, sa, binding).map_err(CoreError::from)?);
-            }
+                program,
+                compiled,
+                binding,
+                ..
+            } => match compiled {
+                Some(kernel) => {
+                    per_step.push(
+                        kernel
+                            .run(sa, binding, with_history)
+                            .map_err(CoreError::from)?,
+                    );
+                }
+                None => {
+                    per_step.push(execute_uprog(program, sa, binding).map_err(CoreError::from)?);
+                }
+            },
         }
     }
     sa.drain_trace();
@@ -150,6 +175,10 @@ pub struct SimdramMachine {
     control: ControlUnit,
     transposer: TranspositionUnit,
     executor: BroadcastExecutor,
+    /// Command cost templates derived once from the DRAM config — the single source the
+    /// subarrays and the μProgram compiler both charge from, keeping compiled execution
+    /// bit-identical to interpreted accounting.
+    costs: CommandCosts,
     estimator: TraceEstimator,
     stats: MachineStats,
     functional_stats: DeviceStats,
@@ -177,6 +206,7 @@ impl SimdramMachine {
         let transposer =
             TranspositionUnit::new(config.dram.timing.clone(), config.dram.energy.clone());
         let executor = BroadcastExecutor::new(config.execution);
+        let costs = CommandCosts::new(&config.dram);
         let estimator = TraceEstimator::new(config.dram.timing.clone(), config.dram.energy.clone());
         let chunk_allocator =
             RowAllocator::new(config.compute_banks * config.compute_subarrays_per_bank);
@@ -187,6 +217,7 @@ impl SimdramMachine {
             control,
             transposer,
             executor,
+            costs,
             estimator,
             stats: MachineStats::default(),
             functional_stats: DeviceStats::new(),
@@ -259,6 +290,19 @@ impl SimdramMachine {
         self.config.execution = policy;
         self.executor = BroadcastExecutor::new(policy);
         Ok(())
+    }
+
+    /// The active functional-execution mode (interpreted vs compiled).
+    pub fn functional_mode(&self) -> FunctionalMode {
+        self.config.functional
+    }
+
+    /// Switches the functional-execution mode at runtime. Like
+    /// [`SimdramMachine::set_execution_policy`], results and aggregate accounting are
+    /// unaffected; only simulation wall-clock and per-command history retention change.
+    /// Kernels already compiled stay cached.
+    pub fn set_functional_mode(&mut self, mode: FunctionalMode) {
+        self.config.functional = mode;
     }
 
     /// Number of SIMD lanes (elements processed per μProgram broadcast).
@@ -843,6 +887,12 @@ impl SimdramMachine {
         // before touching the allocator.
         for &(plan, _, budget) in jobs {
             self.control.preload(plan.programs_needed());
+            if self.config.functional.is_compiled() {
+                // The offline programming step of the fast-functional mode: lower every
+                // needed μProgram into its word-level kernel once, before any batch runs.
+                self.control
+                    .preload_compiled(plan.programs_needed(), &self.costs)?;
+            }
             for (op, width) in plan.programs_needed() {
                 let temp_rows = self.control.microprogram(op, width).temp_rows();
                 if temp_rows > self.config.dram.reserved_rows {
@@ -1041,8 +1091,18 @@ impl SimdramMachine {
                             self.config.reserved_base(),
                         )?;
                         let program = self.control.microprogram(op, a_vec.width()).clone();
+                        let compiled = if self.config.functional.is_compiled() {
+                            Some(self.control.compiled_microprogram(
+                                op,
+                                a_vec.width(),
+                                &self.costs,
+                            )?)
+                        } else {
+                            None
+                        };
                         steps.push(RunStep::Exec {
                             program,
+                            compiled,
                             binding,
                             node: id,
                         });
@@ -1061,10 +1121,17 @@ impl SimdramMachine {
             // stays exact. Placements are disjoint, so the disjoint-borrow API hands
             // every chunk kernel its own subarray.
             let dispatch_chunks = coords.len();
+            // History sampling keys off the dispatch position, which is assigned in
+            // deterministic (job, chunk) order independent of the execution policy.
+            let mode = self.config.functional;
             let chunk_traces =
                 self.executor
                     .broadcast(&mut self.device, &coords, |position, sa| {
-                        run_steps(&step_lists[owner_of_position[position]], sa)
+                        run_steps(
+                            &step_lists[owner_of_position[position]],
+                            sa,
+                            mode.trace_with_history(position),
+                        )
                     })?;
 
             let mut dispatch_latency = 0.0f64;

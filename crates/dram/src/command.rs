@@ -10,6 +10,8 @@
 
 use std::fmt;
 
+use crate::config::DramConfig;
+
 /// The kind of a DRAM command issued to a subarray.
 ///
 /// The substrate distinguishes the command templates that matter for SIMDRAM's latency and
@@ -54,6 +56,98 @@ pub struct DramCommand {
     pub latency_ns: f64,
     /// Energy charged for this command, in nanojoules.
     pub energy_nj: f64,
+}
+
+/// The six command cost templates a subarray geometry charges, derived once from a
+/// [`DramConfig`].
+///
+/// [`crate::Subarray`] builds its pre-registered trace slots from this table, and the
+/// μProgram compiler builds [`TraceAggregate`]s from the *same* table — so the `f64`
+/// latency/energy bit patterns are single-sourced and a compiled program's aggregate
+/// always matches the slots the executing subarray already registered (cost-table lookups
+/// stay allocation-free on the hot path).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommandCosts {
+    /// Index order: Write, Read, AAP, AAP(TRA source), TRA, AP — must match the
+    /// subarray's internal cost indexing.
+    templates: [DramCommand; 6],
+}
+
+impl CommandCosts {
+    /// Derives the cost templates for the geometry and timing/energy models of `config`.
+    pub fn new(config: &DramConfig) -> Self {
+        let columns = config.columns_per_row;
+        let row_bits = columns;
+        CommandCosts {
+            templates: [
+                DramCommand {
+                    kind: CommandKind::Write,
+                    latency_ns: config.timing.row_write_ns(columns / 8),
+                    energy_nj: config.energy.channel_transfer_nj(row_bits),
+                },
+                DramCommand {
+                    kind: CommandKind::Read,
+                    latency_ns: config.timing.row_read_ns(columns / 8),
+                    energy_nj: config.energy.channel_transfer_nj(row_bits),
+                },
+                DramCommand {
+                    kind: CommandKind::ActivateActivatePrecharge,
+                    latency_ns: config.timing.aap_ns(),
+                    energy_nj: config.energy.aap_nj(false),
+                },
+                DramCommand {
+                    kind: CommandKind::ActivateActivatePrecharge,
+                    latency_ns: config.timing.aap_ns(),
+                    energy_nj: config.energy.aap_nj(true),
+                },
+                DramCommand {
+                    kind: CommandKind::TripleRowActivate,
+                    latency_ns: config.timing.ap_ns(),
+                    energy_nj: config.energy.ap_nj(true),
+                },
+                DramCommand {
+                    kind: CommandKind::ActivatePrecharge,
+                    latency_ns: config.timing.ap_ns(),
+                    energy_nj: config.energy.ap_nj(false),
+                },
+            ],
+        }
+    }
+
+    /// Cost of a conventional full-row `WR` burst over the channel.
+    pub fn write(&self) -> &DramCommand {
+        &self.templates[0]
+    }
+
+    /// Cost of a conventional full-row `RD` burst over the channel.
+    pub fn read(&self) -> &DramCommand {
+        &self.templates[1]
+    }
+
+    /// Cost of a RowClone-FPM copy (`AAP`).
+    pub fn aap(&self) -> &DramCommand {
+        &self.templates[2]
+    }
+
+    /// Cost of an `AAP` whose first activation is a triple-row activation.
+    pub fn aap_tra(&self) -> &DramCommand {
+        &self.templates[3]
+    }
+
+    /// Cost of a triple-row activation (`AP` with a TRA address).
+    pub fn tra(&self) -> &DramCommand {
+        &self.templates[4]
+    }
+
+    /// Cost of a plain single-row `AP`.
+    pub fn ap(&self) -> &DramCommand {
+        &self.templates[5]
+    }
+
+    /// The raw template table, in the subarray's internal cost index order.
+    pub(crate) fn templates(&self) -> &[DramCommand; 6] {
+        &self.templates
+    }
 }
 
 /// A pre-registered cost-table index of a [`CommandTrace`], obtained from
@@ -258,6 +352,40 @@ impl CommandTrace {
         self.total_energy_nj += other.total_energy_nj;
     }
 
+    /// Applies a pre-computed [`TraceAggregate`] in one shot: per-slot counts and the
+    /// latency/energy totals are added with a handful of operations instead of one
+    /// [`CommandTrace::record`] per command.
+    ///
+    /// With `with_history` the aggregate's per-command history is appended (remapped into
+    /// this trace's cost table) so [`CommandTrace::commands`] can still reconstruct it;
+    /// without it the commands are accounted as already-drained history, which keeps the
+    /// fast path free of per-command memory traffic entirely.
+    ///
+    /// When every cost in the aggregate is already registered (bit-identical latency and
+    /// energy, as guaranteed by building both from one [`CommandCosts`]), applying without
+    /// history performs no allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on cost-table overflow, like [`CommandTrace::push`].
+    pub fn apply_aggregate(&mut self, aggregate: &TraceAggregate, with_history: bool) {
+        let mut remap = [0u8; 256];
+        for (i, slot) in aggregate.slots.iter().enumerate() {
+            let idx = self.slot_index(&slot.command());
+            remap[i] = idx;
+            self.slots[idx as usize].count += slot.count;
+        }
+        self.total_latency_ns += aggregate.total_latency_ns;
+        self.total_energy_nj += aggregate.total_energy_nj;
+        if with_history {
+            self.reserve(aggregate.ops.len());
+            self.ops
+                .extend(aggregate.ops.iter().map(|&op| remap[op as usize]));
+        } else {
+            self.drained += aggregate.ops.len();
+        }
+    }
+
     /// Returns a new trace containing only the commands recorded at or after position
     /// `mark` (a value previously obtained from [`CommandTrace::len`]).
     ///
@@ -294,6 +422,78 @@ impl CommandTrace {
         self.drained = 0;
         self.total_latency_ns = 0.0;
         self.total_energy_nj = 0.0;
+    }
+}
+
+/// The accounting of a fixed command sequence, pre-aggregated so it can be charged to a
+/// [`CommandTrace`] in one shot via [`CommandTrace::apply_aggregate`].
+///
+/// An aggregate stores the per-slot counts, the compact per-command history and the
+/// latency/energy totals of the sequence it was built from. The totals are accumulated by
+/// the *same* issue-order repeated addition [`CommandTrace::push`] performs, so a trace
+/// built from an aggregate is bit-identical (including `f64` rounding) to a trace that
+/// recorded the sequence command by command — this is what lets the compiled μProgram
+/// fast path reproduce the interpreted path's accounting exactly.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceAggregate {
+    slots: Vec<CostSlot>,
+    ops: Vec<u8>,
+    total_latency_ns: f64,
+    total_energy_nj: f64,
+}
+
+impl TraceAggregate {
+    /// Builds the aggregate of `commands`, in issue order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on cost-table overflow, like [`CommandTrace::push`].
+    pub fn from_commands(commands: impl IntoIterator<Item = DramCommand>) -> Self {
+        let mut trace = CommandTrace::new();
+        for command in commands {
+            trace.push(command);
+        }
+        TraceAggregate {
+            slots: trace.slots,
+            ops: trace.ops,
+            total_latency_ns: trace.total_latency_ns,
+            total_energy_nj: trace.total_energy_nj,
+        }
+    }
+
+    /// Number of commands in the aggregated sequence.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` if the aggregated sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Sum of the latencies of the aggregated commands (sequential issue), in nanoseconds.
+    pub fn total_latency_ns(&self) -> f64 {
+        self.total_latency_ns
+    }
+
+    /// Sum of the energies of the aggregated commands, in nanojoules.
+    pub fn total_energy_nj(&self) -> f64 {
+        self.total_energy_nj
+    }
+
+    /// Materializes the aggregate as a self-contained [`CommandTrace`], with or without
+    /// the reconstructable per-command history.
+    pub fn to_trace(&self, with_history: bool) -> CommandTrace {
+        let mut trace = CommandTrace::new();
+        trace.apply_aggregate(self, with_history);
+        trace
+    }
+
+    /// Rebuilds `out` (cleared first, retaining its buffers) from this aggregate, for
+    /// callers reusing one local-trace allocation across executions.
+    pub fn write_trace(&self, out: &mut CommandTrace, with_history: bool) {
+        out.clear();
+        out.apply_aggregate(self, with_history);
     }
 }
 
@@ -447,6 +647,70 @@ mod tests {
         assert!(a.is_empty());
         assert_eq!(a.total_energy_nj(), 0.0);
         assert_eq!(a.count(CommandKind::Read), 0);
+    }
+
+    #[test]
+    fn aggregate_matches_per_command_recording_bit_for_bit() {
+        let costs = CommandCosts::new(&DramConfig::tiny());
+        let sequence = vec![
+            costs.aap().clone(),
+            costs.aap_tra().clone(),
+            costs.tra().clone(),
+            costs.aap().clone(),
+            costs.aap().clone(),
+        ];
+        let mut recorded = CommandTrace::new();
+        for c in &sequence {
+            recorded.push(c.clone());
+        }
+        let aggregate = TraceAggregate::from_commands(sequence);
+        assert_eq!(aggregate.len(), 5);
+        let applied = aggregate.to_trace(true);
+        // Bit-identical totals, identical slot layout and history: full equality.
+        assert_eq!(applied, recorded);
+        assert_eq!(
+            applied.total_latency_ns().to_bits(),
+            recorded.total_latency_ns().to_bits()
+        );
+        // Without history the commands count as drained but every aggregate survives.
+        let drained = aggregate.to_trace(false);
+        assert_eq!(drained.len(), 5);
+        assert_eq!(drained.history_len(), 0);
+        assert_eq!(
+            drained.total_energy_nj().to_bits(),
+            recorded.total_energy_nj().to_bits()
+        );
+        assert_eq!(
+            drained.kind_counts().collect::<Vec<_>>(),
+            recorded.kind_counts().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn apply_aggregate_accumulates_onto_existing_traces() {
+        let costs = CommandCosts::new(&DramConfig::tiny());
+        let aggregate =
+            TraceAggregate::from_commands(vec![costs.aap().clone(), costs.tra().clone()]);
+        let mut trace = CommandTrace::new();
+        trace.push(costs.aap().clone());
+        trace.apply_aggregate(&aggregate, true);
+        trace.apply_aggregate(&aggregate, false);
+        assert_eq!(trace.len(), 5);
+        assert_eq!(trace.history_len(), 3);
+        assert_eq!(trace.count(CommandKind::ActivateActivatePrecharge), 3);
+        assert_eq!(trace.count(CommandKind::TripleRowActivate), 2);
+    }
+
+    #[test]
+    fn write_trace_reuses_the_output_buffers() {
+        let costs = CommandCosts::new(&DramConfig::tiny());
+        let aggregate = TraceAggregate::from_commands(vec![costs.aap().clone()]);
+        let mut out = CommandTrace::new();
+        aggregate.write_trace(&mut out, true);
+        aggregate.write_trace(&mut out, true);
+        // Rebuilt from scratch each time, not accumulated.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.history_len(), 1);
     }
 
     #[test]

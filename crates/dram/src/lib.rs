@@ -44,6 +44,7 @@ mod config;
 mod device;
 mod error;
 mod rowclone;
+mod rowops;
 mod subarray;
 
 pub mod energy;
@@ -53,11 +54,14 @@ pub mod variation;
 
 pub use bank::Bank;
 pub use bitrow::BitRow;
-pub use command::{CommandKind, CommandTrace, DramCommand, TraceSlot};
+pub use command::{
+    CommandCosts, CommandKind, CommandTrace, DramCommand, TraceAggregate, TraceSlot,
+};
 pub use config::{DramConfig, DramConfigBuilder};
 pub use device::DramDevice;
 pub use energy::EnergyModel;
 pub use error::{DramError, Result};
 pub use rowclone::{CopyMechanism, InterSubarrayCopy};
+pub use rowops::{RowOp, RowOpBlock, RowRef, SrcRef, WriteRef};
 pub use subarray::{BGroupRow, RowAddr, Subarray};
 pub use timing::DramTiming;

@@ -1,0 +1,363 @@
+//! Pre-resolved word-level row operations: the execution format of compiled μPrograms.
+//!
+//! The interpreted μProgram path re-resolves every symbolic row, re-validates bounds and
+//! records one trace entry per command. A [`RowOpBlock`] is the result of doing all of
+//! that work **once**, ahead of time: each operation names its physical storage directly
+//! (a `(region, offset)` pair for data rows, a fixed index for B-group rows), the block
+//! carries the per-region row extents so the executing subarray can bounds-check the
+//! whole program in one pass, and the trace accounting is pre-aggregated into a
+//! [`TraceAggregate`] applied in one shot.
+//!
+//! Data rows are addressed relative to a small set of *regions* whose base rows the
+//! caller supplies at [`crate::Subarray::apply_block`] time. This keeps a block reusable
+//! across row bindings: the μProgram compiler lowers symbolic operand/output/temporary
+//! rows to region-relative references, and one compiled block serves every subarray and
+//! every binding of the same program.
+
+use crate::command::TraceAggregate;
+use crate::error::{DramError, Result};
+use crate::subarray::BGroupRow;
+
+/// A pre-resolved reference to a row's physical storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowRef {
+    /// Data row `bases[region] + offset`, where `bases` is supplied at apply time.
+    Data {
+        /// Index into the caller's region base table.
+        region: u8,
+        /// Row offset within the region.
+        offset: u32,
+    },
+    /// Designated TRA row `T0`–`T3`.
+    T(u8),
+    /// Dual-contact cell storage `DCC0`/`DCC1` (the true cell, not a wordline).
+    Dcc(u8),
+}
+
+/// A write destination: a physical row plus whether the value is driven through a negated
+/// wordline (storing the complement, as the dual-contact cells' `N` wordlines do).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteRef {
+    /// The row written.
+    pub row: RowRef,
+    /// `true` when the write drives the complement into the cell.
+    pub negated: bool,
+}
+
+/// A read operand of a [`RowOp::MajDirect`]: a physical row (optionally read through a
+/// negated wordline) or a hard-wired constant.
+///
+/// The μProgram compiler's copy-propagation pass resolves TRA operands through the
+/// elided copies that would have staged them into the B-group, so a majority can read
+/// any row the staging copy read — including data rows — directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SrcRef {
+    /// A physical row, complemented when `negated`.
+    Row {
+        /// The row read.
+        row: RowRef,
+        /// `true` when the read drives the complement (a negated wordline).
+        negated: bool,
+    },
+    /// A hard-wired constant (C0/C1 or an elided constant fill).
+    Const(bool),
+}
+
+/// One pre-resolved word-level row operation.
+///
+/// Each variant is the specialized form of one DRAM command's data movement, with every
+/// address decision (negated wordlines, constant rows, same-cell copies, the fused-TRA
+/// eligibility test) already taken at compile time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowOp {
+    /// Word-level copy `dst ← src` (an `AAP` between distinct rows).
+    Copy {
+        /// Source row.
+        src: RowRef,
+        /// Destination row.
+        dst: RowRef,
+    },
+    /// Word-level complemented copy `dst ← ¬src` (an `AAP` through exactly one negated
+    /// wordline).
+    CopyInv {
+        /// Source row.
+        src: RowRef,
+        /// Destination row.
+        dst: RowRef,
+    },
+    /// Fill `dst` with a constant (an `AAP` whose source is a hard-wired control row).
+    Fill {
+        /// Destination row.
+        dst: RowRef,
+        /// The driven value.
+        value: bool,
+    },
+    /// In-place complement of `dst` (an `AAP` between the two wordlines of one
+    /// dual-contact cell).
+    Invert {
+        /// The row complemented.
+        dst: RowRef,
+    },
+    /// An `AAP` that moves no data (same cell driven through wordlines of one polarity).
+    Nop,
+    /// Fused triple-row majority over three distinct plain `T` rows, restored into the
+    /// operands and optionally copied into a data row — the fast path the μProgram
+    /// generator's TRAs overwhelmingly take.
+    MajFused {
+        /// The three distinct `T`-row indices.
+        t: [u8; 3],
+        /// Optional destination data row (the `AAP` variant of the TRA).
+        dst: Option<RowRef>,
+    },
+    /// General triple-row majority over arbitrary distinct B-group rows (negated
+    /// wordlines and constant rows permitted), with an optional extra destination.
+    Maj {
+        /// First activated row.
+        a: BGroupRow,
+        /// Second activated row.
+        b: BGroupRow,
+        /// Third activated row.
+        c: BGroupRow,
+        /// Optional destination (the `AAP` variant of the TRA).
+        dst: Option<WriteRef>,
+    },
+    /// Copy-propagated triple-row majority: the operands read their *original* sources
+    /// (any rows or constants — the staging copies into the B-group were elided by the
+    /// compiler) and the result is written to at most one destination; the B-group
+    /// restorations the hardware performs are deferred to the block's final
+    /// materialization ops. Operands may alias (`maj(x, x, y) = x`).
+    MajDirect {
+        /// The three resolved operands.
+        srcs: [SrcRef; 3],
+        /// Optional destination of the majority value.
+        dst: Option<WriteRef>,
+    },
+}
+
+impl RowOp {
+    /// Every row reference this operation touches, for validation.
+    fn row_refs(&self) -> impl Iterator<Item = RowRef> {
+        let src_row = |s: SrcRef| match s {
+            SrcRef::Row { row, .. } => Some(row),
+            SrcRef::Const(_) => None,
+        };
+        let refs: [Option<RowRef>; 4] = match *self {
+            RowOp::Copy { src, dst } | RowOp::CopyInv { src, dst } => {
+                [Some(src), Some(dst), None, None]
+            }
+            RowOp::Fill { dst, .. } | RowOp::Invert { dst } => [Some(dst), None, None, None],
+            RowOp::Nop => [None; 4],
+            RowOp::MajFused { dst, .. } => [dst, None, None, None],
+            RowOp::Maj { dst, .. } => [dst.map(|w| w.row), None, None, None],
+            RowOp::MajDirect { srcs, dst } => [
+                src_row(srcs[0]),
+                src_row(srcs[1]),
+                src_row(srcs[2]),
+                dst.map(|w| w.row),
+            ],
+        };
+        refs.into_iter().flatten()
+    }
+}
+
+/// A compiled, binding-independent sequence of [`RowOp`]s plus its pre-aggregated trace
+/// accounting.
+///
+/// Blocks are validated at construction (see [`RowOpBlock::new`]); applying one via
+/// [`crate::Subarray::apply_block`] then only needs a single per-region bounds check
+/// before running the specialized word-level loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowOpBlock {
+    ops: Vec<RowOp>,
+    /// Per-region row extent: `extents[r]` rows starting at `bases[r]` are touched.
+    region_extents: Vec<u32>,
+    aggregate: TraceAggregate,
+}
+
+impl RowOpBlock {
+    /// Builds a block over `regions` data-row regions, validating every operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::InvalidConfig`] if an operation references a region `>=
+    /// regions`, an out-of-range `T`/`DCC` index, or a `MajFused` destination that is not
+    /// a data row, if the fused `T` indices are not distinct, or if the aggregate
+    /// accounts fewer commands than there are operations (copy propagation only ever
+    /// *removes* data movement, so a block never has more ops than the command sequence
+    /// it was compiled from). Returns [`DramError::DuplicateTraRow`] for a `Maj` over
+    /// non-distinct rows.
+    pub fn new(ops: Vec<RowOp>, regions: usize, aggregate: TraceAggregate) -> Result<Self> {
+        if aggregate.len() < ops.len() {
+            return Err(DramError::InvalidConfig(format!(
+                "row-op block has {} ops but its aggregate accounts only {} commands",
+                ops.len(),
+                aggregate.len()
+            )));
+        }
+        let mut region_extents = vec![0u32; regions];
+        for op in &ops {
+            for row in op.row_refs() {
+                match row {
+                    RowRef::Data { region, offset } => {
+                        let extent = region_extents.get_mut(region as usize).ok_or_else(|| {
+                            DramError::InvalidConfig(format!(
+                                "row-op references region {region} of a {regions}-region block"
+                            ))
+                        })?;
+                        *extent = (*extent).max(offset + 1);
+                    }
+                    RowRef::T(i) if i >= 4 => {
+                        return Err(DramError::InvalidConfig(format!(
+                            "row-op references T{i}; the B-group has T0..=T3"
+                        )))
+                    }
+                    RowRef::Dcc(i) if i >= 2 => {
+                        return Err(DramError::InvalidConfig(format!(
+                            "row-op references DCC{i}; the B-group has DCC0/DCC1"
+                        )))
+                    }
+                    RowRef::T(_) | RowRef::Dcc(_) => {}
+                }
+            }
+            match *op {
+                RowOp::MajFused { t, dst } => {
+                    if t[0] == t[1] || t[1] == t[2] || t[0] == t[2] {
+                        return Err(DramError::DuplicateTraRow);
+                    }
+                    if let Some(i) = t.iter().find(|&&i| i >= 4) {
+                        return Err(DramError::InvalidConfig(format!(
+                            "fused TRA references T{i}; the B-group has T0..=T3"
+                        )));
+                    }
+                    if !matches!(dst, None | Some(RowRef::Data { .. })) {
+                        return Err(DramError::InvalidConfig(
+                            "fused TRA destinations must be data rows".into(),
+                        ));
+                    }
+                }
+                RowOp::Maj { a, b, c, .. } if a == b || b == c || a == c => {
+                    return Err(DramError::DuplicateTraRow);
+                }
+                _ => {}
+            }
+        }
+        Ok(RowOpBlock {
+            ops,
+            region_extents,
+            aggregate,
+        })
+    }
+
+    /// The operations, in issue order.
+    pub fn ops(&self) -> &[RowOp] {
+        &self.ops
+    }
+
+    /// Number of data-row regions the block addresses.
+    pub fn regions(&self) -> usize {
+        self.region_extents.len()
+    }
+
+    /// Per-region row extents: region `r` touches rows `bases[r] .. bases[r] +
+    /// extents[r]`.
+    pub fn region_extents(&self) -> &[u32] {
+        &self.region_extents
+    }
+
+    /// The pre-aggregated trace accounting of one application of the block.
+    pub fn aggregate(&self) -> &TraceAggregate {
+        &self.aggregate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::{CommandCosts, DramCommand};
+    use crate::config::DramConfig;
+
+    fn aggregate_of(n: usize) -> TraceAggregate {
+        let costs = CommandCosts::new(&DramConfig::tiny());
+        TraceAggregate::from_commands(
+            std::iter::repeat_with(|| costs.aap().clone())
+                .take(n)
+                .collect::<Vec<DramCommand>>(),
+        )
+    }
+
+    fn data(region: u8, offset: u32) -> RowRef {
+        RowRef::Data { region, offset }
+    }
+
+    #[test]
+    fn block_computes_region_extents() {
+        let ops = vec![
+            RowOp::Copy {
+                src: data(0, 3),
+                dst: RowRef::T(0),
+            },
+            RowOp::Copy {
+                src: data(0, 1),
+                dst: data(1, 7),
+            },
+        ];
+        let block = RowOpBlock::new(ops, 3, aggregate_of(2)).unwrap();
+        assert_eq!(block.region_extents(), &[4, 8, 0]);
+        assert_eq!(block.regions(), 3);
+        assert_eq!(block.ops().len(), 2);
+    }
+
+    #[test]
+    fn block_rejects_bad_references() {
+        assert!(
+            RowOpBlock::new(vec![RowOp::Invert { dst: data(5, 0) }], 2, aggregate_of(1)).is_err()
+        );
+        assert!(RowOpBlock::new(
+            vec![RowOp::Copy {
+                src: RowRef::T(4),
+                dst: data(0, 0)
+            }],
+            1,
+            aggregate_of(1)
+        )
+        .is_err());
+        assert_eq!(
+            RowOpBlock::new(
+                vec![RowOp::MajFused {
+                    t: [0, 0, 1],
+                    dst: None
+                }],
+                1,
+                aggregate_of(1)
+            ),
+            Err(DramError::DuplicateTraRow)
+        );
+        // The aggregate may account more commands than there are ops (copy propagation
+        // elides data movement) but never fewer.
+        assert!(RowOpBlock::new(vec![RowOp::Nop], 1, aggregate_of(2)).is_ok());
+        assert!(RowOpBlock::new(vec![RowOp::Nop, RowOp::Nop], 1, aggregate_of(1)).is_err());
+    }
+
+    #[test]
+    fn maj_direct_sources_contribute_to_extents_and_may_alias() {
+        let ops = vec![RowOp::MajDirect {
+            srcs: [
+                SrcRef::Row {
+                    row: data(0, 9),
+                    negated: true,
+                },
+                SrcRef::Row {
+                    row: data(0, 9),
+                    negated: false,
+                },
+                SrcRef::Const(true),
+            ],
+            dst: Some(WriteRef {
+                row: data(1, 2),
+                negated: false,
+            }),
+        }];
+        let block = RowOpBlock::new(ops, 2, aggregate_of(1)).unwrap();
+        assert_eq!(block.region_extents(), &[10, 3]);
+    }
+}

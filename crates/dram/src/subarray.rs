@@ -21,9 +21,10 @@
 //! table. μProgram command counts are unaffected.
 
 use crate::bitrow::BitRow;
-use crate::command::{CommandKind, CommandTrace, DramCommand, TraceSlot};
+use crate::command::{CommandCosts, CommandTrace, DramCommand, TraceSlot};
 use crate::config::DramConfig;
 use crate::error::{DramError, Result};
+use crate::rowops::{RowOp, RowOpBlock, RowRef, SrcRef, WriteRef};
 
 /// Rows of the B-group (compute rows) of a subarray.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -127,40 +128,9 @@ impl Subarray {
     /// zeroed.
     pub fn new(config: &DramConfig) -> Self {
         let columns = config.columns_per_row;
-        let row_bits = columns;
-        // Index order must match the `Cost` enum.
-        let costs = [
-            DramCommand {
-                kind: CommandKind::Write,
-                latency_ns: config.timing.row_write_ns(columns / 8),
-                energy_nj: config.energy.channel_transfer_nj(row_bits),
-            },
-            DramCommand {
-                kind: CommandKind::Read,
-                latency_ns: config.timing.row_read_ns(columns / 8),
-                energy_nj: config.energy.channel_transfer_nj(row_bits),
-            },
-            DramCommand {
-                kind: CommandKind::ActivateActivatePrecharge,
-                latency_ns: config.timing.aap_ns(),
-                energy_nj: config.energy.aap_nj(false),
-            },
-            DramCommand {
-                kind: CommandKind::ActivateActivatePrecharge,
-                latency_ns: config.timing.aap_ns(),
-                energy_nj: config.energy.aap_nj(true),
-            },
-            DramCommand {
-                kind: CommandKind::TripleRowActivate,
-                latency_ns: config.timing.ap_ns(),
-                energy_nj: config.energy.ap_nj(true),
-            },
-            DramCommand {
-                kind: CommandKind::ActivatePrecharge,
-                latency_ns: config.timing.ap_ns(),
-                energy_nj: config.energy.ap_nj(false),
-            },
-        ];
+        // Single-sourced from `CommandCosts` so compiled-program aggregates built from the
+        // same config charge bit-identical costs; index order matches the `Cost` enum.
+        let costs = CommandCosts::new(config).templates().clone();
         let mut trace = CommandTrace::new();
         let slots = costs.clone().map(|c| trace.register(c));
         Subarray {
@@ -645,7 +615,14 @@ impl Subarray {
             // error/ordering behaviour.
             Some(_) => return false,
         };
-        let mut idx = [i, j, k];
+        self.fused_tra([i, j, k], dst_row);
+        true
+    }
+
+    /// The fused-TRA word-level kernel shared by [`Subarray::try_tra_fused`] and the
+    /// compiled row-op path: majority of three distinct plain `T` rows restored into the
+    /// operands, the sense row and an optional pre-validated data row.
+    fn fused_tra(&mut self, mut idx: [usize; 3], dst_row: Option<usize>) {
         idx.sort_unstable(); // majority and restore are operand-order independent
         let Subarray { rows, t, sense, .. } = self;
         let (lo, rest) = t.split_at_mut(idx[1]);
@@ -663,7 +640,6 @@ impl Subarray {
                 .copy_from(sense)
                 .expect("subarray rows share one width");
         }
-        true
     }
 
     /// Latches the value driven by `addr` into the sense-amplifier row (the first
@@ -781,6 +757,195 @@ impl Subarray {
         }
         Ok(())
     }
+
+    /// Applies a compiled [`RowOpBlock`] — the fast path of compiled μProgram execution.
+    ///
+    /// `bases` supplies the base data row of each region the block addresses; the block's
+    /// per-region extents are bounds-checked once up front, after which the specialized
+    /// word-level loop runs with no per-command address resolution or trace recording.
+    /// The block's pre-aggregated accounting is charged to the cumulative trace in one
+    /// shot at the end; `with_history` additionally appends the per-command history so
+    /// sampled subarrays keep full reconstructable traces.
+    ///
+    /// Applying a block compiled from a μProgram leaves the subarray's rows in exactly
+    /// the state the interpreted command sequence produces, and self-contained traces
+    /// built from the block's aggregate match interpreted local traces to the last bit
+    /// (see [`crate::TraceAggregate`]).
+    ///
+    /// After warmup (trace cost table registered, history capacity reserved), applying a
+    /// block without history performs no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::InvalidConfig`] if `bases` has fewer entries than the block
+    /// has regions, and [`DramError::RowOutOfRange`] if a region's rows fall outside the
+    /// subarray. On error nothing is executed and no cost is charged.
+    pub fn apply_block(
+        &mut self,
+        block: &RowOpBlock,
+        bases: &[usize],
+        with_history: bool,
+    ) -> Result<()> {
+        if bases.len() < block.regions() {
+            return Err(DramError::InvalidConfig(format!(
+                "{} region bases supplied for a {}-region block",
+                bases.len(),
+                block.regions()
+            )));
+        }
+        let rows = self.rows.len();
+        for (region, &extent) in block.region_extents().iter().enumerate() {
+            let extent = extent as usize;
+            if extent > 0 && bases[region] + extent > rows {
+                return Err(DramError::RowOutOfRange {
+                    row: bases[region] + extent - 1,
+                    rows,
+                });
+            }
+        }
+        for op in block.ops() {
+            match *op {
+                RowOp::Copy { src, dst } => {
+                    let (s, d) = (row_ref_phys(src, bases), row_ref_phys(dst, bases));
+                    // Degenerate same-cell case (only reachable through overlapping
+                    // region bases): restoring a row onto itself moves no data, exactly
+                    // like the interpreted drive.
+                    if s != d {
+                        let (s, d) = self.phys_pair_mut(s, d);
+                        d.copy_from(s).expect("subarray rows share one width");
+                    }
+                }
+                RowOp::CopyInv { src, dst } => {
+                    let (s, d) = (row_ref_phys(src, bases), row_ref_phys(dst, bases));
+                    if s == d {
+                        self.phys_mut(d).invert();
+                    } else {
+                        let (s, d) = self.phys_pair_mut(s, d);
+                        s.not_into(d).expect("subarray rows share one width");
+                    }
+                }
+                RowOp::Fill { dst, value } => self.phys_mut(row_ref_phys(dst, bases)).fill(value),
+                RowOp::Invert { dst } => self.phys_mut(row_ref_phys(dst, bases)).invert(),
+                RowOp::Nop => {}
+                RowOp::MajFused { t, dst } => {
+                    let dst_row = dst.map(|d| match row_ref_phys(d, bases) {
+                        Phys::Data(r) => r,
+                        _ => unreachable!("block validation restricts fused TRA dst to data rows"),
+                    });
+                    self.fused_tra([t[0] as usize, t[1] as usize, t[2] as usize], dst_row);
+                }
+                RowOp::Maj { a, b, c, dst } => {
+                    self.tra_into_sense(a, b, c);
+                    self.restore_tra_rows(a, b, c)
+                        .expect("non-control B-group rows are always restorable");
+                    if let Some(w) = dst {
+                        match row_ref_phys(w.row, bases) {
+                            Phys::Data(r) => {
+                                if w.negated {
+                                    self.sense.not_into(&mut self.rows[r])
+                                } else {
+                                    self.rows[r].copy_from(&self.sense)
+                                }
+                            }
+                            Phys::T(i) => {
+                                if w.negated {
+                                    self.sense.not_into(&mut self.t[i])
+                                } else {
+                                    self.t[i].copy_from(&self.sense)
+                                }
+                            }
+                            Phys::Dcc(i) => {
+                                if w.negated {
+                                    self.sense.not_into(&mut self.dcc[i])
+                                } else {
+                                    self.dcc[i].copy_from(&self.sense)
+                                }
+                            }
+                            Phys::Const(_) => {
+                                unreachable!("RowRef has no constant-row variant")
+                            }
+                        }
+                        .expect("subarray rows share one width");
+                    }
+                }
+                RowOp::MajDirect { srcs, dst } => {
+                    // Each operand resolves to its stored words plus a complement
+                    // mask (negated wordlines XOR with all-ones), exactly like the
+                    // interpreted TRA resolve — one tight pass computes the
+                    // (optionally complemented) majority into the sense row.
+                    let Subarray {
+                        rows,
+                        t,
+                        dcc,
+                        c0,
+                        c1,
+                        sense,
+                        ..
+                    } = &mut *self;
+                    let resolve = |s: SrcRef| -> (&[u64], u64) {
+                        match s {
+                            SrcRef::Row { row, negated } => {
+                                let words = match row_ref_phys(row, bases) {
+                                    Phys::Data(r) => rows[r].words(),
+                                    Phys::T(i) => t[i].words(),
+                                    Phys::Dcc(i) => dcc[i].words(),
+                                    Phys::Const(_) => {
+                                        unreachable!("RowRef has no constant-row variant")
+                                    }
+                                };
+                                (words, if negated { u64::MAX } else { 0 })
+                            }
+                            SrcRef::Const(false) => (c0.words(), 0),
+                            SrcRef::Const(true) => (c1.words(), 0),
+                        }
+                    };
+                    let (wa, xa) = resolve(srcs[0]);
+                    let (wb, xb) = resolve(srcs[1]);
+                    let (wc, xc) = resolve(srcs[2]);
+                    // A negated destination wordline complements the stored value —
+                    // folded into the same pass.
+                    let xd = match dst {
+                        Some(WriteRef { negated: true, .. }) => u64::MAX,
+                        _ => 0,
+                    };
+                    let out = sense.words_mut();
+                    let n = out.len();
+                    let (wa, wb, wc) = (&wa[..n], &wb[..n], &wc[..n]);
+                    for (i, w) in out.iter_mut().enumerate() {
+                        let (x, y, z) = (wa[i] ^ xa, wb[i] ^ xb, wc[i] ^ xc);
+                        *w = ((x & y) | (y & z) | (x & z)) ^ xd;
+                    }
+                    sense.normalize();
+                    if let Some(w) = dst {
+                        // The sense row is not architecturally observable and no source
+                        // ever names it, so "restoring" it into the destination cell is
+                        // a constant-time row swap rather than a word copy.
+                        let target = match row_ref_phys(w.row, bases) {
+                            Phys::Data(r) => &mut rows[r],
+                            Phys::T(i) => &mut t[i],
+                            Phys::Dcc(i) => &mut dcc[i],
+                            Phys::Const(_) => {
+                                unreachable!("RowRef has no constant-row variant")
+                            }
+                        };
+                        core::mem::swap(sense, target);
+                    }
+                }
+            }
+        }
+        self.row_open = false;
+        self.trace.apply_aggregate(block.aggregate(), with_history);
+        Ok(())
+    }
+}
+
+/// Resolves a pre-compiled row reference against the caller's region base table.
+fn row_ref_phys(row: RowRef, bases: &[usize]) -> Phys {
+    match row {
+        RowRef::Data { region, offset } => Phys::Data(bases[region as usize] + offset as usize),
+        RowRef::T(i) => Phys::T(i as usize),
+        RowRef::Dcc(i) => Phys::Dcc(i as usize),
+    }
 }
 
 /// The physical storage backing a row address.
@@ -826,6 +991,7 @@ fn split_pair(rows: &mut [BitRow], i: usize, j: usize) -> (&BitRow, &mut BitRow)
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::command::CommandKind;
 
     fn small_subarray() -> Subarray {
         Subarray::new(&DramConfig::tiny())
@@ -996,6 +1162,97 @@ mod tests {
         assert!(sa
             .poke(RowAddr::BGroup(BGroupRow::C0), &BitRow::zeros(256))
             .is_err());
+    }
+
+    #[test]
+    fn apply_block_matches_the_interpreted_command_sequence() {
+        use crate::command::CommandCosts;
+        use crate::rowops::{RowOp, RowOpBlock, RowRef};
+        use crate::TraceAggregate;
+
+        let config = DramConfig::tiny();
+        let costs = CommandCosts::new(&config);
+        // MAJ(r0, r1, r2) → r3 as a compiled block: three staging copies plus a fused
+        // AAP-TRA, addressed relative to one data region based at row 0.
+        let data = |offset: u32| RowRef::Data { region: 0, offset };
+        let ops = vec![
+            RowOp::Copy {
+                src: data(0),
+                dst: RowRef::T(0),
+            },
+            RowOp::Copy {
+                src: data(1),
+                dst: RowRef::T(1),
+            },
+            RowOp::Copy {
+                src: data(2),
+                dst: RowRef::T(2),
+            },
+            RowOp::MajFused {
+                t: [0, 1, 2],
+                dst: Some(data(3)),
+            },
+        ];
+        let aggregate = TraceAggregate::from_commands(vec![
+            costs.aap().clone(),
+            costs.aap().clone(),
+            costs.aap().clone(),
+            costs.aap_tra().clone(),
+        ]);
+        let block = RowOpBlock::new(ops, 1, aggregate).unwrap();
+
+        let mut interpreted = Subarray::new(&config);
+        let mut compiled = Subarray::new(&config);
+        for sa in [&mut interpreted, &mut compiled] {
+            sa.write_row(0, &BitRow::splat_word(0b1100, 256));
+            sa.write_row(1, &BitRow::splat_word(0b1010, 256));
+            sa.write_row(2, &BitRow::splat_word(0b0110, 256));
+        }
+        interpreted
+            .maj_rows(
+                RowAddr::Data(0),
+                RowAddr::Data(1),
+                RowAddr::Data(2),
+                RowAddr::Data(3),
+            )
+            .unwrap();
+        compiled.apply_block(&block, &[0], true).unwrap();
+
+        for row in 0..4 {
+            assert_eq!(
+                interpreted.peek(RowAddr::Data(row)).unwrap(),
+                compiled.peek(RowAddr::Data(row)).unwrap()
+            );
+        }
+        for b in BGroupRow::ALL {
+            assert_eq!(
+                interpreted.peek(RowAddr::BGroup(b)).unwrap(),
+                compiled.peek(RowAddr::BGroup(b)).unwrap()
+            );
+        }
+        // Same length, per-kind counts and bit-identical totals; with history applied,
+        // the reconstructed command sequences match too.
+        assert_eq!(compiled.trace().len(), interpreted.trace().len());
+        assert_eq!(
+            compiled.trace().kind_counts().collect::<Vec<_>>(),
+            interpreted.trace().kind_counts().collect::<Vec<_>>()
+        );
+        let since_writes = |sa: &Subarray| sa.trace().since(3);
+        assert_eq!(since_writes(&compiled), since_writes(&interpreted));
+        // Without history, aggregates still accrue but nothing is reconstructable.
+        let mut drained = Subarray::new(&config);
+        drained.apply_block(&block, &[0], false).unwrap();
+        assert_eq!(drained.trace().len(), 4);
+        assert_eq!(drained.trace().history_len(), 0);
+
+        // Region bounds are checked up front: a base pushing the extent past the last
+        // row fails without executing anything.
+        let rows = compiled.rows();
+        assert!(matches!(
+            compiled.apply_block(&block, &[rows - 2], false),
+            Err(DramError::RowOutOfRange { .. })
+        ));
+        assert!(compiled.apply_block(&block, &[], false).is_err());
     }
 
     #[test]

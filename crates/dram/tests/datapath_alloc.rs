@@ -8,7 +8,10 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use simdram_dram::{BGroupRow, BitRow, DramConfig, RowAddr, Subarray};
+use simdram_dram::{
+    BGroupRow, BitRow, CommandCosts, DramConfig, RowAddr, RowOp, RowOpBlock, RowRef, Subarray,
+    TraceAggregate, WriteRef,
+};
 
 struct CountingAllocator;
 
@@ -141,4 +144,97 @@ fn per_command_datapath_never_allocates() {
 
     // The commands above really did record into the trace.
     assert_eq!(sa.trace().history_len(), commands.len() * ROUNDS);
+
+    // Same invariant for the compiled row-op path: applying a pre-compiled block —
+    // every operation shape, both trace modes — must not allocate once the block exists
+    // and trace capacity is reserved (compilation itself may allocate, once).
+    let costs = CommandCosts::new(&config);
+    let data = |offset: u32| RowRef::Data { region: 0, offset };
+    let block_ops = vec![
+        RowOp::Copy {
+            src: data(0),
+            dst: RowRef::T(0),
+        },
+        RowOp::Copy {
+            src: data(1),
+            dst: RowRef::T(1),
+        },
+        RowOp::Copy {
+            src: data(0),
+            dst: RowRef::T(2),
+        },
+        RowOp::CopyInv {
+            src: data(0),
+            dst: RowRef::Dcc(0),
+        },
+        RowOp::Fill {
+            dst: data(3),
+            value: true,
+        },
+        RowOp::Invert {
+            dst: RowRef::Dcc(0),
+        },
+        RowOp::Nop,
+        RowOp::MajFused {
+            t: [0, 1, 2],
+            dst: None,
+        },
+        RowOp::MajFused {
+            t: [0, 1, 2],
+            dst: Some(data(4)),
+        },
+        RowOp::Maj {
+            a: BGroupRow::T0,
+            b: BGroupRow::Dcc0N,
+            c: BGroupRow::C1,
+            dst: Some(WriteRef {
+                row: RowRef::Dcc(1),
+                negated: false,
+            }),
+        },
+        RowOp::Maj {
+            a: BGroupRow::T1,
+            b: BGroupRow::T2,
+            c: BGroupRow::C0,
+            dst: Some(WriteRef {
+                row: data(5),
+                negated: true,
+            }),
+        },
+        RowOp::Copy {
+            src: RowRef::T(0),
+            dst: data(6),
+        },
+    ];
+    let aggregate = TraceAggregate::from_commands(block_ops.iter().map(|op| match op {
+        RowOp::MajFused { dst: None, .. } => costs.tra().clone(),
+        RowOp::MajFused { dst: Some(_), .. } | RowOp::Maj { .. } => costs.aap_tra().clone(),
+        _ => costs.aap().clone(),
+    }));
+    let block = RowOpBlock::new(block_ops, 1, aggregate).unwrap();
+    let block_len = block.ops().len();
+    sa.apply_block(&block, &[0], true).unwrap(); // warm both history modes
+    sa.apply_block(&block, &[0], false).unwrap();
+
+    let mut best = usize::MAX;
+    for _ in 0..ATTEMPTS {
+        sa.drain_trace();
+        sa.reserve_trace(block_len * ROUNDS);
+        let before = ALLOC_CALLS.load(Ordering::SeqCst);
+        for round in 0..ROUNDS {
+            sa.apply_block(&block, &[0], round % 2 == 0).unwrap();
+        }
+        best = best.min(ALLOC_CALLS.load(Ordering::SeqCst) - before);
+        if best == 0 {
+            break;
+        }
+    }
+    assert_eq!(
+        best, 0,
+        "applying a compiled row-op block must not allocate (best attempt saw {best} \
+         allocations across {} applications)",
+        ROUNDS
+    );
+    // History was kept exactly for the sampled (with_history) applications.
+    assert_eq!(sa.trace().history_len(), block_len * ROUNDS / 2);
 }

@@ -1,0 +1,87 @@
+//! Compiled-vs-interpreted μProgram execution: the per-broadcast datapath comparison.
+//!
+//! Run with `cargo bench -p simdram-uprog --bench compiled_exec`.
+//!
+//! Each benchmark executes one whole μProgram in one subarray — the unit of work a
+//! broadcast fans out per chunk — so the numbers are directly the per-chunk cost the
+//! machine's `FunctionalMode` chooses between:
+//!
+//! * `interpreted/*` — [`simdram_uprog::execute`]: per-μOp symbolic resolve, bounds
+//!   checks, fused-TRA eligibility test and per-command trace recording;
+//! * `compiled/*` — [`CompiledProgram::execute_in`] with `with_history = false`: one
+//!   binding check, a pre-resolved word-level row-op loop and a single aggregate charge
+//!   (the fast-functional default);
+//! * `compiled_history/*` — the same kernel with per-command history retained (the
+//!   trace-sampling mode), isolating the cost of keeping history from the cost of
+//!   interpretation.
+//!
+//! The README's "Simulator performance" section records the measured before/after table.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use simdram_dram::{CommandCosts, DramConfig, Subarray};
+use simdram_logic::Operation;
+use simdram_uprog::{
+    build_program, execute, CodegenOptions, CompiledProgram, MicroProgram, RowBinding, Target,
+};
+
+fn binding() -> RowBinding {
+    RowBinding {
+        a_base: 0,
+        b_base: 16,
+        pred_row: 32,
+        out_base: 33,
+        temp_base: 100,
+    }
+}
+
+fn bench_case(c: &mut Criterion, name: &str, program: &MicroProgram) {
+    let config = DramConfig::default();
+    let costs = CommandCosts::new(&config);
+    let compiled = CompiledProgram::compile(program, &costs).unwrap();
+    let binding = binding();
+    let commands = program.command_count() as u64;
+
+    let mut group = c.benchmark_group(format!("compiled_exec/{name}"));
+    group.throughput(Throughput::Elements(commands));
+
+    let mut sa = Subarray::new(&config);
+    group.bench_function("interpreted", |b| {
+        b.iter(|| {
+            let trace = execute(program, &mut sa, &binding).unwrap();
+            sa.drain_trace();
+            trace
+        })
+    });
+
+    let mut sa = Subarray::new(&config);
+    group.bench_function("compiled", |b| {
+        b.iter(|| {
+            compiled.execute_in(&mut sa, &binding, false).unwrap();
+            sa.drain_trace();
+        })
+    });
+
+    let mut sa = Subarray::new(&config);
+    group.bench_function("compiled_history", |b| {
+        b.iter(|| {
+            compiled.execute_in(&mut sa, &binding, true).unwrap();
+            sa.drain_trace();
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_compiled_exec(c: &mut Criterion) {
+    for (name, op, width) in [
+        ("add16", Operation::Add, 16),
+        ("mul8", Operation::Mul, 8),
+        ("and_red16", Operation::AndRed, 16),
+    ] {
+        let program = build_program(Target::Simdram, op, width, CodegenOptions::optimized());
+        bench_case(c, name, &program);
+    }
+}
+
+criterion_group!(benches, bench_compiled_exec);
+criterion_main!(benches);

@@ -21,6 +21,9 @@ const _: () = {
     assert_send::<CommandTrace>();
     assert_sync::<MicroProgram>();
     assert_sync::<RowBinding>();
+    // Compiled kernels are shared across broadcast threads via `Arc`.
+    assert_send::<crate::CompiledProgram>();
+    assert_sync::<crate::CompiledProgram>();
 };
 
 /// Checks that `binding` places every row the μProgram touches inside the subarray and that
@@ -34,24 +37,51 @@ pub fn validate_binding(
     binding: &RowBinding,
     subarray_rows: usize,
 ) -> Result<()> {
-    let width = program.width();
-    let out_width = program.operation().output_width(width);
-    let uses_b = program.operation().uses_second_operand();
-    let uses_pred = program.operation().uses_predicate();
+    check_binding_regions(
+        program.width(),
+        program.operation().output_width(program.width()),
+        program.temp_rows(),
+        program.operation().uses_second_operand(),
+        program.operation().uses_predicate(),
+        binding,
+        subarray_rows,
+    )
+}
 
-    let mut regions: Vec<(&str, usize, usize)> = vec![
+/// The region-shape core of [`validate_binding`], shared with
+/// [`crate::CompiledProgram::validate_binding`] so both execution paths enforce — and
+/// report — identical constraints. Allocation-free: the region table lives on the stack,
+/// keeping the compiled fast path's per-run validation heap-silent.
+pub(crate) fn check_binding_regions(
+    width: usize,
+    out_width: usize,
+    temp_rows: usize,
+    uses_b: bool,
+    uses_pred: bool,
+    binding: &RowBinding,
+    subarray_rows: usize,
+) -> Result<()> {
+    let mut regions = [("", 0usize, 0usize); 5];
+    let mut used = 0;
+    for region in [
         ("operand A", binding.a_base, width),
         ("destination", binding.out_base, out_width),
-        ("temporaries", binding.temp_base, program.temp_rows()),
-    ];
+        ("temporaries", binding.temp_base, temp_rows),
+    ] {
+        regions[used] = region;
+        used += 1;
+    }
     if uses_b {
-        regions.push(("operand B", binding.b_base, width));
+        regions[used] = ("operand B", binding.b_base, width);
+        used += 1;
     }
     if uses_pred {
-        regions.push(("predicate", binding.pred_row, 1));
+        regions[used] = ("predicate", binding.pred_row, 1);
+        used += 1;
     }
+    let regions = &regions[..used];
 
-    for &(name, base, len) in &regions {
+    for &(name, base, len) in regions {
         if len > 0 && base + len > subarray_rows {
             return Err(UprogError::InvalidBinding(format!(
                 "{name} rows {base}..{} exceed the subarray's {subarray_rows} data rows",
@@ -139,16 +169,25 @@ pub fn live_in_rows(program: &MicroProgram) -> Vec<MicroRow> {
     let mut live_in = Vec::new();
     let mut seen = std::collections::HashSet::new();
     for micro in program.ops() {
-        if let MicroOp::Aap { src, dst } = *micro {
-            if matches!(
-                src,
-                MicroRow::InputA(_) | MicroRow::InputB(_) | MicroRow::Pred
-            ) && !written.contains(&src)
-                && seen.insert(src)
-            {
-                live_in.push(src);
+        match *micro {
+            MicroOp::Aap { src, dst } => {
+                if matches!(
+                    src,
+                    MicroRow::InputA(_) | MicroRow::InputB(_) | MicroRow::Pred
+                ) && !written.contains(&src)
+                    && seen.insert(src)
+                {
+                    live_in.push(src);
+                }
+                written.insert(dst);
             }
-            written.insert(dst);
+            // A TRA writes its destination too (its sources are B-group rows, never
+            // operand rows): a row first written by a majority must not count as
+            // live-in when a later μOp reads it.
+            MicroOp::AapTra { dst, .. } => {
+                written.insert(dst);
+            }
+            MicroOp::ApTra { .. } => {}
         }
     }
     live_in
@@ -232,5 +271,32 @@ mod tests {
         let live_in = live_in_rows(&program);
         assert!(live_in.iter().any(|r| matches!(r, MicroRow::InputA(_))));
         assert!(live_in.iter().any(|r| matches!(r, MicroRow::InputB(_))));
+    }
+
+    #[test]
+    fn rows_written_only_by_a_tra_are_not_live_in() {
+        // Regression: a majority-first program writes InputA(0) with an AAP-TRA before
+        // any read; live_in_rows used to ignore TRA destinations and wrongly report the
+        // row as live-in when the later copy read it back.
+        use simdram_dram::BGroupRow;
+        let ops = vec![
+            MicroOp::Aap {
+                src: MicroRow::InputB(0),
+                dst: MicroRow::BGroup(BGroupRow::T0),
+            },
+            MicroOp::AapTra {
+                a: BGroupRow::T0,
+                b: BGroupRow::C0,
+                c: BGroupRow::C1,
+                dst: MicroRow::InputA(0),
+            },
+            MicroOp::Aap {
+                src: MicroRow::InputA(0),
+                dst: MicroRow::Output(0),
+            },
+        ];
+        let program = MicroProgram::new(Operation::Equal, 1, ops, 0);
+        let live_in = live_in_rows(&program);
+        assert_eq!(live_in, vec![MicroRow::InputB(0)]);
     }
 }

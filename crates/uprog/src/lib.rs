@@ -13,7 +13,10 @@
 //! * [`MicroProgram`] — the generated program with command counts, latency and energy;
 //! * [`MicroProgramLibrary`] — the per-(target, operation, width) cache the control unit
 //!   consults, covering both the SIMDRAM and the Ambit baseline targets;
-//! * [`execute`] — functional execution of a μProgram on a `simdram-dram` subarray.
+//! * [`execute`] — functional execution of a μProgram on a `simdram-dram` subarray;
+//! * [`CompiledProgram`] — the same program lowered once into a specialized word-level
+//!   row-op kernel (pre-resolved physical rows, pre-aggregated trace accounting), the
+//!   fast functional-execution path selected by the machine's `FunctionalMode`.
 //!
 //! ## Example
 //!
@@ -36,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod codegen;
+mod compile;
 mod error;
 mod execute;
 mod library;
@@ -44,6 +48,7 @@ mod network;
 mod program;
 
 pub use codegen::{generate, CodegenOptions};
+pub use compile::CompiledProgram;
 pub use error::{Result, UprogError};
 pub use execute::{execute, live_in_rows, validate_binding};
 pub use library::{build_program, MicroProgramLibrary, Target};

@@ -6,10 +6,14 @@
 //! up. [`MicroProgramLibrary`] plays that role in the simulator.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
+use simdram_dram::CommandCosts;
 use simdram_logic::{Aig, Mig, Operation, WordCircuit};
 
 use crate::codegen::{generate, CodegenOptions};
+use crate::compile::CompiledProgram;
+use crate::error::Result;
 use crate::network::GateNetwork;
 use crate::program::MicroProgram;
 
@@ -23,10 +27,19 @@ pub enum Target {
 }
 
 /// A cache of generated μPrograms keyed by target, operation and operand width.
+///
+/// Alongside the symbolic μPrograms the library caches their [`CompiledProgram`] forms
+/// (see [`MicroProgramLibrary::get_or_compile`]): each program is lowered **once**, at
+/// first request, into a pre-resolved word-level row-op kernel shared via `Arc` so every
+/// broadcast chunk runs the same compiled artifact without re-lowering or cloning it.
 #[derive(Debug, Default)]
 pub struct MicroProgramLibrary {
     options: CodegenOptions,
     cache: HashMap<(Target, Operation, usize), MicroProgram>,
+    /// Compiled kernels, keyed like `cache`. Cost templates are supplied by the caller
+    /// and must be stable per library (the control unit derives them from the machine's
+    /// one DRAM config), so the key does not include them.
+    compiled: HashMap<(Target, Operation, usize), Arc<CompiledProgram>>,
 }
 
 impl MicroProgramLibrary {
@@ -40,6 +53,7 @@ impl MicroProgramLibrary {
         MicroProgramLibrary {
             options,
             cache: HashMap::new(),
+            compiled: HashMap::new(),
         }
     }
 
@@ -79,6 +93,66 @@ impl MicroProgramLibrary {
             self.get_or_build(target, op, width);
         }
         self.cache.len() - before
+    }
+
+    /// Returns the compiled form of `(target, op, width)`, lowering (and, if needed,
+    /// generating) the μProgram on first use and returning the cached `Arc` afterwards.
+    ///
+    /// `costs` must describe the DRAM config of the subarrays the program will run in
+    /// and must be the same on every call for a given library — the control unit
+    /// guarantees both by deriving one [`CommandCosts`] from the machine's config.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::UprogError`] from compilation (malformed μOps; never produced
+    /// by the generator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or greater than 64 (propagated from circuit synthesis).
+    pub fn get_or_compile(
+        &mut self,
+        target: Target,
+        op: Operation,
+        width: usize,
+        costs: &CommandCosts,
+    ) -> Result<Arc<CompiledProgram>> {
+        let key = (target, op, width);
+        if let Some(compiled) = self.compiled.get(&key) {
+            return Ok(Arc::clone(compiled));
+        }
+        let compiled = Arc::new(CompiledProgram::compile(
+            self.get_or_build(target, op, width),
+            costs,
+        )?);
+        self.compiled.insert(key, Arc::clone(&compiled));
+        Ok(compiled)
+    }
+
+    /// Compiled counterpart of [`MicroProgramLibrary::preload`]: ensures every `(op,
+    /// width)` pair has a resident compiled kernel, returning how many were newly
+    /// lowered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first compilation failure (see
+    /// [`MicroProgramLibrary::get_or_compile`]).
+    pub fn preload_compiled(
+        &mut self,
+        target: Target,
+        ops: impl IntoIterator<Item = (Operation, usize)>,
+        costs: &CommandCosts,
+    ) -> Result<usize> {
+        let before = self.compiled.len();
+        for (op, width) in ops {
+            self.get_or_compile(target, op, width, costs)?;
+        }
+        Ok(self.compiled.len() - before)
+    }
+
+    /// Number of compiled kernels currently cached.
+    pub fn compiled_len(&self) -> usize {
+        self.compiled.len()
     }
 
     /// Number of μPrograms currently cached.
@@ -146,6 +220,32 @@ mod tests {
         assert_eq!(lib.len(), 2);
         // A second preload over the same set builds nothing.
         assert_eq!(lib.preload(Target::Simdram, [(Operation::Add, 8)]), 0);
+    }
+
+    #[test]
+    fn compiled_kernels_are_cached_and_shared() {
+        use simdram_dram::DramConfig;
+        let costs = CommandCosts::new(&DramConfig::tiny());
+        let mut lib = MicroProgramLibrary::new();
+        let first = lib
+            .get_or_compile(Target::Simdram, Operation::Add, 8, &costs)
+            .unwrap();
+        let second = lib
+            .get_or_compile(Target::Simdram, Operation::Add, 8, &costs)
+            .unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(lib.compiled_len(), 1);
+        // Compiling also populates the symbolic cache.
+        assert_eq!(lib.len(), 1);
+        let newly = lib
+            .preload_compiled(
+                Target::Simdram,
+                [(Operation::Add, 8), (Operation::Sub, 8)],
+                &costs,
+            )
+            .unwrap();
+        assert_eq!(newly, 1);
+        assert_eq!(lib.compiled_len(), 2);
     }
 
     #[test]

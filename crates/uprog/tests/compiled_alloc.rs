@@ -1,0 +1,115 @@
+//! Enforces the compiled fast path's zero-allocation invariant: once a μProgram has been
+//! lowered into a [`CompiledProgram`] and the subarray's trace capacity is reserved,
+//! running the kernel — with or without history, with or without a reused local trace —
+//! must not touch the heap at all. Compilation itself may allocate (it happens once, at
+//! library insertion), which is exactly the trade the fast-functional mode makes.
+//!
+//! The whole check lives in a single `#[test]` so the global allocation counter is not
+//! perturbed by concurrently running tests in this binary.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use simdram_dram::{CommandCosts, CommandTrace, DramConfig, Subarray};
+use simdram_logic::Operation;
+use simdram_uprog::{build_program, CodegenOptions, CompiledProgram, RowBinding, Target};
+
+struct CountingAllocator;
+
+static ALLOC_CALLS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn compiled_execution_never_allocates() {
+    let config = DramConfig::default();
+    let costs = CommandCosts::new(&config);
+    let program = build_program(
+        Target::Simdram,
+        Operation::Add,
+        8,
+        CodegenOptions::optimized(),
+    );
+    let compiled = CompiledProgram::compile(&program, &costs).unwrap();
+    let binding = RowBinding {
+        a_base: 0,
+        b_base: 8,
+        pred_row: 16,
+        out_base: 17,
+        temp_base: 30,
+    };
+
+    let mut sa = Subarray::new(&config);
+    let mut local = CommandTrace::new();
+
+    // Warm every measured path once: the subarray's cost table registers the program's
+    // command shapes, the reused local trace grows to its final capacity, and any lazy
+    // platform setup happens outside the measured window.
+    compiled.execute_in(&mut sa, &binding, true).unwrap();
+    compiled.execute_in(&mut sa, &binding, false).unwrap();
+    compiled
+        .run_into(&mut sa, &binding, true, &mut local)
+        .unwrap();
+    compiled
+        .run_into(&mut sa, &binding, false, &mut local)
+        .unwrap();
+
+    const ROUNDS: usize = 4;
+    const ATTEMPTS: usize = 5;
+    // 3 compiled runs per round record into the cumulative trace; only the with_history
+    // ones retain per-command history.
+    let runs_per_round = 3;
+
+    // The allocation counter is process-global, so a runtime thread can allocate during
+    // the measured window and produce a spurious non-zero count. The datapath itself is
+    // deterministic: if ANY attempt observes zero allocations, every allocation seen by
+    // other attempts came from outside the datapath.
+    let mut best = usize::MAX;
+    let mut len_at_attempt_start = 0;
+    for _ in 0..ATTEMPTS {
+        sa.drain_trace();
+        sa.reserve_trace(compiled.command_count() * runs_per_round * ROUNDS);
+        len_at_attempt_start = sa.trace().len();
+        let before = ALLOC_CALLS.load(Ordering::SeqCst);
+        for _ in 0..ROUNDS {
+            compiled.execute_in(&mut sa, &binding, false).unwrap();
+            compiled.execute_in(&mut sa, &binding, true).unwrap();
+            compiled
+                .run_into(&mut sa, &binding, false, &mut local)
+                .unwrap();
+        }
+        best = best.min(ALLOC_CALLS.load(Ordering::SeqCst) - before);
+        if best == 0 {
+            break;
+        }
+    }
+    assert_eq!(
+        best,
+        0,
+        "compiled execution must not allocate after warmup (best attempt saw {best} \
+         allocations across {} runs)",
+        runs_per_round * ROUNDS
+    );
+
+    // The measured runs really happened: cumulative counts grew by all of them, history
+    // retained only the sampled (with_history) applications, and the reused local trace
+    // matches the program's analytic command count.
+    assert_eq!(
+        sa.trace().len() - len_at_attempt_start,
+        compiled.command_count() * runs_per_round * ROUNDS
+    );
+    assert_eq!(sa.trace().history_len(), compiled.command_count() * ROUNDS);
+    assert_eq!(local.len(), compiled.command_count());
+}
