@@ -19,7 +19,10 @@
 //! also fail the gate, with one exception: baseline datapoints whose verdict is `info`
 //! (informational context such as the host-dependent `estimate/simspeed` metric) are
 //! *skipped* when absent from the fresh report instead of failing it, so informational
-//! metrics can come and go without a lock-step baseline refresh. Informational
+//! metrics can come and go without a lock-step baseline refresh. The skip is
+//! symmetric for shared datapoints: a gated metric may disappear when the datapoint is
+//! informational in *either* report (a checked baseline entry demoted to context in
+//! the fresh report is context all the same). Informational
 //! datapoints present in **both** reports are still compared on the gated metrics —
 //! the deterministic CPU/GPU/Ambit baselines and kernel timings are `info`-verdict and
 //! deliberately gated — which is why host-dependent metrics must use names outside the
@@ -146,8 +149,12 @@ fn compare(
             };
             let Some(&new) = fresh_metrics.get(metric) else {
                 // A gated metric that disappeared is a coverage loss, not a pass —
-                // unless the whole datapoint is informational.
-                if base_entry.informational {
+                // unless the datapoint is informational on *either* side. The check is
+                // symmetric because a datapoint can change verdict across reports (a
+                // range demoted to context in the fresh report, or promoted in the
+                // baseline); informational context may reshape its metrics without a
+                // lock-step baseline refresh regardless of which report says so.
+                if base_entry.informational || fresh_entry.informational {
                     skipped.push(format!("{key} [{metric}]"));
                 } else {
                     missing.push(format!("{key} [{metric}]"));
@@ -301,6 +308,34 @@ mod tests {
         let (_, missing, skipped) = compare(&baseline, &fresh, 0.15);
         assert_eq!(skipped, vec!["a/info [latency_ns]".to_string()]);
         assert_eq!(missing, vec!["a/checked [latency_ns]".to_string()]);
+    }
+
+    #[test]
+    fn dropped_gated_metric_honors_informational_verdict_on_either_side() {
+        // The info skip must be symmetric: a datapoint demoted to informational in the
+        // fresh report (checked in the baseline) may drop a gated metric without
+        // failing the gate, exactly like one that was informational in the baseline.
+        let baseline = report(vec![
+            (
+                "a/demoted",
+                entry(false, &[("latency_ns", 5.0), ("x", 1.0)]),
+            ),
+            ("a/promoted", entry(true, &[("latency_ns", 5.0)])),
+        ]);
+        let fresh = report(vec![
+            ("a/demoted", entry(true, &[("x", 1.0)])),
+            ("a/promoted", entry(false, &[("x", 2.0)])),
+        ]);
+        let (regressions, missing, skipped) = compare(&baseline, &fresh, 0.15);
+        assert!(regressions.is_empty());
+        assert!(missing.is_empty());
+        assert_eq!(
+            skipped,
+            vec![
+                "a/demoted [latency_ns]".to_string(),
+                "a/promoted [latency_ns]".to_string(),
+            ]
+        );
     }
 
     #[test]

@@ -17,12 +17,14 @@
 //! | [`Suite::Estimate`] | — (new) | trace-driven vs analytic cross-check |
 //! | [`Suite::Plans`] | — (new) | fused plan execution vs eager op-by-op |
 //! | [`Suite::Serving`] | — (new) | multi-tenant serving vs per-tenant sequential |
+//! | [`Suite::Fidelity`] | — (new) | bank-state timing backend vs the analytic model |
 
 mod ablation;
 mod area;
 mod commands;
 mod energy;
 mod estimate;
+mod fidelity;
 mod kernels;
 mod plans;
 mod reliability;
@@ -54,11 +56,13 @@ pub enum Suite {
     Plans,
     /// Multi-tenant serving: cross-tenant batch fusion, fairness and tail latency.
     Serving,
+    /// Timing-backend fidelity: bank-state replay divergence from the analytic model.
+    Fidelity,
 }
 
 impl Suite {
     /// All suites, in the order `--suite all` runs them.
-    pub const ALL: [Suite; 10] = [
+    pub const ALL: [Suite; 11] = [
         Suite::Throughput,
         Suite::Energy,
         Suite::Kernels,
@@ -69,6 +73,7 @@ impl Suite {
         Suite::Estimate,
         Suite::Plans,
         Suite::Serving,
+        Suite::Fidelity,
     ];
 
     /// The suite's CLI / JSON name.
@@ -84,6 +89,7 @@ impl Suite {
             Suite::Estimate => "estimate",
             Suite::Plans => "plans",
             Suite::Serving => "serving",
+            Suite::Fidelity => "fidelity",
         }
     }
 
@@ -105,6 +111,7 @@ impl Suite {
             Suite::Estimate => estimate::run(),
             Suite::Plans => plans::run(),
             Suite::Serving => serving::run(),
+            Suite::Fidelity => fidelity::run(),
         }
     }
 }

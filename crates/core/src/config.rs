@@ -5,6 +5,7 @@ use simdram_uprog::{CodegenOptions, Target};
 
 use crate::error::{CoreError, Result};
 use crate::executor::{ExecutionPolicy, FunctionalMode};
+use crate::timing_backend::TimingBackendKind;
 
 /// Configuration of a [`crate::SimdramMachine`]: the underlying DRAM geometry, how much of
 /// it participates in computation, and which μProgram target/optimizations to use.
@@ -33,6 +34,12 @@ pub struct SimdramConfig {
     /// modes are bit-identical in results and aggregate accounting; compiled only changes
     /// simulation wall-clock and per-command history retention.
     pub functional: FunctionalMode,
+    /// Which timing backend folds the executed command traces into the cumulative
+    /// [`crate::MachineEstimate`]: the analytic estimator (the reference behaviour,
+    /// bit-identical to prior releases) or the bank-state replay, which surfaces
+    /// row-buffer, ACTIVATE-serialization and refresh effects *alongside* the
+    /// unchanged analytic numbers ([`TimingBackendKind`]).
+    pub timing_backend: TimingBackendKind,
 }
 
 impl Default for SimdramConfig {
@@ -45,6 +52,7 @@ impl Default for SimdramConfig {
             codegen: CodegenOptions::optimized(),
             execution: ExecutionPolicy::default(),
             functional: FunctionalMode::default(),
+            timing_backend: TimingBackendKind::default(),
         }
     }
 }
@@ -62,10 +70,11 @@ impl SimdramConfig {
     /// A small configuration for fast functional tests: 2 banks × 2 subarrays of 256
     /// columns.
     ///
-    /// Honors the `SIMDRAM_EXEC` and `SIMDRAM_FUNC` environment overrides (see
-    /// [`ExecutionPolicy::from_env`] and [`FunctionalMode::from_env`]), so CI can force
-    /// every functional test through the threaded broadcast engine and/or the compiled
-    /// execution mode without code changes.
+    /// Honors the `SIMDRAM_EXEC`, `SIMDRAM_FUNC` and `SIMDRAM_TIMING` environment
+    /// overrides (see [`ExecutionPolicy::from_env`], [`FunctionalMode::from_env`] and
+    /// [`TimingBackendKind::from_env`]), so CI can force every functional test through
+    /// the threaded broadcast engine, the compiled execution mode and/or the
+    /// bank-state timing backend without code changes.
     pub fn functional_test() -> Self {
         SimdramConfig {
             dram: DramConfig::tiny(),
@@ -75,6 +84,7 @@ impl SimdramConfig {
             codegen: CodegenOptions::optimized(),
             execution: ExecutionPolicy::from_env().unwrap_or_default(),
             functional: FunctionalMode::from_env().unwrap_or_default(),
+            timing_backend: TimingBackendKind::from_env().unwrap_or_default(),
         }
     }
 
@@ -105,6 +115,7 @@ impl SimdramConfig {
             codegen: CodegenOptions::optimized(),
             execution: ExecutionPolicy::from_env().unwrap_or_default(),
             functional: FunctionalMode::from_env().unwrap_or_default(),
+            timing_backend: TimingBackendKind::from_env().unwrap_or_default(),
         }
     }
 

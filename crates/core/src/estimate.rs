@@ -24,7 +24,7 @@
 use std::fmt;
 
 use simdram_dram::energy::EnergyModel;
-use simdram_dram::{CommandTrace, DramTiming};
+use simdram_dram::{BankStateReplay, CommandTrace, DramTiming};
 
 /// Timing/energy accounting of **one** broadcast (one μProgram issue, constant
 /// broadcast, RowClone copy, …) derived from its per-chunk command traces.
@@ -44,6 +44,10 @@ pub struct BroadcastEstimate {
     pub energy_nj: f64,
     /// Background (static) energy over the busy window, in nanojoules.
     pub background_nj: f64,
+    /// Bank-state replay of the same traces, attached when the machine runs the
+    /// [`crate::TimingBackendKind::BankState`] backend; `None` under the analytic
+    /// backend. The analytic fields above are backend-independent.
+    pub bank_state: Option<BankStateReplay>,
 }
 
 impl BroadcastEstimate {
@@ -101,6 +105,75 @@ impl TraceEstimator {
             cycles: self.timing.cycles(latency_ns),
             energy_nj,
             background_nj: self.energy.background_nj(latency_ns),
+            bank_state: None,
+        }
+    }
+}
+
+/// Cumulative bank-state accounting across a machine run: the fidelity-model
+/// counterpart of the analytic [`MachineEstimate`] totals. Broadcasts serialize, so
+/// replay latencies and stalls sum.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BankStateTotals {
+    /// Broadcasts that carried a bank-state replay.
+    pub broadcasts: usize,
+    /// Sum of per-broadcast bank-state busy windows, in nanoseconds. Always ≥ the
+    /// analytic [`MachineEstimate::busy_latency_ns`] over the same broadcasts.
+    pub latency_ns: f64,
+    /// Total critical-path ACTIVATE serialization stall (tRRD/tFAW), in nanoseconds.
+    pub act_stall_ns: f64,
+    /// Total critical-path refresh stall (tRFC), in nanoseconds.
+    pub refresh_stall_ns: f64,
+    /// Refreshes charged across all broadcasts and chunks.
+    pub refreshes: usize,
+    /// Row-buffer hits across all broadcasts and chunks.
+    pub row_hits: usize,
+    /// Row-buffer misses across all broadcasts and chunks.
+    pub row_misses: usize,
+    /// Row-buffer conflicts across all broadcasts and chunks.
+    pub row_conflicts: usize,
+}
+
+impl BankStateTotals {
+    /// Folds one broadcast's replay into the totals.
+    pub fn record(&mut self, replay: &BankStateReplay) {
+        self.broadcasts += 1;
+        self.latency_ns += replay.latency_ns;
+        self.act_stall_ns += replay.act_stall_ns;
+        self.refresh_stall_ns += replay.refresh_stall_ns;
+        self.refreshes += replay.refreshes;
+        self.row_hits += replay.row_hits;
+        self.row_misses += replay.row_misses;
+        self.row_conflicts += replay.row_conflicts;
+    }
+
+    /// Fraction of classified commands that were row-buffer hits (0.0 when nothing
+    /// was classified).
+    pub fn row_buffer_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses + self.row_conflicts;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+
+    /// Share of the bank-state busy window spent stalled on refresh (0.0 when idle).
+    pub fn refresh_share(&self) -> f64 {
+        if self.latency_ns == 0.0 {
+            0.0
+        } else {
+            self.refresh_stall_ns / self.latency_ns
+        }
+    }
+
+    /// Ratio of the bank-state busy window to the analytic one (≥ 1 by construction;
+    /// 1.0 when nothing ran).
+    pub fn latency_ratio(&self, analytic_busy_ns: f64) -> f64 {
+        if analytic_busy_ns == 0.0 {
+            1.0
+        } else {
+            self.latency_ns / analytic_busy_ns
         }
     }
 }
@@ -121,6 +194,10 @@ pub struct MachineEstimate {
     pub energy_nj: f64,
     /// Total background (static) energy, in nanojoules.
     pub background_nj: f64,
+    /// Cumulative bank-state accounting, populated when the machine runs the
+    /// bank-state backend (`None` under the analytic backend, keeping the struct —
+    /// and everything derived from it — bit-identical to prior releases).
+    pub bank_state: Option<BankStateTotals>,
 }
 
 impl MachineEstimate {
@@ -137,6 +214,11 @@ impl MachineEstimate {
         self.cycles += broadcast.cycles;
         self.energy_nj += broadcast.energy_nj;
         self.background_nj += broadcast.background_nj;
+        if let Some(replay) = &broadcast.bank_state {
+            self.bank_state
+                .get_or_insert_with(BankStateTotals::default)
+                .record(replay);
+        }
     }
 
     /// Dynamic plus background energy, in nanojoules.
@@ -164,7 +246,19 @@ impl fmt::Display for MachineEstimate {
             f,
             "  energy        : {:.1} nJ dynamic + {:.1} nJ background",
             self.energy_nj, self.background_nj
-        )
+        )?;
+        if let Some(bank) = &self.bank_state {
+            write!(
+                f,
+                "\n  bank-state    : {:.1} ns busy ({:.3}x analytic), \
+                 row-buffer hit rate {:.2}, refresh share {:.4}",
+                bank.latency_ns,
+                bank.latency_ratio(self.busy_latency_ns),
+                bank.row_buffer_hit_rate(),
+                bank.refresh_share()
+            )?;
+        }
+        Ok(())
     }
 }
 

@@ -19,6 +19,10 @@
 //! * [`FunctionalMode`] — what each chunk runs: the per-μOp interpreter, or the compiled
 //!   word-level kernel cached per μProgram ([`simdram_uprog::CompiledProgram`]) — again
 //!   bit-identical in results and aggregate accounting, several times faster to simulate.
+//! * [`TimingBackend`]/[`TimingBackendKind`] — which estimation engine folds the executed
+//!   command traces: the analytic [`TraceEstimator`], or the bank-state replay
+//!   ([`simdram_dram::BankStateModel`]) that models row-buffer state, ACTIVATE
+//!   serialization and refresh interference alongside the unchanged analytic numbers.
 //! * [`transpose_64x64`] — horizontal ↔ vertical layout conversion, both functional and as
 //!   a cost model ([`TranspositionUnit`]).
 //! * [`pud_performance`] — the analytic throughput/energy model used to regenerate the
@@ -54,6 +58,7 @@ mod machine;
 mod perf;
 mod plan;
 mod report;
+mod timing_backend;
 mod transpose;
 mod verify;
 
@@ -61,7 +66,7 @@ pub use area::AreaModel;
 pub use config::SimdramConfig;
 pub use control_unit::ControlUnit;
 pub use error::{CoreError, Result};
-pub use estimate::{BroadcastEstimate, MachineEstimate, TraceEstimator};
+pub use estimate::{BankStateTotals, BroadcastEstimate, MachineEstimate, TraceEstimator};
 pub use executor::{BroadcastExecutor, ExecutionPolicy, FunctionalMode};
 pub use isa::{BbopInstruction, Mnemonic, TransposeDirection};
 pub use layout::SimdVector;
@@ -69,6 +74,7 @@ pub use machine::{Reservation, SimdramMachine};
 pub use perf::{ddr4, pud_performance, PerfPoint};
 pub use plan::{Expr, Plan, PlanBuilder, PlanExecution, PlanOutput, Session};
 pub use report::{ExecutionReport, MachineStats, PlanReport};
+pub use timing_backend::{BankStateBackend, TimingBackend, TimingBackendKind};
 pub use transpose::{
     horizontal_to_vertical, transpose_64x64, vertical_to_horizontal, TranspositionUnit,
 };

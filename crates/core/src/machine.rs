@@ -17,6 +17,7 @@ use crate::isa::BbopInstruction;
 use crate::layout::{RowAllocator, SimdVector};
 use crate::plan::{Plan, PlanBuilder, PlanExecution, Storage};
 use crate::report::{ExecutionReport, MachineStats, PlanReport};
+use crate::timing_backend::{TimingBackend, TimingBackendKind};
 use crate::transpose::{horizontal_to_vertical, vertical_to_horizontal, TranspositionUnit};
 
 /// One resolved step of a fused broadcast batch (see [`SimdramMachine::run_plan`]).
@@ -180,6 +181,11 @@ pub struct SimdramMachine {
     /// bit-identical to interpreted accounting.
     costs: CommandCosts,
     estimator: TraceEstimator,
+    /// The selected timing backend ([`SimdramConfig::timing_backend`]): every broadcast's
+    /// traces are folded through it into the cumulative [`MachineEstimate`]. The analytic
+    /// numbers it produces are bit-identical across backends; the bank-state backend
+    /// additionally attaches its replay to each estimate.
+    backend: Box<dyn TimingBackend>,
     stats: MachineStats,
     functional_stats: DeviceStats,
     machine_estimate: MachineEstimate,
@@ -208,6 +214,9 @@ impl SimdramMachine {
         let executor = BroadcastExecutor::new(config.execution);
         let costs = CommandCosts::new(&config.dram);
         let estimator = TraceEstimator::new(config.dram.timing.clone(), config.dram.energy.clone());
+        let backend = config
+            .timing_backend
+            .build(config.dram.timing.clone(), config.dram.energy.clone());
         let chunk_allocator =
             RowAllocator::new(config.compute_banks * config.compute_subarrays_per_bank);
         Ok(SimdramMachine {
@@ -219,6 +228,7 @@ impl SimdramMachine {
             executor,
             costs,
             estimator,
+            backend,
             stats: MachineStats::default(),
             functional_stats: DeviceStats::new(),
             machine_estimate: MachineEstimate::new(),
@@ -295,6 +305,22 @@ impl SimdramMachine {
     /// The active functional-execution mode (interpreted vs compiled).
     pub fn functional_mode(&self) -> FunctionalMode {
         self.config.functional
+    }
+
+    /// The active timing backend (analytic vs bank-state).
+    pub fn timing_backend(&self) -> TimingBackendKind {
+        self.config.timing_backend
+    }
+
+    /// Switches the timing backend at runtime. Functional results and the analytic
+    /// accounting are unaffected — only whether subsequent broadcasts carry a
+    /// bank-state replay (and retain the per-command history it classifies) changes.
+    pub fn set_timing_backend(&mut self, kind: TimingBackendKind) {
+        self.config.timing_backend = kind;
+        self.backend = kind.build(
+            self.config.dram.timing.clone(),
+            self.config.dram.energy.clone(),
+        );
     }
 
     /// Switches the functional-execution mode at runtime. Like
@@ -1124,15 +1150,39 @@ impl SimdramMachine {
             // History sampling keys off the dispatch position, which is assigned in
             // deterministic (job, chunk) order independent of the execution policy.
             let mode = self.config.functional;
+            // The bank-state backend classifies individual commands, so it asks for
+            // per-command history even when the compiled mode would sample it away
+            // (aggregate accounting is bit-identical either way).
+            let force_history = self.backend.wants_history();
             let chunk_traces =
                 self.executor
                     .broadcast(&mut self.device, &coords, |position, sa| {
                         run_steps(
                             &step_lists[owner_of_position[position]],
                             sa,
-                            mode.trace_with_history(position),
+                            force_history || mode.trace_with_history(position),
                         )
                     })?;
+
+            // Dispatch-level bank-state replay: merge each chunk's per-step traces into
+            // one stream per chunk (the order the subarray really issued them) and
+            // replay the whole fused dispatch. Skipped entirely under the analytic
+            // backend.
+            let fused_bank_state = if self.backend.kind().is_bank_state() {
+                let merged: Vec<CommandTrace> = chunk_traces
+                    .iter()
+                    .map(|steps| {
+                        let mut whole = CommandTrace::new();
+                        for step in steps {
+                            whole.merge(step);
+                        }
+                        whole
+                    })
+                    .collect();
+                self.backend.broadcast(&merged).bank_state
+            } else {
+                None
+            };
 
             let mut dispatch_latency = 0.0f64;
             let mut dispatch_commands = 0usize;
@@ -1174,7 +1224,7 @@ impl SimdramMachine {
                             report.commands += width;
                         }
                         RunStep::Exec { program, node, .. } => {
-                            let measured = self.estimator.broadcast(traces);
+                            let measured = self.backend.broadcast(traces);
                             let elements = plan.node(*node).len();
                             let timing = &self.config.dram.timing;
                             let energy_model = &self.config.dram.energy;
@@ -1189,6 +1239,10 @@ impl SimdramMachine {
                                 energy_nj: program.energy_nj(energy_model) * chunks as f64,
                                 measured_latency_ns: measured.latency_ns,
                                 measured_energy_nj: measured.energy_nj,
+                                bank_state_latency_ns: measured
+                                    .bank_state
+                                    .as_ref()
+                                    .map(|replay| replay.latency_ns),
                             };
                             self.stats.record_execution(&step_report);
                             report.ops += 1;
@@ -1228,6 +1282,7 @@ impl SimdramMachine {
                     .estimator
                     .energy_model()
                     .background_nj(dispatch_latency),
+                bank_state: fused_bank_state,
             };
             self.machine_estimate.record(&fused);
         }
@@ -1242,7 +1297,7 @@ impl SimdramMachine {
         for trace in traces {
             self.functional_stats.absorb_trace(trace);
         }
-        let estimate = self.estimator.broadcast(traces);
+        let estimate = self.backend.broadcast(traces);
         self.machine_estimate.record(&estimate);
         estimate
     }

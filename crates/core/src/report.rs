@@ -43,6 +43,11 @@ pub struct ExecutionReport {
     /// Dynamic DRAM energy **measured** from the executed command traces (summed over
     /// all participating subarrays), in nanojoules.
     pub measured_energy_nj: f64,
+    /// Busy window of this step under the bank-state timing backend
+    /// ([`crate::TimingBackendKind::BankState`]), in nanoseconds; `None` under the
+    /// analytic backend. Always ≥ [`Self::measured_latency_ns`] when present — the
+    /// replay only adds row-buffer, ACTIVATE-serialization and refresh penalties.
+    pub bank_state_latency_ns: Option<f64>,
 }
 
 impl ExecutionReport {
@@ -299,6 +304,7 @@ mod tests {
             energy_nj: 1_000.0,
             measured_latency_ns: 22_950.0,
             measured_energy_nj: 1_000.0,
+            bank_state_latency_ns: None,
         }
     }
 

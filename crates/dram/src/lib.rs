@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 mod bank;
+pub mod bankstate;
 mod bitrow;
 mod command;
 mod config;
@@ -53,6 +54,7 @@ pub mod timing;
 pub mod variation;
 
 pub use bank::Bank;
+pub use bankstate::{BankStateModel, BankStateReplay, BankTiming, RowBufferOutcome};
 pub use bitrow::BitRow;
 pub use command::{
     CommandCosts, CommandKind, CommandTrace, DramCommand, TraceAggregate, TraceSlot,

@@ -34,6 +34,17 @@ pub mod ddr4 {
     pub const T_WR_NS: f64 = 15.0;
     /// Bus clock period (tCK; DDR transfers two beats per cycle).
     pub const T_CK_NS: f64 = 0.833;
+    /// Minimum ACTIVATE-to-ACTIVATE delay between different banks of one rank (tRRD_L).
+    pub const T_RRD_NS: f64 = 4.9;
+    /// Four-activate window: at most four ACTIVATEs may issue to one rank within this
+    /// span (tFAW).
+    pub const T_FAW_NS: f64 = 30.0;
+    /// Average refresh interval: one REFRESH command is due every tREFI (DDR4: 7.8 µs at
+    /// normal temperature).
+    pub const T_REFI_NS: f64 = 7_800.0;
+    /// Refresh cycle time: how long a bank is unavailable while a REFRESH completes
+    /// (tRFC; DDR4 8 Gb parts).
+    pub const T_RFC_NS: f64 = 350.0;
 }
 
 /// DDR timing parameters (all in nanoseconds) plus derived compute-command latencies.
