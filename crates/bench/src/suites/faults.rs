@@ -1,0 +1,233 @@
+//! Faults suite (new): quantifies the fault-injection + fault-tolerance subsystem.
+//!
+//! Three families of datapoints, all deterministic (every fault stream is seeded):
+//!
+//! - **guard_overhead** — modeled-latency ratio of a guarded (redundant
+//!   re-execution) run over the unguarded run of the same kernel, with injection
+//!   off. Redundant detection executes every dispatch twice, so the ratio sits
+//!   near 2× compute (shifted by the per-op transposition and I/O that is not
+//!   re-executed).
+//! - **retry_convergence** — under seeded transient injection at a rate verified to
+//!   force retries, the guarded result must be bit-identical to the fault-free
+//!   reference: `converged` is exactly 1.
+//! - **per-node injected_vs_model** — accelerated-stress cross-check of the
+//!   injection substrate against the process-variation model. At production
+//!   variation every node's Monte-Carlo TRA failure probability is ~0 (the paper's
+//!   margin argument), so the suite amplifies each node's cell variation by a
+//!   fixed stress factor, derives the model probability at that stress, injects
+//!   with it, and compares the observed flip rate per (TRA × column) against the
+//!   model rate. Only marginal (2-vs-1) columns can physically flip, so the ratio
+//!   lands in a band strictly below 1 but well above 0.
+
+use simdram_core::{
+    ExecutionPolicy, FaultModel, FunctionalMode, GuardMode, SimdramConfig, SimdramMachine,
+};
+use simdram_dram::variation::{TechnologyNode, VariationModel};
+use simdram_logic::{word_mask, Operation};
+use simdram_uprog::{build_program, CodegenOptions, Target};
+
+use crate::report::{Datapoint, Expected};
+
+const SUITE: &str = "faults";
+
+/// Elements per kernel: exactly one fully driven subarray chunk of the
+/// functional-test machine, so every column participates in the marginal-split
+/// statistics.
+pub const ELEMENTS: usize = 256;
+
+/// Inclusive bounds on `guard_overhead` (guarded over unguarded modeled latency,
+/// injection off). Redundant re-execution doubles the compute trace but not the
+/// operand transposition, so the ratio sits a little under 2× end to end.
+pub const GUARD_OVERHEAD_MIN: f64 = 1.8;
+/// See [`GUARD_OVERHEAD_MIN`].
+pub const GUARD_OVERHEAD_MAX: f64 = 2.6;
+
+/// Inclusive bounds on `injected_vs_model`: the observed flips per (TRA × column)
+/// over the model's per-TRA flip probability. The injector only flips *marginal*
+/// columns — those whose three source cells split 2-vs-1 — and on real operand data
+/// the marginal fraction sits between a third and all of the columns.
+pub const INJECTED_VS_MODEL_MIN: f64 = 0.3;
+/// See [`INJECTED_VS_MODEL_MIN`].
+pub const INJECTED_VS_MODEL_MAX: f64 = 1.0;
+
+/// Cell-variation amplification for the per-node stress calibration: large enough
+/// that every node's Monte-Carlo failure probability becomes measurable, small
+/// enough that the ordering between nodes is preserved.
+const STRESS: f64 = 6.0;
+
+/// Monte-Carlo trials for the stressed model probabilities (more than the runtime
+/// calibration uses, so even the 22 nm stressed rate resolves).
+const MODEL_TRIALS: usize = 200_000;
+
+/// Seed for every fault stream and the stressed Monte-Carlo calibration.
+const SEED: u64 = 0x51AD_BE9C;
+
+fn machine_with(faults: FaultModel, guard: GuardMode) -> SimdramMachine {
+    // Modes are pinned in code (not via the env overrides) so the suite measures
+    // identical numbers under every CI matrix leg.
+    let mut config = SimdramConfig::functional_test();
+    config.execution = ExecutionPolicy::Sequential;
+    config.functional = FunctionalMode::Interpreted;
+    config.faults = faults;
+    config.guard = guard;
+    SimdramMachine::new(config).expect("functional config")
+}
+
+/// Runs `op` over one chunk and returns (results, measured modeled latency,
+/// subarrays used).
+fn run_kernel(m: &mut SimdramMachine, op: Operation, width: usize) -> (Vec<u64>, f64, usize) {
+    let mask = word_mask(width);
+    let a_vals: Vec<u64> = (0..ELEMENTS as u64).map(|i| (i * 37 + 11) & mask).collect();
+    let b_vals: Vec<u64> = (0..ELEMENTS as u64).map(|i| (i * 91 + 3) & mask).collect();
+    let a = m.alloc_and_write(width, &a_vals).expect("alloc a");
+    let b = m.alloc_and_write(width, &b_vals).expect("alloc b");
+    let dst = m
+        .alloc(op.output_width(width), ELEMENTS)
+        .expect("alloc dst");
+    let report = m
+        .execute(op, &dst, &a, Some(&b), None)
+        .expect("kernel executes (faults recovered or off)");
+    let results = m.read(&dst).expect("read back");
+    (results, report.measured_latency_ns, report.subarrays_used)
+}
+
+/// The guarded-over-unguarded latency ratio with injection off.
+fn guard_overhead() -> Datapoint {
+    let (baseline, unguarded_ns, _) = run_kernel(
+        &mut machine_with(FaultModel::Off, GuardMode::Off),
+        Operation::Add,
+        16,
+    );
+    let (guarded_results, guarded_ns, _) = run_kernel(
+        &mut machine_with(FaultModel::Off, GuardMode::redundant()),
+        Operation::Add,
+        16,
+    );
+    assert_eq!(
+        baseline, guarded_results,
+        "guard with faults off is bit-identical"
+    );
+    Datapoint::checked(
+        SUITE,
+        "guard_overhead/add/16b".to_string(),
+        vec![
+            ("unguarded_latency_ns", unguarded_ns),
+            ("guarded_latency_ns", guarded_ns),
+            ("guard_overhead", guarded_ns / unguarded_ns),
+        ],
+        Expected {
+            metric: "guard_overhead",
+            min: GUARD_OVERHEAD_MIN,
+            max: GUARD_OVERHEAD_MAX,
+        },
+    )
+}
+
+/// Guarded execution under forced transient faults converges bit-identically.
+fn retry_convergence() -> Datapoint {
+    let (expected, _, _) = run_kernel(
+        &mut machine_with(FaultModel::Off, GuardMode::Off),
+        Operation::Add,
+        8,
+    );
+    // This probability/seed pair is verified (fault_properties test suite) to
+    // inject, detect and recover within the default retry budget.
+    let mut m = machine_with(
+        FaultModel::tra_with_probability(5e-5, 6),
+        GuardMode::Redundant { max_retries: 9 },
+    );
+    let (got, _, _) = run_kernel(&mut m, Operation::Add, 8);
+    let log = m.fault_log();
+    Datapoint::checked(
+        SUITE,
+        "retry_convergence/add/8b".to_string(),
+        vec![
+            ("converged", f64::from(got == expected)),
+            ("injected", log.injected as f64),
+            ("detected", log.detected() as f64),
+            ("recovered", log.recovered as f64),
+            ("retries", log.retries as f64),
+            ("backoff_ns", log.backoff_ns),
+        ],
+        Expected {
+            metric: "converged",
+            min: 1.0,
+            max: 1.0,
+        },
+    )
+}
+
+/// One node's accelerated-stress injection-vs-model datapoint.
+fn node_datapoint(node: TechnologyNode) -> Datapoint {
+    let model_probability = VariationModel::with_cell_sigma(node.cell_sigma() * STRESS)
+        .tra_failure_probability(MODEL_TRIALS, SEED);
+    let mut m = machine_with(
+        FaultModel::tra_with_probability(model_probability, SEED),
+        GuardMode::Off,
+    );
+    // Mul has the longest μProgram of the bbops — hundreds of TRAs — so the flip
+    // statistics are stable even at the 22 nm stressed rate.
+    let (_, _, subarrays_used) = run_kernel(&mut m, Operation::Mul, 8);
+    let tra_per_chunk = build_program(
+        Target::Simdram,
+        Operation::Mul,
+        8,
+        CodegenOptions::optimized(),
+    )
+    .tra_count();
+    let columns = m.config().dram.columns_per_row;
+    let opportunities = (tra_per_chunk * columns * subarrays_used) as f64;
+    let observed_rate = m.injected_faults() as f64 / opportunities;
+    Datapoint::checked(
+        SUITE,
+        format!("injected_vs_model/{}", node.name()),
+        vec![
+            ("model_probability", model_probability),
+            ("injected", m.injected_faults() as f64),
+            ("tra_column_opportunities", opportunities),
+            ("observed_rate", observed_rate),
+            ("injected_vs_model", observed_rate / model_probability),
+        ],
+        Expected {
+            metric: "injected_vs_model",
+            min: INJECTED_VS_MODEL_MIN,
+            max: INJECTED_VS_MODEL_MAX,
+        },
+    )
+}
+
+pub fn run() -> Vec<Datapoint> {
+    let mut datapoints = vec![guard_overhead(), retry_convergence()];
+    datapoints.extend(TechnologyNode::ALL.into_iter().map(node_datapoint));
+    datapoints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Verdict;
+
+    #[test]
+    fn every_datapoint_passes_and_faults_actually_fire() {
+        let datapoints = run();
+        assert_eq!(datapoints.len(), 2 + TechnologyNode::ALL.len());
+        for dp in &datapoints {
+            assert_eq!(dp.verdict, Verdict::Pass, "{}: {:?}", dp.name, dp.metrics);
+        }
+        // The convergence datapoint must have exercised the retry path, not merely
+        // sailed through fault-free.
+        let convergence = &datapoints[1];
+        assert!(convergence.metric("retries").unwrap() >= 1.0);
+        assert!(convergence.metric("recovered").unwrap() >= 1.0);
+        assert_eq!(convergence.metric("converged").unwrap(), 1.0);
+        // Stressed rates grow monotonically toward smaller nodes, and every node
+        // injected something.
+        let mut last = 0.0;
+        for dp in &datapoints[2..] {
+            let p = dp.metric("model_probability").unwrap();
+            assert!(p > last, "{}: stressed probability must grow", dp.name);
+            last = p;
+            assert!(dp.metric("injected").unwrap() > 0.0, "{}", dp.name);
+        }
+    }
+}

@@ -18,12 +18,14 @@
 //! | [`Suite::Plans`] | — (new) | fused plan execution vs eager op-by-op |
 //! | [`Suite::Serving`] | — (new) | multi-tenant serving vs per-tenant sequential |
 //! | [`Suite::Fidelity`] | — (new) | bank-state timing backend vs the analytic model |
+//! | [`Suite::Faults`] | — (new) | fault injection vs the variation model, guard overhead |
 
 mod ablation;
 mod area;
 mod commands;
 mod energy;
 mod estimate;
+mod faults;
 mod fidelity;
 mod kernels;
 mod plans;
@@ -58,11 +60,13 @@ pub enum Suite {
     Serving,
     /// Timing-backend fidelity: bank-state replay divergence from the analytic model.
     Fidelity,
+    /// Fault tolerance: guard overhead, retry convergence, injection vs the variation model.
+    Faults,
 }
 
 impl Suite {
     /// All suites, in the order `--suite all` runs them.
-    pub const ALL: [Suite; 11] = [
+    pub const ALL: [Suite; 12] = [
         Suite::Throughput,
         Suite::Energy,
         Suite::Kernels,
@@ -74,6 +78,7 @@ impl Suite {
         Suite::Plans,
         Suite::Serving,
         Suite::Fidelity,
+        Suite::Faults,
     ];
 
     /// The suite's CLI / JSON name.
@@ -90,6 +95,7 @@ impl Suite {
             Suite::Plans => "plans",
             Suite::Serving => "serving",
             Suite::Fidelity => "fidelity",
+            Suite::Faults => "faults",
         }
     }
 
@@ -112,6 +118,7 @@ impl Suite {
             Suite::Plans => plans::run(),
             Suite::Serving => serving::run(),
             Suite::Fidelity => fidelity::run(),
+            Suite::Faults => faults::run(),
         }
     }
 }

@@ -1,10 +1,11 @@
 //! Configuration of a SIMDRAM machine.
 
-use simdram_dram::DramConfig;
+use simdram_dram::{DramConfig, FaultModel};
 use simdram_uprog::{CodegenOptions, Target};
 
 use crate::error::{CoreError, Result};
 use crate::executor::{ExecutionPolicy, FunctionalMode};
+use crate::guard::GuardMode;
 use crate::timing_backend::TimingBackendKind;
 
 /// Configuration of a [`crate::SimdramMachine`]: the underlying DRAM geometry, how much of
@@ -40,6 +41,14 @@ pub struct SimdramConfig {
     /// row-buffer, ACTIVATE-serialization and refresh effects *alongside* the
     /// unchanged analytic numbers ([`TimingBackendKind`]).
     pub timing_backend: TimingBackendKind,
+    /// Fault-injection model installed into every subarray at machine construction
+    /// ([`FaultModel::Off`] by default — the substrate stays exact and every result is
+    /// bit-identical to a fault-free run).
+    pub faults: FaultModel,
+    /// Fault-detection/recovery policy for broadcast execution ([`GuardMode::Off`] by
+    /// default; [`GuardMode::Redundant`] detects injected corruption by redundant
+    /// re-execution and retries from a snapshot).
+    pub guard: GuardMode,
 }
 
 impl Default for SimdramConfig {
@@ -53,6 +62,8 @@ impl Default for SimdramConfig {
             execution: ExecutionPolicy::default(),
             functional: FunctionalMode::default(),
             timing_backend: TimingBackendKind::default(),
+            faults: FaultModel::default(),
+            guard: GuardMode::default(),
         }
     }
 }
@@ -70,11 +81,12 @@ impl SimdramConfig {
     /// A small configuration for fast functional tests: 2 banks × 2 subarrays of 256
     /// columns.
     ///
-    /// Honors the `SIMDRAM_EXEC`, `SIMDRAM_FUNC` and `SIMDRAM_TIMING` environment
-    /// overrides (see [`ExecutionPolicy::from_env`], [`FunctionalMode::from_env`] and
-    /// [`TimingBackendKind::from_env`]), so CI can force every functional test through
-    /// the threaded broadcast engine, the compiled execution mode and/or the
-    /// bank-state timing backend without code changes.
+    /// Honors the `SIMDRAM_EXEC`, `SIMDRAM_FUNC`, `SIMDRAM_TIMING`, `SIMDRAM_FAULTS`
+    /// and `SIMDRAM_GUARD` environment overrides (see [`ExecutionPolicy::from_env`],
+    /// [`FunctionalMode::from_env`], [`TimingBackendKind::from_env`],
+    /// [`FaultModel::from_env`] and [`GuardMode::from_env`]), so CI can force every
+    /// functional test through the threaded broadcast engine, the compiled execution
+    /// mode, the bank-state timing backend and/or fault injection without code changes.
     pub fn functional_test() -> Self {
         SimdramConfig {
             dram: DramConfig::tiny(),
@@ -85,6 +97,8 @@ impl SimdramConfig {
             execution: ExecutionPolicy::from_env().unwrap_or_default(),
             functional: FunctionalMode::from_env().unwrap_or_default(),
             timing_backend: TimingBackendKind::from_env().unwrap_or_default(),
+            faults: FaultModel::from_env().unwrap_or_default(),
+            guard: GuardMode::from_env().unwrap_or_default(),
         }
     }
 
@@ -116,6 +130,8 @@ impl SimdramConfig {
             execution: ExecutionPolicy::from_env().unwrap_or_default(),
             functional: FunctionalMode::from_env().unwrap_or_default(),
             timing_backend: TimingBackendKind::from_env().unwrap_or_default(),
+            faults: FaultModel::from_env().unwrap_or_default(),
+            guard: GuardMode::from_env().unwrap_or_default(),
         }
     }
 

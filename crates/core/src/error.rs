@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::guard::FaultError;
+
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;
 
@@ -30,6 +32,9 @@ pub enum CoreError {
         /// Number of compute subarrays the configuration provides.
         available: usize,
     },
+    /// A guarded chunk exhausted its retry budget: its redundant executions kept
+    /// disagreeing, so the result could not be trusted (see [`crate::GuardMode`]).
+    Fault(FaultError),
 }
 
 impl fmt::Display for CoreError {
@@ -44,6 +49,7 @@ impl fmt::Display for CoreError {
                 f,
                 "broadcast needs {needed} compute subarrays but the configuration provides {available}"
             ),
+            CoreError::Fault(e) => write!(f, "unrecovered computation fault: {e}"),
         }
     }
 }

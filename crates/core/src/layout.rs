@@ -126,6 +126,38 @@ impl RowAllocator {
     pub(crate) fn free_rows(&self) -> usize {
         self.free.iter().map(|&(_, len)| len).sum()
     }
+
+    /// Carves the specific extent `[base, base + rows)` out of the free list, returning
+    /// `false` (and changing nothing) unless the whole extent is currently free.
+    ///
+    /// This is the quarantine primitive: removing a known-bad chunk from circulation is
+    /// an allocation *at a fixed address*, which first-fit [`RowAllocator::alloc`]
+    /// cannot express.
+    pub(crate) fn reserve_at(&mut self, base: usize, rows: usize) -> bool {
+        if rows == 0 {
+            return false;
+        }
+        for i in 0..self.free.len() {
+            let (start, len) = self.free[i];
+            if start <= base && base + rows <= start + len {
+                let before = base - start;
+                let after = (start + len) - (base + rows);
+                match (before, after) {
+                    (0, 0) => {
+                        self.free.remove(i);
+                    }
+                    (0, _) => self.free[i] = (base + rows, after),
+                    (_, 0) => self.free[i] = (start, before),
+                    (_, _) => {
+                        self.free[i] = (start, before);
+                        self.free.insert(i + 1, (base + rows, after));
+                    }
+                }
+                return true;
+            }
+        }
+        false
+    }
 }
 
 #[cfg(test)]
@@ -182,5 +214,27 @@ mod tests {
     fn zero_row_allocation_is_an_error() {
         let mut a = RowAllocator::new(8);
         assert!(matches!(a.alloc(0), Err(CoreError::Allocation(_))));
+    }
+
+    #[test]
+    fn reserve_at_carves_out_fixed_extents() {
+        let mut a = RowAllocator::new(16);
+        // Middle of the only extent: splits it.
+        assert!(a.reserve_at(4, 2));
+        assert_eq!(a.free_rows(), 14);
+        // Already reserved.
+        assert!(!a.reserve_at(4, 1));
+        assert!(!a.reserve_at(3, 3));
+        // Exact front and back of the remaining extents.
+        assert!(a.reserve_at(0, 4));
+        assert!(a.reserve_at(6, 10));
+        assert_eq!(a.free_rows(), 0);
+        assert!(!a.reserve_at(0, 1));
+        assert!(!a.reserve_at(0, 0));
+        // Freeing the reservations restores a fully coalesced allocator.
+        a.free(4, 2);
+        a.free(0, 4);
+        a.free(6, 10);
+        assert_eq!(a.alloc(16).unwrap(), 0);
     }
 }

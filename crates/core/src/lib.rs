@@ -52,6 +52,7 @@ mod control_unit;
 mod error;
 mod estimate;
 mod executor;
+mod guard;
 mod isa;
 mod layout;
 mod machine;
@@ -68,12 +69,16 @@ pub use control_unit::ControlUnit;
 pub use error::{CoreError, Result};
 pub use estimate::{BankStateTotals, BroadcastEstimate, MachineEstimate, TraceEstimator};
 pub use executor::{BroadcastExecutor, ExecutionPolicy, FunctionalMode};
+pub use guard::{FaultError, FaultLog, GuardMode, DEFAULT_MAX_RETRIES, RETRY_BACKOFF_NS};
+// Re-exported so downstream crates can populate `SimdramConfig::faults` without
+// depending on `simdram-dram` directly.
 pub use isa::{BbopInstruction, Mnemonic, TransposeDirection};
 pub use layout::SimdVector;
 pub use machine::{Reservation, SimdramMachine};
 pub use perf::{ddr4, pud_performance, PerfPoint};
 pub use plan::{Expr, Plan, PlanBuilder, PlanExecution, PlanOutput, Session};
 pub use report::{ExecutionReport, MachineStats, PlanReport};
+pub use simdram_dram::FaultModel;
 pub use timing_backend::{BankStateBackend, TimingBackend, TimingBackendKind};
 pub use transpose::{
     horizontal_to_vertical, transpose_64x64, vertical_to_horizontal, TranspositionUnit,

@@ -1,6 +1,6 @@
 //! The end-to-end SIMDRAM machine: allocation, layout conversion and bbop execution.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 use simdram_dram::stats::DeviceStats;
@@ -13,6 +13,7 @@ use crate::control_unit::ControlUnit;
 use crate::error::{CoreError, Result};
 use crate::estimate::{BroadcastEstimate, MachineEstimate, TraceEstimator};
 use crate::executor::{BroadcastExecutor, ExecutionPolicy, FunctionalMode};
+use crate::guard::{FaultError, FaultLog, GuardMode, RETRY_BACKOFF_NS};
 use crate::isa::BbopInstruction;
 use crate::layout::{RowAllocator, SimdVector};
 use crate::plan::{Plan, PlanBuilder, PlanExecution, Storage};
@@ -53,12 +54,18 @@ enum RunStep {
 /// (see [`FunctionalMode::trace_with_history`]); interpreted steps always record full
 /// history. Either way the history is drained before returning — only the local traces
 /// (whose aggregates are bit-identical between modes) leave the kernel.
+///
+/// Alongside the per-step traces, returns the number of fault-model bit flips injected
+/// during each step (always 0 with [`simdram_dram::FaultModel::Off`]), so per-step
+/// reports can attribute corruption exactly.
 fn run_steps(
     steps: &[RunStep],
     sa: &mut Subarray,
     with_history: bool,
-) -> Result<Vec<CommandTrace>> {
+) -> Result<(Vec<CommandTrace>, Vec<u64>)> {
     let mut per_step = Vec::with_capacity(steps.len());
+    let mut injected = Vec::with_capacity(steps.len());
+    let mut injected_before = sa.faults_injected();
     for step in steps {
         match step {
             RunStep::Init {
@@ -106,10 +113,90 @@ fn run_steps(
                 }
             },
         }
+        let now = sa.faults_injected();
+        injected.push(now - injected_before);
+        injected_before = now;
     }
     sa.drain_trace();
-    Ok(per_step)
+    Ok((per_step, injected))
 }
+
+/// Runs one chunk's batch under the machine's [`GuardMode`].
+///
+/// With [`GuardMode::Off`] this is exactly [`run_steps`] (plus a retry count of 0).
+/// Under [`GuardMode::Redundant`] each attempt snapshots the data rows, runs the batch
+/// **twice** from the same snapshot and compares the resulting data rows: agreement
+/// accepts the second run's state, disagreement rolls back and retries. Every attempt's
+/// commands are merged into the returned per-step traces — detection is paid for in
+/// modeled time and energy, roughly 2× per attempt. A chunk that exhausts `max_retries`
+/// is rolled back to its pre-batch snapshot and fails with [`CoreError::Fault`].
+///
+/// Retries advance the per-subarray fault stream (the stream key is a persistent
+/// counter), so *transient* faults draw fresh randomness and converge, while the
+/// persistent weak cells of [`simdram_dram::FaultModel::RowMap`] keep disagreeing and
+/// drive quarantine.
+fn run_steps_guarded(
+    steps: &[RunStep],
+    sa: &mut Subarray,
+    with_history: bool,
+    guard: GuardMode,
+    chunk: usize,
+    coord: (usize, usize),
+) -> Result<(Vec<CommandTrace>, Vec<u64>, u32)> {
+    let GuardMode::Redundant { max_retries } = guard else {
+        let (traces, injected) = run_steps(steps, sa, with_history)?;
+        return Ok((traces, injected, 0));
+    };
+    let baseline = sa.clone_data_rows();
+    let mut merged_traces: Vec<CommandTrace> = Vec::new();
+    let mut merged_injected: Vec<u64> = vec![0; steps.len()];
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let (first_traces, first_injected) = run_steps(steps, sa, with_history)?;
+        let first = sa.clone_data_rows();
+        sa.restore_data_rows(&baseline);
+        let (second_traces, second_injected) = run_steps(steps, sa, with_history)?;
+        if merged_traces.is_empty() {
+            merged_traces = first_traces;
+        } else {
+            for (merged, trace) in merged_traces.iter_mut().zip(&first_traces) {
+                merged.merge(trace);
+            }
+        }
+        for (merged, trace) in merged_traces.iter_mut().zip(&second_traces) {
+            merged.merge(trace);
+        }
+        for ((merged, a), b) in merged_injected
+            .iter_mut()
+            .zip(&first_injected)
+            .zip(&second_injected)
+        {
+            *merged += a + b;
+        }
+        if sa.data_rows_equal(&first) {
+            return Ok((merged_traces, merged_injected, attempts - 1));
+        }
+        if attempts > max_retries {
+            let second = sa.clone_data_rows();
+            let mismatched_rows = first.iter().zip(&second).filter(|(a, b)| a != b).count();
+            sa.restore_data_rows(&baseline);
+            sa.drain_trace();
+            return Err(CoreError::Fault(FaultError {
+                bank: coord.0,
+                subarray: coord.1,
+                chunk,
+                attempts,
+                mismatched_rows,
+            }));
+        }
+        sa.restore_data_rows(&baseline);
+    }
+}
+
+/// Consecutive guarded failures after which a chunk is quarantined (excluded from
+/// future placements; see [`SimdramMachine::quarantined_chunks`]).
+const QUARANTINE_THRESHOLD: u32 = 2;
 
 /// A lease on a contiguous range of compute subarrays ("chunks"), granted by
 /// [`SimdramMachine::reserve_subarrays`].
@@ -196,6 +283,12 @@ pub struct SimdramMachine {
     /// Active reservations: id → (offset, chunks). Used to validate handles.
     reservations: HashMap<u64, (usize, usize)>,
     next_reservation_id: u64,
+    /// Cumulative fault detection/recovery accounting (see [`SimdramMachine::fault_log`]).
+    fault_log: FaultLog,
+    /// Guarded-failure count per compute chunk, feeding the quarantine decision.
+    failure_counts: HashMap<usize, u32>,
+    /// Compute chunks removed from placement circulation after repeated failures.
+    quarantined: BTreeSet<usize>,
 }
 
 impl SimdramMachine {
@@ -206,7 +299,8 @@ impl SimdramMachine {
     /// Returns an error if the configuration is invalid.
     pub fn new(config: SimdramConfig) -> Result<Self> {
         config.validate()?;
-        let device = DramDevice::new(config.dram.clone())?;
+        let mut device = DramDevice::new(config.dram.clone())?;
+        device.install_faults(&config.faults);
         let allocator = RowAllocator::new(config.allocatable_rows());
         let control = ControlUnit::new(config.target, config.codegen);
         let transposer =
@@ -236,6 +330,9 @@ impl SimdramMachine {
             chunk_allocator,
             reservations: HashMap::new(),
             next_reservation_id: 0,
+            fault_log: FaultLog::default(),
+            failure_counts: HashMap::new(),
+            quarantined: BTreeSet::new(),
         })
     }
 
@@ -347,9 +444,44 @@ impl SimdramMachine {
         self.config.compute_banks * self.config.compute_subarrays_per_bank
     }
 
-    /// Number of compute chunks not currently held by a [`Reservation`].
+    /// Number of compute chunks not currently held by a [`Reservation`]. Quarantined
+    /// chunks are permanently out of this pool — repeated guarded failures shrink the
+    /// machine's placeable capacity, which is how a serving layer observes degradation.
     pub fn free_chunks(&self) -> usize {
         self.chunk_allocator.free_rows()
+    }
+
+    /// Cumulative fault injection/detection/recovery accounting. The injected count is
+    /// read live from the device, so it also covers unguarded execution.
+    pub fn fault_log(&self) -> FaultLog {
+        let mut log = self.fault_log;
+        log.injected = self.device.injected_faults();
+        log
+    }
+
+    /// Compute chunks quarantined after repeated guarded failures, in ascending order.
+    /// Quarantined chunks are never handed out by
+    /// [`SimdramMachine::reserve_subarrays`] again.
+    pub fn quarantined_chunks(&self) -> Vec<usize> {
+        self.quarantined.iter().copied().collect()
+    }
+
+    /// Total bit flips the fault model has injected across the device (0 with
+    /// [`simdram_dram::FaultModel::Off`]).
+    pub fn injected_faults(&self) -> u64 {
+        self.device.injected_faults()
+    }
+
+    /// Records one exhausted-retries failure of `chunk` and quarantines it once it
+    /// crosses `QUARANTINE_THRESHOLD`: the chunk is carved out of the free pool now
+    /// if it is free, or kept back by [`SimdramMachine::release_subarrays`] when the
+    /// reservation holding it is returned.
+    fn note_chunk_failure(&mut self, chunk: usize) {
+        let count = self.failure_counts.entry(chunk).or_insert(0);
+        *count += 1;
+        if *count >= QUARANTINE_THRESHOLD && self.quarantined.insert(chunk) {
+            self.chunk_allocator.reserve_at(chunk, 1);
+        }
     }
 
     /// Reserves `chunks` consecutive compute subarrays, returning a placement handle.
@@ -386,7 +518,9 @@ impl SimdramMachine {
         Ok(Reservation { id, offset, chunks })
     }
 
-    /// Returns a reservation's subarrays to the free pool.
+    /// Returns a reservation's subarrays to the free pool — except any chunk that was
+    /// quarantined while the reservation held it, which stays out of circulation (the
+    /// free-list coalescing keeps the surviving neighbours allocatable).
     ///
     /// # Errors
     ///
@@ -397,7 +531,11 @@ impl SimdramMachine {
             Some((offset, chunks))
                 if offset == reservation.offset && chunks == reservation.chunks =>
             {
-                self.chunk_allocator.free(offset, chunks);
+                for chunk in offset..offset + chunks {
+                    if !self.quarantined.contains(&chunk) {
+                        self.chunk_allocator.free(chunk, 1);
+                    }
+                }
                 Ok(())
             }
             Some(state) => {
@@ -1154,24 +1292,45 @@ impl SimdramMachine {
             // per-command history even when the compiled mode would sample it away
             // (aggregate accounting is bit-identical either way).
             let force_history = self.backend.wants_history();
-            let chunk_traces =
-                self.executor
-                    .broadcast(&mut self.device, &coords, |position, sa| {
-                        run_steps(
-                            &step_lists[owner_of_position[position]],
-                            sa,
-                            force_history || mode.trace_with_history(position),
-                        )
-                    })?;
+            let guard = self.config.guard;
+            let per_bank = self.config.compute_subarrays_per_bank;
+            let coords_ref = &coords;
+            let broadcast = self
+                .executor
+                .broadcast(&mut self.device, &coords, |position, sa| {
+                    let (bank, subarray) = coords_ref[position];
+                    run_steps_guarded(
+                        &step_lists[owner_of_position[position]],
+                        sa,
+                        force_history || mode.trace_with_history(position),
+                        guard,
+                        bank * per_bank + subarray,
+                        (bank, subarray),
+                    )
+                });
+            let chunk_results = match broadcast {
+                Ok(results) => results,
+                Err(err) => {
+                    // An exhausted-retries chunk aborts the whole dispatch (the serve
+                    // layer re-dispatches surviving jobs); record the failure so
+                    // repeated offenders get quarantined.
+                    if let CoreError::Fault(fault) = &err {
+                        self.fault_log.exhausted += 1;
+                        self.fault_log.retries += u64::from(fault.attempts.saturating_sub(1));
+                        self.note_chunk_failure(fault.chunk);
+                    }
+                    return Err(err);
+                }
+            };
 
             // Dispatch-level bank-state replay: merge each chunk's per-step traces into
             // one stream per chunk (the order the subarray really issued them) and
             // replay the whole fused dispatch. Skipped entirely under the analytic
             // backend.
             let fused_bank_state = if self.backend.kind().is_bank_state() {
-                let merged: Vec<CommandTrace> = chunk_traces
+                let merged: Vec<CommandTrace> = chunk_results
                     .iter()
-                    .map(|steps| {
+                    .map(|(steps, _, _)| {
                         let mut whole = CommandTrace::new();
                         for step in steps {
                             whole.merge(step);
@@ -1187,33 +1346,49 @@ impl SimdramMachine {
             let mut dispatch_latency = 0.0f64;
             let mut dispatch_commands = 0usize;
             let mut dispatch_energy = 0.0f64;
-            let mut trace_iter = chunk_traces.into_iter();
+            let mut dispatch_retries = 0u64;
+            let mut trace_iter = chunk_results.into_iter();
             for (participant, &job_index) in participants.iter().enumerate() {
                 let chunks = chunk_counts[participant];
                 let steps = &step_lists[participant];
                 let plan = jobs[job_index].0;
-                // Transpose this job's [chunk][step] traces into per-step chunk order.
+                // Transpose this job's [chunk][step] traces into per-step chunk order,
+                // summing each step's injected-fault deltas over the job's chunks.
                 let mut per_step: Vec<Vec<CommandTrace>> = (0..steps.len())
                     .map(|_| Vec::with_capacity(chunks))
                     .collect();
+                let mut step_injected = vec![0u64; steps.len()];
+                let mut job_retries = 0u64;
                 for _ in 0..chunks {
-                    let chunk = trace_iter.next().expect("one trace list per chunk");
-                    for (step, trace) in chunk.into_iter().enumerate() {
+                    let (chunk_traces, chunk_injected, chunk_retries) =
+                        trace_iter.next().expect("one trace list per chunk");
+                    for (step, trace) in chunk_traces.into_iter().enumerate() {
                         per_step[step].push(trace);
                     }
+                    for (step, n) in chunk_injected.into_iter().enumerate() {
+                        step_injected[step] += n;
+                    }
+                    if chunk_retries > 0 {
+                        job_retries += u64::from(chunk_retries);
+                        self.fault_log.retries += u64::from(chunk_retries);
+                        self.fault_log.recovered += 1;
+                    }
                 }
+                dispatch_retries += job_retries;
 
                 let mut batch_chunk_latency = vec![0.0f64; chunks];
                 let mut batch_commands = 0usize;
                 let mut batch_energy = 0.0f64;
                 let report = &mut reports[job_index];
-                for (step, traces) in steps.iter().zip(&per_step) {
+                report.fault_retries += job_retries;
+                for ((step_index, step), traces) in steps.iter().enumerate().zip(&per_step) {
                     for (chunk, trace) in traces.iter().enumerate() {
                         self.functional_stats.absorb_trace(trace);
                         batch_chunk_latency[chunk] += trace.total_latency_ns();
                         batch_energy += trace.total_energy_nj();
                         batch_commands += trace.len();
                     }
+                    report.faults_injected += step_injected[step_index];
                     match step {
                         RunStep::Init { width, .. } => {
                             report.constants += 1;
@@ -1243,6 +1418,7 @@ impl SimdramMachine {
                                     .bank_state
                                     .as_ref()
                                     .map(|replay| replay.latency_ns),
+                                faults_injected: step_injected[step_index],
                             };
                             self.stats.record_execution(&step_report);
                             report.ops += 1;
@@ -1265,6 +1441,16 @@ impl SimdramMachine {
                 dispatch_latency = dispatch_latency.max(batch_latency);
                 dispatch_commands += batch_commands;
                 dispatch_energy += batch_energy;
+            }
+
+            // Recovery is not free: every retry charges a modeled re-dispatch window
+            // on top of the (already doubled-and-merged) guarded traces, serializing
+            // into the dispatch's busy window. Zero with the guard off, keeping the
+            // estimate bit-identical to pre-fault-model behaviour.
+            if dispatch_retries > 0 {
+                let backoff = dispatch_retries as f64 * RETRY_BACKOFF_NS;
+                self.fault_log.backoff_ns += backoff;
+                dispatch_latency += backoff;
             }
 
             // Fold the whole fused dispatch into the cumulative estimate as ONE

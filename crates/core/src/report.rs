@@ -48,6 +48,11 @@ pub struct ExecutionReport {
     /// analytic backend. Always ≥ [`Self::measured_latency_ns`] when present — the
     /// replay only adds row-buffer, ACTIVATE-serialization and refresh penalties.
     pub bank_state_latency_ns: Option<f64>,
+    /// Bit flips the fault model injected during this step, summed over the
+    /// participating subarrays (0 with [`simdram_dram::FaultModel::Off`]). Under
+    /// [`crate::GuardMode::Redundant`] this covers every attempt, including retried
+    /// and discarded ones.
+    pub faults_injected: u64,
 }
 
 impl ExecutionReport {
@@ -172,6 +177,13 @@ pub struct PlanReport {
     pub measured_latency_ns: f64,
     /// Trace-measured dynamic DRAM energy over every step and subarray, in nanojoules.
     pub measured_energy_nj: f64,
+    /// Bit flips the fault model injected while running this plan's batches (all steps,
+    /// all subarrays, all guarded attempts; 0 with [`simdram_dram::FaultModel::Off`]).
+    pub faults_injected: u64,
+    /// Guarded retry attempts this plan's batches consumed (0 with
+    /// [`crate::GuardMode::Off`]); each one re-ran a chunk's whole batch redundantly
+    /// and charged [`crate::RETRY_BACKOFF_NS`] to the dispatch latency.
+    pub fault_retries: u64,
     /// Per-operation reports, in step issue order (constant steps carry no report).
     pub step_reports: Vec<ExecutionReport>,
 }
@@ -305,6 +317,7 @@ mod tests {
             measured_latency_ns: 22_950.0,
             measured_energy_nj: 1_000.0,
             bank_state_latency_ns: None,
+            faults_injected: 0,
         }
     }
 
@@ -363,6 +376,8 @@ mod tests {
             energy_nj: 40.0,
             measured_latency_ns: 1_000.0,
             measured_energy_nj: 80.0,
+            faults_injected: 0,
+            fault_retries: 0,
             step_reports: vec![report()],
         };
         assert!((plan.broadcast_savings() - 7.0 / 3.0).abs() < 1e-12);

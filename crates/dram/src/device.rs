@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use crate::bank::Bank;
 use crate::config::DramConfig;
 use crate::error::{DramError, Result};
+use crate::fault::FaultModel;
 use crate::stats::DeviceStats;
 use crate::subarray::Subarray;
 
@@ -159,9 +160,33 @@ impl DramDevice {
         for bank in &self.banks {
             for sa in bank.iter() {
                 stats.absorb_trace(sa.trace());
+                stats.add_injected_faults(sa.faults_injected());
             }
         }
         stats
+    }
+
+    /// Installs `model`'s per-subarray fault streams into every subarray (clearing any
+    /// previous streams when the model is [`FaultModel::Off`]). Subarrays are indexed
+    /// bank-major — `bank × subarrays_per_bank + subarray` — matching how the compute
+    /// layer linearizes chunk coordinates, so a device-level seed reproduces per-chunk.
+    pub fn install_faults(&mut self, model: &FaultModel) {
+        let columns = self.config.columns_per_row;
+        let per_bank = self.config.subarrays_per_bank;
+        for (b, bank) in self.banks.iter_mut().enumerate() {
+            for (s, sa) in bank.iter_mut().enumerate() {
+                sa.install_fault_state(model.state_for(b * per_bank + s, columns));
+            }
+        }
+    }
+
+    /// Total bits flipped by fault injection across the device (0 with faults off).
+    pub fn injected_faults(&self) -> u64 {
+        self.banks
+            .iter()
+            .flat_map(Bank::iter)
+            .map(Subarray::faults_injected)
+            .sum()
     }
 
     /// Clears every subarray's command trace.

@@ -44,6 +44,7 @@ mod command;
 mod config;
 mod device;
 mod error;
+mod fault;
 mod rowclone;
 mod rowops;
 mod subarray;
@@ -63,6 +64,7 @@ pub use config::{DramConfig, DramConfigBuilder};
 pub use device::DramDevice;
 pub use energy::EnergyModel;
 pub use error::{DramError, Result};
+pub use fault::{FaultModel, FaultState};
 pub use rowclone::{CopyMechanism, InterSubarrayCopy};
 pub use rowops::{RowOp, RowOpBlock, RowRef, SrcRef, WriteRef};
 pub use subarray::{BGroupRow, RowAddr, Subarray};

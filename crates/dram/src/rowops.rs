@@ -172,6 +172,11 @@ pub struct RowOpBlock {
     /// Per-region row extent: `extents[r]` rows starting at `bases[r]` are touched.
     region_extents: Vec<u32>,
     aggregate: TraceAggregate,
+    /// Source-μProgram TRA ordinal of each majority op, in op order (see
+    /// [`RowOpBlock::maj_ordinals`]).
+    maj_ordinals: Vec<u32>,
+    /// TRAs in the source command stream, including any the compiler elided.
+    tra_total: u32,
 }
 
 impl RowOpBlock {
@@ -241,16 +246,70 @@ impl RowOpBlock {
                 _ => {}
             }
         }
+        // Default TRA bookkeeping: every majority op is its own TRA, numbered in op
+        // order. Compilers that elide TRAs override this via `with_tra_ordinals`.
+        let maj_ordinals: Vec<u32> = (0..count_majority_ops(&ops) as u32).collect();
+        let tra_total = maj_ordinals.len() as u32;
         Ok(RowOpBlock {
             ops,
             region_extents,
             aggregate,
+            maj_ordinals,
+            tra_total,
         })
+    }
+
+    /// Overrides the block's TRA bookkeeping with the source μProgram's: `ordinals[i]`
+    /// is the μProgram TRA ordinal realized by the block's `i`-th majority op, and
+    /// `tra_total` the μProgram's full TRA count (elided TRAs included). Fault
+    /// injection keys on these so the compiled path draws exactly the interpreted
+    /// path's fault stream (see [`crate::FaultState`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::InvalidConfig`] if `ordinals` does not have one entry per
+    /// majority op, is not strictly increasing, or references an ordinal `>=
+    /// tra_total`.
+    pub fn with_tra_ordinals(mut self, ordinals: Vec<u32>, tra_total: u32) -> Result<Self> {
+        let majority_ops = count_majority_ops(&self.ops);
+        if ordinals.len() != majority_ops {
+            return Err(DramError::InvalidConfig(format!(
+                "block has {majority_ops} majority ops but {} TRA ordinals",
+                ordinals.len()
+            )));
+        }
+        if !ordinals.windows(2).all(|w| w[0] < w[1]) {
+            return Err(DramError::InvalidConfig(
+                "TRA ordinals must be strictly increasing".into(),
+            ));
+        }
+        if let Some(&last) = ordinals.last() {
+            if last >= tra_total {
+                return Err(DramError::InvalidConfig(format!(
+                    "TRA ordinal {last} out of range for a {tra_total}-TRA source program"
+                )));
+            }
+        }
+        self.maj_ordinals = ordinals;
+        self.tra_total = tra_total;
+        Ok(self)
     }
 
     /// The operations, in issue order.
     pub fn ops(&self) -> &[RowOp] {
         &self.ops
+    }
+
+    /// Source-μProgram TRA ordinal of each majority op ([`RowOp::MajFused`],
+    /// [`RowOp::Maj`], [`RowOp::MajDirect`]), in op order.
+    pub fn maj_ordinals(&self) -> &[u32] {
+        &self.maj_ordinals
+    }
+
+    /// TRAs in the block's source command stream — `>= maj_ordinals().len()` whenever
+    /// the compiler elided dead TRAs.
+    pub fn tra_total(&self) -> u32 {
+        self.tra_total
     }
 
     /// Number of data-row regions the block addresses.
@@ -268,6 +327,18 @@ impl RowOpBlock {
     pub fn aggregate(&self) -> &TraceAggregate {
         &self.aggregate
     }
+}
+
+/// Number of majority (TRA-realizing) operations in `ops`.
+fn count_majority_ops(ops: &[RowOp]) -> usize {
+    ops.iter()
+        .filter(|op| {
+            matches!(
+                op,
+                RowOp::MajFused { .. } | RowOp::Maj { .. } | RowOp::MajDirect { .. }
+            )
+        })
+        .count()
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@ pub struct DeviceStats {
     total_commands: usize,
     total_latency_ns: f64,
     total_energy_nj: f64,
+    injected_faults: u64,
 }
 
 impl DeviceStats {
@@ -63,6 +64,17 @@ impl DeviceStats {
         self.total_energy_nj * 1e3
     }
 
+    /// Adds `n` injected-fault bit flips to the aggregate (see
+    /// [`crate::Subarray::faults_injected`]).
+    pub fn add_injected_faults(&mut self, n: u64) {
+        self.injected_faults += n;
+    }
+
+    /// Total bits flipped by fault injection (0 with [`crate::FaultModel::Off`]).
+    pub fn injected_faults(&self) -> u64 {
+        self.injected_faults
+    }
+
     /// Merges another statistics record into this one.
     pub fn merge(&mut self, other: &DeviceStats) {
         for (k, v) in &other.counts {
@@ -71,6 +83,7 @@ impl DeviceStats {
         self.total_commands += other.total_commands;
         self.total_latency_ns += other.total_latency_ns;
         self.total_energy_nj += other.total_energy_nj;
+        self.injected_faults += other.injected_faults;
     }
 }
 
@@ -82,7 +95,11 @@ impl fmt::Display for DeviceStats {
         }
         writeln!(f, "  total commands: {}", self.total_commands)?;
         writeln!(f, "  total latency : {:.1} ns", self.total_latency_ns)?;
-        write!(f, "  total energy  : {:.1} nJ", self.total_energy_nj)
+        write!(f, "  total energy  : {:.1} nJ", self.total_energy_nj)?;
+        if self.injected_faults > 0 {
+            write!(f, "\n  injected faults: {}", self.injected_faults)?;
+        }
+        Ok(())
     }
 }
 

@@ -24,6 +24,7 @@ use crate::bitrow::BitRow;
 use crate::command::{CommandCosts, CommandTrace, DramCommand, TraceSlot};
 use crate::config::DramConfig;
 use crate::error::{DramError, Result};
+use crate::fault::FaultState;
 use crate::rowops::{RowOp, RowOpBlock, RowRef, SrcRef, WriteRef};
 
 /// Rows of the B-group (compute rows) of a subarray.
@@ -110,6 +111,9 @@ pub struct Subarray {
     /// trace's cost table so the per-command hot path records without searching.
     costs: [DramCommand; 6],
     slots: [TraceSlot; 6],
+    /// Seeded fault-injection stream, installed by [`crate::DramDevice::install_faults`];
+    /// `None` (the default) leaves every TRA exact.
+    faults: Option<FaultState>,
 }
 
 /// Indices into [`Subarray::costs`]/[`Subarray::slots`], one per command template.
@@ -150,6 +154,7 @@ impl Subarray {
             trace,
             costs,
             slots,
+            faults: None,
         }
     }
 
@@ -396,8 +401,9 @@ impl Subarray {
         if a == b || b == c || a == c {
             return Err(DramError::DuplicateTraRow);
         }
-        if !self.try_tra_fused(a, b, c, None) {
-            self.tra_into_sense(a, b, c);
+        let fault_key = self.next_fault_key();
+        if !self.try_tra_fused(a, b, c, None, fault_key) {
+            self.tra_into_sense(a, b, c, fault_key);
             self.restore_tra_rows(a, b, c)?;
         }
         self.row_open = false;
@@ -422,8 +428,9 @@ impl Subarray {
         if a == b || b == c || a == c {
             return Err(DramError::DuplicateTraRow);
         }
-        if !self.try_tra_fused(a, b, c, Some(dst)) {
-            self.tra_into_sense(a, b, c);
+        let fault_key = self.next_fault_key();
+        if !self.try_tra_fused(a, b, c, Some(dst), fault_key) {
+            self.tra_into_sense(a, b, c, fault_key);
             self.restore_tra_rows(a, b, c)?;
             self.restore(dst)?;
         }
@@ -604,6 +611,7 @@ impl Subarray {
         b: BGroupRow,
         c: BGroupRow,
         dst: Option<RowAddr>,
+        fault_key: Option<u64>,
     ) -> bool {
         let (Some(i), Some(j), Some(k)) = (t_index(a), t_index(b), t_index(c)) else {
             return false;
@@ -615,16 +623,23 @@ impl Subarray {
             // error/ordering behaviour.
             Some(_) => return false,
         };
-        self.fused_tra([i, j, k], dst_row);
+        self.fused_tra([i, j, k], dst_row, fault_key);
         true
     }
 
     /// The fused-TRA word-level kernel shared by [`Subarray::try_tra_fused`] and the
     /// compiled row-op path: majority of three distinct plain `T` rows restored into the
     /// operands, the sense row and an optional pre-validated data row.
-    fn fused_tra(&mut self, mut idx: [usize; 3], dst_row: Option<usize>) {
+    fn fused_tra(&mut self, mut idx: [usize; 3], dst_row: Option<usize>, fault_key: Option<u64>) {
         idx.sort_unstable(); // majority and restore are operand-order independent
-        let Subarray { rows, t, sense, .. } = self;
+        let Subarray {
+            rows,
+            t,
+            sense,
+            faults,
+            columns,
+            ..
+        } = self;
         let (lo, rest) = t.split_at_mut(idx[1]);
         let (mid, hi) = rest.split_at_mut(idx[2] - idx[1]);
         let (ra, rb, rc) = (&mut lo[idx[0]], &mut mid[0], &mut hi[0]);
@@ -632,6 +647,18 @@ impl Subarray {
         // restorations are then plain word-level row copies (separate passes beat one
         // multi-stream loop: each is a straight memcpy from the cache-hot sense row).
         BitRow::majority_into(ra, rb, rc, sense).expect("subarray rows share one width");
+        if let (Some(state), Some(key)) = (faults.as_mut(), fault_key) {
+            // Inject between the charge-sharing and the restoration, so a flipped bit
+            // propagates into the activated rows and the destination exactly like a
+            // marginal sense amplifier latching the wrong way.
+            let (wa, wb, wc) = (ra.words(), rb.words(), rc.words());
+            state.corrupt_tra(key, sense.words_mut(), *columns, |col| {
+                let (w, bit) = (col / 64, col % 64);
+                let (x, y, z) = (wa[w], wb[w], wc[w]);
+                (((x ^ y) | (y ^ z)) >> bit) & 1 == 1
+            });
+            sense.normalize();
+        }
         ra.copy_from(sense).expect("subarray rows share one width");
         rb.copy_from(sense).expect("subarray rows share one width");
         rc.copy_from(sense).expect("subarray rows share one width");
@@ -705,13 +732,15 @@ impl Subarray {
     /// Computes the bitwise majority of three B-group rows directly into the
     /// sense-amplifier row, resolving negated wordlines and constant control rows at the
     /// word level so no operand is ever materialized.
-    fn tra_into_sense(&mut self, a: BGroupRow, b: BGroupRow, c: BGroupRow) {
+    fn tra_into_sense(&mut self, a: BGroupRow, b: BGroupRow, c: BGroupRow, fault_key: Option<u64>) {
         let Subarray {
             sense,
             t,
             dcc,
             c0,
             c1,
+            faults,
+            columns,
             ..
         } = self;
         // Each operand becomes (stored words, complement mask): negated wordlines drive
@@ -745,6 +774,16 @@ impl Subarray {
         }
         // Complemented operands set stray bits past the row length; re-mask the tail.
         sense.normalize();
+        if let (Some(state), Some(key)) = (faults.as_mut(), fault_key) {
+            // Marginality is judged on the *driven* values (complements applied), the
+            // same 2-vs-1 worst case the variation model scores.
+            state.corrupt_tra(key, sense.words_mut(), *columns, |col| {
+                let (w, bit) = (col / 64, col % 64);
+                let (x, y, z) = (wa[w] ^ xa, wb[w] ^ xb, wc[w] ^ xc);
+                (((x ^ y) | (y ^ z)) >> bit) & 1 == 1
+            });
+            sense.normalize();
+        }
     }
 
     /// Restores the TRA result latched in the sense amplifiers into the activated rows
@@ -803,6 +842,16 @@ impl Subarray {
                 });
             }
         }
+        // Fault keys: the stream position every majority op would have had in the
+        // interpreted path, recovered from the block's source-μProgram TRA ordinals.
+        let fault_base = self.faults.as_ref().map(|s| s.counter());
+        let maj_ordinals = block.maj_ordinals();
+        let mut maj_index = 0usize;
+        let next_fault_key = |index: &mut usize| -> Option<u64> {
+            let key = fault_base.map(|base| base + u64::from(maj_ordinals[*index]));
+            *index += 1;
+            key
+        };
         for op in block.ops() {
             match *op {
                 RowOp::Copy { src, dst } => {
@@ -832,10 +881,12 @@ impl Subarray {
                         Phys::Data(r) => r,
                         _ => unreachable!("block validation restricts fused TRA dst to data rows"),
                     });
-                    self.fused_tra([t[0] as usize, t[1] as usize, t[2] as usize], dst_row);
+                    let key = next_fault_key(&mut maj_index);
+                    self.fused_tra([t[0] as usize, t[1] as usize, t[2] as usize], dst_row, key);
                 }
                 RowOp::Maj { a, b, c, dst } => {
-                    self.tra_into_sense(a, b, c);
+                    let key = next_fault_key(&mut maj_index);
+                    self.tra_into_sense(a, b, c, key);
                     self.restore_tra_rows(a, b, c)
                         .expect("non-control B-group rows are always restorable");
                     if let Some(w) = dst {
@@ -873,6 +924,7 @@ impl Subarray {
                     // mask (negated wordlines XOR with all-ones), exactly like the
                     // interpreted TRA resolve — one tight pass computes the
                     // (optionally complemented) majority into the sense row.
+                    let key = next_fault_key(&mut maj_index);
                     let Subarray {
                         rows,
                         t,
@@ -880,6 +932,8 @@ impl Subarray {
                         c0,
                         c1,
                         sense,
+                        faults,
+                        columns,
                         ..
                     } = &mut *self;
                     let resolve = |s: SrcRef| -> (&[u64], u64) {
@@ -916,6 +970,18 @@ impl Subarray {
                         *w = ((x & y) | (y & z) | (x & z)) ^ xd;
                     }
                     sense.normalize();
+                    if let (Some(state), Some(key)) = (faults.as_mut(), key) {
+                        // Flipping a bit of `maj ^ xd` equals flipping it before the
+                        // destination complement, so injection commutes with `xd` and
+                        // stays bit-compatible with the interpreted path. Marginality
+                        // is judged on the driven (pre-`xd`) operand values.
+                        state.corrupt_tra(key, sense.words_mut(), *columns, |col| {
+                            let (w, bit) = (col / 64, col % 64);
+                            let (x, y, z) = (wa[w] ^ xa, wb[w] ^ xb, wc[w] ^ xc);
+                            (((x ^ y) | (y ^ z)) >> bit) & 1 == 1
+                        });
+                        sense.normalize();
+                    }
                     if let Some(w) = dst {
                         // The sense row is not architecturally observable and no source
                         // ever names it, so "restoring" it into the destination cell is
@@ -933,9 +999,66 @@ impl Subarray {
                 }
             }
         }
+        // Advance the fault stream past *every* source TRA — including ones the
+        // compiler elided — so the stream position stays mode-independent.
+        if let Some(state) = self.faults.as_mut() {
+            state.advance(u64::from(block.tra_total()));
+        }
         self.row_open = false;
         self.trace.apply_aggregate(block.aggregate(), with_history);
         Ok(())
+    }
+
+    /// Consumes the next interpreted-path fault key, or `None` when no fault stream is
+    /// installed. Called once per executed TRA so the stream position always matches
+    /// the μProgram TRA ordinal.
+    fn next_fault_key(&mut self) -> Option<u64> {
+        self.faults.as_mut().map(FaultState::take_key)
+    }
+
+    /// Installs (or clears, with `None`) this subarray's fault-injection stream.
+    pub fn install_fault_state(&mut self, state: Option<FaultState>) {
+        self.faults = state;
+    }
+
+    /// The installed fault stream, if any.
+    pub fn fault_state(&self) -> Option<&FaultState> {
+        self.faults.as_ref()
+    }
+
+    /// Bits flipped by fault injection in this subarray so far (0 with faults off).
+    pub fn faults_injected(&self) -> u64 {
+        self.faults.as_ref().map_or(0, FaultState::injected)
+    }
+
+    /// Snapshots every data row (the architecturally observable state; B-group
+    /// temporaries are dead between commands). Guarded re-execution in `simdram-core`
+    /// uses this with [`Subarray::restore_data_rows`] / [`Subarray::data_rows_equal`]
+    /// to detect and recover injected faults; none of the three record commands.
+    pub fn clone_data_rows(&self) -> Vec<BitRow> {
+        self.rows.clone()
+    }
+
+    /// Restores a snapshot taken by [`Subarray::clone_data_rows`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot came from a different geometry.
+    pub fn restore_data_rows(&mut self, snapshot: &[BitRow]) {
+        assert_eq!(
+            snapshot.len(),
+            self.rows.len(),
+            "data-row snapshot geometry mismatch"
+        );
+        for (row, saved) in self.rows.iter_mut().zip(snapshot) {
+            row.copy_from(saved).expect("subarray rows share one width");
+        }
+    }
+
+    /// Compares every data row against a snapshot taken by
+    /// [`Subarray::clone_data_rows`].
+    pub fn data_rows_equal(&self, snapshot: &[BitRow]) -> bool {
+        self.rows.as_slice() == snapshot
     }
 }
 

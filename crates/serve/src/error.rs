@@ -5,6 +5,7 @@ use std::fmt;
 use simdram_core::CoreError;
 
 use crate::queue::JobId;
+use crate::report::FaultReport;
 use crate::tenant::TenantId;
 
 /// Result alias used across `simdram-serve`.
@@ -79,6 +80,14 @@ pub enum ServeError {
         /// The aborted job.
         job: JobId,
     },
+    /// The job's placement kept faulting until the machine's retry budget ran out; it
+    /// was dropped from its window while the window's other jobs completed normally.
+    JobFaulted {
+        /// The faulted job.
+        job: JobId,
+        /// Where and when the job faulted.
+        report: FaultReport,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -116,6 +125,12 @@ impl fmt::Display for ServeError {
             }
             ServeError::JobAborted { job } => {
                 write!(f, "job {job} was aborted by its dispatch window's failure")
+            }
+            ServeError::JobFaulted { job, report } => {
+                write!(
+                    f,
+                    "job {job} was dropped after an unrecovered fault: {report}"
+                )
             }
         }
     }

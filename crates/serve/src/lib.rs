@@ -80,6 +80,18 @@
 //! | Window records + aggregate report | [`ServeReport`], [`WindowRecord`] |
 //! | Policy knobs | [`ServeConfig`] |
 //! | Typed errors | [`ServeError`] |
+//! | Fault containment + health | [`FaultReport`], [`ServerHealth`] |
+//!
+//! # Graceful degradation
+//!
+//! When the wrapped machine runs with fault injection and guarded execution
+//! ([`SimdramConfig::faults`](simdram_core::SimdramConfig) /
+//! [`SimdramConfig::guard`](simdram_core::SimdramConfig)), an unrecovered fault does
+//! **not** poison the server: the owning job is dropped from its window with a typed
+//! [`ServeError::JobFaulted`] carrying a [`FaultReport`], the surviving jobs are
+//! re-dispatched, and any chunk the machine quarantined simply disappears from the
+//! placement pool — later windows pack into the remaining capacity.
+//! [`PlanServer::health`] exposes the resulting [`ServerHealth`] snapshot.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -95,6 +107,8 @@ mod tenant;
 pub use config::ServeConfig;
 pub use error::{Result, ServeError};
 pub use queue::{JobId, JobResult};
-pub use report::{JobPlacement, ServeReport, TenantReport, WindowRecord};
+pub use report::{
+    FaultReport, JobPlacement, ServeReport, ServerHealth, TenantReport, WindowRecord,
+};
 pub use server::PlanServer;
 pub use tenant::{TenantId, TenantSpec};

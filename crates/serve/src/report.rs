@@ -3,8 +3,82 @@
 
 use std::fmt;
 
+use simdram_core::FaultError;
+
 use crate::queue::JobId;
 use crate::tenant::TenantId;
+
+/// Why a job was dropped from its dispatch window: a chunk inside the job's placement
+/// kept failing guarded execution until the machine's retry budget ran out.
+///
+/// Carried by [`ServeError::JobFaulted`](crate::ServeError::JobFaulted). The failure is
+/// contained to this job — the window's other jobs were re-dispatched and completed —
+/// and the offending subarray may have been quarantined (see
+/// [`PlanServer::health`](crate::PlanServer::health)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultReport {
+    /// The machine-level description of the failing chunk.
+    pub fault: FaultError,
+    /// The dispatch window in which the job faulted.
+    pub window: usize,
+}
+
+impl fmt::Display for FaultReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (window {})", self.fault, self.window)
+    }
+}
+
+/// A point-in-time health snapshot of a [`PlanServer`](crate::PlanServer): how much of
+/// the machine is still placeable and what the fault/recovery counters say.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerHealth {
+    /// Compute chunks the machine was built with.
+    pub compute_chunks: usize,
+    /// Chunks currently free for placement (excludes reserved *and* quarantined).
+    pub free_chunks: usize,
+    /// Chunks permanently removed from circulation after repeated guarded failures.
+    pub quarantined_chunks: usize,
+    /// Fraction of the machine lost to quarantine (`quarantined / compute`; 0.0 on a
+    /// healthy server).
+    pub degraded_fraction: f64,
+    /// Bit flips the fault model injected so far (0 with faults off).
+    pub injected_faults: u64,
+    /// Fault events guarded execution detected (recovered + exhausted).
+    pub detected_faults: u64,
+    /// Detected fault events that retry resolved.
+    pub recovered_faults: u64,
+    /// Detected fault events that exhausted the retry budget.
+    pub exhausted_faults: u64,
+    /// Jobs dropped from their windows with a [`FaultReport`].
+    pub jobs_faulted: usize,
+}
+
+impl ServerHealth {
+    /// `true` when no capacity has been lost and no job has been dropped.
+    pub fn is_healthy(&self) -> bool {
+        self.quarantined_chunks == 0 && self.jobs_faulted == 0
+    }
+}
+
+impl fmt::Display for ServerHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "health: {}/{} chunks free, {} quarantined ({:.1}% degraded), \
+             {} faults injected, {} detected ({} recovered, {} exhausted), {} jobs faulted",
+            self.free_chunks,
+            self.compute_chunks,
+            self.quarantined_chunks,
+            self.degraded_fraction * 100.0,
+            self.injected_faults,
+            self.detected_faults,
+            self.recovered_faults,
+            self.exhausted_faults,
+            self.jobs_faulted
+        )
+    }
+}
 
 /// Where one admitted job ran during a dispatch window.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,6 +146,10 @@ pub struct TenantReport {
     pub p99_turnaround_ns: f64,
     /// Fraction of all tenants' busy time this tenant consumed (0 when nothing ran).
     pub share: f64,
+    /// Jobs dropped after exhausting the machine's fault-retry budget.
+    pub jobs_faulted: usize,
+    /// Guarded-execution retries spent on the tenant's *completed* jobs.
+    pub fault_retries: u64,
 }
 
 /// Aggregate accounting for everything a [`PlanServer`](crate::PlanServer) has served
@@ -92,6 +170,12 @@ pub struct ServeReport {
     pub busy_ns: f64,
     /// Total modeled DRAM energy across all served jobs.
     pub energy_nj: f64,
+    /// Jobs dropped with a [`FaultReport`] after exhausting retries, across all tenants.
+    pub jobs_faulted: usize,
+    /// Guarded-execution retries spent on completed jobs, across all tenants.
+    pub fault_retries: u64,
+    /// Compute chunks the machine has quarantined after repeated faults.
+    pub quarantined_chunks: usize,
     /// One slice per registered tenant, in registration order.
     pub tenants: Vec<TenantReport>,
 }
@@ -146,6 +230,14 @@ impl fmt::Display for ServeReport {
             self.energy_nj / 1_000.0,
             self.jain_fairness()
         )?;
+        if self.jobs_faulted > 0 || self.fault_retries > 0 || self.quarantined_chunks > 0 {
+            writeln!(
+                f,
+                "  faults: {} jobs dropped, {} retries on completed jobs, \
+                 {} chunks quarantined",
+                self.jobs_faulted, self.fault_retries, self.quarantined_chunks
+            )?;
+        }
         for t in &self.tenants {
             writeln!(
                 f,
@@ -164,6 +256,13 @@ impl fmt::Display for ServeReport {
                 t.p95_turnaround_ns / 1_000.0,
                 t.p99_turnaround_ns / 1_000.0,
             )?;
+            if t.jobs_faulted > 0 || t.fault_retries > 0 {
+                writeln!(
+                    f,
+                    "    faults: {} jobs dropped, {} retries",
+                    t.jobs_faulted, t.fault_retries
+                )?;
+            }
         }
         Ok(())
     }
@@ -176,7 +275,7 @@ pub(crate) fn percentile(samples: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    sorted.sort_by(f64::total_cmp);
     let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
@@ -194,5 +293,17 @@ mod tests {
         assert_eq!(percentile(&samples, 100.0), 100.0);
         assert_eq!(percentile(&[7.0], 99.0), 7.0);
         assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_tolerates_nan_samples() {
+        // total_cmp orders NaN after every finite value, so a stray NaN (e.g. a 0/0
+        // turnaround from a degenerate clock) lands at the top instead of panicking
+        // or poisoning the sort.
+        let samples = vec![3.0, f64::NAN, 1.0, 2.0];
+        assert_eq!(percentile(&samples, 50.0), 2.0);
+        assert_eq!(percentile(&samples, 25.0), 1.0);
+        assert!(percentile(&samples, 100.0).is_nan());
+        assert!(percentile(&[f64::NAN], 50.0).is_nan());
     }
 }

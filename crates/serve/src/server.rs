@@ -2,12 +2,14 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use simdram_core::{Plan, Reservation, SimdVector, SimdramMachine};
+use simdram_core::{CoreError, Plan, Reservation, SimdVector, SimdramMachine};
 
 use crate::config::ServeConfig;
 use crate::error::{Result, ServeError};
 use crate::queue::{JobId, JobResult, PendingJob};
-use crate::report::{percentile, JobPlacement, ServeReport, TenantReport, WindowRecord};
+use crate::report::{
+    percentile, FaultReport, JobPlacement, ServeReport, ServerHealth, TenantReport, WindowRecord,
+};
 use crate::scheduler::plan_window;
 use crate::tenant::{Tenant, TenantId, TenantSpec};
 
@@ -46,6 +48,10 @@ pub struct PlanServer {
     staged: HashMap<u64, StagedInput>,
     results: HashMap<JobId, JobResult>,
     aborted: HashSet<JobId>,
+    /// Jobs dropped from a window after exhausting the machine's fault-retry budget.
+    /// Entries stay so repeated [`take_result`](Self::take_result) calls keep reporting
+    /// the same typed failure, and so [`health`](Self::health) can count them.
+    faulted: HashMap<JobId, FaultReport>,
     window_log: Vec<WindowRecord>,
     next_job_id: u64,
     now_ns: f64,
@@ -67,6 +73,7 @@ impl PlanServer {
             staged: HashMap::new(),
             results: HashMap::new(),
             aborted: HashSet::new(),
+            faulted: HashMap::new(),
             window_log: Vec::new(),
             next_job_id: 0,
             now_ns: 0.0,
@@ -281,12 +288,21 @@ impl PlanServer {
     /// # Errors
     ///
     /// [`ServeError::ResultNotReady`] while the job is still queued,
+    /// [`ServeError::JobFaulted`] if the job's placement exhausted the machine's
+    /// fault-retry budget and was dropped from its window (the attached
+    /// [`FaultReport`] says where and when; the error repeats on every call),
     /// [`ServeError::JobAborted`] if the job was admitted into a window whose fused
     /// run failed (the job was accepted but will never produce a result),
     /// [`ServeError::UnknownJob`] if it was never submitted (or already taken).
     pub fn take_result(&mut self, job: JobId) -> Result<JobResult> {
         if let Some(result) = self.results.remove(&job) {
             return Ok(result);
+        }
+        if let Some(report) = self.faulted.get(&job) {
+            return Err(ServeError::JobFaulted {
+                job,
+                report: report.clone(),
+            });
         }
         if self.aborted.contains(&job) {
             return Err(ServeError::JobAborted { job });
@@ -313,6 +329,14 @@ impl PlanServer {
     /// are aborted — their results never materialize, and
     /// [`take_result`](Self::take_result) reports them as
     /// [`ServeError::JobAborted`].
+    ///
+    /// An *unrecovered fault* ([`CoreError::Fault`](simdram_core::CoreError)) is
+    /// contained rather than propagated: the job whose placement holds the failing
+    /// chunk is dropped (its result becomes [`ServeError::JobFaulted`] with a
+    /// [`FaultReport`]), its reservation is released — minus any chunk the machine
+    /// quarantined — and the window's surviving jobs are re-dispatched from scratch,
+    /// with the re-shipped inputs and re-run compute honestly charged to the modeled
+    /// clock. The window then completes normally, possibly with zero outcomes.
     pub fn run_window(&mut self) -> Result<Option<WindowRecord>> {
         let queued: Vec<Vec<usize>> = self
             .queues
@@ -334,7 +358,7 @@ impl PlanServer {
         if admissions.is_empty() {
             return Ok(None);
         }
-        let jobs: Vec<PendingJob> = admissions
+        let mut jobs: Vec<PendingJob> = admissions
             .iter()
             .map(|&t| {
                 self.queues[t]
@@ -364,21 +388,59 @@ impl PlanServer {
         let busy_before = self.machine.estimate().busy_latency_ns;
         let transpose_before = self.machine.stats().transpose_latency_ns;
         let dispatches_before = self.machine.estimate().broadcasts;
-        let outcome = self.dispatch(&jobs, &reservations);
+        // Dispatch, containing unrecovered faults to the job that owns the failing
+        // chunk: that job is dropped with a typed FaultReport, its reservation is
+        // released (minus anything the machine quarantined), and the survivors are
+        // re-dispatched from scratch — inputs re-shipped and all — so one bad
+        // subarray cannot poison a whole window. Any other failure, or a fault that
+        // matches no placement, still aborts the window.
+        let job_outcomes = loop {
+            match self.dispatch(&jobs, &reservations) {
+                Ok(outcomes) => break outcomes,
+                Err(ServeError::Core(CoreError::Fault(fault))) => {
+                    let owner = reservations.iter().position(|r| {
+                        r.offset() <= fault.chunk && fault.chunk < r.offset() + r.chunks()
+                    });
+                    let Some(index) = owner else {
+                        for reservation in reservations.drain(..) {
+                            let _ = self.machine.release_subarrays(reservation);
+                        }
+                        for job in &jobs {
+                            self.aborted.insert(job.id);
+                        }
+                        return Err(ServeError::Core(CoreError::Fault(fault)));
+                    };
+                    let job = jobs.remove(index);
+                    let reservation = reservations.remove(index);
+                    let _ = self.machine.release_subarrays(reservation);
+                    self.tenants[job.tenant.0 as usize].jobs_faulted += 1;
+                    self.faulted.insert(
+                        job.id,
+                        FaultReport {
+                            fault,
+                            window: self.window_log.len(),
+                        },
+                    );
+                    if jobs.is_empty() {
+                        break Vec::new();
+                    }
+                }
+                Err(err) => {
+                    // The jobs were accepted but will never complete: remember them so
+                    // take_result can tell "aborted" apart from "never submitted".
+                    for reservation in reservations.drain(..) {
+                        let _ = self.machine.release_subarrays(reservation);
+                    }
+                    for job in &jobs {
+                        self.aborted.insert(job.id);
+                    }
+                    return Err(err);
+                }
+            }
+        };
         for reservation in reservations.iter().cloned() {
             let _ = self.machine.release_subarrays(reservation);
         }
-        let job_outcomes = match outcome {
-            Ok(outcomes) => outcomes,
-            Err(err) => {
-                // The jobs were accepted but will never complete: remember them so
-                // take_result can tell "aborted" apart from "never submitted".
-                for job in &jobs {
-                    self.aborted.insert(job.id);
-                }
-                return Err(err);
-            }
-        };
 
         // Advance the modeled clock by the window's busy latency: the fused compute
         // window plus the transposition traffic that shipped inputs in and outputs out.
@@ -405,6 +467,7 @@ impl PlanServer {
             tenant.broadcasts += report.broadcasts;
             tenant.busy_ns += report.measured_latency_ns;
             tenant.energy_nj += report.measured_energy_nj;
+            tenant.fault_retries += report.fault_retries;
             let turnaround = self.now_ns - job.submitted_at_ns;
             tenant.turnaround_ns.push(turnaround);
             sequential += report.broadcasts;
@@ -531,6 +594,8 @@ impl PlanServer {
                 } else {
                     0.0
                 },
+                jobs_faulted: t.jobs_faulted,
+                fault_retries: t.fault_retries,
             })
             .collect();
         ServeReport {
@@ -541,7 +606,37 @@ impl PlanServer {
             sequential_dispatches: self.sequential_dispatches,
             busy_ns: self.busy_ns,
             energy_nj: self.energy_nj,
+            jobs_faulted: self.tenants.iter().map(|t| t.jobs_faulted).sum(),
+            fault_retries: self.tenants.iter().map(|t| t.fault_retries).sum(),
+            quarantined_chunks: self.machine.quarantined_chunks().len(),
             tenants,
+        }
+    }
+
+    /// A point-in-time [`ServerHealth`] snapshot: remaining placeable capacity,
+    /// quarantine-driven degradation and the machine's fault/recovery counters.
+    ///
+    /// On a fault-free server this reports zero everywhere interesting
+    /// ([`ServerHealth::is_healthy`] is `true`) and `free_chunks == compute_chunks`
+    /// between windows.
+    pub fn health(&self) -> ServerHealth {
+        let log = self.machine.fault_log();
+        let compute = self.machine.compute_chunks();
+        let quarantined = self.machine.quarantined_chunks().len();
+        ServerHealth {
+            compute_chunks: compute,
+            free_chunks: self.machine.free_chunks(),
+            quarantined_chunks: quarantined,
+            degraded_fraction: if compute > 0 {
+                quarantined as f64 / compute as f64
+            } else {
+                0.0
+            },
+            injected_faults: log.injected,
+            detected_faults: log.detected(),
+            recovered_faults: log.recovered,
+            exhausted_faults: log.exhausted,
+            jobs_faulted: self.faulted.len(),
         }
     }
 }

@@ -77,6 +77,10 @@ pub(crate) struct Tenant {
     /// order (percentiles are computed over a sorted copy).
     pub(crate) turnaround_ns: Vec<f64>,
     pub(crate) max_queue_depth_seen: usize,
+    /// Jobs dropped from a window after exhausting the machine's fault-retry budget.
+    pub(crate) jobs_faulted: usize,
+    /// Guarded-execution retries folded in from the tenant's completed jobs.
+    pub(crate) fault_retries: u64,
 }
 
 impl Tenant {
@@ -92,6 +96,8 @@ impl Tenant {
             energy_nj: 0.0,
             turnaround_ns: Vec::new(),
             max_queue_depth_seen: 0,
+            jobs_faulted: 0,
+            fault_retries: 0,
         }
     }
 }

@@ -97,9 +97,12 @@ impl CompiledProgram {
                 }
             }
         }
-        let ops = fuser.finish();
+        let (ops, maj_ordinals, tra_total) = fuser.finish();
         let aggregate = TraceAggregate::from_commands(commands);
-        let block = RowOpBlock::new(ops, REGIONS, aggregate).map_err(UprogError::Dram)?;
+        let block = RowOpBlock::new(ops, REGIONS, aggregate)
+            .map_err(UprogError::Dram)?
+            .with_tra_ordinals(maj_ordinals, tra_total)
+            .map_err(UprogError::Dram)?;
         Ok(CompiledProgram {
             op: program.operation(),
             width: program.width(),
@@ -311,6 +314,13 @@ struct Fuser {
     /// owed to it can be dropped instead of emitted.
     fate: [bool; REGS],
     ops: Vec<RowOp>,
+    /// TRA μOps lowered so far, whether or not they emitted a majority op.
+    tra_seen: u32,
+    /// For each emitted majority op (in `ops` order), the ordinal of the source-program
+    /// TRA it lowers. Elided TRAs (dead bare `AP`s) leave gaps, which is what lets the
+    /// fault layer key injection on source-program TRA ordinals identically in both
+    /// execution modes (see [`RowOpBlock::with_tra_ordinals`]).
+    maj_ordinals: Vec<u32>,
 }
 
 /// The virtual register an `AAP` operand addresses, if it is B-group storage.
@@ -410,6 +420,8 @@ impl Fuser {
             vals: [Val::Materialized; REGS],
             fate: [true; REGS],
             ops: Vec::with_capacity(command_count),
+            tra_seen: 0,
+            maj_ordinals: Vec::new(),
         }
     }
 
@@ -546,6 +558,8 @@ impl Fuser {
         if a == b || b == c || a == c {
             return Err(UprogError::Dram(DramError::DuplicateTraRow));
         }
+        let ordinal = self.tra_seen;
+        self.tra_seen += 1;
         let srcs = [
             self.read_bgroup(a),
             self.read_bgroup(b),
@@ -576,6 +590,7 @@ impl Fuser {
             // B-group restorations defer to it.
             Some((row, negated)) if reg_of_ref(row).is_none() => {
                 self.flush_refs_to(row);
+                self.maj_ordinals.push(ordinal);
                 self.ops.push(RowOp::MajDirect {
                     srcs,
                     dst: Some(WriteRef { row, negated }),
@@ -594,6 +609,7 @@ impl Fuser {
             Some((row, negated)) => {
                 let dreg = reg_of_ref(row).expect("the data case was matched above");
                 self.flush_refs_to(row);
+                self.maj_ordinals.push(ordinal);
                 self.ops.push(RowOp::MajDirect {
                     srcs,
                     dst: Some(WriteRef { row, negated }),
@@ -617,6 +633,7 @@ impl Fuser {
                     let (reg0, pol0) = restored[i0];
                     let row = storage_of(reg0);
                     self.flush_refs_to(row);
+                    self.maj_ordinals.push(ordinal);
                     self.ops.push(RowOp::MajDirect {
                         srcs,
                         dst: Some(WriteRef { row, negated: pol0 }),
@@ -647,14 +664,16 @@ impl Fuser {
     }
 
     /// Ends the block: emits the restorations still owed so every B-group cell holds
-    /// exactly what interpreted execution leaves in it.
-    fn finish(mut self) -> Vec<RowOp> {
+    /// exactly what interpreted execution leaves in it. Returns the lowered ops, the
+    /// source-program TRA ordinal of each emitted majority op, and the total TRA count
+    /// of the source program.
+    fn finish(mut self) -> (Vec<RowOp>, Vec<u32>, u32) {
         // The end of the block observes every cell, whatever the last μOp's fate said.
         self.fate = [true; REGS];
         for reg in 0..REGS {
             self.flush(reg);
         }
-        self.ops
+        (self.ops, self.maj_ordinals, self.tra_seen)
     }
 }
 
@@ -791,7 +810,7 @@ mod tests {
             .aap(MicroRow::BGroup(BGroupRow::Dcc1N), MicroRow::Output(0))
             .unwrap();
         assert_eq!(
-            fuser.finish(),
+            fuser.finish().0,
             vec![
                 RowOp::Fill {
                     dst: RowRef::Data {
@@ -858,10 +877,12 @@ mod tests {
             region: REGION_OUT,
             offset: 0,
         };
-        let ops = fuser.finish();
+        let (ops, maj_ordinals, tra_total) = fuser.finish();
         // One majority over the true sources, the copy-out from the deferred
         // restoration, then three end-of-block restorations into T0..T2.
         assert_eq!(ops.len(), 5);
+        assert_eq!(maj_ordinals, vec![0]);
+        assert_eq!(tra_total, 1);
         assert_eq!(
             ops[0],
             RowOp::MajDirect {

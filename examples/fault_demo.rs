@@ -1,0 +1,180 @@
+//! Fault injection and fault-tolerant execution, end to end.
+//!
+//! Run with `cargo run --release --example fault_demo`.
+//!
+//! Three acts:
+//!
+//! 1. **Technology sweep** — seeded TRA bit-flips at each node's *calibrated* failure
+//!    rate (from the process-variation model), first unguarded (corruption lands in
+//!    results) then guarded (redundant re-execution detects and retries). The demo
+//!    exits with status 1 if any guarded run ever returns silently corrupted data —
+//!    that is the one outcome the guard must make impossible.
+//! 2. **Boosted-rate recovery** — injection dialed high enough to force retries, with
+//!    the detection/retry/backoff ledger printed.
+//! 3. **Graceful degradation** — a multi-tenant `PlanServer` over a machine with a
+//!    persistent weak-cell map: faulting jobs are dropped with typed errors, the bad
+//!    subarray is quarantined, and the server keeps serving on what remains.
+
+use std::process::ExitCode;
+
+use simdram_core::{CoreError, FaultModel, GuardMode, PlanBuilder, SimdramConfig, SimdramMachine};
+use simdram_dram::variation::TechnologyNode;
+use simdram_logic::Operation;
+use simdram_serve::{PlanServer, ServeConfig, ServeError, TenantSpec};
+
+/// One seed for the whole demo: every number printed is reproducible.
+const SEED: u64 = 7;
+
+fn machine(faults: FaultModel, guard: GuardMode) -> SimdramMachine {
+    let mut config = SimdramConfig::demo();
+    config.faults = faults;
+    config.guard = guard;
+    SimdramMachine::new(config).expect("demo config is valid")
+}
+
+/// Runs a 16-bit add over `len` lanes, returning the read-back results.
+fn run_add(m: &mut SimdramMachine, len: usize) -> Result<Vec<u64>, CoreError> {
+    let a_vals: Vec<u64> = (0..len as u64).map(|i| (i * 31 + 5) & 0xFFFF).collect();
+    let b_vals: Vec<u64> = (0..len as u64).map(|i| (i * 17 + 11) & 0xFFFF).collect();
+    let a = m.alloc_and_write(16, &a_vals)?;
+    let b = m.alloc_and_write(16, &b_vals)?;
+    let (sum, _) = m.binary(Operation::Add, &a, &b)?;
+    m.read(&sum)
+}
+
+fn main() -> ExitCode {
+    const LANES: usize = 4096;
+
+    let expected = run_add(&mut machine(FaultModel::Off, GuardMode::Off), LANES)
+        .expect("fault-free run cannot fail");
+
+    // ----------------------------------------------------- Act 1: technology sweep
+    println!("Act 1: seeded TRA injection at each node's calibrated failure rate");
+    println!(
+        "{:>6} {:>12} | {:>10} {:>10} | {:>10} {:>8} {:>9}",
+        "node", "p(TRA flip)", "unguarded", "corrupted", "guarded", "retries", "outcome"
+    );
+    for node in TechnologyNode::ALL {
+        let faults = FaultModel::tra_for_node(node, SEED);
+        let probability = match faults {
+            FaultModel::Tra { probability, .. } => probability,
+            _ => 0.0,
+        };
+
+        let mut unguarded = machine(faults.clone(), GuardMode::Off);
+        let corrupted = match run_add(&mut unguarded, LANES) {
+            Ok(results) => results
+                .iter()
+                .zip(&expected)
+                .filter(|(r, e)| r != e)
+                .count(),
+            Err(err) => panic!("unguarded runs never error: {err}"),
+        };
+
+        let mut guarded = machine(faults, GuardMode::Redundant { max_retries: 10 });
+        let outcome = match run_add(&mut guarded, LANES) {
+            Ok(results) if results == expected => "clean",
+            Ok(_) => {
+                eprintln!(
+                    "FATAL: guarded run at {} returned corrupted data undetected",
+                    node.name()
+                );
+                return ExitCode::FAILURE;
+            }
+            Err(CoreError::Fault(fault)) => {
+                // Typed containment: still a *detected* outcome, never silent.
+                println!(
+                    "    (guarded run at {} exhausted retries: {fault})",
+                    node.name()
+                );
+                "contained"
+            }
+            Err(err) => panic!("unexpected non-fault error: {err}"),
+        };
+        let log = guarded.fault_log();
+        println!(
+            "{:>6} {:>12.3e} | {:>10} {:>10} | {:>10} {:>8} {:>9}",
+            node.name(),
+            probability,
+            unguarded.injected_faults(),
+            corrupted,
+            log.injected,
+            log.retries,
+            outcome
+        );
+    }
+
+    // ------------------------------------------------- Act 2: boosted-rate recovery
+    println!("\nAct 2: boosted injection (p=2e-5) to force the retry path");
+    let mut boosted = machine(
+        FaultModel::tra_with_probability(2e-5, SEED),
+        GuardMode::Redundant { max_retries: 10 },
+    );
+    match run_add(&mut boosted, LANES) {
+        Ok(results) if results == expected => {
+            let log = boosted.fault_log();
+            println!("  recovered bit-identically: {log}");
+        }
+        Ok(_) => {
+            eprintln!("FATAL: boosted guarded run returned corrupted data undetected");
+            return ExitCode::FAILURE;
+        }
+        Err(err) => println!("  contained with a typed error: {err}"),
+    }
+
+    // --------------------------------------------- Act 3: serving layer degradation
+    println!("\nAct 3: weak-cell rowmap under a multi-tenant server");
+    let mut config = SimdramConfig::functional_test();
+    config.faults = FaultModel::rowmap(2);
+    config.guard = GuardMode::redundant();
+    let m = SimdramMachine::new(config).expect("functional_test config is valid");
+    let mut server = PlanServer::new(m, ServeConfig::new());
+    let alpha = server.register_tenant(TenantSpec::new("alpha"));
+    let beta = server.register_tenant(TenantSpec::new("beta"));
+
+    let mut jobs = Vec::new();
+    for i in 0..8u64 {
+        let tenant = if i % 2 == 0 { alpha } else { beta };
+        let input = server
+            .write_input(tenant, 8, &[i + 1, i + 2, i + 3])
+            .expect("staging fits");
+        let mut builder = PlanBuilder::new();
+        let x = builder.input(&input);
+        let two = builder.constant(8, 3, 2).expect("constant fits");
+        let doubled = builder.add(x, two).expect("widths match");
+        let out = builder.materialize(doubled).expect("materializable");
+        let job = server
+            .submit(tenant, builder.compile().expect("plan compiles"))
+            .expect("admission succeeds");
+        jobs.push((job, out, i));
+    }
+
+    let report = server
+        .serve()
+        .expect("faults are contained, serve never fails");
+    for (job, out, i) in jobs {
+        match server.take_result(job) {
+            Ok(result) => {
+                assert_eq!(
+                    result.output(out),
+                    &[i + 3, i + 4, i + 5],
+                    "surviving jobs are exact"
+                );
+            }
+            Err(ServeError::JobFaulted { job, report }) => {
+                println!("  job {job} dropped with a typed fault: {report}");
+            }
+            Err(err) => panic!("unexpected serve error: {err}"),
+        }
+    }
+    let health = server.health();
+    println!("  {}", health);
+    print!("{report}");
+    if report.jobs_completed + report.jobs_faulted != 8 {
+        eprintln!("FATAL: jobs neither completed nor typed-faulted");
+        return ExitCode::FAILURE;
+    }
+
+    println!("\nAll guarded outcomes were either bit-identical or typed — no silent corruption.");
+    ExitCode::SUCCESS
+}
