@@ -19,6 +19,7 @@
 //! | [`Suite::Serving`] | — (new) | multi-tenant serving vs per-tenant sequential |
 //! | [`Suite::Fidelity`] | — (new) | bank-state timing backend vs the analytic model |
 //! | [`Suite::Faults`] | — (new) | fault injection vs the variation model, guard overhead |
+//! | [`Suite::Mimd`] | — (new) | MIMD dispatch windows + multi-device sharding |
 
 mod ablation;
 mod area;
@@ -28,6 +29,7 @@ mod estimate;
 mod faults;
 mod fidelity;
 mod kernels;
+mod mimd;
 mod plans;
 mod reliability;
 mod serving;
@@ -62,11 +64,14 @@ pub enum Suite {
     Fidelity,
     /// Fault tolerance: guard overhead, retry convergence, injection vs the variation model.
     Faults,
+    /// MIMD dispatch windows and multi-device sharding: dispatch savings, throughput
+    /// scaling and cross-device movement overhead.
+    Mimd,
 }
 
 impl Suite {
     /// All suites, in the order `--suite all` runs them.
-    pub const ALL: [Suite; 12] = [
+    pub const ALL: [Suite; 13] = [
         Suite::Throughput,
         Suite::Energy,
         Suite::Kernels,
@@ -79,6 +84,7 @@ impl Suite {
         Suite::Serving,
         Suite::Fidelity,
         Suite::Faults,
+        Suite::Mimd,
     ];
 
     /// The suite's CLI / JSON name.
@@ -96,6 +102,7 @@ impl Suite {
             Suite::Serving => "serving",
             Suite::Fidelity => "fidelity",
             Suite::Faults => "faults",
+            Suite::Mimd => "mimd",
         }
     }
 
@@ -119,6 +126,7 @@ impl Suite {
             Suite::Serving => serving::run(),
             Suite::Fidelity => fidelity::run(),
             Suite::Faults => faults::run(),
+            Suite::Mimd => mimd::run(),
         }
     }
 }

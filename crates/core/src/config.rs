@@ -49,6 +49,13 @@ pub struct SimdramConfig {
     /// default; [`GuardMode::Redundant`] detects injected corruption by redundant
     /// re-execution and retries from a snapshot).
     pub guard: GuardMode,
+    /// Whether plan execution groups same-level batches of different lane counts into
+    /// one heterogeneous MIMD dispatch window (`true`, the default) or issues every
+    /// batch as its own dispatch (`false`, the PR 9 serialized schedule). Results,
+    /// per-step reports and [`simdram_dram::stats::DeviceStats`] are bit-identical
+    /// either way — only the dispatch-window count and the fused busy-window
+    /// accounting differ.
+    pub mimd_windows: bool,
 }
 
 impl Default for SimdramConfig {
@@ -64,6 +71,7 @@ impl Default for SimdramConfig {
             timing_backend: TimingBackendKind::default(),
             faults: FaultModel::default(),
             guard: GuardMode::default(),
+            mimd_windows: true,
         }
     }
 }
@@ -99,6 +107,7 @@ impl SimdramConfig {
             timing_backend: TimingBackendKind::from_env().unwrap_or_default(),
             faults: FaultModel::from_env().unwrap_or_default(),
             guard: GuardMode::from_env().unwrap_or_default(),
+            mimd_windows: true,
         }
     }
 
@@ -132,7 +141,42 @@ impl SimdramConfig {
             timing_backend: TimingBackendKind::from_env().unwrap_or_default(),
             faults: FaultModel::from_env().unwrap_or_default(),
             guard: GuardMode::from_env().unwrap_or_default(),
+            mimd_windows: true,
         }
+    }
+
+    /// Applies the five `SIMDRAM_*` environment overrides (`SIMDRAM_EXEC`,
+    /// `SIMDRAM_FUNC`, `SIMDRAM_TIMING`, `SIMDRAM_FAULTS`, `SIMDRAM_GUARD`) to this
+    /// configuration, surfacing any malformed value as a typed [`CoreError::Config`]
+    /// instead of panicking or silently keeping the default.
+    ///
+    /// This is the recoverable counterpart of what [`SimdramConfig::functional_test`]
+    /// and [`SimdramConfig::demo`] do internally — the entry point for long-running
+    /// hosts (e.g. a serving deployment) that must reject a bad override at startup
+    /// rather than abort.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] when any of the five variables is set but
+    /// malformed; the error names the variable, the rejected value and the accepted
+    /// grammar.
+    pub fn with_env_overrides(mut self) -> Result<Self> {
+        if let Some(execution) = ExecutionPolicy::try_from_env()? {
+            self.execution = execution;
+        }
+        if let Some(functional) = FunctionalMode::try_from_env()? {
+            self.functional = functional;
+        }
+        if let Some(timing_backend) = TimingBackendKind::try_from_env()? {
+            self.timing_backend = timing_backend;
+        }
+        if let Some(faults) = FaultModel::try_from_env()? {
+            self.faults = faults;
+        }
+        if let Some(guard) = GuardMode::try_from_env()? {
+            self.guard = guard;
+        }
+        Ok(self)
     }
 
     /// Number of SIMD lanes available per simultaneously issued μProgram
@@ -226,6 +270,31 @@ mod tests {
         assert_eq!(cfg.total_lanes(), 16_384);
         assert!(cfg.total_lanes() > SimdramConfig::functional_test().total_lanes());
         assert!(cfg.total_lanes() < SimdramConfig::paper_banks(1).total_lanes());
+    }
+
+    #[test]
+    fn env_overrides_keep_defaults_when_unset() {
+        // For each axis whose variable is not set, override application must be the
+        // identity. (CI legs that DO set some variables exercise the replacement arm
+        // across the whole suite, so only the unset axes are asserted here.)
+        let unset = |var: &str| std::env::var_os(var).is_none();
+        let base = SimdramConfig::default();
+        let overridden = base.clone().with_env_overrides().unwrap();
+        if unset("SIMDRAM_EXEC") {
+            assert_eq!(base.execution, overridden.execution);
+        }
+        if unset("SIMDRAM_FUNC") {
+            assert_eq!(base.functional, overridden.functional);
+        }
+        if unset("SIMDRAM_TIMING") {
+            assert_eq!(base.timing_backend, overridden.timing_backend);
+        }
+        if unset("SIMDRAM_FAULTS") {
+            assert_eq!(base.faults, overridden.faults);
+        }
+        if unset("SIMDRAM_GUARD") {
+            assert_eq!(base.guard, overridden.guard);
+        }
     }
 
     #[test]

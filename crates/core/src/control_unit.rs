@@ -10,7 +10,8 @@ use std::sync::Arc;
 use simdram_dram::CommandCosts;
 use simdram_logic::Operation;
 use simdram_uprog::{
-    CodegenOptions, CompiledProgram, MicroProgram, MicroProgramLibrary, RowBinding, Target,
+    CodegenOptions, CompiledProgram, DispatchEntry, DispatchWindow, MicroProgram,
+    MicroProgramLibrary, RowBinding, Target,
 };
 
 use crate::error::{CoreError, Result};
@@ -21,6 +22,10 @@ use crate::layout::SimdVector;
 pub struct ControlUnit {
     target: Target,
     library: MicroProgramLibrary,
+    /// MIMD dispatch windows issued through [`ControlUnit::describe_window`].
+    windows_issued: u64,
+    /// How many of those windows were heterogeneous (≥ 2 distinct program streams).
+    mimd_windows_issued: u64,
 }
 
 impl ControlUnit {
@@ -29,7 +34,38 @@ impl ControlUnit {
         ControlUnit {
             target,
             library: MicroProgramLibrary::with_options(codegen),
+            windows_issued: 0,
+            mimd_windows_issued: 0,
         }
+    }
+
+    /// Assembles and validates one MIMD dispatch window from its `(μProgram stream,
+    /// subarray set)` entries, recording it in the unit's window counters. Every fused
+    /// machine dispatch passes through here before the broadcast issues, so the
+    /// disjointness contract is enforced at the control unit — exactly where the
+    /// hardware would arbitrate the shared command bus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Uprog`]-wrapped [`simdram_uprog::UprogError`] variants when
+    /// the entries overlap on a subarray or the window is empty.
+    pub fn describe_window(&mut self, entries: Vec<DispatchEntry>) -> Result<DispatchWindow> {
+        let window = DispatchWindow::new(entries).map_err(CoreError::from)?;
+        self.windows_issued += 1;
+        if window.is_heterogeneous() {
+            self.mimd_windows_issued += 1;
+        }
+        Ok(window)
+    }
+
+    /// Total dispatch windows issued through this control unit.
+    pub fn windows_issued(&self) -> u64 {
+        self.windows_issued
+    }
+
+    /// Dispatch windows that carried ≥ 2 distinct μProgram streams (true MIMD).
+    pub fn mimd_windows_issued(&self) -> u64 {
+        self.mimd_windows_issued
     }
 
     /// The μProgram target this control unit drives.

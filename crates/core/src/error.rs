@@ -35,6 +35,10 @@ pub enum CoreError {
     /// A guarded chunk exhausted its retry budget: its redundant executions kept
     /// disagreeing, so the result could not be trusted (see [`crate::GuardMode`]).
     Fault(FaultError),
+    /// A `SIMDRAM_*` environment override was set but malformed (see
+    /// [`crate::SimdramConfig::with_env_overrides`]). A typo must surface as an error,
+    /// never as a silent fall-back to the default.
+    Config(simdram_dram::EnvOverrideError),
 }
 
 impl fmt::Display for CoreError {
@@ -50,6 +54,7 @@ impl fmt::Display for CoreError {
                 "broadcast needs {needed} compute subarrays but the configuration provides {available}"
             ),
             CoreError::Fault(e) => write!(f, "unrecovered computation fault: {e}"),
+            CoreError::Config(e) => write!(f, "configuration error: {e}"),
         }
     }
 }
@@ -59,8 +64,15 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::Dram(e) => Some(e),
             CoreError::Uprog(e) => Some(e),
+            CoreError::Config(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<simdram_dram::EnvOverrideError> for CoreError {
+    fn from(e: simdram_dram::EnvOverrideError) -> Self {
+        CoreError::Config(e)
     }
 }
 

@@ -24,9 +24,19 @@
 
 use std::num::NonZeroUsize;
 
+use simdram_dram::envopt::{self, EnvOverrideError};
 use simdram_dram::{CommandTrace, DramDevice, Subarray};
 
 use crate::error::{CoreError, Result};
+
+/// Environment variable carrying the broadcast-policy override.
+const EXEC_VAR: &str = "SIMDRAM_EXEC";
+/// Accepted `SIMDRAM_EXEC` grammar, quoted in every rejection error.
+const EXEC_EXPECTED: &str = "sequential | threaded | threaded:N (N >= 1)";
+/// Environment variable carrying the functional-mode override.
+const FUNC_VAR: &str = "SIMDRAM_FUNC";
+/// Accepted `SIMDRAM_FUNC` grammar, quoted in every rejection error.
+const FUNC_EXPECTED: &str = "interpreted | compiled | compiled:N (N >= 1)";
 
 /// How a [`BroadcastExecutor`] drives the subarrays participating in a broadcast.
 ///
@@ -76,44 +86,57 @@ impl ExecutionPolicy {
         }
     }
 
-    /// Reads the `SIMDRAM_EXEC` environment override. Returns `None` only when the
-    /// variable is unset, letting the caller fall back to its configured default.
+    /// Reads the `SIMDRAM_EXEC` environment override, surfacing malformed values as a
+    /// typed [`EnvOverrideError`] instead of panicking or silently falling back.
+    /// Returns `Ok(None)` only when the variable is unset.
     ///
     /// Recognized (case-insensitive) values: `sequential`, `threaded`, and `threaded:N`
     /// for an explicit thread cap (N ≥ 1). This is how CI forces the whole tier-1 suite
     /// through the threaded engine without code changes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnvOverrideError`] when the variable is set but unrecognized
+    /// (including `threaded:0`).
+    pub fn try_from_env() -> std::result::Result<Option<Self>, EnvOverrideError> {
+        envopt::env_override(EXEC_VAR, EXEC_EXPECTED, Self::recognize)
+    }
+
+    /// Reads the `SIMDRAM_EXEC` environment override. Returns `None` only when the
+    /// variable is unset, letting the caller fall back to its configured default.
     ///
     /// # Panics
     ///
     /// Panics on a set-but-unrecognized value (including `threaded:0`). The variable
     /// exists solely as a test/CI override; silently ignoring a typo would let a CI job
     /// believe it exercised the threaded engine while re-running the sequential path.
+    /// Callers that want a recoverable failure use [`ExecutionPolicy::try_from_env`].
     pub fn from_env() -> Option<Self> {
-        let raw = std::env::var("SIMDRAM_EXEC").ok()?;
-        Some(Self::parse_override(&raw))
+        Self::try_from_env().unwrap_or_else(|err| panic!("{err}"))
     }
 
-    /// Parses a `SIMDRAM_EXEC` override value; panics on anything unrecognized (see
-    /// [`ExecutionPolicy::from_env`]).
-    fn parse_override(raw: &str) -> Self {
-        let value = raw.trim().to_ascii_lowercase();
+    /// Parses one `SIMDRAM_EXEC` override value with the shared normalization rules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnvOverrideError`] on anything [`ExecutionPolicy::try_from_env`] would
+    /// reject.
+    pub fn parse_override(raw: &str) -> std::result::Result<Self, EnvOverrideError> {
+        envopt::parse_override(EXEC_VAR, EXEC_EXPECTED, raw, Self::recognize)
+    }
+
+    /// The pure grammar recognizer behind [`ExecutionPolicy::parse_override`]: `value`
+    /// is already trimmed and lowercased; `None` means "not in the grammar".
+    fn recognize(value: &str) -> Option<Self> {
         if value == "sequential" {
-            ExecutionPolicy::Sequential
+            Some(ExecutionPolicy::Sequential)
         } else if value == "threaded" {
-            ExecutionPolicy::threaded()
+            Some(ExecutionPolicy::threaded())
         } else if let Some(n) = value.strip_prefix("threaded:") {
-            let max_threads = n.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
-                panic!(
-                    "SIMDRAM_EXEC={raw}: thread cap must be an integer >= 1 \
-                     (expected sequential | threaded | threaded:N)"
-                )
-            });
-            ExecutionPolicy::Threaded { max_threads }
+            let max_threads = n.parse().ok().filter(|&n| n >= 1)?;
+            Some(ExecutionPolicy::Threaded { max_threads })
         } else {
-            panic!(
-                "unrecognized SIMDRAM_EXEC value {raw:?} \
-                 (expected sequential | threaded | threaded:N)"
-            );
+            None
         }
     }
 
@@ -186,45 +209,57 @@ impl FunctionalMode {
         FunctionalMode::Compiled { trace_every: 0 }
     }
 
-    /// Reads the `SIMDRAM_FUNC` environment override. Returns `None` only when the
-    /// variable is unset, letting the caller fall back to its configured default.
+    /// Reads the `SIMDRAM_FUNC` environment override, surfacing malformed values as a
+    /// typed [`EnvOverrideError`] instead of panicking or silently falling back.
+    /// Returns `Ok(None)` only when the variable is unset.
     ///
     /// Recognized (case-insensitive) values: `interpreted`, `compiled`, and `compiled:N`
     /// to retain per-command history for one in every N chunks (N ≥ 1). This is how CI
     /// forces the whole tier-1 suite through the compiled engine without code changes.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on a set-but-unrecognized value (including `compiled:0` — plain `compiled`
-    /// already means "no history"). The variable exists solely as a test/CI override;
-    /// silently ignoring a typo would let a CI job believe it exercised the compiled
-    /// engine while re-running the interpreter.
-    pub fn from_env() -> Option<Self> {
-        let raw = std::env::var("SIMDRAM_FUNC").ok()?;
-        Some(Self::parse_override(&raw))
+    /// Returns [`EnvOverrideError`] when the variable is set but unrecognized
+    /// (including `compiled:0` — plain `compiled` already means "no history").
+    pub fn try_from_env() -> std::result::Result<Option<Self>, EnvOverrideError> {
+        envopt::env_override(FUNC_VAR, FUNC_EXPECTED, Self::recognize)
     }
 
-    /// Parses a `SIMDRAM_FUNC` override value; panics on anything unrecognized (see
-    /// [`FunctionalMode::from_env`]).
-    fn parse_override(raw: &str) -> Self {
-        let value = raw.trim().to_ascii_lowercase();
+    /// Reads the `SIMDRAM_FUNC` environment override. Returns `None` only when the
+    /// variable is unset, letting the caller fall back to its configured default.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a set-but-unrecognized value. The variable exists solely as a test/CI
+    /// override; silently ignoring a typo would let a CI job believe it exercised the
+    /// compiled engine while re-running the interpreter. Callers that want a
+    /// recoverable failure use [`FunctionalMode::try_from_env`].
+    pub fn from_env() -> Option<Self> {
+        Self::try_from_env().unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// Parses one `SIMDRAM_FUNC` override value with the shared normalization rules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnvOverrideError`] on anything [`FunctionalMode::try_from_env`] would
+    /// reject.
+    pub fn parse_override(raw: &str) -> std::result::Result<Self, EnvOverrideError> {
+        envopt::parse_override(FUNC_VAR, FUNC_EXPECTED, raw, Self::recognize)
+    }
+
+    /// The pure grammar recognizer behind [`FunctionalMode::parse_override`]: `value`
+    /// is already trimmed and lowercased; `None` means "not in the grammar".
+    fn recognize(value: &str) -> Option<Self> {
         if value == "interpreted" {
-            FunctionalMode::Interpreted
+            Some(FunctionalMode::Interpreted)
         } else if value == "compiled" {
-            FunctionalMode::compiled()
+            Some(FunctionalMode::compiled())
         } else if let Some(n) = value.strip_prefix("compiled:") {
-            let trace_every = n.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
-                panic!(
-                    "SIMDRAM_FUNC={raw}: history sampling period must be an integer >= 1 \
-                     (expected interpreted | compiled | compiled:N)"
-                )
-            });
-            FunctionalMode::Compiled { trace_every }
+            let trace_every = n.parse().ok().filter(|&n| n >= 1)?;
+            Some(FunctionalMode::Compiled { trace_every })
         } else {
-            panic!(
-                "unrecognized SIMDRAM_FUNC value {raw:?} \
-                 (expected interpreted | compiled | compiled:N)"
-            );
+            None
         }
     }
 
@@ -518,16 +553,18 @@ mod tests {
         // covered by CI running the whole suite under SIMDRAM_EXEC=threaded.
         assert_eq!(
             ExecutionPolicy::parse_override("sequential"),
-            ExecutionPolicy::Sequential
+            Ok(ExecutionPolicy::Sequential)
         );
         assert_eq!(
             ExecutionPolicy::parse_override(" Sequential "),
-            ExecutionPolicy::Sequential
+            Ok(ExecutionPolicy::Sequential)
         );
-        assert!(ExecutionPolicy::parse_override("threaded").is_threaded());
+        assert!(ExecutionPolicy::parse_override("threaded")
+            .unwrap()
+            .is_threaded());
         assert_eq!(
             ExecutionPolicy::parse_override("threaded:4"),
-            ExecutionPolicy::Threaded { max_threads: 4 }
+            Ok(ExecutionPolicy::Threaded { max_threads: 4 })
         );
         assert!(ExecutionPolicy::threaded().is_threaded());
         assert!(!ExecutionPolicy::Sequential.is_threaded());
@@ -537,30 +574,33 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unrecognized SIMDRAM_EXEC value")]
-    fn env_override_rejects_typos() {
-        let _ = ExecutionPolicy::parse_override("thread");
+    fn env_override_rejects_typos_with_a_typed_error() {
+        let err = ExecutionPolicy::parse_override("thread").unwrap_err();
+        assert_eq!(err.var, "SIMDRAM_EXEC");
+        assert_eq!(err.value, "thread");
+        assert!(err.to_string().contains("sequential | threaded"));
     }
 
     #[test]
-    #[should_panic(expected = "thread cap must be an integer >= 1")]
-    fn env_override_rejects_zero_thread_cap() {
-        let _ = ExecutionPolicy::parse_override("threaded:0");
+    fn env_override_rejects_zero_thread_cap_with_a_typed_error() {
+        let err = ExecutionPolicy::parse_override("threaded:0").unwrap_err();
+        assert_eq!(err.var, "SIMDRAM_EXEC");
+        assert!(ExecutionPolicy::parse_override("threaded:x").is_err());
     }
 
     #[test]
     fn functional_mode_override_parsing() {
         assert_eq!(
             FunctionalMode::parse_override("interpreted"),
-            FunctionalMode::Interpreted
+            Ok(FunctionalMode::Interpreted)
         );
         assert_eq!(
             FunctionalMode::parse_override(" Compiled "),
-            FunctionalMode::compiled()
+            Ok(FunctionalMode::compiled())
         );
         assert_eq!(
             FunctionalMode::parse_override("compiled:16"),
-            FunctionalMode::Compiled { trace_every: 16 }
+            Ok(FunctionalMode::Compiled { trace_every: 16 })
         );
         assert!(FunctionalMode::compiled().is_compiled());
         assert!(!FunctionalMode::Interpreted.is_compiled());
@@ -580,14 +620,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unrecognized SIMDRAM_FUNC value")]
-    fn functional_mode_override_rejects_typos() {
-        let _ = FunctionalMode::parse_override("compile");
+    fn functional_mode_override_rejects_typos_with_a_typed_error() {
+        let err = FunctionalMode::parse_override("compile").unwrap_err();
+        assert_eq!(err.var, "SIMDRAM_FUNC");
+        assert_eq!(err.value, "compile");
+        assert!(err.to_string().contains("interpreted | compiled"));
     }
 
     #[test]
-    #[should_panic(expected = "history sampling period must be an integer >= 1")]
-    fn functional_mode_override_rejects_zero_period() {
-        let _ = FunctionalMode::parse_override("compiled:0");
+    fn functional_mode_override_rejects_zero_period_with_a_typed_error() {
+        let err = FunctionalMode::parse_override("compiled:0").unwrap_err();
+        assert_eq!(err.var, "SIMDRAM_FUNC");
+        assert!(FunctionalMode::parse_override("compiled:").is_err());
     }
 }

@@ -15,6 +15,13 @@
 
 use std::fmt;
 
+use simdram_dram::envopt::{self, EnvOverrideError};
+
+/// Environment variable carrying the guard-mode override.
+const GUARD_VAR: &str = "SIMDRAM_GUARD";
+/// Accepted `SIMDRAM_GUARD` grammar, quoted in every rejection error.
+const GUARD_EXPECTED: &str = "off | redundant | redundant:<n>";
+
 /// Modeled latency charged per retry of a guarded chunk, in nanoseconds: the memory
 /// controller detects the mismatch, re-issues the batch and waits out a conservative
 /// re-dispatch window. Folded into the dispatch latency of the broadcast the retry
@@ -55,37 +62,55 @@ impl GuardMode {
         matches!(self, GuardMode::Off)
     }
 
-    /// Reads the `SIMDRAM_GUARD` environment override, if set.
+    /// Reads the `SIMDRAM_GUARD` environment override, surfacing malformed values as a
+    /// typed [`EnvOverrideError`] instead of panicking or silently falling back.
+    /// Returns `Ok(None)` only when the variable is unset.
     ///
     /// Recognized values: `off`, `redundant` (default retry budget) and
     /// `redundant:<n>` (explicit retry budget).
     ///
+    /// # Errors
+    ///
+    /// Returns [`EnvOverrideError`] when the variable is set but unrecognized.
+    pub fn try_from_env() -> Result<Option<Self>, EnvOverrideError> {
+        envopt::env_override(GUARD_VAR, GUARD_EXPECTED, Self::recognize)
+    }
+
+    /// Reads the `SIMDRAM_GUARD` environment override, if set.
+    ///
     /// # Panics
     ///
     /// Panics on an unrecognized value — an override that silently fell back to the
-    /// default would invalidate the run it was meant to configure.
+    /// default would invalidate the run it was meant to configure. Callers that want a
+    /// recoverable failure use [`GuardMode::try_from_env`].
     pub fn from_env() -> Option<Self> {
-        let raw = std::env::var("SIMDRAM_GUARD").ok()?;
-        Some(Self::parse_override(&raw))
+        Self::try_from_env().unwrap_or_else(|err| panic!("{err}"))
     }
 
-    fn parse_override(raw: &str) -> Self {
-        let value = raw.trim().to_ascii_lowercase();
+    /// Parses one `SIMDRAM_GUARD` override value with the shared normalization rules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnvOverrideError`] on anything [`GuardMode::try_from_env`] would
+    /// reject.
+    pub fn parse_override(raw: &str) -> Result<Self, EnvOverrideError> {
+        envopt::parse_override(GUARD_VAR, GUARD_EXPECTED, raw, Self::recognize)
+    }
+
+    /// The pure grammar recognizer behind [`GuardMode::parse_override`]: `value` is
+    /// already trimmed and lowercased; `None` means "not in the grammar".
+    fn recognize(value: &str) -> Option<Self> {
         if value == "off" {
-            return GuardMode::Off;
+            return Some(GuardMode::Off);
         }
         if value == "redundant" {
-            return GuardMode::redundant();
+            return Some(GuardMode::redundant());
         }
         if let Some(n) = value.strip_prefix("redundant:") {
-            let max_retries = n.parse().unwrap_or_else(|_| {
-                panic!("SIMDRAM_GUARD={raw}: retry budget must be an unsigned integer")
-            });
-            return GuardMode::Redundant { max_retries };
+            let max_retries = n.parse().ok()?;
+            return Some(GuardMode::Redundant { max_retries });
         }
-        panic!(
-            "unrecognized SIMDRAM_GUARD value {raw:?} (expected off | redundant | redundant:<n>)"
-        )
+        None
     }
 }
 
@@ -172,34 +197,37 @@ mod tests {
 
     #[test]
     fn parses_overrides() {
-        assert_eq!(GuardMode::parse_override("off"), GuardMode::Off);
-        assert_eq!(GuardMode::parse_override(" OFF "), GuardMode::Off);
+        assert_eq!(GuardMode::parse_override("off"), Ok(GuardMode::Off));
+        assert_eq!(GuardMode::parse_override(" OFF "), Ok(GuardMode::Off));
         assert_eq!(
             GuardMode::parse_override("redundant"),
-            GuardMode::Redundant {
+            Ok(GuardMode::Redundant {
                 max_retries: DEFAULT_MAX_RETRIES
-            }
+            })
         );
         assert_eq!(
             GuardMode::parse_override("Redundant:7"),
-            GuardMode::Redundant { max_retries: 7 }
+            Ok(GuardMode::Redundant { max_retries: 7 })
         );
         assert_eq!(
             GuardMode::parse_override("redundant:0"),
-            GuardMode::Redundant { max_retries: 0 }
+            Ok(GuardMode::Redundant { max_retries: 0 })
         );
     }
 
     #[test]
-    #[should_panic(expected = "unrecognized SIMDRAM_GUARD value")]
-    fn rejects_unknown_override() {
-        GuardMode::parse_override("triple");
+    fn rejects_unknown_override_with_a_typed_error() {
+        let err = GuardMode::parse_override("triple").unwrap_err();
+        assert_eq!(err.var, "SIMDRAM_GUARD");
+        assert_eq!(err.value, "triple");
+        assert!(err.to_string().contains("off | redundant"));
     }
 
     #[test]
-    #[should_panic(expected = "retry budget must be an unsigned integer")]
-    fn rejects_bad_retry_budget() {
-        GuardMode::parse_override("redundant:many");
+    fn rejects_bad_retry_budget_with_a_typed_error() {
+        let err = GuardMode::parse_override("redundant:many").unwrap_err();
+        assert_eq!(err.var, "SIMDRAM_GUARD");
+        assert!(GuardMode::parse_override("redundant:-1").is_err());
     }
 
     #[test]

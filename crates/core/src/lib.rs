@@ -60,6 +60,7 @@ mod perf;
 mod plan;
 mod report;
 mod timing_backend;
+mod topology;
 mod transpose;
 mod verify;
 
@@ -78,8 +79,12 @@ pub use machine::{Reservation, SimdramMachine};
 pub use perf::{ddr4, pud_performance, PerfPoint};
 pub use plan::{Expr, Plan, PlanBuilder, PlanExecution, PlanOutput, Session};
 pub use report::{ExecutionReport, MachineStats, PlanReport};
-pub use simdram_dram::FaultModel;
+pub use simdram_dram::{EnvOverrideError, FaultModel};
 pub use timing_backend::{BankStateBackend, TimingBackend, TimingBackendKind};
+pub use topology::{
+    DeviceHealth, FleetEstimate, LinkModel, MovementTotals, ShardMap, ShardPolicy, ShardedMachine,
+    ShardedVector,
+};
 pub use transpose::{
     horizontal_to_vertical, transpose_64x64, vertical_to_horizontal, TranspositionUnit,
 };

@@ -6,7 +6,9 @@ use std::sync::Arc;
 use simdram_dram::stats::DeviceStats;
 use simdram_dram::{BGroupRow, BitRow, CommandCosts, CommandTrace, DramDevice, RowAddr, Subarray};
 use simdram_logic::Operation;
-use simdram_uprog::{execute as execute_uprog, CompiledProgram, MicroProgram, RowBinding};
+use simdram_uprog::{
+    execute as execute_uprog, CompiledProgram, DispatchEntry, MicroProgram, RowBinding,
+};
 
 use crate::config::SimdramConfig;
 use crate::control_unit::ControlUnit;
@@ -1039,6 +1041,52 @@ impl SimdramMachine {
         self.run_plans_at(&resolved)
     }
 
+    /// Issues several independent plans as **exactly one heterogeneous MIMD dispatch
+    /// window**: each plan becomes one `(μProgram stream, subarray set)` entry of the
+    /// window, all entries execute concurrently over the disjoint reservations, and the
+    /// whole call records a single [`crate::BroadcastEstimate`].
+    ///
+    /// This is [`SimdramMachine::run_plans_on`] with a hard single-window contract —
+    /// the caller asserting "this is one dispatch" (e.g. control-divergent lanes of one
+    /// logical kernel, split into per-branch plans over disjoint element ranges).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Shape`] when any plan needs more than one dispatch window
+    /// under the current [`crate::SimdramConfig::mimd_windows`] setting, plus every
+    /// [`SimdramMachine::run_plans_on`] error.
+    pub fn run_mimd_window(
+        &mut self,
+        jobs: &[(&Plan, &Reservation)],
+    ) -> Result<Vec<PlanExecution>> {
+        for &(plan, _) in jobs {
+            let windows = if self.config.mimd_windows {
+                plan.window_count()
+            } else {
+                plan.batch_count()
+            };
+            if windows > 1 {
+                return Err(CoreError::Shape(format!(
+                    "run_mimd_window issues exactly one dispatch, but a plan needs \
+                     {windows} windows; use run_plans_on for multi-window plans"
+                )));
+            }
+        }
+        self.run_plans_on(jobs)
+    }
+
+    /// Total dispatch windows the control unit has issued (see
+    /// [`crate::ControlUnit::windows_issued`]).
+    pub fn dispatch_windows_issued(&self) -> u64 {
+        self.control.windows_issued()
+    }
+
+    /// Dispatch windows that carried ≥ 2 distinct μProgram streams — true MIMD
+    /// dispatches (see [`crate::ControlUnit::mimd_windows_issued`]).
+    pub fn mimd_windows_issued(&self) -> u64 {
+        self.control.mimd_windows_issued()
+    }
+
     /// Shared implementation of every plan entry point: each job is a plan plus a chunk
     /// placement `(offset, budget)`. Validates, allocates storage with rollback, runs
     /// the fused dispatches and returns per-job executions.
@@ -1158,11 +1206,14 @@ impl SimdramMachine {
         Ok((outputs, slot_bases))
     }
 
-    /// Issues the jobs' batches as fused dispatches — at dispatch depth `d`, the `d`-th
-    /// batch of every plan that has one runs inside ONE broadcast over the union of the
-    /// jobs' chunk placements — folding the per-step traces into the machine's
-    /// accounting exactly like back-to-back execution would have (traces are merged in
-    /// deterministic `(job, step, chunk)` order).
+    /// Issues the jobs' batches as fused MIMD dispatch windows — at window depth `d`,
+    /// the `d`-th window of every plan that has one runs inside ONE broadcast over the
+    /// union of the jobs' chunk placements, each chunk executing its owning job's
+    /// co-issued batch segments back-to-back — folding the per-step traces into the
+    /// machine's accounting exactly like back-to-back execution would have (traces are
+    /// merged in deterministic `(job, batch, step, chunk)` order, so results and
+    /// per-plan reports are bit-identical with [`crate::SimdramConfig::mimd_windows`]
+    /// on or off).
     fn execute_plan_batches(
         &mut self,
         jobs: &[(&Plan, usize, usize)],
@@ -1202,88 +1253,128 @@ impl SimdramMachine {
             })
             .collect();
 
-        let max_batches = jobs
+        let mimd = self.config.mimd_windows;
+        let windows_of = |plan: &Plan| {
+            if mimd {
+                plan.window_count()
+            } else {
+                plan.batch_count()
+            }
+        };
+        let max_windows = jobs
             .iter()
-            .map(|&(plan, _, _)| plan.batch_count())
+            .map(|&(plan, _, _)| windows_of(plan))
             .max()
             .unwrap_or(0);
-        for depth in 0..max_batches {
-            // Resolve every participating job's batch into a concrete step list and its
-            // placement coordinates. Coordinates are appended in job order, so position
+        for depth in 0..max_windows {
+            // Resolve every participating job's dispatch window into per-batch step
+            // segments plus its placement coordinates. A window covers one or more
+            // independent same-level batches (one, for every level of a uniform-length
+            // plan); a chunk executes, back-to-back, the segment of every batch wide
+            // enough to reach it. Coordinates are appended in job order, so position
             // `p` of the dispatch belongs to `owner_of_position[p]`.
             let mut participants: Vec<usize> = Vec::new();
-            let mut step_lists: Vec<Vec<RunStep>> = Vec::new();
-            let mut chunk_counts: Vec<usize> = Vec::new();
+            let mut segment_lists: Vec<Vec<(Vec<RunStep>, usize)>> = Vec::new();
+            let mut participant_chunks: Vec<usize> = Vec::new();
+            let mut participant_starts: Vec<usize> = Vec::new();
             let mut coords: Vec<(usize, usize)> = Vec::new();
             let mut owner_of_position: Vec<usize> = Vec::new();
+            let mut entries: Vec<DispatchEntry> = Vec::new();
             for (job_index, &(plan, offset, _)) in jobs.iter().enumerate() {
-                if depth >= plan.batch_count() {
+                if depth >= windows_of(plan) {
                     continue;
                 }
                 let node_vectors = &job_vectors[job_index];
-                let batch = &plan.batches()[depth];
-                let chunks = self.subarrays_for(batch.len);
-                let mut steps: Vec<RunStep> = Vec::with_capacity(batch.steps.len());
-                for &id in &batch.steps {
-                    let node = plan.node(id);
-                    let dst = node_vectors[id].expect("computed nodes have storage");
-                    if let Some(value) = node.kind_constant() {
-                        steps.push(RunStep::Init {
-                            base_row: dst.base_row(),
-                            width: node.width(),
-                            value,
-                        });
-                    } else if let Some(src) = node.kind_copy() {
-                        let src_vec = node_vectors[src].expect("operands precede their users");
-                        steps.push(RunStep::Copy {
-                            src_base: src_vec.base_row(),
-                            dst_base: dst.base_row(),
-                            width: node.width(),
-                        });
-                    } else if let Some((op, a, b, pred)) = node.kind_op() {
-                        let a_vec = node_vectors[a].expect("operands precede their users");
-                        let b_vec =
-                            b.map(|i| node_vectors[i].expect("operands precede their users"));
-                        let p_vec =
-                            pred.map(|i| node_vectors[i].expect("operands precede their users"));
-                        let binding = self.control.bind(
-                            op,
-                            &dst,
-                            &a_vec,
-                            b_vec.as_ref(),
-                            p_vec.as_ref(),
-                            self.config.reserved_base(),
-                        )?;
-                        let program = self.control.microprogram(op, a_vec.width()).clone();
-                        let compiled = if self.config.functional.is_compiled() {
-                            Some(self.control.compiled_microprogram(
+                let batch_range = if mimd {
+                    plan.windows()[depth].clone()
+                } else {
+                    depth..depth + 1
+                };
+                let mut segments: Vec<(Vec<RunStep>, usize)> = Vec::new();
+                let mut programs: Vec<(Operation, usize)> = Vec::new();
+                for batch in &plan.batches()[batch_range] {
+                    let chunks = self.subarrays_for(batch.len);
+                    let mut steps: Vec<RunStep> = Vec::with_capacity(batch.steps.len());
+                    for &id in &batch.steps {
+                        let node = plan.node(id);
+                        let dst = node_vectors[id].expect("computed nodes have storage");
+                        if let Some(value) = node.kind_constant() {
+                            steps.push(RunStep::Init {
+                                base_row: dst.base_row(),
+                                width: node.width(),
+                                value,
+                            });
+                        } else if let Some(src) = node.kind_copy() {
+                            let src_vec = node_vectors[src].expect("operands precede their users");
+                            steps.push(RunStep::Copy {
+                                src_base: src_vec.base_row(),
+                                dst_base: dst.base_row(),
+                                width: node.width(),
+                            });
+                        } else if let Some((op, a, b, pred)) = node.kind_op() {
+                            let a_vec = node_vectors[a].expect("operands precede their users");
+                            let b_vec =
+                                b.map(|i| node_vectors[i].expect("operands precede their users"));
+                            let p_vec = pred
+                                .map(|i| node_vectors[i].expect("operands precede their users"));
+                            let binding = self.control.bind(
                                 op,
-                                a_vec.width(),
-                                &self.costs,
-                            )?)
-                        } else {
-                            None
-                        };
-                        steps.push(RunStep::Exec {
-                            program,
-                            compiled,
-                            binding,
-                            node: id,
-                        });
+                                &dst,
+                                &a_vec,
+                                b_vec.as_ref(),
+                                p_vec.as_ref(),
+                                self.config.reserved_base(),
+                            )?;
+                            let program = self.control.microprogram(op, a_vec.width()).clone();
+                            let compiled = if self.config.functional.is_compiled() {
+                                Some(self.control.compiled_microprogram(
+                                    op,
+                                    a_vec.width(),
+                                    &self.costs,
+                                )?)
+                            } else {
+                                None
+                            };
+                            programs.push((op, a_vec.width()));
+                            steps.push(RunStep::Exec {
+                                program,
+                                compiled,
+                                binding,
+                                node: id,
+                            });
+                        }
                     }
+                    segments.push((steps, chunks));
                 }
+                let job_chunks = segments
+                    .iter()
+                    .map(|&(_, chunks)| chunks)
+                    .max()
+                    .unwrap_or(1);
                 let participant = participants.len();
-                coords.extend(self.compute_coords_at(offset, chunks)?);
-                owner_of_position.extend(std::iter::repeat_n(participant, chunks));
+                participant_starts.push(coords.len());
+                coords.extend(self.compute_coords_at(offset, job_chunks)?);
+                owner_of_position.extend(std::iter::repeat_n(participant, job_chunks));
+                entries.push(DispatchEntry::new(
+                    programs,
+                    (offset..offset + job_chunks).collect(),
+                ));
                 participants.push(job_index);
-                step_lists.push(steps);
-                chunk_counts.push(chunks);
+                segment_lists.push(segments);
+                participant_chunks.push(job_chunks);
             }
 
-            // One fused dispatch: every chunk executes its owning job's whole batch
-            // back-to-back, returning one local trace per step so per-step accounting
-            // stays exact. Placements are disjoint, so the disjoint-borrow API hands
-            // every chunk kernel its own subarray.
+            // The control unit assembles and validates the window's (μProgram stream,
+            // subarray set) entries before anything issues: reservations make the sets
+            // disjoint by construction, and this is the layer that would reject a
+            // corrupted placement table.
+            self.control.describe_window(entries)?;
+
+            // One fused MIMD dispatch: every chunk executes, in batch order, the
+            // segment of every owning-job batch that reaches it, returning each
+            // segment's local per-step traces so per-step accounting stays exact.
+            // Placements are disjoint, so the disjoint-borrow API hands every chunk
+            // kernel its own subarray.
             let dispatch_chunks = coords.len();
             // History sampling keys off the dispatch position, which is assigned in
             // deterministic (job, chunk) order independent of the execution policy.
@@ -1295,18 +1386,30 @@ impl SimdramMachine {
             let guard = self.config.guard;
             let per_bank = self.config.compute_subarrays_per_bank;
             let coords_ref = &coords;
+            let segment_lists_ref = &segment_lists;
+            let owners = &owner_of_position;
+            let starts = &participant_starts;
             let broadcast = self
                 .executor
                 .broadcast(&mut self.device, &coords, |position, sa| {
+                    let participant = owners[position];
+                    let local = position - starts[participant];
                     let (bank, subarray) = coords_ref[position];
-                    run_steps_guarded(
-                        &step_lists[owner_of_position[position]],
-                        sa,
-                        force_history || mode.trace_with_history(position),
-                        guard,
-                        bank * per_bank + subarray,
-                        (bank, subarray),
-                    )
+                    let mut outputs: Vec<(Vec<CommandTrace>, Vec<u64>, u32)> = Vec::new();
+                    for (steps, chunks) in &segment_lists_ref[participant] {
+                        if local >= *chunks {
+                            continue;
+                        }
+                        outputs.push(run_steps_guarded(
+                            steps,
+                            sa,
+                            force_history || mode.trace_with_history(position),
+                            guard,
+                            bank * per_bank + subarray,
+                            (bank, subarray),
+                        )?);
+                    }
+                    Ok(outputs)
                 });
             let chunk_results = match broadcast {
                 Ok(results) => results,
@@ -1323,17 +1426,19 @@ impl SimdramMachine {
                 }
             };
 
-            // Dispatch-level bank-state replay: merge each chunk's per-step traces into
-            // one stream per chunk (the order the subarray really issued them) and
-            // replay the whole fused dispatch. Skipped entirely under the analytic
+            // Dispatch-level bank-state replay: merge every segment's per-step traces
+            // into one stream per chunk (the order the subarray really issued them) and
+            // replay the whole fused window. Skipped entirely under the analytic
             // backend.
             let fused_bank_state = if self.backend.kind().is_bank_state() {
                 let merged: Vec<CommandTrace> = chunk_results
                     .iter()
-                    .map(|(steps, _, _)| {
+                    .map(|segments| {
                         let mut whole = CommandTrace::new();
-                        for step in steps {
-                            whole.merge(step);
+                        for (steps, _, _) in segments {
+                            for step in steps {
+                                whole.merge(step);
+                            }
                         }
                         whole
                     })
@@ -1347,100 +1452,118 @@ impl SimdramMachine {
             let mut dispatch_commands = 0usize;
             let mut dispatch_energy = 0.0f64;
             let mut dispatch_retries = 0u64;
-            let mut trace_iter = chunk_results.into_iter();
+            let mut chunk_iter = chunk_results.into_iter();
             for (participant, &job_index) in participants.iter().enumerate() {
-                let chunks = chunk_counts[participant];
-                let steps = &step_lists[participant];
+                let job_chunks = participant_chunks[participant];
                 let plan = jobs[job_index].0;
-                // Transpose this job's [chunk][step] traces into per-step chunk order,
-                // summing each step's injected-fault deltas over the job's chunks.
-                let mut per_step: Vec<Vec<CommandTrace>> = (0..steps.len())
-                    .map(|_| Vec::with_capacity(chunks))
+                // Per chunk, the segments it ran, in batch order; consumed
+                // batch-by-batch below, reconstructing each batch's per-step
+                // chunk-major traces exactly as serialized dispatch would see them.
+                let mut chunk_segments: Vec<_> = (0..job_chunks)
+                    .map(|_| {
+                        chunk_iter
+                            .next()
+                            .expect("one segment list per chunk")
+                            .into_iter()
+                    })
                     .collect();
-                let mut step_injected = vec![0u64; steps.len()];
+                let mut window_chunk_latency = vec![0.0f64; job_chunks];
+                let mut window_commands = 0usize;
+                let mut window_energy = 0.0f64;
                 let mut job_retries = 0u64;
-                for _ in 0..chunks {
-                    let (chunk_traces, chunk_injected, chunk_retries) =
-                        trace_iter.next().expect("one trace list per chunk");
-                    for (step, trace) in chunk_traces.into_iter().enumerate() {
-                        per_step[step].push(trace);
+                for (steps, batch_chunks) in &segment_lists[participant] {
+                    // Transpose this batch's [chunk][step] traces into per-step chunk
+                    // order, summing each step's injected-fault deltas over its chunks.
+                    let mut per_step: Vec<Vec<CommandTrace>> = (0..steps.len())
+                        .map(|_| Vec::with_capacity(*batch_chunks))
+                        .collect();
+                    let mut step_injected = vec![0u64; steps.len()];
+                    for segments in chunk_segments.iter_mut().take(*batch_chunks) {
+                        let (chunk_traces, chunk_injected, chunk_retries) = segments
+                            .next()
+                            .expect("one segment per participating chunk");
+                        for (step, trace) in chunk_traces.into_iter().enumerate() {
+                            per_step[step].push(trace);
+                        }
+                        for (step, n) in chunk_injected.into_iter().enumerate() {
+                            step_injected[step] += n;
+                        }
+                        if chunk_retries > 0 {
+                            job_retries += u64::from(chunk_retries);
+                            self.fault_log.retries += u64::from(chunk_retries);
+                            self.fault_log.recovered += 1;
+                        }
                     }
-                    for (step, n) in chunk_injected.into_iter().enumerate() {
-                        step_injected[step] += n;
-                    }
-                    if chunk_retries > 0 {
-                        job_retries += u64::from(chunk_retries);
-                        self.fault_log.retries += u64::from(chunk_retries);
-                        self.fault_log.recovered += 1;
-                    }
-                }
-                dispatch_retries += job_retries;
 
-                let mut batch_chunk_latency = vec![0.0f64; chunks];
-                let mut batch_commands = 0usize;
-                let mut batch_energy = 0.0f64;
+                    let report = &mut reports[job_index];
+                    for ((step_index, step), traces) in steps.iter().enumerate().zip(&per_step) {
+                        for (chunk, trace) in traces.iter().enumerate() {
+                            self.functional_stats.absorb_trace(trace);
+                            window_chunk_latency[chunk] += trace.total_latency_ns();
+                            window_energy += trace.total_energy_nj();
+                            window_commands += trace.len();
+                        }
+                        report.faults_injected += step_injected[step_index];
+                        match step {
+                            RunStep::Init { width, .. } => {
+                                report.constants += 1;
+                                report.commands += width;
+                            }
+                            RunStep::Copy { width, .. } => {
+                                report.copies += 1;
+                                report.commands += width;
+                            }
+                            RunStep::Exec { program, node, .. } => {
+                                let measured = self.backend.broadcast(traces);
+                                let elements = plan.node(*node).len();
+                                let timing = &self.config.dram.timing;
+                                let energy_model = &self.config.dram.energy;
+                                let step_report = ExecutionReport {
+                                    op: program.operation(),
+                                    width: program.width(),
+                                    elements,
+                                    subarrays_used: *batch_chunks,
+                                    commands: program.command_count(),
+                                    tra_count: program.tra_count(),
+                                    latency_ns: program.latency_ns(timing),
+                                    energy_nj: program.energy_nj(energy_model)
+                                        * *batch_chunks as f64,
+                                    measured_latency_ns: measured.latency_ns,
+                                    measured_energy_nj: measured.energy_nj,
+                                    bank_state_latency_ns: measured
+                                        .bank_state
+                                        .as_ref()
+                                        .map(|replay| replay.latency_ns),
+                                    faults_injected: step_injected[step_index],
+                                };
+                                self.stats.record_execution(&step_report);
+                                report.ops += 1;
+                                report.commands += step_report.commands;
+                                report.elements += step_report.elements;
+                                report.latency_ns += step_report.latency_ns;
+                                report.energy_nj += step_report.energy_nj;
+                                report.step_reports.push(step_report);
+                            }
+                        }
+                    }
+                    // One fused broadcast batch accounted (a window may carry several).
+                    report.broadcasts += 1;
+                }
+
+                // The job's own busy window for this dispatch: its chunks run their
+                // segment chains in lock-step, so it is the max over the job's chunks
+                // of each chunk's window total. Co-issued batches overlap here instead
+                // of serializing — the MIMD win.
+                let window_latency = window_chunk_latency.iter().copied().fold(0.0f64, f64::max);
                 let report = &mut reports[job_index];
+                report.windows += 1;
                 report.fault_retries += job_retries;
-                for ((step_index, step), traces) in steps.iter().enumerate().zip(&per_step) {
-                    for (chunk, trace) in traces.iter().enumerate() {
-                        self.functional_stats.absorb_trace(trace);
-                        batch_chunk_latency[chunk] += trace.total_latency_ns();
-                        batch_energy += trace.total_energy_nj();
-                        batch_commands += trace.len();
-                    }
-                    report.faults_injected += step_injected[step_index];
-                    match step {
-                        RunStep::Init { width, .. } => {
-                            report.constants += 1;
-                            report.commands += width;
-                        }
-                        RunStep::Copy { width, .. } => {
-                            report.copies += 1;
-                            report.commands += width;
-                        }
-                        RunStep::Exec { program, node, .. } => {
-                            let measured = self.backend.broadcast(traces);
-                            let elements = plan.node(*node).len();
-                            let timing = &self.config.dram.timing;
-                            let energy_model = &self.config.dram.energy;
-                            let step_report = ExecutionReport {
-                                op: program.operation(),
-                                width: program.width(),
-                                elements,
-                                subarrays_used: chunks,
-                                commands: program.command_count(),
-                                tra_count: program.tra_count(),
-                                latency_ns: program.latency_ns(timing),
-                                energy_nj: program.energy_nj(energy_model) * chunks as f64,
-                                measured_latency_ns: measured.latency_ns,
-                                measured_energy_nj: measured.energy_nj,
-                                bank_state_latency_ns: measured
-                                    .bank_state
-                                    .as_ref()
-                                    .map(|replay| replay.latency_ns),
-                                faults_injected: step_injected[step_index],
-                            };
-                            self.stats.record_execution(&step_report);
-                            report.ops += 1;
-                            report.commands += step_report.commands;
-                            report.elements += step_report.elements;
-                            report.latency_ns += step_report.latency_ns;
-                            report.energy_nj += step_report.energy_nj;
-                            report.step_reports.push(step_report);
-                        }
-                    }
-                }
-
-                // The job's own busy window for this batch: the chunks run the batch in
-                // lock-step, so it is the max over the job's chunks of each chunk's
-                // batch total.
-                let batch_latency = batch_chunk_latency.iter().copied().fold(0.0f64, f64::max);
-                report.broadcasts += 1;
-                report.measured_latency_ns += batch_latency;
-                report.measured_energy_nj += batch_energy;
-                dispatch_latency = dispatch_latency.max(batch_latency);
-                dispatch_commands += batch_commands;
-                dispatch_energy += batch_energy;
+                report.measured_latency_ns += window_latency;
+                report.measured_energy_nj += window_energy;
+                dispatch_retries += job_retries;
+                dispatch_latency = dispatch_latency.max(window_latency);
+                dispatch_commands += window_commands;
+                dispatch_energy += window_energy;
             }
 
             // Recovery is not free: every retry charges a modeled re-dispatch window
@@ -1454,10 +1577,10 @@ impl SimdramMachine {
             }
 
             // Fold the whole fused dispatch into the cumulative estimate as ONE
-            // broadcast: all participating subarrays (across every job) run in
-            // lock-step, so the machine's busy window is the max over all of them —
-            // this is where cross-job fusion shows up as fewer, no-longer-serialized
-            // broadcasts in [`MachineEstimate`].
+            // broadcast: all participating subarrays (across every job and every
+            // co-issued batch) run in lock-step, so the machine's busy window is the
+            // max over all of them — this is where cross-job fusion and MIMD windows
+            // show up as fewer, no-longer-serialized broadcasts in [`MachineEstimate`].
             let fused = BroadcastEstimate {
                 chunks: dispatch_chunks,
                 commands: dispatch_commands,
@@ -2078,6 +2201,134 @@ mod tests {
             assert!((exec.report().measured_latency_ns - solo.measured_latency_ns).abs() < 1e-9);
             assert!((exec.report().measured_energy_nj - solo.measured_energy_nj).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn mixed_width_batches_co_issue_in_one_mimd_window() {
+        let lanes = machine().lanes_per_subarray();
+        // Two independent same-level steps with differing lane widths: an 8-bit op over
+        // lanes+1 elements (2 chunks) and a 16-bit op over 3 elements (1 chunk). PR 9
+        // serialized these as separate dispatches; MIMD windows co-issue them.
+        let x_vals: Vec<u64> = (0..(lanes + 1) as u64)
+            .map(|i| (i * 37 + 11) & 0xFF)
+            .collect();
+        let y_vals = [700u64, 800, 900];
+        let build = |m: &mut SimdramMachine| {
+            let x = m.alloc_and_write(8, &x_vals).unwrap();
+            let y = m.alloc_and_write(16, &y_vals).unwrap();
+            let mut s = PlanBuilder::new();
+            let xe = s.input(&x);
+            let ye = s.input(&y);
+            let c = s.constant(16, y_vals.len(), 25).unwrap();
+            let ax = s.abs(xe).unwrap();
+            let sy = s.add(ye, c).unwrap();
+            let out_x = s.materialize(ax).unwrap();
+            let out_y = s.materialize(sy).unwrap();
+            (s.compile().unwrap(), out_x, out_y)
+        };
+
+        let mut m = machine();
+        let (plan, out_x, out_y) = build(&mut m);
+        // Constant batch at level 0, then the two mixed-width op batches share level 1:
+        // three batches in two windows, one of them mixed.
+        assert_eq!(plan.batch_count(), 3);
+        assert_eq!(plan.window_count(), 2);
+        assert_eq!(plan.mixed_window_count(), 1);
+
+        let exec = m.run_plan(&plan).unwrap();
+        let expected_x: Vec<u64> = x_vals
+            .iter()
+            .map(|&v| Operation::Abs.reference(8, v, 0, false))
+            .collect();
+        let expected_y: Vec<u64> = y_vals.iter().map(|&v| v + 25).collect();
+        assert_eq!(m.read(exec.output(out_x)).unwrap(), expected_x);
+        assert_eq!(m.read(exec.output(out_y)).unwrap(), expected_y);
+        assert_eq!(exec.report().broadcasts, 3);
+        assert_eq!(exec.report().windows, 2);
+        // The machine-level estimate counts fused dispatches = windows.
+        assert_eq!(m.estimate().broadcasts, 2);
+        assert_eq!(m.dispatch_windows_issued(), 2);
+
+        // The serialized schedule (mimd_windows off) is bit-identical in results and
+        // functional command accounting — only the dispatch count differs.
+        let mut serial_config = SimdramConfig::functional_test();
+        serial_config.mimd_windows = false;
+        let mut serial = SimdramMachine::new(serial_config).unwrap();
+        let (plan, out_x, out_y) = build(&mut serial);
+        let serial_exec = serial.run_plan(&plan).unwrap();
+        assert_eq!(serial.read(serial_exec.output(out_x)).unwrap(), expected_x);
+        assert_eq!(serial.read(serial_exec.output(out_y)).unwrap(), expected_y);
+        assert_eq!(serial_exec.report().broadcasts, 3);
+        assert_eq!(serial_exec.report().windows, 3);
+        assert_eq!(serial.estimate().broadcasts, 3);
+        assert_eq!(serial.device_stats(), m.device_stats());
+        assert_eq!(serial_exec.report().commands, exec.report().commands);
+        // Lane-fixed placement makes both batches claim chunk 0, so inside one plan the
+        // co-issued segments still serialize on that subarray: the busy window is
+        // bit-identical and the MIMD win is the dispatch-window count (cross-plan
+        // windows over disjoint reservations get real overlap — see
+        // `run_mimd_window_issues_one_heterogeneous_dispatch`).
+        assert!(
+            (exec.report().measured_latency_ns - serial_exec.report().measured_latency_ns).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn run_mimd_window_issues_one_heterogeneous_dispatch() {
+        let mut m = machine();
+        let lanes = m.lanes_per_subarray();
+        let ra = m.reserve_subarrays(1).unwrap();
+        let rb = m.reserve_subarrays(1).unwrap();
+        let a_vals: Vec<u64> = (0..lanes as u64).map(|i| (i * 37 + 11) & 0xFF).collect();
+        let b_vals: Vec<u64> = (0..lanes as u64).map(|i| (i * 91 + 3) & 0xFF).collect();
+        let xa = m.alloc(8, a_vals.len()).unwrap();
+        let xb = m.alloc(8, b_vals.len()).unwrap();
+        m.write_to(&ra, &xa, &a_vals).unwrap();
+        m.write_to(&rb, &xb, &b_vals).unwrap();
+
+        // Two single-window plans running *different* μPrograms on disjoint subarrays.
+        let unary_plan = |x: &SimdVector, op: Operation| {
+            let mut s = PlanBuilder::new();
+            let xe = s.input(x);
+            let node = s.unary(op, xe).unwrap();
+            let out = s.materialize(node).unwrap();
+            (s.compile().unwrap(), out)
+        };
+        let (plan_a, out_a) = unary_plan(&xa, Operation::Abs);
+        let (plan_b, out_b) = unary_plan(&xb, Operation::Relu);
+        let before = m.estimate().broadcasts;
+        let mimd_before = m.mimd_windows_issued();
+        let execs = m
+            .run_mimd_window(&[(&plan_a, &ra), (&plan_b, &rb)])
+            .unwrap();
+        // Exactly ONE fused dispatch carried both μProgram streams.
+        assert_eq!(m.estimate().broadcasts - before, 1);
+        assert_eq!(m.mimd_windows_issued() - mimd_before, 1);
+        let expected_a: Vec<u64> = a_vals
+            .iter()
+            .map(|&v| Operation::Abs.reference(8, v, 0, false))
+            .collect();
+        let expected_b: Vec<u64> = b_vals
+            .iter()
+            .map(|&v| Operation::Relu.reference(8, v, 0, false))
+            .collect();
+        assert_eq!(
+            m.read_from(&ra, execs[0].output(out_a)).unwrap(),
+            expected_a
+        );
+        assert_eq!(
+            m.read_from(&rb, execs[1].output(out_b)).unwrap(),
+            expected_b
+        );
+
+        // A plan needing more than one window violates the single-dispatch contract.
+        let (deep_plan, _) = knn_plan(&xa, a_vals.len());
+        assert!(deep_plan.window_count() > 1);
+        assert!(matches!(
+            m.run_mimd_window(&[(&deep_plan, &ra)]),
+            Err(CoreError::Shape(_))
+        ));
     }
 
     #[test]

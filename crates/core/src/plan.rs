@@ -158,12 +158,18 @@ pub(crate) enum Storage {
     External(SimdVector),
 }
 
-/// One fused broadcast: every step in a batch executes back-to-back inside a single
-/// broadcast kernel, per participating subarray.
+/// One fused broadcast batch: every step in a batch executes back-to-back inside a
+/// single broadcast kernel, per participating subarray.
+///
+/// Batches of one dataflow level but different element counts are independent of each
+/// other; the scheduler groups them into one MIMD dispatch *window*
+/// ([`Plan::window_count`]) so they share a single dispatch instead of serializing.
 #[derive(Debug, Clone)]
 pub(crate) struct Batch {
     /// Element count shared by every step of the batch (fixes the subarray coordinates).
     pub(crate) len: usize,
+    /// Dataflow level shared by every step of the batch (windows group equal levels).
+    pub(crate) level: usize,
     /// Node ids of the steps, in issue order.
     pub(crate) steps: Vec<usize>,
 }
@@ -184,6 +190,10 @@ pub struct Plan {
     /// Width (in rows) of every pooled temp slot.
     slot_widths: Vec<usize>,
     batches: Vec<Batch>,
+    /// MIMD dispatch windows: each range covers the consecutive batches of one dataflow
+    /// level (batches are level-ordered). All batches of a window are mutually
+    /// independent and issue inside ONE dispatch.
+    windows: Vec<std::ops::Range<usize>>,
     /// Node id per materialized output, indexed by [`PlanOutput`].
     outputs: Vec<usize>,
 }
@@ -217,6 +227,20 @@ impl Plan {
     /// Number of fused broadcast batches the plan issues.
     pub fn batch_count(&self) -> usize {
         self.batches.len()
+    }
+
+    /// Number of MIMD dispatch windows the plan issues: one per dataflow level that has
+    /// any executable step. Always ≤ [`Plan::batch_count`]; strictly smaller exactly
+    /// when some level holds independent steps of *different* element counts — those
+    /// batches share one heterogeneous dispatch instead of serializing.
+    pub fn window_count(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Number of windows that are genuinely MIMD, i.e. co-issue ≥ 2 batches with
+    /// different lane counts in one dispatch.
+    pub fn mixed_window_count(&self) -> usize {
+        self.windows.iter().filter(|w| w.len() > 1).count()
     }
 
     /// Total data rows occupied by the pooled temporaries, after liveness-driven reuse.
@@ -289,6 +313,10 @@ impl Plan {
 
     pub(crate) fn batches(&self) -> &[Batch] {
         &self.batches
+    }
+
+    pub(crate) fn windows(&self) -> &[std::ops::Range<usize>] {
+        &self.windows
     }
 
     pub(crate) fn output_nodes(&self) -> &[usize] {
@@ -999,7 +1027,8 @@ impl PlanBuilder {
         }
 
         // --- Batching: steps of one level with one element count fuse into a single
-        // broadcast (identical subarray coordinates on any machine).
+        // broadcast (identical subarray coordinates on any machine). The walk follows
+        // `order` (sorted by level), so batches come out level-ordered.
         let mut batches: Vec<Batch> = Vec::new();
         let mut batch_index: HashMap<(usize, usize), usize> = HashMap::new();
         for &id in &order {
@@ -1010,11 +1039,26 @@ impl PlanBuilder {
             let index = *batch_index.entry(key).or_insert_with(|| {
                 batches.push(Batch {
                     len: nodes[id].len,
+                    level: level[id],
                     steps: Vec::new(),
                 });
                 batches.len() - 1
             });
             batches[index].steps.push(id);
+        }
+
+        // --- MIMD windows: consecutive batches of one level are mutually independent
+        // (same-level steps never read each other), so they co-issue as ONE
+        // heterogeneous dispatch. With uniform element counts every window holds
+        // exactly one batch and the schedule is identical to the pre-window one.
+        let mut windows: Vec<std::ops::Range<usize>> = Vec::new();
+        for (index, batch) in batches.iter().enumerate() {
+            match windows.last_mut() {
+                Some(window) if batches[window.start].level == batch.level => {
+                    window.end = index + 1;
+                }
+                _ => windows.push(index..index + 1),
+            }
         }
 
         Ok(Plan {
@@ -1023,6 +1067,7 @@ impl PlanBuilder {
             storage,
             slot_widths,
             batches,
+            windows,
             outputs,
         })
     }

@@ -162,6 +162,11 @@ pub struct PlanReport {
     pub copies: usize,
     /// Number of fused broadcasts (batches) issued.
     pub broadcasts: usize,
+    /// MIMD dispatch windows the batches were issued in (≤ `broadcasts`): independent
+    /// same-level batches co-issue in one window when
+    /// [`crate::SimdramConfig::mimd_windows`] is on, so `broadcasts - windows` is the
+    /// number of dispatches MIMD saved for this plan.
+    pub windows: usize,
     /// Broadcasts the eager op-by-op path would have issued for the same steps.
     pub eager_broadcasts: usize,
     /// Total DRAM commands issued per subarray, summed over steps (analytic).
@@ -172,8 +177,9 @@ pub struct PlanReport {
     pub latency_ns: f64,
     /// Analytic DRAM energy over all operation steps and subarrays, in nanojoules.
     pub energy_nj: f64,
-    /// Trace-measured busy window: the sum over batches of each batch's
-    /// max-over-subarrays latency (the fused schedule's serialization points).
+    /// Trace-measured busy window: the sum over dispatch windows of each window's
+    /// max-over-subarrays latency (the fused schedule's serialization points). With
+    /// MIMD windows off this degenerates to a sum over batches.
     pub measured_latency_ns: f64,
     /// Trace-measured dynamic DRAM energy over every step and subarray, in nanojoules.
     pub measured_energy_nj: f64,
@@ -369,6 +375,7 @@ mod tests {
             constants: 2,
             copies: 0,
             broadcasts: 3,
+            windows: 2,
             eager_broadcasts: 7,
             commands: 120,
             elements: 5 * 300,

@@ -23,9 +23,15 @@
 use std::fmt;
 
 use simdram_dram::energy::EnergyModel;
+use simdram_dram::envopt::{self, EnvOverrideError};
 use simdram_dram::{BankStateModel, BankTiming, CommandTrace, DramTiming};
 
 use crate::estimate::{BroadcastEstimate, TraceEstimator};
+
+/// Environment variable carrying the timing-backend override.
+const TIMING_VAR: &str = "SIMDRAM_TIMING";
+/// Accepted `SIMDRAM_TIMING` grammar, quoted in every rejection error.
+const TIMING_EXPECTED: &str = "analytic | bankstate";
 
 /// Which timing backend a machine folds its command traces through.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -48,36 +54,51 @@ impl TimingBackendKind {
         }
     }
 
-    /// Reads the `SIMDRAM_TIMING` environment override. Returns `None` only when the
-    /// variable is unset, letting the caller fall back to its configured default.
+    /// Reads the `SIMDRAM_TIMING` environment override, surfacing malformed values as
+    /// a typed [`EnvOverrideError`] instead of panicking or silently falling back.
+    /// Returns `Ok(None)` only when the variable is unset.
     ///
     /// Recognized (case-insensitive) values: `analytic`, `bankstate`. This is how CI
     /// forces the whole tier-1 suite through the bank-state backend without code
     /// changes.
     ///
+    /// # Errors
+    ///
+    /// Returns [`EnvOverrideError`] when the variable is set but unrecognized.
+    pub fn try_from_env() -> Result<Option<Self>, EnvOverrideError> {
+        envopt::env_override(TIMING_VAR, TIMING_EXPECTED, Self::recognize)
+    }
+
+    /// Reads the `SIMDRAM_TIMING` environment override. Returns `None` only when the
+    /// variable is unset, letting the caller fall back to its configured default.
+    ///
     /// # Panics
     ///
     /// Panics on a set-but-unrecognized value. The variable exists solely as a
     /// test/CI override; silently ignoring a typo would let a CI job believe it
-    /// exercised the bank-state backend while re-running the analytic path.
+    /// exercised the bank-state backend while re-running the analytic path. Callers
+    /// that want a recoverable failure use [`TimingBackendKind::try_from_env`].
     pub fn from_env() -> Option<Self> {
-        let raw = std::env::var("SIMDRAM_TIMING").ok()?;
-        Some(Self::parse_override(&raw))
+        Self::try_from_env().unwrap_or_else(|err| panic!("{err}"))
     }
 
-    /// Parses a `SIMDRAM_TIMING` override value; panics on anything unrecognized (see
-    /// [`TimingBackendKind::from_env`]).
-    fn parse_override(raw: &str) -> Self {
-        let value = raw.trim().to_ascii_lowercase();
-        if value == "analytic" {
-            TimingBackendKind::Analytic
-        } else if value == "bankstate" {
-            TimingBackendKind::BankState
-        } else {
-            panic!(
-                "unrecognized SIMDRAM_TIMING value {raw:?} \
-                 (expected analytic | bankstate)"
-            );
+    /// Parses one `SIMDRAM_TIMING` override value with the shared normalization rules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnvOverrideError`] on anything [`TimingBackendKind::try_from_env`]
+    /// would reject.
+    pub fn parse_override(raw: &str) -> Result<Self, EnvOverrideError> {
+        envopt::parse_override(TIMING_VAR, TIMING_EXPECTED, raw, Self::recognize)
+    }
+
+    /// The pure grammar recognizer behind [`TimingBackendKind::parse_override`]:
+    /// `value` is already trimmed and lowercased; `None` means "not in the grammar".
+    fn recognize(value: &str) -> Option<Self> {
+        match value {
+            "analytic" => Some(TimingBackendKind::Analytic),
+            "bankstate" => Some(TimingBackendKind::BankState),
+            _ => None,
         }
     }
 
@@ -200,11 +221,11 @@ mod tests {
         // is covered by CI running the suite under SIMDRAM_TIMING=bankstate.
         assert_eq!(
             TimingBackendKind::parse_override("analytic"),
-            TimingBackendKind::Analytic
+            Ok(TimingBackendKind::Analytic)
         );
         assert_eq!(
             TimingBackendKind::parse_override(" BankState "),
-            TimingBackendKind::BankState
+            Ok(TimingBackendKind::BankState)
         );
         assert!(TimingBackendKind::BankState.is_bank_state());
         assert!(!TimingBackendKind::Analytic.is_bank_state());
@@ -213,9 +234,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unrecognized SIMDRAM_TIMING value")]
-    fn env_override_rejects_typos() {
-        let _ = TimingBackendKind::parse_override("bank-state");
+    fn env_override_rejects_typos_with_a_typed_error() {
+        let err = TimingBackendKind::parse_override("bank-state").unwrap_err();
+        assert_eq!(err.var, "SIMDRAM_TIMING");
+        assert_eq!(err.value, "bank-state");
+        assert!(err.to_string().contains("analytic | bankstate"));
     }
 
     #[test]

@@ -24,12 +24,14 @@
 //! the template latencies). The replay is a pure function of the traces, so — like the
 //! analytic path — it is bit-identical across execution policies and functional modes.
 //!
-//! The traces carry command kinds and template costs but no row addresses (that is
-//! what keeps them 1 byte per command), so the row-buffer classification is a
-//! deterministic convention over the *kind transition* stream, documented on
-//! [`RowBufferOutcome`].
+//! The traces carry the [`crate::rowtag`] each command's first activation opens, so
+//! the row-buffer classification compares real addresses whenever they are present;
+//! commands recorded without an address ([`crate::rowtag::UNKNOWN`], e.g. hand-built
+//! traces or pre-address history) fall back to the deterministic *kind transition*
+//! convention documented on [`RowBufferOutcome`], which keeps every pre-existing
+//! replay result reproducible.
 
-use crate::command::{CommandKind, CommandTrace, DramCommand};
+use crate::command::{rowtag, CommandKind, CommandTrace, DramCommand};
 use crate::timing::{ddr4, DramTiming};
 
 /// How many ACTIVATEs may be in flight inside one tFAW window (a DDR4 constant).
@@ -70,9 +72,12 @@ impl BankTiming {
     }
 }
 
-/// The row-buffer outcome the replay assigns to one command, derived from the command
-/// *kind transition* (the compact traces carry no row addresses, so the mapping is a
-/// deterministic convention rather than an address comparison):
+/// The row-buffer outcome the replay assigns to one command.
+///
+/// When commands carry a real row address ([`crate::DramCommand::row`] ≠
+/// [`rowtag::UNKNOWN`]), the replay compares addresses directly — see
+/// [`BankStateModel::replay`]. For addressless commands the outcome falls back to the
+/// historical *kind transition* convention of [`RowBufferOutcome::classify`]:
 ///
 /// * previous `AP(TRA)` → current `AAP`: **hit**. This is the μProgram's signature
 ///   `TRA; AAP` majority-then-copy idiom — the sense amplifiers still latch the TRA
@@ -145,6 +150,22 @@ impl BankStateReplay {
     }
 }
 
+/// What a chunk's sense amplifiers hold between commands, for the address-based
+/// row-buffer classification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum OpenRow {
+    /// No address information: the trace start, or the previous command carried no
+    /// row tag. Always classifies via the kind-transition fallback.
+    Unknown,
+    /// The previous command ended with a precharge that invalidated the latch for
+    /// activation purposes (an AAP/AP restored its row and closed it).
+    Closed,
+    /// The latch still covers `rowtag` — the open data row after a `RD`/`WR` under
+    /// the open-page policy, or the TRA triple whose majority result a `TRA` leaves
+    /// in the sense amplifiers.
+    Latched(u32),
+}
+
 /// Per-chunk replay cursor: the bank's open-row bookkeeping plus its private timeline.
 #[derive(Debug, Clone)]
 struct ChunkCursor {
@@ -152,8 +173,10 @@ struct ChunkCursor {
     time_ns: f64,
     /// Next refresh deadline on this chunk's bank.
     next_refresh_ns: f64,
-    /// Kind of the previous command, for the row-buffer classification.
+    /// Kind of the previous command, for the addressless classification fallback.
     previous: Option<CommandKind>,
+    /// Sense-amplifier state, for the address-based classification.
+    open: OpenRow,
     /// Template latency walked so far (for the drained-history fallback).
     walked_latency_ns: f64,
     act_stall_ns: f64,
@@ -170,6 +193,7 @@ impl ChunkCursor {
             time_ns: 0.0,
             next_refresh_ns: t_refi_ns,
             previous: None,
+            open: OpenRow::Unknown,
             walked_latency_ns: 0.0,
             act_stall_ns: 0.0,
             refresh_stall_ns: 0.0,
@@ -211,6 +235,65 @@ impl ActivateWindow {
         self.ring[self.issued % FAW_DEPTH] = issue;
         self.issued += 1;
         issue
+    }
+}
+
+/// Classifies one command against the chunk's sense-amplifier state and returns the
+/// outcome plus the state the command leaves behind.
+///
+/// Addressed commands ([`crate::DramCommand::row`] ≠ [`rowtag::UNKNOWN`]) compare row
+/// tags: a `RD`/`WR` hits when the open-page latch holds its row, conflicts (+tRP)
+/// when a *different* row is open, and misses against a closed or unknown bank,
+/// leaving its row latched. A compute command's first activation hits only when the
+/// latch still covers the row it opens ([`rowtag::latch_covers`] — equal tags, or a
+/// B-group member of the latched TRA triple); an `AAP`/`AP` then closes the bank with
+/// its trailing precharge while a `TRA` leaves the majority latched, which is exactly
+/// the `TRA; AAP` idiom the kind convention hard-coded. Hits and misses never add
+/// latency, so addressed classification refines the *decomposition* without moving
+/// any replay latency on broadcast traces (which contain no `RD`/`WR`).
+///
+/// Addressless commands keep the [`RowBufferOutcome::classify`] convention
+/// bit-for-bit and reset the state to [`OpenRow::Unknown`].
+fn classify_command(
+    open: OpenRow,
+    previous: Option<CommandKind>,
+    command: &DramCommand,
+) -> (RowBufferOutcome, OpenRow) {
+    if command.row == rowtag::UNKNOWN {
+        return (
+            RowBufferOutcome::classify(previous, command.kind),
+            OpenRow::Unknown,
+        );
+    }
+    let covered = match open {
+        OpenRow::Latched(latch) => rowtag::latch_covers(latch, command.row),
+        OpenRow::Closed | OpenRow::Unknown => false,
+    };
+    match command.kind {
+        CommandKind::Read | CommandKind::Write => {
+            let outcome = match open {
+                _ if covered => RowBufferOutcome::Hit,
+                OpenRow::Latched(_) => RowBufferOutcome::Conflict,
+                OpenRow::Closed | OpenRow::Unknown => RowBufferOutcome::Miss,
+            };
+            (outcome, OpenRow::Latched(command.row))
+        }
+        CommandKind::ActivateActivatePrecharge | CommandKind::ActivatePrecharge => {
+            let outcome = if covered {
+                RowBufferOutcome::Hit
+            } else {
+                RowBufferOutcome::Miss
+            };
+            (outcome, OpenRow::Closed)
+        }
+        CommandKind::TripleRowActivate => {
+            let outcome = if covered {
+                RowBufferOutcome::Hit
+            } else {
+                RowBufferOutcome::Miss
+            };
+            (outcome, OpenRow::Latched(command.row))
+        }
     }
 }
 
@@ -290,8 +373,10 @@ impl BankStateModel {
                     cursor.next_refresh_ns += self.bank.t_refi_ns;
                 }
 
-                // Row-buffer outcome from the kind transition.
-                let outcome = RowBufferOutcome::classify(cursor.previous, command.kind);
+                // Row-buffer outcome: address comparison when the command carries a
+                // row tag, kind-transition fallback otherwise.
+                let (outcome, open) = classify_command(cursor.open, cursor.previous, command);
+                cursor.open = open;
                 let conflict_ns = match outcome {
                     RowBufferOutcome::Hit => {
                         cursor.hits += 1;
@@ -489,6 +574,37 @@ mod tests {
         let replay = BankStateModel::default().replay(&[trace]);
         assert!(replay.row_buffer_hit_rate() > 0.0);
         assert!(replay.row_buffer_hit_rate() <= 1.0);
+    }
+
+    #[test]
+    fn addressed_commands_classify_by_row_not_convention() {
+        let c = costs();
+        // Streaming reads of the SAME row hit under the open-page policy; the
+        // kind convention (exercised by `streaming_reads_pay_row_conflicts` above,
+        // whose commands carry no addresses) would have charged conflicts.
+        let same_row = trace_of(&[
+            c.read().clone().with_row(rowtag::data(7)),
+            c.read().clone().with_row(rowtag::data(7)),
+            c.read().clone().with_row(rowtag::data(9)),
+        ]);
+        let replay = BankStateModel::default().replay(&[same_row]);
+        assert_eq!(replay.row_misses, 1); // first open of row 7
+        assert_eq!(replay.row_hits, 1); // row 7 again
+        assert_eq!(replay.row_conflicts, 1); // row 9 closes row 7 first
+
+        // A TRA latches its triple; an AAP whose first activation reads a member of
+        // the triple hits, one reading an unrelated row misses.
+        let tra_then_aap = trace_of(&[
+            c.tra().clone().with_row(rowtag::tra(0, 1, 2)),
+            c.aap().clone().with_row(rowtag::bgroup(0)),
+            c.aap().clone().with_row(rowtag::data(4)),
+        ]);
+        let replay = BankStateModel::default().replay(&[tra_then_aap]);
+        assert_eq!(replay.row_hits, 1);
+        assert_eq!(replay.row_misses, 2);
+        assert_eq!(replay.row_conflicts, 0);
+        // Hits and misses never add latency: only conflicts charge +tRP, so an
+        // address-refined broadcast decomposition keeps the replay latency.
     }
 
     #[test]

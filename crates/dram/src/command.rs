@@ -12,6 +12,86 @@ use std::fmt;
 
 use crate::config::DramConfig;
 
+/// Compact row-address tags carried by [`DramCommand::row`].
+///
+/// The trace's row addresses exist for *classification* (the bank-state replay's
+/// row-buffer hit/miss/conflict decisions), not for addressing storage, so they are
+/// encoded as a single `u32` tag per command covering the three address families a
+/// command's first activation can name:
+///
+/// * **data rows** — the physical data-row index, verbatim ([`data`](rowtag::data));
+/// * **B-group rows** — `0xFF00_0000 + index` within [`crate::BGroupRow::ALL`]
+///   ([`bgroup`](rowtag::bgroup));
+/// * **TRA triples** — `0xFE00_0000` with the three (sorted) B-group indices packed a
+///   byte each ([`tra`](rowtag::tra)), so a triple compares equal regardless of operand
+///   order.
+///
+/// [`UNKNOWN`](rowtag::UNKNOWN) (`u32::MAX`) marks commands recorded without an address
+/// (cost templates,
+/// pre-addressing traces); the replay falls back to the historical kind-transition
+/// convention for them, which keeps old traces and hand-built tests classifying exactly
+/// as before.
+pub mod rowtag {
+    /// No row address recorded: classification falls back to the kind convention.
+    pub const UNKNOWN: u32 = u32::MAX;
+    /// Base of the B-group tag family.
+    const BGROUP_BASE: u32 = 0xFF00_0000;
+    /// Base of the TRA-triple tag family.
+    const TRA_BASE: u32 = 0xFE00_0000;
+
+    /// Tag of a regular data row.
+    pub fn data(row: usize) -> u32 {
+        let tag = u32::try_from(row).unwrap_or(UNKNOWN);
+        if tag >= TRA_BASE {
+            UNKNOWN
+        } else {
+            tag
+        }
+    }
+
+    /// Tag of a B-group row, by its index within [`crate::BGroupRow::ALL`].
+    pub fn bgroup(index: usize) -> u32 {
+        BGROUP_BASE + index as u32
+    }
+
+    /// Tag of a TRA triple, by the three B-group indices of its operands. The indices
+    /// are sorted before packing, so the tag is operand-order independent — exactly
+    /// like the majority the activation computes.
+    pub fn tra(a: usize, b: usize, c: usize) -> u32 {
+        let mut idx = [a as u32, b as u32, c as u32];
+        idx.sort_unstable();
+        TRA_BASE | (idx[0] << 16) | (idx[1] << 8) | idx[2]
+    }
+
+    /// Returns `true` for tags in the B-group family.
+    pub fn is_bgroup(tag: u32) -> bool {
+        (BGROUP_BASE..UNKNOWN).contains(&tag)
+    }
+
+    /// Returns `true` for tags in the TRA-triple family.
+    pub fn is_tra(tag: u32) -> bool {
+        (TRA_BASE..BGROUP_BASE).contains(&tag)
+    }
+
+    /// Whether a sense-amplifier latch left by a command with tag `latch` already
+    /// holds what an activation of `row` needs: the same tag, or — after a TRA — any
+    /// single B-group row the triple restored.
+    pub fn latch_covers(latch: u32, row: u32) -> bool {
+        if latch == UNKNOWN || row == UNKNOWN {
+            return false;
+        }
+        if latch == row {
+            return true;
+        }
+        if is_tra(latch) && is_bgroup(row) {
+            let member = row - BGROUP_BASE;
+            let triple = latch - TRA_BASE;
+            return [triple >> 16, (triple >> 8) & 0xFF, triple & 0xFF].contains(&member);
+        }
+        false
+    }
+}
+
 /// The kind of a DRAM command issued to a subarray.
 ///
 /// The substrate distinguishes the command templates that matter for SIMDRAM's latency and
@@ -56,6 +136,19 @@ pub struct DramCommand {
     pub latency_ns: f64,
     /// Energy charged for this command, in nanojoules.
     pub energy_nj: f64,
+    /// Row-address tag of the command's first activation (see [`rowtag`]);
+    /// [`rowtag::UNKNOWN`] when the command was recorded without an address (cost
+    /// templates, pre-addressing traces). Never affects latency/energy accounting —
+    /// only the bank-state replay's row-buffer classification reads it.
+    pub row: u32,
+}
+
+impl DramCommand {
+    /// Returns this command with its row tag replaced.
+    pub fn with_row(mut self, row: u32) -> Self {
+        self.row = row;
+        self
+    }
 }
 
 /// The six command cost templates a subarray geometry charges, derived once from a
@@ -78,38 +171,46 @@ impl CommandCosts {
     pub fn new(config: &DramConfig) -> Self {
         let columns = config.columns_per_row;
         let row_bits = columns;
+        // Templates are addressless (rowtag::UNKNOWN): the recording site supplies the
+        // concrete row tag per command.
+        let cmd = |kind, latency_ns, energy_nj| DramCommand {
+            kind,
+            latency_ns,
+            energy_nj,
+            row: rowtag::UNKNOWN,
+        };
         CommandCosts {
             templates: [
-                DramCommand {
-                    kind: CommandKind::Write,
-                    latency_ns: config.timing.row_write_ns(columns / 8),
-                    energy_nj: config.energy.channel_transfer_nj(row_bits),
-                },
-                DramCommand {
-                    kind: CommandKind::Read,
-                    latency_ns: config.timing.row_read_ns(columns / 8),
-                    energy_nj: config.energy.channel_transfer_nj(row_bits),
-                },
-                DramCommand {
-                    kind: CommandKind::ActivateActivatePrecharge,
-                    latency_ns: config.timing.aap_ns(),
-                    energy_nj: config.energy.aap_nj(false),
-                },
-                DramCommand {
-                    kind: CommandKind::ActivateActivatePrecharge,
-                    latency_ns: config.timing.aap_ns(),
-                    energy_nj: config.energy.aap_nj(true),
-                },
-                DramCommand {
-                    kind: CommandKind::TripleRowActivate,
-                    latency_ns: config.timing.ap_ns(),
-                    energy_nj: config.energy.ap_nj(true),
-                },
-                DramCommand {
-                    kind: CommandKind::ActivatePrecharge,
-                    latency_ns: config.timing.ap_ns(),
-                    energy_nj: config.energy.ap_nj(false),
-                },
+                cmd(
+                    CommandKind::Write,
+                    config.timing.row_write_ns(columns / 8),
+                    config.energy.channel_transfer_nj(row_bits),
+                ),
+                cmd(
+                    CommandKind::Read,
+                    config.timing.row_read_ns(columns / 8),
+                    config.energy.channel_transfer_nj(row_bits),
+                ),
+                cmd(
+                    CommandKind::ActivateActivatePrecharge,
+                    config.timing.aap_ns(),
+                    config.energy.aap_nj(false),
+                ),
+                cmd(
+                    CommandKind::ActivateActivatePrecharge,
+                    config.timing.aap_ns(),
+                    config.energy.aap_nj(true),
+                ),
+                cmd(
+                    CommandKind::TripleRowActivate,
+                    config.timing.ap_ns(),
+                    config.energy.ap_nj(true),
+                ),
+                cmd(
+                    CommandKind::ActivatePrecharge,
+                    config.timing.ap_ns(),
+                    config.energy.ap_nj(false),
+                ),
             ],
         }
     }
@@ -172,6 +273,7 @@ impl CostSlot {
             kind: self.kind,
             latency_ns: self.latency_ns,
             energy_nj: self.energy_nj,
+            row: rowtag::UNKNOWN,
         }
     }
 }
@@ -192,6 +294,10 @@ impl CostSlot {
 pub struct CommandTrace {
     /// Per-command cost-table indices for the retained history.
     ops: Vec<u8>,
+    /// Per-command row-address tags (see [`rowtag`]), parallel to `ops`. Rows exist
+    /// only for the retained history — draining drops them with the ops — and never
+    /// feed the aggregate totals.
+    rows: Vec<u32>,
     /// Distinct cost combinations seen by this trace, in first-seen order.
     slots: Vec<CostSlot>,
     /// Number of commands whose history was dropped by [`CommandTrace::drain_history`].
@@ -214,7 +320,7 @@ impl CommandTrace {
     /// cost combinations — far beyond what any substrate configuration produces.
     pub fn push(&mut self, command: DramCommand) {
         let slot = self.slot_index(&command);
-        self.record(TraceSlot(slot));
+        self.record_at(TraceSlot(slot), command.row);
     }
 
     /// Pre-registers a cost combination, returning a [`TraceSlot`] that
@@ -238,11 +344,24 @@ impl CommandTrace {
     /// Panics if `slot` does not come from [`CommandTrace::register`] on this trace (or
     /// the table was since [`CommandTrace::clear`]ed).
     pub fn record(&mut self, slot: TraceSlot) {
+        self.record_at(slot, rowtag::UNKNOWN);
+    }
+
+    /// Like [`CommandTrace::record`], additionally tagging the command with the row
+    /// address its first activation names (see [`rowtag`]). The tag is pure metadata
+    /// for row-buffer classification; the aggregate accounting is identical to
+    /// [`CommandTrace::record`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` does not come from [`CommandTrace::register`] on this trace.
+    pub fn record_at(&mut self, slot: TraceSlot, row: u32) {
         let entry = &mut self.slots[slot.0 as usize];
         entry.count += 1;
         self.total_latency_ns += entry.latency_ns;
         self.total_energy_nj += entry.energy_nj;
         self.ops.push(slot.0);
+        self.rows.push(row);
     }
 
     fn slot_index(&mut self, command: &DramCommand) -> u8 {
@@ -273,6 +392,7 @@ impl CommandTrace {
     /// length can be traced without reallocating mid-execution.
     pub fn reserve(&mut self, additional: usize) {
         self.ops.reserve(additional);
+        self.rows.reserve(additional);
     }
 
     /// Lazily reconstructs the retained per-command history, in issue order.
@@ -282,7 +402,8 @@ impl CommandTrace {
     pub fn commands(&self) -> impl Iterator<Item = DramCommand> + '_ {
         self.ops
             .iter()
-            .map(move |&idx| self.slots[idx as usize].command())
+            .zip(&self.rows)
+            .map(move |(&idx, &row)| self.slots[idx as usize].command().with_row(row))
     }
 
     /// Number of recorded commands, including drained history.
@@ -347,6 +468,7 @@ impl CommandTrace {
         self.reserve(other.ops.len());
         self.ops
             .extend(other.ops.iter().map(|&op| remap[op as usize]));
+        self.rows.extend_from_slice(&other.rows);
         self.drained += other.drained;
         self.total_latency_ns += other.total_latency_ns;
         self.total_energy_nj += other.total_energy_nj;
@@ -369,6 +491,50 @@ impl CommandTrace {
     ///
     /// Panics on cost-table overflow, like [`CommandTrace::push`].
     pub fn apply_aggregate(&mut self, aggregate: &TraceAggregate, with_history: bool) {
+        if with_history {
+            self.apply_aggregate_inner(aggregate, Some(aggregate.rows.iter().copied()));
+        } else {
+            self.apply_aggregate_inner(aggregate, None::<std::iter::Empty<u32>>);
+        }
+    }
+
+    /// Like [`CommandTrace::apply_aggregate`] with history, but substituting `rows`
+    /// (one row tag per aggregated command, in issue order) for the aggregate's own
+    /// row history. This is how a pre-aggregated block compiled against *symbolic*
+    /// rows charges the concrete addresses each run resolves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len()` differs from the aggregate's command count, or on
+    /// cost-table overflow like [`CommandTrace::push`].
+    pub fn apply_aggregate_with_rows(&mut self, aggregate: &TraceAggregate, rows: &[u32]) {
+        self.apply_aggregate_rows_with(aggregate, rows.iter().copied());
+    }
+
+    /// Iterator-taking form of [`CommandTrace::apply_aggregate_with_rows`], for callers
+    /// that resolve row tags on the fly (the compiled row-op path, which must not
+    /// allocate an intermediate buffer on its per-application hot path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator's length differs from the aggregate's command count, or
+    /// on cost-table overflow like [`CommandTrace::push`].
+    pub fn apply_aggregate_rows_with<I>(&mut self, aggregate: &TraceAggregate, rows: I)
+    where
+        I: ExactSizeIterator<Item = u32>,
+    {
+        assert_eq!(
+            rows.len(),
+            aggregate.ops.len(),
+            "one row tag per aggregated command"
+        );
+        self.apply_aggregate_inner(aggregate, Some(rows));
+    }
+
+    fn apply_aggregate_inner<I>(&mut self, aggregate: &TraceAggregate, rows: Option<I>)
+    where
+        I: ExactSizeIterator<Item = u32>,
+    {
         let mut remap = [0u8; 256];
         for (i, slot) in aggregate.slots.iter().enumerate() {
             let idx = self.slot_index(&slot.command());
@@ -377,10 +543,11 @@ impl CommandTrace {
         }
         self.total_latency_ns += aggregate.total_latency_ns;
         self.total_energy_nj += aggregate.total_energy_nj;
-        if with_history {
+        if let Some(rows) = rows {
             self.reserve(aggregate.ops.len());
             self.ops
                 .extend(aggregate.ops.iter().map(|&op| remap[op as usize]));
+            self.rows.extend(rows);
         } else {
             self.drained += aggregate.ops.len();
         }
@@ -398,8 +565,8 @@ impl CommandTrace {
         let start = mark.saturating_sub(self.drained).min(self.ops.len());
         let mut suffix = CommandTrace::new();
         suffix.reserve(self.ops.len() - start);
-        for &idx in &self.ops[start..] {
-            suffix.push(self.slots[idx as usize].command());
+        for (&idx, &row) in self.ops[start..].iter().zip(&self.rows[start..]) {
+            suffix.push(self.slots[idx as usize].command().with_row(row));
         }
         suffix
     }
@@ -413,11 +580,13 @@ impl CommandTrace {
     pub fn drain_history(&mut self) {
         self.drained += self.ops.len();
         self.ops.clear();
+        self.rows.clear();
     }
 
     /// Clears the trace, including aggregates and the cost table.
     pub fn clear(&mut self) {
         self.ops.clear();
+        self.rows.clear();
         self.slots.clear();
         self.drained = 0;
         self.total_latency_ns = 0.0;
@@ -438,6 +607,8 @@ impl CommandTrace {
 pub struct TraceAggregate {
     slots: Vec<CostSlot>,
     ops: Vec<u8>,
+    /// Per-command row tags, parallel to `ops` (the source commands' [`rowtag`]s).
+    rows: Vec<u32>,
     total_latency_ns: f64,
     total_energy_nj: f64,
 }
@@ -456,6 +627,7 @@ impl TraceAggregate {
         TraceAggregate {
             slots: trace.slots,
             ops: trace.ops,
+            rows: trace.rows,
             total_latency_ns: trace.total_latency_ns,
             total_energy_nj: trace.total_energy_nj,
         }
@@ -489,11 +661,26 @@ impl TraceAggregate {
         trace
     }
 
+    /// Like [`TraceAggregate::to_trace`] with history, substituting `rows` for the
+    /// aggregate's own row history (see [`CommandTrace::apply_aggregate_with_rows`]).
+    pub fn to_trace_with_rows(&self, rows: &[u32]) -> CommandTrace {
+        let mut trace = CommandTrace::new();
+        trace.apply_aggregate_with_rows(self, rows);
+        trace
+    }
+
     /// Rebuilds `out` (cleared first, retaining its buffers) from this aggregate, for
     /// callers reusing one local-trace allocation across executions.
     pub fn write_trace(&self, out: &mut CommandTrace, with_history: bool) {
         out.clear();
         out.apply_aggregate(self, with_history);
+    }
+
+    /// Like [`TraceAggregate::write_trace`] with history, substituting `rows` for the
+    /// aggregate's own row history.
+    pub fn write_trace_with_rows(&self, out: &mut CommandTrace, rows: &[u32]) {
+        out.clear();
+        out.apply_aggregate_with_rows(self, rows);
     }
 }
 
@@ -506,6 +693,7 @@ mod tests {
             kind,
             latency_ns: 10.0,
             energy_nj: 2.0,
+            row: rowtag::UNKNOWN,
         }
     }
 
@@ -550,11 +738,13 @@ mod tests {
             kind: CommandKind::ActivateActivatePrecharge,
             latency_ns: 10.0,
             energy_nj: 2.0,
+            row: rowtag::UNKNOWN,
         });
         trace.push(DramCommand {
             kind: CommandKind::ActivateActivatePrecharge,
             latency_ns: 10.0,
             energy_nj: 3.5,
+            row: rowtag::UNKNOWN,
         });
         assert_eq!(trace.count(CommandKind::ActivateActivatePrecharge), 2);
         let energies: Vec<f64> = trace.commands().map(|c| c.energy_nj).collect();
@@ -717,5 +907,79 @@ mod tests {
     fn command_kind_display() {
         assert_eq!(CommandKind::ActivateActivatePrecharge.to_string(), "AAP");
         assert_eq!(CommandKind::TripleRowActivate.to_string(), "AP(TRA)");
+    }
+
+    #[test]
+    fn row_tags_survive_push_since_and_merge() {
+        let mut trace = CommandTrace::new();
+        trace.push(cmd(CommandKind::Read).with_row(rowtag::data(7)));
+        let mark = trace.len();
+        trace.push(cmd(CommandKind::ActivateActivatePrecharge).with_row(rowtag::bgroup(0)));
+        trace.push(cmd(CommandKind::TripleRowActivate).with_row(rowtag::tra(0, 1, 2)));
+        let rows: Vec<u32> = trace.commands().map(|c| c.row).collect();
+        assert_eq!(
+            rows,
+            vec![rowtag::data(7), rowtag::bgroup(0), rowtag::tra(0, 1, 2)]
+        );
+        // The suffix keeps its rows; merging appends them unchanged.
+        let suffix = trace.since(mark);
+        let suffix_rows: Vec<u32> = suffix.commands().map(|c| c.row).collect();
+        assert_eq!(suffix_rows, vec![rowtag::bgroup(0), rowtag::tra(0, 1, 2)]);
+        let mut merged = CommandTrace::new();
+        merged.push(cmd(CommandKind::Write).with_row(rowtag::data(3)));
+        merged.merge(&suffix);
+        let merged_rows: Vec<u32> = merged.commands().map(|c| c.row).collect();
+        assert_eq!(
+            merged_rows,
+            vec![rowtag::data(3), rowtag::bgroup(0), rowtag::tra(0, 1, 2)]
+        );
+        // Plain record() (no address) tags UNKNOWN.
+        let mut plain = CommandTrace::new();
+        let slot = plain.register(cmd(CommandKind::Read));
+        plain.record(slot);
+        assert_eq!(plain.commands().next().unwrap().row, rowtag::UNKNOWN);
+    }
+
+    #[test]
+    fn row_tag_families_are_disjoint_and_order_independent() {
+        assert_eq!(rowtag::tra(2, 0, 1), rowtag::tra(0, 1, 2));
+        assert!(rowtag::is_tra(rowtag::tra(0, 1, 2)));
+        assert!(rowtag::is_bgroup(rowtag::bgroup(9)));
+        assert!(!rowtag::is_bgroup(rowtag::data(5)));
+        assert!(!rowtag::is_tra(rowtag::bgroup(0)));
+        assert_ne!(rowtag::bgroup(0), rowtag::UNKNOWN);
+        // A TRA latch covers each of its members and the triple itself, nothing else.
+        let latch = rowtag::tra(0, 1, 2);
+        for member in 0..3 {
+            assert!(rowtag::latch_covers(latch, rowtag::bgroup(member)));
+        }
+        assert!(rowtag::latch_covers(latch, latch));
+        assert!(!rowtag::latch_covers(latch, rowtag::bgroup(3)));
+        assert!(!rowtag::latch_covers(latch, rowtag::data(0)));
+        assert!(!rowtag::latch_covers(rowtag::UNKNOWN, rowtag::data(0)));
+        assert!(!rowtag::latch_covers(rowtag::data(4), rowtag::UNKNOWN));
+        assert!(rowtag::latch_covers(rowtag::data(4), rowtag::data(4)));
+    }
+
+    #[test]
+    fn aggregate_with_rows_substitutes_resolved_addresses() {
+        let costs = CommandCosts::new(&DramConfig::tiny());
+        let aggregate =
+            TraceAggregate::from_commands(vec![costs.aap().clone(), costs.tra().clone()]);
+        let rows = [rowtag::data(12), rowtag::tra(0, 1, 2)];
+        let trace = aggregate.to_trace_with_rows(&rows);
+        assert_eq!(trace.len(), 2);
+        let tagged: Vec<u32> = trace.commands().map(|c| c.row).collect();
+        assert_eq!(tagged, rows);
+        // Totals match the addressless materialization bit for bit.
+        let plain = aggregate.to_trace(true);
+        assert_eq!(
+            trace.total_latency_ns().to_bits(),
+            plain.total_latency_ns().to_bits()
+        );
+        assert_eq!(
+            trace.total_energy_nj().to_bits(),
+            plain.total_energy_nj().to_bits()
+        );
     }
 }

@@ -43,6 +43,7 @@ mod bitrow;
 mod command;
 mod config;
 mod device;
+pub mod envopt;
 mod error;
 mod fault;
 mod rowclone;
@@ -58,14 +59,15 @@ pub use bank::Bank;
 pub use bankstate::{BankStateModel, BankStateReplay, BankTiming, RowBufferOutcome};
 pub use bitrow::BitRow;
 pub use command::{
-    CommandCosts, CommandKind, CommandTrace, DramCommand, TraceAggregate, TraceSlot,
+    rowtag, CommandCosts, CommandKind, CommandTrace, DramCommand, TraceAggregate, TraceSlot,
 };
 pub use config::{DramConfig, DramConfigBuilder};
 pub use device::DramDevice;
 pub use energy::EnergyModel;
+pub use envopt::EnvOverrideError;
 pub use error::{DramError, Result};
 pub use fault::{FaultModel, FaultState};
 pub use rowclone::{CopyMechanism, InterSubarrayCopy};
-pub use rowops::{RowOp, RowOpBlock, RowRef, SrcRef, WriteRef};
+pub use rowops::{RowOp, RowOpBlock, RowRef, RowTemplate, SrcRef, WriteRef};
 pub use subarray::{BGroupRow, RowAddr, Subarray};
 pub use timing::DramTiming;

@@ -14,9 +14,29 @@
 //! rows to region-relative references, and one compiled block serves every subarray and
 //! every binding of the same program.
 
-use crate::command::TraceAggregate;
+use crate::command::{rowtag, TraceAggregate};
 use crate::error::{DramError, Result};
 use crate::subarray::BGroupRow;
+
+/// The row-address tag of one aggregated command, before the data-region bases are
+/// known: either a tag fixed at compile time (B-group rows, TRA triples, constants) or
+/// a data row resolved against the caller's base table at apply time.
+///
+/// One template per *source command* (not per lowered op — elided commands keep their
+/// address), so a block applied with history can charge the exact
+/// [`crate::DramCommand::row`] sequence the interpreted path records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowTemplate {
+    /// A concrete [`rowtag`] known at compile time.
+    Fixed(u32),
+    /// Data row `bases[region] + offset`, tagged at apply time.
+    Data {
+        /// Index into the caller's region base table.
+        region: u8,
+        /// Row offset within the region.
+        offset: u32,
+    },
+}
 
 /// A pre-resolved reference to a row's physical storage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -177,6 +197,10 @@ pub struct RowOpBlock {
     maj_ordinals: Vec<u32>,
     /// TRAs in the source command stream, including any the compiler elided.
     tra_total: u32,
+    /// Row-address template of each aggregated command, in source-command order; empty
+    /// when the compiler did not attach addresses (every command then tags
+    /// [`rowtag::UNKNOWN`]).
+    row_tags: Vec<RowTemplate>,
 }
 
 impl RowOpBlock {
@@ -256,7 +280,40 @@ impl RowOpBlock {
             aggregate,
             maj_ordinals,
             tra_total,
+            row_tags: Vec::new(),
         })
+    }
+
+    /// Attaches the row-address template of every aggregated command, in
+    /// source-command order, so applications that retain per-command history can
+    /// charge the exact [`crate::DramCommand::row`] tags the interpreted path records
+    /// (see [`RowOpBlock::resolve_row_tags`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::InvalidConfig`] if `tags` does not have one entry per
+    /// aggregated command, or a [`RowTemplate::Data`] template references a region the
+    /// block does not address.
+    pub fn with_row_tags(mut self, tags: Vec<RowTemplate>) -> Result<Self> {
+        if tags.len() != self.aggregate.len() {
+            return Err(DramError::InvalidConfig(format!(
+                "block aggregates {} commands but has {} row tags",
+                self.aggregate.len(),
+                tags.len()
+            )));
+        }
+        let regions = self.region_extents.len();
+        for tag in &tags {
+            if let RowTemplate::Data { region, .. } = *tag {
+                if region as usize >= regions {
+                    return Err(DramError::InvalidConfig(format!(
+                        "row tag references region {region} of a {regions}-region block"
+                    )));
+                }
+            }
+        }
+        self.row_tags = tags;
+        Ok(self)
     }
 
     /// Overrides the block's TRA bookkeeping with the source μProgram's: `ordinals[i]`
@@ -326,6 +383,32 @@ impl RowOpBlock {
     /// The pre-aggregated trace accounting of one application of the block.
     pub fn aggregate(&self) -> &TraceAggregate {
         &self.aggregate
+    }
+
+    /// The row-address templates attached via [`RowOpBlock::with_row_tags`] — empty
+    /// when the block carries no addresses.
+    pub fn row_tags(&self) -> &[RowTemplate] {
+        &self.row_tags
+    }
+
+    /// Resolves the row tag of every aggregated command against the caller's region
+    /// base table (the same `bases` passed to [`crate::Subarray::apply_block`]).
+    ///
+    /// Blocks without attached templates resolve to all-[`rowtag::UNKNOWN`], matching
+    /// the addressless accounting of earlier releases.
+    pub fn resolve_row_tags(&self, bases: &[usize]) -> Vec<u32> {
+        if self.row_tags.is_empty() {
+            return vec![rowtag::UNKNOWN; self.aggregate.len()];
+        }
+        self.row_tags
+            .iter()
+            .map(|tag| match *tag {
+                RowTemplate::Fixed(t) => t,
+                RowTemplate::Data { region, offset } => {
+                    rowtag::data(bases[region as usize] + offset as usize)
+                }
+            })
+            .collect()
     }
 }
 
@@ -430,5 +513,61 @@ mod tests {
         }];
         let block = RowOpBlock::new(ops, 2, aggregate_of(1)).unwrap();
         assert_eq!(block.region_extents(), &[10, 3]);
+    }
+
+    #[test]
+    fn row_tags_resolve_against_region_bases() {
+        let ops = vec![
+            RowOp::Copy {
+                src: data(0, 3),
+                dst: RowRef::T(0),
+            },
+            RowOp::Copy {
+                src: data(1, 1),
+                dst: data(1, 2),
+            },
+        ];
+        let block = RowOpBlock::new(ops, 2, aggregate_of(2)).unwrap();
+        // Without templates, every command tags UNKNOWN.
+        assert_eq!(
+            block.resolve_row_tags(&[10, 40]),
+            vec![rowtag::UNKNOWN, rowtag::UNKNOWN]
+        );
+        let block = block
+            .with_row_tags(vec![
+                RowTemplate::Data {
+                    region: 0,
+                    offset: 3,
+                },
+                RowTemplate::Fixed(rowtag::tra(0, 1, 2)),
+            ])
+            .unwrap();
+        assert_eq!(
+            block.resolve_row_tags(&[10, 40]),
+            vec![rowtag::data(13), rowtag::tra(0, 1, 2)]
+        );
+    }
+
+    #[test]
+    fn row_tags_are_validated() {
+        let block = RowOpBlock::new(vec![RowOp::Nop], 1, aggregate_of(2)).unwrap();
+        // One tag per aggregated command, not per op.
+        assert!(block
+            .clone()
+            .with_row_tags(vec![RowTemplate::Fixed(0)])
+            .is_err());
+        assert!(block
+            .clone()
+            .with_row_tags(vec![
+                RowTemplate::Data {
+                    region: 3,
+                    offset: 0
+                },
+                RowTemplate::Fixed(0)
+            ])
+            .is_err());
+        assert!(block
+            .with_row_tags(vec![RowTemplate::Fixed(0), RowTemplate::Fixed(1)])
+            .is_ok());
     }
 }

@@ -125,6 +125,7 @@ mod tests {
                 kind,
                 latency_ns: 5.0,
                 energy_nj: 1.0,
+                row: crate::command::rowtag::UNKNOWN,
             });
         }
         t

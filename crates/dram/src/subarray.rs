@@ -21,11 +21,11 @@
 //! table. μProgram command counts are unaffected.
 
 use crate::bitrow::BitRow;
-use crate::command::{CommandCosts, CommandTrace, DramCommand, TraceSlot};
+use crate::command::{rowtag, CommandCosts, CommandTrace, DramCommand, TraceSlot};
 use crate::config::DramConfig;
 use crate::error::{DramError, Result};
 use crate::fault::FaultState;
-use crate::rowops::{RowOp, RowOpBlock, RowRef, SrcRef, WriteRef};
+use crate::rowops::{RowOp, RowOpBlock, RowRef, RowTemplate, SrcRef, WriteRef};
 
 /// Rows of the B-group (compute rows) of a subarray.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -158,9 +158,10 @@ impl Subarray {
         }
     }
 
-    /// Records one command on the pre-registered hot path.
-    fn record(&mut self, cost: Cost) {
-        self.trace.record(self.slots[cost as usize]);
+    /// Records one command on the pre-registered hot path, tagging the row its first
+    /// activation opens (see [`rowtag`]). Tags never affect accounting totals.
+    fn record_row(&mut self, cost: Cost, row: u32) {
+        self.trace.record_at(self.slots[cost as usize], row);
     }
 
     /// Number of columns (SIMD lanes) in the subarray.
@@ -242,7 +243,7 @@ impl Subarray {
             .get_mut(row)
             .ok_or(DramError::RowOutOfRange { row, rows })?;
         dst.copy_from_resized(data);
-        self.record(Cost::Write);
+        self.record_row(Cost::Write, rowtag::data(row));
         Ok(())
     }
 
@@ -268,7 +269,7 @@ impl Subarray {
             .get(row)
             .cloned()
             .ok_or(DramError::RowOutOfRange { row, rows })?;
-        self.record(Cost::Read);
+        self.record_row(Cost::Read, rowtag::data(row));
         Ok(data)
     }
 
@@ -386,7 +387,7 @@ impl Subarray {
         let d = self.resolve_writable(dst)?;
         self.drive(s, d);
         self.row_open = false; // AAP ends with a precharge.
-        self.record(Cost::Aap);
+        self.record_row(Cost::Aap, tag_of_addr(src));
         Ok(())
     }
 
@@ -407,7 +408,7 @@ impl Subarray {
             self.restore_tra_rows(a, b, c)?;
         }
         self.row_open = false;
-        self.record(Cost::Tra);
+        self.record_row(Cost::Tra, rowtag::tra(a as usize, b as usize, c as usize));
         Ok(())
     }
 
@@ -435,7 +436,10 @@ impl Subarray {
             self.restore(dst)?;
         }
         self.row_open = false;
-        self.record(Cost::AapTra);
+        self.record_row(
+            Cost::AapTra,
+            rowtag::tra(a as usize, b as usize, c as usize),
+        );
         Ok(())
     }
 
@@ -448,7 +452,7 @@ impl Subarray {
     pub fn ap(&mut self, row: RowAddr) -> Result<()> {
         self.latch(row)?;
         self.row_open = false;
-        self.record(Cost::Ap);
+        self.record_row(Cost::Ap, tag_of_addr(row));
         Ok(())
     }
 
@@ -1005,7 +1009,23 @@ impl Subarray {
             state.advance(u64::from(block.tra_total()));
         }
         self.row_open = false;
-        self.trace.apply_aggregate(block.aggregate(), with_history);
+        if with_history && !block.row_tags().is_empty() {
+            // Resolve the block's row-address templates against this application's
+            // bases so the retained history carries the same tags the interpreted
+            // path records command by command; the on-the-fly iterator keeps the
+            // warmed apply path allocation-free.
+            self.trace.apply_aggregate_rows_with(
+                block.aggregate(),
+                block.row_tags().iter().map(|tag| match *tag {
+                    RowTemplate::Fixed(t) => t,
+                    RowTemplate::Data { region, offset } => {
+                        rowtag::data(bases[region as usize] + offset as usize)
+                    }
+                }),
+            );
+        } else {
+            self.trace.apply_aggregate(block.aggregate(), with_history);
+        }
         Ok(())
     }
 
@@ -1059,6 +1079,16 @@ impl Subarray {
     /// [`Subarray::clone_data_rows`].
     pub fn data_rows_equal(&self, snapshot: &[BitRow]) -> bool {
         self.rows.as_slice() == snapshot
+    }
+}
+
+/// The [`rowtag`] of a row address' first activation: data rows tag their index,
+/// B-group rows their [`BGroupRow`] ordinal. Negated wordlines are distinct addresses
+/// (distinct wordlines of one cell), so they tag their own ordinal.
+fn tag_of_addr(addr: RowAddr) -> u32 {
+    match addr {
+        RowAddr::Data(r) => rowtag::data(r),
+        RowAddr::BGroup(b) => rowtag::bgroup(b as usize),
     }
 }
 
@@ -1290,7 +1320,7 @@ mod tests {
     #[test]
     fn apply_block_matches_the_interpreted_command_sequence() {
         use crate::command::CommandCosts;
-        use crate::rowops::{RowOp, RowOpBlock, RowRef};
+        use crate::rowops::{RowOp, RowOpBlock, RowRef, RowTemplate};
         use crate::TraceAggregate;
 
         let config = DramConfig::tiny();
@@ -1322,7 +1352,22 @@ mod tests {
             costs.aap().clone(),
             costs.aap_tra().clone(),
         ]);
-        let block = RowOpBlock::new(ops, 1, aggregate).unwrap();
+        // Row tags mirror the interpreted first activations: the three staged source
+        // rows, then the T0/T1/T2 triple of the fused AAP-TRA.
+        let tag = |offset: u32| RowTemplate::Data { region: 0, offset };
+        let block = RowOpBlock::new(ops, 1, aggregate)
+            .unwrap()
+            .with_row_tags(vec![
+                tag(0),
+                tag(1),
+                tag(2),
+                RowTemplate::Fixed(rowtag::tra(
+                    BGroupRow::T0 as usize,
+                    BGroupRow::T1 as usize,
+                    BGroupRow::T2 as usize,
+                )),
+            ])
+            .unwrap();
 
         let mut interpreted = Subarray::new(&config);
         let mut compiled = Subarray::new(&config);

@@ -104,8 +104,9 @@ pub struct WindowRecord {
     pub window: usize,
     /// The admitted jobs' placements, in admission order.
     pub placements: Vec<JobPlacement>,
-    /// Fused broadcast dispatches the window issued (`max` of the participants' batch
-    /// counts).
+    /// Fused broadcast dispatches the window issued: the `max` of the participants'
+    /// MIMD dispatch-window counts (≤ their batch counts — independent same-level
+    /// batches co-issue when [`simdram_core::SimdramConfig::mimd_windows`] is on).
     pub dispatches: usize,
     /// Broadcast dispatches the same jobs would have issued run back-to-back (`Σ` of
     /// the participants' batch counts).

@@ -25,8 +25,8 @@
 //! `u64`-slice operations with no per-command dispatch or bookkeeping.
 
 use simdram_dram::{
-    BGroupRow, CommandCosts, CommandTrace, DramCommand, DramError, RowOp, RowOpBlock, RowRef,
-    SrcRef, Subarray, TraceAggregate, WriteRef,
+    rowtag, BGroupRow, CommandCosts, CommandTrace, DramCommand, DramError, RowOp, RowOpBlock,
+    RowRef, RowTemplate, SrcRef, Subarray, TraceAggregate, WriteRef,
 };
 use simdram_logic::Operation;
 
@@ -77,6 +77,7 @@ impl CompiledProgram {
     /// generator output never triggers either.
     pub fn compile(program: &MicroProgram, costs: &CommandCosts) -> Result<Self> {
         let mut commands: Vec<DramCommand> = Vec::with_capacity(program.command_count());
+        let mut row_tags: Vec<RowTemplate> = Vec::with_capacity(program.command_count());
         let fates = fate_table(program.ops());
         let mut fuser = Fuser::new(program.command_count());
         for (micro, fate) in program.ops().iter().zip(&fates) {
@@ -86,14 +87,21 @@ impl CompiledProgram {
                 MicroOp::Aap { src, dst } => {
                     fuser.aap(src, dst)?;
                     commands.push(costs.aap().clone());
+                    row_tags.push(row_template(src));
                 }
                 MicroOp::AapTra { a, b, c, dst } => {
                     fuser.tra(a, b, c, Some(dst))?;
                     commands.push(costs.aap_tra().clone());
+                    row_tags.push(RowTemplate::Fixed(rowtag::tra(
+                        a as usize, b as usize, c as usize,
+                    )));
                 }
                 MicroOp::ApTra { a, b, c } => {
                     fuser.tra(a, b, c, None)?;
                     commands.push(costs.tra().clone());
+                    row_tags.push(RowTemplate::Fixed(rowtag::tra(
+                        a as usize, b as usize, c as usize,
+                    )));
                 }
             }
         }
@@ -102,6 +110,8 @@ impl CompiledProgram {
         let block = RowOpBlock::new(ops, REGIONS, aggregate)
             .map_err(UprogError::Dram)?
             .with_tra_ordinals(maj_ordinals, tra_total)
+            .map_err(UprogError::Dram)?
+            .with_row_tags(row_tags)
             .map_err(UprogError::Dram)?;
         Ok(CompiledProgram {
             op: program.operation(),
@@ -180,14 +190,7 @@ impl CompiledProgram {
         with_history: bool,
     ) -> Result<()> {
         self.validate_binding(binding, subarray.rows())?;
-        let bases = [
-            binding.a_base,
-            binding.b_base,
-            binding.pred_row,
-            binding.out_base,
-            binding.temp_base,
-        ];
-        subarray.apply_block(&self.block, &bases, with_history)?;
+        subarray.apply_block(&self.block, &region_bases(binding), with_history)?;
         Ok(())
     }
 
@@ -205,7 +208,12 @@ impl CompiledProgram {
         with_history: bool,
     ) -> Result<CommandTrace> {
         self.execute_in(subarray, binding, with_history)?;
-        Ok(self.block.aggregate().to_trace(with_history))
+        if with_history {
+            let rows = self.block.resolve_row_tags(&region_bases(binding));
+            Ok(self.block.aggregate().to_trace_with_rows(&rows))
+        } else {
+            Ok(self.block.aggregate().to_trace(false))
+        }
     }
 
     /// Like [`CompiledProgram::run`], rebuilding the caller's `out` trace in place so a
@@ -222,8 +230,44 @@ impl CompiledProgram {
         out: &mut CommandTrace,
     ) -> Result<()> {
         self.execute_in(subarray, binding, with_history)?;
-        self.block.aggregate().write_trace(out, with_history);
+        if with_history {
+            let rows = self.block.resolve_row_tags(&region_bases(binding));
+            self.block.aggregate().write_trace_with_rows(out, &rows);
+        } else {
+            self.block.aggregate().write_trace(out, false);
+        }
         Ok(())
+    }
+}
+
+/// The region base table a binding supplies, indexed by the `REGION_*` scheme.
+fn region_bases(binding: &RowBinding) -> [usize; REGIONS] {
+    [
+        binding.a_base,
+        binding.b_base,
+        binding.pred_row,
+        binding.out_base,
+        binding.temp_base,
+    ]
+}
+
+/// The row-address template of an `AAP`'s first activation: the tag the interpreter
+/// records for the resolved source row ([`MicroRow::resolve`] followed by the
+/// subarray's address tagging).
+fn row_template(row: MicroRow) -> RowTemplate {
+    let data = |region: u8, offset: usize| RowTemplate::Data {
+        region,
+        offset: u32::try_from(offset).expect("row offsets fit in 32 bits"),
+    };
+    match row {
+        MicroRow::InputA(i) => data(REGION_A, i),
+        MicroRow::InputB(i) => data(REGION_B, i),
+        MicroRow::Pred => data(REGION_PRED, 0),
+        MicroRow::Output(i) => data(REGION_OUT, i),
+        MicroRow::Temp(i) => data(REGION_TEMP, i),
+        MicroRow::Zero => RowTemplate::Fixed(rowtag::bgroup(BGroupRow::C0 as usize)),
+        MicroRow::One => RowTemplate::Fixed(rowtag::bgroup(BGroupRow::C1 as usize)),
+        MicroRow::BGroup(b) => RowTemplate::Fixed(rowtag::bgroup(b as usize)),
     }
 }
 

@@ -1,0 +1,168 @@
+//! MIMD dispatch-window descriptors.
+//!
+//! A classic SIMDRAM dispatch broadcasts ONE μProgram command stream to every
+//! participating subarray. A **MIMD dispatch window** (after MIMDRAM) relaxes this: one
+//! window carries a *set* of `(μProgram stream, subarray set)` pairs, and each subarray
+//! group executes its own stream concurrently with the others. The descriptor types in
+//! this module are how the control unit names and validates such a window before the
+//! machine issues it:
+//!
+//! * [`DispatchEntry`] — one heterogeneous lane of the window: the identity of the
+//!   command stream (its `(operation, width)` pairs in issue order) and the linear
+//!   compute-chunk ids it is broadcast to;
+//! * [`DispatchWindow`] — the validated set of entries. Construction enforces the MIMD
+//!   safety contract: every entry must target a **disjoint** subarray set (two streams
+//!   racing on one subarray would interleave commands nondeterministically), and no
+//!   entry may be empty.
+//!
+//! The descriptors are pure metadata — they carry no row bindings and issue no
+//! commands — so a serving layer can validate placement windows without touching a
+//! device.
+
+use simdram_logic::Operation;
+
+use crate::error::{Result, UprogError};
+
+/// One `(μProgram stream, subarray set)` pair of a MIMD dispatch window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DispatchEntry {
+    /// Identity of the μProgram stream this entry issues: the `(operation, operand
+    /// width)` of every Exec step, in issue order. Constant/copy steps carry no
+    /// μProgram and are not listed; an entry of pure copies/constants is legal and has
+    /// an empty program list.
+    pub programs: Vec<(Operation, usize)>,
+    /// Linear compute-chunk ids the stream is broadcast to. Must be non-empty and
+    /// disjoint from every other entry's set.
+    pub subarrays: Vec<usize>,
+}
+
+impl DispatchEntry {
+    /// Creates an entry from a program-identity list and a subarray set.
+    pub fn new(programs: Vec<(Operation, usize)>, subarrays: Vec<usize>) -> Self {
+        DispatchEntry {
+            programs,
+            subarrays,
+        }
+    }
+}
+
+/// A validated heterogeneous dispatch window: a set of [`DispatchEntry`]s whose
+/// subarray sets are pairwise disjoint, issuable as ONE broadcast.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DispatchWindow {
+    entries: Vec<DispatchEntry>,
+}
+
+impl DispatchWindow {
+    /// Builds a window after validating the MIMD safety contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UprogError::EmptyDispatch`] for a window with no entries or an entry
+    /// with no subarrays, and [`UprogError::OverlappingDispatch`] when two entries
+    /// claim the same subarray.
+    pub fn new(entries: Vec<DispatchEntry>) -> Result<Self> {
+        Self::validate_disjoint(&entries)?;
+        Ok(DispatchWindow { entries })
+    }
+
+    /// Checks that `entries` form a legal MIMD window: at least one entry, every entry
+    /// targeting at least one subarray, and no subarray claimed twice (within or across
+    /// entries).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UprogError::EmptyDispatch`] or [`UprogError::OverlappingDispatch`].
+    pub fn validate_disjoint(entries: &[DispatchEntry]) -> Result<()> {
+        if entries.is_empty() {
+            return Err(UprogError::EmptyDispatch);
+        }
+        let mut claimed = std::collections::BTreeSet::new();
+        for entry in entries {
+            if entry.subarrays.is_empty() {
+                return Err(UprogError::EmptyDispatch);
+            }
+            for &subarray in &entry.subarrays {
+                if !claimed.insert(subarray) {
+                    return Err(UprogError::OverlappingDispatch { subarray });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The window's entries, in issue order.
+    pub fn entries(&self) -> &[DispatchEntry] {
+        &self.entries
+    }
+
+    /// Total number of subarrays the window occupies (entries are disjoint, so this is
+    /// the plain sum).
+    pub fn chunk_count(&self) -> usize {
+        self.entries.iter().map(|e| e.subarrays.len()).sum()
+    }
+
+    /// `true` when the window is genuinely MIMD: at least two entries whose program
+    /// streams differ (a homogeneous window is an ordinary SIMD broadcast).
+    pub fn is_heterogeneous(&self) -> bool {
+        self.entries
+            .windows(2)
+            .any(|pair| pair[0].programs != pair[1].programs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(ops: &[(Operation, usize)], subarrays: &[usize]) -> DispatchEntry {
+        DispatchEntry::new(ops.to_vec(), subarrays.to_vec())
+    }
+
+    #[test]
+    fn disjoint_entries_form_a_window() {
+        let window = DispatchWindow::new(vec![
+            entry(&[(Operation::Add, 8)], &[0, 1]),
+            entry(&[(Operation::Mul, 16)], &[2]),
+        ])
+        .unwrap();
+        assert_eq!(window.entries().len(), 2);
+        assert_eq!(window.chunk_count(), 3);
+        assert!(window.is_heterogeneous());
+    }
+
+    #[test]
+    fn homogeneous_windows_are_plain_simd() {
+        let window = DispatchWindow::new(vec![
+            entry(&[(Operation::Add, 8)], &[0]),
+            entry(&[(Operation::Add, 8)], &[1]),
+        ])
+        .unwrap();
+        assert!(!window.is_heterogeneous());
+    }
+
+    #[test]
+    fn overlapping_subarrays_are_rejected() {
+        let err = DispatchWindow::new(vec![
+            entry(&[(Operation::Add, 8)], &[0, 1]),
+            entry(&[(Operation::Sub, 8)], &[1, 2]),
+        ])
+        .unwrap_err();
+        assert_eq!(err, UprogError::OverlappingDispatch { subarray: 1 });
+        // Duplicates within one entry are just as illegal.
+        let err = DispatchWindow::new(vec![entry(&[], &[3, 3])]).unwrap_err();
+        assert_eq!(err, UprogError::OverlappingDispatch { subarray: 3 });
+    }
+
+    #[test]
+    fn empty_windows_and_empty_entries_are_rejected() {
+        assert_eq!(
+            DispatchWindow::new(Vec::new()).unwrap_err(),
+            UprogError::EmptyDispatch
+        );
+        assert_eq!(
+            DispatchWindow::new(vec![entry(&[(Operation::Add, 8)], &[])]).unwrap_err(),
+            UprogError::EmptyDispatch
+        );
+    }
+}

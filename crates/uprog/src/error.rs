@@ -20,6 +20,14 @@ pub enum UprogError {
     },
     /// The row binding places operands outside the subarray or lets regions overlap.
     InvalidBinding(String),
+    /// Two entries of a MIMD dispatch window claim the same subarray — their command
+    /// streams would interleave nondeterministically on it.
+    OverlappingDispatch {
+        /// The linear compute-chunk id claimed twice.
+        subarray: usize,
+    },
+    /// A MIMD dispatch window has no entries, or an entry targets no subarrays.
+    EmptyDispatch,
     /// An error reported by the DRAM substrate while executing a μOp.
     Dram(simdram_dram::DramError),
 }
@@ -38,6 +46,13 @@ impl fmt::Display for UprogError {
                 "μProgram needs {required} reserved rows but only {available} are available"
             ),
             UprogError::InvalidBinding(msg) => write!(f, "invalid row binding: {msg}"),
+            UprogError::OverlappingDispatch { subarray } => write!(
+                f,
+                "MIMD dispatch window entries overlap on subarray {subarray}"
+            ),
+            UprogError::EmptyDispatch => {
+                write!(f, "MIMD dispatch window has no entries or an empty entry")
+            }
             UprogError::Dram(e) => write!(f, "DRAM error during μProgram execution: {e}"),
         }
     }

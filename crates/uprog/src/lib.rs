@@ -40,6 +40,7 @@
 
 mod codegen;
 mod compile;
+mod dispatch;
 mod error;
 mod execute;
 mod library;
@@ -49,6 +50,7 @@ mod program;
 
 pub use codegen::{generate, CodegenOptions};
 pub use compile::CompiledProgram;
+pub use dispatch::{DispatchEntry, DispatchWindow};
 pub use error::{Result, UprogError};
 pub use execute::{execute, live_in_rows, validate_binding};
 pub use library::{build_program, MicroProgramLibrary, Target};

@@ -1,0 +1,204 @@
+//! MIMD dispatch windows + multi-device sharding, end to end.
+//!
+//! Run with `cargo run --example mimd_demo` (honors `SIMDRAM_EXEC`; CI runs it under
+//! both policies). The example exits non-zero if any simulated result diverges from
+//! its solo-machine or host reference — it is a checked walkthrough, not a printout.
+//!
+//! Three acts:
+//!
+//! 1. **Control divergence as one dispatch.** The kernel `y = x ≥ t ? x - t : t + x`
+//!    diverges per element. SIMD handles that with predication (every lane runs both
+//!    sides); here the lanes are partitioned by branch onto disjoint subarray
+//!    reservations and both branch μPrograms (`Sub` and `Add`) issue as ONE
+//!    heterogeneous MIMD window via `run_mimd_window`.
+//! 2. **Mixed-width windows inside one plan.** Independent same-level steps of
+//!    different lane widths — forcibly serialized before MIMD windows — co-issue, so
+//!    the plan completes in fewer dispatch windows than it has batches.
+//! 3. **Sharded fleet.** The same elementwise work spread across 2 ranked devices
+//!    under an interleaved shard map, including an explicit reshard whose cross-device
+//!    movement is charged to the link cost model.
+
+use simdram_core::{
+    LinkModel, PlanBuilder, ShardPolicy, ShardedMachine, SimdramConfig, SimdramMachine,
+};
+use simdram_logic::Operation;
+
+fn check(label: &str, got: &[u64], want: &[u64]) {
+    if got != want {
+        eprintln!("MISMATCH in {label}: simulated results diverge from the reference");
+        std::process::exit(1);
+    }
+    println!("  ✓ {label}: {} elements bit-identical", got.len());
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut machine = SimdramMachine::new(SimdramConfig::demo())?;
+    println!(
+        "machine: {} lanes/subarray × {} compute chunks, {:?} execution policy",
+        machine.lanes_per_subarray(),
+        machine.compute_chunks(),
+        machine.execution_policy()
+    );
+
+    // ---------------------------------------------------- act 1: control divergence
+    let n = 2_048usize;
+    let threshold = 128u64;
+    let x_vals: Vec<u64> = (0..n as u64).map(|i| (i * 37 + 11) & 0xFF).collect();
+
+    // Host-side branch partition: the data-dependent control flow.
+    let (mut high, mut low): (Vec<u64>, Vec<u64>) = (Vec::new(), Vec::new());
+    for &x in &x_vals {
+        if x >= threshold {
+            high.push(x);
+        } else {
+            low.push(x);
+        }
+    }
+    println!(
+        "act 1: kernel `y = x >= {threshold} ? x - {threshold} : {threshold} + x` \
+         diverges into {} / {} lanes",
+        high.len(),
+        low.len()
+    );
+
+    // Each branch gets its own disjoint reservation, inputs included.
+    let chunks_for = |m: &SimdramMachine, len: usize| len.div_ceil(m.lanes_per_subarray());
+    let r_high = machine.reserve_subarrays(chunks_for(&machine, high.len()))?;
+    let r_low = machine.reserve_subarrays(chunks_for(&machine, low.len()))?;
+    let x_high = machine.alloc(8, high.len())?;
+    let x_low = machine.alloc(8, low.len())?;
+    let t_high = machine.alloc(8, high.len())?;
+    let t_low = machine.alloc(8, low.len())?;
+    machine.write_to(&r_high, &x_high, &high)?;
+    machine.write_to(&r_low, &x_low, &low)?;
+    machine.write_to(&r_high, &t_high, &vec![threshold; high.len()])?;
+    machine.write_to(&r_low, &t_low, &vec![threshold; low.len()])?;
+
+    // One single-window plan per branch, running *different* μPrograms.
+    let branch_plan =
+        |op: Operation, x: &simdram_core::SimdVector, t: &simdram_core::SimdVector| {
+            let mut s = PlanBuilder::new();
+            let (xe, te) = (s.input(x), s.input(t));
+            let y = if op == Operation::Sub {
+                s.sub(xe, te)?
+            } else {
+                s.add(te, xe)?
+            };
+            let out = s.materialize(y)?;
+            Ok::<_, simdram_core::CoreError>((s.compile()?, out))
+        };
+    let (plan_high, out_high) = branch_plan(Operation::Sub, &x_high, &t_high)?;
+    let (plan_low, out_low) = branch_plan(Operation::Add, &x_low, &t_low)?;
+
+    let dispatches_before = machine.estimate().broadcasts;
+    let execs = machine.run_mimd_window(&[(&plan_high, &r_high), (&plan_low, &r_low)])?;
+    let dispatches = machine.estimate().broadcasts - dispatches_before;
+    println!(
+        "  both branch μPrograms issued in {dispatches} dispatch ({} heterogeneous MIMD \
+         windows so far)",
+        machine.mimd_windows_issued()
+    );
+    if dispatches != 1 {
+        eprintln!("MISMATCH: expected exactly one fused dispatch, got {dispatches}");
+        std::process::exit(1);
+    }
+
+    // Verify against the host and against solo runs of each branch.
+    let want_high: Vec<u64> = high.iter().map(|&x| x - threshold).collect();
+    let want_low: Vec<u64> = low.iter().map(|&x| (threshold + x) & 0xFF).collect();
+    let got_high = machine.read_from(&r_high, execs[0].output(out_high))?;
+    let got_low = machine.read_from(&r_low, execs[1].output(out_low))?;
+    check("divergent branch x >= t (Sub)", &got_high, &want_high);
+    check("divergent branch x <  t (Add)", &got_low, &want_low);
+
+    let mut solo = SimdramMachine::new(SimdramConfig::demo())?;
+    let sx = solo.alloc_and_write(8, &high)?;
+    let st = solo.alloc_and_write(8, &vec![threshold; high.len()])?;
+    let (solo_out, _) = solo.binary(Operation::Sub, &sx, &st)?;
+    check(
+        "MIMD window vs solo machine",
+        &got_high,
+        &solo.read(&solo_out)?,
+    );
+
+    // ------------------------------------------- act 2: mixed-width window in a plan
+    let wide_vals: Vec<u64> = (0..1_024u64).map(|i| (i * 91 + 3) & 0xFF).collect();
+    let narrow_vals: Vec<u64> = (0..96u64).map(|i| (i * 17 + 5) & 0xFFFF).collect();
+    let wide = machine.alloc_and_write(8, &wide_vals)?;
+    let narrow = machine.alloc_and_write(16, &narrow_vals)?;
+    let mut s = PlanBuilder::new();
+    let we = s.input(&wide);
+    let ne = s.input(&narrow);
+    let c = s.constant(16, narrow_vals.len(), 1_000)?;
+    let wa = s.abs(we)?; // 8-bit op over 1024 lanes
+    let nm = s.max(ne, c)?; // 16-bit op over 96 lanes — same level, different width
+    let out_w = s.materialize(wa)?;
+    let out_n = s.materialize(nm)?;
+    let plan = s.compile()?;
+    println!(
+        "act 2: mixed-width plan has {} batches in {} dispatch windows ({} mixed)",
+        plan.batch_count(),
+        plan.window_count(),
+        plan.mixed_window_count()
+    );
+    if plan.window_count() >= plan.batch_count() {
+        eprintln!("MISMATCH: MIMD windows saved no dispatches");
+        std::process::exit(1);
+    }
+    let exec = machine.run_plan(&plan)?;
+    println!(
+        "  report: {} broadcasts issued in {} windows",
+        exec.report().broadcasts,
+        exec.report().windows
+    );
+    let want_w: Vec<u64> = wide_vals
+        .iter()
+        .map(|&v| Operation::Abs.reference(8, v, 0, false))
+        .collect();
+    let want_n: Vec<u64> = narrow_vals.iter().map(|&v| v.max(1_000)).collect();
+    check(
+        "8-bit lane group",
+        &machine.read(exec.output(out_w))?,
+        &want_w,
+    );
+    check(
+        "16-bit lane group",
+        &machine.read(exec.output(out_n))?,
+        &want_n,
+    );
+
+    // --------------------------------------------------------- act 3: sharded fleet
+    let mut fleet = ShardedMachine::new(
+        SimdramConfig::demo(),
+        2,
+        ShardPolicy::Interleaved,
+        LinkModel::default(),
+    )?;
+    let a = fleet.alloc_and_write(8, &x_vals)?;
+    let b = fleet.alloc_and_write(8, &vec![threshold; n])?;
+    let sum = fleet.binary(Operation::Add, &a, &b)?;
+    let want_sum: Vec<u64> = x_vals.iter().map(|&x| (x + threshold) & 0xFF).collect();
+    check("2-device interleaved add", &fleet.read(&sum)?, &want_sum);
+
+    let contiguous = fleet.reshard(&sum, ShardPolicy::Contiguous)?;
+    check("after reshard", &fleet.read(&contiguous)?, &want_sum);
+    let movement = fleet.movement();
+    let estimate = fleet.estimate();
+    println!(
+        "act 3: reshard moved {} elements ({} B) across the link: {:.1} ns, {:.2} nJ \
+         charged; fleet makespan {:.1} ns over {} devices",
+        movement.elements,
+        movement.bytes,
+        movement.latency_ns,
+        movement.energy_nj,
+        estimate.makespan_ns(),
+        fleet.devices()
+    );
+    if movement.elements == 0 || estimate.movement_estimate.broadcasts == 0 {
+        eprintln!("MISMATCH: interleaved→contiguous reshard charged no movement");
+        std::process::exit(1);
+    }
+
+    println!("all MIMD + sharding checks passed");
+    Ok(())
+}
